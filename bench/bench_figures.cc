@@ -1,0 +1,138 @@
+// Figures F3-F6: machine-checked reproduction of the paper's worked
+// examples, emitted as Graphviz DOT plus structural summaries.
+//   Fig. 3: extended call graph of Listing 1 (example1.php)
+//   Fig. 4: heap graph + environments of Listing 2 (two-path if)
+//   Fig. 5: heap graph for the array-access statements of Listing 3
+//   Fig. 6: the pre-structured $_FILES array
+#include <cstdio>
+#include <string>
+
+#include "core/callgraph/callgraph.h"
+#include "core/callgraph/locality.h"
+#include "core/heapgraph/dot.h"
+#include "core/heapgraph/sexpr.h"
+#include "core/interp/interp.h"
+#include "phpparse/parser.h"
+
+using namespace uchecker;        // NOLINT
+using namespace uchecker::core;  // NOLINT
+
+namespace {
+
+struct Pipeline {
+  SourceManager sources;
+  DiagnosticSink diags;
+  std::vector<phpast::PhpFile> files;
+  Program program;
+  CallGraph graph;
+  LocalityResult locality;
+
+  explicit Pipeline(const std::vector<std::pair<std::string, std::string>>& src) {
+    for (const auto& [name, content] : src) {
+      const FileId id = sources.add_file(name, content);
+      files.push_back(phpparse::parse_php(*sources.file(id), diags));
+    }
+    std::vector<const phpast::PhpFile*> ptrs;
+    for (const auto& f : files) ptrs.push_back(&f);
+    program = build_program(ptrs);
+    graph = build_call_graph(program);
+    locality = analyze_locality(program, graph, sources);
+  }
+};
+
+// Paper Listing 1.
+const char* kListing1 = R"php(<?php
+function getFileName($file){
+    return $_FILES[$file]['name'];
+}
+
+function handle_uploader($file, $savePath){
+    $path_array = wp_upload_dir();
+    $pathAndName = $path_array['path'] . "/" . $savePath;
+    if (!move_uploaded_file($_FILES[$file]['tmp_name'], $pathAndName)) {
+        return false;
+    }
+    return true;
+}
+
+if (!handle_uploader("upload_file", getFileName("upload_file"))) {
+    echo "File Uploaded failure!";
+}
+)php";
+
+// Paper Listing 2.
+const char* kListing2 = R"php(<?php
+$a = 55;
+$b = $_GET['input'];
+if ($b + $a > 10) {
+    $a = $b - 22;
+} else {
+    $a = 88;
+}
+)php";
+
+// Paper Listing 3.
+const char* kListing3 = R"php(<?php
+$myfile = $_FILES['upload_file'];
+$name = $myfile['name'];
+$rnd = $test['123'];
+)php";
+
+void figure3() {
+  std::printf("--- Figure 3: extended call graph of Listing 1 ---\n");
+  Pipeline p(std::vector<std::pair<std::string, std::string>>{
+      {"example1.php", kListing1}});
+  std::printf("%s", p.graph.to_dot().c_str());
+  std::printf("Analysis roots (lowest common ancestors):\n");
+  for (const AnalysisRoot& root : p.locality.roots) {
+    std::printf("  root: %s\n", p.graph.node(root.node).name.c_str());
+  }
+  std::printf("\n");
+}
+
+void figure4() {
+  std::printf("--- Figure 4: heap graph and environments of Listing 2 ---\n");
+  Pipeline p(std::vector<std::pair<std::string, std::string>>{
+      {"listing2.php", kListing2}});
+  Interpreter interp(p.program, p.diags);
+  AnalysisRoot root;
+  root.file = &p.files[0];
+  const InterpResult result = interp.run(root);
+  std::printf("%s", to_dot(result.graph, result.envs).c_str());
+  std::printf("paths: %zu\n", result.envs.size());
+  for (std::size_t i = 0; i < result.envs.size(); ++i) {
+    const Env& env = result.envs[i];
+    std::printf("Env_%zu: $a -> %s, reachability: %s\n", i + 1,
+                to_sexpr(result.graph, env.get_map("a")).c_str(),
+                to_sexpr(result.graph, env.cur()).c_str());
+  }
+  std::printf("\n");
+}
+
+void figures5_and_6() {
+  std::printf("--- Figures 5/6: array access + pre-structured $_FILES ---\n");
+  Pipeline p(std::vector<std::pair<std::string, std::string>>{
+      {"listing3.php", kListing3}});
+  Interpreter interp(p.program, p.diags);
+  AnalysisRoot root;
+  root.file = &p.files[0];
+  const InterpResult result = interp.run(root);
+  std::printf("%s", to_dot(result.graph, result.envs).c_str());
+  const Env& env = result.envs.at(0);
+  std::printf("$myfile -> %s\n",
+              to_sexpr(result.graph, env.get_map("myfile")).c_str());
+  std::printf("$name   -> %s\n",
+              to_sexpr(result.graph, env.get_map("name")).c_str());
+  std::printf("$rnd    -> %s\n",
+              to_sexpr(result.graph, env.get_map("rnd")).c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  figure3();
+  figure4();
+  figures5_and_6();
+  return 0;
+}

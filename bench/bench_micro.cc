@@ -1,0 +1,137 @@
+// Experiment E5: per-phase micro-costs of the pipeline (google-benchmark).
+//
+// Table III's Time column aggregates parsing, locality analysis, symbolic
+// execution, translation and solving. These benchmarks separate the
+// phases on a representative corpus app so the cost structure is visible.
+#include <benchmark/benchmark.h>
+
+#include "core/callgraph/callgraph.h"
+#include "core/callgraph/locality.h"
+#include "core/detector/detector.h"
+#include "core/interp/interp.h"
+#include "core/translate/translate.h"
+#include "core/vulnmodel/vulnmodel.h"
+#include "corpus/corpus.h"
+#include "phpparse/parser.h"
+#include "smt/solver.h"
+
+namespace {
+
+using namespace uchecker;          // NOLINT
+using namespace uchecker::core;    // NOLINT
+
+const corpus::CorpusEntry& sample_app() {
+  // Foxypress: mid-sized (15.8K LoC), 64 paths.
+  static const auto* entry = new corpus::CorpusEntry(
+      uchecker::corpus::known_vulnerable()[2]);
+  return *entry;
+}
+
+struct Parsed {
+  SourceManager sources;
+  DiagnosticSink diags;
+  std::vector<phpast::PhpFile> files;
+  Program program;
+};
+
+Parsed parse_sample() {
+  Parsed p;
+  for (const AppFile& f : sample_app().app.files) {
+    const FileId id = p.sources.add_file(f.name, f.content);
+    p.files.push_back(phpparse::parse_php(*p.sources.file(id), p.diags));
+  }
+  std::vector<const phpast::PhpFile*> ptrs;
+  for (const auto& f : p.files) ptrs.push_back(&f);
+  p.program = build_program(ptrs);
+  return p;
+}
+
+void BM_Parse(benchmark::State& state) {
+  std::uint64_t lines = 0;
+  for (auto _ : state) {
+    Parsed p = parse_sample();
+    benchmark::DoNotOptimize(p.files.size());
+    lines = p.sources.total_loc();
+  }
+  state.counters["loc"] = static_cast<double>(lines);
+}
+BENCHMARK(BM_Parse)->Unit(benchmark::kMillisecond);
+
+void BM_CallGraphAndLocality(benchmark::State& state) {
+  Parsed p = parse_sample();
+  for (auto _ : state) {
+    const CallGraph graph = build_call_graph(p.program);
+    const LocalityResult locality =
+        analyze_locality(p.program, graph, p.sources);
+    benchmark::DoNotOptimize(locality.roots.size());
+  }
+}
+BENCHMARK(BM_CallGraphAndLocality)->Unit(benchmark::kMillisecond);
+
+void BM_SymbolicExecution(benchmark::State& state) {
+  Parsed p = parse_sample();
+  const CallGraph graph = build_call_graph(p.program);
+  const LocalityResult locality = analyze_locality(p.program, graph, p.sources);
+  std::size_t paths = 0;
+  for (auto _ : state) {
+    Interpreter interp(p.program, p.diags);
+    const InterpResult result = interp.run(locality.roots.at(0));
+    paths = result.stats.paths;
+    benchmark::DoNotOptimize(result.stats.objects);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_SymbolicExecution)->Unit(benchmark::kMillisecond);
+
+void BM_TranslateAndSolve(benchmark::State& state) {
+  Parsed p = parse_sample();
+  const CallGraph graph = build_call_graph(p.program);
+  const LocalityResult locality = analyze_locality(p.program, graph, p.sources);
+  Interpreter interp(p.program, p.diags);
+  const InterpResult exec = interp.run(locality.roots.at(0));
+  for (auto _ : state) {
+    smt::Checker checker;
+    const VulnModelResult result = check_sinks(exec, checker);
+    benchmark::DoNotOptimize(result.vulnerable);
+  }
+}
+BENCHMARK(BM_TranslateAndSolve)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEnd(benchmark::State& state) {
+  Detector detector;
+  for (auto _ : state) {
+    const ScanReport report = detector.scan(sample_app().app);
+    benchmark::DoNotOptimize(report.verdict);
+  }
+}
+BENCHMARK(BM_EndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_HeapGraphOps(benchmark::State& state) {
+  for (auto _ : state) {
+    HeapGraph graph;
+    Label prev = graph.add_symbol("s", Type::kString, {});
+    for (int i = 0; i < 1000; ++i) {
+      const Label c = graph.add_concrete(Value(std::int64_t{i}), {});
+      prev = graph.add_op(OpKind::kConcat, Type::kString, {prev, c}, {});
+    }
+    benchmark::DoNotOptimize(graph.object_count());
+  }
+}
+BENCHMARK(BM_HeapGraphOps);
+
+void BM_TaintReachability(benchmark::State& state) {
+  HeapGraph graph;
+  Label prev = graph.add_symbol("$_FILES", Type::kArray, {}, true);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const Label c = graph.add_concrete(Value(std::int64_t{i}), {});
+    prev = graph.add_op(OpKind::kConcat, Type::kString, {prev, c}, {});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.reaches_files_taint(prev));
+  }
+}
+BENCHMARK(BM_TaintReachability)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// explain_heapgraph: developer's-eye view of the analysis internals.
+// Parses PHP (from a file argument, or the paper's Listing 2 demo),
+// symbolically executes it, and prints:
+//   - the AST,
+//   - the extended call graph (DOT),
+//   - the heap graph with per-path environments (DOT),
+//   - each path's variable bindings and reachability as s-expressions.
+//
+//   $ ./build/examples/explain_heapgraph [file.php]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/callgraph/callgraph.h"
+#include "core/callgraph/locality.h"
+#include "core/heapgraph/dot.h"
+#include "core/heapgraph/sexpr.h"
+#include "core/interp/interp.h"
+#include "phpast/printer.h"
+#include "phpparse/parser.h"
+
+using namespace uchecker;
+using namespace uchecker::core;
+
+int main(int argc, char** argv) {
+  std::string name = "listing2.php";
+  std::string source = R"php(<?php
+$a = 55;
+$b = $_GET['input'];
+if ($b + $a > 10) {
+    $a = $b - 22;
+} else {
+    $a = 88;
+}
+)php";
+  if (argc > 1) {
+    name = argv[1];
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  SourceManager sources;
+  DiagnosticSink diags;
+  const FileId id = sources.add_file(name, source);
+  const phpast::PhpFile file = phpparse::parse_php(*sources.file(id), diags);
+  if (diags.has_errors()) {
+    std::fprintf(stderr, "%s", diags.render(sources).c_str());
+  }
+
+  std::printf("=== AST ===\n%s\n", phpast::dump(file).c_str());
+
+  const Program program = build_program({&file});
+  const CallGraph call_graph = build_call_graph(program);
+  std::printf("=== extended call graph (DOT) ===\n%s\n",
+              call_graph.to_dot().c_str());
+
+  const LocalityResult locality =
+      analyze_locality(program, call_graph, sources);
+  std::printf("=== locality analysis ===\n");
+  if (locality.roots.empty()) {
+    std::printf("no analysis root (no scope reaches both $_FILES and a "
+                "sink); executing the file body for illustration\n");
+  }
+  for (const AnalysisRoot& r : locality.roots) {
+    std::printf("root: %s (%llu LoC of %llu, %.2f%%)\n",
+                call_graph.node(r.node).name.c_str(),
+                static_cast<unsigned long long>(r.body_loc),
+                static_cast<unsigned long long>(locality.total_loc),
+                locality.analyzed_percent());
+  }
+
+  AnalysisRoot root;
+  if (!locality.roots.empty()) {
+    root = locality.roots[0];
+  } else {
+    root.file = &file;
+  }
+  Interpreter interp(program, diags);
+  const InterpResult result = interp.run(root);
+
+  std::printf("\n=== heap graph + environments (DOT) ===\n%s\n",
+              to_dot(result.graph, result.envs).c_str());
+
+  std::printf("=== paths ===\n");
+  for (std::size_t i = 0; i < result.envs.size(); ++i) {
+    const Env& env = result.envs[i];
+    std::printf("path %zu (%s):\n", i + 1,
+                env.status() == Env::Status::kRunning     ? "completed"
+                : env.status() == Env::Status::kReturned ? "returned"
+                                                          : "exited");
+    for (const auto& [var, label] : env.map()) {
+      std::printf("  $%s = %s\n", var.c_str(),
+                  to_sexpr(result.graph, label).c_str());
+    }
+    std::printf("  reachability: %s\n",
+                env.cur() == kNoLabel
+                    ? "true"
+                    : to_sexpr(result.graph, env.cur()).c_str());
+  }
+
+  std::printf("\n=== sinks ===\n");
+  for (const SinkHit& sink : result.sinks) {
+    std::printf("%s at %s\n  e_src = %s\n  e_dst = %s\n  reach = %s\n",
+                sink.sink_name.c_str(), sources.describe(sink.loc).c_str(),
+                to_sexpr(result.graph, sink.src).c_str(),
+                to_sexpr(result.graph, sink.dst).c_str(),
+                sink.reachability == kNoLabel
+                    ? "true"
+                    : to_sexpr(result.graph, sink.reachability).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "baselines/rips.h"
+
+#include <chrono>
+
+#include "phpparse/parser.h"
+
+namespace uchecker::baselines {
+
+BaselineReport RipsScanner::scan(const core::Application& app) const {
+  const auto start = std::chrono::steady_clock::now();
+  BaselineReport report;
+  report.app_name = app.name;
+
+  SourceManager sources;
+  DiagnosticSink diags;
+  std::vector<phpast::PhpFile> parsed;
+  parsed.reserve(app.files.size());
+  for (const core::AppFile& f : app.files) {
+    const FileId id = sources.add_file(f.name, f.content);
+    parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
+  }
+  std::vector<const phpast::PhpFile*> ptrs;
+  for (const phpast::PhpFile& f : parsed) ptrs.push_back(&f);
+
+  report.findings = taint_scan(ptrs);
+  report.flagged = !report.findings.empty();
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace uchecker::baselines

@@ -1,0 +1,29 @@
+// RIPS-style baseline scanner (paper §IV-C).
+//
+// Pure taint analysis: any file-upload sink whose source argument is
+// tainted by a user-controlled superglobal is reported, with no modeling
+// of the destination file name or extension. The paper's observation —
+// "while taint analysis concerns the source of the uploaded file, it does
+// not model the name or the extension of this file, thereby being likely
+// to introduce false positives" — is exactly this scanner's behaviour:
+// validated upload handlers are still flagged (27/28 FP in the paper).
+#pragma once
+
+#include "baselines/taint.h"
+#include "core/detector/detector.h"
+
+namespace uchecker::baselines {
+
+struct BaselineReport {
+  std::string app_name;
+  bool flagged = false;
+  std::vector<TaintFinding> findings;
+  double seconds = 0.0;
+};
+
+class RipsScanner {
+ public:
+  [[nodiscard]] BaselineReport scan(const core::Application& app) const;
+};
+
+}  // namespace uchecker::baselines

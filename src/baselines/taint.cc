@@ -1,0 +1,261 @@
+#include "baselines/taint.h"
+
+#include <functional>
+
+#include "phpast/visitor.h"
+#include "support/strutil.h"
+
+namespace uchecker::baselines {
+
+using namespace phpast;  // NOLINT: baseline is an AST consumer
+
+namespace {
+
+bool is_user_source(const std::string& name) {
+  return name == "_FILES" || name == "_POST" || name == "_GET" ||
+         name == "_REQUEST" || name == "_COOKIE";
+}
+
+bool is_sink_name(const std::string& lower) {
+  return lower == "move_uploaded_file" || lower == "file_put_contents" ||
+         lower == "file_put_content";
+}
+
+bool is_sanitizer_name(const std::string& lower) {
+  return lower == "in_array" || lower == "pathinfo" ||
+         lower == "wp_check_filetype" || lower == "getimagesize" ||
+         lower == "preg_match" || lower == "wp_handle_upload" ||
+         lower == "finfo_file" || lower == "mime_content_type" ||
+         lower == "exif_imagetype";
+}
+
+// Matches the exact AST shape $_FILES[<lit>]['name' / 'tmp_name'].
+bool is_direct_files_member(const Expr& e, const char* member) {
+  if (e.kind() != NodeKind::kArrayAccess) return false;
+  const auto& outer = static_cast<const ArrayAccess&>(e);
+  if (outer.index == nullptr ||
+      outer.index->kind() != NodeKind::kStringLit ||
+      static_cast<const StringLit&>(*outer.index).value != member) {
+    return false;
+  }
+  if (outer.base->kind() != NodeKind::kArrayAccess) return false;
+  const auto& inner = static_cast<const ArrayAccess&>(*outer.base);
+  return inner.base->kind() == NodeKind::kVariable &&
+         static_cast<const Variable&>(*inner.base).name == "_FILES";
+}
+
+// One scope's flow-sensitive taint pass.
+class ScopeScanner {
+ public:
+  ScopeScanner(std::string scope_name, std::vector<TaintFinding>& out)
+      : scope_(std::move(scope_name)), out_(out) {}
+
+  void run(const std::vector<StmtPtr>& body) {
+    for (const auto& stmt : body) count_statements(*stmt);
+    // Two passes give a cheap fixpoint for use-before-def ordering
+    // produced by loops.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& stmt : body) scan_stmt(*stmt);
+    }
+  }
+
+ private:
+  void count_statements(const Node& node) {
+    ++statements_;
+    for_each_child(node, [this](const Node& child) {
+      if (child.kind() != NodeKind::kFunctionDecl &&
+          child.kind() != NodeKind::kClassDecl) {
+        count_statements(child);
+      }
+    });
+  }
+
+  bool tainted_expr(const Expr& e) {
+    switch (e.kind()) {
+      case NodeKind::kVariable: {
+        const auto& v = static_cast<const Variable&>(e);
+        return is_user_source(v.name) || tainted_vars_.contains(v.name);
+      }
+      case NodeKind::kArrayAccess: {
+        const auto& a = static_cast<const ArrayAccess&>(e);
+        return tainted_expr(*a.base);
+      }
+      case NodeKind::kPropertyAccess:
+        return tainted_expr(*static_cast<const PropertyAccess&>(e).base);
+      case NodeKind::kBinary: {
+        const auto& b = static_cast<const Binary&>(e);
+        return tainted_expr(*b.lhs) || tainted_expr(*b.rhs);
+      }
+      case NodeKind::kUnary:
+        return tainted_expr(*static_cast<const Unary&>(e).operand);
+      case NodeKind::kAssign: {
+        const auto& a = static_cast<const Assign&>(e);
+        return tainted_expr(*a.value);
+      }
+      case NodeKind::kTernary: {
+        const auto& t = static_cast<const Ternary&>(e);
+        return (t.then_expr != nullptr && tainted_expr(*t.then_expr)) ||
+               tainted_expr(*t.else_expr) || tainted_expr(*t.cond);
+      }
+      case NodeKind::kCast:
+        return tainted_expr(*static_cast<const Cast&>(e).operand);
+      case NodeKind::kCall: {
+        // Taint propagates through library string functions (RIPS's
+        // builtin simulation), not through user-defined functions.
+        const auto& c = static_cast<const Call&>(e);
+        for (const auto& arg : c.args) {
+          if (tainted_expr(*arg)) return true;
+        }
+        return false;
+      }
+      case NodeKind::kArrayLit: {
+        const auto& lit = static_cast<const ArrayLit&>(e);
+        for (const auto& item : lit.items) {
+          if (tainted_expr(*item.value)) return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  void scan_expr(const Expr& e) {
+    if (e.kind() == NodeKind::kAssign) {
+      const auto& a = static_cast<const Assign&>(e);
+      scan_expr(*a.value);
+      if (a.target->kind() == NodeKind::kVariable) {
+        const auto& v = static_cast<const Variable&>(*a.target);
+        if (tainted_expr(*a.value)) {
+          tainted_vars_.insert(v.name);
+        }
+      } else if (a.target->kind() == NodeKind::kArrayAccess) {
+        // $arr[k] = tainted taints the whole array variable.
+        const Expr* base = a.target.get();
+        while (base->kind() == NodeKind::kArrayAccess) {
+          base = static_cast<const ArrayAccess&>(*base).base.get();
+        }
+        if (base->kind() == NodeKind::kVariable && tainted_expr(*a.value)) {
+          tainted_vars_.insert(static_cast<const Variable&>(*base).name);
+        }
+      }
+      return;
+    }
+    if (is_direct_files_member(e, "name")) has_direct_name_ = true;
+    if (e.kind() == NodeKind::kCall) {
+      const auto& c = static_cast<const Call&>(e);
+      if (!c.is_dynamic()) {
+        if (is_sanitizer_name(c.callee)) has_sanitizer_ = true;
+        if (is_sink_name(c.callee)) {
+          record_sink(c);
+        }
+      }
+      for (const auto& arg : c.args) scan_expr(*arg);
+      return;
+    }
+    for_each_child(e, [this](const Node& child) {
+      if (const auto* expr = dynamic_cast<const Expr*>(&child)) {
+        scan_expr(*expr);
+      }
+    });
+  }
+
+  void record_sink(const Call& c) {
+    const bool is_move = c.callee == "move_uploaded_file";
+    const Expr* src = nullptr;
+    const Expr* dst = nullptr;
+    if (is_move) {
+      src = c.args.size() > 0 ? c.args[0].get() : nullptr;
+      dst = c.args.size() > 1 ? c.args[1].get() : nullptr;
+    } else {
+      dst = c.args.size() > 0 ? c.args[0].get() : nullptr;
+      src = c.args.size() > 1 ? c.args[1].get() : nullptr;
+    }
+    if (src == nullptr || !tainted_expr(*src)) return;
+    // Across fixpoint passes, update an existing finding's features (the
+    // second pass sees the whole scope's flags) instead of duplicating.
+    TaintFinding* finding = nullptr;
+    for (TaintFinding& f : out_) {
+      if (f.loc == c.loc() && f.scope == scope_) {
+        finding = &f;
+        break;
+      }
+    }
+    if (finding == nullptr) {
+      out_.push_back(TaintFinding{});
+      finding = &out_.back();
+      finding->sink_name = c.callee;
+      finding->loc = c.loc();
+      finding->scope = scope_;
+    }
+    finding->src_direct_tmp_name |= is_direct_files_member(*src, "tmp_name");
+    if (dst != nullptr) {
+      walk(*dst, [finding](const Node& n) {
+        if (n.kind() == NodeKind::kBinary &&
+            static_cast<const Binary&>(n).op == BinaryOp::kConcat) {
+          finding->dst_has_concat = true;
+        }
+        return true;
+      });
+    }
+    finding->dst_direct_files_name |= has_direct_name_;
+    finding->scope_has_sanitizer |= has_sanitizer_;
+    finding->scope_statements = statements_;
+  }
+
+  void scan_stmt(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case NodeKind::kFunctionDecl:
+      case NodeKind::kClassDecl:
+        return;  // separate scopes, scanned by the driver
+      case NodeKind::kExprStmt:
+        scan_expr(*static_cast<const ExprStmt&>(stmt).expr);
+        return;
+      default:
+        break;
+    }
+    // Detect sanitizer mentions in conditions too.
+    for_each_child(stmt, [this](const Node& child) {
+      if (const auto* expr = dynamic_cast<const Expr*>(&child)) {
+        scan_expr(*expr);
+      } else if (const auto* s = dynamic_cast<const Stmt*>(&child)) {
+        scan_stmt(*s);
+      }
+    });
+  }
+
+  std::string scope_;
+  std::vector<TaintFinding>& out_;
+  std::set<std::string> tainted_vars_;
+  bool has_sanitizer_ = false;
+  bool has_direct_name_ = false;
+  std::size_t statements_ = 0;
+};
+
+void scan_scopes(const PhpFile& file, std::vector<TaintFinding>& out) {
+  // File body scope.
+  ScopeScanner file_scope(file.name, out);
+  file_scope.run(file.statements);
+  // Every function/method scope (including nested declarations).
+  for (const auto& stmt : file.statements) {
+    walk(*stmt, [&out](const Node& n) {
+      if (n.kind() == NodeKind::kFunctionDecl) {
+        const auto& fn = static_cast<const FunctionDecl&>(n);
+        ScopeScanner fn_scope(fn.name, out);
+        fn_scope.run(fn.body);
+      }
+      return true;
+    });
+  }
+}
+
+}  // namespace
+
+std::vector<TaintFinding> taint_scan(
+    const std::vector<const phpast::PhpFile*>& files) {
+  std::vector<TaintFinding> out;
+  for (const PhpFile* file : files) scan_scopes(*file, out);
+  return out;
+}
+
+}  // namespace uchecker::baselines

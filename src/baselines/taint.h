@@ -1,0 +1,41 @@
+// Shared intraprocedural taint analysis used by the RIPS-style and
+// WAP-style baselines (paper §IV-C).
+//
+// Models the comparator mechanism the paper describes: "RIPS detects
+// sensitive sinks as potential vulnerable functions if they are tainted
+// by untrusted inputs" — source-to-sink data flow with no modeling of the
+// destination file name or extension. Analysis is per-scope (file body or
+// function body) and flow-sensitive in statement order; taint does NOT
+// propagate through user-defined function parameters, which reproduces
+// RIPS's miss on the WooCommerce Custom Profile Picture plugin (the only
+// corpus app whose upload data reaches the sink exclusively through a
+// function parameter).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "phpast/ast.h"
+#include "support/source.h"
+
+namespace uchecker::baselines {
+
+struct TaintFinding {
+  std::string sink_name;
+  SourceLoc loc;
+  std::string scope;  // file name or function name
+  // Feature signals for the WAP classifier stage.
+  bool dst_direct_files_name = false;  // scope uses $_FILES[..]['name'] directly
+  bool scope_has_sanitizer = false;    // extension/type validation in scope
+  bool src_direct_tmp_name = false;    // source is $_FILES[..]['tmp_name']
+  bool dst_has_concat = false;
+  std::size_t scope_statements = 0;
+};
+
+// Scans all scopes of all files; returns every sink call whose *source*
+// argument is tainted by a user-controlled superglobal.
+[[nodiscard]] std::vector<TaintFinding> taint_scan(
+    const std::vector<const phpast::PhpFile*>& files);
+
+}  // namespace uchecker::baselines

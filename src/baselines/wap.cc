@@ -1,0 +1,143 @@
+#include "baselines/wap.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "phpparse/parser.h"
+
+namespace uchecker::baselines {
+namespace {
+
+struct Sample {
+  WapFeatures x;
+  bool vulnerable;
+};
+
+// Embedded training set: feature vectors distilled from labeled upload
+// snippets (direct-name flows without validation are exploitable; flows
+// with validation calls or indirect destinations are overwhelmingly
+// safe or unprovable, which WAP treats as negative).
+std::vector<Sample> training_set() {
+  std::vector<Sample> samples;
+  const auto add = [&samples](double direct_name, double sanitizer,
+                              double tmp_src, double concat, double size,
+                              bool label) {
+    samples.push_back(Sample{{direct_name, sanitizer, tmp_src, concat, size},
+                             label});
+  };
+  // Positives: destination directly embeds the client file name, no
+  // validation in scope.
+  add(1, 0, 1, 1, 0.10, true);
+  add(1, 0, 1, 1, 0.25, true);
+  add(1, 0, 1, 0, 0.05, true);
+  add(1, 0, 0, 1, 0.15, true);
+  add(1, 0, 1, 1, 0.40, true);
+  add(1, 0, 0, 0, 0.08, true);
+  add(1, 0, 1, 1, 0.60, true);
+  add(1, 0, 1, 0, 0.30, true);
+  // Negatives: validation present (even with direct name), or the
+  // destination is assembled indirectly.
+  add(1, 1, 1, 1, 0.20, false);
+  add(1, 1, 0, 1, 0.10, false);
+  add(1, 1, 1, 0, 0.35, false);
+  add(0, 1, 1, 1, 0.12, false);
+  add(0, 1, 1, 1, 0.50, false);
+  add(0, 0, 1, 1, 0.18, false);
+  add(0, 0, 1, 1, 0.22, false);
+  add(0, 0, 0, 1, 0.09, false);
+  add(0, 0, 1, 0, 0.45, false);
+  add(0, 1, 0, 0, 0.70, false);
+  add(0, 0, 1, 1, 0.33, false);
+  add(0, 1, 1, 1, 0.28, false);
+  return samples;
+}
+
+}  // namespace
+
+WapFeatures wap_features(const TaintFinding& finding) {
+  return WapFeatures{
+      finding.dst_direct_files_name ? 1.0 : 0.0,
+      finding.scope_has_sanitizer ? 1.0 : 0.0,
+      finding.src_direct_tmp_name ? 1.0 : 0.0,
+      finding.dst_has_concat ? 1.0 : 0.0,
+      std::min<double>(static_cast<double>(finding.scope_statements), 100.0) /
+          100.0,
+  };
+}
+
+WapClassifier::WapClassifier() {
+  // Averaged perceptron, fixed epoch count: deterministic training.
+  const std::vector<Sample> data = training_set();
+  std::array<double, kWapFeatureCount + 1> w{};
+  std::array<double, kWapFeatureCount + 1> sum{};
+  constexpr int kEpochs = 400;
+  constexpr double kLearningRate = 0.5;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    for (const Sample& s : data) {
+      double activation = w[kWapFeatureCount];
+      for (std::size_t i = 0; i < kWapFeatureCount; ++i) {
+        activation += w[i] * s.x[i];
+      }
+      const double target = s.vulnerable ? 1.0 : -1.0;
+      if (activation * target <= 0) {
+        for (std::size_t i = 0; i < kWapFeatureCount; ++i) {
+          w[i] += kLearningRate * target * s.x[i];
+        }
+        w[kWapFeatureCount] += kLearningRate * target;
+      }
+      for (std::size_t i = 0; i <= kWapFeatureCount; ++i) sum[i] += w[i];
+    }
+  }
+  const double steps = static_cast<double>(kEpochs) * data.size();
+  for (std::size_t i = 0; i <= kWapFeatureCount; ++i) {
+    weights_[i] = sum[i] / steps;
+  }
+  std::size_t correct = 0;
+  for (const Sample& s : data) {
+    if (predict_vulnerable(s.x) == s.vulnerable) ++correct;
+  }
+  training_accuracy_ = static_cast<double>(correct) / data.size();
+}
+
+double WapClassifier::score(const WapFeatures& x) const {
+  double activation = weights_[kWapFeatureCount];
+  for (std::size_t i = 0; i < kWapFeatureCount; ++i) {
+    activation += weights_[i] * x[i];
+  }
+  return activation;
+}
+
+bool WapClassifier::predict_vulnerable(const WapFeatures& x) const {
+  return score(x) > 0.0;
+}
+
+BaselineReport WapScanner::scan(const core::Application& app) const {
+  const auto start = std::chrono::steady_clock::now();
+  BaselineReport report;
+  report.app_name = app.name;
+
+  SourceManager sources;
+  DiagnosticSink diags;
+  std::vector<phpast::PhpFile> parsed;
+  parsed.reserve(app.files.size());
+  for (const core::AppFile& f : app.files) {
+    const FileId id = sources.add_file(f.name, f.content);
+    parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
+  }
+  std::vector<const phpast::PhpFile*> ptrs;
+  for (const phpast::PhpFile& f : parsed) ptrs.push_back(&f);
+
+  for (TaintFinding& finding : taint_scan(ptrs)) {
+    if (classifier_.predict_vulnerable(wap_features(finding))) {
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  report.flagged = !report.findings.empty();
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace uchecker::baselines

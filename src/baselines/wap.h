@@ -1,0 +1,53 @@
+// WAP-style baseline scanner (paper §IV-C).
+//
+// "WAP integrates taint analysis and machine learning for detection
+// without particularly modeling the uploaded file." This baseline reuses
+// the shared taint pass and then filters candidate findings through a
+// small perceptron trained (deterministically, at first use) on an
+// embedded synthetic corpus of labeled upload snippets. The classifier
+// keeps only blunt source-to-sink flows — the destination built directly
+// from $_FILES[..]['name'] with no validation calls in scope — which
+// reproduces the paper's observed behaviour: few detections (4/16) and
+// few false positives (1/28).
+#pragma once
+
+#include <array>
+
+#include "baselines/rips.h"
+#include "baselines/taint.h"
+
+namespace uchecker::baselines {
+
+inline constexpr std::size_t kWapFeatureCount = 5;
+using WapFeatures = std::array<double, kWapFeatureCount>;
+
+// Feature extraction from a taint finding.
+[[nodiscard]] WapFeatures wap_features(const TaintFinding& finding);
+
+// Linear classifier over wap_features(); trained once per process.
+class WapClassifier {
+ public:
+  WapClassifier();  // trains on the embedded dataset
+
+  [[nodiscard]] bool predict_vulnerable(const WapFeatures& x) const;
+  [[nodiscard]] double score(const WapFeatures& x) const;
+  [[nodiscard]] const std::array<double, kWapFeatureCount + 1>& weights() const {
+    return weights_;
+  }
+  // Training accuracy on the embedded dataset (for tests).
+  [[nodiscard]] double training_accuracy() const { return training_accuracy_; }
+
+ private:
+  std::array<double, kWapFeatureCount + 1> weights_{};  // +1 bias
+  double training_accuracy_ = 0.0;
+};
+
+class WapScanner {
+ public:
+  [[nodiscard]] BaselineReport scan(const core::Application& app) const;
+
+ private:
+  WapClassifier classifier_;
+};
+
+}  // namespace uchecker::baselines

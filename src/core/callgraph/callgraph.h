@@ -1,0 +1,108 @@
+// Extended call graph of paper §III-A.
+//
+// Nodes represent PHP files, functions (including class methods), read
+// accesses to the $_FILES superglobal, and invocations of the file-upload
+// sinks move_uploaded_file() / file_put_contents(). Edges:
+//   file -> file          (include / require with a resolvable path)
+//   file -> function      (call in the file body)
+//   function -> function  (call in the function body)
+//   scope -> $_FILES      (read access)
+//   scope -> sink         (sink invocation)
+// plus WordPress-style callback edges: a string-literal argument of a
+// hook-registration call (add_action, add_filter, register_*_hook, ...)
+// naming a user-defined function creates a call edge from the registering
+// scope to that function.
+//
+// Recursive edges are skipped so the graph stays acyclic (paper: "we will
+// not build edges for recursive calls").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/sinks.h"
+#include "phpast/ast.h"
+#include "support/source.h"
+
+namespace uchecker::core {
+
+// The program under analysis: all parsed files plus a function registry.
+struct Program {
+  std::vector<const phpast::PhpFile*> files;
+
+  struct FunctionInfo {
+    std::string name;  // lowercase; methods as "class::method" (lowercase)
+    const phpast::FunctionDecl* decl = nullptr;
+    FileId file;
+  };
+  // Keyed by lowercase name. Populated by build_program().
+  std::map<std::string, FunctionInfo> functions;
+};
+
+// Collects every file-level and method-level function into a registry.
+[[nodiscard]] Program build_program(const std::vector<const phpast::PhpFile*>& files);
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct CallGraphNode {
+  enum class Kind : std::uint8_t { kFile, kFunction, kFilesAccess, kSink };
+
+  Kind kind = Kind::kFile;
+  std::string name;  // file name, function name, "$_FILES", or sink name
+  SourceLoc loc;
+  std::vector<NodeId> children;  // outgoing edges, insertion order
+};
+
+class CallGraph {
+ public:
+  [[nodiscard]] NodeId add_node(CallGraphNode::Kind kind, std::string name,
+                                SourceLoc loc = {});
+  // Adds a directed edge a -> b unless it already exists or would create
+  // a cycle (covers both self-recursion and mutual recursion).
+  // `admin_gated` marks callback registrations that WordPress exposes
+  // only to administrators (add_action('admin_menu', ...)); see
+  // admin_only_nodes().
+  void add_edge(NodeId from, NodeId to, bool admin_gated = false);
+
+  [[nodiscard]] const CallGraphNode& node(NodeId id) const { return nodes_[id]; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<CallGraphNode>& nodes() const { return nodes_; }
+
+  [[nodiscard]] bool reaches(NodeId from, NodeId to) const;
+
+  // All special nodes reachable from `from`, split by kind. With
+  // `use_admin_edges == false`, admin-gated callback registrations are
+  // not traversed (the §VI admin-gating extension).
+  [[nodiscard]] bool reaches_kind(NodeId from, CallGraphNode::Kind kind,
+                                  bool use_admin_edges = true) const;
+
+  // Nodes reachable from file entry points *only* through admin-gated
+  // edges. Paper §VI: the two false positives of Table III exist because
+  // "UChecker ... does not currently model add_action() to consider
+  // whether a script is running under admin's privilege"; this predicate
+  // implements that modeling as an opt-in extension.
+  [[nodiscard]] std::vector<bool> admin_only_nodes() const;
+
+  // Graphviz rendering (paper Fig. 3).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  [[nodiscard]] std::vector<bool> reachable_from_files(bool use_admin_edges) const;
+
+  std::vector<CallGraphNode> nodes_;
+  std::set<std::pair<NodeId, NodeId>> admin_edges_;
+};
+
+// Builds the extended call graph for a program. `sinks` selects the
+// file-writing functions treated as upload sinks (paper defaults:
+// move_uploaded_file + file_put_contents).
+[[nodiscard]] CallGraph build_call_graph(
+    const Program& program,
+    const SinkRegistry& sinks = SinkRegistry::paper_defaults());
+
+}  // namespace uchecker::core

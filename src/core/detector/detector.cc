@@ -1,0 +1,140 @@
+#include "core/detector/detector.h"
+
+#include <chrono>
+
+#include "phpparse/parser.h"
+#include "smt/solver.h"
+
+namespace uchecker::core {
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kVulnerable: return "Vulnerable";
+    case Verdict::kNotVulnerable: return "Not vulnerable";
+    case Verdict::kAnalysisIncomplete: return "Analysis incomplete";
+  }
+  return "invalid";
+}
+
+Detector::Detector(ScanOptions options) : options_(std::move(options)) {}
+
+ScanReport Detector::scan(const Application& app) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  ScanReport report;
+  report.app_name = app.name;
+
+  // Phase 1: parsing.
+  SourceManager sources;
+  DiagnosticSink diags;
+  std::vector<phpast::PhpFile> parsed;
+  parsed.reserve(app.files.size());
+  for (const AppFile& f : app.files) {
+    const FileId id = sources.add_file(f.name, f.content);
+    parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
+  }
+  report.parse_errors = diags.error_count();
+  report.total_loc = sources.total_loc();
+
+  std::vector<const phpast::PhpFile*> file_ptrs;
+  for (const phpast::PhpFile& f : parsed) file_ptrs.push_back(&f);
+  const Program program = build_program(file_ptrs);
+
+  // Phase 2: vulnerability-oriented locality analysis.
+  const CallGraph call_graph = build_call_graph(program, options_.sinks);
+  LocalityResult locality;
+  if (options_.run_locality) {
+    locality = analyze_locality(program, call_graph, sources,
+                                options_.locality);
+  } else {
+    // Ablation: whole-program symbolic execution — every file body and
+    // every user-defined function is a root.
+    locality.total_loc = sources.total_loc();
+    for (const phpast::PhpFile* f : program.files) {
+      AnalysisRoot root;
+      root.file = f;
+      const SourceFile* sf = sources.file_by_name(f->name);
+      root.body_loc = sf != nullptr ? sf->loc_count() : 0;
+      locality.analyzed_loc += root.body_loc;
+      locality.roots.push_back(root);
+    }
+    for (const auto& [name, info] : program.functions) {
+      AnalysisRoot root;
+      root.function = info.decl;
+      locality.roots.push_back(root);
+    }
+    locality.analyzed_loc = locality.total_loc;
+  }
+  report.roots = locality.roots.size();
+  report.analyzed_loc = locality.analyzed_loc;
+  report.analyzed_percent = locality.analyzed_percent();
+
+  if (locality.roots.empty()) {
+    // No scope both reads $_FILES and reaches a sink: not vulnerable by
+    // construction (paper: "Other scripts, if they do not contain such
+    // lowest common ancestors, will not be analyzed").
+    report.verdict = Verdict::kNotVulnerable;
+    report.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    return report;
+  }
+
+  // Phases 3-6 per analysis root.
+  smt::Checker checker(options_.vuln.solver_timeout_ms);
+  std::size_t env_bytes_total = 0;
+  std::size_t graph_bytes_total = 0;
+  for (const AnalysisRoot& root : locality.roots) {
+    Interpreter interp(program, diags, options_.budget, options_.sinks);
+    InterpResult exec = interp.run(root);
+
+    report.paths += exec.stats.paths;
+    report.objects += exec.stats.objects;
+    report.budget_exhausted |= exec.stats.budget_exhausted;
+    report.sink_hits += exec.sinks.size();
+    env_bytes_total += exec.stats.env_bytes;
+    graph_bytes_total += exec.graph.memory_bytes();
+
+    if (exec.stats.budget_exhausted) {
+      // The paper's behaviour: the run that exhausts memory produces no
+      // verdict for this root (Cimy FN). Continue with other roots.
+      continue;
+    }
+
+    const VulnModelResult vuln = check_sinks(exec, checker, options_.vuln);
+    report.solver_calls += vuln.solver_calls;
+    if (vuln.vulnerable) {
+      report.verdict = Verdict::kVulnerable;
+      for (const SinkVerdict& sv : vuln.verdicts) {
+        if (!sv.exploitable()) continue;
+        Finding finding;
+        finding.sink_name = sv.sink.sink_name;
+        finding.location = sources.describe(sv.sink.loc);
+        if (const SourceFile* sf = sources.file(sv.sink.loc.file)) {
+          finding.source_line = std::string(sf->line(sv.sink.loc.line));
+        }
+        finding.dst_sexpr = sv.dst_sexpr;
+        finding.reach_sexpr = sv.reach_sexpr;
+        finding.witness = sv.witness;
+        report.findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  if (report.verdict != Verdict::kVulnerable && report.budget_exhausted) {
+    report.verdict = Verdict::kAnalysisIncomplete;
+  }
+
+  report.objects_per_path =
+      report.paths == 0
+          ? 0.0
+          : static_cast<double>(report.objects) / static_cast<double>(report.paths);
+  report.memory_mb = static_cast<double>(graph_bytes_total + env_bytes_total) /
+                     (1024.0 * 1024.0);
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace uchecker::core

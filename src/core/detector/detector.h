@@ -1,0 +1,97 @@
+// End-to-end UChecker pipeline (paper Fig. 2):
+//   parsing -> locality analysis -> AST-based symbolic execution ->
+//   vulnerability modeling -> Z3 translation -> SMT verification.
+//
+// Detector::scan() runs the whole pipeline over one application (a set
+// of PHP sources) and produces the measurements of paper Table III:
+// LoC, % of LoC analyzed, paths, objects, objects/path, memory, time,
+// and the verdict, plus per-finding source locations and witnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/callgraph/callgraph.h"
+#include "core/callgraph/locality.h"
+#include "core/interp/interp.h"
+#include "core/vulnmodel/vulnmodel.h"
+#include "support/diag.h"
+#include "support/source.h"
+
+namespace uchecker::core {
+
+struct ScanOptions {
+  Budget budget;
+  VulnModelOptions vuln;
+  LocalityOptions locality;
+  SinkRegistry sinks;        // extend to treat copy()/rename() as sinks
+  bool run_locality = true;  // ablation switch for bench_locality
+};
+
+enum class Verdict : std::uint8_t {
+  kVulnerable,
+  kNotVulnerable,
+  kAnalysisIncomplete,  // budget exhausted before a verdict (paper's
+                        // Cimy-User-Extra-Fields false negative)
+};
+
+[[nodiscard]] std::string_view verdict_name(Verdict v);
+
+struct Finding {
+  std::string sink_name;
+  std::string location;     // "file:line"
+  std::string source_line;  // the vulnerable line of PHP
+  std::string dst_sexpr;
+  std::string reach_sexpr;
+  std::string witness;      // Z3 model, e.g. s_ext = "php"
+};
+
+struct ScanReport {
+  std::string app_name;
+  Verdict verdict = Verdict::kNotVulnerable;
+  std::vector<Finding> findings;
+
+  // Table III columns.
+  std::uint64_t total_loc = 0;
+  std::uint64_t analyzed_loc = 0;
+  double analyzed_percent = 0.0;
+  std::size_t paths = 0;
+  std::size_t objects = 0;
+  double objects_per_path = 0.0;
+  double memory_mb = 0.0;
+  double seconds = 0.0;
+
+  // Extra diagnostics.
+  std::size_t roots = 0;
+  std::size_t sink_hits = 0;
+  std::size_t solver_calls = 0;
+  bool budget_exhausted = false;
+  std::size_t parse_errors = 0;
+
+  [[nodiscard]] bool vulnerable() const {
+    return verdict == Verdict::kVulnerable;
+  }
+};
+
+// One source file of an application.
+struct AppFile {
+  std::string name;
+  std::string content;
+};
+
+struct Application {
+  std::string name;
+  std::vector<AppFile> files;
+};
+
+class Detector {
+ public:
+  explicit Detector(ScanOptions options = {});
+
+  [[nodiscard]] ScanReport scan(const Application& app) const;
+
+ private:
+  ScanOptions options_;
+};
+
+}  // namespace uchecker::core

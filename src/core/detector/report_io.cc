@@ -1,0 +1,98 @@
+#include "core/detector/report_io.h"
+
+#include <cmath>
+
+#include "support/strutil.h"
+
+namespace uchecker::core {
+namespace {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string_view verdict_slug(Verdict v) {
+  switch (v) {
+    case Verdict::kVulnerable: return "vulnerable";
+    case Verdict::kNotVulnerable: return "not_vulnerable";
+    case Verdict::kAnalysisIncomplete: return "analysis_incomplete";
+  }
+  return "invalid";
+}
+
+std::string to_json(const ScanReport& report) {
+  std::string out = "{";
+  out += "\"app\": " + strutil::quote(report.app_name) + ", ";
+  out += "\"verdict\": \"" + std::string(verdict_slug(report.verdict)) +
+         "\", ";
+  out += "\"stats\": {";
+  out += "\"total_loc\": " + std::to_string(report.total_loc) + ", ";
+  out += "\"analyzed_loc\": " + std::to_string(report.analyzed_loc) + ", ";
+  out += "\"analyzed_percent\": " + json_number(report.analyzed_percent) + ", ";
+  out += "\"paths\": " + std::to_string(report.paths) + ", ";
+  out += "\"objects\": " + std::to_string(report.objects) + ", ";
+  out += "\"objects_per_path\": " + json_number(report.objects_per_path) + ", ";
+  out += "\"memory_mb\": " + json_number(report.memory_mb) + ", ";
+  out += "\"seconds\": " + json_number(report.seconds) + ", ";
+  out += "\"roots\": " + std::to_string(report.roots) + ", ";
+  out += "\"sink_hits\": " + std::to_string(report.sink_hits) + ", ";
+  out += "\"solver_calls\": " + std::to_string(report.solver_calls) + ", ";
+  out += std::string("\"budget_exhausted\": ") +
+         (report.budget_exhausted ? "true" : "false") + ", ";
+  out += "\"parse_errors\": " + std::to_string(report.parse_errors);
+  out += "}, \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    if (i != 0) out += ", ";
+    out += "{";
+    out += "\"sink\": " + strutil::quote(f.sink_name) + ", ";
+    out += "\"location\": " + strutil::quote(f.location) + ", ";
+    out += "\"source_line\": " + strutil::quote(f.source_line) + ", ";
+    out += "\"dst\": " + strutil::quote(f.dst_sexpr) + ", ";
+    out += "\"reachability\": " + strutil::quote(f.reach_sexpr) + ", ";
+    out += "\"witness\": " + strutil::quote(f.witness);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_text(const ScanReport& report) {
+  std::string out;
+  out += "application : " + report.app_name + "\n";
+  out += "verdict     : " + std::string(verdict_name(report.verdict)) + "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "analysis    : %llu LoC total, %llu analyzed (%.2f%%), "
+                "%zu root(s)\n",
+                static_cast<unsigned long long>(report.total_loc),
+                static_cast<unsigned long long>(report.analyzed_loc),
+                report.analyzed_percent, report.roots);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "execution   : %zu paths, %zu objects (%.1f/path), %.2f MB, "
+                "%.3fs, %zu solver call(s)\n",
+                report.paths, report.objects, report.objects_per_path,
+                report.memory_mb, report.seconds, report.solver_calls);
+  out += line;
+  if (report.budget_exhausted) {
+    out += "warning     : analysis budget exhausted; results are partial\n";
+  }
+  if (report.parse_errors > 0) {
+    out += "warning     : " + std::to_string(report.parse_errors) +
+           " parse error(s)\n";
+  }
+  for (const Finding& f : report.findings) {
+    out += "finding     : " + f.sink_name + " at " + f.location + "\n";
+    out += "              " + f.source_line + "\n";
+    out += "              exploitable when " + f.witness + "\n";
+  }
+  return out;
+}
+
+}  // namespace uchecker::core

@@ -1,0 +1,33 @@
+// Serialization of ScanReport: machine-readable JSON (stable schema for
+// CI integration) and a human-readable text rendering.
+#pragma once
+
+#include <string>
+
+#include "core/detector/detector.h"
+
+namespace uchecker::core {
+
+// Renders a report as a single JSON object:
+// {
+//   "app": "...", "verdict": "vulnerable" | "not_vulnerable" |
+//   "analysis_incomplete",
+//   "stats": { "total_loc": N, "analyzed_loc": N, "analyzed_percent": X,
+//              "paths": N, "objects": N, "objects_per_path": X,
+//              "memory_mb": X, "seconds": X, "roots": N, "sink_hits": N,
+//              "solver_calls": N, "budget_exhausted": B,
+//              "parse_errors": N },
+//   "findings": [ { "sink": "...", "location": "...", "source_line": "...",
+//                   "dst": "...", "reachability": "...",
+//                   "witness": "..." }, ... ]
+// }
+[[nodiscard]] std::string to_json(const ScanReport& report);
+
+// Multi-line human-readable rendering (what scan_directory prints).
+[[nodiscard]] std::string to_text(const ScanReport& report);
+
+// Stable slug for a verdict ("vulnerable", "not_vulnerable",
+// "analysis_incomplete").
+[[nodiscard]] std::string_view verdict_slug(Verdict v);
+
+}  // namespace uchecker::core

@@ -1,0 +1,41 @@
+#include "core/detector/scan_many.h"
+
+#include <atomic>
+#include <thread>
+
+namespace uchecker::core {
+
+std::vector<ScanReport> scan_many(const Detector& detector,
+                                  const std::vector<Application>& apps,
+                                  unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(apps.size()));
+  std::vector<ScanReport> reports(apps.size());
+  if (apps.empty()) return reports;
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      reports[i] = detector.scan(apps[i]);
+    }
+    return reports;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= apps.size()) return;
+        reports[i] = detector.scan(apps[i]);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return reports;
+}
+
+}  // namespace uchecker::core

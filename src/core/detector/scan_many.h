@@ -1,0 +1,24 @@
+// Parallel scan driver: runs Detector::scan over a batch of
+// applications on a small thread pool.
+//
+// Detector::scan is stateless with respect to the detector object (all
+// analysis state — source manager, heap graph, Z3 context — is created
+// per scan), so scans of distinct applications can run concurrently.
+// Z3 contexts are not shared across threads; each scan owns its own.
+#pragma once
+
+#include <vector>
+
+#include "core/detector/detector.h"
+
+namespace uchecker::core {
+
+// Scans every application, in input order, using up to `threads` worker
+// threads (0 = hardware concurrency). Reports are returned in the same
+// order as the inputs and are identical to serial scans (modulo the
+// wall-clock `seconds` field).
+[[nodiscard]] std::vector<ScanReport> scan_many(
+    const Detector& detector, const std::vector<Application>& apps,
+    unsigned threads = 0);
+
+}  // namespace uchecker::core

@@ -1,0 +1,72 @@
+#include "core/heapgraph/dot.h"
+
+#include "support/strutil.h"
+
+namespace uchecker::core {
+namespace {
+
+std::string node_label(const Object& obj) {
+  std::string text;
+  switch (obj.kind) {
+    case Object::Kind::kConcrete:
+      text = value_to_string(obj.value);
+      break;
+    case Object::Kind::kSymbol:
+      text = obj.name;
+      break;
+    case Object::Kind::kFunc:
+      text = obj.name + "()";
+      break;
+    case Object::Kind::kOp:
+      text = std::string(op_kind_name(obj.op));
+      break;
+    case Object::Kind::kArray:
+      text = "array[" + std::to_string(obj.entries.size()) + "]";
+      break;
+  }
+  return "(" + text + ", " + std::string(type_name(obj.type)) + ", " +
+         std::to_string(obj.label) + ")";
+}
+
+}  // namespace
+
+std::string to_dot(const HeapGraph& graph, const std::vector<Env>& envs) {
+  std::string out = "digraph heapgraph {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const Object& obj : graph.objects()) {
+    out += "  n" + std::to_string(obj.label) + " [label=" +
+           strutil::quote(node_label(obj));
+    if (obj.files_tainted) out += ", style=filled, fillcolor=lightpink";
+    out += "];\n";
+  }
+  for (const Object& obj : graph.objects()) {
+    for (std::size_t i = 0; i < obj.children.size(); ++i) {
+      out += "  n" + std::to_string(obj.label) + " -> n" +
+             std::to_string(obj.children[i]) + " [label=\"" +
+             std::to_string(i) + "\"];\n";
+    }
+    for (const ArrayEntry& e : obj.entries) {
+      out += "  n" + std::to_string(obj.label) + " -> n" +
+             std::to_string(e.value) + " [label=" + strutil::quote(e.key) +
+             ", style=dashed];\n";
+    }
+  }
+  for (std::size_t i = 0; i < envs.size(); ++i) {
+    const std::string env_node = "env" + std::to_string(i + 1);
+    std::string label = "Env_" + std::to_string(i + 1) + "\\n";
+    for (const auto& [var, l] : envs[i].map()) {
+      label += "$" + var + " -> " + std::to_string(l) + "\\n";
+    }
+    label += "cur = " +
+             (envs[i].cur() == kNoLabel ? std::string("null")
+                                        : std::to_string(envs[i].cur()));
+    out += "  " + env_node + " [shape=note, label=\"" + label + "\"];\n";
+    if (envs[i].cur() != kNoLabel) {
+      out += "  " + env_node + " -> n" + std::to_string(envs[i].cur()) +
+             " [style=dotted];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace uchecker::core

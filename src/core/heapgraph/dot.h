@@ -1,0 +1,18 @@
+// Graphviz DOT export of the heap graph and environments, reproducing the
+// visual layout of paper Fig. 4/5/6. Used by the explain_heapgraph example
+// and the figure benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/heapgraph/heapgraph.h"
+
+namespace uchecker::core {
+
+// Renders the heap graph (and, when given, environment variable maps and
+// reachability pointers) as a DOT digraph.
+[[nodiscard]] std::string to_dot(const HeapGraph& graph,
+                                 const std::vector<Env>& envs = {});
+
+}  // namespace uchecker::core

@@ -1,0 +1,219 @@
+#include "core/heapgraph/heapgraph.h"
+
+#include <cassert>
+
+namespace uchecker::core {
+
+std::string_view type_name(Type t) {
+  switch (t) {
+    case Type::kUnknown: return "unknown";
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kInt: return "int";
+    case Type::kFloat: return "float";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+  }
+  return "invalid";
+}
+
+std::string_view op_kind_name(OpKind op) {
+  switch (op) {
+    case OpKind::kAdd: return "+";
+    case OpKind::kSub: return "-";
+    case OpKind::kMul: return "*";
+    case OpKind::kDiv: return "/";
+    case OpKind::kMod: return "%";
+    case OpKind::kPow: return "**";
+    case OpKind::kConcat: return ".";
+    case OpKind::kEqual: return "==";
+    case OpKind::kNotEqual: return "!=";
+    case OpKind::kIdentical: return "===";
+    case OpKind::kNotIdentical: return "!==";
+    case OpKind::kLess: return "<";
+    case OpKind::kGreater: return ">";
+    case OpKind::kLessEqual: return "<=";
+    case OpKind::kGreaterEqual: return ">=";
+    case OpKind::kAnd: return "AND";
+    case OpKind::kOr: return "OR";
+    case OpKind::kXor: return "XOR";
+    case OpKind::kNot: return "NOT";
+    case OpKind::kBitAnd: return "&";
+    case OpKind::kBitOr: return "|";
+    case OpKind::kBitXor: return "^";
+    case OpKind::kShiftLeft: return "<<";
+    case OpKind::kShiftRight: return ">>";
+    case OpKind::kNegate: return "neg";
+    case OpKind::kArrayAccess: return "array_access";
+    case OpKind::kTernary: return "ternary";
+    case OpKind::kCoalesce: return "??";
+  }
+  return "invalid";
+}
+
+std::string_view object_kind_name(Object::Kind kind) {
+  switch (kind) {
+    case Object::Kind::kConcrete: return "concrete";
+    case Object::Kind::kSymbol: return "symbol";
+    case Object::Kind::kFunc: return "func";
+    case Object::Kind::kOp: return "op";
+    case Object::Kind::kArray: return "array";
+  }
+  return "invalid";
+}
+
+std::string value_to_string(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "null"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const { return std::to_string(d); }
+    std::string operator()(const std::string& s) const { return s; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+Type value_type(const Value& v) {
+  struct Visitor {
+    Type operator()(std::monostate) const { return Type::kNull; }
+    Type operator()(bool) const { return Type::kBool; }
+    Type operator()(std::int64_t) const { return Type::kInt; }
+    Type operator()(double) const { return Type::kFloat; }
+    Type operator()(const std::string&) const { return Type::kString; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+Label HeapGraph::insert(Object obj) {
+  obj.label = static_cast<Label>(objects_.size() + 1);
+  edge_count_ += obj.children.size();
+  string_bytes_ += obj.name.size();
+  if (const auto* s = std::get_if<std::string>(&obj.value)) {
+    string_bytes_ += s->size();
+  }
+  for (const ArrayEntry& e : obj.entries) string_bytes_ += e.key.size();
+  objects_.push_back(std::move(obj));
+  return objects_.back().label;
+}
+
+Label HeapGraph::add_concrete(Value value, SourceLoc loc) {
+  Object obj;
+  obj.kind = Object::Kind::kConcrete;
+  obj.type = value_type(value);
+  obj.value = std::move(value);
+  obj.loc = loc;
+  return insert(std::move(obj));
+}
+
+Label HeapGraph::add_symbol(std::string name, Type type, SourceLoc loc,
+                            bool files_tainted) {
+  Object obj;
+  obj.kind = Object::Kind::kSymbol;
+  obj.type = type;
+  obj.name = std::move(name);
+  obj.loc = loc;
+  obj.files_tainted = files_tainted;
+  return insert(std::move(obj));
+}
+
+Label HeapGraph::add_func(std::string name, Type result_type,
+                          std::vector<Label> params, SourceLoc loc) {
+  Object obj;
+  obj.kind = Object::Kind::kFunc;
+  obj.type = result_type;
+  obj.name = std::move(name);
+  obj.children = std::move(params);
+  obj.loc = loc;
+  return insert(std::move(obj));
+}
+
+Label HeapGraph::add_op(OpKind op, Type result_type, std::vector<Label> operands,
+                        SourceLoc loc) {
+  Object obj;
+  obj.kind = Object::Kind::kOp;
+  obj.type = result_type;
+  obj.op = op;
+  obj.children = std::move(operands);
+  obj.loc = loc;
+  return insert(std::move(obj));
+}
+
+Label HeapGraph::add_array(std::vector<ArrayEntry> entries, SourceLoc loc,
+                           bool files_tainted) {
+  Object obj;
+  obj.kind = Object::Kind::kArray;
+  obj.type = Type::kArray;
+  obj.entries = std::move(entries);
+  obj.loc = loc;
+  obj.files_tainted = files_tainted;
+  return insert(std::move(obj));
+}
+
+const Object* HeapGraph::find(Label label) const {
+  if (label == kNoLabel || label > objects_.size()) return nullptr;
+  return &objects_[label - 1];
+}
+
+const Object& HeapGraph::at(Label label) const {
+  const Object* obj = find(label);
+  assert(obj != nullptr && "HeapGraph::at on invalid label");
+  return *obj;
+}
+
+void HeapGraph::refine_type(Label label, Type type) {
+  if (label == kNoLabel || label > objects_.size()) return;
+  Object& obj = objects_[label - 1];
+  if (obj.type == Type::kUnknown) obj.type = type;
+}
+
+void HeapGraph::mark_files_tainted(Label label) {
+  if (label == kNoLabel || label > objects_.size()) return;
+  objects_[label - 1].files_tainted = true;
+}
+
+bool HeapGraph::reaches_files_taint(Label label) const {
+  // Iterative DFS over children (and array entry values). The graph is
+  // acyclic by construction (children always have smaller labels), so no
+  // visited set is required for termination, but we keep one to bound
+  // work on heavily shared DAGs.
+  std::vector<Label> stack{label};
+  std::vector<bool> visited(objects_.size() + 1, false);
+  while (!stack.empty()) {
+    const Label l = stack.back();
+    stack.pop_back();
+    const Object* obj = find(l);
+    if (obj == nullptr || visited[l]) continue;
+    visited[l] = true;
+    if (obj->files_tainted) return true;
+    for (Label child : obj->children) stack.push_back(child);
+    for (const ArrayEntry& e : obj->entries) stack.push_back(e.value);
+  }
+  return false;
+}
+
+std::size_t HeapGraph::memory_bytes() const {
+  return objects_.size() * sizeof(Object) + edge_count_ * sizeof(Label) +
+         string_bytes_;
+}
+
+std::size_t Env::memory_bytes() const {
+  std::size_t bytes = sizeof(Env);
+  for (const auto& [name, label] : map_) {
+    bytes += name.size() + sizeof(label) + 48;  // rb-tree node overhead
+  }
+  return bytes;
+}
+
+void extend_reachability(HeapGraph& graph, Env& env, Label label) {
+  if (label == kNoLabel) return;
+  if (env.cur() == kNoLabel) {
+    env.set_cur(label);
+    return;
+  }
+  // cur != null: conjoin via a boolean AND node (paper's ER()).
+  const Label conj = graph.add_op(OpKind::kAnd, Type::kBool,
+                                  {env.cur(), label}, graph.at(label).loc);
+  env.set_cur(conj);
+}
+
+}  // namespace uchecker::core

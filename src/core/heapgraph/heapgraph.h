@@ -1,0 +1,204 @@
+// The heap graph G = {C, S, FUNC, OP, L, T, O_C, O_S, O_FUNC, O_OP, Edge}
+// of paper §III-B1, plus per-path environments Env = {Var, Map, cur}.
+//
+// The heap graph is an append-only arena of immutable objects. Each object
+// gets a unique label (its index + 1, so labels match the paper's 1-based
+// numbering). Edges are stored as an ordered child list on the source
+// object, preserving operand order ("left"/"right") as §III-B3 requires.
+//
+// Objects are shared across environments: forking a path at a conditional
+// copies only the small Var->Label map, never graph nodes. This is the
+// paper's memory-compactness argument (Table III "Objects / Path").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/source.h"
+
+namespace uchecker::core {
+
+// Lightweight PHP type lattice used for light-weight type inference and
+// for the Z3 translation's coercion rules. kUnknown is the paper's ⊥.
+enum class Type : std::uint8_t {
+  kUnknown, kNull, kBool, kInt, kFloat, kString, kArray,
+};
+
+[[nodiscard]] std::string_view type_name(Type t);
+
+// Labels are 1-based; 0 is "no object" (the paper's null).
+using Label = std::uint32_t;
+inline constexpr Label kNoLabel = 0;
+
+// Operator vocabulary for O_OP nodes. Mirrors PHP source operators plus
+// the special array_access operation of §III-B3 and the AND/NOT nodes
+// introduced by ER() / branch negation.
+enum class OpKind : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kPow, kConcat,
+  kEqual, kNotEqual, kIdentical, kNotIdentical,
+  kLess, kGreater, kLessEqual, kGreaterEqual,
+  kAnd, kOr, kXor, kNot,
+  kBitAnd, kBitOr, kBitXor, kShiftLeft, kShiftRight,
+  kNegate,        // unary minus
+  kArrayAccess,   // (array_access base index)
+  kTernary,       // (ternary cond then else) — kept for value modeling
+  kCoalesce,
+};
+
+[[nodiscard]] std::string_view op_kind_name(OpKind op);
+
+// Concrete PHP value payload for O_C nodes.
+using Value = std::variant<std::monostate,  // null
+                           bool, std::int64_t, double, std::string>;
+
+[[nodiscard]] std::string value_to_string(const Value& v);
+[[nodiscard]] Type value_type(const Value& v);
+
+// One entry of a known-structure array object. Keys are stored as strings
+// with an is-int flag (PHP array keys are int|string).
+struct ArrayEntry {
+  std::string key;
+  bool int_key = false;
+  Label value = kNoLabel;
+};
+
+// A node in the heap graph. Exactly one of the payloads is meaningful,
+// selected by `kind`:
+//   kConcrete: `value`
+//   kSymbol:   `name` (the symbolic value's display name)
+//   kFunc:     `name` (builtin function name) + `children` (parameters)
+//   kOp:       `op` + `children` (ordered operands)
+//   kArray:    `entries` (known structure array; used for array literals
+//              and the pre-structured $_FILES array of §III-B4)
+struct Object {
+  enum class Kind : std::uint8_t { kConcrete, kSymbol, kFunc, kOp, kArray };
+
+  Kind kind = Kind::kSymbol;
+  Type type = Type::kUnknown;
+  Label label = kNoLabel;
+  SourceLoc loc;
+
+  Value value;
+  std::string name;
+  OpKind op = OpKind::kAdd;
+  std::vector<Label> children;
+  std::vector<ArrayEntry> entries;
+
+  // Constraint-1 bookkeeping: true when this object originates from the
+  // $_FILES superglobal (directly, or via the pre-structured array).
+  bool files_tainted = false;
+};
+
+[[nodiscard]] std::string_view object_kind_name(Object::Kind kind);
+
+class HeapGraph {
+ public:
+  HeapGraph() = default;
+
+  // --- node constructors (Create_*_Obj + Add_*_Obj of §III-B2, fused:
+  //     labels are assigned uniquely on insertion).
+  Label add_concrete(Value value, SourceLoc loc = {});
+  Label add_symbol(std::string name, Type type, SourceLoc loc = {},
+                   bool files_tainted = false);
+  Label add_func(std::string name, Type result_type, std::vector<Label> params,
+                 SourceLoc loc = {});
+  Label add_op(OpKind op, Type result_type, std::vector<Label> operands,
+               SourceLoc loc = {});
+  Label add_array(std::vector<ArrayEntry> entries, SourceLoc loc = {},
+                  bool files_tainted = false);
+
+  // Find(G, l) — returns nullptr when l is kNoLabel or out of range.
+  [[nodiscard]] const Object* find(Label label) const;
+  // Checked access; label must be valid.
+  [[nodiscard]] const Object& at(Label label) const;
+
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  // Refines the type of an object whose type is still kUnknown. Used by
+  // the interpreter's light-weight type inference (§III-B4); refinement
+  // is monotone: a known type is never overwritten.
+  void refine_type(Label label, Type type);
+
+  // Marks an object as $_FILES-tainted after creation (used when a
+  // symbol is later discovered to alias uploaded-file state).
+  void mark_files_tainted(Label label);
+
+  // Constraint-1 of §III-C: does any path in G lead from `label` to an
+  // object that originates from $_FILES?
+  [[nodiscard]] bool reaches_files_taint(Label label) const;
+
+  // Approximate resident size, for the Table III "Memory" column.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  // All objects, label order. Exposed for DOT export and tests.
+  [[nodiscard]] const std::vector<Object>& objects() const { return objects_; }
+
+ private:
+  Label insert(Object obj);
+
+  std::vector<Object> objects_;
+  std::size_t edge_count_ = 0;
+  std::size_t string_bytes_ = 0;
+};
+
+// -------------------------------------------------------------------------
+// Per-path environment (paper §III-B1): variable map + reachability.
+
+class Env {
+ public:
+  // How this path's execution ended (drives statement skipping).
+  enum class Status : std::uint8_t { kRunning, kReturned, kExited };
+
+  Env() = default;
+
+  [[nodiscard]] Label get_map(const std::string& var) const {
+    const auto it = map_.find(var);
+    return it == map_.end() ? kNoLabel : it->second;
+  }
+  void add_map(const std::string& var, Label label) { map_[var] = label; }
+  void remove_map(const std::string& var) { map_.erase(var); }
+
+  [[nodiscard]] const std::map<std::string, Label>& map() const { return map_; }
+  void set_map(std::map<std::string, Label> m) { map_ = std::move(m); }
+
+  [[nodiscard]] Label cur() const { return cur_; }
+  void set_cur(Label label) { cur_ = label; }
+
+  [[nodiscard]] Status status() const { return status_; }
+  void set_status(Status s) { status_ = s; }
+  [[nodiscard]] bool running() const { return status_ == Status::kRunning; }
+
+  [[nodiscard]] Label return_value() const { return return_value_; }
+  void set_return_value(Label label) { return_value_ = label; }
+
+  // Operand stack used by the interpreter's expression evaluation. A path
+  // fork copies the stack, keeping partial results aligned with paths.
+  [[nodiscard]] std::vector<Label>& stack() { return stack_; }
+  [[nodiscard]] const std::vector<Label>& stack() const { return stack_; }
+
+  // Saved caller variable maps for inlined user-function calls.
+  [[nodiscard]] std::vector<std::map<std::string, Label>>& frames() {
+    return frames_;
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  std::map<std::string, Label> map_;
+  Label cur_ = kNoLabel;  // kNoLabel == the paper's cur = null
+  Status status_ = Status::kRunning;
+  Label return_value_ = kNoLabel;
+  std::vector<Label> stack_;
+  std::vector<std::map<std::string, Label>> frames_;
+};
+
+// ER(G, Env, l) of §III-B2 ("Extend_Reachability"): conjoins the object
+// `label` onto the environment's reachability constraint.
+void extend_reachability(HeapGraph& graph, Env& env, Label label);
+
+}  // namespace uchecker::core

@@ -1,0 +1,71 @@
+#include "core/heapgraph/sexpr.h"
+
+#include "support/strutil.h"
+
+namespace uchecker::core {
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+void render(const HeapGraph& graph, Label label, std::string& out, int depth) {
+  if (depth > kMaxDepth) {
+    out += "...";
+    return;
+  }
+  const Object* obj = graph.find(label);
+  if (obj == nullptr) {
+    out += "null";
+    return;
+  }
+  switch (obj->kind) {
+    case Object::Kind::kConcrete:
+      if (obj->type == Type::kString) {
+        out += strutil::quote(std::get<std::string>(obj->value));
+      } else {
+        out += value_to_string(obj->value);
+      }
+      break;
+    case Object::Kind::kSymbol:
+      out += obj->name;
+      break;
+    case Object::Kind::kFunc:
+      out += '(';
+      out += obj->name;
+      for (Label child : obj->children) {
+        out += ' ';
+        render(graph, child, out, depth + 1);
+      }
+      out += ')';
+      break;
+    case Object::Kind::kOp:
+      out += '(';
+      out += op_kind_name(obj->op);
+      for (Label child : obj->children) {
+        out += ' ';
+        render(graph, child, out, depth + 1);
+      }
+      out += ')';
+      break;
+    case Object::Kind::kArray:
+      out += "(array";
+      for (const ArrayEntry& e : obj->entries) {
+        out += " (";
+        out += e.int_key ? e.key : strutil::quote(e.key);
+        out += " . ";
+        render(graph, e.value, out, depth + 1);
+        out += ')';
+      }
+      out += ')';
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_sexpr(const HeapGraph& graph, Label label) {
+  std::string out;
+  render(graph, label, out, 0);
+  return out;
+}
+
+}  // namespace uchecker::core

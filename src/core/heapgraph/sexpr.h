@@ -1,0 +1,20 @@
+// S-expression rendering of heap-graph objects (paper §III-B1: "the
+// tree-like structure of the heap graph enables the s-expression-based
+// representation of an object value").
+//
+// The rendered form matches the paper's notation, e.g. the reachability
+// constraint of Listing 2's first path renders as  (> (+ s 55) 10).
+#pragma once
+
+#include <string>
+
+#include "core/heapgraph/heapgraph.h"
+
+namespace uchecker::core {
+
+// Renders the value rooted at `label` as a PHP-semantics s-expression.
+// Concrete strings are quoted; symbols render as their names. Cycles are
+// impossible (the graph is a DAG built bottom-up) but depth is guarded.
+[[nodiscard]] std::string to_sexpr(const HeapGraph& graph, Label label);
+
+}  // namespace uchecker::core

@@ -1,0 +1,537 @@
+#include "core/interp/builtins.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/interp/interp.h"
+#include "support/strutil.h"
+
+namespace uchecker::core {
+namespace {
+
+using Handler = std::function<Label(BuiltinContext&)>;
+
+Label arg_or_fresh(BuiltinContext& ctx, std::size_t i, Type type,
+                   const char* hint) {
+  if (i < ctx.args.size() && ctx.args[i] != kNoLabel) return ctx.args[i];
+  return ctx.interp.fresh_symbol(hint, type, ctx.loc);
+}
+
+// Typed opaque model: an O_FUNC node over the argument objects.
+Label opaque(BuiltinContext& ctx, const std::string& name, Type type) {
+  std::vector<Label> children;
+  for (Label a : ctx.args) {
+    if (a != kNoLabel) children.push_back(a);
+  }
+  return ctx.graph.add_func(name, type, std::move(children), ctx.loc);
+}
+
+// Recognizes (stem . "." . ext) built by the pre-structured $_FILES
+// model behind identity wrappers; returns {stem, ext} labels.
+std::optional<std::pair<Label, Label>> find_name_parts(BuiltinContext& ctx,
+                                                       Label label) {
+  const Label resolved = resolve_through_identity(ctx.graph, label);
+  return ctx.interp.name_parts(resolved);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic models
+
+Label model_basename(BuiltinContext& ctx) {
+  const Label arg = arg_or_fresh(ctx, 0, Type::kString, "basename_arg");
+  const Object& obj = ctx.graph.at(arg);
+  if (obj.kind == Object::Kind::kConcrete && obj.type == Type::kString) {
+    const std::string base(
+        strutil::path_basename(std::get<std::string>(obj.value)));
+    return ctx.graph.add_concrete(Value(base), ctx.loc);
+  }
+  return ctx.graph.add_func("basename", Type::kString, {arg}, ctx.loc);
+}
+
+Label model_pathinfo(BuiltinContext& ctx) {
+  const Label arg = arg_or_fresh(ctx, 0, Type::kString, "pathinfo_arg");
+  const auto parts = find_name_parts(ctx, arg);
+
+  // Which component? Second argument is a PATHINFO_* constant.
+  std::int64_t component = 0;  // 0 == whole array
+  if (ctx.args.size() > 1) {
+    const Object& sel = ctx.graph.at(ctx.args[1]);
+    if (sel.kind == Object::Kind::kConcrete && sel.type == Type::kInt) {
+      component = std::get<std::int64_t>(sel.value);
+    } else {
+      component = -1;  // dynamic selector: fall back to a fresh symbol
+    }
+  }
+
+  const auto stem_label = [&] {
+    return parts ? parts->first
+                 : ctx.interp.fresh_symbol("pathinfo_filename", Type::kString,
+                                           ctx.loc);
+  };
+  const auto ext_label = [&] {
+    return parts ? parts->second
+                 : ctx.interp.fresh_symbol("pathinfo_ext", Type::kString,
+                                           ctx.loc);
+  };
+
+  switch (component) {
+    case 0: {  // full array: dirname, basename, extension, filename
+      std::vector<ArrayEntry> entries{
+          {"dirname", false,
+           ctx.interp.fresh_symbol("pathinfo_dir", Type::kString, ctx.loc)},
+          {"basename", false, arg},
+          {"extension", false, ext_label()},
+          {"filename", false, stem_label()},
+      };
+      return ctx.graph.add_array(std::move(entries), ctx.loc);
+    }
+    case 1:  // PATHINFO_DIRNAME
+      return ctx.interp.fresh_symbol("pathinfo_dir", Type::kString, ctx.loc);
+    case 2:  // PATHINFO_BASENAME
+      return arg;
+    case 4:  // PATHINFO_EXTENSION
+      return ext_label();
+    case 8:  // PATHINFO_FILENAME
+      return stem_label();
+    default:
+      return ctx.interp.fresh_symbol("pathinfo", Type::kString, ctx.loc);
+  }
+}
+
+Label model_explode(BuiltinContext& ctx) {
+  // explode('.', $files_name) is the idiomatic extension split; when the
+  // subject is the pre-structured name, return a known-structure array
+  // [stem, ext] so end()/[count-1] retrieves the extension symbol.
+  if (ctx.args.size() >= 2) {
+    const Object& sep = ctx.graph.at(ctx.args[0]);
+    if (sep.kind == Object::Kind::kConcrete && sep.type == Type::kString &&
+        std::get<std::string>(sep.value) == ".") {
+      if (const auto parts = find_name_parts(ctx, ctx.args[1])) {
+        std::vector<ArrayEntry> entries{
+            {"0", true, parts->first},
+            {"1", true, parts->second},
+        };
+        return ctx.graph.add_array(std::move(entries), ctx.loc);
+      }
+    }
+  }
+  return opaque(ctx, "explode", Type::kArray);
+}
+
+Label model_end(BuiltinContext& ctx) {
+  // Table II "Tail Element": trl(e_n) when the haystack structure is
+  // known; a fresh string symbol otherwise.
+  const Label arg = arg_or_fresh(ctx, 0, Type::kArray, "end_arg");
+  const Object& obj = ctx.graph.at(arg);
+  if (obj.kind == Object::Kind::kArray && !obj.entries.empty()) {
+    return obj.entries.back().value;
+  }
+  return ctx.graph.add_func("end", Type::kString, {arg}, ctx.loc);
+}
+
+Label model_reset(BuiltinContext& ctx) {
+  const Label arg = arg_or_fresh(ctx, 0, Type::kArray, "reset_arg");
+  const Object& obj = ctx.graph.at(arg);
+  if (obj.kind == Object::Kind::kArray && !obj.entries.empty()) {
+    return obj.entries.front().value;
+  }
+  return ctx.graph.add_func("reset", Type::kString, {arg}, ctx.loc);
+}
+
+Label model_in_array(BuiltinContext& ctx) {
+  // Table II "Array Check": an OR over equality tests when the haystack
+  // is a recognized array; a fresh symbol otherwise.
+  if (ctx.args.size() >= 2) {
+    const Label needle = ctx.args[0];
+    const Object& haystack = ctx.graph.at(ctx.args[1]);
+    if (haystack.kind == Object::Kind::kArray && !haystack.entries.empty()) {
+      // Copy: adding op nodes below may reallocate the object arena and
+      // invalidate `haystack`.
+      const std::vector<ArrayEntry> entries = haystack.entries;
+      Label acc = kNoLabel;
+      for (const ArrayEntry& e : entries) {
+        const Label eq = ctx.graph.add_op(OpKind::kEqual, Type::kBool,
+                                          {needle, e.value}, ctx.loc);
+        acc = acc == kNoLabel
+                  ? eq
+                  : ctx.graph.add_op(OpKind::kOr, Type::kBool, {acc, eq},
+                                     ctx.loc);
+      }
+      return acc;
+    }
+  }
+  return ctx.interp.fresh_symbol("in_array", Type::kBool, ctx.loc);
+}
+
+Label model_array_keys(BuiltinContext& ctx) {
+  const Label arg = arg_or_fresh(ctx, 0, Type::kArray, "array_keys_arg");
+  const Object& obj = ctx.graph.at(arg);
+  if (obj.kind == Object::Kind::kArray) {
+    // Copy: adding key objects below may reallocate the object arena.
+    const std::vector<ArrayEntry> source = obj.entries;
+    std::vector<ArrayEntry> entries;
+    std::int64_t i = 0;
+    for (const ArrayEntry& e : source) {
+      const Label key = ctx.graph.add_concrete(
+          e.int_key ? Value(strutil::php_intval(e.key)) : Value(e.key),
+          ctx.loc);
+      entries.push_back(ArrayEntry{std::to_string(i++), true, key});
+    }
+    return ctx.graph.add_array(std::move(entries), ctx.loc);
+  }
+  return opaque(ctx, "array_keys", Type::kArray);
+}
+
+Label model_count(BuiltinContext& ctx) {
+  const Label arg = arg_or_fresh(ctx, 0, Type::kArray, "count_arg");
+  const Object& obj = ctx.graph.at(arg);
+  if (obj.kind == Object::Kind::kArray) {
+    return ctx.graph.add_concrete(
+        Value(static_cast<std::int64_t>(obj.entries.size())), ctx.loc);
+  }
+  return ctx.graph.add_func("count", Type::kInt, {arg}, ctx.loc);
+}
+
+Label model_array_merge(BuiltinContext& ctx) {
+  // Merge known-structure arrays; any unknown operand degrades the whole
+  // result to an opaque array (its keys are unknowable).
+  std::vector<ArrayEntry> entries;
+  std::int64_t next_index = 0;
+  for (Label arg : ctx.args) {
+    const Object& obj = ctx.graph.at(arg);
+    if (obj.kind != Object::Kind::kArray) {
+      return opaque(ctx, "array_merge", Type::kArray);
+    }
+    for (const ArrayEntry& e : obj.entries) {
+      ArrayEntry merged = e;
+      if (e.int_key) {
+        // PHP renumbers integer keys on merge.
+        merged.key = std::to_string(next_index++);
+      }
+      // String keys: later arrays overwrite earlier ones.
+      bool replaced = false;
+      if (!merged.int_key) {
+        for (ArrayEntry& existing : entries) {
+          if (!existing.int_key && existing.key == merged.key) {
+            existing.value = merged.value;
+            replaced = true;
+            break;
+          }
+        }
+      }
+      if (!replaced) entries.push_back(std::move(merged));
+    }
+  }
+  return ctx.graph.add_array(std::move(entries), ctx.loc);
+}
+
+Label model_implode(BuiltinContext& ctx) {
+  // implode(glue, known-array) desugars into a concatenation chain, so
+  // extension symbols keep flowing through path assembly.
+  if (ctx.args.size() >= 2) {
+    const Object& glue = ctx.graph.at(ctx.args[0]);
+    const Object& arr = ctx.graph.at(ctx.args[1]);
+    if (glue.kind == Object::Kind::kConcrete &&
+        glue.type == Type::kString &&
+        arr.kind == Object::Kind::kArray && !arr.entries.empty()) {
+      // Copy glue text and entries: adding concat nodes below may
+      // reallocate the object arena and invalidate `glue`/`arr`.
+      const std::string glue_text = std::get<std::string>(glue.value);
+      const std::vector<ArrayEntry> entries = arr.entries;
+      Label acc = entries.front().value;
+      for (std::size_t i = 1; i < entries.size(); ++i) {
+        const Label g = ctx.graph.add_concrete(Value(glue_text), ctx.loc);
+        acc = ctx.graph.add_op(OpKind::kConcat, Type::kString, {acc, g},
+                               ctx.loc);
+        acc = ctx.graph.add_op(OpKind::kConcat, Type::kString,
+                               {acc, entries[i].value}, ctx.loc);
+      }
+      return acc;
+    }
+  }
+  return opaque(ctx, "implode", Type::kString);
+}
+
+Label model_sprintf(BuiltinContext& ctx) {
+  // Concrete formats containing only %s/%d directives desugar into a
+  // concatenation chain, preserving extension flow through the format.
+  if (!ctx.args.empty()) {
+    const Object& fmt = ctx.graph.at(ctx.args[0]);
+    if (fmt.kind == Object::Kind::kConcrete && fmt.type == Type::kString) {
+      const std::string& format = std::get<std::string>(fmt.value);
+      std::vector<Label> pieces;
+      std::string literal;
+      std::size_t next_arg = 1;
+      bool simple = true;
+      for (std::size_t i = 0; i < format.size() && simple; ++i) {
+        if (format[i] == '%' && i + 1 < format.size()) {
+          const char d = format[i + 1];
+          if (d == '%') {
+            literal += '%';
+            ++i;
+          } else if (d == 's' || d == 'd') {
+            if (!literal.empty()) {
+              pieces.push_back(ctx.graph.add_concrete(Value(literal), ctx.loc));
+              literal.clear();
+            }
+            pieces.push_back(
+                arg_or_fresh(ctx, next_arg++, Type::kString, "sprintf_arg"));
+            ++i;
+          } else {
+            simple = false;
+          }
+        } else {
+          literal += format[i];
+        }
+      }
+      if (simple) {
+        if (!literal.empty()) {
+          pieces.push_back(ctx.graph.add_concrete(Value(literal), ctx.loc));
+        }
+        if (pieces.empty()) {
+          return ctx.graph.add_concrete(Value(std::string()), ctx.loc);
+        }
+        Label acc = pieces[0];
+        for (std::size_t i = 1; i < pieces.size(); ++i) {
+          acc = ctx.graph.add_op(OpKind::kConcat, Type::kString,
+                                 {acc, pieces[i]}, ctx.loc);
+        }
+        return acc;
+      }
+    }
+  }
+  return opaque(ctx, "sprintf", Type::kString);
+}
+
+Label model_strrchr(BuiltinContext& ctx) {
+  // strrchr($name, '.') on the pre-structured name yields "." . ext.
+  if (ctx.args.size() >= 2) {
+    const Object& needle = ctx.graph.at(ctx.args[1]);
+    if (needle.kind == Object::Kind::kConcrete &&
+        needle.type == Type::kString &&
+        std::get<std::string>(needle.value) == ".") {
+      if (const auto parts = find_name_parts(ctx, ctx.args[0])) {
+        const Label dot = ctx.graph.add_concrete(Value(std::string(".")),
+                                                 ctx.loc);
+        return ctx.graph.add_op(OpKind::kConcat, Type::kString,
+                                {dot, parts->second}, ctx.loc);
+      }
+    }
+  }
+  return opaque(ctx, "strrchr", Type::kString);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+const std::map<std::string, Handler>& semantic_registry() {
+  static const auto* registry = new std::map<std::string, Handler>{
+      {"basename", model_basename},
+      {"pathinfo", model_pathinfo},
+      {"explode", model_explode},
+      {"end", model_end},
+      {"reset", model_reset},
+      {"current", model_reset},
+      {"in_array", model_in_array},
+      {"array_keys", model_array_keys},
+      {"count", model_count},
+      {"sizeof", model_count},
+      {"sprintf", model_sprintf},
+      {"strrchr", model_strrchr},
+      {"array_merge", model_array_merge},
+      {"implode", model_implode},
+      {"join", model_implode},
+  };
+  return *registry;
+}
+
+// Result types for typed opaque builtins (Table II operations plus the
+// common library surface of WordPress-style plugins).
+const std::map<std::string, Type>& typed_registry() {
+  static const auto* registry = new std::map<std::string, Type>{
+      {"strlen", Type::kInt},
+      {"strpos", Type::kInt},
+      {"strrpos", Type::kInt},
+      {"stripos", Type::kInt},
+      {"intval", Type::kInt},
+      {"abs", Type::kInt},
+      {"filesize", Type::kInt},
+      {"time", Type::kInt},
+      {"rand", Type::kInt},
+      {"mt_rand", Type::kInt},
+      {"substr", Type::kString},
+      {"str_replace", Type::kString},
+      {"preg_replace", Type::kString},
+      {"strstr", Type::kString},
+      {"strval", Type::kString},
+      {"implode", Type::kString},
+      {"join", Type::kString},
+      {"md5", Type::kString},
+      {"sha1", Type::kString},
+      {"uniqid", Type::kString},
+      {"date", Type::kString},
+      {"dirname", Type::kString},
+      {"realpath", Type::kString},
+      {"tempnam", Type::kString},
+      {"json_encode", Type::kString},
+      {"serialize", Type::kString},
+      {"wp_generate_password", Type::kString},
+      {"number_format", Type::kString},
+      {"file_exists", Type::kBool},
+      {"is_dir", Type::kBool},
+      {"is_file", Type::kBool},
+      {"is_writable", Type::kBool},
+      {"is_readable", Type::kBool},
+      {"is_uploaded_file", Type::kBool},
+      {"mkdir", Type::kBool},
+      {"unlink", Type::kBool},
+      {"chmod", Type::kBool},
+      {"copy", Type::kBool},
+      {"rename", Type::kBool},
+      {"fwrite", Type::kInt},
+      {"fclose", Type::kBool},
+      {"preg_match", Type::kInt},
+      {"function_exists", Type::kBool},
+      {"current_user_can", Type::kBool},
+      {"is_admin", Type::kBool},
+      {"wp_verify_nonce", Type::kBool},
+      {"check_admin_referer", Type::kBool},
+      {"getimagesize", Type::kArray},
+      {"wp_handle_upload", Type::kArray},
+      {"wp_check_filetype", Type::kArray},
+      {"get_option", Type::kUnknown},
+      {"wp_upload_dir", Type::kUnknown},
+      {"get_current_user_id", Type::kInt},
+      {"update_option", Type::kBool},
+      {"update_user_meta", Type::kBool},
+      {"get_user_meta", Type::kUnknown},
+      {"esc_attr", Type::kString},
+      {"esc_html", Type::kString},
+      {"esc_url", Type::kString},
+      {"__", Type::kString},
+      {"_e", Type::kString},
+      {"fopen", Type::kUnknown},
+      {"fread", Type::kString},
+      {"file_get_contents", Type::kString},
+      {"ini_get", Type::kString},
+      {"extract", Type::kInt},
+      {"error_log", Type::kBool},
+      {"header", Type::kNull},
+      {"die", Type::kNull},
+      {"wp_die", Type::kNull},
+      {"plugin_dir_path", Type::kString},
+      {"plugin_dir_url", Type::kString},
+      {"plugins_url", Type::kString},
+      {"admin_url", Type::kString},
+      {"site_url", Type::kString},
+      {"home_url", Type::kString},
+      {"wp_mkdir_p", Type::kBool},
+      {"trailingslashit", Type::kString},
+      {"wp_max_upload_size", Type::kInt},
+      {"size_format", Type::kString},
+      {"wp_insert_attachment", Type::kInt},
+      {"wp_update_attachment_metadata", Type::kBool},
+      {"wp_generate_attachment_metadata", Type::kArray},
+      {"get_post_meta", Type::kUnknown},
+      {"update_post_meta", Type::kBool},
+      {"wp_enqueue_script", Type::kNull},
+      {"wp_enqueue_style", Type::kNull},
+      {"add_option", Type::kBool},
+      {"delete_option", Type::kBool},
+      {"zip_open", Type::kUnknown},
+      {"ziparchive::open", Type::kBool},
+      {"apply_filters", Type::kUnknown},
+      {"do_action", Type::kNull},
+  };
+  return *registry;
+}
+
+// Hook registrars return true and have no symbolic effect here: the call
+// graph already models their callback edges.
+bool is_hook_registrar(const std::string& name) {
+  return name == "add_action" || name == "add_filter" ||
+         name == "remove_action" || name == "remove_filter" ||
+         name == "register_activation_hook" ||
+         name == "register_deactivation_hook" ||
+         name == "add_shortcode" || name == "add_menu_page" ||
+         name == "add_submenu_page" || name == "add_options_page";
+}
+
+}  // namespace
+
+bool is_identity_builtin(const std::string& name) {
+  return name == "strtolower" || name == "strtoupper" || name == "trim" ||
+         name == "ltrim" || name == "rtrim" || name == "stripslashes" ||
+         name == "addslashes" || name == "urldecode" ||
+         name == "rawurldecode" || name == "urlencode" ||
+         name == "sanitize_file_name" || name == "sanitize_text_field" ||
+         name == "wp_unslash" || name == "htmlspecialchars" ||
+         name == "wp_unique_filename" || name == "strval" ||
+         name == "ucfirst" || name == "lcfirst" || name == "ucwords" ||
+         name == "mb_strtolower" || name == "mb_strtoupper";
+}
+
+Label resolve_through_identity(const HeapGraph& graph, Label label) {
+  for (int guard = 0; guard < 64; ++guard) {
+    const Object* obj = graph.find(label);
+    if (obj == nullptr || obj->kind != Object::Kind::kFunc ||
+        obj->children.empty()) {
+      return label;
+    }
+    if (is_identity_builtin(obj->name) || obj->name == "basename") {
+      label = obj->children.back();
+      continue;
+    }
+    return label;
+  }
+  return label;
+}
+
+Label dispatch_builtin(BuiltinContext& ctx, const std::string& name) {
+  const auto& semantic = semantic_registry();
+  if (const auto it = semantic.find(name); it != semantic.end()) {
+    return it->second(ctx);
+  }
+  if (is_identity_builtin(name)) {
+    const Label arg = arg_or_fresh(ctx, 0, Type::kString, "identity_arg");
+    ctx.graph.refine_type(arg, Type::kString);
+    return ctx.graph.add_func(name, Type::kString, {arg}, ctx.loc);
+  }
+  if (is_hook_registrar(name)) {
+    return ctx.graph.add_concrete(Value(true), ctx.loc);
+  }
+  const auto& typed = typed_registry();
+  if (const auto it = typed.find(name); it != typed.end()) {
+    return opaque(ctx, name, it->second);
+  }
+  // Level 3: unknown function, unknown type.
+  return opaque(ctx, name, Type::kUnknown);
+}
+
+Label builtin_const_value(Interpreter& interp, const std::string& name,
+                          SourceLoc loc) {
+  HeapGraph& graph = interp.graph();
+  static const std::map<std::string, std::int64_t>* int_consts =
+      new std::map<std::string, std::int64_t>{
+          {"PATHINFO_DIRNAME", 1},    {"PATHINFO_BASENAME", 2},
+          {"PATHINFO_EXTENSION", 4},  {"PATHINFO_FILENAME", 8},
+          {"UPLOAD_ERR_OK", 0},       {"UPLOAD_ERR_INI_SIZE", 1},
+          {"UPLOAD_ERR_FORM_SIZE", 2}, {"UPLOAD_ERR_PARTIAL", 3},
+          {"UPLOAD_ERR_NO_FILE", 4},  {"PHP_INT_MAX", 9223372036854775807LL},
+          {"E_ALL", 32767},           {"E_ERROR", 1},
+          {"JSON_PRETTY_PRINT", 128}, {"FILTER_VALIDATE_INT", 257},
+      };
+  if (const auto it = int_consts->find(name); it != int_consts->end()) {
+    return graph.add_concrete(Value(it->second), loc);
+  }
+  if (name == "DIRECTORY_SEPARATOR") {
+    return graph.add_concrete(Value(std::string("/")), loc);
+  }
+  if (name == "PHP_EOL") {
+    return graph.add_concrete(Value(std::string("\n")), loc);
+  }
+  return interp.fresh_symbol("const_" + name, Type::kUnknown, loc);
+}
+
+}  // namespace uchecker::core

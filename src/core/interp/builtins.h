@@ -1,0 +1,62 @@
+// Models of PHP built-in (and WordPress platform) functions for symbolic
+// execution (paper §III-B4: FUNC "is initialized with built-in functions
+// of PHP languages or specific platforms (such as WordPress)").
+//
+// Three levels of modeling fidelity:
+//   1. Semantic models — functions whose result structure matters for the
+//      upload constraints: pathinfo(), explode(), end(), in_array(),
+//      basename(), sprintf(), $_FILES-aware helpers. These return
+//      structured heap-graph values (e.g. the very extension symbol the
+//      pre-structured $_FILES model introduced).
+//   2. Typed opaque models — functions with a known result type
+//      (strlen -> int, substr -> string, ...). These become O_FUNC nodes
+//      that the Z3 translation layer maps per paper Table II.
+//   3. Unknown functions — become O_FUNC nodes of unknown type; the
+//      translation replaces them by fresh symbols of the expected sort
+//      (paper §III-D's exception rule).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/heapgraph/heapgraph.h"
+#include "phpast/ast.h"
+#include "support/source.h"
+
+namespace uchecker::core {
+
+class Interpreter;
+
+struct BuiltinContext {
+  Interpreter& interp;
+  HeapGraph& graph;
+  Env& env;
+  SourceLoc loc;
+  const std::vector<Label>& args;                   // evaluated, this env
+  const std::vector<const phpast::Expr*>& arg_exprs;  // source expressions
+};
+
+// Evaluates builtin `name` (lowercase) for one environment; returns the
+// result object's label. Unknown names get the level-3 default model.
+[[nodiscard]] Label dispatch_builtin(BuiltinContext& ctx,
+                                     const std::string& name);
+
+// Value of a PHP constant (PATHINFO_EXTENSION, UPLOAD_ERR_OK, ...);
+// unknown constants become named symbols.
+[[nodiscard]] Label builtin_const_value(Interpreter& interp,
+                                        const std::string& name,
+                                        SourceLoc loc);
+
+// String functions whose symbolic value is translated as the identity on
+// their first argument (strtolower, trim, ...): for satisfiability
+// checking the attacker controls the input, so case/whitespace mapping
+// does not change whether a ".php" suffix is reachable.
+[[nodiscard]] bool is_identity_builtin(const std::string& name);
+
+// Follows identity builtins (and basename) down to the underlying value;
+// used to recognize the pre-structured $_FILES "name" object behind
+// wrappers like strtolower(basename($f['name'])).
+[[nodiscard]] Label resolve_through_identity(const HeapGraph& graph,
+                                             Label label);
+
+}  // namespace uchecker::core

@@ -1,0 +1,180 @@
+// AST-based symbolic execution engine (paper §III-B).
+//
+// The interpreter statically evaluates the AST of the analysis root
+// selected by locality analysis, producing one shared heap graph plus one
+// environment per execution path. Forking happens at conditionals (and at
+// loop heads, switch cases, foreach entry), exactly as the paper's
+// eval(if e then S1 else S2) rule describes: the environment set is
+// duplicated, each copy's reachability constraint `cur` is extended with
+// the (negated) branch condition via ER(), and the results are joined.
+//
+// Expression evaluation uses a per-environment operand stack instead of
+// the paper's label vectors: a path fork copies the stack, which keeps
+// partial results aligned with their paths even when a user-defined
+// function call forks mid-expression.
+//
+// Loops are not executed precisely (paper §VI acknowledges the same
+// limitation): each loop forks into a skip path and a bounded number of
+// unrolled iterations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/callgraph/callgraph.h"
+#include "core/callgraph/locality.h"
+#include "core/heapgraph/heapgraph.h"
+#include "core/sinks.h"
+#include "phpast/ast.h"
+#include "support/diag.h"
+
+namespace uchecker::core {
+
+// Resource limits. Exhaustion is reported, never fatal: the detector
+// turns it into a "analysis incomplete" verdict, which is how the paper's
+// Cimy-User-Extra-Fields false negative arises (248K paths exceeded the
+// machine's memory).
+struct Budget {
+  std::size_t max_paths = 100'000;
+  std::size_t max_objects = 2'000'000;
+  int max_call_depth = 24;
+  int loop_unroll = 1;
+  int max_foreach_entries = 4;  // full unroll bound for known arrays
+  // include/require whose path resolves to a file of the program are
+  // executed inline up to this nesting depth (0 disables following).
+  int max_include_depth = 8;
+};
+
+// One reachable invocation of a file-upload sink, with everything the
+// vulnerability model (§III-C) needs: the source/destination objects and
+// the path's reachability constraint at the moment of the call.
+struct SinkHit {
+  std::string sink_name;
+  SourceLoc loc;
+  Label src = kNoLabel;           // e_src — the uploaded content
+  Label dst = kNoLabel;           // e_dst — the destination file name
+  Label reachability = kNoLabel;  // env.cur() at the call site
+};
+
+struct InterpStats {
+  std::size_t paths = 0;        // final environment count
+  std::size_t objects = 0;      // heap graph size
+  std::size_t peak_paths = 0;
+  std::size_t env_bytes = 0;    // accounted environment memory
+  bool budget_exhausted = false;
+};
+
+struct InterpResult {
+  HeapGraph graph;
+  std::vector<Env> envs;
+  std::vector<SinkHit> sinks;
+  InterpStats stats;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const Program& program, DiagnosticSink& diags,
+              Budget budget = {},
+              const SinkRegistry& sinks = SinkRegistry::paper_defaults());
+
+  // Symbolically executes the body of `root` (a PHP file or a function).
+  // For a function root, parameters are bound to fresh symbolic values.
+  [[nodiscard]] InterpResult run(const AnalysisRoot& root);
+
+  // --- helpers shared with the builtin models (builtins.cc) ---
+
+  [[nodiscard]] HeapGraph& graph() { return graph_; }
+
+  // Fresh symbol with a stable, unique display name derived from `hint`.
+  Label fresh_symbol(std::string_view hint, Type type, SourceLoc loc,
+                     bool tainted = false);
+
+  // The pre-structured $_FILES entry array for a given field index
+  // (paper §III-B4 / Fig. 6); cached per field key.
+  Label files_entry_array(const std::string& field_key, SourceLoc loc);
+
+  // Registered association from an uploaded-file "name" object to the
+  // symbols for its filename stem and extension. Lets builtin models of
+  // pathinfo()/explode()/strrchr() return the very extension symbol the
+  // destination constraint mentions.
+  [[nodiscard]] std::optional<std::pair<Label, Label>> name_parts(Label name) const;
+  void register_name_parts(Label name, Label stem, Label ext);
+
+ private:
+  friend struct BuiltinContext;
+
+  // --- env-set plumbing
+  void push(Env& env, Label label);
+  Label pop(Env& env);
+  [[nodiscard]] bool any_running() const;
+  void check_budget();
+
+  // --- evaluation (pushes one operand per running env)
+  void eval_expr(const phpast::Expr& expr);
+  void eval_variable(const phpast::Variable& var);
+  void eval_array_access(const phpast::ArrayAccess& access);
+  void eval_assign(const phpast::Assign& assign);
+  void eval_call(const phpast::Call& call);
+  void eval_builtin_or_unknown(const std::string& name,
+                               const std::vector<const phpast::Expr*>& arg_exprs,
+                               SourceLoc loc);
+  void eval_user_function(const Program::FunctionInfo& info,
+                          std::size_t arg_count, SourceLoc loc);
+  void record_sink(const std::string& name, std::size_t arg_count,
+                   SourceLoc loc);
+
+  // Assignment into a possibly-nested lvalue for one environment.
+  void assign_into(Env& env, const phpast::Expr& target, Label value,
+                   SourceLoc loc);
+
+  // --- statements
+  void exec_stmts(const std::vector<phpast::StmtPtr>& stmts);
+  void exec_stmt(const phpast::Stmt& stmt);
+  void exec_if(const phpast::If& stmt);
+  void exec_branch(const std::vector<Label>& cond_labels, bool negate,
+                   const std::vector<phpast::StmtPtr>& body,
+                   std::vector<Env> base_envs, std::vector<Env>& out);
+  void exec_switch(const phpast::Switch& stmt);
+  void exec_loop(const phpast::Expr* cond,
+                 const std::vector<phpast::StmtPtr>& body,
+                 const std::vector<phpast::ExprPtr>* step);
+  void exec_foreach(const phpast::Foreach& stmt);
+
+  // Pops per-statement expression results from running envs.
+  void discard_results(std::size_t count);
+
+  // include/require: resolves the path expression against the program's
+  // files (trailing-string-literal suffix match, as in the call graph)
+  // and executes the included file's top-level statements inline.
+  void eval_include(const phpast::IncludeExpr& include);
+  [[nodiscard]] const phpast::PhpFile* resolve_include_target(
+      const phpast::Expr& path) const;
+
+  const Program& program_;
+  DiagnosticSink& diags_;
+  Budget budget_;
+  const SinkRegistry& sink_registry_;
+
+  HeapGraph graph_;
+  std::vector<Env> envs_;
+  std::vector<SinkHit> sinks_;
+  InterpStats stats_;
+  bool aborted_ = false;
+
+  // Shared (cross-environment) object caches.
+  std::map<std::string, Label> superglobals_;
+  std::map<std::string, Label> files_entries_;
+  std::map<std::string, Label> globals_;
+  std::map<Label, std::pair<Label, Label>> name_parts_;
+
+  std::vector<std::string> call_chain_;     // active user-function inlining
+  std::vector<std::string> include_chain_;  // active include nesting
+  std::set<std::string> included_once_;     // include_once/require_once
+  std::uint64_t symbol_counter_ = 0;
+};
+
+}  // namespace uchecker::core

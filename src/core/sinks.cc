@@ -1,0 +1,33 @@
+#include "core/sinks.h"
+
+namespace uchecker::core {
+
+SinkRegistry::SinkRegistry() {
+  specs_.push_back(SinkSpec{"move_uploaded_file", SinkSignature::kSrcDst});
+  specs_.push_back(SinkSpec{"file_put_contents", SinkSignature::kDstSrc});
+  // The paper's spelling of the same builtin.
+  specs_.push_back(SinkSpec{"file_put_content", SinkSignature::kDstSrc});
+}
+
+void SinkRegistry::add(SinkSpec spec) { specs_.push_back(std::move(spec)); }
+
+bool SinkRegistry::is_sink(const std::string& lower_name) const {
+  for (const SinkSpec& s : specs_) {
+    if (s.name == lower_name) return true;
+  }
+  return false;
+}
+
+SinkSignature SinkRegistry::signature(const std::string& lower_name) const {
+  for (const SinkSpec& s : specs_) {
+    if (s.name == lower_name) return s.signature;
+  }
+  return SinkSignature::kSrcDst;
+}
+
+const SinkRegistry& SinkRegistry::paper_defaults() {
+  static const SinkRegistry* registry = new SinkRegistry();
+  return *registry;
+}
+
+}  // namespace uchecker::core

@@ -1,0 +1,49 @@
+// The file-writing sink vocabulary shared by the call-graph builder and
+// the symbolic interpreter.
+//
+// The paper models two sinks: move_uploaded_file(e_src, e_dst) and
+// file_put_contents(e_dst, e_src). Real plugins also persist uploads
+// through copy()/rename(); those are available as opt-in extra sinks
+// (ScanOptions::vuln is unaffected — the constraint model is identical,
+// only the set of recognized calls grows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace uchecker::core {
+
+// Positional convention of a sink's (source, destination) arguments.
+enum class SinkSignature {
+  kSrcDst,  // f(src, dst): move_uploaded_file, copy, rename
+  kDstSrc,  // f(dst, src): file_put_contents
+};
+
+struct SinkSpec {
+  std::string name;  // lowercase function name
+  SinkSignature signature = SinkSignature::kSrcDst;
+};
+
+class SinkRegistry {
+ public:
+  // The paper's sinks: move_uploaded_file + file_put_contents (and the
+  // paper's own "file_put_content" spelling).
+  SinkRegistry();
+
+  // Registers an additional sink (lowercase name).
+  void add(SinkSpec spec);
+
+  [[nodiscard]] bool is_sink(const std::string& lower_name) const;
+  // Signature lookup; defaults to kSrcDst for unknown names.
+  [[nodiscard]] SinkSignature signature(const std::string& lower_name) const;
+
+  [[nodiscard]] const std::vector<SinkSpec>& specs() const { return specs_; }
+
+  // The paper's default registry (shared, immutable).
+  [[nodiscard]] static const SinkRegistry& paper_defaults();
+
+ private:
+  std::vector<SinkSpec> specs_;
+};
+
+}  // namespace uchecker::core

@@ -1,0 +1,66 @@
+// Z3-oriented constraint translation (paper §III-D, Table II).
+//
+// trl() recursively translates PHP-semantics heap-graph values into Z3
+// terms, mitigating four semantic gaps the paper identifies:
+//   i.   different operation names     (PHP "." -> Z3 str.++, ...)
+//   ii.  parameter order / arity       (str_replace, substr, ...)
+//   iii. PHP's dynamic typing          (the coercion rules of Table II's
+//                                       Logical Not / And / Equal rows)
+//   iv.  operations missing in Z3      (fresh symbols of the expected
+//                                       sort — the paper's exception rule)
+//
+// Every heap-graph object translates to at most one Z3 term per expected
+// sort; the per-label cache guarantees that a shared object (e.g. one
+// array_access node reused by several constraints) denotes one value.
+#pragma once
+
+#include <z3++.h>
+
+#include <map>
+#include <string>
+
+#include "core/heapgraph/heapgraph.h"
+#include "smt/solver.h"
+
+namespace uchecker::core {
+
+class Translator {
+ public:
+  Translator(smt::Checker& checker, const HeapGraph& graph);
+
+  // trl(label : expected). `expected` guides sort selection for unknown-
+  // typed values; a typed object is translated at its own type and then
+  // coerced (PHP-style) to `expected`.
+  [[nodiscard]] z3::expr translate(Label label, Type expected);
+
+  // The PHP truthiness of a value, as a Z3 boolean — used for the
+  // reachability constraint (Constraint-3) and for Logical Not/And.
+  [[nodiscard]] z3::expr truthy(Label label);
+
+  // Number of fresh symbols introduced by the exception rule; a measure
+  // of how much of the program escaped precise modeling.
+  [[nodiscard]] std::size_t fallback_count() const { return fallback_count_; }
+
+ private:
+  [[nodiscard]] z3::context& ctx();
+  [[nodiscard]] z3::sort sort_for(Type type);
+  [[nodiscard]] z3::expr fresh(Type type, const std::string& hint);
+  // PHP-style cross-type coercion of a translated term.
+  [[nodiscard]] z3::expr coerce(const z3::expr& e, Type from, Type to);
+  // Resolves kUnknown operand types against a sibling (PHP comparison
+  // semantics: compare in the known operand's domain, default string).
+  [[nodiscard]] static Type resolve_pair(Type mine, Type sibling);
+
+  [[nodiscard]] z3::expr translate_op(const Object& obj, Type expected);
+  [[nodiscard]] z3::expr translate_func(const Object& obj, Type expected);
+  [[nodiscard]] z3::expr translate_equal(const Object& obj, bool negate);
+
+  smt::Checker& checker_;
+  const HeapGraph& graph_;
+  // Cache keyed by (label, resolved type).
+  std::map<std::pair<Label, int>, z3::expr> cache_;
+  std::size_t fallback_count_ = 0;
+  std::size_t fresh_counter_ = 0;
+};
+
+}  // namespace uchecker::core

@@ -1,0 +1,21 @@
+// Umbrella header: the complete public API of the UChecker library.
+//
+//   #include "core/uchecker.h"
+//
+//   uchecker::core::Detector detector;
+//   auto report = detector.scan(app);
+//
+// Individual headers remain includable for finer-grained dependencies.
+#pragma once
+
+#include "core/callgraph/callgraph.h"   // extended call graph (§III-A)
+#include "core/callgraph/locality.h"    // locality analysis + LCA roots
+#include "core/detector/detector.h"     // end-to-end pipeline
+#include "core/detector/report_io.h"    // JSON / text report rendering
+#include "core/detector/scan_many.h"    // parallel batch scanning
+#include "core/heapgraph/dot.h"         // Graphviz export (Figs. 3-6)
+#include "core/heapgraph/heapgraph.h"   // heap graph + environments (§III-B)
+#include "core/heapgraph/sexpr.h"       // s-expression rendering
+#include "core/interp/interp.h"         // AST symbolic execution engine
+#include "core/translate/translate.h"   // PHP -> Z3 rules (Table II, §III-D)
+#include "core/vulnmodel/vulnmodel.h"   // constraints C1/C2/C3 (§III-C)

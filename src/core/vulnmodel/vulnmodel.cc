@@ -1,0 +1,213 @@
+#include "core/vulnmodel/vulnmodel.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "core/heapgraph/sexpr.h"
+#include "core/interp/builtins.h"
+#include "core/translate/translate.h"
+
+namespace uchecker::core {
+namespace {
+
+bool is_ext_symbol(const Object& obj) {
+  return obj.kind == Object::Kind::kSymbol && obj.files_tainted &&
+         obj.name.size() > 4 &&
+         obj.name.compare(obj.name.size() - 4, 4, "_ext") == 0;
+}
+
+// Does the value rooted at `label` textually end with a literal '.'?
+// (Descends the rightmost spine of concatenations.)
+bool ends_with_literal_dot(const HeapGraph& graph, Label label) {
+  for (int guard = 0; guard < 256; ++guard) {
+    const Object* obj = graph.find(label);
+    if (obj == nullptr) return false;
+    if (obj->kind == Object::Kind::kOp && obj->op == OpKind::kConcat) {
+      label = obj->children[1];
+      continue;
+    }
+    if (obj->kind == Object::Kind::kConcrete && obj->type == Type::kString) {
+      const std::string& s = std::get<std::string>(obj->value);
+      return !s.empty() && s.back() == '.';
+    }
+    return false;
+  }
+  return false;
+}
+
+// If `dst` structurally ends with  ... . "." . s_ext  (the pre-structured
+// $_FILES name shape, possibly behind identity wrappers and benign
+// str_replace calls), returns the extension symbol's label. In that
+// case, given the domain axiom that s_ext contains no '.' (and attacker
+// control of s_ext), the suffix constraint  (str.suffixof ".X" dst)  is
+// *equivalent* to  s_ext == "X": the dot of ".X" can only align with the
+// structural dot separator. This rewrite matters in practice: Z3 4.8's
+// sequence solver cannot refute suffixof-vs-blacklist combinations
+// (observed >60s), while the equality form is decided instantly.
+//
+// str_replace(search, repl, subject) with concrete search/repl passes
+// through to `subject`: the attacker picks a witness input avoiding
+// `search`, so satisfiability is preserved — with two guards. If `repl`
+// contains a '.', the replacement itself could synthesize an executable
+// suffix and the structural argument breaks (caller falls back to the
+// general suffixof encoding). And any extension X whose mandatory tail
+// ".X" contains `search` cannot be chosen avoidance-free; such X are
+// appended to `excluded_exts` and dropped from the equality disjunction.
+Label trailing_extension_symbol(const HeapGraph& graph, Label dst,
+                                std::vector<std::string>* excluded_searches) {
+  Label label = resolve_through_identity(graph, dst);
+  for (int guard = 0; guard < 256; ++guard) {
+    const Object* obj = graph.find(label);
+    if (obj == nullptr) return kNoLabel;
+    if (obj->kind == Object::Kind::kFunc) {
+      if (obj->name == "str_replace" && obj->children.size() >= 3) {
+        const Object& search = graph.at(obj->children[0]);
+        const Object& repl = graph.at(obj->children[1]);
+        if (search.kind == Object::Kind::kConcrete &&
+            search.type == Type::kString &&
+            repl.kind == Object::Kind::kConcrete &&
+            repl.type == Type::kString &&
+            std::get<std::string>(repl.value).find('.') ==
+                std::string::npos &&
+            !std::get<std::string>(search.value).empty()) {
+          excluded_searches->push_back(std::get<std::string>(search.value));
+          label = resolve_through_identity(graph, obj->children[2]);
+          continue;
+        }
+        return kNoLabel;
+      }
+      const Label through = resolve_through_identity(graph, label);
+      if (through == label) return kNoLabel;
+      label = through;
+      continue;
+    }
+    if (obj->kind != Object::Kind::kOp || obj->op != OpKind::kConcat) {
+      return kNoLabel;
+    }
+    const Label right = resolve_through_identity(graph, obj->children[1]);
+    const Object* right_obj = graph.find(right);
+    if (right_obj == nullptr) return kNoLabel;
+    if (is_ext_symbol(*right_obj) &&
+        ends_with_literal_dot(graph, obj->children[0])) {
+      return right;
+    }
+    if ((right_obj->kind == Object::Kind::kOp &&
+         right_obj->op == OpKind::kConcat) ||
+        right_obj->kind == Object::Kind::kFunc) {
+      // Descend into the trailing component (a nested concat, or a
+      // str_replace/identity wrapper handled at the top of the loop).
+      label = right;
+      continue;
+    }
+    return kNoLabel;
+  }
+  return kNoLabel;
+}
+
+}  // namespace
+
+VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
+                            const VulnModelOptions& options) {
+  VulnModelResult result;
+  // Paths that share the same (dst, reachability) objects would repeat
+  // the identical solver query; memoize outcomes.
+  std::map<std::pair<Label, Label>, smt::SatResult> memo;
+  for (const SinkHit& sink : interp.sinks) {
+    SinkVerdict verdict;
+    verdict.sink = sink;
+
+    // Constraint-1: the uploaded content must come from $_FILES.
+    verdict.taint_ok =
+        sink.src != kNoLabel && interp.graph.reaches_files_taint(sink.src);
+    verdict.dst_sexpr = to_sexpr(interp.graph, sink.dst);
+    verdict.reach_sexpr = sink.reachability == kNoLabel
+                              ? "true"
+                              : to_sexpr(interp.graph, sink.reachability);
+    if (!verdict.taint_ok || sink.dst == kNoLabel) {
+      verdict.constraints = smt::SatResult::kUnsat;
+      result.verdicts.push_back(std::move(verdict));
+      continue;
+    }
+
+    const auto memo_key = std::make_pair(sink.dst, sink.reachability);
+    if (const auto it = memo.find(memo_key); it != memo.end()) {
+      verdict.constraints = it->second;
+      if (verdict.exploitable()) result.vulnerable = true;
+      result.verdicts.push_back(std::move(verdict));
+      if (result.vulnerable && options.stop_at_first_finding) break;
+      continue;
+    }
+
+    Translator trl(checker, interp.graph);
+    std::vector<z3::expr> constraints;
+    try {
+    // Domain axioms for the pre-structured $_FILES model: a PHP file
+    // extension (everything after the *last* dot) contains neither a dot
+    // nor a path separator. Without these, blacklist-style validation
+    // ("$ext !== 'php'") would be bypassable with s_ext = "x.php", which
+    // no real pathinfo() result can produce.
+    for (const Object& obj : interp.graph.objects()) {
+      if (obj.kind == Object::Kind::kSymbol && obj.files_tainted &&
+          obj.name.size() > 4 &&
+          obj.name.compare(obj.name.size() - 4, 4, "_ext") == 0) {
+        const z3::expr ext = trl.translate(obj.label, Type::kString);
+        constraints.push_back(!ext.contains(checker.ctx().string_val(".")));
+        constraints.push_back(!ext.contains(checker.ctx().string_val("/")));
+      }
+    }
+    // Constraint-2: (or (str.suffixof ".php" dst) (str.suffixof ".php5" dst)).
+    // When dst structurally ends in the pre-structured "." . s_ext, use
+    // the equivalent (and far cheaper) equality form over s_ext.
+    z3::expr ext_constraint = checker.ctx().bool_val(false);
+    std::vector<std::string> excluded_searches;
+    if (const Label trailing = trailing_extension_symbol(interp.graph, sink.dst,
+                                                         &excluded_searches);
+        trailing != kNoLabel) {
+      const z3::expr ext_sym = trl.translate(trailing, Type::kString);
+      for (const std::string& ext : options.executable_extensions) {
+        const std::string tail = "." + ext;
+        const bool clobbered = std::any_of(
+            excluded_searches.begin(), excluded_searches.end(),
+            [&tail](const std::string& s) {
+              return tail.find(s) != std::string::npos;
+            });
+        if (clobbered) continue;  // ".X" cannot survive the str_replace
+        ext_constraint =
+            ext_constraint || (ext_sym == checker.ctx().string_val(ext));
+      }
+    } else {
+      const z3::expr dst = trl.translate(sink.dst, Type::kString);
+      for (const std::string& ext : options.executable_extensions) {
+        ext_constraint = ext_constraint ||
+                         z3::suffixof(checker.ctx().string_val("." + ext), dst);
+      }
+    }
+    constraints.push_back(ext_constraint);
+    // Constraint-3: the path condition.
+    if (sink.reachability != kNoLabel) {
+      constraints.push_back(trl.truthy(sink.reachability));
+    }
+    } catch (const z3::exception& e) {
+      // A translation gap severe enough to break term construction is
+      // treated like the paper's exception rule at whole-sink scope.
+      verdict.constraints = smt::SatResult::kUnknown;
+      verdict.witness = std::string("translation error: ") + e.msg();
+      result.verdicts.push_back(std::move(verdict));
+      continue;
+    }
+
+    const smt::SolverOutcome outcome = checker.check(constraints);
+    ++result.solver_calls;
+    verdict.constraints = outcome.result;
+    memo.emplace(memo_key, outcome.result);
+    if (outcome.model.has_value()) verdict.witness = outcome.model->to_string();
+    if (verdict.exploitable()) result.vulnerable = true;
+    const bool stop = verdict.exploitable() && options.stop_at_first_finding;
+    result.verdicts.push_back(std::move(verdict));
+    if (stop) break;
+  }
+  return result;
+}
+
+}  // namespace uchecker::core

@@ -1,0 +1,59 @@
+// Vulnerability modeling (paper §III-C).
+//
+// A sink move_uploaded_file(e_src, e_dst) / file_put_contents(e_dst,
+// e_src) is exploitable on a path when three constraints hold together:
+//   C1  e_src is tainted by $_FILES            (heap-graph reachability)
+//   C2  e_dst can end with an executable extension (".php"/".php5")
+//   C3  the path's reachability constraint is satisfiable
+// C1 is decided structurally; C2 ∧ C3 are translated (§III-D) and decided
+// by Z3. One SAT path suffices for a vulnerable verdict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/heapgraph/heapgraph.h"
+#include "core/interp/interp.h"
+#include "smt/solver.h"
+
+namespace uchecker::core {
+
+struct VulnModelOptions {
+  // Extensions considered server-executable. Paper default; §VI notes
+  // variants (".asa", ".swf", ...) are covered by extending this list.
+  std::vector<std::string> executable_extensions{"php", "php5"};
+  unsigned solver_timeout_ms = 5000;
+  // One SAT path proves the vulnerability; stop checking further paths.
+  // Disable to enumerate every exploitable sink (audit reports).
+  bool stop_at_first_finding = true;
+};
+
+// One analyzed sink occurrence (per path).
+struct SinkVerdict {
+  SinkHit sink;
+  bool taint_ok = false;                                   // C1
+  smt::SatResult constraints = smt::SatResult::kUnknown;   // C2 ∧ C3
+  std::string dst_sexpr;          // se_dst, PHP-semantics s-expression
+  std::string reach_sexpr;        // se_reachability
+  std::string witness;            // satisfying assignment when SAT
+
+  [[nodiscard]] bool exploitable() const {
+    return taint_ok && constraints == smt::SatResult::kSat;
+  }
+};
+
+struct VulnModelResult {
+  std::vector<SinkVerdict> verdicts;
+  std::size_t solver_calls = 0;
+  bool vulnerable = false;  // any exploitable verdict
+};
+
+// Checks every sink hit recorded by the interpreter. `checker` supplies
+// the Z3 context; a fresh Translator is built per sink so per-path
+// symbol caches do not leak across unrelated checks (objects shared
+// across paths still translate identically within one sink's check).
+[[nodiscard]] VulnModelResult check_sinks(const InterpResult& interp,
+                                          smt::Checker& checker,
+                                          const VulnModelOptions& options = {});
+
+}  // namespace uchecker::core

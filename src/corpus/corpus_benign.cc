@@ -1,0 +1,751 @@
+// The 28 vulnerability-free upload plugins of paper §IV-A. All support
+// file upload; 26 validate the uploaded file's extension with the idioms
+// real plugins use, and two — Event Registration Pro Calendar 1.0.2 and
+// Tumult Hype Animations 1.7.1 — accept arbitrary files but only behind
+// the admin menu (add_action('admin_menu', ...)). UChecker does not model
+// admin gating and flags those two: the paper's two false positives.
+#include "corpus/corpus.h"
+#include "corpus/corpus_util.h"
+
+namespace uchecker::corpus {
+namespace {
+
+using core::AppFile;
+using core::Application;
+using detail::pad_to_loc;
+
+CorpusEntry make_entry(Application app, bool expect_uchecker_flag,
+                       PaperRow paper = {}) {
+  CorpusEntry entry;
+  entry.app = std::move(app);
+  entry.category = Category::kBenign;
+  entry.ground_truth_vulnerable = false;
+  entry.paper_flagged_by_uchecker = expect_uchecker_flag;
+  entry.paper = paper;
+  return entry;
+}
+
+// Builds the standard WordPress plugin wrapper around one handler file.
+Application wrap_plugin(const std::string& name, const std::string& slug,
+                        const std::string& hook, std::string handler_php,
+                        std::size_t target_loc, unsigned seed) {
+  Application app;
+  app.name = name;
+  app.files.push_back(AppFile{
+      slug + ".php",
+      "<?php\n/*\nPlugin Name: " + name + "\n*/\n" +
+          "add_action('wp_ajax_" + hook + "', '" + hook + "');\n" +
+          "add_action('wp_ajax_nopriv_" + hook + "', '" + hook + "');\n"});
+  app.files.push_back(AppFile{slug + "-handler.php", std::move(handler_php)});
+  pad_to_loc(app, target_loc, seed, slug);
+  return app;
+}
+
+// --- The two expected false positives ---------------------------------------
+
+CorpusEntry event_registration_pro_calendar() {
+  Application app;
+  app.name = "Event Registration Pro Calendar 1.0.2";
+  app.files.push_back(AppFile{"event-registration-pro-calendar.php", R"php(<?php
+/*
+Plugin Name: Event Registration Pro Calendar
+Version: 1.0.2
+*/
+// Paper Listing 5: the upload page is reachable only through
+// 'admin_menu', i.e. only an administrator can use it.
+add_action('admin_menu', 'event_registration_pro_admin_menu');
+
+function event_registration_pro_admin_menu() {
+    add_menu_page('Event Registration Pro', 'Events', 'manage_options',
+        'erp-calendar', 'erp_calendar_admin_page');
+}
+
+function erp_calendar_admin_page() {
+    if (isset($_POST['erp_import_template'])) {
+        erp_calendar_store_template();
+    }
+    echo '<form method="post" enctype="multipart/form-data">';
+    echo '<input type="file" name="erp_template" />';
+    echo '</form>';
+}
+)php"});
+  app.files.push_back(AppFile{"includes/template-import.php", R"php(<?php
+function erp_calendar_store_template() {
+    $updir = wp_upload_dir();
+    $dir = $updir['basedir'] . '/erp-templates/';
+    if (!file_exists($dir)) {
+        wp_mkdir_p($dir);
+    }
+    $template = $_FILES['erp_template'];
+    $dest = $dir . $template['name'];
+    if (move_uploaded_file($template['tmp_name'], $dest)) {
+        update_option('erp_active_template', $dest);
+        echo 'template installed';
+    }
+}
+)php"});
+  pad_to_loc(app, 16771, 211, "erp");
+  return make_entry(std::move(app), /*expect_uchecker_flag=*/true,
+                    PaperRow{16771, 0.20, 3, 79, 4.8, 0.25, true});
+}
+
+CorpusEntry tumult_hype_animations() {
+  Application app;
+  app.name = "Tumult Hype Animations 1.7.1";
+  app.files.push_back(AppFile{"tumult-hype-animations.php", R"php(<?php
+/*
+Plugin Name: Tumult Hype Animations
+Version: 1.7.1
+*/
+add_action('admin_menu', 'hypeanimations_menu');
+
+function hypeanimations_menu() {
+    add_menu_page('Hype Animations', 'Hype', 'manage_options',
+        'hypeanimations', 'hypeanimations_panel');
+}
+
+function hypeanimations_panel() {
+    if (isset($_POST['hype_upload'])) {
+        hypeanimations_store_oam();
+    }
+}
+)php"});
+  app.files.push_back(AppFile{"includes/oam-upload.php", R"php(<?php
+function hypeanimations_store_oam() {
+    $updir = wp_upload_dir();
+    $container = $updir['basedir'] . '/hypeanimations/';
+    if (isset($_POST['hype_replace'])) {
+        echo 'replacing animation';
+    }
+    $target = $container . $_FILES['hype_anim']['name'];
+    if (move_uploaded_file($_FILES['hype_anim']['tmp_name'], $target)) {
+        echo 'animation stored at ' . $target;
+    }
+}
+)php"});
+  pad_to_loc(app, 11914, 223, "hype");
+  return make_entry(std::move(app), /*expect_uchecker_flag=*/true,
+                    PaperRow{11914, 0.19, 4, 66, 5.0, 0.236, true});
+}
+
+// --- 26 correctly-validating upload plugins ---------------------------------
+
+CorpusEntry secure_image_upload() {
+  return make_entry(wrap_plugin(
+      "Secure Image Upload 2.1", "secure-image-upload", "siu_upload",
+      R"php(<?php
+function siu_upload() {
+    $updir = wp_upload_dir();
+    $dir = $updir['basedir'] . '/siu/';
+    $file = $_FILES['siu_image'];
+    $ext = strtolower(pathinfo($file['name'], PATHINFO_EXTENSION));
+    $allowed = array('jpg', 'jpeg', 'png', 'gif');
+    if (in_array($ext, $allowed)) {
+        $dest = $dir . basename($file['name']);
+        if (move_uploaded_file($file['tmp_name'], $dest)) {
+            echo 'ok';
+        }
+    } else {
+        echo 'rejected';
+    }
+    wp_die();
+}
+)php",
+      612, 301), false);
+}
+
+CorpusEntry gallery_lite() {
+  return make_entry(wrap_plugin(
+      "Gallery Lite 4.0", "gallery-lite", "gal_upload",
+      R"php(<?php
+function gal_upload() {
+    $updir = wp_upload_dir();
+    $photo = $_FILES['gal_photo'];
+    $ext = pathinfo($photo['name'], PATHINFO_EXTENSION);
+    if ($ext == 'jpg' || $ext == 'jpeg' || $ext == 'png' || $ext == 'gif') {
+        $dest = $updir['basedir'] . '/gallery/' . $photo['name'];
+        move_uploaded_file($photo['tmp_name'], $dest);
+        echo 'stored';
+    }
+    wp_die();
+}
+)php",
+      845, 307), false);
+}
+
+CorpusEntry doc_share() {
+  return make_entry(wrap_plugin(
+      "DocShare 1.4", "doc-share", "ds_upload",
+      R"php(<?php
+function ds_upload() {
+    $updir = wp_upload_dir();
+    $doc = $_FILES['ds_document'];
+    $ext = strtolower(pathinfo($doc['name'], PATHINFO_EXTENSION));
+    $banned = array('php', 'php5', 'phtml', 'asp', 'cgi');
+    if (in_array($ext, $banned)) {
+        wp_die('executable uploads are not allowed');
+    }
+    $dest = $updir['basedir'] . '/docshare/' . basename($doc['name']);
+    if (move_uploaded_file($doc['tmp_name'], $dest)) {
+        echo 'shared';
+    }
+    wp_die();
+}
+)php",
+      1320, 311), false);
+}
+
+CorpusEntry avatar_manager() {
+  return make_entry(wrap_plugin(
+      "Avatar Manager 3.2", "avatar-manager", "avm_upload",
+      R"php(<?php
+function avm_upload() {
+    $updir = wp_upload_dir();
+    $avatar = $_FILES['avm_avatar'];
+    // The stored name is derived, never the client-supplied one.
+    $dest = $updir['basedir'] . '/avatars/' . md5($avatar['name']) . '.png';
+    if (move_uploaded_file($avatar['tmp_name'], $dest)) {
+        update_user_meta(get_current_user_id(), 'avm_avatar', $dest);
+    }
+    wp_die();
+}
+)php",
+      731, 313), false);
+}
+
+CorpusEntry media_dropzone() {
+  // Uses the WordPress-sanctioned wp_handle_upload(): no direct sink at
+  // all. This is the one corpus app even plain taint analysis (RIPS)
+  // does not flag.
+  return make_entry(wrap_plugin(
+      "Media Dropzone 2.0", "media-dropzone", "mdz_upload",
+      R"php(<?php
+function mdz_upload() {
+    $overrides = array('test_form' => false);
+    $result = wp_handle_upload($_FILES['mdz_file'], $overrides);
+    if (isset($result['error'])) {
+        echo $result['error'];
+    } else {
+        echo $result['url'];
+    }
+    wp_die();
+}
+)php",
+      509, 317), false);
+}
+
+CorpusEntry form_attachments_pro() {
+  return make_entry(wrap_plugin(
+      "Form Attachments Pro 1.9", "form-attachments-pro", "fap_upload",
+      R"php(<?php
+function fap_upload() {
+    $updir = wp_upload_dir();
+    $file = $_FILES['fap_attachment'];
+    if ($file['size'] > 8388608) {
+        wp_die('attachment too large');
+    }
+    $ext = strtolower(pathinfo($file['name'], PATHINFO_EXTENSION));
+    $allowed = array('pdf', 'doc', 'docx', 'txt', 'odt');
+    if (!in_array($ext, $allowed)) {
+        wp_die('attachment type not allowed');
+    }
+    $dest = $updir['basedir'] . '/attachments/' . basename($file['name']);
+    if (move_uploaded_file($file['tmp_name'], $dest)) {
+        echo 'attached';
+    }
+    wp_die();
+}
+)php",
+      1104, 331), false);
+}
+
+CorpusEntry csv_importer() {
+  return make_entry(wrap_plugin(
+      "CSV Importer 2.3", "csv-importer", "csvi_upload",
+      R"php(<?php
+function csvi_upload() {
+    $updir = wp_upload_dir();
+    $csv = $_FILES['csvi_file'];
+    $ext = strtolower(pathinfo($csv['name'], PATHINFO_EXTENSION));
+    if ($ext !== 'csv') {
+        wp_die('only CSV files can be imported');
+    }
+    $dest = $updir['basedir'] . '/imports/' . uniqid() . '.' . $ext;
+    if (move_uploaded_file($csv['tmp_name'], $dest)) {
+        echo 'import queued';
+    }
+    wp_die();
+}
+)php",
+      933, 337), false);
+}
+
+CorpusEntry backup_restore_tool() {
+  return make_entry(wrap_plugin(
+      "Backup Restore Tool 1.1", "backup-restore-tool", "brt_upload",
+      R"php(<?php
+function brt_upload() {
+    $archive = $_FILES['brt_archive'];
+    $ext = strtolower(pathinfo($archive['name'], PATHINFO_EXTENSION));
+    if ($ext != 'zip') {
+        wp_die('backups must be .zip archives');
+    }
+    $updir = wp_upload_dir();
+    $dest = $updir['basedir'] . '/backups/' . date('Ymd-His') . '.' . $ext;
+    if (move_uploaded_file($archive['tmp_name'], $dest)) {
+        update_option('brt_last_backup', $dest);
+    }
+    wp_die();
+}
+)php",
+      1512, 347), false);
+}
+
+CorpusEntry pdf_catalog() {
+  return make_entry(wrap_plugin(
+      "PDF Catalog 3.5", "pdf-catalog", "pdfc_upload",
+      R"php(<?php
+function pdfc_upload() {
+    $updir = wp_upload_dir();
+    $file = $_FILES['pdfc_file'];
+    $ext = strtolower(pathinfo($file['name'], PATHINFO_EXTENSION));
+    switch ($ext) {
+        case 'pdf':
+            $folder = 'catalogs/';
+            break;
+        case 'epub':
+            $folder = 'books/';
+            break;
+        default:
+            wp_die('unsupported catalog format');
+    }
+    $dest = $updir['basedir'] . '/' . $folder . basename($file['name']);
+    if (move_uploaded_file($file['tmp_name'], $dest)) {
+        echo 'catalog published';
+    }
+    wp_die();
+}
+)php",
+      1787, 349), false);
+}
+
+CorpusEntry photo_contest() {
+  return make_entry(wrap_plugin(
+      "Photo Contest 1.6", "photo-contest", "pc_upload",
+      R"php(<?php
+function pc_upload() {
+    $updir = wp_upload_dir();
+    $entry = $_FILES['pc_entry'];
+    $parts = explode('.', $entry['name']);
+    $ext = strtolower(end($parts));
+    $allowed = array('jpg', 'jpeg', 'png');
+    if (!in_array($ext, $allowed)) {
+        wp_die('contest entries must be images');
+    }
+    $dest = $updir['basedir'] . '/contest/' . basename($entry['name']);
+    if (move_uploaded_file($entry['tmp_name'], $dest)) {
+        echo 'entry received';
+    }
+    wp_die();
+}
+)php",
+      654, 353), false);
+}
+
+CorpusEntry resume_collector() {
+  return make_entry(wrap_plugin(
+      "Resume Collector 2.2", "resume-collector", "rc_upload",
+      R"php(<?php
+function rc_upload() {
+    $updir = wp_upload_dir();
+    $resume = $_FILES['rc_resume'];
+    if ($resume['error'] != 0) {
+        wp_die('upload failed');
+    }
+    $ext = strtolower(pathinfo(basename($resume['name']), PATHINFO_EXTENSION));
+    if (!in_array($ext, array('pdf', 'doc', 'docx'))) {
+        wp_die('resumes must be PDF or Word documents');
+    }
+    $dest = $updir['basedir'] . '/resumes/' . time() . '-' . basename($resume['name']);
+    if (move_uploaded_file($resume['tmp_name'], $dest)) {
+        echo 'resume received';
+    }
+    wp_die();
+}
+)php",
+      1240, 359), false);
+}
+
+CorpusEntry ticket_attachments() {
+  return make_entry(wrap_plugin(
+      "Ticket Attachments 1.0", "ticket-attachments", "ta_upload",
+      R"php(<?php
+function ta_upload() {
+    $updir = wp_upload_dir();
+    $shot = $_FILES['ta_screenshot'];
+    $name = strtolower($shot['name']);
+    if (substr($name, -4) != '.png' && substr($name, -4) != '.jpg') {
+        wp_die('screenshots must be .png or .jpg');
+    }
+    $dest = $updir['basedir'] . '/tickets/' . basename($name);
+    if (move_uploaded_file($shot['tmp_name'], $dest)) {
+        echo 'screenshot attached';
+    }
+    wp_die();
+}
+)php",
+      488, 367), false);
+}
+
+CorpusEntry logo_uploader() {
+  return make_entry(wrap_plugin(
+      "Logo Uploader 1.3", "logo-uploader", "lu_upload",
+      R"php(<?php
+function lu_upload() {
+    $updir = wp_upload_dir();
+    // Fixed destination name: the client name is never used.
+    $dest = $updir['basedir'] . '/branding/logo.png';
+    if (move_uploaded_file($_FILES['lu_logo']['tmp_name'], $dest)) {
+        update_option('lu_logo_path', $dest);
+        echo 'logo replaced';
+    }
+    wp_die();
+}
+)php",
+      395, 373), false);
+}
+
+CorpusEntry sound_board() {
+  return make_entry(wrap_plugin(
+      "Sound Board 2.7", "sound-board", "sb_upload",
+      R"php(<?php
+function sb_upload() {
+    $updir = wp_upload_dir();
+    $clip = $_FILES['sb_clip'];
+    $ext = strtolower(pathinfo($clip['name'], PATHINFO_EXTENSION));
+    $formats = array('mp3', 'wav', 'ogg', 'm4a');
+    if (!in_array($ext, $formats)) {
+        wp_die('unsupported audio format');
+    }
+    $dest = $updir['basedir'] . '/sounds/' . md5($clip['name']) . '.' . $ext;
+    if (move_uploaded_file($clip['tmp_name'], $dest)) {
+        echo 'clip added';
+    }
+    wp_die();
+}
+)php",
+      702, 379), false);
+}
+
+CorpusEntry font_kit() {
+  return make_entry(wrap_plugin(
+      "Font Kit 1.8", "font-kit", "fk_upload",
+      R"php(<?php
+function fk_upload() {
+    $updir = wp_upload_dir();
+    $font = $_FILES['fk_font'];
+    $ext = strtolower(pathinfo($font['name'], PATHINFO_EXTENSION));
+    if ($ext == 'ttf' || $ext == 'otf' || $ext == 'woff' || $ext == 'woff2') {
+        $dest = $updir['basedir'] . '/fonts/' . basename($font['name']);
+        if (move_uploaded_file($font['tmp_name'], $dest)) {
+            echo 'font installed';
+        }
+    } else {
+        echo 'not a font file';
+    }
+    wp_die();
+}
+)php",
+      583, 383), false);
+}
+
+CorpusEntry import_export_settings() {
+  return make_entry(wrap_plugin(
+      "Import Export Settings 1.2", "import-export-settings", "ies_upload",
+      R"php(<?php
+function ies_upload() {
+    $blob = $_FILES['ies_settings'];
+    $ext = strtolower(pathinfo($blob['name'], PATHINFO_EXTENSION));
+    if ($ext !== 'json') {
+        wp_die('settings must be a .json export');
+    }
+    $updir = wp_upload_dir();
+    $dest = $updir['basedir'] . '/settings/' . date('Ymd') . '.' . $ext;
+    if (move_uploaded_file($blob['tmp_name'], $dest)) {
+        echo 'settings staged';
+    }
+    wp_die();
+}
+)php",
+      867, 389), false);
+}
+
+CorpusEntry client_files() {
+  return make_entry(wrap_plugin(
+      "Client Files 3.0", "client-files", "cf_upload",
+      R"php(<?php
+function cf_upload() {
+    $updir = wp_upload_dir();
+    $file = $_FILES['cf_file'];
+    $ext = strtolower(pathinfo($file['name'], PATHINFO_EXTENSION));
+    $banned = array('php', 'php5', 'phtml');
+    if (in_array($ext, $banned)) {
+        wp_die('refused');
+    }
+    $allowed = array('pdf', 'png', 'jpg', 'zip', 'txt');
+    if (!in_array($ext, $allowed)) {
+        wp_die('type not in the client whitelist');
+    }
+    $dest = $updir['basedir'] . '/clients/' . basename($file['name']);
+    if (move_uploaded_file($file['tmp_name'], $dest)) {
+        echo 'delivered';
+    }
+    wp_die();
+}
+)php",
+      1421, 397), false);
+}
+
+CorpusEntry banner_rotator() {
+  return make_entry(wrap_plugin(
+      "Banner Rotator 2.4", "banner-rotator", "br_upload",
+      R"php(<?php
+function br_upload() {
+    $updir = wp_upload_dir();
+    $banner = $_FILES['br_banner'];
+    $stem = md5($banner['name'] . time());
+    // Destination extension is hard-coded.
+    $dest = $updir['basedir'] . '/banners/' . $stem . '.jpg';
+    if (move_uploaded_file($banner['tmp_name'], $dest)) {
+        echo 'banner queued';
+    }
+    wp_die();
+}
+)php",
+      521, 401), false);
+}
+
+CorpusEntry event_tickets_lite() {
+  return make_entry(wrap_plugin(
+      "Event Tickets Lite 1.5", "event-tickets-lite", "etl_upload",
+      R"php(<?php
+function etl_check_extension($name) {
+    $ext = strtolower(pathinfo($name, PATHINFO_EXTENSION));
+    return in_array($ext, array('png', 'jpg', 'jpeg', 'svg'));
+}
+
+function etl_upload() {
+    $updir = wp_upload_dir();
+    $art = $_FILES['etl_artwork'];
+    if (!etl_check_extension($art['name'])) {
+        wp_die('artwork must be an image');
+    }
+    $dest = $updir['basedir'] . '/tickets/' . basename($art['name']);
+    if (move_uploaded_file($art['tmp_name'], $dest)) {
+        echo 'artwork saved';
+    }
+    wp_die();
+}
+)php",
+      976, 409), false);
+}
+
+CorpusEntry portfolio_showcase() {
+  return make_entry(wrap_plugin(
+      "Portfolio Showcase 2.8", "portfolio-showcase", "ps_upload",
+      R"php(<?php
+function ps_upload() {
+    $updir = wp_upload_dir();
+    $work = $_FILES['ps_work'];
+    $ext = strtolower(pathinfo($work['name'], PATHINFO_EXTENSION));
+    $ok = false;
+    if ($ext == 'jpg') {
+        $ok = true;
+    }
+    if ($ext == 'png') {
+        $ok = true;
+    }
+    if ($ext == 'webp') {
+        $ok = true;
+    }
+    if (!$ok) {
+        wp_die('images only');
+    }
+    $dest = $updir['basedir'] . '/portfolio/' . basename($work['name']);
+    if (move_uploaded_file($work['tmp_name'], $dest)) {
+        echo 'added to portfolio';
+    }
+    wp_die();
+}
+)php",
+      1105, 419), false);
+}
+
+CorpusEntry recipe_box() {
+  return make_entry(wrap_plugin(
+      "Recipe Box 1.9", "recipe-box", "rb_upload",
+      R"php(<?php
+function rb_upload() {
+    $updir = wp_upload_dir();
+    $photo = $_FILES['rb_photo'];
+    $ext = strtolower(pathinfo($photo['name'], PATHINFO_EXTENSION));
+    if ($ext == 'jpg' || $ext == 'jpeg' || $ext == 'png') {
+        $slot = intval($_POST['rb_slot']);
+        $dest = $updir['basedir'] . '/recipes/' . $slot . '-' . basename($photo['name']);
+        if (move_uploaded_file($photo['tmp_name'], $dest)) {
+            echo 'photo pinned';
+        }
+    }
+    wp_die();
+}
+)php",
+      618, 421), false);
+}
+
+CorpusEntry newsletter_attach() {
+  return make_entry(wrap_plugin(
+      "Newsletter Attach 1.1", "newsletter-attach", "na_upload",
+      R"php(<?php
+function na_upload() {
+    if (!current_user_can('manage_options')) {
+        wp_die('insufficient privileges');
+    }
+    $updir = wp_upload_dir();
+    $file = $_FILES['na_attachment'];
+    $ext = strtolower(pathinfo($file['name'], PATHINFO_EXTENSION));
+    if (!in_array($ext, array('pdf', 'png', 'jpg'))) {
+        wp_die('attachment type rejected');
+    }
+    $dest = $updir['basedir'] . '/newsletter/' . basename($file['name']);
+    if (move_uploaded_file($file['tmp_name'], $dest)) {
+        echo 'attachment stored';
+    }
+    wp_die();
+}
+)php",
+      836, 431), false);
+}
+
+CorpusEntry directory_listings() {
+  return make_entry(wrap_plugin(
+      "Directory Listings 4.2", "directory-listings", "dl_upload",
+      R"php(<?php
+function dl_upload() {
+    $updir = wp_upload_dir();
+    $logo = $_FILES['dl_logo'];
+    $ext = strtolower(pathinfo($logo['name'], PATHINFO_EXTENSION));
+    if (!in_array($ext, array('png', 'jpg', 'gif'))) {
+        wp_die('listing logos must be images');
+    }
+    $dest = $updir['basedir'] . '/listings/' . uniqid('logo_') . '.' . $ext;
+    if (move_uploaded_file($logo['tmp_name'], $dest)) {
+        echo $dest;
+    }
+    wp_die();
+}
+)php",
+      1954, 433), false);
+}
+
+CorpusEntry chat_file_share() {
+  return make_entry(wrap_plugin(
+      "Chat File Share 1.0", "chat-file-share", "cfs_upload",
+      R"php(<?php
+function cfs_upload() {
+    $updir = wp_upload_dir();
+    $file = $_FILES['cfs_file'];
+    if (empty($file['name'])) {
+        wp_die('no file');
+    }
+    $ext = strtolower(pathinfo($file['name'], PATHINFO_EXTENSION));
+    $images = array('png', 'jpg', 'jpeg', 'gif', 'webp');
+    if (!in_array($ext, $images)) {
+        wp_die('chat only accepts images');
+    }
+    $dest = $updir['basedir'] . '/chat/' . md5($file['name'] . rand()) . '.' . $ext;
+    if (move_uploaded_file($file['tmp_name'], $dest)) {
+        echo $dest;
+    }
+    wp_die();
+}
+)php",
+      449, 439), false);
+}
+
+CorpusEntry quiz_media() {
+  return make_entry(wrap_plugin(
+      "Quiz Media 2.0", "quiz-media", "qm_upload",
+      R"php(<?php
+function qm_upload() {
+    $updir = wp_upload_dir();
+    $media = $_FILES['qm_media'];
+    $name = strtolower(basename($media['name']));
+    $ext = pathinfo($name, PATHINFO_EXTENSION);
+    if (!in_array($ext, array('png', 'jpg', 'mp3'))) {
+        wp_die('unsupported quiz media');
+    }
+    $dest = $updir['basedir'] . '/quiz/' . $name;
+    if (move_uploaded_file($media['tmp_name'], $dest)) {
+        echo 'media ready';
+    }
+    wp_die();
+}
+)php",
+      777, 443), false);
+}
+
+CorpusEntry map_pins() {
+  return make_entry(wrap_plugin(
+      "Map Pins 1.4", "map-pins", "mp_upload",
+      R"php(<?php
+function mp_upload() {
+    $updir = wp_upload_dir();
+    $pin = $_FILES['mp_icon'];
+    $id = intval($_POST['mp_pin_id']);
+    // Stored under a numeric id with a fixed extension.
+    $dest = $updir['basedir'] . '/pins/pin-' . $id . '.png';
+    if (move_uploaded_file($pin['tmp_name'], $dest)) {
+        echo 'pin icon updated';
+    }
+    wp_die();
+}
+)php",
+      364, 449), false);
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> benign() {
+  std::vector<CorpusEntry> entries;
+  entries.push_back(event_registration_pro_calendar());
+  entries.push_back(tumult_hype_animations());
+  entries.push_back(secure_image_upload());
+  entries.push_back(gallery_lite());
+  entries.push_back(doc_share());
+  entries.push_back(avatar_manager());
+  entries.push_back(media_dropzone());
+  entries.push_back(form_attachments_pro());
+  entries.push_back(csv_importer());
+  entries.push_back(backup_restore_tool());
+  entries.push_back(pdf_catalog());
+  entries.push_back(photo_contest());
+  entries.push_back(resume_collector());
+  entries.push_back(ticket_attachments());
+  entries.push_back(logo_uploader());
+  entries.push_back(sound_board());
+  entries.push_back(font_kit());
+  entries.push_back(import_export_settings());
+  entries.push_back(client_files());
+  entries.push_back(banner_rotator());
+  entries.push_back(event_tickets_lite());
+  entries.push_back(portfolio_showcase());
+  entries.push_back(recipe_box());
+  entries.push_back(newsletter_attach());
+  entries.push_back(directory_listings());
+  entries.push_back(chat_file_share());
+  entries.push_back(quiz_media());
+  entries.push_back(map_pins());
+  return entries;
+}
+
+}  // namespace uchecker::corpus

@@ -1,0 +1,655 @@
+// The 13 publicly-reported vulnerable applications of Table III,
+// reconstructed from the paper's descriptions.
+//
+// Reconstruction recipe per app:
+//   - the upload flaw is the one the paper describes (client-controlled
+//     file name reaching move_uploaded_file with no extension check);
+//   - the branch structure is sized to the paper's reported path count
+//     (e.g. Avatar Uploader: 9 option flags, a 9-way preset switch and
+//     the sink conditional give 2^10 * 9 = 9216 paths, Table III's exact
+//     figure; Cimy User Extra Fields: 2^10 * 3^5 = 248832 paths, which
+//     exhausts the analysis budget the way the paper's run exhausted
+//     memory);
+//   - the analysis-root file/function is padded with inert helper code
+//     to the paper's "% of LoC analyzed" region size, and the whole app
+//     is padded with filler modules to the paper's LoC column.
+#include "corpus/corpus.h"
+#include "corpus/corpus_util.h"
+
+namespace uchecker::corpus {
+namespace {
+
+using core::AppFile;
+using core::Application;
+using detail::count_loc;
+using detail::pad_to_loc;
+
+CorpusEntry make_entry(Application app, PaperRow paper) {
+  CorpusEntry entry;
+  entry.app = std::move(app);
+  entry.category = Category::kKnownVulnerable;
+  entry.ground_truth_vulnerable = true;
+  entry.paper_flagged_by_uchecker = paper.detected;
+  entry.paper = paper;
+  return entry;
+}
+
+// Endpoint-style handler: top-level upload code plus embedded helper
+// functions padding the file (the analysis root) to ~analyzed_loc.
+std::string endpoint_file(const std::string& top_level,
+                          std::size_t analyzed_loc, unsigned seed,
+                          const std::string& prefix) {
+  std::string out = "<?php\n" + top_level;
+  const std::size_t current = count_loc(out);
+  if (current + 12 < analyzed_loc) {
+    out += filler_php_body(analyzed_loc - current, seed, prefix);
+  }
+  return out;
+}
+
+// Standard plugin main file (no upload logic).
+AppFile main_file(const std::string& name, const std::string& slug) {
+  return AppFile{slug + ".php",
+                 "<?php\n/*\nPlugin Name: " + name + "\n*/\n" +
+                     "function " + slug + "_enqueue() {\n" +
+                     "    wp_enqueue_script('" + slug + "');\n" +
+                     "    wp_enqueue_style('" + slug + "');\n}\n" +
+                     "add_action('wp_enqueue_scripts', '" + slug +
+                     "_enqueue');\n"};
+}
+
+// --- 1. Adblock Blocker 0.0.1: 3 binary forks = 8 paths (paper: 7) ---------
+CorpusEntry adblock_blocker() {
+  Application app;
+  app.name = "Adblock Blocker 0.0.1";
+  app.files.push_back(main_file("Adblock Blocker", "adblock_blocker"));
+  app.files.push_back(AppFile{
+      "abb-upload.php",
+      endpoint_file(R"php($settings = get_option('abb_settings');
+$upload = wp_upload_dir();
+$dir = $upload['basedir'] . '/abb-icons/';
+$file = $_FILES['abb_icon'];
+$name = $file['name'];
+$messages = array();
+if ($file['size'] > 2097152) {
+    $messages[] = 'icon larger than 2MB, resizing later';
+}
+if (isset($settings['flatten'])) {
+    $name = str_replace(' ', '-', $name);
+}
+$target = $dir . $name;
+// No extension validation at all: the original report for 0.0.1.
+if (move_uploaded_file($file['tmp_name'], $target)) {
+    $messages[] = 'stored ' . $target;
+    update_option('abb_icon_path', $target);
+}
+echo json_encode($messages);
+)php",
+                    63, 11, "abb")});
+  pad_to_loc(app, 484, 12, "abb_lib");
+  return make_entry(std::move(app),
+                    PaperRow{484, 13.02, 7, 158, 4.9, 0.50, true});
+}
+
+// --- 2. WP Marketplace 2.4.1: sink conditional only = 2 paths ---------------
+CorpusEntry wp_marketplace() {
+  Application app;
+  app.name = "WP Marketplace 2.4.1";
+  app.files.push_back(main_file("WP Marketplace", "wpmarketplace"));
+  app.files.push_back(AppFile{
+      "modules/listing-upload.php",
+      endpoint_file(R"php($updir = wp_upload_dir();
+$path = $updir['path'] . '/' . $_FILES['wpmp_file']['name'];
+if (move_uploaded_file($_FILES['wpmp_file']['tmp_name'], $path)) {
+    echo 'done:' . $path;
+}
+)php",
+                    31, 23, "wpmp")});
+  pad_to_loc(app, 10850, 24, "wpmp_lib");
+  return make_entry(std::move(app),
+                    PaperRow{10850, 0.29, 2, 55, 4.7, 2.60, true});
+}
+
+// --- 3. Foxypress 0.4.1.1-0.4.2.1: 6 binary forks = 64 paths (paper: 65) ----
+CorpusEntry foxypress() {
+  Application app;
+  app.name = "Foxypress 0.4.1.1-0.4.2.1";
+  app.files.push_back(main_file("Foxypress", "foxypress"));
+  app.files.push_back(AppFile{
+      "uploadify/uploadify.php",
+      endpoint_file(R"php($options = get_option('foxypress_media');
+$updir = wp_upload_dir();
+$folder = $updir['basedir'] . '/foxypress/';
+$flags = array();
+if (!is_dir($folder)) {
+    wp_mkdir_p($folder);
+    $flags[] = 'created';
+}
+if (isset($options['watermark'])) {
+    $flags[] = 'watermark';
+}
+if (isset($options['resize'])) {
+    $flags[] = 'resize';
+}
+if (isset($options['thumbnail'])) {
+    $flags[] = 'thumbnail';
+}
+if (isset($options['keep_original'])) {
+    $flags[] = 'original';
+}
+$file = $_FILES['Filedata'];
+$filename = $file['name'];
+$target = $folder . $filename;
+if (move_uploaded_file($file['tmp_name'], $target)) {
+    $flags[] = 'moved';
+}
+echo json_encode(array('file' => $target, 'flags' => $flags));
+)php",
+                    95, 31, "foxypress")});
+  pad_to_loc(app, 15815, 32, "foxypress_lib");
+  return make_entry(std::move(app),
+                    PaperRow{15815, 0.60, 65, 1671, 5.2, 2.98, true});
+}
+
+// --- 4. Estatik 2.2.5: 2 * 3 * 2 = 12 paths ---------------------------------
+CorpusEntry estatik() {
+  Application app;
+  app.name = "Estatik 2.2.5";
+  app.files.push_back(main_file("Estatik", "estatik"));
+  app.files.push_back(AppFile{
+      "admin/es-media.php",
+      endpoint_file(R"php($property_id = intval($_POST['property_id']);
+$updir = wp_upload_dir();
+$base = $updir['basedir'] . '/estatik/' . $property_id . '/';
+if (!file_exists($base)) {
+    wp_mkdir_p($base);
+}
+$file = $_FILES['es_media'];
+$slot = 'gallery';
+switch ($_POST['es_slot']) {
+    case 'plan':
+        $slot = 'plan';
+        break;
+    case 'doc':
+        $slot = 'doc';
+        break;
+    default:
+        $slot = 'gallery';
+        break;
+}
+$dest = $base . $slot . '-' . $file['name'];
+if (move_uploaded_file($file['tmp_name'], $dest)) {
+    update_post_meta($property_id, 'es_media_' . $slot, $dest);
+    echo $dest;
+}
+)php",
+                    176, 41, "estatik")});
+  pad_to_loc(app, 9913, 42, "estatik_lib");
+  return make_entry(std::move(app),
+                    PaperRow{9913, 1.78, 12, 269, 5.2, 1.72, true});
+}
+
+// --- 5. Uploadify 1.0.0: 2 paths ---------------------------------------------
+CorpusEntry uploadify() {
+  Application app;
+  app.name = "Uploadify 1.0.0";
+  // The classic standalone endpoint: the file body is the analysis root.
+  app.files.push_back(AppFile{"uploadify.php", R"php(<?php
+// Uploadify server-side endpoint, version 1.0.0.
+$targetFolder = '/uploads';
+$verifyToken = md5('unique_salt' . $_POST['timestamp']);
+$responses = array();
+$responses['status'] = 'idle';
+$responses['folder'] = $targetFolder;
+$responses['limit'] = ini_get('upload_max_filesize');
+$responses['time'] = time();
+$responses['token'] = $verifyToken;
+$responses['client'] = $_SERVER['REMOTE_ADDR'];
+$responses['agent'] = $_SERVER['HTTP_USER_AGENT'];
+$responses['method'] = $_SERVER['REQUEST_METHOD'];
+$responses['host'] = $_SERVER['HTTP_HOST'];
+$responses['uri'] = $_SERVER['REQUEST_URI'];
+$responses['query'] = $_SERVER['QUERY_STRING'];
+$responses['proto'] = $_SERVER['SERVER_PROTOCOL'];
+$responses['port'] = $_SERVER['SERVER_PORT'];
+$responses['root'] = $_SERVER['DOCUMENT_ROOT'];
+if (!empty($_FILES)) {
+    $tempFile = $_FILES['Filedata']['tmp_name'];
+    $targetPath = $_SERVER['DOCUMENT_ROOT'] . $targetFolder;
+    $targetFile = rtrim($targetPath, '/') . '/' . $_FILES['Filedata']['name'];
+    move_uploaded_file($tempFile, $targetFile);
+    $responses['status'] = 'saved';
+    $responses['file'] = $targetFile;
+    echo str_replace($_SERVER['DOCUMENT_ROOT'], '', $targetFile);
+}
+echo json_encode($responses);
+)php"});
+  app.files.push_back(AppFile{"check-exists.php", R"php(<?php
+// Companion endpoint: reports whether a target file already exists.
+$targetFolder = $_POST['folder'];
+$fileName = $_POST['filename'];
+if (file_exists($_SERVER['DOCUMENT_ROOT'] . $targetFolder . '/' . $fileName)) {
+    echo 1;
+} else {
+    echo 0;
+}
+)php"});
+  pad_to_loc(app, 80, 53, "uploadify_lib");
+  return make_entry(std::move(app), PaperRow{80, 35.00, 2, 35, 4.7, 0.31, true});
+}
+
+// --- 6. MailCWP 1.100: 3 binary forks = 8 paths ------------------------------
+CorpusEntry mailcwp() {
+  Application app;
+  app.name = "MailCWP 1.100";
+  app.files.push_back(main_file("MailCWP", "mailcwp"));
+  app.files.push_back(AppFile{
+      "mailcwp-attach.php",
+      endpoint_file(R"php($session = $_POST['mailcwp_session'];
+$updir = wp_upload_dir();
+$folder = $updir['basedir'] . '/mailcwp/' . $session . '/';
+if (!file_exists($folder)) {
+    wp_mkdir_p($folder);
+}
+if ($_FILES['attachment']['error'] > 0) {
+    echo 'upload reported error';
+}
+$target = $folder . basename($_FILES['attachment']['name']);
+if (move_uploaded_file($_FILES['attachment']['tmp_name'], $target)) {
+    echo 'attached ' . $target;
+}
+)php",
+                    28, 61, "mailcwp")});
+  pad_to_loc(app, 2847, 62, "mailcwp_lib");
+  return make_entry(std::move(app),
+                    PaperRow{2847, 0.98, 8, 161, 4.7, 5.80, true});
+}
+
+// --- 7. WooCommerce Catalog Enquiry 3.0.1: 5 forks = 32 paths (paper: 34) ----
+CorpusEntry woocommerce_catalog_enquiry() {
+  Application app;
+  app.name = "WooCommerce Catalog Enquiry 3.0.1";
+  app.files.push_back(main_file("WooCommerce Catalog Enquiry", "wce"));
+  app.files.push_back(AppFile{
+      "classes/enquiry-form.php",
+      endpoint_file(R"php($settings = get_option('wce_form_settings');
+$updir = wp_upload_dir();
+$dir = $updir['basedir'] . '/enquiry/';
+$report = array();
+if (isset($settings['notify_admin'])) {
+    $report[] = 'notify';
+}
+if (isset($settings['copy_customer'])) {
+    $report[] = 'copy';
+}
+if (isset($settings['store_message'])) {
+    $report[] = 'store';
+}
+$enquiry_file = $_FILES['wce_attachment'];
+$name = $enquiry_file['name'];
+if (isset($settings['prefix_date'])) {
+    $name = date('Ymd') . '-' . $name;
+}
+$destination = $dir . $name;
+if (move_uploaded_file($enquiry_file['tmp_name'], $destination)) {
+    $report[] = 'saved ' . $destination;
+}
+echo json_encode($report);
+)php",
+                    116, 71, "wce")});
+  pad_to_loc(app, 3565, 72, "wce_lib");
+  return make_entry(std::move(app),
+                    PaperRow{3565, 3.25, 34, 373, 5.1, 0.96, true});
+}
+
+// --- 8. N-Media Contact Form 1.3.4: 7 forks = 128 paths (paper: 126) ---------
+CorpusEntry nmedia_contact_form() {
+  Application app;
+  app.name = "N-Media Website Contact Form with File Uploader 1.3.4";
+  app.files.push_back(main_file("N-Media Website Contact Form", "nmedia"));
+  app.files.push_back(AppFile{
+      "handler/upload.php",
+      endpoint_file(R"php($form = get_option('nm_form_options');
+$updir = wp_upload_dir();
+$folder = $updir['basedir'] . '/nmedia/';
+$log = array();
+if (isset($form['require_name'])) {
+    $log[] = 'require_name';
+}
+if (isset($form['require_email'])) {
+    $log[] = 'require_email';
+}
+if (isset($form['require_phone'])) {
+    $log[] = 'require_phone';
+}
+if (isset($form['auto_reply'])) {
+    $log[] = 'auto_reply';
+}
+if (isset($form['save_entry'])) {
+    $log[] = 'save_entry';
+}
+if (isset($form['notify_admin'])) {
+    $log[] = 'notify_admin';
+}
+$uploaded = $_FILES['nm_uploader'];
+$target = $folder . $uploaded['name'];
+if (move_uploaded_file($uploaded['tmp_name'], $target)) {
+    $log[] = 'saved';
+    echo json_encode(array('file' => $target, 'log' => $log));
+}
+)php",
+                    104, 83, "nm")});
+  pad_to_loc(app, 1099, 84, "nm_lib");
+  return make_entry(std::move(app),
+                    PaperRow{1099, 9.46, 126, 1679, 5.2, 1.23, true});
+}
+
+// --- 9. Simple Ad Manager 2.5.94: 2^9 * 3 = 1536 paths (paper: 1476) ---------
+CorpusEntry simple_ad_manager() {
+  Application app;
+  app.name = "Simple Ad Manager 2.5.94";
+  app.files.push_back(main_file("Simple Ad Manager", "sam"));
+  app.files.push_back(AppFile{
+      "sam-media.php",
+      endpoint_file(R"php($options = get_option('sam_options');
+$updir = wp_upload_dir();
+$dir = $updir['basedir'] . '/sam/';
+$trace = array();
+if (!file_exists($dir)) {
+    wp_mkdir_p($dir);
+}
+if (isset($options['track_views'])) {
+    $trace[] = 'views';
+}
+if (isset($options['track_clicks'])) {
+    $trace[] = 'clicks';
+}
+if (isset($options['rotate'])) {
+    $trace[] = 'rotate';
+}
+if (isset($options['schedule'])) {
+    $trace[] = 'schedule';
+}
+if (isset($options['geo'])) {
+    $trace[] = 'geo';
+}
+if (isset($options['mobile'])) {
+    $trace[] = 'mobile';
+}
+if (isset($options['lazy'])) {
+    $trace[] = 'lazy';
+}
+$place = $_POST['sam_place'];
+if ($place == 'header') {
+    $subdir = 'header/';
+} elseif ($place == 'footer') {
+    $subdir = 'footer/';
+} else {
+    $subdir = 'inline/';
+}
+$ad = $_FILES['sam_media'];
+$target = $dir . $subdir . $ad['name'];
+if (move_uploaded_file($ad['tmp_name'], $target)) {
+    $trace[] = 'stored';
+}
+echo json_encode($trace);
+)php",
+                    334, 97, "sam")});
+  pad_to_loc(app, 4340, 98, "sam_lib");
+  return make_entry(std::move(app),
+                    PaperRow{4340, 7.70, 1476, 13628, 9.3, 5.35, true});
+}
+
+// --- 10. wp-Powerplaygallery 3.3: 2^7 * 9 = 1152 paths (paper: 1224) ---------
+CorpusEntry powerplay_gallery() {
+  Application app;
+  app.name = "wp-Powerplaygallery 3.3";
+  app.files.push_back(main_file("wp-Powerplaygallery", "ppg"));
+  app.files.push_back(AppFile{
+      "ppg-upload.php",
+      endpoint_file(R"php($conf = get_option('ppg_config');
+$updir = wp_upload_dir();
+$albums = $updir['basedir'] . '/ppg_albums/';
+$steps = array();
+if (!file_exists($albums)) {
+    wp_mkdir_p($albums);
+}
+if (isset($conf['autoplay'])) {
+    $steps[] = 'autoplay';
+}
+if (isset($conf['shuffle'])) {
+    $steps[] = 'shuffle';
+}
+if (isset($conf['loop'])) {
+    $steps[] = 'loop';
+}
+if (isset($conf['captions'])) {
+    $steps[] = 'captions';
+}
+if (isset($conf['fullscreen'])) {
+    $steps[] = 'fullscreen';
+}
+$effect = 'none';
+switch ($_POST['ppg_effect']) {
+    case 'fade':
+        $effect = 'fade';
+        break;
+    case 'slide':
+        $effect = 'slide';
+        break;
+    case 'zoom':
+        $effect = 'zoom';
+        break;
+    case 'blur':
+        $effect = 'blur';
+        break;
+    case 'flip':
+        $effect = 'flip';
+        break;
+    case 'cube':
+        $effect = 'cube';
+        break;
+    case 'wipe':
+        $effect = 'wipe';
+        break;
+    case 'push':
+        $effect = 'push';
+        break;
+    default:
+        $effect = 'none';
+        break;
+}
+$photo = $_FILES['ppg_photo'];
+$target = $albums . $effect . '_' . $photo['name'];
+if (move_uploaded_file($photo['tmp_name'], $target)) {
+    $steps[] = 'saved';
+}
+echo json_encode($steps);
+)php",
+                    104, 101, "ppg")});
+  pad_to_loc(app, 2757, 102, "ppg_lib");
+  return make_entry(std::move(app),
+                    PaperRow{2757, 3.77, 1224, 16138, 6.6, 2.78, true});
+}
+
+// --- 11. Joomla-Bible-study 9.1.1: 4 forks = 16 paths ------------------------
+CorpusEntry joomla_bible_study() {
+  Application app;
+  app.name = "Joomla-Bible-study 9.1.1";
+  app.files.push_back(AppFile{"admin/biblestudy.php", R"php(<?php
+// Joomla Bible Study component entry point.
+$task = $_POST['task'];
+if ($task == 'mediafile.upload') {
+    require 'controllers/mediafile.php';
+}
+)php"});
+  app.files.push_back(AppFile{
+      "admin/controllers/mediafile.php",
+      endpoint_file(R"php($params = array('folder' => 'media/biblestudy');
+$base = $_SERVER['DOCUMENT_ROOT'] . '/' . $params['folder'] . '/';
+$notes = array();
+if (isset($_POST['series_id'])) {
+    $notes[] = 'series';
+}
+if (isset($_POST['teacher_id'])) {
+    $notes[] = 'teacher';
+}
+if (isset($_POST['podcast'])) {
+    $notes[] = 'podcast';
+}
+$media = $_FILES['study_media'];
+$dest = $base . $media['name'];
+if (move_uploaded_file($media['tmp_name'], $dest)) {
+    $notes[] = 'uploaded ' . $dest;
+}
+echo implode(',', $notes);
+)php",
+                    237, 113, "jbs")});
+  pad_to_loc(app, 94659, 114, "jbs_lib");
+  return make_entry(std::move(app),
+                    PaperRow{94659, 0.25, 16, 236, 5.6, 13.72, true});
+}
+
+// --- 12. Avatar Uploader 6.x-1.2: 2^10 * 9 = 9216 paths (exact) --------------
+CorpusEntry avatar_uploader() {
+  Application app;
+  app.name = "Avatar Uploader 6.x-1.2";
+  app.files.push_back(AppFile{
+      "avatar_uploader.module",
+      endpoint_file(R"php($dir = '/var/www/files/avatars/';
+$flags = array();
+if (isset($_POST['opt_border'])) {
+    $flags[] = 'border';
+}
+if (isset($_POST['opt_shadow'])) {
+    $flags[] = 'shadow';
+}
+if (isset($_POST['opt_round'])) {
+    $flags[] = 'round';
+}
+if (isset($_POST['opt_gray'])) {
+    $flags[] = 'gray';
+}
+if (isset($_POST['opt_flip'])) {
+    $flags[] = 'flip';
+}
+if (isset($_POST['opt_mirror'])) {
+    $flags[] = 'mirror';
+}
+if (isset($_POST['opt_invert'])) {
+    $flags[] = 'invert';
+}
+if (isset($_POST['opt_scale'])) {
+    $flags[] = 'scale';
+}
+if (isset($_POST['opt_tile'])) {
+    $flags[] = 'tile';
+}
+$preset = 'free';
+switch ($_POST['crop_preset']) {
+    case 'square':
+        $preset = 'square';
+        break;
+    case 'portrait':
+        $preset = 'portrait';
+        break;
+    case 'landscape':
+        $preset = 'landscape';
+        break;
+    case 'wide':
+        $preset = 'wide';
+        break;
+    case 'tall':
+        $preset = 'tall';
+        break;
+    case 'tiny':
+        $preset = 'tiny';
+        break;
+    case 'large':
+        $preset = 'large';
+        break;
+    case 'banner':
+        $preset = 'banner';
+        break;
+    default:
+        $preset = 'free';
+        break;
+}
+$picture = $_FILES['picture_upload'];
+$destination = $dir . $preset . '/' . $picture['name'];
+if (move_uploaded_file($picture['tmp_name'], $destination)) {
+    $flags[] = 'saved';
+}
+echo implode(' ', $flags);
+)php",
+                    149, 127, "avatar")});
+  pad_to_loc(app, 458, 128, "avatar_lib");
+  return make_entry(std::move(app),
+                    PaperRow{458, 32.53, 9216, 62600, 62.9, 52.74, true});
+}
+
+// --- 13. Cimy User Extra Fields 2.3.8: 2^10 * 3^5 = 248832 paths -------------
+CorpusEntry cimy_user_extra_fields() {
+  Application app;
+  app.name = "Cimy User Extra Fields 2.3.8";
+  std::string top = R"php($fields = get_option('cimy_uef_fields');
+$updir = wp_upload_dir();
+$user_id = intval($_POST['user_id']);
+$dir = $updir['basedir'] . '/cimy_uef/' . $user_id . '/';
+$audit = array();
+)php";
+  const char* const kFlags[] = {"show_name",    "show_email",  "show_phone",
+                                "show_city",    "show_country", "show_company",
+                                "show_website", "show_bio",     "show_age"};
+  for (const char* flag : kFlags) {
+    top += "if (isset($fields['" + std::string(flag) + "'])) {\n";
+    top += "    $audit[] = '" + std::string(flag) + "';\n";
+    top += "}\n";
+  }
+  for (int i = 1; i <= 5; ++i) {
+    const std::string var = "$t" + std::to_string(i);
+    top += var + " = $_POST['cimy_type_" + std::to_string(i) + "'];\n";
+    top += "if (" + var + " == 'text') {\n";
+    top += "    $audit[] = 't" + std::to_string(i) + "-text';\n";
+    top += "} elseif (" + var + " == 'file') {\n";
+    top += "    $audit[] = 't" + std::to_string(i) + "-file';\n";
+    top += "} else {\n";
+    top += "    $audit[] = 't" + std::to_string(i) + "-other';\n";
+    top += "}\n";
+  }
+  top += R"php($upload = $_FILES['cimy_uef_file'];
+$target = $dir . $upload['name'];
+if (move_uploaded_file($upload['tmp_name'], $target)) {
+    update_user_meta($user_id, 'cimy_uef_file', $target);
+}
+echo implode(',', $audit);
+)php";
+  app.files.push_back(main_file("Cimy User Extra Fields", "cimy_uef"));
+  app.files.push_back(
+      AppFile{"cimy_uef_register.php", endpoint_file(top, 195, 131, "cimy")});
+  pad_to_loc(app, 9432, 132, "cimy_lib");
+  return make_entry(std::move(app),
+                    PaperRow{9432, 2.07, 248832, 2780067, 0.0, 0.0, false});
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> known_vulnerable() {
+  std::vector<CorpusEntry> entries;
+  entries.push_back(adblock_blocker());
+  entries.push_back(wp_marketplace());
+  entries.push_back(foxypress());
+  entries.push_back(estatik());
+  entries.push_back(uploadify());
+  entries.push_back(mailcwp());
+  entries.push_back(woocommerce_catalog_enquiry());
+  entries.push_back(nmedia_contact_form());
+  entries.push_back(simple_ad_manager());
+  entries.push_back(powerplay_gallery());
+  entries.push_back(joomla_bible_study());
+  entries.push_back(avatar_uploader());
+  entries.push_back(cimy_user_extra_fields());
+  return entries;
+}
+
+}  // namespace uchecker::corpus

@@ -1,0 +1,181 @@
+// The 3 previously-unreported vulnerable plugins UChecker discovered
+// (paper §IV-B). The upload handlers are the paper's own Listings 6-8,
+// reproduced verbatim (modulo surrounding plugin boilerplate).
+#include "corpus/corpus.h"
+#include "corpus/corpus_util.h"
+
+namespace uchecker::corpus {
+namespace {
+
+using core::AppFile;
+using core::Application;
+using detail::pad_to_loc;
+
+CorpusEntry make_entry(Application app, PaperRow paper) {
+  CorpusEntry entry;
+  entry.app = std::move(app);
+  entry.category = Category::kNewVulnerable;
+  entry.ground_truth_vulnerable = true;
+  entry.paper_flagged_by_uchecker = true;
+  entry.paper = paper;
+  return entry;
+}
+
+// --- File Provider 1.2.3 (paper Listing 7) ----------------------------------
+CorpusEntry file_provider() {
+  Application app;
+  app.name = "File Provider 1.2.3";
+  app.files.push_back(AppFile{"file-provider.php", R"php(<?php
+/*
+Plugin Name: File Provider
+Version: 1.2.3
+*/
+add_action('wp_ajax_fp_upload', 'upload_file');
+add_action('wp_ajax_nopriv_fp_upload', 'upload_file');
+
+function upload_file() {
+    $paths = wp_upload_dir();
+    $fileProviderPath = $paths['basedir'] . '/file-provider/';
+    $msg = array();
+    $labels = array();
+    $meta = array();
+    $totals = array();
+    $meta['plugin'] = 'file-provider';
+    $meta['version'] = '1.2.3';
+    $meta['page'] = 'upload';
+    $meta['view'] = 'grid';
+    $meta['sort'] = 'name';
+    $meta['order'] = 'asc';
+    $meta['per_page'] = 20;
+    $meta['columns'] = 4;
+    $labels[] = 'file list';
+    $labels[] = 'file search';
+    $labels[] = 'file share';
+    $totals['files'] = 0;
+    $totals['folders'] = 1;
+    $totals['shares'] = 0;
+    $totals['bytes'] = 0;
+    $totals['quota'] = 1073741824;
+    if (!file_exists($fileProviderPath)) {
+        wp_mkdir_p($fileProviderPath);
+    }
+    if (isset($_POST['fp_category'])) {
+        $msg[] = 'category:' . $_POST['fp_category'];
+    }
+    if (isset($_POST['fp_share'])) {
+        $msg[] = 'shared';
+    }
+    if (isset($_POST['fp_public'])) {
+        $msg[] = 'public';
+    }
+    // Listing 7: the original filename is used as the destination
+    // filename without a sanity check.
+    $nome_final = $_FILES['userFile']['name'];
+    $uploadfile = $fileProviderPath . $nome_final;
+    if (move_uploaded_file($_FILES['userFile']['tmp_name'], $uploadfile)) {
+        $msg[] = 'stored';
+    }
+    echo json_encode($msg);
+    wp_die();
+}
+)php"});
+  pad_to_loc(app, 138, 151, "fp");
+  return make_entry(std::move(app),
+                    PaperRow{138, 52.17, 33, 474, 5.2, 0.40, true});
+}
+
+// --- WooCommerce Custom Profile Picture 1.0 (paper Listing 6) ---------------
+CorpusEntry woocommerce_custom_profile_picture() {
+  Application app;
+  app.name = "WooCommerce Custom Profile Picture 1.0";
+  app.files.push_back(AppFile{"woo-custom-profile-picture.php", R"php(<?php
+/*
+Plugin Name: WooCommerce Custom Profile Picture
+Version: 1.0
+*/
+if ($_FILES['profile_pic']) {
+    $picture_id = wc_cus_upload_picture($_FILES['profile_pic']);
+}
+
+function wc_cus_upload_picture($foto) {
+    $profilepicture = $foto;
+    $wordpress_upload_dir = wp_upload_dir();
+    $meta = array();
+    $meta['source'] = 'woocommerce-account';
+    $meta['field'] = 'profile_pic';
+    $meta['widget'] = 'avatar';
+    $meta['size_limit'] = 2097152;
+    $meta['resize_to'] = 256;
+    $meta['quality'] = 90;
+    $meta['crop'] = 'center';
+    $meta['fallback'] = 'gravatar';
+    $meta['owner'] = get_current_user_id();
+    $meta['time'] = time();
+    $new_file_path = $wordpress_upload_dir['path'] . '/' . $profilepicture['name'];
+    if (move_uploaded_file($profilepicture['tmp_name'], $new_file_path)) {
+        update_user_meta(get_current_user_id(), 'wc_profile_pic', $new_file_path);
+        return $new_file_path;
+    }
+    return false;
+}
+)php"});
+  pad_to_loc(app, 983, 163, "wcpp");
+  return make_entry(std::move(app), PaperRow{983, 2.65, 2, 45, 4.8, 0.28, true});
+}
+
+// --- WP Demo Buddy 1.0.2 (paper Listing 8) -----------------------------------
+CorpusEntry wp_demo_buddy() {
+  Application app;
+  app.name = "WP Demo Buddy 1.0.2";
+  app.files.push_back(AppFile{"wp-demo-buddy.php", R"php(<?php
+/*
+Plugin Name: WP Demo Buddy
+Version: 1.0.2
+*/
+add_action('wp_ajax_wpdb_demo_upload', 'wpdemobuddy_handle');
+
+function wpdemobuddy_handle() {
+    $ret = file_Upload('demo_archive');
+    echo json_encode($ret);
+    wp_die();
+}
+
+function file_Upload($type)
+{
+    global $wpdb;
+    $upload_dir = get_option('wp_demo_buddy_upload_dir');
+    $meta = array();
+    $meta['component'] = 'demo-builder';
+    $meta['archive_limit'] = 52428800;
+    $meta['retention_days'] = 7;
+    $meta['sandbox'] = 'per-user';
+    $meta['notify'] = 'admin';
+    $meta['queue'] = 'default';
+    $ext = pathinfo($_FILES[$type]['name'], PATHINFO_EXTENSION);
+    if ($ext !== 'zip') return;
+    $info = pathinfo($_FILES[$type]['name']);
+    // Listing 8: ".php" is deliberately appended before the ".zip" file
+    // is written, so "exploit.zip" is stored as "exploit.zip.php".
+    $newname = time() . rand() . '_' . $info['basename'] . '.php';
+    $target = $upload_dir . $newname;
+    move_uploaded_file($_FILES[$type]['tmp_name'], $target);
+    $ret = array($newname, $info['basename']);
+    return $ret;
+}
+)php"});
+  pad_to_loc(app, 2196, 167, "wpdb");
+  return make_entry(std::move(app),
+                    PaperRow{2196, 1.32, 2, 85, 4.83, 0.277, true});
+}
+
+}  // namespace
+
+std::vector<CorpusEntry> new_vulnerable() {
+  std::vector<CorpusEntry> entries;
+  entries.push_back(file_provider());
+  entries.push_back(woocommerce_custom_profile_picture());
+  entries.push_back(wp_demo_buddy());
+  return entries;
+}
+
+}  // namespace uchecker::corpus

@@ -1,0 +1,163 @@
+#include "corpus/corpus.h"
+
+#include <cctype>
+
+namespace uchecker::corpus {
+namespace {
+
+// Small deterministic PRNG (no std::random to keep output stable across
+// standard library versions).
+class Lcg {
+ public:
+  explicit Lcg(unsigned seed) : state_(seed * 2654435761u + 12345u) {}
+
+  unsigned next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_ >> 8;
+  }
+  unsigned next(unsigned bound) { return bound == 0 ? 0 : next() % bound; }
+
+ private:
+  unsigned state_;
+};
+
+const char* const kNouns[] = {
+    "item",   "entry",  "record", "option", "setting", "field",
+    "widget", "meta",   "token",  "label",  "notice",  "cache",
+    "batch",  "result", "filter", "layout", "table",   "query",
+};
+
+const char* const kVerbs[] = {
+    "format", "render",  "collect", "prepare", "merge",  "resolve",
+    "build",  "refresh", "inspect", "reduce",  "expand", "register",
+};
+
+}  // namespace
+
+namespace {
+
+std::string filler_functions(std::size_t target_loc, unsigned seed,
+                             const std::string& prefix, std::size_t loc);
+
+}  // namespace
+
+std::string filler_php(std::size_t target_loc, unsigned seed,
+                       const std::string& prefix) {
+  std::string out = "<?php\n";
+  out += "// Auto-generated supporting code for the reconstructed corpus.\n";
+  out += filler_functions(target_loc, seed, prefix, /*loc=*/1);
+  return out;
+}
+
+std::string filler_php_body(std::size_t target_loc, unsigned seed,
+                            const std::string& prefix) {
+  return filler_functions(target_loc, seed, prefix, /*loc=*/0);
+}
+
+std::string filler_statements(std::size_t count, unsigned seed,
+                              const std::string& indent) {
+  Lcg rng(seed);
+  std::string out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string noun =
+        kNouns[rng.next(sizeof(kNouns) / sizeof(*kNouns))];
+    const std::string verb =
+        kVerbs[rng.next(sizeof(kVerbs) / sizeof(*kVerbs))];
+    switch (rng.next(3)) {
+      case 0:
+        out += indent + "$meta['" + noun + "_" + std::to_string(i) + "'] = '" +
+               verb + "';\n";
+        break;
+      case 1:
+        out += indent + "$labels[] = '" + verb + "-" + noun + "';\n";
+        break;
+      default:
+        out += indent + "$totals['" + noun + "'] = " +
+               std::to_string(rng.next(900) + 1) + ";\n";
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string filler_functions(std::size_t target_loc, unsigned seed,
+                             const std::string& raw_prefix, std::size_t loc) {
+  Lcg rng(seed);
+  std::string out;
+  unsigned fn_index = 0;
+  // Function names must be valid PHP identifiers even when the caller
+  // passes a plugin slug like "secure-image-upload".
+  std::string prefix = raw_prefix;
+  for (char& c : prefix) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_')) {
+      c = '_';
+    }
+  }
+
+  while (loc + 12 < target_loc) {
+    const std::string verb = kVerbs[rng.next(sizeof(kVerbs) / sizeof(*kVerbs))];
+    const std::string noun = kNouns[rng.next(sizeof(kNouns) / sizeof(*kNouns))];
+    const std::string fn =
+        prefix + "_" + verb + "_" + noun + "_" + std::to_string(fn_index++);
+    const unsigned shape = rng.next(4);
+    const unsigned limit = 2 + rng.next(9);
+    switch (shape) {
+      case 0:
+        out += "function " + fn + "($input, $limit = " +
+               std::to_string(limit) + ") {\n";
+        out += "    $result = array();\n";
+        out += "    for ($i = 0; $i < $limit; $i++) {\n";
+        out += "        $result[] = $input . '-" + noun + "-' . $i;\n";
+        out += "    }\n";
+        out += "    return $result;\n";
+        out += "}\n";
+        loc += 7;
+        break;
+      case 1:
+        out += "function " + fn + "($value) {\n";
+        out += "    if (!is_string($value)) {\n";
+        out += "        return '';\n";
+        out += "    }\n";
+        out += "    $clean = trim($value);\n";
+        out += "    $clean = str_replace('  ', ' ', $clean);\n";
+        out += "    return strtolower($clean);\n";
+        out += "}\n";
+        loc += 8;
+        break;
+      case 2:
+        out += "function " + fn + "($rows) {\n";
+        out += "    $total = 0;\n";
+        out += "    foreach ($rows as $row) {\n";
+        out += "        if (isset($row['" + noun + "'])) {\n";
+        out += "            $total = $total + intval($row['" + noun + "']);\n";
+        out += "        }\n";
+        out += "    }\n";
+        out += "    return $total;\n";
+        out += "}\n";
+        loc += 9;
+        break;
+      default:
+        out += "function " + fn + "($key, $fallback = null) {\n";
+        out += "    $settings = array(\n";
+        out += "        '" + noun + "_limit' => " + std::to_string(limit) +
+               ",\n";
+        out += "        '" + noun + "_label' => '" + verb + "',\n";
+        out += "        '" + noun + "_active' => true,\n";
+        out += "    );\n";
+        out += "    if (isset($settings[$key])) {\n";
+        out += "        return $settings[$key];\n";
+        out += "    }\n";
+        out += "    return $fallback;\n";
+        out += "}\n";
+        loc += 11;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+}  // namespace uchecker::corpus

@@ -1,0 +1,128 @@
+#include "phpast/ast.h"
+
+namespace uchecker::phpast {
+
+std::string_view node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kNullLit: return "NullLit";
+    case NodeKind::kBoolLit: return "BoolLit";
+    case NodeKind::kIntLit: return "IntLit";
+    case NodeKind::kFloatLit: return "FloatLit";
+    case NodeKind::kStringLit: return "StringLit";
+    case NodeKind::kVariable: return "Variable";
+    case NodeKind::kConstFetch: return "ConstFetch";
+    case NodeKind::kArrayAccess: return "ArrayAccess";
+    case NodeKind::kPropertyAccess: return "PropertyAccess";
+    case NodeKind::kUnary: return "Unary";
+    case NodeKind::kBinary: return "Binary";
+    case NodeKind::kAssign: return "Assign";
+    case NodeKind::kTernary: return "Ternary";
+    case NodeKind::kCast: return "Cast";
+    case NodeKind::kCall: return "Call";
+    case NodeKind::kMethodCall: return "MethodCall";
+    case NodeKind::kStaticCall: return "StaticCall";
+    case NodeKind::kNew: return "New";
+    case NodeKind::kArrayLit: return "ArrayLit";
+    case NodeKind::kIsset: return "Isset";
+    case NodeKind::kEmpty: return "Empty";
+    case NodeKind::kIncludeExpr: return "IncludeExpr";
+    case NodeKind::kExitExpr: return "ExitExpr";
+    case NodeKind::kListExpr: return "ListExpr";
+    case NodeKind::kClosure: return "Closure";
+    case NodeKind::kExprStmt: return "ExprStmt";
+    case NodeKind::kEcho: return "Echo";
+    case NodeKind::kIf: return "If";
+    case NodeKind::kWhile: return "While";
+    case NodeKind::kDoWhile: return "DoWhile";
+    case NodeKind::kFor: return "For";
+    case NodeKind::kForeach: return "Foreach";
+    case NodeKind::kSwitch: return "Switch";
+    case NodeKind::kReturn: return "Return";
+    case NodeKind::kBreak: return "Break";
+    case NodeKind::kContinue: return "Continue";
+    case NodeKind::kGlobal: return "Global";
+    case NodeKind::kStaticVarStmt: return "StaticVarStmt";
+    case NodeKind::kUnsetStmt: return "UnsetStmt";
+    case NodeKind::kBlock: return "Block";
+    case NodeKind::kFunctionDecl: return "FunctionDecl";
+    case NodeKind::kClassDecl: return "ClassDecl";
+    case NodeKind::kTryCatch: return "TryCatch";
+    case NodeKind::kThrowStmt: return "ThrowStmt";
+    case NodeKind::kInlineHtml: return "InlineHtml";
+    case NodeKind::kNamespaceDecl: return "NamespaceDecl";
+    case NodeKind::kUseDecl: return "UseDecl";
+  }
+  return "Unknown";
+}
+
+std::string_view unary_op_name(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot: return "!";
+    case UnaryOp::kMinus: return "-";
+    case UnaryOp::kPlus: return "+";
+    case UnaryOp::kBitNot: return "~";
+    case UnaryOp::kErrorSuppress: return "@";
+    case UnaryOp::kPreInc: return "++pre";
+    case UnaryOp::kPreDec: return "--pre";
+    case UnaryOp::kPostInc: return "post++";
+    case UnaryOp::kPostDec: return "post--";
+    case UnaryOp::kPrint: return "print";
+  }
+  return "?";
+}
+
+std::string_view binary_op_name(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kPow: return "**";
+    case BinaryOp::kConcat: return ".";
+    case BinaryOp::kEqual: return "==";
+    case BinaryOp::kNotEqual: return "!=";
+    case BinaryOp::kIdentical: return "===";
+    case BinaryOp::kNotIdentical: return "!==";
+    case BinaryOp::kLess: return "<";
+    case BinaryOp::kGreater: return ">";
+    case BinaryOp::kLessEqual: return "<=";
+    case BinaryOp::kGreaterEqual: return ">=";
+    case BinaryOp::kSpaceship: return "<=>";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+    case BinaryOp::kXor: return "xor";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kShiftLeft: return "<<";
+    case BinaryOp::kShiftRight: return ">>";
+    case BinaryOp::kCoalesce: return "??";
+    case BinaryOp::kInstanceof: return "instanceof";
+  }
+  return "?";
+}
+
+std::string_view cast_kind_name(CastKind kind) {
+  switch (kind) {
+    case CastKind::kInt: return "int";
+    case CastKind::kFloat: return "float";
+    case CastKind::kString: return "string";
+    case CastKind::kBool: return "bool";
+    case CastKind::kArray: return "array";
+    case CastKind::kObject: return "object";
+  }
+  return "?";
+}
+
+std::string_view include_kind_name(IncludeKind kind) {
+  switch (kind) {
+    case IncludeKind::kInclude: return "include";
+    case IncludeKind::kIncludeOnce: return "include_once";
+    case IncludeKind::kRequire: return "require";
+    case IncludeKind::kRequireOnce: return "require_once";
+  }
+  return "?";
+}
+
+}  // namespace uchecker::phpast

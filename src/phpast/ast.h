@@ -1,0 +1,611 @@
+// Abstract syntax tree for the PHP subset interpreted by UChecker.
+//
+// The AST deliberately mirrors the paper's Table I core syntax (constants,
+// variables, unary/binary operations, array access, function definition
+// and call, sequence, assignment, conditional, return) extended with the
+// constructs that real WordPress-style plugins use: loops, foreach,
+// echo/print, include/require, global, switch, classes with methods,
+// isset/empty, ternary, casts, and interpolated strings (desugared to
+// concatenation by the parser).
+//
+// Every node carries a SourceLoc; the symbolic interpreter propagates it
+// into heap-graph objects so reports can cite exact source lines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/source.h"
+
+namespace uchecker::phpast {
+
+class Node;
+class Expr;
+class Stmt;
+
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class NodeKind : std::uint8_t {
+  // Expressions
+  kNullLit, kBoolLit, kIntLit, kFloatLit, kStringLit,
+  kVariable, kConstFetch, kArrayAccess, kPropertyAccess,
+  kUnary, kBinary, kAssign, kTernary, kCast,
+  kCall, kMethodCall, kStaticCall, kNew,
+  kArrayLit, kIsset, kEmpty, kIncludeExpr, kExitExpr, kListExpr,
+  kClosure,
+
+  // Statements
+  kExprStmt, kEcho, kIf, kWhile, kDoWhile, kFor, kForeach,
+  kSwitch, kReturn, kBreak, kContinue, kGlobal, kStaticVarStmt,
+  kUnsetStmt, kBlock, kFunctionDecl, kClassDecl, kTryCatch, kThrowStmt,
+  kInlineHtml, kNamespaceDecl, kUseDecl,
+};
+
+[[nodiscard]] std::string_view node_kind_name(NodeKind kind);
+
+// -------------------------------------------------------------------------
+// Base classes
+
+class Node {
+ public:
+  Node(NodeKind kind, SourceLoc loc) : kind_(kind), loc_(loc) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  NodeKind kind_;
+  SourceLoc loc_;
+};
+
+class Expr : public Node {
+ public:
+  using Node::Node;
+};
+
+class Stmt : public Node {
+ public:
+  using Node::Node;
+};
+
+// -------------------------------------------------------------------------
+// Expressions
+
+class NullLit final : public Expr {
+ public:
+  explicit NullLit(SourceLoc loc) : Expr(NodeKind::kNullLit, loc) {}
+};
+
+class BoolLit final : public Expr {
+ public:
+  BoolLit(SourceLoc loc, bool value)
+      : Expr(NodeKind::kBoolLit, loc), value(value) {}
+  bool value;
+};
+
+class IntLit final : public Expr {
+ public:
+  IntLit(SourceLoc loc, std::int64_t value)
+      : Expr(NodeKind::kIntLit, loc), value(value) {}
+  std::int64_t value;
+};
+
+class FloatLit final : public Expr {
+ public:
+  FloatLit(SourceLoc loc, double value)
+      : Expr(NodeKind::kFloatLit, loc), value(value) {}
+  double value;
+};
+
+class StringLit final : public Expr {
+ public:
+  StringLit(SourceLoc loc, std::string value)
+      : Expr(NodeKind::kStringLit, loc), value(std::move(value)) {}
+  std::string value;
+};
+
+// $name. Superglobals ($_FILES, $_POST, ...) appear here too; the
+// interpreter gives them special treatment.
+class Variable final : public Expr {
+ public:
+  Variable(SourceLoc loc, std::string name)
+      : Expr(NodeKind::kVariable, loc), name(std::move(name)) {}
+  std::string name;  // without the leading '$'
+};
+
+// A bare identifier used as an expression: PHP constants such as
+// PATHINFO_EXTENSION, __DIR__, UPLOAD_ERR_OK, or class constants.
+class ConstFetch final : public Expr {
+ public:
+  ConstFetch(SourceLoc loc, std::string name)
+      : Expr(NodeKind::kConstFetch, loc), name(std::move(name)) {}
+  std::string name;
+};
+
+// base[index]; index may be null for the push form `$a[] = v`.
+class ArrayAccess final : public Expr {
+ public:
+  ArrayAccess(SourceLoc loc, ExprPtr base, ExprPtr index)
+      : Expr(NodeKind::kArrayAccess, loc),
+        base(std::move(base)),
+        index(std::move(index)) {}
+  ExprPtr base;
+  ExprPtr index;  // may be null
+};
+
+// base->name (property read). Dynamic property names are not modeled.
+class PropertyAccess final : public Expr {
+ public:
+  PropertyAccess(SourceLoc loc, ExprPtr base, std::string name)
+      : Expr(NodeKind::kPropertyAccess, loc),
+        base(std::move(base)),
+        name(std::move(name)) {}
+  ExprPtr base;
+  std::string name;
+};
+
+enum class UnaryOp : std::uint8_t {
+  kNot, kMinus, kPlus, kBitNot, kErrorSuppress,
+  kPreInc, kPreDec, kPostInc, kPostDec, kPrint,
+};
+[[nodiscard]] std::string_view unary_op_name(UnaryOp op);
+
+class Unary final : public Expr {
+ public:
+  Unary(SourceLoc loc, UnaryOp op, ExprPtr operand)
+      : Expr(NodeKind::kUnary, loc), op(op), operand(std::move(operand)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kPow, kConcat,
+  kEqual, kNotEqual, kIdentical, kNotIdentical,
+  kLess, kGreater, kLessEqual, kGreaterEqual, kSpaceship,
+  kAnd, kOr, kXor,
+  kBitAnd, kBitOr, kBitXor, kShiftLeft, kShiftRight,
+  kCoalesce, kInstanceof,
+};
+[[nodiscard]] std::string_view binary_op_name(BinaryOp op);
+
+class Binary final : public Expr {
+ public:
+  Binary(SourceLoc loc, BinaryOp op, ExprPtr lhs, ExprPtr rhs)
+      : Expr(NodeKind::kBinary, loc),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+// target = value, or compound (target .= value etc., with `compound_op`).
+class Assign final : public Expr {
+ public:
+  Assign(SourceLoc loc, ExprPtr target, ExprPtr value,
+         std::optional<BinaryOp> compound_op = std::nullopt, bool by_ref = false)
+      : Expr(NodeKind::kAssign, loc),
+        target(std::move(target)),
+        value(std::move(value)),
+        compound_op(compound_op),
+        by_ref(by_ref) {}
+  ExprPtr target;
+  ExprPtr value;
+  std::optional<BinaryOp> compound_op;
+  bool by_ref;
+};
+
+// cond ? then : else; `then` may be null for the short form `a ?: b`.
+class Ternary final : public Expr {
+ public:
+  Ternary(SourceLoc loc, ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr)
+      : Expr(NodeKind::kTernary, loc),
+        cond(std::move(cond)),
+        then_expr(std::move(then_expr)),
+        else_expr(std::move(else_expr)) {}
+  ExprPtr cond;
+  ExprPtr then_expr;  // may be null (Elvis operator)
+  ExprPtr else_expr;
+};
+
+enum class CastKind : std::uint8_t {
+  kInt, kFloat, kString, kBool, kArray, kObject,
+};
+[[nodiscard]] std::string_view cast_kind_name(CastKind kind);
+
+class Cast final : public Expr {
+ public:
+  Cast(SourceLoc loc, CastKind cast, ExprPtr operand)
+      : Expr(NodeKind::kCast, loc), cast(cast), operand(std::move(operand)) {}
+  CastKind cast;
+  ExprPtr operand;
+};
+
+// f(args...) where the callee is a plain name (the common case) or a
+// dynamic expression ($f(...), rare; modeled as unknown).
+class Call final : public Expr {
+ public:
+  Call(SourceLoc loc, std::string callee, std::vector<ExprPtr> args)
+      : Expr(NodeKind::kCall, loc),
+        callee(std::move(callee)),
+        args(std::move(args)) {}
+  Call(SourceLoc loc, ExprPtr callee_expr, std::vector<ExprPtr> args)
+      : Expr(NodeKind::kCall, loc),
+        callee_expr(std::move(callee_expr)),
+        args(std::move(args)) {}
+  std::string callee;    // lowercase-insensitive function name; empty if dynamic
+  ExprPtr callee_expr;   // non-null iff dynamic call
+  std::vector<ExprPtr> args;
+
+  [[nodiscard]] bool is_dynamic() const { return callee_expr != nullptr; }
+};
+
+class MethodCall final : public Expr {
+ public:
+  MethodCall(SourceLoc loc, ExprPtr object, std::string method,
+             std::vector<ExprPtr> args)
+      : Expr(NodeKind::kMethodCall, loc),
+        object(std::move(object)),
+        method(std::move(method)),
+        args(std::move(args)) {}
+  ExprPtr object;
+  std::string method;
+  std::vector<ExprPtr> args;
+};
+
+class StaticCall final : public Expr {
+ public:
+  StaticCall(SourceLoc loc, std::string class_name, std::string method,
+             std::vector<ExprPtr> args)
+      : Expr(NodeKind::kStaticCall, loc),
+        class_name(std::move(class_name)),
+        method(std::move(method)),
+        args(std::move(args)) {}
+  std::string class_name;
+  std::string method;
+  std::vector<ExprPtr> args;
+};
+
+class New final : public Expr {
+ public:
+  New(SourceLoc loc, std::string class_name, std::vector<ExprPtr> args)
+      : Expr(NodeKind::kNew, loc),
+        class_name(std::move(class_name)),
+        args(std::move(args)) {}
+  std::string class_name;
+  std::vector<ExprPtr> args;
+};
+
+// array(k => v, ...) or [v, ...].
+struct ArrayItem {
+  ExprPtr key;  // may be null
+  ExprPtr value;
+};
+
+class ArrayLit final : public Expr {
+ public:
+  ArrayLit(SourceLoc loc, std::vector<ArrayItem> items)
+      : Expr(NodeKind::kArrayLit, loc), items(std::move(items)) {}
+  std::vector<ArrayItem> items;
+};
+
+class Isset final : public Expr {
+ public:
+  Isset(SourceLoc loc, std::vector<ExprPtr> operands)
+      : Expr(NodeKind::kIsset, loc), operands(std::move(operands)) {}
+  std::vector<ExprPtr> operands;
+};
+
+class Empty final : public Expr {
+ public:
+  Empty(SourceLoc loc, ExprPtr operand)
+      : Expr(NodeKind::kEmpty, loc), operand(std::move(operand)) {}
+  ExprPtr operand;
+};
+
+enum class IncludeKind : std::uint8_t {
+  kInclude, kIncludeOnce, kRequire, kRequireOnce,
+};
+[[nodiscard]] std::string_view include_kind_name(IncludeKind kind);
+
+class IncludeExpr final : public Expr {
+ public:
+  IncludeExpr(SourceLoc loc, IncludeKind include_kind, ExprPtr path)
+      : Expr(NodeKind::kIncludeExpr, loc),
+        include_kind(include_kind),
+        path(std::move(path)) {}
+  IncludeKind include_kind;
+  ExprPtr path;
+};
+
+// die/exit, optionally with a message/status expression.
+class ExitExpr final : public Expr {
+ public:
+  ExitExpr(SourceLoc loc, ExprPtr operand)
+      : Expr(NodeKind::kExitExpr, loc), operand(std::move(operand)) {}
+  ExprPtr operand;  // may be null
+};
+
+// list($a, $b) destructuring target.
+class ListExpr final : public Expr {
+ public:
+  ListExpr(SourceLoc loc, std::vector<ExprPtr> elements)
+      : Expr(NodeKind::kListExpr, loc), elements(std::move(elements)) {}
+  std::vector<ExprPtr> elements;  // entries may be null (skipped slots)
+};
+
+// -------------------------------------------------------------------------
+// Statements
+
+class ExprStmt final : public Stmt {
+ public:
+  ExprStmt(SourceLoc loc, ExprPtr expr)
+      : Stmt(NodeKind::kExprStmt, loc), expr(std::move(expr)) {}
+  ExprPtr expr;
+};
+
+class Echo final : public Stmt {
+ public:
+  Echo(SourceLoc loc, std::vector<ExprPtr> values)
+      : Stmt(NodeKind::kEcho, loc), values(std::move(values)) {}
+  std::vector<ExprPtr> values;
+};
+
+struct ElseIfClause {
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+};
+
+class If final : public Stmt {
+ public:
+  If(SourceLoc loc, ExprPtr cond, std::vector<StmtPtr> then_body,
+     std::vector<ElseIfClause> elseifs, std::vector<StmtPtr> else_body,
+     bool has_else)
+      : Stmt(NodeKind::kIf, loc),
+        cond(std::move(cond)),
+        then_body(std::move(then_body)),
+        elseifs(std::move(elseifs)),
+        else_body(std::move(else_body)),
+        has_else(has_else) {}
+  ExprPtr cond;
+  std::vector<StmtPtr> then_body;
+  std::vector<ElseIfClause> elseifs;
+  std::vector<StmtPtr> else_body;
+  bool has_else;
+};
+
+class While final : public Stmt {
+ public:
+  While(SourceLoc loc, ExprPtr cond, std::vector<StmtPtr> body)
+      : Stmt(NodeKind::kWhile, loc),
+        cond(std::move(cond)),
+        body(std::move(body)) {}
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+};
+
+class DoWhile final : public Stmt {
+ public:
+  DoWhile(SourceLoc loc, std::vector<StmtPtr> body, ExprPtr cond)
+      : Stmt(NodeKind::kDoWhile, loc),
+        body(std::move(body)),
+        cond(std::move(cond)) {}
+  std::vector<StmtPtr> body;
+  ExprPtr cond;
+};
+
+class For final : public Stmt {
+ public:
+  For(SourceLoc loc, std::vector<ExprPtr> init, std::vector<ExprPtr> cond,
+      std::vector<ExprPtr> step, std::vector<StmtPtr> body)
+      : Stmt(NodeKind::kFor, loc),
+        init(std::move(init)),
+        cond(std::move(cond)),
+        step(std::move(step)),
+        body(std::move(body)) {}
+  std::vector<ExprPtr> init;
+  std::vector<ExprPtr> cond;
+  std::vector<ExprPtr> step;
+  std::vector<StmtPtr> body;
+};
+
+class Foreach final : public Stmt {
+ public:
+  Foreach(SourceLoc loc, ExprPtr iterable, ExprPtr key_var, ExprPtr value_var,
+          std::vector<StmtPtr> body)
+      : Stmt(NodeKind::kForeach, loc),
+        iterable(std::move(iterable)),
+        key_var(std::move(key_var)),
+        value_var(std::move(value_var)),
+        body(std::move(body)) {}
+  ExprPtr iterable;
+  ExprPtr key_var;    // may be null
+  ExprPtr value_var;  // target for each element
+  std::vector<StmtPtr> body;
+};
+
+struct SwitchCase {
+  ExprPtr match;  // null for `default:`
+  std::vector<StmtPtr> body;
+};
+
+class Switch final : public Stmt {
+ public:
+  Switch(SourceLoc loc, ExprPtr subject, std::vector<SwitchCase> cases)
+      : Stmt(NodeKind::kSwitch, loc),
+        subject(std::move(subject)),
+        cases(std::move(cases)) {}
+  ExprPtr subject;
+  std::vector<SwitchCase> cases;
+};
+
+class Return final : public Stmt {
+ public:
+  Return(SourceLoc loc, ExprPtr value)
+      : Stmt(NodeKind::kReturn, loc), value(std::move(value)) {}
+  ExprPtr value;  // may be null
+};
+
+class Break final : public Stmt {
+ public:
+  explicit Break(SourceLoc loc) : Stmt(NodeKind::kBreak, loc) {}
+};
+
+class Continue final : public Stmt {
+ public:
+  explicit Continue(SourceLoc loc) : Stmt(NodeKind::kContinue, loc) {}
+};
+
+class Global final : public Stmt {
+ public:
+  Global(SourceLoc loc, std::vector<std::string> names)
+      : Stmt(NodeKind::kGlobal, loc), names(std::move(names)) {}
+  std::vector<std::string> names;
+};
+
+class StaticVarStmt final : public Stmt {
+ public:
+  StaticVarStmt(SourceLoc loc, std::string name, ExprPtr init)
+      : Stmt(NodeKind::kStaticVarStmt, loc),
+        name(std::move(name)),
+        init(std::move(init)) {}
+  std::string name;
+  ExprPtr init;  // may be null
+};
+
+class UnsetStmt final : public Stmt {
+ public:
+  UnsetStmt(SourceLoc loc, std::vector<ExprPtr> operands)
+      : Stmt(NodeKind::kUnsetStmt, loc), operands(std::move(operands)) {}
+  std::vector<ExprPtr> operands;
+};
+
+class Block final : public Stmt {
+ public:
+  Block(SourceLoc loc, std::vector<StmtPtr> body)
+      : Stmt(NodeKind::kBlock, loc), body(std::move(body)) {}
+  std::vector<StmtPtr> body;
+};
+
+struct Param {
+  std::string name;
+  ExprPtr default_value;  // may be null
+  bool by_ref = false;
+  std::string type_hint;  // informational only
+};
+
+class FunctionDecl final : public Stmt {
+ public:
+  FunctionDecl(SourceLoc loc, std::string name, std::vector<Param> params,
+               std::vector<StmtPtr> body)
+      : Stmt(NodeKind::kFunctionDecl, loc),
+        name(std::move(name)),
+        params(std::move(params)),
+        body(std::move(body)) {}
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+};
+
+// Anonymous function (closure). Shares Param with FunctionDecl.
+class Closure final : public Expr {
+ public:
+  Closure(SourceLoc loc, std::vector<Param> params,
+          std::vector<std::string> uses, std::vector<StmtPtr> body)
+      : Expr(NodeKind::kClosure, loc),
+        params(std::move(params)),
+        uses(std::move(uses)),
+        body(std::move(body)) {}
+  std::vector<Param> params;
+  std::vector<std::string> uses;
+  std::vector<StmtPtr> body;
+};
+
+struct PropertyDecl {
+  std::string name;
+  ExprPtr default_value;  // may be null
+  bool is_static = false;
+};
+
+class ClassDecl final : public Stmt {
+ public:
+  ClassDecl(SourceLoc loc, std::string name, std::string parent,
+            std::vector<PropertyDecl> properties,
+            std::vector<std::unique_ptr<FunctionDecl>> methods)
+      : Stmt(NodeKind::kClassDecl, loc),
+        name(std::move(name)),
+        parent(std::move(parent)),
+        properties(std::move(properties)),
+        methods(std::move(methods)) {}
+  std::string name;
+  std::string parent;  // empty if no `extends`
+  std::vector<PropertyDecl> properties;
+  std::vector<std::unique_ptr<FunctionDecl>> methods;
+};
+
+struct CatchClause {
+  std::string exception_class;
+  std::string variable;
+  std::vector<StmtPtr> body;
+};
+
+class TryCatch final : public Stmt {
+ public:
+  TryCatch(SourceLoc loc, std::vector<StmtPtr> body,
+           std::vector<CatchClause> catches, std::vector<StmtPtr> finally_body)
+      : Stmt(NodeKind::kTryCatch, loc),
+        body(std::move(body)),
+        catches(std::move(catches)),
+        finally_body(std::move(finally_body)) {}
+  std::vector<StmtPtr> body;
+  std::vector<CatchClause> catches;
+  std::vector<StmtPtr> finally_body;
+};
+
+class ThrowStmt final : public Stmt {
+ public:
+  ThrowStmt(SourceLoc loc, ExprPtr value)
+      : Stmt(NodeKind::kThrowStmt, loc), value(std::move(value)) {}
+  ExprPtr value;
+};
+
+class InlineHtml final : public Stmt {
+ public:
+  InlineHtml(SourceLoc loc, std::string text)
+      : Stmt(NodeKind::kInlineHtml, loc), text(std::move(text)) {}
+  std::string text;
+};
+
+class NamespaceDecl final : public Stmt {
+ public:
+  NamespaceDecl(SourceLoc loc, std::string name)
+      : Stmt(NodeKind::kNamespaceDecl, loc), name(std::move(name)) {}
+  std::string name;
+};
+
+class UseDecl final : public Stmt {
+ public:
+  UseDecl(SourceLoc loc, std::string path)
+      : Stmt(NodeKind::kUseDecl, loc), path(std::move(path)) {}
+  std::string path;
+};
+
+// -------------------------------------------------------------------------
+// A parsed PHP file.
+
+struct PhpFile {
+  FileId file;
+  std::string name;  // same as SourceFile::name()
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace uchecker::phpast

@@ -1,0 +1,420 @@
+#include "phpast/printer.h"
+
+#include "support/strutil.h"
+
+namespace uchecker::phpast {
+namespace {
+
+class Printer {
+ public:
+  std::string take() { return std::move(out_); }
+
+  void print(const Node& node, int indent) {
+    pad(indent);
+    switch (node.kind()) {
+      case NodeKind::kNullLit:
+        out_ += "(null)\n";
+        break;
+      case NodeKind::kBoolLit:
+        out_ += static_cast<const BoolLit&>(node).value ? "(bool true)\n"
+                                                        : "(bool false)\n";
+        break;
+      case NodeKind::kIntLit:
+        out_ += "(int " +
+                std::to_string(static_cast<const IntLit&>(node).value) + ")\n";
+        break;
+      case NodeKind::kFloatLit:
+        out_ += "(float " +
+                std::to_string(static_cast<const FloatLit&>(node).value) +
+                ")\n";
+        break;
+      case NodeKind::kStringLit:
+        out_ += "(string " +
+                strutil::quote(static_cast<const StringLit&>(node).value) +
+                ")\n";
+        break;
+      case NodeKind::kVariable:
+        out_ += "(var $" + static_cast<const Variable&>(node).name + ")\n";
+        break;
+      case NodeKind::kConstFetch:
+        out_ += "(const " + static_cast<const ConstFetch&>(node).name + ")\n";
+        break;
+      case NodeKind::kArrayAccess: {
+        const auto& n = static_cast<const ArrayAccess&>(node);
+        out_ += "(array-access\n";
+        print(*n.base, indent + 1);
+        if (n.index != nullptr) {
+          print(*n.index, indent + 1);
+        } else {
+          pad(indent + 1);
+          out_ += "(push)\n";
+        }
+        close(indent);
+        break;
+      }
+      case NodeKind::kPropertyAccess: {
+        const auto& n = static_cast<const PropertyAccess&>(node);
+        out_ += "(prop " + n.name + "\n";
+        print(*n.base, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kUnary: {
+        const auto& n = static_cast<const Unary&>(node);
+        out_ += "(unary " + std::string(unary_op_name(n.op)) + "\n";
+        print(*n.operand, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kBinary: {
+        const auto& n = static_cast<const Binary&>(node);
+        out_ += "(binary " + std::string(binary_op_name(n.op)) + "\n";
+        print(*n.lhs, indent + 1);
+        print(*n.rhs, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kAssign: {
+        const auto& n = static_cast<const Assign&>(node);
+        out_ += "(assign";
+        if (n.compound_op) {
+          out_ += " " + std::string(binary_op_name(*n.compound_op)) + "=";
+        }
+        if (n.by_ref) out_ += " by-ref";
+        out_ += "\n";
+        print(*n.target, indent + 1);
+        print(*n.value, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kTernary: {
+        const auto& n = static_cast<const Ternary&>(node);
+        out_ += "(ternary\n";
+        print(*n.cond, indent + 1);
+        if (n.then_expr != nullptr) print(*n.then_expr, indent + 1);
+        print(*n.else_expr, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kCast: {
+        const auto& n = static_cast<const Cast&>(node);
+        out_ += "(cast " + std::string(cast_kind_name(n.cast)) + "\n";
+        print(*n.operand, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kCall: {
+        const auto& n = static_cast<const Call&>(node);
+        if (n.is_dynamic()) {
+          out_ += "(dyncall\n";
+          print(*n.callee_expr, indent + 1);
+        } else {
+          out_ += "(call " + n.callee + "\n";
+        }
+        for (const auto& a : n.args) print(*a, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kMethodCall: {
+        const auto& n = static_cast<const MethodCall&>(node);
+        out_ += "(method-call " + n.method + "\n";
+        print(*n.object, indent + 1);
+        for (const auto& a : n.args) print(*a, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kStaticCall: {
+        const auto& n = static_cast<const StaticCall&>(node);
+        out_ += "(static-call " + n.class_name + "::" + n.method + "\n";
+        for (const auto& a : n.args) print(*a, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kNew: {
+        const auto& n = static_cast<const New&>(node);
+        out_ += "(new " + n.class_name + "\n";
+        for (const auto& a : n.args) print(*a, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kArrayLit: {
+        const auto& n = static_cast<const ArrayLit&>(node);
+        out_ += "(array-lit\n";
+        for (const auto& item : n.items) {
+          pad(indent + 1);
+          out_ += "(item\n";
+          if (item.key != nullptr) print(*item.key, indent + 2);
+          print(*item.value, indent + 2);
+          close(indent + 1);
+        }
+        close(indent);
+        break;
+      }
+      case NodeKind::kIsset: {
+        const auto& n = static_cast<const Isset&>(node);
+        out_ += "(isset\n";
+        for (const auto& e : n.operands) print(*e, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kEmpty: {
+        const auto& n = static_cast<const Empty&>(node);
+        out_ += "(empty\n";
+        print(*n.operand, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kIncludeExpr: {
+        const auto& n = static_cast<const IncludeExpr&>(node);
+        out_ += "(" + std::string(include_kind_name(n.include_kind)) + "\n";
+        print(*n.path, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kExitExpr: {
+        const auto& n = static_cast<const ExitExpr&>(node);
+        out_ += "(exit\n";
+        if (n.operand != nullptr) print(*n.operand, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kListExpr: {
+        const auto& n = static_cast<const ListExpr&>(node);
+        out_ += "(list\n";
+        for (const auto& e : n.elements) {
+          if (e != nullptr) {
+            print(*e, indent + 1);
+          } else {
+            pad(indent + 1);
+            out_ += "(skip)\n";
+          }
+        }
+        close(indent);
+        break;
+      }
+      case NodeKind::kClosure: {
+        const auto& n = static_cast<const Closure&>(node);
+        out_ += "(closure (";
+        for (std::size_t i = 0; i < n.params.size(); ++i) {
+          if (i != 0) out_ += ' ';
+          out_ += '$' + n.params[i].name;
+        }
+        out_ += ")\n";
+        for (const auto& s : n.body) print(*s, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kExprStmt: {
+        const auto& n = static_cast<const ExprStmt&>(node);
+        out_ += "(expr-stmt\n";
+        print(*n.expr, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kEcho: {
+        const auto& n = static_cast<const Echo&>(node);
+        out_ += "(echo\n";
+        for (const auto& e : n.values) print(*e, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kIf: {
+        const auto& n = static_cast<const If&>(node);
+        out_ += "(if\n";
+        print(*n.cond, indent + 1);
+        pad(indent + 1);
+        out_ += "(then\n";
+        for (const auto& s : n.then_body) print(*s, indent + 2);
+        close(indent + 1);
+        for (const auto& clause : n.elseifs) {
+          pad(indent + 1);
+          out_ += "(elseif\n";
+          print(*clause.cond, indent + 2);
+          for (const auto& s : clause.body) print(*s, indent + 2);
+          close(indent + 1);
+        }
+        if (n.has_else) {
+          pad(indent + 1);
+          out_ += "(else\n";
+          for (const auto& s : n.else_body) print(*s, indent + 2);
+          close(indent + 1);
+        }
+        close(indent);
+        break;
+      }
+      case NodeKind::kWhile: {
+        const auto& n = static_cast<const While&>(node);
+        out_ += "(while\n";
+        print(*n.cond, indent + 1);
+        for (const auto& s : n.body) print(*s, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kDoWhile: {
+        const auto& n = static_cast<const DoWhile&>(node);
+        out_ += "(do-while\n";
+        for (const auto& s : n.body) print(*s, indent + 1);
+        print(*n.cond, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kFor: {
+        const auto& n = static_cast<const For&>(node);
+        out_ += "(for\n";
+        for (const auto& e : n.init) print(*e, indent + 1);
+        for (const auto& e : n.cond) print(*e, indent + 1);
+        for (const auto& e : n.step) print(*e, indent + 1);
+        for (const auto& s : n.body) print(*s, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kForeach: {
+        const auto& n = static_cast<const Foreach&>(node);
+        out_ += "(foreach\n";
+        print(*n.iterable, indent + 1);
+        if (n.key_var != nullptr) print(*n.key_var, indent + 1);
+        print(*n.value_var, indent + 1);
+        for (const auto& s : n.body) print(*s, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kSwitch: {
+        const auto& n = static_cast<const Switch&>(node);
+        out_ += "(switch\n";
+        print(*n.subject, indent + 1);
+        for (const auto& c : n.cases) {
+          pad(indent + 1);
+          out_ += c.match != nullptr ? "(case\n" : "(default\n";
+          if (c.match != nullptr) print(*c.match, indent + 2);
+          for (const auto& s : c.body) print(*s, indent + 2);
+          close(indent + 1);
+        }
+        close(indent);
+        break;
+      }
+      case NodeKind::kReturn: {
+        const auto& n = static_cast<const Return&>(node);
+        out_ += "(return\n";
+        if (n.value != nullptr) print(*n.value, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kBreak:
+        out_ += "(break)\n";
+        break;
+      case NodeKind::kContinue:
+        out_ += "(continue)\n";
+        break;
+      case NodeKind::kGlobal: {
+        const auto& n = static_cast<const Global&>(node);
+        out_ += "(global";
+        for (const auto& name : n.names) out_ += " $" + name;
+        out_ += ")\n";
+        break;
+      }
+      case NodeKind::kStaticVarStmt: {
+        const auto& n = static_cast<const StaticVarStmt&>(node);
+        out_ += "(static $" + n.name + "\n";
+        if (n.init != nullptr) print(*n.init, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kUnsetStmt: {
+        const auto& n = static_cast<const UnsetStmt&>(node);
+        out_ += "(unset\n";
+        for (const auto& e : n.operands) print(*e, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kBlock: {
+        const auto& n = static_cast<const Block&>(node);
+        out_ += "(block\n";
+        for (const auto& s : n.body) print(*s, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kFunctionDecl: {
+        const auto& n = static_cast<const FunctionDecl&>(node);
+        out_ += "(function " + n.name + " (";
+        for (std::size_t i = 0; i < n.params.size(); ++i) {
+          if (i != 0) out_ += ' ';
+          out_ += '$' + n.params[i].name;
+        }
+        out_ += ")\n";
+        for (const auto& s : n.body) print(*s, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kClassDecl: {
+        const auto& n = static_cast<const ClassDecl&>(node);
+        out_ += "(class " + n.name;
+        if (!n.parent.empty()) out_ += " extends " + n.parent;
+        out_ += "\n";
+        for (const auto& m : n.methods) print(*m, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kTryCatch: {
+        const auto& n = static_cast<const TryCatch&>(node);
+        out_ += "(try\n";
+        for (const auto& s : n.body) print(*s, indent + 1);
+        for (const auto& c : n.catches) {
+          pad(indent + 1);
+          out_ += "(catch " + c.exception_class + " $" + c.variable + "\n";
+          for (const auto& s : c.body) print(*s, indent + 2);
+          close(indent + 1);
+        }
+        if (!n.finally_body.empty()) {
+          pad(indent + 1);
+          out_ += "(finally\n";
+          for (const auto& s : n.finally_body) print(*s, indent + 2);
+          close(indent + 1);
+        }
+        close(indent);
+        break;
+      }
+      case NodeKind::kThrowStmt: {
+        const auto& n = static_cast<const ThrowStmt&>(node);
+        out_ += "(throw\n";
+        print(*n.value, indent + 1);
+        close(indent);
+        break;
+      }
+      case NodeKind::kInlineHtml:
+        out_ += "(html)\n";
+        break;
+      case NodeKind::kNamespaceDecl:
+        out_ += "(namespace " +
+                static_cast<const NamespaceDecl&>(node).name + ")\n";
+        break;
+      case NodeKind::kUseDecl:
+        out_ += "(use " + static_cast<const UseDecl&>(node).path + ")\n";
+        break;
+    }
+  }
+
+ private:
+  void pad(int indent) { out_.append(static_cast<std::size_t>(indent) * 2, ' '); }
+  void close(int indent) {
+    pad(indent);
+    out_ += ")\n";
+  }
+
+  std::string out_;
+};
+
+}  // namespace
+
+std::string dump(const Node& node) {
+  Printer p;
+  p.print(node, 0);
+  return p.take();
+}
+
+std::string dump(const PhpFile& file) {
+  Printer p;
+  for (const auto& stmt : file.statements) p.print(*stmt, 0);
+  return p.take();
+}
+
+}  // namespace uchecker::phpast

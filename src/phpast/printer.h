@@ -1,0 +1,17 @@
+// Debug printer: renders an AST as an indented s-expression-like dump.
+// Used by parser tests and the explain_heapgraph example.
+#pragma once
+
+#include <string>
+
+#include "phpast/ast.h"
+
+namespace uchecker::phpast {
+
+// Renders one node (recursively). Deterministic; stable across runs.
+[[nodiscard]] std::string dump(const Node& node);
+
+// Renders a whole file.
+[[nodiscard]] std::string dump(const PhpFile& file);
+
+}  // namespace uchecker::phpast

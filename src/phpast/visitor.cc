@@ -1,0 +1,238 @@
+#include "phpast/visitor.h"
+
+#include <algorithm>
+
+namespace uchecker::phpast {
+namespace {
+
+void visit_if(const std::function<void(const Node&)>& fn, const Expr* e) {
+  if (e != nullptr) fn(*e);
+}
+
+void visit_if(const std::function<void(const Node&)>& fn, const Stmt* s) {
+  if (s != nullptr) fn(*s);
+}
+
+template <typename T>
+void visit_all(const std::function<void(const Node&)>& fn,
+               const std::vector<std::unique_ptr<T>>& nodes) {
+  for (const auto& n : nodes) visit_if(fn, n.get());
+}
+
+}  // namespace
+
+void for_each_child(const Node& node,
+                    const std::function<void(const Node&)>& fn) {
+  switch (node.kind()) {
+    case NodeKind::kNullLit:
+    case NodeKind::kBoolLit:
+    case NodeKind::kIntLit:
+    case NodeKind::kFloatLit:
+    case NodeKind::kStringLit:
+    case NodeKind::kVariable:
+    case NodeKind::kConstFetch:
+    case NodeKind::kBreak:
+    case NodeKind::kContinue:
+    case NodeKind::kGlobal:
+    case NodeKind::kInlineHtml:
+    case NodeKind::kNamespaceDecl:
+    case NodeKind::kUseDecl:
+      break;
+    case NodeKind::kArrayAccess: {
+      const auto& n = static_cast<const ArrayAccess&>(node);
+      visit_if(fn, n.base.get());
+      visit_if(fn, n.index.get());
+      break;
+    }
+    case NodeKind::kPropertyAccess:
+      visit_if(fn, static_cast<const PropertyAccess&>(node).base.get());
+      break;
+    case NodeKind::kUnary:
+      visit_if(fn, static_cast<const Unary&>(node).operand.get());
+      break;
+    case NodeKind::kBinary: {
+      const auto& n = static_cast<const Binary&>(node);
+      visit_if(fn, n.lhs.get());
+      visit_if(fn, n.rhs.get());
+      break;
+    }
+    case NodeKind::kAssign: {
+      const auto& n = static_cast<const Assign&>(node);
+      visit_if(fn, n.target.get());
+      visit_if(fn, n.value.get());
+      break;
+    }
+    case NodeKind::kTernary: {
+      const auto& n = static_cast<const Ternary&>(node);
+      visit_if(fn, n.cond.get());
+      visit_if(fn, n.then_expr.get());
+      visit_if(fn, n.else_expr.get());
+      break;
+    }
+    case NodeKind::kCast:
+      visit_if(fn, static_cast<const Cast&>(node).operand.get());
+      break;
+    case NodeKind::kCall: {
+      const auto& n = static_cast<const Call&>(node);
+      visit_if(fn, n.callee_expr.get());
+      visit_all(fn, n.args);
+      break;
+    }
+    case NodeKind::kMethodCall: {
+      const auto& n = static_cast<const MethodCall&>(node);
+      visit_if(fn, n.object.get());
+      visit_all(fn, n.args);
+      break;
+    }
+    case NodeKind::kStaticCall:
+      visit_all(fn, static_cast<const StaticCall&>(node).args);
+      break;
+    case NodeKind::kNew:
+      visit_all(fn, static_cast<const New&>(node).args);
+      break;
+    case NodeKind::kArrayLit:
+      for (const ArrayItem& item : static_cast<const ArrayLit&>(node).items) {
+        visit_if(fn, item.key.get());
+        visit_if(fn, item.value.get());
+      }
+      break;
+    case NodeKind::kIsset:
+      visit_all(fn, static_cast<const Isset&>(node).operands);
+      break;
+    case NodeKind::kEmpty:
+      visit_if(fn, static_cast<const Empty&>(node).operand.get());
+      break;
+    case NodeKind::kIncludeExpr:
+      visit_if(fn, static_cast<const IncludeExpr&>(node).path.get());
+      break;
+    case NodeKind::kExitExpr:
+      visit_if(fn, static_cast<const ExitExpr&>(node).operand.get());
+      break;
+    case NodeKind::kListExpr:
+      visit_all(fn, static_cast<const ListExpr&>(node).elements);
+      break;
+    case NodeKind::kClosure: {
+      const auto& n = static_cast<const Closure&>(node);
+      for (const Param& p : n.params) visit_if(fn, p.default_value.get());
+      visit_all(fn, n.body);
+      break;
+    }
+    case NodeKind::kExprStmt:
+      visit_if(fn, static_cast<const ExprStmt&>(node).expr.get());
+      break;
+    case NodeKind::kEcho:
+      visit_all(fn, static_cast<const Echo&>(node).values);
+      break;
+    case NodeKind::kIf: {
+      const auto& n = static_cast<const If&>(node);
+      visit_if(fn, n.cond.get());
+      visit_all(fn, n.then_body);
+      for (const ElseIfClause& c : n.elseifs) {
+        visit_if(fn, c.cond.get());
+        visit_all(fn, c.body);
+      }
+      visit_all(fn, n.else_body);
+      break;
+    }
+    case NodeKind::kWhile: {
+      const auto& n = static_cast<const While&>(node);
+      visit_if(fn, n.cond.get());
+      visit_all(fn, n.body);
+      break;
+    }
+    case NodeKind::kDoWhile: {
+      const auto& n = static_cast<const DoWhile&>(node);
+      visit_all(fn, n.body);
+      visit_if(fn, n.cond.get());
+      break;
+    }
+    case NodeKind::kFor: {
+      const auto& n = static_cast<const For&>(node);
+      visit_all(fn, n.init);
+      visit_all(fn, n.cond);
+      visit_all(fn, n.step);
+      visit_all(fn, n.body);
+      break;
+    }
+    case NodeKind::kForeach: {
+      const auto& n = static_cast<const Foreach&>(node);
+      visit_if(fn, n.iterable.get());
+      visit_if(fn, n.key_var.get());
+      visit_if(fn, n.value_var.get());
+      visit_all(fn, n.body);
+      break;
+    }
+    case NodeKind::kSwitch: {
+      const auto& n = static_cast<const Switch&>(node);
+      visit_if(fn, n.subject.get());
+      for (const SwitchCase& c : n.cases) {
+        visit_if(fn, c.match.get());
+        visit_all(fn, c.body);
+      }
+      break;
+    }
+    case NodeKind::kReturn:
+      visit_if(fn, static_cast<const Return&>(node).value.get());
+      break;
+    case NodeKind::kStaticVarStmt:
+      visit_if(fn, static_cast<const StaticVarStmt&>(node).init.get());
+      break;
+    case NodeKind::kUnsetStmt:
+      visit_all(fn, static_cast<const UnsetStmt&>(node).operands);
+      break;
+    case NodeKind::kBlock:
+      visit_all(fn, static_cast<const Block&>(node).body);
+      break;
+    case NodeKind::kFunctionDecl: {
+      const auto& n = static_cast<const FunctionDecl&>(node);
+      for (const Param& p : n.params) visit_if(fn, p.default_value.get());
+      visit_all(fn, n.body);
+      break;
+    }
+    case NodeKind::kClassDecl: {
+      const auto& n = static_cast<const ClassDecl&>(node);
+      for (const PropertyDecl& p : n.properties) {
+        visit_if(fn, p.default_value.get());
+      }
+      for (const auto& m : n.methods) visit_if(fn, m.get());
+      break;
+    }
+    case NodeKind::kTryCatch: {
+      const auto& n = static_cast<const TryCatch&>(node);
+      visit_all(fn, n.body);
+      for (const CatchClause& c : n.catches) visit_all(fn, c.body);
+      visit_all(fn, n.finally_body);
+      break;
+    }
+    case NodeKind::kThrowStmt:
+      visit_if(fn, static_cast<const ThrowStmt&>(node).value.get());
+      break;
+  }
+}
+
+void walk(const Node& node, const std::function<bool(const Node&)>& fn) {
+  if (!fn(node)) return;
+  for_each_child(node, [&fn](const Node& child) { walk(child, fn); });
+}
+
+std::uint32_t max_line(const Node& node) {
+  std::uint32_t result = 0;
+  walk(node, [&result](const Node& n) {
+    result = std::max(result, n.loc().line);
+    return true;
+  });
+  return result;
+}
+
+std::uint32_t min_line(const Node& node) {
+  std::uint32_t result = 0;
+  walk(node, [&result](const Node& n) {
+    if (n.loc().line != 0 && (result == 0 || n.loc().line < result)) {
+      result = n.loc().line;
+    }
+    return true;
+  });
+  return result;
+}
+
+}  // namespace uchecker::phpast

@@ -1,0 +1,27 @@
+// Generic AST traversal helpers.
+//
+// `for_each_child` invokes a callback on every direct child of a node;
+// `walk` performs a pre-order traversal of a whole subtree. Both are used
+// by the call-graph builder, line-span accounting, and the baselines.
+#pragma once
+
+#include <functional>
+
+#include "phpast/ast.h"
+
+namespace uchecker::phpast {
+
+// Calls `fn` for each direct child node (expressions and statements).
+void for_each_child(const Node& node, const std::function<void(const Node&)>& fn);
+
+// Pre-order traversal: `fn` is called on `node` first, then descendants.
+// If `fn` returns false the subtree below the current node is skipped.
+void walk(const Node& node, const std::function<bool(const Node&)>& fn);
+
+// The maximum source line of any node in the subtree (0 if unknown).
+[[nodiscard]] std::uint32_t max_line(const Node& node);
+
+// The minimum valid source line of any node in the subtree (0 if unknown).
+[[nodiscard]] std::uint32_t min_line(const Node& node);
+
+}  // namespace uchecker::phpast

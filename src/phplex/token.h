@@ -1,0 +1,91 @@
+// Token definitions for the PHP lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source.h"
+
+namespace uchecker::phplex {
+
+enum class TokenKind : std::uint8_t {
+  kEndOfFile,
+  kInlineHtml,     // raw text outside <?php ... ?>
+
+  // Literals and names
+  kVariable,       // $name (text holds "name" without the '$')
+  kIdentifier,     // function names, constants, keywords not in list below
+  kIntLiteral,     // 42, 0x1f, 0755
+  kFloatLiteral,   // 3.14, 1e9
+  kStringLiteral,  // fully-literal string (single-quoted, or double-quoted
+                   // with no interpolation); text holds the decoded value
+  kTemplateString, // double-quoted/heredoc string with interpolation;
+                   // parts() holds the decoded segments
+
+  // Keywords
+  kKwIf, kKwElse, kKwElseif, kKwWhile, kKwFor, kKwForeach, kKwAs,
+  kKwFunction, kKwReturn, kKwEcho, kKwPrint, kKwGlobal, kKwStatic,
+  kKwInclude, kKwIncludeOnce, kKwRequire, kKwRequireOnce,
+  kKwTrue, kKwFalse, kKwNull, kKwArray, kKwList, kKwIsset, kKwEmpty,
+  kKwUnset, kKwNew, kKwClass, kKwPublic, kKwPrivate, kKwProtected,
+  kKwConst, kKwBreak, kKwContinue, kKwSwitch, kKwCase, kKwDefault,
+  kKwDo, kKwAnd, kKwOr, kKwXor, kKwDie, kKwExit, kKwExtends,
+  kKwTry, kKwCatch, kKwFinally, kKwThrow, kKwNamespace, kKwUse,
+  kKwInstanceof, kKwAbstract, kKwFinal, kKwInterface, kKwImplements,
+
+  // Operators / punctuation
+  kPlus, kMinus, kStar, kSlash, kPercent, kDot, kStarStar,
+  kAssign,                      // =
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kDotAssign,
+  kPercentAssign, kCoalesceAssign,
+  kEqual, kNotEqual, kIdentical, kNotIdentical,  // == != === !==
+  kLess, kGreater, kLessEqual, kGreaterEqual, kSpaceship,
+  kAmpAmp, kPipePipe, kBang,
+  kAmp, kPipe, kCaret, kTilde, kShiftLeft, kShiftRight,
+  kPlusPlus, kMinusMinus,
+  kQuestion, kColon, kCoalesce,  // ? : ??
+  kArrow,        // ->
+  kDoubleArrow,  // =>
+  kDoubleColon,  // ::
+  kAt,           // @
+  kDollarBrace,  // ${  (rare; lexed but rejected by the parser)
+  kComma, kSemicolon,
+  kLParen, kRParen, kLBracket, kRBracket, kLBrace, kRBrace,
+  kBackslash,    // namespace separator
+
+  kUnknown,
+};
+
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind);
+
+// One decoded segment of an interpolated string. Literal segments carry
+// text; variable segments carry the variable name plus an optional
+// constant index or property access, covering the simple "$var",
+// "$var[idx]", "$var->prop", and "{$var['idx']}" interpolation syntaxes.
+struct InterpPart {
+  enum class Kind : std::uint8_t { kLiteral, kVariable };
+  Kind kind = Kind::kLiteral;
+  std::string text;        // literal text, or variable name
+  bool has_index = false;
+  std::string index;       // constant array index, if has_index
+  bool index_is_string = true;
+  std::string property;    // non-empty for $var->prop
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  SourceLoc loc;
+  std::string text;               // decoded literal value or identifier text
+  std::int64_t int_value = 0;     // for kIntLiteral
+  double float_value = 0.0;       // for kFloatLiteral
+  std::vector<InterpPart> parts;  // for kTemplateString
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] bool is_keyword() const {
+    return kind >= TokenKind::kKwIf && kind <= TokenKind::kKwImplements;
+  }
+};
+
+}  // namespace uchecker::phplex

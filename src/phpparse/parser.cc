@@ -1,0 +1,1230 @@
+#include "phpparse/parser.h"
+
+#include <cassert>
+
+#include "phplex/lexer.h"
+#include "support/strutil.h"
+
+namespace uchecker::phpparse {
+
+using phplex::Token;
+using phplex::TokenKind;
+using namespace phpast;  // NOLINT: parser is the AST's builder
+
+namespace {
+
+// Binary operator precedence, following PHP 7. Higher binds tighter.
+struct BinOpInfo {
+  BinaryOp op;
+  int precedence;
+  bool right_assoc;
+};
+
+std::optional<BinOpInfo> binop_info(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kStarStar: return BinOpInfo{BinaryOp::kPow, 120, true};
+    case TokenKind::kKwInstanceof:
+      return BinOpInfo{BinaryOp::kInstanceof, 110, false};
+    case TokenKind::kStar: return BinOpInfo{BinaryOp::kMul, 100, false};
+    case TokenKind::kSlash: return BinOpInfo{BinaryOp::kDiv, 100, false};
+    case TokenKind::kPercent: return BinOpInfo{BinaryOp::kMod, 100, false};
+    case TokenKind::kPlus: return BinOpInfo{BinaryOp::kAdd, 90, false};
+    case TokenKind::kMinus: return BinOpInfo{BinaryOp::kSub, 90, false};
+    case TokenKind::kDot: return BinOpInfo{BinaryOp::kConcat, 90, false};
+    case TokenKind::kShiftLeft:
+      return BinOpInfo{BinaryOp::kShiftLeft, 80, false};
+    case TokenKind::kShiftRight:
+      return BinOpInfo{BinaryOp::kShiftRight, 80, false};
+    case TokenKind::kLess: return BinOpInfo{BinaryOp::kLess, 70, false};
+    case TokenKind::kLessEqual:
+      return BinOpInfo{BinaryOp::kLessEqual, 70, false};
+    case TokenKind::kGreater: return BinOpInfo{BinaryOp::kGreater, 70, false};
+    case TokenKind::kGreaterEqual:
+      return BinOpInfo{BinaryOp::kGreaterEqual, 70, false};
+    case TokenKind::kEqual: return BinOpInfo{BinaryOp::kEqual, 60, false};
+    case TokenKind::kNotEqual:
+      return BinOpInfo{BinaryOp::kNotEqual, 60, false};
+    case TokenKind::kIdentical:
+      return BinOpInfo{BinaryOp::kIdentical, 60, false};
+    case TokenKind::kNotIdentical:
+      return BinOpInfo{BinaryOp::kNotIdentical, 60, false};
+    case TokenKind::kSpaceship:
+      return BinOpInfo{BinaryOp::kSpaceship, 60, false};
+    case TokenKind::kAmp: return BinOpInfo{BinaryOp::kBitAnd, 50, false};
+    case TokenKind::kCaret: return BinOpInfo{BinaryOp::kBitXor, 48, false};
+    case TokenKind::kPipe: return BinOpInfo{BinaryOp::kBitOr, 46, false};
+    case TokenKind::kAmpAmp: return BinOpInfo{BinaryOp::kAnd, 40, false};
+    case TokenKind::kPipePipe: return BinOpInfo{BinaryOp::kOr, 38, false};
+    case TokenKind::kCoalesce:
+      return BinOpInfo{BinaryOp::kCoalesce, 36, true};
+    // 'and'/'xor'/'or' bind looser than '=' but we fold them in here;
+    // assignments inside them are parenthesized in practice.
+    case TokenKind::kKwAnd: return BinOpInfo{BinaryOp::kAnd, 20, false};
+    case TokenKind::kKwXor: return BinOpInfo{BinaryOp::kXor, 18, false};
+    case TokenKind::kKwOr: return BinOpInfo{BinaryOp::kOr, 16, false};
+    default: return std::nullopt;
+  }
+}
+
+std::optional<BinaryOp> compound_assign_op(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPlusAssign: return BinaryOp::kAdd;
+    case TokenKind::kMinusAssign: return BinaryOp::kSub;
+    case TokenKind::kStarAssign: return BinaryOp::kMul;
+    case TokenKind::kSlashAssign: return BinaryOp::kDiv;
+    case TokenKind::kDotAssign: return BinaryOp::kConcat;
+    case TokenKind::kPercentAssign: return BinaryOp::kMod;
+    case TokenKind::kCoalesceAssign: return BinaryOp::kCoalesce;
+    default: return std::nullopt;
+  }
+}
+
+// Recognizes "(int)", "(string)" etc. cast syntax from an identifier.
+std::optional<CastKind> cast_kind_for(std::string_view name) {
+  const std::string lower = strutil::to_lower(name);
+  if (lower == "int" || lower == "integer") return CastKind::kInt;
+  if (lower == "float" || lower == "double" || lower == "real") {
+    return CastKind::kFloat;
+  }
+  if (lower == "string") return CastKind::kString;
+  if (lower == "bool" || lower == "boolean") return CastKind::kBool;
+  if (lower == "object") return CastKind::kObject;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Parser::Parser(const SourceFile& file, std::vector<Token> tokens,
+               DiagnosticSink& diags)
+    : file_(file), tokens_(std::move(tokens)), diags_(diags) {
+  assert(!tokens_.empty() && tokens_.back().kind == TokenKind::kEndOfFile);
+}
+
+phpast::PhpFile parse_php(const SourceFile& file, DiagnosticSink& diags) {
+  Parser parser(file, phplex::lex_file(file, diags), diags);
+  return parser.parse_file();
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[idx];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::check(TokenKind kind) const { return peek().kind == kind; }
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, const char* what) {
+  if (check(kind)) return advance();
+  diags_.error(peek().loc, std::string("expected ") + what + " but found " +
+                               std::string(phplex::token_kind_name(peek().kind)));
+  return peek();  // do not consume; caller / synchronize() recovers
+}
+
+bool Parser::at_end() const { return check(TokenKind::kEndOfFile); }
+
+bool Parser::check_ident(const char* name) const {
+  return check(TokenKind::kIdentifier) && strutil::iequals(peek().text, name);
+}
+
+void Parser::synchronize() {
+  // Skip to the next statement boundary.
+  while (!at_end()) {
+    if (match(TokenKind::kSemicolon)) return;
+    if (check(TokenKind::kRBrace) || check(TokenKind::kKwFunction) ||
+        check(TokenKind::kKwIf) || check(TokenKind::kKwClass)) {
+      return;
+    }
+    advance();
+  }
+}
+
+// Error placeholder: guarantees node constructors never receive a null
+// required child after a failed sub-parse (the error itself has already
+// been reported). Downstream passes treat it as a null literal.
+static ExprPtr require_expr(ExprPtr expr, SourceLoc loc) {
+  if (expr == nullptr) expr = std::make_unique<NullLit>(loc);
+  return expr;
+}
+
+namespace {
+
+// Recursion bound for the whole grammar. Real plugins nest a few dozen
+// levels at most; pathological inputs (e.g. 100K open parens) would
+// otherwise overflow the stack.
+constexpr int kMaxParseDepth = 400;
+
+class DepthGuard {
+ public:
+  explicit DepthGuard(int& depth) : depth_(depth) { ++depth_; }
+  ~DepthGuard() { --depth_; }
+  DepthGuard(const DepthGuard&) = delete;
+  DepthGuard& operator=(const DepthGuard&) = delete;
+
+ private:
+  int& depth_;
+};
+
+}  // namespace
+
+phpast::PhpFile Parser::parse_file() {
+  PhpFile out;
+  out.file = file_.id();
+  out.name = file_.name();
+  while (!at_end()) {
+    const std::size_t before = pos_;
+    StmtPtr stmt = parse_statement();
+    if (stmt != nullptr) out.statements.push_back(std::move(stmt));
+    if (pos_ == before) {
+      // Defensive: guarantee forward progress on malformed input.
+      diags_.error(peek().loc, "could not parse statement; skipping token");
+      advance();
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+StmtPtr Parser::parse_statement() {
+  const SourceLoc loc = peek().loc;
+  if (depth_ >= kMaxParseDepth) {
+    diags_.error(loc, "statement nests too deeply");
+    advance();  // guarantee forward progress
+    return nullptr;
+  }
+  DepthGuard guard(depth_);
+  switch (peek().kind) {
+    case TokenKind::kSemicolon:
+      advance();
+      return nullptr;
+    case TokenKind::kInlineHtml: {
+      const Token& t = advance();
+      return std::make_unique<InlineHtml>(loc, t.text);
+    }
+    case TokenKind::kLBrace: {
+      advance();
+      std::vector<StmtPtr> body;
+      while (!check(TokenKind::kRBrace) && !at_end()) {
+        StmtPtr s = parse_statement();
+        if (s != nullptr) body.push_back(std::move(s));
+      }
+      expect(TokenKind::kRBrace, "'}'");
+      return std::make_unique<Block>(loc, std::move(body));
+    }
+    case TokenKind::kKwIf:
+      return parse_if();
+    case TokenKind::kKwWhile:
+      return parse_while();
+    case TokenKind::kKwDo:
+      return parse_do_while();
+    case TokenKind::kKwFor:
+      return parse_for();
+    case TokenKind::kKwForeach:
+      return parse_foreach();
+    case TokenKind::kKwSwitch:
+      return parse_switch();
+    case TokenKind::kKwFunction:
+      // Distinguish a declaration from a closure expression statement.
+      if (peek(1).kind == TokenKind::kIdentifier) return parse_function_decl();
+      break;  // fall through to expression statement
+    case TokenKind::kKwAbstract:
+    case TokenKind::kKwFinal:
+      advance();
+      return parse_statement();  // modifier before class; ignored
+    case TokenKind::kKwClass:
+    case TokenKind::kKwInterface:
+      return parse_class_decl();
+    case TokenKind::kKwTry:
+      return parse_try();
+    case TokenKind::kKwThrow: {
+      advance();
+      ExprPtr value = require_expr(parse_expr(), loc);
+      match(TokenKind::kSemicolon);
+      return std::make_unique<ThrowStmt>(loc, std::move(value));
+    }
+    case TokenKind::kKwReturn: {
+      advance();
+      ExprPtr value;
+      if (!check(TokenKind::kSemicolon) && !check(TokenKind::kRBrace)) {
+        value = require_expr(parse_expr(), loc);
+      }
+      match(TokenKind::kSemicolon);
+      return std::make_unique<Return>(loc, std::move(value));
+    }
+    case TokenKind::kKwBreak: {
+      advance();
+      if (check(TokenKind::kIntLiteral)) advance();  // break N: level ignored
+      match(TokenKind::kSemicolon);
+      return std::make_unique<Break>(loc);
+    }
+    case TokenKind::kKwContinue: {
+      advance();
+      if (check(TokenKind::kIntLiteral)) advance();
+      match(TokenKind::kSemicolon);
+      return std::make_unique<Continue>(loc);
+    }
+    case TokenKind::kKwEcho: {
+      advance();
+      std::vector<ExprPtr> values;
+      values.push_back(require_expr(parse_expr(), loc));
+      while (match(TokenKind::kComma)) {
+        values.push_back(require_expr(parse_expr(), loc));
+      }
+      match(TokenKind::kSemicolon);
+      return std::make_unique<Echo>(loc, std::move(values));
+    }
+    case TokenKind::kKwGlobal: {
+      advance();
+      std::vector<std::string> names;
+      do {
+        if (check(TokenKind::kVariable)) {
+          names.push_back(advance().text);
+        } else {
+          diags_.error(peek().loc, "expected variable after 'global'");
+          break;
+        }
+      } while (match(TokenKind::kComma));
+      match(TokenKind::kSemicolon);
+      return std::make_unique<Global>(loc, std::move(names));
+    }
+    case TokenKind::kKwStatic: {
+      // `static $x = ...;` at statement level. (Static method calls are
+      // handled through expressions and never start with kKwStatic here.)
+      if (peek(1).kind == TokenKind::kVariable) {
+        advance();
+        const std::string name = advance().text;
+        ExprPtr init;
+        if (match(TokenKind::kAssign)) init = require_expr(parse_expr(), loc);
+        match(TokenKind::kSemicolon);
+        return std::make_unique<StaticVarStmt>(loc, name, std::move(init));
+      }
+      break;
+    }
+    case TokenKind::kKwUnset: {
+      advance();
+      expect(TokenKind::kLParen, "'('");
+      std::vector<ExprPtr> operands;
+      if (!check(TokenKind::kRParen)) {
+        operands.push_back(require_expr(parse_expr(), loc));
+        while (match(TokenKind::kComma)) {
+          operands.push_back(require_expr(parse_expr(), loc));
+        }
+      }
+      expect(TokenKind::kRParen, "')'");
+      match(TokenKind::kSemicolon);
+      return std::make_unique<UnsetStmt>(loc, std::move(operands));
+    }
+    case TokenKind::kKwNamespace: {
+      advance();
+      std::string name;
+      while (check(TokenKind::kIdentifier) || check(TokenKind::kBackslash)) {
+        name += advance().text.empty() ? "\\" : tokens_[pos_ - 1].text;
+      }
+      match(TokenKind::kSemicolon);
+      return std::make_unique<NamespaceDecl>(loc, name);
+    }
+    case TokenKind::kKwUse: {
+      advance();
+      std::string path;
+      while (!check(TokenKind::kSemicolon) && !at_end()) {
+        path += advance().text;
+      }
+      match(TokenKind::kSemicolon);
+      return std::make_unique<UseDecl>(loc, path);
+    }
+    default:
+      break;
+  }
+
+  // Expression statement.
+  ExprPtr expr = parse_expr();
+  if (expr == nullptr) {
+    synchronize();
+    return nullptr;
+  }
+  match(TokenKind::kSemicolon);
+  return std::make_unique<ExprStmt>(loc, std::move(expr));
+}
+
+std::vector<StmtPtr> Parser::parse_block_or_single() {
+  std::vector<StmtPtr> body;
+  if (match(TokenKind::kLBrace)) {
+    while (!check(TokenKind::kRBrace) && !at_end()) {
+      StmtPtr s = parse_statement();
+      if (s != nullptr) body.push_back(std::move(s));
+    }
+    expect(TokenKind::kRBrace, "'}'");
+  } else {
+    StmtPtr s = parse_statement();
+    if (s != nullptr) body.push_back(std::move(s));
+  }
+  return body;
+}
+
+std::vector<StmtPtr> Parser::parse_braced_block() {
+  std::vector<StmtPtr> body;
+  expect(TokenKind::kLBrace, "'{'");
+  while (!check(TokenKind::kRBrace) && !at_end()) {
+    StmtPtr s = parse_statement();
+    if (s != nullptr) body.push_back(std::move(s));
+  }
+  expect(TokenKind::kRBrace, "'}'");
+  return body;
+}
+
+std::vector<StmtPtr> Parser::parse_alt_body(
+    std::initializer_list<const char*> ends) {
+  std::vector<StmtPtr> body;
+  while (!at_end()) {
+    bool hit_end = false;
+    for (const char* e : ends) {
+      if (check_ident(e) || (std::string_view(e) == "else" && check(TokenKind::kKwElse)) ||
+          (std::string_view(e) == "elseif" && check(TokenKind::kKwElseif))) {
+        hit_end = true;
+        break;
+      }
+    }
+    if (hit_end) break;
+    StmtPtr s = parse_statement();
+    if (s != nullptr) body.push_back(std::move(s));
+  }
+  return body;
+}
+
+StmtPtr Parser::parse_if() {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kKwIf, "'if'");
+  expect(TokenKind::kLParen, "'('");
+  ExprPtr cond = require_expr(parse_expr(), loc);
+  expect(TokenKind::kRParen, "')'");
+
+  // Alternative syntax: if (...): ... elseif: ... else: ... endif;
+  if (match(TokenKind::kColon)) {
+    std::vector<StmtPtr> then_body = parse_alt_body({"endif", "elseif", "else"});
+    std::vector<ElseIfClause> elseifs;
+    std::vector<StmtPtr> else_body;
+    bool has_else = false;
+    while (check(TokenKind::kKwElseif)) {
+      advance();
+      expect(TokenKind::kLParen, "'('");
+      ExprPtr elseif_cond = require_expr(parse_expr(), loc);
+      expect(TokenKind::kRParen, "')'");
+      expect(TokenKind::kColon, "':'");
+      std::vector<StmtPtr> body = parse_alt_body({"endif", "elseif", "else"});
+      elseifs.push_back(ElseIfClause{std::move(elseif_cond), std::move(body)});
+    }
+    if (match(TokenKind::kKwElse)) {
+      expect(TokenKind::kColon, "':'");
+      has_else = true;
+      else_body = parse_alt_body({"endif"});
+    }
+    if (check_ident("endif")) advance();
+    match(TokenKind::kSemicolon);
+    return std::make_unique<If>(loc, std::move(cond), std::move(then_body),
+                                std::move(elseifs), std::move(else_body),
+                                has_else);
+  }
+
+  std::vector<StmtPtr> then_body = parse_block_or_single();
+  std::vector<ElseIfClause> elseifs;
+  std::vector<StmtPtr> else_body;
+  bool has_else = false;
+  while (true) {
+    if (check(TokenKind::kKwElseif)) {
+      advance();
+      expect(TokenKind::kLParen, "'('");
+      ExprPtr elseif_cond = require_expr(parse_expr(), loc);
+      expect(TokenKind::kRParen, "')'");
+      std::vector<StmtPtr> body = parse_block_or_single();
+      elseifs.push_back(ElseIfClause{std::move(elseif_cond), std::move(body)});
+      continue;
+    }
+    if (check(TokenKind::kKwElse) && peek(1).kind == TokenKind::kKwIf) {
+      // `else if` — treat as elseif.
+      advance();
+      advance();
+      expect(TokenKind::kLParen, "'('");
+      ExprPtr elseif_cond = require_expr(parse_expr(), loc);
+      expect(TokenKind::kRParen, "')'");
+      std::vector<StmtPtr> body = parse_block_or_single();
+      elseifs.push_back(ElseIfClause{std::move(elseif_cond), std::move(body)});
+      continue;
+    }
+    if (check(TokenKind::kKwElse)) {
+      advance();
+      has_else = true;
+      else_body = parse_block_or_single();
+    }
+    break;
+  }
+  return std::make_unique<If>(loc, std::move(cond), std::move(then_body),
+                              std::move(elseifs), std::move(else_body),
+                              has_else);
+}
+
+StmtPtr Parser::parse_while() {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kKwWhile, "'while'");
+  expect(TokenKind::kLParen, "'('");
+  ExprPtr cond = require_expr(parse_expr(), loc);
+  expect(TokenKind::kRParen, "')'");
+  std::vector<StmtPtr> body;
+  if (match(TokenKind::kColon)) {
+    body = parse_alt_body({"endwhile"});
+    if (check_ident("endwhile")) advance();
+    match(TokenKind::kSemicolon);
+  } else {
+    body = parse_block_or_single();
+  }
+  return std::make_unique<While>(loc, std::move(cond), std::move(body));
+}
+
+StmtPtr Parser::parse_do_while() {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kKwDo, "'do'");
+  std::vector<StmtPtr> body = parse_block_or_single();
+  expect(TokenKind::kKwWhile, "'while'");
+  expect(TokenKind::kLParen, "'('");
+  ExprPtr cond = require_expr(parse_expr(), loc);
+  expect(TokenKind::kRParen, "')'");
+  match(TokenKind::kSemicolon);
+  return std::make_unique<DoWhile>(loc, std::move(body), std::move(cond));
+}
+
+StmtPtr Parser::parse_for() {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kKwFor, "'for'");
+  expect(TokenKind::kLParen, "'('");
+  std::vector<ExprPtr> init;
+  std::vector<ExprPtr> cond;
+  std::vector<ExprPtr> step;
+  if (!check(TokenKind::kSemicolon)) {
+    init.push_back(require_expr(parse_expr(), loc));
+    while (match(TokenKind::kComma)) {
+      init.push_back(require_expr(parse_expr(), loc));
+    }
+  }
+  expect(TokenKind::kSemicolon, "';'");
+  if (!check(TokenKind::kSemicolon)) {
+    cond.push_back(require_expr(parse_expr(), loc));
+    while (match(TokenKind::kComma)) {
+      cond.push_back(require_expr(parse_expr(), loc));
+    }
+  }
+  expect(TokenKind::kSemicolon, "';'");
+  if (!check(TokenKind::kRParen)) {
+    step.push_back(require_expr(parse_expr(), loc));
+    while (match(TokenKind::kComma)) {
+      step.push_back(require_expr(parse_expr(), loc));
+    }
+  }
+  expect(TokenKind::kRParen, "')'");
+  std::vector<StmtPtr> body;
+  if (match(TokenKind::kColon)) {
+    body = parse_alt_body({"endfor"});
+    if (check_ident("endfor")) advance();
+    match(TokenKind::kSemicolon);
+  } else {
+    body = parse_block_or_single();
+  }
+  return std::make_unique<For>(loc, std::move(init), std::move(cond),
+                               std::move(step), std::move(body));
+}
+
+StmtPtr Parser::parse_foreach() {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kKwForeach, "'foreach'");
+  expect(TokenKind::kLParen, "'('");
+  ExprPtr iterable = require_expr(parse_expr(), loc);
+  expect(TokenKind::kKwAs, "'as'");
+  match(TokenKind::kAmp);  // by-ref value
+  ExprPtr first = require_expr(parse_expr(), loc);
+  ExprPtr key_var;
+  ExprPtr value_var;
+  if (match(TokenKind::kDoubleArrow)) {
+    key_var = std::move(first);
+    match(TokenKind::kAmp);
+    value_var = require_expr(parse_expr(), loc);
+  } else {
+    value_var = std::move(first);
+  }
+  expect(TokenKind::kRParen, "')'");
+  std::vector<StmtPtr> body;
+  if (match(TokenKind::kColon)) {
+    body = parse_alt_body({"endforeach"});
+    if (check_ident("endforeach")) advance();
+    match(TokenKind::kSemicolon);
+  } else {
+    body = parse_block_or_single();
+  }
+  return std::make_unique<Foreach>(loc, std::move(iterable),
+                                   std::move(key_var), std::move(value_var),
+                                   std::move(body));
+}
+
+StmtPtr Parser::parse_switch() {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kKwSwitch, "'switch'");
+  expect(TokenKind::kLParen, "'('");
+  ExprPtr subject = require_expr(parse_expr(), loc);
+  expect(TokenKind::kRParen, "')'");
+  expect(TokenKind::kLBrace, "'{'");
+  std::vector<SwitchCase> cases;
+  while (!check(TokenKind::kRBrace) && !at_end()) {
+    SwitchCase c;
+    if (match(TokenKind::kKwCase)) {
+      c.match = require_expr(parse_expr(), loc);
+    } else if (match(TokenKind::kKwDefault)) {
+      c.match = nullptr;
+    } else {
+      diags_.error(peek().loc, "expected 'case' or 'default' in switch");
+      synchronize();
+      continue;
+    }
+    if (!match(TokenKind::kColon)) match(TokenKind::kSemicolon);
+    while (!check(TokenKind::kKwCase) && !check(TokenKind::kKwDefault) &&
+           !check(TokenKind::kRBrace) && !at_end()) {
+      StmtPtr s = parse_statement();
+      if (s != nullptr) c.body.push_back(std::move(s));
+    }
+    cases.push_back(std::move(c));
+  }
+  expect(TokenKind::kRBrace, "'}'");
+  return std::make_unique<Switch>(loc, std::move(subject), std::move(cases));
+}
+
+std::vector<Param> Parser::parse_param_list() {
+  std::vector<Param> params;
+  expect(TokenKind::kLParen, "'('");
+  while (!check(TokenKind::kRParen) && !at_end()) {
+    Param p;
+    // Optional type hint: identifier, 'array', or nullable '?Type'.
+    if (check(TokenKind::kQuestion)) advance();
+    if (check(TokenKind::kIdentifier) || check(TokenKind::kKwArray)) {
+      p.type_hint = advance().text;
+    }
+    p.by_ref = match(TokenKind::kAmp);
+    if (check(TokenKind::kVariable)) {
+      p.name = advance().text;
+    } else {
+      diags_.error(peek().loc, "expected parameter variable");
+      synchronize();
+      break;
+    }
+    if (match(TokenKind::kAssign)) p.default_value = parse_expr();
+    params.push_back(std::move(p));
+    if (!match(TokenKind::kComma)) break;
+  }
+  expect(TokenKind::kRParen, "')'");
+  return params;
+}
+
+StmtPtr Parser::parse_function_decl() {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kKwFunction, "'function'");
+  match(TokenKind::kAmp);  // return-by-ref
+  std::string name = expect(TokenKind::kIdentifier, "function name").text;
+  std::vector<Param> params = parse_param_list();
+  if (match(TokenKind::kColon)) {  // return type hint
+    match(TokenKind::kQuestion);
+    if (check(TokenKind::kIdentifier) || check(TokenKind::kKwArray)) advance();
+  }
+  std::vector<StmtPtr> body = parse_braced_block();
+  return std::make_unique<FunctionDecl>(loc, std::move(name),
+                                        std::move(params), std::move(body));
+}
+
+StmtPtr Parser::parse_class_decl() {
+  const SourceLoc loc = peek().loc;
+  advance();  // 'class' or 'interface'
+  std::string name = expect(TokenKind::kIdentifier, "class name").text;
+  std::string parent;
+  if (match(TokenKind::kKwExtends)) {
+    parent = expect(TokenKind::kIdentifier, "parent class name").text;
+  }
+  if (match(TokenKind::kKwImplements)) {
+    do {
+      expect(TokenKind::kIdentifier, "interface name");
+    } while (match(TokenKind::kComma));
+  }
+  expect(TokenKind::kLBrace, "'{'");
+
+  std::vector<PropertyDecl> properties;
+  std::vector<std::unique_ptr<FunctionDecl>> methods;
+  while (!check(TokenKind::kRBrace) && !at_end()) {
+    bool is_static = false;
+    // Visibility / static / abstract / final modifiers, any order.
+    while (check(TokenKind::kKwPublic) || check(TokenKind::kKwPrivate) ||
+           check(TokenKind::kKwProtected) || check(TokenKind::kKwStatic) ||
+           check(TokenKind::kKwAbstract) || check(TokenKind::kKwFinal)) {
+      if (check(TokenKind::kKwStatic)) is_static = true;
+      advance();
+    }
+    if (check(TokenKind::kKwFunction)) {
+      const SourceLoc floc = peek().loc;
+      advance();
+      match(TokenKind::kAmp);
+      std::string method = expect(TokenKind::kIdentifier, "method name").text;
+      std::vector<Param> params = parse_param_list();
+      if (match(TokenKind::kColon)) {
+        match(TokenKind::kQuestion);
+        if (check(TokenKind::kIdentifier) || check(TokenKind::kKwArray)) {
+          advance();
+        }
+      }
+      std::vector<StmtPtr> body;
+      if (check(TokenKind::kLBrace)) {
+        body = parse_braced_block();
+      } else {
+        match(TokenKind::kSemicolon);  // abstract / interface method
+      }
+      methods.push_back(std::make_unique<FunctionDecl>(
+          floc, std::move(method), std::move(params), std::move(body)));
+      continue;
+    }
+    if (check(TokenKind::kVariable)) {
+      PropertyDecl p;
+      p.name = advance().text;
+      p.is_static = is_static;
+      if (match(TokenKind::kAssign)) p.default_value = parse_expr();
+      while (match(TokenKind::kComma)) {
+        // Multiple declarations on one line; keep only names.
+        if (check(TokenKind::kVariable)) {
+          PropertyDecl extra;
+          extra.name = advance().text;
+          extra.is_static = is_static;
+          if (match(TokenKind::kAssign)) extra.default_value = parse_expr();
+          properties.push_back(std::move(extra));
+        }
+      }
+      match(TokenKind::kSemicolon);
+      properties.push_back(std::move(p));
+      continue;
+    }
+    if (match(TokenKind::kKwConst)) {
+      // const NAME = expr; — recorded as a static property.
+      while (check(TokenKind::kIdentifier)) {
+        PropertyDecl p;
+        p.name = advance().text;
+        p.is_static = true;
+        if (match(TokenKind::kAssign)) p.default_value = parse_expr();
+        properties.push_back(std::move(p));
+        if (!match(TokenKind::kComma)) break;
+      }
+      match(TokenKind::kSemicolon);
+      continue;
+    }
+    if (match(TokenKind::kKwUse)) {
+      // Trait use; skip the list.
+      while (!check(TokenKind::kSemicolon) && !at_end()) advance();
+      match(TokenKind::kSemicolon);
+      continue;
+    }
+    diags_.error(peek().loc, "unexpected token in class body");
+    advance();
+  }
+  expect(TokenKind::kRBrace, "'}'");
+  return std::make_unique<ClassDecl>(loc, std::move(name), std::move(parent),
+                                     std::move(properties), std::move(methods));
+}
+
+StmtPtr Parser::parse_try() {
+  const SourceLoc loc = peek().loc;
+  expect(TokenKind::kKwTry, "'try'");
+  std::vector<StmtPtr> body = parse_braced_block();
+  std::vector<CatchClause> catches;
+  while (check(TokenKind::kKwCatch)) {
+    advance();
+    expect(TokenKind::kLParen, "'('");
+    CatchClause clause;
+    // "catch (A | B $e)" — record the first class name.
+    match(TokenKind::kBackslash);
+    if (check(TokenKind::kIdentifier)) clause.exception_class = advance().text;
+    while (match(TokenKind::kPipe)) {
+      match(TokenKind::kBackslash);
+      if (check(TokenKind::kIdentifier)) advance();
+    }
+    if (check(TokenKind::kVariable)) clause.variable = advance().text;
+    expect(TokenKind::kRParen, "')'");
+    clause.body = parse_braced_block();
+    catches.push_back(std::move(clause));
+  }
+  std::vector<StmtPtr> finally_body;
+  if (check(TokenKind::kKwFinally)) {
+    advance();
+    finally_body = parse_braced_block();
+  }
+  return std::make_unique<TryCatch>(loc, std::move(body), std::move(catches),
+                                    std::move(finally_body));
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+ExprPtr Parser::parse_expr() { return parse_assignment(); }
+
+ExprPtr Parser::parse_assignment() {
+  ExprPtr lhs = parse_ternary();
+  if (lhs == nullptr) return nullptr;
+  const SourceLoc loc = peek().loc;
+  if (check(TokenKind::kAssign)) {
+    advance();
+    const bool by_ref = match(TokenKind::kAmp);
+    ExprPtr rhs = require_expr(parse_assignment(), loc);  // right-associative
+    return std::make_unique<Assign>(loc, std::move(lhs), std::move(rhs),
+                                    std::nullopt, by_ref);
+  }
+  if (auto op = compound_assign_op(peek().kind)) {
+    advance();
+    ExprPtr rhs = require_expr(parse_assignment(), loc);
+    return std::make_unique<Assign>(loc, std::move(lhs), std::move(rhs), op);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_ternary() {
+  ExprPtr cond = parse_binary(0);
+  if (cond == nullptr) return nullptr;
+  if (!check(TokenKind::kQuestion)) return cond;
+  const SourceLoc loc = advance().loc;
+  ExprPtr then_expr;
+  if (!check(TokenKind::kColon)) then_expr = parse_expr();
+  expect(TokenKind::kColon, "':'");
+  ExprPtr else_expr = require_expr(parse_assignment(), loc);
+  return std::make_unique<Ternary>(loc, std::move(cond), std::move(then_expr),
+                                   std::move(else_expr));
+}
+
+ExprPtr Parser::parse_binary(int min_precedence) {
+  ExprPtr lhs = parse_unary();
+  if (lhs == nullptr) return nullptr;
+  while (true) {
+    const auto info = binop_info(peek().kind);
+    if (!info || info->precedence < min_precedence) return lhs;
+    const SourceLoc loc = advance().loc;
+    const int next_min =
+        info->right_assoc ? info->precedence : info->precedence + 1;
+    ExprPtr rhs = parse_binary(next_min);
+    if (rhs == nullptr) {
+      diags_.error(loc, "missing right operand");
+      return lhs;
+    }
+    lhs = std::make_unique<Binary>(loc, info->op, std::move(lhs),
+                                   std::move(rhs));
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  const SourceLoc loc = peek().loc;
+  if (depth_ >= kMaxParseDepth) {
+    diags_.error(loc, "expression nests too deeply");
+    advance();  // guarantee forward progress
+    return std::make_unique<NullLit>(loc);
+  }
+  DepthGuard guard(depth_);
+  switch (peek().kind) {
+    case TokenKind::kBang:
+      advance();
+      return std::make_unique<Unary>(loc, UnaryOp::kNot,
+                                     require_expr(parse_unary(), loc));
+    case TokenKind::kMinus:
+      advance();
+      return std::make_unique<Unary>(loc, UnaryOp::kMinus,
+                                     require_expr(parse_unary(), loc));
+    case TokenKind::kPlus:
+      advance();
+      return std::make_unique<Unary>(loc, UnaryOp::kPlus,
+                                     require_expr(parse_unary(), loc));
+    case TokenKind::kTilde:
+      advance();
+      return std::make_unique<Unary>(loc, UnaryOp::kBitNot,
+                                     require_expr(parse_unary(), loc));
+    case TokenKind::kAt:
+      advance();
+      return std::make_unique<Unary>(loc, UnaryOp::kErrorSuppress,
+                                     require_expr(parse_unary(), loc));
+    case TokenKind::kPlusPlus:
+      advance();
+      return std::make_unique<Unary>(loc, UnaryOp::kPreInc,
+                                     require_expr(parse_unary(), loc));
+    case TokenKind::kMinusMinus:
+      advance();
+      return std::make_unique<Unary>(loc, UnaryOp::kPreDec,
+                                     require_expr(parse_unary(), loc));
+    case TokenKind::kKwPrint:
+      advance();
+      return std::make_unique<Unary>(loc, UnaryOp::kPrint,
+                                     require_expr(parse_expr(), loc));
+    case TokenKind::kKwNew: {
+      advance();
+      std::string class_name = "stdClass";
+      match(TokenKind::kBackslash);
+      if (check(TokenKind::kIdentifier) || check(TokenKind::kKwStatic)) {
+        class_name = advance().text;
+        while (check(TokenKind::kBackslash)) {
+          advance();
+          if (check(TokenKind::kIdentifier)) class_name = advance().text;
+        }
+      } else if (check(TokenKind::kVariable)) {
+        advance();  // dynamic class; keep stdClass placeholder
+      }
+      std::vector<ExprPtr> args;
+      if (check(TokenKind::kLParen)) args = parse_arg_list();
+      return parse_postfix(
+          std::make_unique<New>(loc, std::move(class_name), std::move(args)));
+    }
+    case TokenKind::kLParen: {
+      // Could be a cast "(int) expr" or a parenthesized expression.
+      if (peek(1).kind == TokenKind::kIdentifier &&
+          peek(2).kind == TokenKind::kRParen) {
+        if (auto cast = cast_kind_for(peek(1).text)) {
+          advance();  // (
+          advance();  // type
+          advance();  // )
+          return std::make_unique<Cast>(loc, *cast,
+                                        require_expr(parse_unary(), loc));
+        }
+      }
+      if (peek(1).kind == TokenKind::kKwArray &&
+          peek(2).kind == TokenKind::kRParen) {
+        advance();
+        advance();
+        advance();
+        return std::make_unique<Cast>(loc, CastKind::kArray,
+                                      require_expr(parse_unary(), loc));
+      }
+      advance();  // (
+      ExprPtr inner = require_expr(parse_expr(), loc);
+      expect(TokenKind::kRParen, "')'");
+      return parse_postfix(std::move(inner));
+    }
+    default:
+      return parse_postfix(parse_primary());
+  }
+}
+
+ExprPtr Parser::parse_postfix(ExprPtr base) {
+  if (base == nullptr) return nullptr;
+  while (true) {
+    const SourceLoc loc = peek().loc;
+    if (match(TokenKind::kLBracket)) {
+      ExprPtr index;
+      if (!check(TokenKind::kRBracket)) {
+        index = require_expr(parse_expr(), loc);
+      }
+      expect(TokenKind::kRBracket, "']'");
+      base = std::make_unique<ArrayAccess>(loc, std::move(base),
+                                           std::move(index));
+      continue;
+    }
+    if (match(TokenKind::kLBrace) &&
+        base->kind() == NodeKind::kVariable) {
+      // Legacy string offset syntax $s{0}; treat as array access.
+      ExprPtr index = require_expr(parse_expr(), loc);
+      expect(TokenKind::kRBrace, "'}'");
+      base = std::make_unique<ArrayAccess>(loc, std::move(base),
+                                           std::move(index));
+      continue;
+    }
+    if (check(TokenKind::kArrow)) {
+      advance();
+      std::string name;
+      if (check(TokenKind::kIdentifier) || peek().is_keyword()) {
+        name = advance().text;
+      } else if (check(TokenKind::kVariable)) {
+        name = "$" + advance().text;  // dynamic property; opaque name
+      } else {
+        diags_.error(peek().loc, "expected property or method name after '->'");
+        return base;
+      }
+      if (check(TokenKind::kLParen)) {
+        std::vector<ExprPtr> args = parse_arg_list();
+        base = std::make_unique<MethodCall>(loc, std::move(base),
+                                            std::move(name), std::move(args));
+      } else {
+        base = std::make_unique<PropertyAccess>(loc, std::move(base),
+                                                std::move(name));
+      }
+      continue;
+    }
+    if (check(TokenKind::kDoubleColon)) {
+      advance();
+      std::string class_name = "?";
+      if (const auto* cf = dynamic_cast<const ConstFetch*>(base.get())) {
+        class_name = cf->name;
+      }
+      std::string member;
+      if (check(TokenKind::kIdentifier) || peek().is_keyword()) {
+        member = advance().text;
+      } else if (check(TokenKind::kVariable)) {
+        member = advance().text;
+      } else if (check(TokenKind::kKwClass)) {
+        advance();
+        base = std::make_unique<StringLit>(loc, class_name);
+        continue;
+      }
+      if (check(TokenKind::kLParen)) {
+        std::vector<ExprPtr> args = parse_arg_list();
+        base = std::make_unique<StaticCall>(loc, std::move(class_name),
+                                            std::move(member), std::move(args));
+      } else {
+        // Class constant / static property read: model as const fetch.
+        base = std::make_unique<ConstFetch>(loc, class_name + "::" + member);
+      }
+      continue;
+    }
+    if (check(TokenKind::kLParen) &&
+        base->kind() == NodeKind::kVariable) {
+      // Dynamic call through a variable: $f(...).
+      std::vector<ExprPtr> args = parse_arg_list();
+      base = std::make_unique<Call>(loc, std::move(base), std::move(args));
+      continue;
+    }
+    if (check(TokenKind::kPlusPlus)) {
+      advance();
+      base = std::make_unique<Unary>(loc, UnaryOp::kPostInc, std::move(base));
+      continue;
+    }
+    if (check(TokenKind::kMinusMinus)) {
+      advance();
+      base = std::make_unique<Unary>(loc, UnaryOp::kPostDec, std::move(base));
+      continue;
+    }
+    return base;
+  }
+}
+
+std::vector<Parser::ExprPtr> Parser::parse_arg_list() {
+  std::vector<ExprPtr> args;
+  expect(TokenKind::kLParen, "'('");
+  while (!check(TokenKind::kRParen) && !at_end()) {
+    match(TokenKind::kAmp);  // by-ref argument
+    ExprPtr arg = parse_expr();
+    if (arg == nullptr) break;
+    args.push_back(std::move(arg));
+    if (!match(TokenKind::kComma)) break;
+  }
+  expect(TokenKind::kRParen, "')'");
+  return args;
+}
+
+ExprPtr Parser::parse_primary() {
+  const SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case TokenKind::kKwTrue:
+      advance();
+      return std::make_unique<BoolLit>(loc, true);
+    case TokenKind::kKwFalse:
+      advance();
+      return std::make_unique<BoolLit>(loc, false);
+    case TokenKind::kKwNull:
+      advance();
+      return std::make_unique<NullLit>(loc);
+    case TokenKind::kIntLiteral: {
+      const Token& t = advance();
+      return std::make_unique<IntLit>(loc, t.int_value);
+    }
+    case TokenKind::kFloatLiteral: {
+      const Token& t = advance();
+      return std::make_unique<FloatLit>(loc, t.float_value);
+    }
+    case TokenKind::kStringLiteral: {
+      const Token& t = advance();
+      return std::make_unique<StringLit>(loc, t.text);
+    }
+    case TokenKind::kTemplateString: {
+      const Token& t = advance();
+      return desugar_template_string(t);
+    }
+    case TokenKind::kVariable: {
+      const Token& t = advance();
+      return std::make_unique<Variable>(loc, t.text);
+    }
+    case TokenKind::kKwArray: {
+      advance();
+      if (check(TokenKind::kLParen)) {
+        advance();
+        return parse_array_literal(loc, /*bracket_form=*/false);
+      }
+      return std::make_unique<ConstFetch>(loc, "array");
+    }
+    case TokenKind::kLBracket: {
+      advance();
+      return parse_array_literal(loc, /*bracket_form=*/true);
+    }
+    case TokenKind::kKwList: {
+      advance();
+      expect(TokenKind::kLParen, "'('");
+      std::vector<ExprPtr> elements;
+      while (!check(TokenKind::kRParen) && !at_end()) {
+        if (check(TokenKind::kComma)) {
+          elements.push_back(nullptr);
+        } else {
+          elements.push_back(require_expr(parse_expr(), loc));
+        }
+        if (!match(TokenKind::kComma)) break;
+      }
+      expect(TokenKind::kRParen, "')'");
+      return std::make_unique<ListExpr>(loc, std::move(elements));
+    }
+    case TokenKind::kKwIsset: {
+      advance();
+      expect(TokenKind::kLParen, "'('");
+      std::vector<ExprPtr> operands;
+      operands.push_back(require_expr(parse_expr(), loc));
+      while (match(TokenKind::kComma)) {
+        operands.push_back(require_expr(parse_expr(), loc));
+      }
+      expect(TokenKind::kRParen, "')'");
+      return std::make_unique<Isset>(loc, std::move(operands));
+    }
+    case TokenKind::kKwEmpty: {
+      advance();
+      expect(TokenKind::kLParen, "'('");
+      ExprPtr operand = require_expr(parse_expr(), loc);
+      expect(TokenKind::kRParen, "')'");
+      return std::make_unique<Empty>(loc, std::move(operand));
+    }
+    case TokenKind::kKwInclude:
+    case TokenKind::kKwIncludeOnce:
+    case TokenKind::kKwRequire:
+    case TokenKind::kKwRequireOnce: {
+      const TokenKind kind = advance().kind;
+      IncludeKind ik = IncludeKind::kInclude;
+      if (kind == TokenKind::kKwIncludeOnce) ik = IncludeKind::kIncludeOnce;
+      if (kind == TokenKind::kKwRequire) ik = IncludeKind::kRequire;
+      if (kind == TokenKind::kKwRequireOnce) ik = IncludeKind::kRequireOnce;
+      ExprPtr path = require_expr(parse_expr(), loc);
+      return std::make_unique<IncludeExpr>(loc, ik, std::move(path));
+    }
+    case TokenKind::kKwDie:
+    case TokenKind::kKwExit: {
+      advance();
+      ExprPtr operand;
+      if (match(TokenKind::kLParen)) {
+        if (!check(TokenKind::kRParen)) {
+          operand = require_expr(parse_expr(), loc);
+        }
+        expect(TokenKind::kRParen, "')'");
+      }
+      return std::make_unique<ExitExpr>(loc, std::move(operand));
+    }
+    case TokenKind::kKwFunction: {
+      // Closure expression.
+      advance();
+      match(TokenKind::kAmp);
+      std::vector<Param> params = parse_param_list();
+      std::vector<std::string> uses;
+      if (check(TokenKind::kKwUse)) {
+        advance();
+        expect(TokenKind::kLParen, "'('");
+        while (!check(TokenKind::kRParen) && !at_end()) {
+          match(TokenKind::kAmp);
+          if (check(TokenKind::kVariable)) uses.push_back(advance().text);
+          if (!match(TokenKind::kComma)) break;
+        }
+        expect(TokenKind::kRParen, "')'");
+      }
+      if (match(TokenKind::kColon)) {
+        match(TokenKind::kQuestion);
+        if (check(TokenKind::kIdentifier) || check(TokenKind::kKwArray)) {
+          advance();
+        }
+      }
+      std::vector<StmtPtr> body = parse_braced_block();
+      return std::make_unique<Closure>(loc, std::move(params),
+                                       std::move(uses), std::move(body));
+    }
+    case TokenKind::kBackslash:
+      // Fully-qualified name: \foo(...) — strip the namespace separator.
+      advance();
+      return parse_primary();
+    case TokenKind::kIdentifier: {
+      const Token& t = advance();
+      if (check(TokenKind::kLParen)) {
+        std::vector<ExprPtr> args = parse_arg_list();
+        return std::make_unique<Call>(loc, strutil::to_lower(t.text),
+                                      std::move(args));
+      }
+      return std::make_unique<ConstFetch>(loc, t.text);
+    }
+    default:
+      diags_.error(loc, "unexpected token " +
+                            std::string(phplex::token_kind_name(peek().kind)) +
+                            " in expression");
+      return nullptr;
+  }
+}
+
+ExprPtr Parser::parse_array_literal(SourceLoc loc, bool bracket_form) {
+  const TokenKind closer =
+      bracket_form ? TokenKind::kRBracket : TokenKind::kRParen;
+  std::vector<ArrayItem> items;
+  while (!check(closer) && !at_end()) {
+    ExprPtr first = parse_expr();
+    if (first == nullptr) break;
+    ArrayItem item;
+    if (match(TokenKind::kDoubleArrow)) {
+      item.key = std::move(first);
+      match(TokenKind::kAmp);
+      item.value = require_expr(parse_expr(), loc);
+    } else {
+      item.value = std::move(first);
+    }
+    items.push_back(std::move(item));
+    if (!match(TokenKind::kComma)) break;
+  }
+  expect(closer, bracket_form ? "']'" : "')'");
+  return std::make_unique<ArrayLit>(loc, std::move(items));
+}
+
+ExprPtr Parser::desugar_template_string(const Token& token) {
+  // "pre $a post" => ("pre" . $a) . " post"; interpolated variables with
+  // an index/property become the matching access expression.
+  ExprPtr acc;
+  for (const phplex::InterpPart& part : token.parts) {
+    ExprPtr piece;
+    if (part.kind == phplex::InterpPart::Kind::kLiteral) {
+      piece = std::make_unique<StringLit>(token.loc, part.text);
+    } else {
+      ExprPtr var = std::make_unique<Variable>(token.loc, part.text);
+      if (part.has_index) {
+        ExprPtr index;
+        if (part.index_is_string) {
+          index = std::make_unique<StringLit>(token.loc, part.index);
+        } else {
+          index = std::make_unique<IntLit>(
+              token.loc, strutil::php_intval(part.index));
+        }
+        var = std::make_unique<ArrayAccess>(token.loc, std::move(var),
+                                            std::move(index));
+      } else if (!part.property.empty()) {
+        var = std::make_unique<PropertyAccess>(token.loc, std::move(var),
+                                               part.property);
+      }
+      piece = std::move(var);
+    }
+    if (acc == nullptr) {
+      acc = std::move(piece);
+    } else {
+      acc = std::make_unique<Binary>(token.loc, BinaryOp::kConcat,
+                                     std::move(acc), std::move(piece));
+    }
+  }
+  if (acc == nullptr) acc = std::make_unique<StringLit>(token.loc, "");
+  return acc;
+}
+
+}  // namespace uchecker::phpparse

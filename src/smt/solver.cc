@@ -1,0 +1,78 @@
+#include "smt/solver.h"
+
+namespace uchecker::smt {
+
+std::string_view sat_result_name(SatResult r) {
+  switch (r) {
+    case SatResult::kSat: return "sat";
+    case SatResult::kUnsat: return "unsat";
+    case SatResult::kUnknown: return "unknown";
+  }
+  return "invalid";
+}
+
+std::string Model::to_string() const {
+  std::string out;
+  for (const auto& [name, value] : assignments) {
+    if (!out.empty()) out += ", ";
+    out += name + " = " + value;
+  }
+  return out;
+}
+
+Checker::Checker(unsigned timeout_ms) : timeout_ms_(timeout_ms) {}
+
+SolverOutcome Checker::check(const std::vector<z3::expr>& constraints) {
+  ++check_count_;
+  SolverOutcome outcome;
+  try {
+    // Re-serialize the query and solve it in a scratch context. Z3
+    // 4.8.x's sequence solver is sensitive to AST creation order: the
+    // same formula that solves in milliseconds in a freshly-numbered
+    // context can hit a multi-second search when its terms were built
+    // incrementally by the translator. Round-tripping through SMT-LIB
+    // renumbers the ASTs and makes solve times reproducible. Symbol
+    // names are preserved, so model extraction is unaffected.
+    z3::solver builder(ctx_);
+    for (const z3::expr& c : constraints) builder.add(c);
+    const std::string smt2 = builder.to_smt2();
+
+    z3::context scratch;
+    z3::solver solver(scratch);
+    z3::params params(scratch);
+    params.set("timeout", timeout_ms_);
+    solver.set(params);
+    solver.from_string(smt2.c_str());
+    switch (solver.check()) {
+      case z3::sat: {
+        outcome.result = SatResult::kSat;
+        Model model;
+        const z3::model m = solver.get_model();
+        for (unsigned i = 0; i < m.num_consts(); ++i) {
+          const z3::func_decl decl = m.get_const_decl(i);
+          const z3::expr value = m.get_const_interp(decl);
+          model.assignments[decl.name().str()] = value.to_string();
+        }
+        outcome.model = std::move(model);
+        break;
+      }
+      case z3::unsat:
+        outcome.result = SatResult::kUnsat;
+        break;
+      case z3::unknown:
+        outcome.result = SatResult::kUnknown;
+        outcome.error = "solver returned unknown (timeout or incompleteness)";
+        break;
+    }
+  } catch (const z3::exception& e) {
+    outcome.result = SatResult::kUnknown;
+    outcome.error = e.msg();
+  }
+  return outcome;
+}
+
+SolverOutcome Checker::check(const z3::expr& constraint) {
+  return check(std::vector<z3::expr>{constraint});
+}
+
+}  // namespace uchecker::smt

@@ -1,0 +1,66 @@
+// Thin RAII layer over the Z3 C++ API.
+//
+// Keeps Z3 usage in one place: context ownership, solver configuration
+// (timeouts), satisfiability checking with exception containment, and
+// model extraction. The translation module builds z3::expr terms through
+// the context exposed here; everything downstream of the detector sees
+// only SatResult / SolverOutcome values.
+#pragma once
+
+#include <z3++.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uchecker::smt {
+
+enum class SatResult : std::uint8_t { kSat, kUnsat, kUnknown };
+
+[[nodiscard]] std::string_view sat_result_name(SatResult r);
+
+// A satisfying assignment, rendered as strings for reporting. For an
+// unrestricted-file-upload finding this typically shows e.g.
+//   s_ext = "php", s_filename = "x"
+struct Model {
+  std::map<std::string, std::string> assignments;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct SolverOutcome {
+  SatResult result = SatResult::kUnknown;
+  std::optional<Model> model;   // present iff result == kSat
+  std::string error;            // populated when Z3 threw
+};
+
+// Wraps one z3::context + z3::solver pair. Not thread-safe (Z3 contexts
+// are not); create one Checker per scan thread.
+class Checker {
+ public:
+  explicit Checker(unsigned timeout_ms = 5000);
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  [[nodiscard]] z3::context& ctx() { return ctx_; }
+
+  // Checks the conjunction of `constraints`. Any z3::exception is caught
+  // and converted into an outcome with result == kUnknown.
+  [[nodiscard]] SolverOutcome check(const std::vector<z3::expr>& constraints);
+
+  // Convenience for a single constraint.
+  [[nodiscard]] SolverOutcome check(const z3::expr& constraint);
+
+  // Total number of check() calls, for benchmark accounting.
+  [[nodiscard]] std::uint64_t check_count() const { return check_count_; }
+
+ private:
+  z3::context ctx_;
+  unsigned timeout_ms_;
+  std::uint64_t check_count_ = 0;
+};
+
+}  // namespace uchecker::smt

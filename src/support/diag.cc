@@ -1,0 +1,30 @@
+#include "support/diag.h"
+
+namespace uchecker {
+namespace {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string DiagnosticSink::render(const SourceManager& sm) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += sm.describe(d.loc);
+    out += ": ";
+    out += severity_name(d.severity);
+    out += ": ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace uchecker

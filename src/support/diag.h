@@ -1,0 +1,54 @@
+// Diagnostics: structured errors/warnings produced by the lexer, parser,
+// and analysis phases. User-input problems are reported as diagnostics
+// (never as exceptions crossing module boundaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source.h"
+
+namespace uchecker {
+
+enum class Severity { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+// Collects diagnostics for one pipeline run. Cheap to pass by reference
+// through the phases; the detector inspects it at the end.
+class DiagnosticSink {
+ public:
+  void report(Severity severity, SourceLoc loc, std::string message) {
+    diags_.push_back(Diagnostic{severity, loc, std::move(message)});
+    if (severity == Severity::kError) ++error_count_;
+  }
+
+  void error(SourceLoc loc, std::string message) {
+    report(Severity::kError, loc, std::move(message));
+  }
+  void warning(SourceLoc loc, std::string message) {
+    report(Severity::kWarning, loc, std::move(message));
+  }
+  void note(SourceLoc loc, std::string message) {
+    report(Severity::kNote, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  // Renders all diagnostics using the manager for location names.
+  [[nodiscard]] std::string render(const SourceManager& sm) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace uchecker

@@ -1,0 +1,203 @@
+// Tests for the RIPS-style and WAP-style baseline scanners (§IV-C).
+#include <gtest/gtest.h>
+
+#include "baselines/rips.h"
+#include "baselines/taint.h"
+#include "baselines/wap.h"
+#include "phpparse/parser.h"
+
+namespace uchecker::baselines {
+namespace {
+
+core::Application one_file(const std::string& php) {
+  core::Application app;
+  app.name = "t";
+  app.files.push_back(core::AppFile{"t.php", "<?php\n" + php});
+  return app;
+}
+
+std::vector<TaintFinding> taint_of(const std::string& php) {
+  SourceManager sm;
+  DiagnosticSink diags;
+  const FileId id = sm.add_file("t.php", "<?php\n" + php);
+  static std::vector<phpast::PhpFile>* keep = new std::vector<phpast::PhpFile>();
+  keep->push_back(phpparse::parse_php(*sm.file(id), diags));
+  return taint_scan({&keep->back()});
+}
+
+// --- shared taint pass -----------------------------------------------------------
+
+TEST(Taint, DirectFlowDetected) {
+  const auto findings =
+      taint_of("move_uploaded_file($_FILES['f']['tmp_name'], '/x');");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].sink_name, "move_uploaded_file");
+  EXPECT_TRUE(findings[0].src_direct_tmp_name);
+}
+
+TEST(Taint, FlowThroughVariables) {
+  const auto findings = taint_of(R"(
+$f = $_FILES['u'];
+$tmp = $f['tmp_name'];
+move_uploaded_file($tmp, '/x');
+)");
+  EXPECT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].src_direct_tmp_name);
+}
+
+TEST(Taint, FlowThroughLibraryCall) {
+  const auto findings = taint_of(R"(
+$tmp = trim($_FILES['u']['tmp_name']);
+move_uploaded_file($tmp, '/x');
+)");
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(Taint, NoFlowNoFinding) {
+  EXPECT_TRUE(taint_of("move_uploaded_file('/a', '/b');").empty());
+  EXPECT_TRUE(taint_of("$x = $_FILES['u']['name']; echo $x;").empty());
+}
+
+TEST(Taint, DoesNotCrossFunctionParameters) {
+  // Intraprocedural only — reproduces RIPS's miss on WooCommerce Custom
+  // Profile Picture, where $_FILES reaches the sink via a parameter.
+  const auto findings = taint_of(R"(
+function save($file) {
+    move_uploaded_file($file['tmp_name'], '/x');
+}
+save($_FILES['pic']);
+)");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Taint, FunctionScopeAnalyzedIndependently) {
+  const auto findings = taint_of(R"(
+function handler() {
+    move_uploaded_file($_FILES['f']['tmp_name'], '/x');
+}
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].scope, "handler");
+}
+
+TEST(Taint, LoopBodyUseBeforeDefConverges) {
+  const auto findings = taint_of(R"(
+while ($go) {
+    move_uploaded_file($tmp, '/x');
+    $tmp = $_FILES['f']['tmp_name'];
+}
+)");
+  EXPECT_EQ(findings.size(), 1u);  // second pass sees the taint
+}
+
+TEST(Taint, FeatureDirectNameScopeLevel) {
+  const auto findings = taint_of(R"(
+$target = '/u/' . $_FILES['f']['name'];
+move_uploaded_file($_FILES['f']['tmp_name'], $target);
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].dst_direct_files_name);
+}
+
+TEST(Taint, FeatureSanitizerPresence) {
+  const auto findings = taint_of(R"(
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+move_uploaded_file($_FILES['f']['tmp_name'], '/u/x.' . $ext);
+)");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].scope_has_sanitizer);
+}
+
+TEST(Taint, FilePutContentsReversedArgs) {
+  const auto findings =
+      taint_of("file_put_contents('/w/x.php', $_FILES['f']['tmp_name']);");
+  ASSERT_EQ(findings.size(), 1u);
+}
+
+// --- RIPS ---------------------------------------------------------------------------
+
+TEST(Rips, FlagsValidatedUploadToo) {
+  // The defining false-positive behaviour: extension checks do not help.
+  RipsScanner rips;
+  EXPECT_TRUE(rips.scan(one_file(R"(
+$ext = strtolower(pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION));
+if (in_array($ext, array('jpg'))) {
+    move_uploaded_file($_FILES['f']['tmp_name'], '/u/safe.jpg');
+}
+)")).flagged);
+}
+
+TEST(Rips, DoesNotFlagWpHandleUpload) {
+  RipsScanner rips;
+  EXPECT_FALSE(rips.scan(one_file(R"(
+$res = wp_handle_upload($_FILES['f'], array('test_form' => false));
+echo $res['url'];
+)")).flagged);
+}
+
+TEST(Rips, ReportsPerSinkFindings) {
+  RipsScanner rips;
+  const BaselineReport report = rips.scan(one_file(R"(
+move_uploaded_file($_FILES['a']['tmp_name'], '/x');
+move_uploaded_file($_FILES['b']['tmp_name'], '/y');
+)"));
+  EXPECT_EQ(report.findings.size(), 2u);
+}
+
+// --- WAP ----------------------------------------------------------------------------
+
+TEST(Wap, ClassifierTrainsToSeparateEmbeddedSet) {
+  WapClassifier classifier;
+  EXPECT_GE(classifier.training_accuracy(), 0.9);
+}
+
+TEST(Wap, ClassifierWeightsAreDeterministic) {
+  WapClassifier a;
+  WapClassifier b;
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(Wap, FlagsBluntDirectNameFlow) {
+  WapScanner wap;
+  EXPECT_TRUE(wap.scan(one_file(R"(
+$target = '/u/' . $_FILES['f']['name'];
+move_uploaded_file($_FILES['f']['tmp_name'], $target);
+)")).flagged);
+}
+
+TEST(Wap, SuppressesWhenSanitizerPresent) {
+  WapScanner wap;
+  EXPECT_FALSE(wap.scan(one_file(R"(
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if (in_array($ext, array('jpg'))) {
+    $target = '/u/' . $_FILES['f']['name'];
+    move_uploaded_file($_FILES['f']['tmp_name'], $target);
+}
+)")).flagged);
+}
+
+TEST(Wap, MissesIndirectFlow) {
+  // The mechanism behind WAP's low detection rate (4/16 in the paper).
+  WapScanner wap;
+  EXPECT_FALSE(wap.scan(one_file(R"(
+$file = $_FILES['u'];
+$name = $file['name'];
+move_uploaded_file($file['tmp_name'], '/u/' . $name);
+)")).flagged);
+}
+
+TEST(Wap, FeatureExtraction) {
+  TaintFinding f;
+  f.dst_direct_files_name = true;
+  f.scope_has_sanitizer = false;
+  f.src_direct_tmp_name = true;
+  f.dst_has_concat = true;
+  f.scope_statements = 50;
+  const WapFeatures x = wap_features(f);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+  EXPECT_DOUBLE_EQ(x[4], 0.5);
+}
+
+}  // namespace
+}  // namespace uchecker::baselines

@@ -1,0 +1,212 @@
+// Tests for the PHP builtin models (§III-B4) through the interpreter.
+#include <gtest/gtest.h>
+
+#include "core/heapgraph/sexpr.h"
+#include "core/interp/builtins.h"
+#include "core/interp/interp.h"
+#include "phpparse/parser.h"
+
+namespace uchecker::core {
+namespace {
+
+struct ExecRun {
+  SourceManager sources;
+  DiagnosticSink diags;
+  std::vector<phpast::PhpFile> files;
+  Program program;
+  InterpResult result;
+
+  explicit ExecRun(const std::string& src) {
+    const FileId id = sources.add_file("t.php", "<?php\n" + src);
+    files.push_back(phpparse::parse_php(*sources.file(id), diags));
+    std::vector<const phpast::PhpFile*> ptrs{&files[0]};
+    program = build_program(ptrs);
+    Interpreter interp(program, diags);
+    AnalysisRoot root;
+    root.file = &files[0];
+    result = interp.run(root);
+  }
+
+  [[nodiscard]] std::string value(const std::string& name) const {
+    return to_sexpr(result.graph, result.envs.at(0).get_map(name));
+  }
+  [[nodiscard]] const Object& object(const std::string& name) const {
+    return result.graph.at(result.envs.at(0).get_map(name));
+  }
+};
+
+TEST(Builtins, PathinfoExtensionBindsToExtSymbol) {
+  ExecRun r("$e = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);");
+  EXPECT_EQ(r.value("e"), "s_files_f_ext");
+}
+
+TEST(Builtins, PathinfoFilenameBindsToStemSymbol) {
+  ExecRun r("$s = pathinfo($_FILES['f']['name'], PATHINFO_FILENAME);");
+  EXPECT_EQ(r.value("s"), "s_files_f_filename");
+}
+
+TEST(Builtins, PathinfoFullArrayHasComponents) {
+  ExecRun r("$i = pathinfo($_FILES['f']['name']); $b = $i['basename']; "
+            "$e = $i['extension'];");
+  EXPECT_EQ(r.value("e"), "s_files_f_ext");
+  EXPECT_NE(r.value("b").find("s_files_f_filename"), std::string::npos);
+}
+
+TEST(Builtins, PathinfoThroughWrappersStillResolves) {
+  ExecRun r("$e = pathinfo(strtolower(basename($_FILES['f']['name'])), "
+            "PATHINFO_EXTENSION);");
+  EXPECT_EQ(r.value("e"), "s_files_f_ext");
+}
+
+TEST(Builtins, PathinfoOnUnknownStringIsFreshSymbol) {
+  ExecRun r("$e = pathinfo($some_path, PATHINFO_EXTENSION);");
+  EXPECT_NE(r.value("e").find("pathinfo_ext"), std::string::npos);
+}
+
+TEST(Builtins, ExplodeDotOnFilesName) {
+  ExecRun r("$parts = explode('.', $_FILES['f']['name']); $e = end($parts);");
+  EXPECT_EQ(r.value("e"), "s_files_f_ext");
+}
+
+TEST(Builtins, ExplodeOtherSeparatorOpaque) {
+  ExecRun r("$parts = explode('/', $_FILES['f']['name']);");
+  EXPECT_EQ(r.object("parts").kind, Object::Kind::kFunc);
+}
+
+TEST(Builtins, EndOnKnownArray) {
+  ExecRun r("$a = array('x', 'y', 'z'); $last = end($a);");
+  EXPECT_EQ(r.value("last"), "\"z\"");
+}
+
+TEST(Builtins, ResetOnKnownArray) {
+  ExecRun r("$a = array('x', 'y'); $first = reset($a);");
+  EXPECT_EQ(r.value("first"), "\"x\"");
+}
+
+TEST(Builtins, CountOnKnownArray) {
+  ExecRun r("$n = count(array(1, 2, 3));");
+  EXPECT_EQ(r.value("n"), "3");
+}
+
+TEST(Builtins, InArrayExpandsToOrOfEquals) {
+  ExecRun r("$ok = in_array($x, array('a', 'b'));");
+  EXPECT_EQ(r.value("ok"), "(OR (== s_x_1 \"a\") (== s_x_1 \"b\"))");
+}
+
+TEST(Builtins, InArrayUnknownHaystackIsSymbol) {
+  ExecRun r("$ok = in_array($x, $list);");
+  EXPECT_EQ(r.object("ok").kind, Object::Kind::kSymbol);
+  EXPECT_EQ(r.object("ok").type, Type::kBool);
+}
+
+TEST(Builtins, BasenameConcreteComputed) {
+  ExecRun r("$b = basename('/var/www/up.php');");
+  EXPECT_EQ(r.value("b"), "\"up.php\"");
+}
+
+TEST(Builtins, BasenameSymbolicWrapped) {
+  ExecRun r("$b = basename($_FILES['f']['name']);");
+  EXPECT_EQ(r.value("b"),
+            "(basename (. (. s_files_f_filename \".\") s_files_f_ext))");
+}
+
+TEST(Builtins, SprintfSimpleFormatsBecomeConcat) {
+  ExecRun r("$s = sprintf('%s/%s.bak', $dir, $name);");
+  EXPECT_EQ(r.value("s"),
+            "(. (. (. s_dir_1 \"/\") s_name_2) \".bak\")");
+}
+
+TEST(Builtins, SprintfComplexFormatOpaque) {
+  ExecRun r("$s = sprintf('%05.2f', $x);");
+  EXPECT_EQ(r.object("s").kind, Object::Kind::kFunc);
+}
+
+TEST(Builtins, StrrchrDotYieldsDotExt) {
+  ExecRun r("$e = strrchr($_FILES['f']['name'], '.');");
+  EXPECT_EQ(r.value("e"), "(. \".\" s_files_f_ext)");
+}
+
+TEST(Builtins, ArrayKeysOnKnownArray) {
+  ExecRun r("$k = array_keys(array('a' => 1, 'b' => 2)); $first = $k[0];");
+  EXPECT_EQ(r.value("first"), "\"a\"");
+}
+
+TEST(Builtins, HookRegistrarsReturnTrue) {
+  ExecRun r("$r = add_action('init', 'cb');");
+  EXPECT_EQ(r.value("r"), "true");
+}
+
+TEST(Builtins, TypedOpaqueResultTypes) {
+  ExecRun r("$l = strlen($s); $p = strpos($a, $b); $u = wp_upload_dir();");
+  EXPECT_EQ(r.object("l").type, Type::kInt);
+  EXPECT_EQ(r.object("p").type, Type::kInt);
+  EXPECT_EQ(r.object("u").type, Type::kUnknown);
+}
+
+TEST(Builtins, UnknownFunctionIsOpaqueUnknown) {
+  ExecRun r("$v = some_plugin_helper($a, $b);");
+  const Object& v = r.object("v");
+  EXPECT_EQ(v.kind, Object::Kind::kFunc);
+  EXPECT_EQ(v.name, "some_plugin_helper");
+  EXPECT_EQ(v.type, Type::kUnknown);
+  EXPECT_EQ(v.children.size(), 2u);
+}
+
+TEST(Builtins, ConstantsResolve) {
+  ExecRun r("$a = PATHINFO_EXTENSION; $b = DIRECTORY_SEPARATOR; "
+            "$c = UPLOAD_ERR_OK;");
+  EXPECT_EQ(r.value("a"), "4");
+  EXPECT_EQ(r.value("b"), "\"/\"");
+  EXPECT_EQ(r.value("c"), "0");
+}
+
+TEST(Builtins, UnknownConstantIsSymbol) {
+  ExecRun r("$a = SOME_PLUGIN_CONST;");
+  EXPECT_EQ(r.object("a").kind, Object::Kind::kSymbol);
+}
+
+TEST(Builtins, IdentityChainResolution) {
+  HeapGraph g;
+  const Label s = g.add_symbol("x", Type::kString);
+  const Label t = g.add_func("trim", Type::kString, {s});
+  const Label l = g.add_func("strtolower", Type::kString, {t});
+  EXPECT_EQ(resolve_through_identity(g, l), s);
+  EXPECT_TRUE(is_identity_builtin("sanitize_file_name"));
+  EXPECT_FALSE(is_identity_builtin("md5"));
+}
+
+
+TEST(Builtins, ArrayMergeKnownArrays) {
+  ExecRun r("$a = array_merge(array('x'), array('y', 'k' => 'v')); "
+            "$p = $a[1]; $q = $a['k'];");
+  EXPECT_EQ(r.value("p"), "\"y\"");
+  EXPECT_EQ(r.value("q"), "\"v\"");
+}
+
+TEST(Builtins, ArrayMergeStringKeyOverwrite) {
+  ExecRun r("$a = array_merge(array('k' => 1), array('k' => 2)); $v = $a['k'];");
+  EXPECT_EQ(r.value("v"), "2");
+}
+
+TEST(Builtins, ArrayMergeUnknownOperandOpaque) {
+  ExecRun r("$a = array_merge(array('x'), $unknown);");
+  EXPECT_EQ(r.object("a").kind, Object::Kind::kFunc);
+}
+
+TEST(Builtins, ImplodeKnownArrayBecomesConcat) {
+  ExecRun r("$s = implode('/', array('a', 'b', 'c'));");
+  EXPECT_EQ(r.value("s"), "(. (. (. (. \"a\" \"/\") \"b\") \"/\") \"c\")");
+}
+
+TEST(Builtins, ImplodeUnknownArrayOpaque) {
+  ExecRun r("$s = implode('/', $parts);");
+  EXPECT_EQ(r.object("s").kind, Object::Kind::kFunc);
+}
+
+TEST(Builtins, UcfirstIsIdentityTranslated) {
+  EXPECT_TRUE(is_identity_builtin("ucfirst"));
+  EXPECT_TRUE(is_identity_builtin("mb_strtolower"));
+}
+
+}  // namespace
+}  // namespace uchecker::core

@@ -1,0 +1,212 @@
+// Integration tests over the reconstructed Table III corpus: structure
+// invariants, and — the headline reproduction — per-application verdicts
+// matching the paper for all 44 apps, plus the §IV-C baseline comparison.
+#include <gtest/gtest.h>
+
+#include "baselines/rips.h"
+#include "baselines/wap.h"
+#include "core/detector/detector.h"
+#include "corpus/corpus.h"
+#include "phpparse/parser.h"
+
+namespace uchecker::corpus {
+namespace {
+
+using core::Detector;
+using core::ScanReport;
+using core::Verdict;
+
+const std::vector<CorpusEntry>& corpus() {
+  static const auto* entries = new std::vector<CorpusEntry>(full_corpus());
+  return *entries;
+}
+
+// Scan each app once; reports are shared across tests.
+const std::map<std::string, ScanReport>& reports() {
+  static const auto* cached = [] {
+    auto* m = new std::map<std::string, ScanReport>();
+    Detector detector;
+    for (const CorpusEntry& entry : corpus()) {
+      m->emplace(entry.app.name, detector.scan(entry.app));
+    }
+    return m;
+  }();
+  return *cached;
+}
+
+TEST(CorpusStructure, CategorySizesMatchPaper) {
+  EXPECT_EQ(known_vulnerable().size(), 13u);
+  EXPECT_EQ(benign().size(), 28u);
+  EXPECT_EQ(new_vulnerable().size(), 3u);
+  EXPECT_EQ(corpus().size(), 44u);
+}
+
+TEST(CorpusStructure, GroundTruthLabels) {
+  int vulnerable = 0;
+  int expected_flags = 0;
+  for (const CorpusEntry& e : corpus()) {
+    vulnerable += e.ground_truth_vulnerable;
+    expected_flags += e.paper_flagged_by_uchecker;
+  }
+  EXPECT_EQ(vulnerable, 16);       // 13 known + 3 new
+  EXPECT_EQ(expected_flags, 17);   // 15 TP + 2 FP
+}
+
+TEST(CorpusStructure, AllAppsParseCleanly) {
+  for (const CorpusEntry& entry : corpus()) {
+    SourceManager sm;
+    DiagnosticSink diags;
+    for (const core::AppFile& f : entry.app.files) {
+      const FileId id = sm.add_file(f.name, f.content);
+      (void)phpparse::parse_php(*sm.file(id), diags);
+    }
+    EXPECT_EQ(diags.error_count(), 0u) << entry.app.name << "\n"
+                                       << diags.render(sm);
+  }
+}
+
+TEST(CorpusStructure, LocTracksPaperColumn) {
+  for (const CorpusEntry& entry : corpus()) {
+    if (entry.paper.loc == 0) continue;  // unnamed benign rows
+    const ScanReport& report = reports().at(entry.app.name);
+    const double ratio = static_cast<double>(report.total_loc) /
+                         static_cast<double>(entry.paper.loc);
+    EXPECT_GT(ratio, 0.85) << entry.app.name;
+    EXPECT_LT(ratio, 1.15) << entry.app.name;
+  }
+}
+
+// --- the headline reproduction (Table III verdict column) ---------------------
+
+class CorpusVerdict : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorpusVerdict, MatchesPaperColumn) {
+  const CorpusEntry& entry = corpus().at(GetParam());
+  const ScanReport& report = reports().at(entry.app.name);
+  const bool flagged = report.verdict == Verdict::kVulnerable;
+  EXPECT_EQ(flagged, entry.paper_flagged_by_uchecker)
+      << entry.app.name << ": verdict " << verdict_name(report.verdict);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, CorpusVerdict, ::testing::Range<std::size_t>(0, 44),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      std::string name = corpus().at(info.param).app.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(CorpusDetection, AggregateMatchesPaper) {
+  int tp = 0, fn = 0, fp = 0, tn = 0;
+  for (const CorpusEntry& entry : corpus()) {
+    const bool flagged =
+        reports().at(entry.app.name).verdict == Verdict::kVulnerable;
+    if (entry.ground_truth_vulnerable) {
+      flagged ? ++tp : ++fn;
+    } else {
+      flagged ? ++fp : ++tn;
+    }
+  }
+  EXPECT_EQ(tp, 15);  // 12/13 known + 3/3 new
+  EXPECT_EQ(fn, 1);   // Cimy User Extra Fields (budget exhaustion)
+  EXPECT_EQ(fp, 2);   // the two admin-gated plugins
+  EXPECT_EQ(tn, 26);
+}
+
+TEST(CorpusDetection, CimyFalseNegativeIsBudgetExhaustion) {
+  const ScanReport& report = reports().at("Cimy User Extra Fields 2.3.8");
+  EXPECT_EQ(report.verdict, Verdict::kAnalysisIncomplete);
+  EXPECT_TRUE(report.budget_exhausted);
+  EXPECT_GT(report.paths, 100'000u);  // the paper reports 248832 paths
+}
+
+TEST(CorpusDetection, AvatarUploaderPathCountExact) {
+  // Table III: 9216 paths (2^10 * 9).
+  EXPECT_EQ(reports().at("Avatar Uploader 6.x-1.2").paths, 9216u);
+}
+
+TEST(CorpusDetection, ObjectSharingShapeHolds) {
+  // Paper §IV-A: "each path has less than 100 objects on average".
+  for (const CorpusEntry& entry : corpus()) {
+    const ScanReport& report = reports().at(entry.app.name);
+    if (report.paths == 0) continue;
+    EXPECT_LT(report.objects_per_path, 100.0) << entry.app.name;
+  }
+}
+
+TEST(CorpusDetection, LocalityReductionShapeHolds) {
+  // Paper: locality excludes 67%..99.7% of each app's code.
+  for (const CorpusEntry& entry : corpus()) {
+    const ScanReport& report = reports().at(entry.app.name);
+    if (report.roots == 0) continue;
+    EXPECT_LT(report.analyzed_percent, 55.0) << entry.app.name;
+  }
+}
+
+TEST(CorpusDetection, FindingsCiteRealSourceLines) {
+  for (const CorpusEntry& entry : corpus()) {
+    const ScanReport& report = reports().at(entry.app.name);
+    for (const core::Finding& f : report.findings) {
+      EXPECT_NE(f.source_line.find(f.sink_name), std::string::npos)
+          << entry.app.name << " @ " << f.location;
+    }
+  }
+}
+
+// --- §IV-C comparison -----------------------------------------------------------
+
+TEST(CorpusComparison, RipsAndWapAggregatesMatchPaper) {
+  baselines::RipsScanner rips;
+  baselines::WapScanner wap;
+  int rips_det = 0, rips_fp = 0, wap_det = 0, wap_fp = 0;
+  for (const CorpusEntry& entry : corpus()) {
+    const bool r = rips.scan(entry.app).flagged;
+    const bool w = wap.scan(entry.app).flagged;
+    if (entry.ground_truth_vulnerable) {
+      rips_det += r;
+      wap_det += w;
+    } else {
+      rips_fp += r;
+      wap_fp += w;
+    }
+  }
+  EXPECT_EQ(rips_det, 15);  // paper: 15/16
+  EXPECT_EQ(rips_fp, 27);   // paper: 27/28
+  EXPECT_EQ(wap_det, 4);    // paper: 4/16
+  EXPECT_EQ(wap_fp, 1);     // paper: 1/28
+}
+
+TEST(CorpusComparison, RipsMissesWooCommerceCustomProfilePicture) {
+  baselines::RipsScanner rips;
+  for (const CorpusEntry& entry : corpus()) {
+    if (entry.app.name == "WooCommerce Custom Profile Picture 1.0") {
+      EXPECT_FALSE(rips.scan(entry.app).flagged);
+      return;
+    }
+  }
+  FAIL() << "app not found";
+}
+
+// --- §VI extension: admin-gating removes exactly the two FPs --------------------
+
+TEST(CorpusExtension, AdminGatingRemovesBothFalsePositives) {
+  core::ScanOptions options;
+  options.locality.model_admin_gating = true;
+  Detector gated(options);
+  int fp = 0, detected = 0;
+  for (const CorpusEntry& entry : corpus()) {
+    const bool flagged = gated.scan(entry.app).verdict == Verdict::kVulnerable;
+    if (entry.ground_truth_vulnerable) {
+      detected += flagged;
+    } else {
+      fp += flagged;
+    }
+  }
+  EXPECT_EQ(fp, 0);
+  EXPECT_EQ(detected, 15);
+}
+
+}  // namespace
+}  // namespace uchecker::corpus

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+#include "core/detector/detector.h"
+
+using namespace uchecker;
+using namespace uchecker::core;
+
+TEST(DetectorSmoke, Listing4Vulnerable) {
+  Application app;
+  app.name = "listing4";
+  app.files.push_back({"upload.php", R"php(<?php
+$path_array = wp_upload_dir();
+$pathAndName = $path_array['path'] . "/" . $_FILES['upload_file']['name'];
+if (strlen($_FILES['upload_file']['name']) > 5) {
+  move_uploaded_file($_FILES['upload_file']['tmp_name'], $pathAndName);
+}
+)php"});
+  Detector detector;
+  ScanReport report = detector.scan(app);
+  printf("verdict=%s paths=%zu objects=%zu analyzed=%.1f%% findings=%zu\n",
+         std::string(verdict_name(report.verdict)).c_str(), report.paths,
+         report.objects, report.analyzed_percent, report.findings.size());
+  for (auto& f : report.findings) {
+    printf("finding: %s at %s\n  dst=%s\n  reach=%s\n  witness=%s\n",
+           f.sink_name.c_str(), f.location.c_str(), f.dst_sexpr.c_str(),
+           f.reach_sexpr.c_str(), f.witness.c_str());
+  }
+  EXPECT_EQ(report.verdict, Verdict::kVulnerable);
+}
+
+TEST(DetectorSmoke, WhitelistedExtensionNotVulnerable) {
+  Application app;
+  app.name = "benign";
+  app.files.push_back({"upload.php", R"php(<?php
+$name = $_FILES['pic']['name'];
+$ext = strtolower(pathinfo($name, PATHINFO_EXTENSION));
+$allowed = array('jpg', 'jpeg', 'png', 'gif');
+if (in_array($ext, $allowed)) {
+  $dst = wp_upload_dir() . '/' . basename($name);
+  move_uploaded_file($_FILES['pic']['tmp_name'], $dst);
+}
+)php"});
+  Detector detector;
+  ScanReport report = detector.scan(app);
+  printf("verdict=%s findings=%zu sinks=%zu\n",
+         std::string(verdict_name(report.verdict)).c_str(),
+         report.findings.size(), report.sink_hits);
+  EXPECT_EQ(report.verdict, Verdict::kNotVulnerable);
+}

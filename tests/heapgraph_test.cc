@@ -1,0 +1,228 @@
+#include "core/heapgraph/heapgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/heapgraph/dot.h"
+#include "core/heapgraph/sexpr.h"
+
+namespace uchecker::core {
+namespace {
+
+TEST(HeapGraph, LabelsAreUniqueAndOneBased) {
+  HeapGraph g;
+  const Label a = g.add_concrete(Value(std::int64_t{1}));
+  const Label b = g.add_symbol("s", Type::kString);
+  const Label c = g.add_op(OpKind::kConcat, Type::kString, {a, b});
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(c, 3u);
+  EXPECT_EQ(g.object_count(), 3u);
+}
+
+TEST(HeapGraph, FindReturnsNullForInvalid) {
+  HeapGraph g;
+  EXPECT_EQ(g.find(kNoLabel), nullptr);
+  EXPECT_EQ(g.find(1), nullptr);
+  g.add_concrete(Value(true));
+  EXPECT_NE(g.find(1), nullptr);
+  EXPECT_EQ(g.find(2), nullptr);
+}
+
+TEST(HeapGraph, ConcreteObjectTypes) {
+  HeapGraph g;
+  EXPECT_EQ(g.at(g.add_concrete(Value(std::monostate{}))).type, Type::kNull);
+  EXPECT_EQ(g.at(g.add_concrete(Value(true))).type, Type::kBool);
+  EXPECT_EQ(g.at(g.add_concrete(Value(std::int64_t{5}))).type, Type::kInt);
+  EXPECT_EQ(g.at(g.add_concrete(Value(2.5))).type, Type::kFloat);
+  EXPECT_EQ(g.at(g.add_concrete(Value(std::string("x")))).type, Type::kString);
+}
+
+TEST(HeapGraph, EdgeOrderPreserved) {
+  HeapGraph g;
+  const Label l = g.add_concrete(Value(std::int64_t{1}));
+  const Label r = g.add_concrete(Value(std::int64_t{2}));
+  const Label op = g.add_op(OpKind::kSub, Type::kInt, {l, r});
+  const Object& obj = g.at(op);
+  ASSERT_EQ(obj.children.size(), 2u);
+  EXPECT_EQ(obj.children[0], l);  // left operand first
+  EXPECT_EQ(obj.children[1], r);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(HeapGraph, RefineTypeIsMonotone) {
+  HeapGraph g;
+  const Label s = g.add_symbol("s", Type::kUnknown);
+  g.refine_type(s, Type::kString);
+  EXPECT_EQ(g.at(s).type, Type::kString);
+  g.refine_type(s, Type::kInt);  // must not overwrite
+  EXPECT_EQ(g.at(s).type, Type::kString);
+}
+
+TEST(HeapGraph, TaintPropagatesThroughOps) {
+  HeapGraph g;
+  const Label files = g.add_symbol("$_FILES", Type::kArray, {}, true);
+  const Label idx = g.add_concrete(Value(std::string("f")));
+  const Label access = g.add_op(OpKind::kArrayAccess, Type::kUnknown, {files, idx});
+  const Label clean = g.add_symbol("dir", Type::kString);
+  const Label concat = g.add_op(OpKind::kConcat, Type::kString, {clean, access});
+  EXPECT_TRUE(g.reaches_files_taint(access));
+  EXPECT_TRUE(g.reaches_files_taint(concat));
+  EXPECT_FALSE(g.reaches_files_taint(clean));
+  EXPECT_FALSE(g.reaches_files_taint(idx));
+}
+
+TEST(HeapGraph, TaintPropagatesThroughArrayEntries) {
+  HeapGraph g;
+  const Label tainted = g.add_symbol("s_tmp", Type::kString, {}, true);
+  const Label arr = g.add_array({ArrayEntry{"tmp_name", false, tainted}});
+  EXPECT_TRUE(g.reaches_files_taint(arr));
+}
+
+TEST(HeapGraph, MarkFilesTaintedAfterCreation) {
+  HeapGraph g;
+  const Label s = g.add_symbol("late", Type::kString);
+  EXPECT_FALSE(g.reaches_files_taint(s));
+  g.mark_files_tainted(s);
+  EXPECT_TRUE(g.reaches_files_taint(s));
+}
+
+TEST(HeapGraph, MemoryAccountingGrows) {
+  HeapGraph g;
+  const std::size_t empty = g.memory_bytes();
+  g.add_symbol("a_rather_long_symbol_name", Type::kString);
+  EXPECT_GT(g.memory_bytes(), empty);
+}
+
+// --- Env --------------------------------------------------------------------
+
+TEST(Env, MapOperations) {
+  Env env;
+  EXPECT_EQ(env.get_map("a"), kNoLabel);
+  env.add_map("a", 7);
+  EXPECT_EQ(env.get_map("a"), 7u);
+  env.add_map("a", 9);  // rebinding replaces
+  EXPECT_EQ(env.get_map("a"), 9u);
+  env.remove_map("a");
+  EXPECT_EQ(env.get_map("a"), kNoLabel);
+}
+
+TEST(Env, StatusLifecycle) {
+  Env env;
+  EXPECT_TRUE(env.running());
+  env.set_status(Env::Status::kReturned);
+  EXPECT_FALSE(env.running());
+  env.set_status(Env::Status::kRunning);
+  EXPECT_TRUE(env.running());
+}
+
+TEST(Env, ExtendReachabilityFirstAssignsCur) {
+  HeapGraph g;
+  Env env;
+  EXPECT_EQ(env.cur(), kNoLabel);
+  const Label cond = g.add_symbol("c", Type::kBool);
+  extend_reachability(g, env, cond);
+  EXPECT_EQ(env.cur(), cond);
+}
+
+TEST(Env, ExtendReachabilityConjoinsWithAnd) {
+  HeapGraph g;
+  Env env;
+  const Label c1 = g.add_symbol("c1", Type::kBool);
+  const Label c2 = g.add_symbol("c2", Type::kBool);
+  extend_reachability(g, env, c1);
+  extend_reachability(g, env, c2);
+  const Object& cur = g.at(env.cur());
+  EXPECT_EQ(cur.kind, Object::Kind::kOp);
+  EXPECT_EQ(cur.op, OpKind::kAnd);
+  ASSERT_EQ(cur.children.size(), 2u);
+  EXPECT_EQ(cur.children[0], c1);
+  EXPECT_EQ(cur.children[1], c2);
+}
+
+TEST(Env, ExtendReachabilityIgnoresNoLabel) {
+  HeapGraph g;
+  Env env;
+  extend_reachability(g, env, kNoLabel);
+  EXPECT_EQ(env.cur(), kNoLabel);
+}
+
+// --- S-expression rendering ---------------------------------------------------
+
+TEST(SExpr, PaperListing2Reachability) {
+  // (> (+ s 55) 10) — the paper's Fig. 4 example.
+  HeapGraph g;
+  const Label s = g.add_symbol("s", Type::kInt);
+  const Label c55 = g.add_concrete(Value(std::int64_t{55}));
+  const Label add = g.add_op(OpKind::kAdd, Type::kInt, {s, c55});
+  const Label c10 = g.add_concrete(Value(std::int64_t{10}));
+  const Label gt = g.add_op(OpKind::kGreater, Type::kBool, {add, c10});
+  EXPECT_EQ(to_sexpr(g, gt), "(> (+ s 55) 10)");
+}
+
+TEST(SExpr, StringsAreQuoted) {
+  HeapGraph g;
+  const Label s = g.add_concrete(Value(std::string(".php")));
+  EXPECT_EQ(to_sexpr(g, s), "\".php\"");
+}
+
+TEST(SExpr, FuncNodes) {
+  HeapGraph g;
+  const Label arg = g.add_symbol("name", Type::kString);
+  const Label fn = g.add_func("strlen", Type::kInt, {arg});
+  EXPECT_EQ(to_sexpr(g, fn), "(strlen name)");
+}
+
+TEST(SExpr, ArrayNodes) {
+  HeapGraph g;
+  const Label v = g.add_concrete(Value(std::string("x")));
+  const Label arr = g.add_array({ArrayEntry{"name", false, v}});
+  EXPECT_EQ(to_sexpr(g, arr), "(array (\"name\" . \"x\"))");
+}
+
+TEST(SExpr, InvalidLabelRendersNull) {
+  HeapGraph g;
+  EXPECT_EQ(to_sexpr(g, kNoLabel), "null");
+}
+
+// --- DOT export ----------------------------------------------------------------
+
+TEST(Dot, ContainsNodesEdgesAndEnvs) {
+  HeapGraph g;
+  const Label a = g.add_symbol("s", Type::kInt);
+  const Label b = g.add_concrete(Value(std::int64_t{5}));
+  const Label op = g.add_op(OpKind::kAdd, Type::kInt, {a, b});
+  Env env;
+  env.add_map("x", op);
+  env.set_cur(op);
+  const std::string dot = to_dot(g, {env});
+  EXPECT_NE(dot.find("digraph heapgraph"), std::string::npos);
+  EXPECT_NE(dot.find("n3 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n3 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("Env_1"), std::string::npos);
+  EXPECT_NE(dot.find("cur = 3"), std::string::npos);
+}
+
+TEST(Dot, TaintedNodesHighlighted) {
+  HeapGraph g;
+  g.add_symbol("$_FILES", Type::kArray, {}, true);
+  EXPECT_NE(to_dot(g).find("lightpink"), std::string::npos);
+}
+
+// --- Property: DAG invariant (children always have smaller labels) ------------
+
+TEST(HeapGraphProperty, ChildrenLabelsAreSmaller) {
+  HeapGraph g;
+  Label prev = g.add_symbol("s0", Type::kInt);
+  for (int i = 0; i < 100; ++i) {
+    const Label c = g.add_concrete(Value(static_cast<std::int64_t>(i)));
+    prev = g.add_op(OpKind::kAdd, Type::kInt, {prev, c});
+  }
+  for (const Object& obj : g.objects()) {
+    for (Label child : obj.children) {
+      EXPECT_LT(child, obj.label);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uchecker::core

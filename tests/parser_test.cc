@@ -1,0 +1,541 @@
+#include "phpparse/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "phpast/printer.h"
+#include "phpast/visitor.h"
+#include "support/diag.h"
+#include "support/source.h"
+
+namespace uchecker::phpparse {
+namespace {
+
+using namespace phpast;  // NOLINT
+
+struct ParseResult {
+  PhpFile file;
+  bool ok = false;
+};
+
+// Keeps sources alive for the process (tests hold pointers into ASTs).
+PhpFile parse(const std::string& src, bool* ok = nullptr) {
+  static SourceManager* sm = new SourceManager();
+  DiagnosticSink diags;
+  const FileId id = sm->add_file("test.php", src);
+  PhpFile file = parse_php(*sm->file(id), diags);
+  if (ok != nullptr) *ok = !diags.has_errors();
+  return file;
+}
+
+const Expr& first_expr(const PhpFile& file) {
+  const Stmt& stmt = *file.statements.at(0);
+  EXPECT_EQ(stmt.kind(), NodeKind::kExprStmt);
+  return *static_cast<const ExprStmt&>(stmt).expr;
+}
+
+TEST(Parser, EmptyProgram) {
+  bool ok = false;
+  const PhpFile file = parse("<?php\n", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(file.statements.empty());
+}
+
+TEST(Parser, SimpleAssignment) {
+  bool ok = false;
+  const PhpFile file = parse("<?php $a = 1 + 2;", &ok);
+  ASSERT_TRUE(ok);
+  const Expr& e = first_expr(file);
+  ASSERT_EQ(e.kind(), NodeKind::kAssign);
+  const auto& assign = static_cast<const Assign&>(e);
+  EXPECT_EQ(assign.target->kind(), NodeKind::kVariable);
+  ASSERT_EQ(assign.value->kind(), NodeKind::kBinary);
+  EXPECT_EQ(static_cast<const Binary&>(*assign.value).op, BinaryOp::kAdd);
+}
+
+TEST(Parser, OperatorPrecedenceMulOverAdd) {
+  const PhpFile file = parse("<?php $a = 1 + 2 * 3;");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& add = static_cast<const Binary&>(*assign.value);
+  ASSERT_EQ(add.op, BinaryOp::kAdd);
+  EXPECT_EQ(add.rhs->kind(), NodeKind::kBinary);
+  EXPECT_EQ(static_cast<const Binary&>(*add.rhs).op, BinaryOp::kMul);
+}
+
+TEST(Parser, ConcatSamePrecedenceAsAddLeftAssoc) {
+  const PhpFile file = parse("<?php $a = 'x' . 'y' . 'z';");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& outer = static_cast<const Binary&>(*assign.value);
+  ASSERT_EQ(outer.op, BinaryOp::kConcat);
+  // Left-associative: (x . y) . z
+  ASSERT_EQ(outer.lhs->kind(), NodeKind::kBinary);
+  EXPECT_EQ(outer.rhs->kind(), NodeKind::kStringLit);
+}
+
+TEST(Parser, ComparisonBindsLooserThanArith) {
+  const PhpFile file = parse("<?php $a = $b + 1 > 10;");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& cmp = static_cast<const Binary&>(*assign.value);
+  EXPECT_EQ(cmp.op, BinaryOp::kGreater);
+}
+
+TEST(Parser, LogicalAndOr) {
+  const PhpFile file = parse("<?php $a = $b && $c || $d;");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& orop = static_cast<const Binary&>(*assign.value);
+  ASSERT_EQ(orop.op, BinaryOp::kOr);
+  EXPECT_EQ(static_cast<const Binary&>(*orop.lhs).op, BinaryOp::kAnd);
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  const PhpFile file = parse("<?php $a = $b = 5;");
+  const auto& outer = static_cast<const Assign&>(first_expr(file));
+  EXPECT_EQ(outer.value->kind(), NodeKind::kAssign);
+}
+
+TEST(Parser, CompoundAssignment) {
+  const PhpFile file = parse("<?php $a .= '/x';");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  ASSERT_TRUE(assign.compound_op.has_value());
+  EXPECT_EQ(*assign.compound_op, BinaryOp::kConcat);
+}
+
+TEST(Parser, TernaryAndElvis) {
+  const PhpFile file = parse("<?php $a = $b ? 1 : 2; $c = $d ?: 'z';");
+  const auto& t1 = static_cast<const Ternary&>(
+      *static_cast<const Assign&>(first_expr(file)).value);
+  EXPECT_NE(t1.then_expr, nullptr);
+  const auto& stmt2 = static_cast<const ExprStmt&>(*file.statements.at(1));
+  const auto& t2 = static_cast<const Ternary&>(
+      *static_cast<const Assign&>(*stmt2.expr).value);
+  EXPECT_EQ(t2.then_expr, nullptr);  // Elvis form
+}
+
+TEST(Parser, ArrayAccessChain) {
+  const PhpFile file = parse("<?php $x = $_FILES['f']['name'];");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  ASSERT_EQ(assign.value->kind(), NodeKind::kArrayAccess);
+  const auto& outer = static_cast<const ArrayAccess&>(*assign.value);
+  ASSERT_EQ(outer.base->kind(), NodeKind::kArrayAccess);
+  const auto& inner = static_cast<const ArrayAccess&>(*outer.base);
+  EXPECT_EQ(static_cast<const Variable&>(*inner.base).name, "_FILES");
+}
+
+TEST(Parser, ArrayPushTarget) {
+  const PhpFile file = parse("<?php $a[] = 1;");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& access = static_cast<const ArrayAccess&>(*assign.target);
+  EXPECT_EQ(access.index, nullptr);
+}
+
+TEST(Parser, FunctionCallWithArgs) {
+  const PhpFile file = parse("<?php move_uploaded_file($a, $b . '/c');");
+  const auto& call = static_cast<const Call&>(first_expr(file));
+  EXPECT_EQ(call.callee, "move_uploaded_file");
+  ASSERT_EQ(call.args.size(), 2u);
+}
+
+TEST(Parser, CallNamesAreLowercased) {
+  const PhpFile file = parse("<?php Move_Uploaded_File($a, $b);");
+  const auto& call = static_cast<const Call&>(first_expr(file));
+  EXPECT_EQ(call.callee, "move_uploaded_file");
+}
+
+TEST(Parser, NestedCalls) {
+  const PhpFile file = parse("<?php $x = basename(trim($name));");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& outer = static_cast<const Call&>(*assign.value);
+  EXPECT_EQ(outer.callee, "basename");
+  EXPECT_EQ(static_cast<const Call&>(*outer.args[0]).callee, "trim");
+}
+
+TEST(Parser, ArrayLiteralBothForms) {
+  const PhpFile file =
+      parse("<?php $a = array('x' => 1, 2); $b = ['k' => 'v'];");
+  const auto& a1 = static_cast<const ArrayLit&>(
+      *static_cast<const Assign&>(first_expr(file)).value);
+  ASSERT_EQ(a1.items.size(), 2u);
+  EXPECT_NE(a1.items[0].key, nullptr);
+  EXPECT_EQ(a1.items[1].key, nullptr);
+  const auto& stmt2 = static_cast<const ExprStmt&>(*file.statements.at(1));
+  const auto& a2 = static_cast<const ArrayLit&>(
+      *static_cast<const Assign&>(*stmt2.expr).value);
+  ASSERT_EQ(a2.items.size(), 1u);
+}
+
+TEST(Parser, IfElseChain) {
+  bool ok = false;
+  const PhpFile file = parse(R"(<?php
+if ($a) { echo 1; } elseif ($b) { echo 2; } else if ($c) { echo 3; } else { echo 4; }
+)", &ok);
+  ASSERT_TRUE(ok);
+  const auto& stmt = static_cast<const If&>(*file.statements.at(0));
+  EXPECT_EQ(stmt.elseifs.size(), 2u);  // elseif + "else if"
+  EXPECT_TRUE(stmt.has_else);
+}
+
+TEST(Parser, IfWithoutBraces) {
+  const PhpFile file = parse("<?php if ($a) echo 1; else echo 2;");
+  const auto& stmt = static_cast<const If&>(*file.statements.at(0));
+  EXPECT_EQ(stmt.then_body.size(), 1u);
+  EXPECT_TRUE(stmt.has_else);
+}
+
+TEST(Parser, AlternativeIfSyntax) {
+  bool ok = false;
+  const PhpFile file = parse(R"(<?php
+if ($a):
+    echo 1;
+elseif ($b):
+    echo 2;
+else:
+    echo 3;
+endif;
+)", &ok);
+  ASSERT_TRUE(ok);
+  const auto& stmt = static_cast<const If&>(*file.statements.at(0));
+  EXPECT_EQ(stmt.elseifs.size(), 1u);
+  EXPECT_TRUE(stmt.has_else);
+}
+
+TEST(Parser, WhileAndDoWhile) {
+  const PhpFile file = parse("<?php while ($a) { $a = $a - 1; } do { $b; } while ($b);");
+  EXPECT_EQ(file.statements.at(0)->kind(), NodeKind::kWhile);
+  EXPECT_EQ(file.statements.at(1)->kind(), NodeKind::kDoWhile);
+}
+
+TEST(Parser, ForLoop) {
+  const PhpFile file = parse("<?php for ($i = 0; $i < 10; $i++) { echo $i; }");
+  const auto& loop = static_cast<const For&>(*file.statements.at(0));
+  EXPECT_EQ(loop.init.size(), 1u);
+  EXPECT_EQ(loop.cond.size(), 1u);
+  EXPECT_EQ(loop.step.size(), 1u);
+}
+
+TEST(Parser, ForeachWithKey) {
+  const PhpFile file =
+      parse("<?php foreach ($arr as $k => $v) { echo $k; } foreach ($a as $x) {}");
+  const auto& fe = static_cast<const Foreach&>(*file.statements.at(0));
+  EXPECT_NE(fe.key_var, nullptr);
+  const auto& fe2 = static_cast<const Foreach&>(*file.statements.at(1));
+  EXPECT_EQ(fe2.key_var, nullptr);
+}
+
+TEST(Parser, SwitchCases) {
+  const PhpFile file = parse(R"(<?php
+switch ($x) {
+    case 'a':
+        echo 1;
+        break;
+    case 'b':
+        echo 2;
+        break;
+    default:
+        echo 3;
+}
+)");
+  const auto& sw = static_cast<const Switch&>(*file.statements.at(0));
+  ASSERT_EQ(sw.cases.size(), 3u);
+  EXPECT_NE(sw.cases[0].match, nullptr);
+  EXPECT_EQ(sw.cases[2].match, nullptr);  // default
+}
+
+TEST(Parser, FunctionDeclWithDefaults) {
+  const PhpFile file =
+      parse("<?php function f($a, $b = 5, array $c = array()) { return $a; }");
+  const auto& fn = static_cast<const FunctionDecl&>(*file.statements.at(0));
+  EXPECT_EQ(fn.name, "f");
+  ASSERT_EQ(fn.params.size(), 3u);
+  EXPECT_EQ(fn.params[0].default_value, nullptr);
+  EXPECT_NE(fn.params[1].default_value, nullptr);
+  EXPECT_EQ(fn.params[2].type_hint, "array");
+}
+
+TEST(Parser, FunctionByRefParam) {
+  const PhpFile file = parse("<?php function f(&$x) {}");
+  const auto& fn = static_cast<const FunctionDecl&>(*file.statements.at(0));
+  EXPECT_TRUE(fn.params[0].by_ref);
+}
+
+TEST(Parser, ReturnWithAndWithoutValue) {
+  const PhpFile file = parse("<?php function f() { return; } function g() { return 1; }");
+  const auto& f = static_cast<const FunctionDecl&>(*file.statements.at(0));
+  EXPECT_EQ(static_cast<const Return&>(*f.body.at(0)).value, nullptr);
+  const auto& g = static_cast<const FunctionDecl&>(*file.statements.at(1));
+  EXPECT_NE(static_cast<const Return&>(*g.body.at(0)).value, nullptr);
+}
+
+TEST(Parser, ClassWithMethodsAndProperties) {
+  bool ok = false;
+  const PhpFile file = parse(R"(<?php
+class Uploader extends Base {
+    public $dir = '/tmp';
+    private static $count;
+    const LIMIT = 5;
+    public function save($file) {
+        return move_uploaded_file($file['tmp_name'], $this->dir);
+    }
+    protected function helper() {}
+}
+)", &ok);
+  ASSERT_TRUE(ok);
+  const auto& cls = static_cast<const ClassDecl&>(*file.statements.at(0));
+  EXPECT_EQ(cls.name, "Uploader");
+  EXPECT_EQ(cls.parent, "Base");
+  EXPECT_EQ(cls.methods.size(), 2u);
+  EXPECT_EQ(cls.properties.size(), 3u);
+}
+
+TEST(Parser, MethodAndStaticCalls) {
+  const PhpFile file = parse("<?php $o->run(1); Klass::boot($x);");
+  const auto& mc = static_cast<const MethodCall&>(first_expr(file));
+  EXPECT_EQ(mc.method, "run");
+  const auto& stmt2 = static_cast<const ExprStmt&>(*file.statements.at(1));
+  const auto& sc = static_cast<const StaticCall&>(*stmt2.expr);
+  EXPECT_EQ(sc.class_name, "Klass");
+  EXPECT_EQ(sc.method, "boot");
+}
+
+TEST(Parser, PropertyAccess) {
+  const PhpFile file = parse("<?php $x = $obj->field;");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& pa = static_cast<const PropertyAccess&>(*assign.value);
+  EXPECT_EQ(pa.name, "field");
+}
+
+TEST(Parser, IncludeRequireForms) {
+  const PhpFile file = parse(
+      "<?php include 'a.php'; include_once 'b.php'; require 'c.php'; "
+      "require_once('d.php');");
+  for (int i = 0; i < 4; ++i) {
+    const auto& stmt = static_cast<const ExprStmt&>(*file.statements.at(i));
+    EXPECT_EQ(stmt.expr->kind(), NodeKind::kIncludeExpr) << i;
+  }
+}
+
+TEST(Parser, GlobalStatement) {
+  const PhpFile file = parse("<?php global $wpdb, $wp_query;");
+  const auto& g = static_cast<const Global&>(*file.statements.at(0));
+  ASSERT_EQ(g.names.size(), 2u);
+  EXPECT_EQ(g.names[0], "wpdb");
+}
+
+TEST(Parser, IssetEmptyUnset) {
+  const PhpFile file = parse("<?php $a = isset($x, $y); $b = empty($z); unset($w);");
+  const auto& is = static_cast<const Isset&>(
+      *static_cast<const Assign&>(first_expr(file)).value);
+  EXPECT_EQ(is.operands.size(), 2u);
+  EXPECT_EQ(file.statements.at(2)->kind(), NodeKind::kUnsetStmt);
+}
+
+TEST(Parser, ExitAndDie) {
+  const PhpFile file = parse("<?php exit; die('msg'); exit(1);");
+  EXPECT_EQ(first_expr(file).kind(), NodeKind::kExitExpr);
+  const auto& die_stmt = static_cast<const ExprStmt&>(*file.statements.at(1));
+  const auto& die_expr = static_cast<const ExitExpr&>(*die_stmt.expr);
+  EXPECT_NE(die_expr.operand, nullptr);
+}
+
+TEST(Parser, Casts) {
+  const PhpFile file = parse("<?php $a = (int)$x; $b = (string)$y; $c = (bool)$z;");
+  const auto& c1 = static_cast<const Cast&>(
+      *static_cast<const Assign&>(first_expr(file)).value);
+  EXPECT_EQ(c1.cast, CastKind::kInt);
+}
+
+TEST(Parser, InterpolatedStringDesugarsToConcat) {
+  const PhpFile file = parse(R"(<?php $p = "$dir/$name.tmp";)");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  // Desugared into a concat chain containing both variables.
+  int vars = 0;
+  walk(*assign.value, [&vars](const Node& n) {
+    if (n.kind() == NodeKind::kVariable) ++vars;
+    return true;
+  });
+  EXPECT_EQ(vars, 2);
+  EXPECT_EQ(assign.value->kind(), NodeKind::kBinary);
+}
+
+TEST(Parser, ClosureWithUse) {
+  const PhpFile file = parse("<?php $f = function($a) use ($b) { return $a + $b; };");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& closure = static_cast<const Closure&>(*assign.value);
+  EXPECT_EQ(closure.params.size(), 1u);
+  ASSERT_EQ(closure.uses.size(), 1u);
+  EXPECT_EQ(closure.uses[0], "b");
+}
+
+TEST(Parser, TryCatchFinally) {
+  const PhpFile file = parse(R"(<?php
+try { risky(); } catch (FooException $e) { log_it($e); } finally { cleanup(); }
+)");
+  const auto& tc = static_cast<const TryCatch&>(*file.statements.at(0));
+  ASSERT_EQ(tc.catches.size(), 1u);
+  EXPECT_EQ(tc.catches[0].exception_class, "FooException");
+  EXPECT_EQ(tc.catches[0].variable, "e");
+  EXPECT_EQ(tc.finally_body.size(), 1u);
+}
+
+TEST(Parser, ListDestructuring) {
+  const PhpFile file = parse("<?php list($a, $b) = explode('.', $name);");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  EXPECT_EQ(assign.target->kind(), NodeKind::kListExpr);
+}
+
+TEST(Parser, NewExpression) {
+  const PhpFile file = parse("<?php $o = new Uploader($dir);");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& n = static_cast<const New&>(*assign.value);
+  EXPECT_EQ(n.class_name, "Uploader");
+  EXPECT_EQ(n.args.size(), 1u);
+}
+
+TEST(Parser, ErrorRecoveryContinuesParsing) {
+  bool ok = true;
+  const PhpFile file = parse("<?php $a = ; $b = 2;", &ok);
+  EXPECT_FALSE(ok);
+  // The second statement still parses.
+  bool found_b = false;
+  for (const auto& stmt : file.statements) {
+    walk(*stmt, [&found_b](const Node& n) {
+      if (n.kind() == NodeKind::kVariable &&
+          static_cast<const Variable&>(n).name == "b") {
+        found_b = true;
+      }
+      return true;
+    });
+  }
+  EXPECT_TRUE(found_b);
+}
+
+TEST(Parser, NodesCarrySourceLines) {
+  const PhpFile file = parse("<?php\n\n$a = 1;\n");
+  EXPECT_EQ(file.statements.at(0)->loc().line, 3u);
+}
+
+TEST(Parser, DumpIsStable) {
+  const PhpFile f1 = parse("<?php $a = foo($b, 'c') . $d['e'];");
+  const PhpFile f2 = parse("<?php $a = foo($b, 'c') . $d['e'];");
+  EXPECT_EQ(dump(f1), dump(f2));
+  EXPECT_NE(dump(f1).find("(call foo"), std::string::npos);
+}
+
+TEST(Parser, KeywordAsMethodNameAllowed) {
+  bool ok = false;
+  parse("<?php $o->list(); $o->print();", &ok);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Parser, NamespaceAndUseSkipped) {
+  bool ok = false;
+  const PhpFile file = parse("<?php namespace A\\B; use C\\D; $x = 1;", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(file.statements.back()->kind(), NodeKind::kExprStmt);
+}
+
+TEST(Parser, StringOffsetLegacyBraces) {
+  bool ok = false;
+  parse("<?php $c = $s{0};", &ok);
+  EXPECT_TRUE(ok);
+}
+
+
+TEST(Parser, AlternativeLoopSyntax) {
+  bool ok = false;
+  const PhpFile file = parse(R"(<?php
+while ($a):
+    echo 1;
+endwhile;
+foreach ($xs as $x):
+    echo $x;
+endforeach;
+for ($i = 0; $i < 3; $i++):
+    echo $i;
+endfor;
+)", &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(file.statements.at(0)->kind(), NodeKind::kWhile);
+  EXPECT_EQ(file.statements.at(1)->kind(), NodeKind::kForeach);
+  EXPECT_EQ(file.statements.at(2)->kind(), NodeKind::kFor);
+}
+
+TEST(Parser, DeepNestingIsCappedNotCrashing) {
+  std::string expr = "1";
+  for (int i = 0; i < 1000; ++i) expr = "(" + expr + ")";
+  bool ok = true;
+  parse("<?php $x = " + expr + ";", &ok);
+  EXPECT_FALSE(ok);  // depth error reported, no crash
+}
+
+TEST(Parser, ErrorPlaceholdersKeepTreesComplete) {
+  bool ok = true;
+  const PhpFile file = parse("<?php $a = $b ? : ; echo $a;", &ok);
+  EXPECT_FALSE(ok);
+  // Every surviving node has non-null required children.
+  for (const auto& stmt : file.statements) {
+    walk(*stmt, [](const Node& n) {
+      if (n.kind() == NodeKind::kTernary) {
+        EXPECT_NE(static_cast<const Ternary&>(n).else_expr, nullptr);
+      }
+      if (n.kind() == NodeKind::kAssign) {
+        const auto& a = static_cast<const Assign&>(n);
+        EXPECT_NE(a.target, nullptr);
+        EXPECT_NE(a.value, nullptr);
+      }
+      return true;
+    });
+  }
+}
+
+TEST(Parser, ShortEchoTagParses) {
+  bool ok = false;
+  const PhpFile file = parse("<?= $greeting ?>", &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(file.statements.at(0)->kind(), NodeKind::kEcho);
+}
+
+TEST(Parser, InlineHtmlBetweenBlocks) {
+  bool ok = false;
+  const PhpFile file = parse("<?php $a = 1; ?>\n<b>html</b>\n<?php $c = 2;", &ok);
+  ASSERT_TRUE(ok);
+  bool saw_html = false;
+  for (const auto& stmt : file.statements) {
+    if (stmt->kind() == NodeKind::kInlineHtml) saw_html = true;
+  }
+  EXPECT_TRUE(saw_html);
+}
+
+TEST(Parser, PowRightAssociative) {
+  const PhpFile file = parse("<?php $x = 2 ** 3 ** 2;");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& outer = static_cast<const Binary&>(*assign.value);
+  ASSERT_EQ(outer.op, BinaryOp::kPow);
+  // Right-associative: 2 ** (3 ** 2).
+  EXPECT_EQ(outer.lhs->kind(), NodeKind::kIntLit);
+  EXPECT_EQ(outer.rhs->kind(), NodeKind::kBinary);
+}
+
+TEST(Parser, CoalesceOperator) {
+  const PhpFile file = parse("<?php $x = $a ?? $b ?? 'default';");
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& outer = static_cast<const Binary&>(*assign.value);
+  ASSERT_EQ(outer.op, BinaryOp::kCoalesce);
+  // Right-associative.
+  EXPECT_EQ(outer.rhs->kind(), NodeKind::kBinary);
+}
+
+TEST(Parser, LowPrecedenceAndOrKeywords) {
+  bool ok = false;
+  parse("<?php $ok = do_thing() or die('failed');", &ok);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Parser, ClassConstantAndStaticProperty) {
+  bool ok = false;
+  const PhpFile file = parse("<?php $a = Config::LIMIT; $b = Config::$count;", &ok);
+  ASSERT_TRUE(ok);
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  EXPECT_EQ(assign.value->kind(), NodeKind::kConstFetch);
+}
+
+}  // namespace
+}  // namespace uchecker::phpparse

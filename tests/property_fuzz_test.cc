@@ -1,0 +1,225 @@
+// Property tests over generated PHP programs.
+//
+// A deterministic grammar-driven generator produces programs mixing the
+// constructs the interpreter supports (assignments, string/arith
+// expressions, conditionals, loops, switch, functions, $_FILES accesses,
+// sinks). For every seed the whole pipeline must uphold its invariants:
+// the parser recovers or succeeds, the interpreter terminates within
+// budget, every environment references valid heap-graph objects, the
+// graph stays a DAG, and the detector returns a definite verdict.
+#include <gtest/gtest.h>
+
+#include "core/detector/detector.h"
+#include "core/heapgraph/sexpr.h"
+#include "core/interp/interp.h"
+#include "phpparse/parser.h"
+
+namespace uchecker {
+namespace {
+
+using namespace core;  // NOLINT
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(unsigned seed) : state_(seed * 2654435761u + 97u) {}
+
+  std::string generate() {
+    std::string out = "<?php\n";
+    const int statements = 3 + static_cast<int>(next(8));
+    for (int i = 0; i < statements; ++i) out += statement(2);
+    // Always end with a (possibly guarded) upload so sinks are exercised.
+    if (next(2) == 0) {
+      out += "$ext = strtolower(pathinfo($_FILES['f']['name'], "
+             "PATHINFO_EXTENSION));\n";
+      out += "if (in_array($ext, array('jpg', 'png'))) {\n";
+      out += "    move_uploaded_file($_FILES['f']['tmp_name'], '/u/' . "
+             "$_FILES['f']['name']);\n";
+      out += "}\n";
+    } else {
+      out += "move_uploaded_file($_FILES['f']['tmp_name'], '/u/' . "
+             "$_FILES['f']['name']);\n";
+    }
+    return out;
+  }
+
+ private:
+  unsigned next() {
+    state_ = state_ * 1664525u + 1013904223u;
+    return state_ >> 8;
+  }
+  unsigned next(unsigned bound) { return bound == 0 ? 0 : next() % bound; }
+
+  std::string var() { return "$v" + std::to_string(next(6)); }
+
+  std::string expr(int depth) {
+    if (depth <= 0) {
+      switch (next(5)) {
+        case 0: return std::to_string(next(100));
+        case 1: return "'s" + std::to_string(next(10)) + "'";
+        case 2: return var();
+        case 3: return "$_POST['p" + std::to_string(next(3)) + "']";
+        default: return "$_FILES['f']['name']";
+      }
+    }
+    switch (next(7)) {
+      case 0: return expr(depth - 1) + " . " + expr(depth - 1);
+      case 1: return expr(depth - 1) + " + " + expr(depth - 1);
+      case 2: return expr(depth - 1) + " == " + expr(depth - 1);
+      case 3: return "strtolower(" + expr(depth - 1) + ")";
+      case 4: return "strlen(" + expr(depth - 1) + ")";
+      case 5: return "(" + expr(depth - 1) + " ? " + expr(depth - 1) + " : " +
+                     expr(depth - 1) + ")";
+      default: return "isset(" + var() + ")";
+    }
+  }
+
+  std::string statement(int depth) {
+    if (depth <= 0) return "    " + var() + " = " + expr(1) + ";\n";
+    switch (next(8)) {
+      case 0:
+      case 1:
+        return var() + " = " + expr(2) + ";\n";
+      case 2: {
+        std::string s = "if (" + expr(1) + ") {\n";
+        s += statement(depth - 1);
+        if (next(2) == 0) {
+          s += "} else {\n";
+          s += statement(depth - 1);
+        }
+        s += "}\n";
+        return s;
+      }
+      case 3: {
+        std::string s = "switch (" + var() + ") {\n";
+        const int cases = 2 + static_cast<int>(next(3));
+        for (int i = 0; i < cases; ++i) {
+          s += "case " + std::to_string(i) + ":\n";
+          s += statement(0);
+          s += "break;\n";
+        }
+        s += "default:\n";
+        s += statement(0);
+        s += "}\n";
+        return s;
+      }
+      case 4: {
+        std::string s = "while (" + expr(1) + ") {\n";
+        s += statement(depth - 1);
+        s += "}\n";
+        return s;
+      }
+      case 5: {
+        std::string s = "foreach (array(1, 2, 3) as $it) {\n";
+        s += statement(0);
+        s += "}\n";
+        return s;
+      }
+      case 6: {
+        const std::string fn = "gen_fn_" + std::to_string(next(1000));
+        std::string s = "function " + fn + "($p) {\n";
+        s += "    return $p . '-x';\n";
+        s += "}\n";
+        s += var() + " = " + fn + "(" + expr(1) + ");\n";
+        return s;
+      }
+      default:
+        return "$arr" + std::to_string(next(3)) + "['k" +
+               std::to_string(next(3)) + "'] = " + expr(1) + ";\n";
+    }
+  }
+
+  unsigned state_;
+};
+
+class FuzzPipeline : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FuzzPipeline, InvariantsHold) {
+  ProgramGenerator gen(GetParam());
+  const std::string php = gen.generate();
+  SCOPED_TRACE(php);
+
+  // 1. Parsing must not crash and must not produce errors (the generator
+  //    only emits supported grammar).
+  SourceManager sources;
+  DiagnosticSink diags;
+  const FileId id = sources.add_file("fuzz.php", php);
+  const phpast::PhpFile file = phpparse::parse_php(*sources.file(id), diags);
+  EXPECT_EQ(diags.error_count(), 0u) << diags.render(sources);
+
+  // 2. The interpreter terminates within budget and maintains heap
+  //    invariants.
+  const Program program = build_program({&file});
+  Budget budget;
+  budget.max_paths = 4096;
+  budget.max_objects = 200'000;
+  Interpreter interp(program, diags, budget);
+  AnalysisRoot root;
+  root.file = &file;
+  const InterpResult result = interp.run(root);
+
+  EXPECT_GE(result.envs.size(), 1u);
+  for (const Env& env : result.envs) {
+    for (const auto& [name, label] : env.map()) {
+      ASSERT_NE(result.graph.find(label), nullptr) << name;
+    }
+    if (env.cur() != kNoLabel) {
+      ASSERT_NE(result.graph.find(env.cur()), nullptr);
+    }
+  }
+  // DAG invariant: children precede parents.
+  for (const Object& obj : result.graph.objects()) {
+    for (Label child : obj.children) {
+      ASSERT_LT(child, obj.label);
+      ASSERT_NE(child, kNoLabel);
+    }
+    for (const ArrayEntry& e : obj.entries) {
+      ASSERT_LE(e.value, result.graph.object_count());
+    }
+  }
+  // Sinks reference valid objects and were recorded on running paths.
+  for (const SinkHit& sink : result.sinks) {
+    ASSERT_NE(result.graph.find(sink.src), nullptr);
+    ASSERT_NE(result.graph.find(sink.dst), nullptr);
+    // S-expression rendering never crashes on any recorded object.
+    (void)to_sexpr(result.graph, sink.dst);
+  }
+
+  // 3. End-to-end: the detector returns a definite verdict (generated
+  //    programs stay within budget).
+  Application app;
+  app.name = "fuzz";
+  app.files.push_back(AppFile{"fuzz.php", php});
+  ScanOptions options;
+  options.budget = budget;
+  const ScanReport report = Detector(options).scan(app);
+  EXPECT_NE(report.verdict, Verdict::kAnalysisIncomplete);
+  // The generator always appends a (guarded or unguarded) sink with
+  // $_FILES flowing into it, so a root must exist.
+  EXPECT_GE(report.roots, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range(1u, 41u));  // 40 seeds
+
+// The unguarded variant must always be detected; the whitelist-guarded
+// variant never. Split by the generator's own coin flip.
+TEST(FuzzVerdict, GuardDecidesVerdict) {
+  for (unsigned seed = 100; seed < 120; ++seed) {
+    ProgramGenerator gen(seed);
+    const std::string php = gen.generate();
+    const bool guarded = php.find("in_array($ext") != std::string::npos;
+    Application app;
+    app.name = "fuzz-verdict";
+    app.files.push_back(AppFile{"fuzz.php", php});
+    const ScanReport report = Detector().scan(app);
+    SCOPED_TRACE(php);
+    if (guarded) {
+      EXPECT_EQ(report.verdict, Verdict::kNotVulnerable) << seed;
+    } else {
+      EXPECT_EQ(report.verdict, Verdict::kVulnerable) << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uchecker

@@ -1,0 +1,109 @@
+#include "core/detector/report_io.h"
+
+#include <gtest/gtest.h>
+
+namespace uchecker::core {
+namespace {
+
+ScanReport sample_report() {
+  ScanReport r;
+  r.app_name = "demo \"quoted\" plugin";
+  r.verdict = Verdict::kVulnerable;
+  r.total_loc = 1000;
+  r.analyzed_loc = 50;
+  r.analyzed_percent = 5.0;
+  r.paths = 8;
+  r.objects = 80;
+  r.objects_per_path = 10.0;
+  r.memory_mb = 0.5;
+  r.seconds = 0.125;
+  r.roots = 1;
+  r.sink_hits = 2;
+  r.solver_calls = 1;
+  Finding f;
+  f.sink_name = "move_uploaded_file";
+  f.location = "upload.php:7:5";
+  f.source_line = "move_uploaded_file($tmp, $dst);";
+  f.dst_sexpr = "(. \"/u/\" s_name)";
+  f.reach_sexpr = "true";
+  f.witness = "s_ext = \"php\"";
+  r.findings.push_back(std::move(f));
+  return r;
+}
+
+TEST(ReportJson, ContainsAllFields) {
+  const std::string json = to_json(sample_report());
+  EXPECT_NE(json.find("\"verdict\": \"vulnerable\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_loc\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"paths\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"budget_exhausted\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"sink\": \"move_uploaded_file\""), std::string::npos);
+  EXPECT_NE(json.find("\"location\": \"upload.php:7:5\""), std::string::npos);
+}
+
+TEST(ReportJson, EscapesQuotesInStrings) {
+  const std::string json = to_json(sample_report());
+  EXPECT_NE(json.find("demo \\\"quoted\\\" plugin"), std::string::npos);
+  EXPECT_NE(json.find("s_ext = \\\"php\\\""), std::string::npos);
+}
+
+TEST(ReportJson, EmptyFindingsIsEmptyArray) {
+  ScanReport r;
+  r.app_name = "clean";
+  r.verdict = Verdict::kNotVulnerable;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"not_vulnerable\""), std::string::npos);
+}
+
+TEST(ReportJson, BalancedBracesAndQuotes) {
+  const std::string json = to_json(sample_report());
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportText, HumanReadable) {
+  const std::string text = to_text(sample_report());
+  EXPECT_NE(text.find("verdict     : Vulnerable"), std::string::npos);
+  EXPECT_NE(text.find("8 paths"), std::string::npos);
+  EXPECT_NE(text.find("move_uploaded_file at upload.php:7:5"),
+            std::string::npos);
+}
+
+TEST(ReportText, WarningsShown) {
+  ScanReport r;
+  r.app_name = "partial";
+  r.verdict = Verdict::kAnalysisIncomplete;
+  r.budget_exhausted = true;
+  r.parse_errors = 3;
+  const std::string text = to_text(r);
+  EXPECT_NE(text.find("budget exhausted"), std::string::npos);
+  EXPECT_NE(text.find("3 parse error(s)"), std::string::npos);
+}
+
+TEST(VerdictSlug, AllValues) {
+  EXPECT_EQ(verdict_slug(Verdict::kVulnerable), "vulnerable");
+  EXPECT_EQ(verdict_slug(Verdict::kNotVulnerable), "not_vulnerable");
+  EXPECT_EQ(verdict_slug(Verdict::kAnalysisIncomplete),
+            "analysis_incomplete");
+}
+
+}  // namespace
+}  // namespace uchecker::core

@@ -1,0 +1,91 @@
+// Tests for the Z3 wrapper layer.
+#include "smt/solver.h"
+
+#include <gtest/gtest.h>
+
+namespace uchecker::smt {
+namespace {
+
+TEST(Checker, SatWithModel) {
+  Checker checker;
+  z3::context& ctx = checker.ctx();
+  const z3::expr x = ctx.string_const("x");
+  const SolverOutcome outcome =
+      checker.check(z3::suffixof(ctx.string_val(".php"), x));
+  EXPECT_EQ(outcome.result, SatResult::kSat);
+  ASSERT_TRUE(outcome.model.has_value());
+  EXPECT_TRUE(outcome.model->assignments.contains("x"));
+}
+
+TEST(Checker, Unsat) {
+  Checker checker;
+  z3::context& ctx = checker.ctx();
+  const z3::expr x = ctx.int_const("x");
+  const SolverOutcome outcome = checker.check({x > 5, x < 3});
+  EXPECT_EQ(outcome.result, SatResult::kUnsat);
+  EXPECT_FALSE(outcome.model.has_value());
+}
+
+TEST(Checker, ConjunctionOfConstraints) {
+  Checker checker;
+  z3::context& ctx = checker.ctx();
+  const z3::expr s = ctx.string_const("s");
+  const SolverOutcome outcome = checker.check(
+      {z3::suffixof(ctx.string_val(".php"), s),
+       s.length() == 7});
+  EXPECT_EQ(outcome.result, SatResult::kSat);
+}
+
+TEST(Checker, StringTheoryOperations) {
+  Checker checker;
+  z3::context& ctx = checker.ctx();
+  const z3::expr a = ctx.string_val("upload");
+  const z3::expr b = ctx.string_val(".php");
+  // concat("upload", ".php") has length 10 and ends with ".php".
+  const z3::expr cat = z3::concat(a, b);
+  EXPECT_EQ(checker.check(cat.length() == 10).result, SatResult::kSat);
+  EXPECT_EQ(checker.check(cat.length() != 10).result, SatResult::kUnsat);
+  EXPECT_EQ(checker.check(!z3::suffixof(b, cat)).result, SatResult::kUnsat);
+}
+
+TEST(Checker, CountsChecks) {
+  Checker checker;
+  z3::context& ctx = checker.ctx();
+  EXPECT_EQ(checker.check_count(), 0u);
+  (void)checker.check(ctx.bool_val(true));
+  (void)checker.check(ctx.bool_val(false));
+  EXPECT_EQ(checker.check_count(), 2u);
+}
+
+TEST(Checker, TrivialBooleans) {
+  Checker checker;
+  z3::context& ctx = checker.ctx();
+  EXPECT_EQ(checker.check(ctx.bool_val(true)).result, SatResult::kSat);
+  EXPECT_EQ(checker.check(ctx.bool_val(false)).result, SatResult::kUnsat);
+}
+
+TEST(Model, ToStringIsStable) {
+  Model m;
+  m.assignments["b"] = "\"y\"";
+  m.assignments["a"] = "\"x\"";
+  EXPECT_EQ(m.to_string(), "a = \"x\", b = \"y\"");
+}
+
+TEST(SatResultName, AllValues) {
+  EXPECT_EQ(sat_result_name(SatResult::kSat), "sat");
+  EXPECT_EQ(sat_result_name(SatResult::kUnsat), "unsat");
+  EXPECT_EQ(sat_result_name(SatResult::kUnknown), "unknown");
+}
+
+TEST(Checker, IntStringConversions) {
+  Checker checker;
+  z3::context& ctx = checker.ctx();
+  const z3::expr n = ctx.int_val(42);
+  EXPECT_EQ(checker.check(n.itos() == ctx.string_val("42")).result,
+            SatResult::kSat);
+  EXPECT_EQ(checker.check(ctx.string_val("17").stoi() == 17).result,
+            SatResult::kSat);
+}
+
+}  // namespace
+}  // namespace uchecker::smt

@@ -1,0 +1,146 @@
+// Tests for the corpus infrastructure: the deterministic filler
+// generator and the parameterized synthetic-workload generator.
+#include <gtest/gtest.h>
+
+#include "core/detector/detector.h"
+#include "corpus/corpus.h"
+#include "phpparse/parser.h"
+#include "support/strutil.h"
+
+namespace uchecker::corpus {
+namespace {
+
+using core::Detector;
+using core::ScanReport;
+using core::Verdict;
+
+std::size_t count_loc(const std::string& content) {
+  std::size_t n = 0;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    const std::string_view line =
+        uchecker::strutil::trim(std::string_view(content).substr(start, end - start));
+    if (!line.empty() && !line.starts_with("//") && !line.starts_with("#") &&
+        !line.starts_with("*") && !line.starts_with("/*")) {
+      ++n;
+    }
+    if (end == content.size()) break;
+    start = end + 1;
+  }
+  return n;
+}
+
+bool parses_cleanly(const std::string& php) {
+  SourceManager sm;
+  DiagnosticSink diags;
+  const FileId id = sm.add_file("t.php", php);
+  (void)phpparse::parse_php(*sm.file(id), diags);
+  return !diags.has_errors();
+}
+
+// --- filler --------------------------------------------------------------------
+
+TEST(Filler, Deterministic) {
+  EXPECT_EQ(filler_php(500, 7, "pfx"), filler_php(500, 7, "pfx"));
+  EXPECT_NE(filler_php(500, 7, "pfx"), filler_php(500, 8, "pfx"));
+}
+
+TEST(Filler, HitsLocTargetApproximately) {
+  for (const std::size_t target : {100u, 500u, 2000u}) {
+    const std::string php = filler_php(target, 3, "pad");
+    const std::size_t loc = count_loc(php);
+    EXPECT_GE(loc + 14, target) << target;
+    EXPECT_LE(loc, target + 14) << target;
+  }
+}
+
+TEST(Filler, ParsesCleanly) {
+  EXPECT_TRUE(parses_cleanly(filler_php(3000, 42, "clean")));
+}
+
+TEST(Filler, SanitizesHyphenatedPrefixes) {
+  EXPECT_TRUE(parses_cleanly(filler_php(200, 1, "my-plugin-slug")));
+}
+
+TEST(Filler, BodyVariantHasNoOpenTag) {
+  const std::string body = filler_php_body(100, 5, "pfx");
+  EXPECT_EQ(body.find("<?php"), std::string::npos);
+  EXPECT_TRUE(parses_cleanly("<?php\n" + body));
+}
+
+TEST(Filler, ContainsNoUploadConstructs) {
+  const std::string php = filler_php(5000, 9, "inert");
+  EXPECT_EQ(php.find("_FILES"), std::string::npos);
+  EXPECT_EQ(php.find("move_uploaded_file"), std::string::npos);
+  EXPECT_EQ(php.find("file_put_contents"), std::string::npos);
+}
+
+TEST(FillerStatements, StraightLineOnly) {
+  const std::string stmts = filler_statements(40, 11, "    ");
+  EXPECT_TRUE(parses_cleanly("<?php\n$meta = array();\n$labels = array();\n"
+                             "$totals = array();\n" +
+                             stmts));
+  EXPECT_EQ(stmts.find("if"), std::string::npos);
+  EXPECT_EQ(stmts.find("while"), std::string::npos);
+}
+
+// --- synthetic workloads ---------------------------------------------------------
+
+TEST(Synth, PathCountFormula) {
+  for (int ifs = 1; ifs <= 6; ++ifs) {
+    SynthSpec spec;
+    spec.name = "t";
+    spec.sequential_ifs = ifs;
+    spec.filler_loc = 0;
+    spec.filler_files = 0;
+    const ScanReport report = Detector().scan(synth_app(spec));
+    // ifs option-branches plus the sink conditional.
+    EXPECT_EQ(report.paths, 1u << (ifs + 1)) << ifs;
+  }
+}
+
+TEST(Synth, SwitchMultiplier) {
+  SynthSpec spec;
+  spec.name = "t";
+  spec.sequential_ifs = 2;
+  spec.switch_ways = 5;
+  spec.filler_loc = 0;
+  spec.filler_files = 0;
+  const ScanReport report = Detector().scan(synth_app(spec));
+  EXPECT_EQ(report.paths, 4u * 5u * 2u);
+}
+
+TEST(Synth, VulnerableFlagControlsVerdict) {
+  SynthSpec vulnerable;
+  vulnerable.name = "v";
+  vulnerable.filler_loc = 0;
+  vulnerable.filler_files = 0;
+  EXPECT_EQ(Detector().scan(synth_app(vulnerable)).verdict,
+            Verdict::kVulnerable);
+
+  SynthSpec safe = vulnerable;
+  safe.name = "s";
+  safe.vulnerable = false;
+  EXPECT_EQ(Detector().scan(synth_app(safe)).verdict,
+            Verdict::kNotVulnerable);
+}
+
+TEST(Synth, FillerIncreasesLocNotPaths) {
+  SynthSpec small;
+  small.name = "t";
+  small.filler_loc = 0;
+  small.filler_files = 0;
+  SynthSpec padded = small;
+  padded.filler_loc = 2000;
+  padded.filler_files = 2;
+  const ScanReport a = Detector().scan(synth_app(small));
+  const ScanReport b = Detector().scan(synth_app(padded));
+  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_GT(b.total_loc, a.total_loc + 1500);
+  EXPECT_LT(b.analyzed_percent, a.analyzed_percent);
+}
+
+}  // namespace
+}  // namespace uchecker::corpus

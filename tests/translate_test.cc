@@ -1,0 +1,358 @@
+// Tests for the PHP -> Z3 translation rules of paper Table II. Each rule
+// is verified *semantically*: we build the heap-graph value, translate,
+// and let Z3 decide satisfiability of a characterizing constraint.
+#include "core/translate/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "smt/solver.h"
+
+namespace uchecker::core {
+namespace {
+
+using smt::SatResult;
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] SatResult check(const z3::expr& e) {
+    return checker_.check(e).result;
+  }
+  [[nodiscard]] SatResult check(const std::vector<z3::expr>& es) {
+    return checker_.check(es).result;
+  }
+
+  smt::Checker checker_;
+  HeapGraph graph_;
+};
+
+// --- constants and symbols (Table II rows 1-2) ---------------------------------
+
+TEST_F(TranslateTest, ConcreteStringTranslatesToStringVal) {
+  const Label l = graph_.add_concrete(Value(std::string("abc")));
+  Translator trl(checker_, graph_);
+  const z3::expr e = trl.translate(l, Type::kString);
+  EXPECT_EQ(check(e == checker_.ctx().string_val("abc")), SatResult::kSat);
+  EXPECT_EQ(check(e != checker_.ctx().string_val("abc")), SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, ConcreteIntAndBool) {
+  const Label i = graph_.add_concrete(Value(std::int64_t{42}));
+  const Label b = graph_.add_concrete(Value(true));
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(i, Type::kInt) == 42), SatResult::kSat);
+  EXPECT_EQ(check(!trl.translate(b, Type::kBool)), SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, SymbolKeepsItsName) {
+  const Label s = graph_.add_symbol("s_ext", Type::kString);
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(trl.translate(s, Type::kString).decl().name().str(), "s_ext");
+}
+
+TEST_F(TranslateTest, SameObjectTranslatesToSameTerm) {
+  const Label s = graph_.add_symbol("shared", Type::kUnknown);
+  Translator trl(checker_, graph_);
+  const z3::expr a = trl.translate(s, Type::kString);
+  const z3::expr b = trl.translate(s, Type::kString);
+  EXPECT_EQ(check(a != b), SatResult::kUnsat);
+}
+
+// --- string concat (Table II row 3) ---------------------------------------------
+
+TEST_F(TranslateTest, ConcatIsStrConcat) {
+  const Label a = graph_.add_symbol("a", Type::kString);
+  const Label dot = graph_.add_concrete(Value(std::string(".")));
+  const Label ext = graph_.add_symbol("e", Type::kString);
+  const Label name = graph_.add_op(OpKind::kConcat, Type::kString,
+                                   {graph_.add_op(OpKind::kConcat, Type::kString,
+                                                  {a, dot}),
+                                    ext});
+  Translator trl(checker_, graph_);
+  const z3::expr n = trl.translate(name, Type::kString);
+  // Can end with ".php":
+  EXPECT_EQ(check(z3::suffixof(checker_.ctx().string_val(".php"), n)),
+            SatResult::kSat);
+  // If ext is "jpg" it can NOT end with ".php" (given ext has no dot —
+  // here ext is literally constrained):
+  const z3::expr ext_e = trl.translate(ext, Type::kString);
+  EXPECT_EQ(check({z3::suffixof(checker_.ctx().string_val(".php"), n),
+                   ext_e == checker_.ctx().string_val("jpg")}),
+            SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, ConcatCoercesIntOperand) {
+  // time() . '.php' — int func result must coerce to string.
+  const Label t = graph_.add_func("time", Type::kInt, {});
+  const Label suffix = graph_.add_concrete(Value(std::string(".php")));
+  const Label cat = graph_.add_op(OpKind::kConcat, Type::kString, {t, suffix});
+  Translator trl(checker_, graph_);
+  const z3::expr e = trl.translate(cat, Type::kString);
+  EXPECT_EQ(check(z3::suffixof(checker_.ctx().string_val(".php"), e)),
+            SatResult::kSat);
+}
+
+// --- str_replace (row 4), intval (row 5), strpos (row 6), strlen (row 7) -------
+
+TEST_F(TranslateTest, StrReplaceParameterOrder) {
+  // str_replace('a', 'b', 'banana'): PHP arg order (search, replace,
+  // subject) maps to Z3 subject.replace(search, replace).
+  const Label search = graph_.add_concrete(Value(std::string("a")));
+  const Label repl = graph_.add_concrete(Value(std::string("b")));
+  const Label subject = graph_.add_concrete(Value(std::string("banana")));
+  const Label call = graph_.add_func("str_replace", Type::kString,
+                                     {search, repl, subject});
+  Translator trl(checker_, graph_);
+  const z3::expr e = trl.translate(call, Type::kString);
+  // Z3's str.replace replaces the FIRST occurrence: "bbnana".
+  EXPECT_EQ(check(e == checker_.ctx().string_val("bbnana")), SatResult::kSat);
+}
+
+TEST_F(TranslateTest, IntvalOnString) {
+  const Label s = graph_.add_concrete(Value(std::string("42")));
+  const Label call = graph_.add_func("intval", Type::kInt, {s});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(call, Type::kInt) == 42), SatResult::kSat);
+  EXPECT_EQ(check(trl.translate(call, Type::kInt) != 42), SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, StrposIsIndexof) {
+  const Label hay = graph_.add_concrete(Value(std::string("abcdef")));
+  const Label needle = graph_.add_concrete(Value(std::string("cd")));
+  const Label call = graph_.add_func("strpos", Type::kInt, {hay, needle});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(call, Type::kInt) == 2), SatResult::kSat);
+}
+
+TEST_F(TranslateTest, StrlenIsStrLen) {
+  const Label s = graph_.add_concrete(Value(std::string("hello")));
+  const Label call = graph_.add_func("strlen", Type::kInt, {s});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(call, Type::kInt) == 5), SatResult::kSat);
+}
+
+// --- logical not (row 8) --------------------------------------------------------
+
+TEST_F(TranslateTest, NotOnBool) {
+  const Label b = graph_.add_symbol("b", Type::kBool);
+  const Label n = graph_.add_op(OpKind::kNot, Type::kBool, {b});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(n, Type::kBool), trl.translate(b, Type::kBool)}),
+            SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, NotOnIntIsZeroTest) {
+  const Label i = graph_.add_symbol("i", Type::kInt);
+  const Label n = graph_.add_op(OpKind::kNot, Type::kBool, {i});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(n, Type::kBool),
+                   trl.translate(i, Type::kInt) == 5}),
+            SatResult::kUnsat);
+  EXPECT_EQ(check({trl.translate(n, Type::kBool),
+                   trl.translate(i, Type::kInt) == 0}),
+            SatResult::kSat);
+}
+
+TEST_F(TranslateTest, NotOnStringIsEmptyTest) {
+  const Label s = graph_.add_symbol("s", Type::kString);
+  const Label n = graph_.add_op(OpKind::kNot, Type::kBool, {s});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(n, Type::kBool),
+                   trl.translate(s, Type::kString) ==
+                       checker_.ctx().string_val("x")}),
+            SatResult::kUnsat);
+}
+
+// --- logical AND (row 9) with mixed types ---------------------------------------
+
+TEST_F(TranslateTest, AndMixedIntBool) {
+  const Label i = graph_.add_symbol("i", Type::kInt);
+  const Label b = graph_.add_symbol("b", Type::kBool);
+  const Label a = graph_.add_op(OpKind::kAnd, Type::kBool, {i, b});
+  Translator trl(checker_, graph_);
+  // and(i, b) with i == 0 is unsatisfiable.
+  EXPECT_EQ(check({trl.translate(a, Type::kBool),
+                   trl.translate(i, Type::kInt) == 0}),
+            SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, AndMixedStringBool) {
+  const Label s = graph_.add_symbol("s", Type::kString);
+  const Label b = graph_.add_symbol("b", Type::kBool);
+  const Label a = graph_.add_op(OpKind::kAnd, Type::kBool, {s, b});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(a, Type::kBool),
+                   trl.translate(s, Type::kString) ==
+                       checker_.ctx().string_val("")}),
+            SatResult::kUnsat);
+}
+
+// --- logical equal (row 10) ------------------------------------------------------
+
+TEST_F(TranslateTest, EqualSameTypes) {
+  const Label a = graph_.add_symbol("a", Type::kString);
+  const Label lit = graph_.add_concrete(Value(std::string("php")));
+  const Label eq = graph_.add_op(OpKind::kEqual, Type::kBool, {a, lit});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(eq, Type::kBool),
+                   trl.translate(a, Type::kString) ==
+                       checker_.ctx().string_val("jpg")}),
+            SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, EqualUnknownAdoptsSiblingType) {
+  const Label unk = graph_.add_symbol("u", Type::kUnknown);
+  const Label lit = graph_.add_concrete(Value(std::string("zip")));
+  const Label eq = graph_.add_op(OpKind::kEqual, Type::kBool, {unk, lit});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(eq, Type::kBool)), SatResult::kSat);
+}
+
+TEST_F(TranslateTest, NotEqualIsNegation) {
+  const Label a = graph_.add_symbol("a", Type::kInt);
+  const Label lit = graph_.add_concrete(Value(std::int64_t{3}));
+  const Label ne = graph_.add_op(OpKind::kNotEqual, Type::kBool, {a, lit});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(ne, Type::kBool),
+                   trl.translate(a, Type::kInt) == 3}),
+            SatResult::kUnsat);
+}
+
+// --- substring (rows 12-13) -------------------------------------------------------
+
+TEST_F(TranslateTest, SubstrTwoArg) {
+  const Label s = graph_.add_concrete(Value(std::string("hello.php")));
+  const Label start = graph_.add_concrete(Value(std::int64_t{5}));
+  const Label call = graph_.add_func("substr", Type::kString, {s, start});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(call, Type::kString) ==
+                  checker_.ctx().string_val(".php")),
+            SatResult::kSat);
+}
+
+TEST_F(TranslateTest, SubstrNegativeStartCountsFromEnd) {
+  const Label s = graph_.add_concrete(Value(std::string("x.php")));
+  const Label start = graph_.add_concrete(Value(std::int64_t{-4}));
+  const Label call = graph_.add_func("substr", Type::kString, {s, start});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(call, Type::kString) ==
+                  checker_.ctx().string_val(".php")),
+            SatResult::kSat);
+  EXPECT_EQ(check(trl.translate(call, Type::kString) !=
+                  checker_.ctx().string_val(".php")),
+            SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, SubstrThreeArg) {
+  const Label s = graph_.add_concrete(Value(std::string("abcdef")));
+  const Label start = graph_.add_concrete(Value(std::int64_t{1}));
+  const Label len = graph_.add_concrete(Value(std::int64_t{3}));
+  const Label call = graph_.add_func("substr", Type::kString, {s, start, len});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(call, Type::kString) ==
+                  checker_.ctx().string_val("bcd")),
+            SatResult::kSat);
+}
+
+// --- identity builtins and basename (row 15) ---------------------------------------
+
+TEST_F(TranslateTest, StrtolowerIsIdentity) {
+  const Label s = graph_.add_symbol("s", Type::kString);
+  const Label call = graph_.add_func("strtolower", Type::kString, {s});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(call, Type::kString) !=
+                  trl.translate(s, Type::kString)),
+            SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, BasenameIsIdentityOnSymbolicName) {
+  const Label s = graph_.add_symbol("name", Type::kString);
+  const Label call = graph_.add_func("basename", Type::kString, {s});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(call, Type::kString) !=
+                  trl.translate(s, Type::kString)),
+            SatResult::kUnsat);
+}
+
+// --- exception rule: unknowns become fresh symbols ----------------------------------
+
+TEST_F(TranslateTest, UnknownFuncBecomesFreshSymbol) {
+  const Label call = graph_.add_func("wp_upload_dir", Type::kUnknown, {});
+  Translator trl(checker_, graph_);
+  const std::size_t before = trl.fallback_count();
+  const z3::expr e = trl.translate(call, Type::kString);
+  EXPECT_GT(trl.fallback_count(), before);
+  EXPECT_EQ(check(e == checker_.ctx().string_val("anything")), SatResult::kSat);
+}
+
+TEST_F(TranslateTest, ArrayAccessFallbackIsConsistent) {
+  const Label arr = graph_.add_symbol("arr", Type::kArray);
+  const Label idx = graph_.add_concrete(Value(std::string("k")));
+  const Label access = graph_.add_op(OpKind::kArrayAccess, Type::kUnknown,
+                                     {arr, idx});
+  Translator trl(checker_, graph_);
+  // Same node translated twice denotes the same value.
+  EXPECT_EQ(check(trl.translate(access, Type::kString) !=
+                  trl.translate(access, Type::kString)),
+            SatResult::kUnsat);
+}
+
+// --- ternary and truthiness ----------------------------------------------------------
+
+TEST_F(TranslateTest, TernaryIsIte) {
+  const Label c = graph_.add_symbol("c", Type::kBool);
+  const Label a = graph_.add_concrete(Value(std::string("A")));
+  const Label b = graph_.add_concrete(Value(std::string("B")));
+  const Label t = graph_.add_op(OpKind::kTernary, Type::kString, {c, a, b});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(t, Type::kString) ==
+                       checker_.ctx().string_val("A"),
+                   !trl.translate(c, Type::kBool)}),
+            SatResult::kUnsat);
+}
+
+TEST_F(TranslateTest, TruthyOfConcreteValues) {
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.truthy(graph_.add_concrete(Value(std::int64_t{0})))),
+            SatResult::kUnsat);
+  EXPECT_EQ(check(trl.truthy(graph_.add_concrete(Value(std::int64_t{7})))),
+            SatResult::kSat);
+  EXPECT_EQ(check(trl.truthy(graph_.add_concrete(Value(std::string(""))))),
+            SatResult::kUnsat);
+  EXPECT_EQ(check(trl.truthy(graph_.add_concrete(Value(std::string("x"))))),
+            SatResult::kSat);
+}
+
+TEST_F(TranslateTest, EmptyFuncIsNegatedTruthiness) {
+  const Label s = graph_.add_symbol("s", Type::kString);
+  const Label e = graph_.add_func("empty", Type::kBool, {s});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(e, Type::kBool),
+                   trl.translate(s, Type::kString) ==
+                       checker_.ctx().string_val("full")}),
+            SatResult::kUnsat);
+}
+
+// --- arithmetic guards ------------------------------------------------------------
+
+TEST_F(TranslateTest, DivisionByZeroGuarded) {
+  const Label a = graph_.add_symbol("a", Type::kInt);
+  const Label zero = graph_.add_concrete(Value(std::int64_t{0}));
+  const Label div = graph_.add_op(OpKind::kDiv, Type::kInt, {a, zero});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check(trl.translate(div, Type::kInt) ==
+                  trl.translate(a, Type::kInt)),
+            SatResult::kSat);  // guarded denominator -> well-defined term
+}
+
+TEST_F(TranslateTest, ComparisonOnInts) {
+  const Label a = graph_.add_symbol("a", Type::kInt);
+  const Label five = graph_.add_concrete(Value(std::int64_t{5}));
+  const Label gt = graph_.add_op(OpKind::kGreater, Type::kBool, {a, five});
+  Translator trl(checker_, graph_);
+  EXPECT_EQ(check({trl.translate(gt, Type::kBool),
+                   trl.translate(a, Type::kInt) == 3}),
+            SatResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace uchecker::core

@@ -1,0 +1,201 @@
+// Tests for the vulnerability model (paper §III-C): constraint-1 taint,
+// constraint-2 extension satisfiability, constraint-3 reachability, and
+// the interplay between them.
+#include "core/vulnmodel/vulnmodel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/interp/interp.h"
+#include "phpparse/parser.h"
+#include "support/diag.h"
+#include "support/source.h"
+
+namespace uchecker::core {
+namespace {
+
+struct ModelRun {
+  SourceManager sources;
+  DiagnosticSink diags;
+  std::vector<phpast::PhpFile> files;
+  Program program;
+  InterpResult exec;
+  smt::Checker checker;
+  VulnModelResult result;
+
+  explicit ModelRun(const std::string& src, VulnModelOptions options = {}) {
+    const FileId id = sources.add_file("t.php", "<?php\n" + src);
+    files.push_back(phpparse::parse_php(*sources.file(id), diags));
+    std::vector<const phpast::PhpFile*> ptrs{&files[0]};
+    program = build_program(ptrs);
+    Interpreter interp(program, diags);
+    AnalysisRoot root;
+    root.file = &files[0];
+    exec = interp.run(root);
+    result = check_sinks(exec, checker, options);
+  }
+};
+
+TEST(VulnModel, UncheckedUploadIsVulnerable) {
+  ModelRun r("move_uploaded_file($_FILES['f']['tmp_name'], "
+             "'/www/' . $_FILES['f']['name']);");
+  EXPECT_TRUE(r.result.vulnerable);
+  ASSERT_FALSE(r.result.verdicts.empty());
+  EXPECT_TRUE(r.result.verdicts[0].taint_ok);
+  EXPECT_EQ(r.result.verdicts[0].constraints, smt::SatResult::kSat);
+  EXPECT_FALSE(r.result.verdicts[0].witness.empty());
+}
+
+TEST(VulnModel, Constraint1FailsWithoutFilesTaint) {
+  // Local file copy: the source is not $_FILES data.
+  ModelRun r("move_uploaded_file('/tmp/staging.bin', '/www/install.php');");
+  EXPECT_FALSE(r.result.vulnerable);
+  ASSERT_FALSE(r.result.verdicts.empty());
+  EXPECT_FALSE(r.result.verdicts[0].taint_ok);
+}
+
+TEST(VulnModel, Constraint2FixedExtensionUnsat) {
+  ModelRun r("move_uploaded_file($_FILES['f']['tmp_name'], "
+             "'/www/img_' . md5($_FILES['f']['name']) . '.png');");
+  EXPECT_FALSE(r.result.vulnerable);
+  ASSERT_FALSE(r.result.verdicts.empty());
+  EXPECT_TRUE(r.result.verdicts[0].taint_ok);
+  EXPECT_EQ(r.result.verdicts[0].constraints, smt::SatResult::kUnsat);
+}
+
+TEST(VulnModel, Constraint3BlocksWhitelistedPath) {
+  ModelRun r(R"(
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext == 'jpg') {
+    move_uploaded_file($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
+}
+)");
+  EXPECT_FALSE(r.result.vulnerable);
+}
+
+TEST(VulnModel, BlacklistOfAllExecutableExtsIsSafe) {
+  // Requires the ext-has-no-dot axiom: otherwise s_ext = "x.php" would
+  // slip past "$ext != 'php'".
+  ModelRun r(R"(
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext != 'php' && $ext != 'php5') {
+    move_uploaded_file($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
+}
+)");
+  EXPECT_FALSE(r.result.vulnerable);
+}
+
+TEST(VulnModel, IncompleteBlacklistStillVulnerable) {
+  // Blocking only 'php' leaves 'php5' exploitable.
+  ModelRun r(R"(
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext != 'php') {
+    move_uploaded_file($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
+}
+)");
+  EXPECT_TRUE(r.result.vulnerable);
+}
+
+TEST(VulnModel, DoubleExtensionRenameVulnerable) {
+  // The WP Demo Buddy pattern: ".php" appended after a ".zip" check.
+  ModelRun r(R"(
+$ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
+if ($ext == 'zip') {
+    $target = '/demos/' . time() . '_' . $_FILES['f']['name'] . '.php';
+    move_uploaded_file($_FILES['f']['tmp_name'], $target);
+}
+)");
+  EXPECT_TRUE(r.result.vulnerable);
+}
+
+TEST(VulnModel, ExtensionListConfigurable) {
+  VulnModelOptions only_asa;
+  only_asa.executable_extensions = {"asa"};
+  ModelRun r("move_uploaded_file($_FILES['f']['tmp_name'], "
+             "'/www/fixed.php');",
+             only_asa);
+  // dst ends ".php", but the configured executable extension is ".asa".
+  EXPECT_FALSE(r.result.vulnerable);
+}
+
+TEST(VulnModel, StopAtFirstFindingLimitsChecks) {
+  VulnModelOptions all;
+  all.stop_at_first_finding = false;
+  ModelRun stop_run(R"(
+if ($a) { $d = '/x/'; } else { $d = '/y/'; }
+move_uploaded_file($_FILES['f']['tmp_name'], $d . $_FILES['f']['name']);
+)");
+  ModelRun full_run(R"(
+if ($a) { $d = '/x/'; } else { $d = '/y/'; }
+move_uploaded_file($_FILES['f']['tmp_name'], $d . $_FILES['f']['name']);
+)",
+                    all);
+  EXPECT_TRUE(stop_run.result.vulnerable);
+  EXPECT_TRUE(full_run.result.vulnerable);
+  EXPECT_LT(stop_run.result.verdicts.size(), full_run.result.verdicts.size());
+}
+
+TEST(VulnModel, MemoizationDeduplicatesIdenticalQueries) {
+  // Two sinks on the same path share (dst, reach) after the if joins.
+  VulnModelOptions all;
+  all.stop_at_first_finding = false;
+  ModelRun r(R"(
+$d = '/www/img.png';
+move_uploaded_file($_FILES['f']['tmp_name'], $d);
+move_uploaded_file($_FILES['f']['tmp_name'], $d);
+)",
+             all);
+  EXPECT_EQ(r.result.verdicts.size(), 2u);
+  EXPECT_EQ(r.result.solver_calls, 1u);  // second hit memoized
+}
+
+TEST(VulnModel, SExpressionsMatchPaperNotation) {
+  ModelRun r(R"(
+$path_array = wp_upload_dir();
+$pathAndName = $path_array['path'] . "/" . $_FILES['upload_file']['name'];
+if (strlen($_FILES['upload_file']['name']) > 5) {
+    move_uploaded_file($_FILES['upload_file']['tmp_name'], $pathAndName);
+}
+)");
+  ASSERT_TRUE(r.result.vulnerable);
+  const SinkVerdict& v = r.result.verdicts[0];
+  // se_dst = (. s_path (. "/" (. s_name s_ext))) modulo assoc order.
+  EXPECT_NE(v.dst_sexpr.find("s_files_upload_file_filename"), std::string::npos);
+  EXPECT_NE(v.dst_sexpr.find("s_files_upload_file_ext"), std::string::npos);
+  EXPECT_NE(v.reach_sexpr.find("(> (strlen"), std::string::npos);
+  // The witness assigns the extension symbol something ending in php.
+  EXPECT_NE(v.witness.find("s_files_upload_file_ext"), std::string::npos);
+}
+
+TEST(VulnModel, FilePutContentsAlsoModeled) {
+  ModelRun r("file_put_contents('/www/shell' . $_FILES['f']['name'], "
+             "$_FILES['f']['tmp_name']);");
+  EXPECT_TRUE(r.result.vulnerable);
+}
+
+TEST(VulnModel, UnreachedSinkReportsNothing) {
+  ModelRun r("if (false) { } $x = $_FILES['f']['name'];");
+  EXPECT_TRUE(r.result.verdicts.empty());
+  EXPECT_FALSE(r.result.vulnerable);
+}
+
+TEST(VulnModel, SizeCheckDoesNotBlockDetection) {
+  ModelRun r(R"(
+if ($_FILES['f']['size'] < 1048576) {
+    move_uploaded_file($_FILES['f']['tmp_name'], '/u/' . $_FILES['f']['name']);
+}
+)");
+  EXPECT_TRUE(r.result.vulnerable);
+}
+
+TEST(VulnModel, ContradictoryReachabilityUnsat) {
+  ModelRun r(R"(
+$mode = 'locked';
+if ($mode == 'open') {
+    move_uploaded_file($_FILES['f']['tmp_name'], '/u/' . $_FILES['f']['name']);
+}
+)");
+  EXPECT_FALSE(r.result.vulnerable);
+}
+
+}  // namespace
+}  // namespace uchecker::core
