@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the tree with ASan+UBSan and runs the full test suite under the
+# sanitizers, so the fault-injection and mutation robustness tests also
+# exercise memory safety. Mirrors the "asan-ubsan" CMake preset for CI
+# runners whose cmake predates presets.
+#
+#   $ ci/sanitize.sh [ctest-args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-asan
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DUCHECKER_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"

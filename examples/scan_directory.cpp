@@ -3,11 +3,18 @@
 //   $ ./build/examples/scan_directory path/to/plugin [--all-findings]
 //                                                    [--json]
 //                                                    [--model-admin-gating]
+//                                                    [--timeout-ms N]
 //
 // Recursively collects *.php (and *.module) files under the given
 // directory, runs the full UChecker pipeline, and prints a report
 // (human-readable by default, stable JSON with --json). This is the
 // example to start from when embedding the library in CI.
+//
+// Degradation behaviour: unreadable files are reported and skipped (the
+// scan continues on the rest), and --timeout-ms bounds the whole scan in
+// wall-clock time. Exit codes: 0 clean, 1 vulnerable, 2 usage error,
+// 3 the scan itself failed (Verdict::kAnalysisError). Per-file read
+// failures alone never change the exit code.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -27,11 +34,14 @@ bool is_php_file(const fs::path& path) {
   return ext == ".php" || ext == ".module" || ext == ".inc";
 }
 
-std::string read_file(const fs::path& path) {
+bool read_file(const fs::path& path, std::string& out) {
   std::ifstream in(path, std::ios::binary);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  out = buffer.str();
+  return true;
 }
 
 }  // namespace
@@ -40,7 +50,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <directory-or-file> [--all-findings] [--json] "
-                 "[--model-admin-gating]\n",
+                 "[--model-admin-gating] [--timeout-ms N]\n",
                  argv[0]);
     return 2;
   }
@@ -48,23 +58,51 @@ int main(int argc, char** argv) {
   bool all_findings = false;
   bool json = false;
   bool admin_gating = false;
+  long timeout_ms = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all-findings") == 0) all_findings = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--model-admin-gating") == 0) admin_gating = true;
+    if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --timeout-ms needs a value\n");
+        return 2;
+      }
+      timeout_ms = std::strtol(argv[++i], nullptr, 10);
+      if (timeout_ms <= 0) {
+        std::fprintf(stderr, "error: --timeout-ms needs a positive integer\n");
+        return 2;
+      }
+    }
   }
 
   Application app;
   app.name = root.string();
+  std::size_t unreadable = 0;
+  const auto add_file = [&](const fs::path& path, std::string name) {
+    std::string content;
+    if (read_file(path, content)) {
+      app.files.push_back(AppFile{std::move(name), std::move(content)});
+    } else {
+      // Degrade, don't die: a permission-denied or vanished file should
+      // not cost the report for the rest of the tree.
+      ++unreadable;
+      std::fprintf(stderr, "warning: cannot read %s; skipping\n",
+                   path.string().c_str());
+    }
+  };
+
   std::error_code ec;
   if (fs::is_regular_file(root, ec)) {
-    app.files.push_back(AppFile{root.filename().string(), read_file(root)});
+    add_file(root, root.filename().string());
   } else if (fs::is_directory(root, ec)) {
     for (const auto& entry : fs::recursive_directory_iterator(root, ec)) {
-      if (entry.is_regular_file() && is_php_file(entry.path())) {
-        app.files.push_back(
-            AppFile{fs::relative(entry.path(), root, ec).string(),
-                    read_file(entry.path())});
+      if (!is_php_file(entry.path())) continue;
+      std::error_code sec;
+      // Broken symlinks fail is_regular_file; route them through
+      // add_file so they are warned about, not silently dropped.
+      if (entry.is_regular_file(sec) || fs::is_symlink(entry.path(), sec)) {
+        add_file(entry.path(), fs::relative(entry.path(), root, ec).string());
       }
     }
   } else {
@@ -73,7 +111,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (app.files.empty()) {
-    std::fprintf(stderr, "error: no PHP files found under %s\n",
+    std::fprintf(stderr, "error: no readable PHP files found under %s\n",
                  root.string().c_str());
     return 2;
   }
@@ -81,12 +119,16 @@ int main(int argc, char** argv) {
   ScanOptions options;
   options.vuln.stop_at_first_finding = !all_findings;
   options.locality.model_admin_gating = admin_gating;
+  options.budget.time_limit = std::chrono::milliseconds(timeout_ms);
   Detector detector(options);
   const ScanReport report = detector.scan(app);
 
+  const int exit_code = report.vulnerable()              ? 1
+                        : report.verdict == Verdict::kAnalysisError ? 3
+                                                                    : 0;
   if (json) {
     std::printf("%s\n", to_json(report).c_str());
-    return report.vulnerable() ? 1 : 0;
+    return exit_code;
   }
 
   std::printf("scanned %zu file(s), %llu LoC; analyzed %.2f%% "
@@ -94,14 +136,34 @@ int main(int argc, char** argv) {
               app.files.size(),
               static_cast<unsigned long long>(report.total_loc),
               report.analyzed_percent, report.roots);
+  if (unreadable > 0) {
+    std::printf("note: %zu file(s) could not be read and were skipped\n",
+                unreadable);
+  }
   std::printf("symbolic execution: %zu paths, %zu objects, %.2f MB, %.3fs\n",
               report.paths, report.objects, report.memory_mb, report.seconds);
   if (report.parse_errors > 0) {
     std::printf("note: %zu parse error(s); analysis continued on the rest\n",
                 report.parse_errors);
   }
+  if (report.analysis_errors > 0) {
+    std::printf("note: %zu analysis diagnostic(s)\n", report.analysis_errors);
+  }
   if (report.budget_exhausted) {
     std::printf("note: analysis budget exhausted; results are partial\n");
+  }
+  if (report.deadline_exceeded) {
+    std::printf("note: scan deadline exceeded; results are partial\n");
+  }
+  if (report.solver_retries > 0) {
+    std::printf("note: %zu solver retr%s with escalated timeouts\n",
+                report.solver_retries,
+                report.solver_retries == 1 ? "y" : "ies");
+  }
+  for (const ScanError& e : report.errors) {
+    std::printf("error: [%s] %s%s%s%s\n", e.phase.c_str(), e.root.c_str(),
+                e.root.empty() ? "" : ": ", e.message.c_str(),
+                e.transient ? " (transient)" : "");
   }
 
   std::printf("\nverdict: %s\n",
@@ -111,5 +173,5 @@ int main(int argc, char** argv) {
     std::printf("    %s\n", f.source_line.c_str());
     std::printf("    exploitable when: %s\n", f.witness.c_str());
   }
-  return report.vulnerable() ? 1 : 0;
+  return exit_code;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "phpast/visitor.h"
+#include "support/fault_injector.h"
 #include "support/strutil.h"
 
 namespace uchecker::core {
@@ -85,6 +86,7 @@ std::uint64_t function_body_loc(const phpast::FunctionDecl& fn,
 LocalityResult analyze_locality(const Program& program, const CallGraph& graph,
                                 const SourceManager& sources,
                                 const LocalityOptions& options) {
+  FaultInjector::checkpoint("locality");
   LocalityResult result;
   result.total_loc = sources.total_loc();
   const std::vector<bool> admin_only =

@@ -1,17 +1,57 @@
 #include "core/detector/detector.h"
 
 #include <chrono>
+#include <new>
 
 #include "phpparse/parser.h"
 #include "smt/solver.h"
+#include "support/fault_injector.h"
 
 namespace uchecker::core {
+namespace {
+
+// Display name of an analysis root for error attribution.
+std::string root_name(const AnalysisRoot& root) {
+  if (root.function != nullptr) return root.function->name + "()";
+  if (root.file != nullptr) return root.file->name;
+  return "<root>";
+}
+
+// Converts the exception in flight into a ScanError. InjectedFault
+// carries its exact fault point, which overrides the containment-site
+// phase — that is how tests prove phase provenance end to end.
+ScanError describe_current_exception(std::string phase, std::string root) {
+  ScanError error;
+  error.phase = std::move(phase);
+  error.root = std::move(root);
+  try {
+    throw;
+  } catch (const InjectedFault& e) {
+    error.phase = e.point();
+    error.message = e.what();
+    error.transient = e.transient();
+  } catch (const TransientError& e) {
+    error.message = e.what();
+    error.transient = true;
+  } catch (const std::bad_alloc&) {
+    error.message = "out of memory";
+    error.transient = true;
+  } catch (const std::exception& e) {
+    error.message = e.what();
+  } catch (...) {
+    error.message = "unknown error";
+  }
+  return error;
+}
+
+}  // namespace
 
 std::string_view verdict_name(Verdict v) {
   switch (v) {
     case Verdict::kVulnerable: return "Vulnerable";
     case Verdict::kNotVulnerable: return "Not vulnerable";
     case Verdict::kAnalysisIncomplete: return "Analysis incomplete";
+    case Verdict::kAnalysisError: return "Analysis error";
   }
   return "invalid";
 }
@@ -19,51 +59,106 @@ std::string_view verdict_name(Verdict v) {
 Detector::Detector(ScanOptions options) : options_(std::move(options)) {}
 
 ScanReport Detector::scan(const Application& app) const {
+  return scan(app, Deadline::unlimited());
+}
+
+ScanReport Detector::scan(const Application& app,
+                          const Deadline& deadline) const {
   const auto start = std::chrono::steady_clock::now();
+
+  Deadline effective = deadline;
+  if (options_.budget.time_limit.count() > 0) {
+    effective =
+        Deadline::sooner(deadline, Deadline::after(options_.budget.time_limit));
+  }
 
   ScanReport report;
   report.app_name = app.name;
+  try {
+    scan_impl(app, effective, report);
+  } catch (...) {
+    // Last-resort containment: scan() must never throw (workers run it on
+    // noexcept thread boundaries). Phase-level handlers in scan_impl
+    // attribute errors more precisely; anything reaching here is from
+    // the glue between phases.
+    report.errors.push_back(describe_current_exception("scan", ""));
+  }
+  // Verdict precedence: a proven finding survives degradation; otherwise
+  // contained errors outrank resource exhaustion.
+  if (report.verdict != Verdict::kVulnerable) {
+    if (!report.errors.empty()) {
+      report.verdict = Verdict::kAnalysisError;
+    } else if (report.budget_exhausted || report.deadline_exceeded) {
+      report.verdict = Verdict::kAnalysisIncomplete;
+    }
+  }
 
-  // Phase 1: parsing.
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+void Detector::scan_impl(const Application& app, const Deadline& deadline,
+                         ScanReport& report) const {
+  // Phase 1: parsing. A file whose parse *throws* (as opposed to
+  // reporting diagnostics) is dropped and recorded; the rest of the app
+  // is still analyzed.
   SourceManager sources;
   DiagnosticSink diags;
   std::vector<phpast::PhpFile> parsed;
   parsed.reserve(app.files.size());
   for (const AppFile& f : app.files) {
+    if (deadline.expired()) {
+      report.deadline_exceeded = true;
+      break;
+    }
     const FileId id = sources.add_file(f.name, f.content);
-    parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
+    try {
+      parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
+    } catch (...) {
+      report.errors.push_back(describe_current_exception("parse", f.name));
+    }
   }
-  report.parse_errors = diags.error_count();
+  const std::size_t parse_diags = diags.error_count();
+  report.parse_errors = parse_diags;
   report.total_loc = sources.total_loc();
 
   std::vector<const phpast::PhpFile*> file_ptrs;
   for (const phpast::PhpFile& f : parsed) file_ptrs.push_back(&f);
   const Program program = build_program(file_ptrs);
 
-  // Phase 2: vulnerability-oriented locality analysis.
+  // Phase 2: vulnerability-oriented locality analysis. Without roots
+  // nothing downstream runs, so a failure here ends the scan (contained,
+  // with the partial parse results kept).
   const CallGraph call_graph = build_call_graph(program, options_.sinks);
   LocalityResult locality;
-  if (options_.run_locality) {
-    locality = analyze_locality(program, call_graph, sources,
-                                options_.locality);
-  } else {
-    // Ablation: whole-program symbolic execution — every file body and
-    // every user-defined function is a root.
-    locality.total_loc = sources.total_loc();
-    for (const phpast::PhpFile* f : program.files) {
-      AnalysisRoot root;
-      root.file = f;
-      const SourceFile* sf = sources.file_by_name(f->name);
-      root.body_loc = sf != nullptr ? sf->loc_count() : 0;
-      locality.analyzed_loc += root.body_loc;
-      locality.roots.push_back(root);
+  try {
+    if (options_.run_locality) {
+      locality =
+          analyze_locality(program, call_graph, sources, options_.locality);
+    } else {
+      // Ablation: whole-program symbolic execution — every file body and
+      // every user-defined function is a root.
+      locality.total_loc = sources.total_loc();
+      for (const phpast::PhpFile* f : program.files) {
+        AnalysisRoot root;
+        root.file = f;
+        const SourceFile* sf = sources.file_by_name(f->name);
+        root.body_loc = sf != nullptr ? sf->loc_count() : 0;
+        locality.analyzed_loc += root.body_loc;
+        locality.roots.push_back(root);
+      }
+      for (const auto& [name, info] : program.functions) {
+        AnalysisRoot root;
+        root.function = info.decl;
+        locality.roots.push_back(root);
+      }
+      locality.analyzed_loc = locality.total_loc;
     }
-    for (const auto& [name, info] : program.functions) {
-      AnalysisRoot root;
-      root.function = info.decl;
-      locality.roots.push_back(root);
-    }
-    locality.analyzed_loc = locality.total_loc;
+  } catch (...) {
+    report.errors.push_back(describe_current_exception("locality", ""));
+    return;
   }
   report.roots = locality.roots.size();
   report.analyzed_loc = locality.analyzed_loc;
@@ -73,36 +168,59 @@ ScanReport Detector::scan(const Application& app) const {
     // No scope both reads $_FILES and reaches a sink: not vulnerable by
     // construction (paper: "Other scripts, if they do not contain such
     // lowest common ancestors, will not be analyzed").
-    report.verdict = Verdict::kNotVulnerable;
-    report.seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-    return report;
+    return;
   }
 
-  // Phases 3-6 per analysis root.
+  // Phases 3-6 per analysis root. A root whose analysis throws is
+  // recorded and skipped; remaining roots still run, so one hostile
+  // root degrades the verdict instead of erasing the whole app.
   smt::Checker checker(options_.vuln.solver_timeout_ms);
+  checker.set_deadline(deadline);
   std::size_t env_bytes_total = 0;
   std::size_t graph_bytes_total = 0;
   for (const AnalysisRoot& root : locality.roots) {
-    Interpreter interp(program, diags, options_.budget, options_.sinks);
-    InterpResult exec = interp.run(root);
+    if (deadline.expired()) {
+      report.deadline_exceeded = true;
+      break;
+    }
+
+    InterpResult exec;
+    try {
+      Budget budget = options_.budget;
+      budget.deadline = deadline;
+      Interpreter interp(program, diags, budget, options_.sinks);
+      exec = interp.run(root);
+    } catch (...) {
+      report.errors.push_back(
+          describe_current_exception("interp", root_name(root)));
+      continue;
+    }
 
     report.paths += exec.stats.paths;
     report.objects += exec.stats.objects;
     report.budget_exhausted |= exec.stats.budget_exhausted;
+    report.deadline_exceeded |= exec.stats.deadline_exceeded;
     report.sink_hits += exec.sinks.size();
     env_bytes_total += exec.stats.env_bytes;
     graph_bytes_total += exec.graph.memory_bytes();
 
-    if (exec.stats.budget_exhausted) {
+    if (exec.stats.budget_exhausted || exec.stats.deadline_exceeded) {
       // The paper's behaviour: the run that exhausts memory produces no
-      // verdict for this root (Cimy FN). Continue with other roots.
+      // verdict for this root (Cimy FN). Continue with other roots
+      // (deadline expiry ends the loop at the next iteration's check).
       continue;
     }
 
-    const VulnModelResult vuln = check_sinks(exec, checker, options_.vuln);
+    VulnModelResult vuln;
+    try {
+      vuln = check_sinks(exec, checker, options_.vuln);
+    } catch (...) {
+      report.errors.push_back(
+          describe_current_exception("solve", root_name(root)));
+      continue;
+    }
     report.solver_calls += vuln.solver_calls;
+    report.deadline_exceeded |= vuln.deadline_exceeded;
     if (vuln.vulnerable) {
       report.verdict = Verdict::kVulnerable;
       for (const SinkVerdict& sv : vuln.verdicts) {
@@ -120,10 +238,11 @@ ScanReport Detector::scan(const Application& app) const {
       }
     }
   }
+  report.solver_retries = checker.retry_count();
 
-  if (report.verdict != Verdict::kVulnerable && report.budget_exhausted) {
-    report.verdict = Verdict::kAnalysisIncomplete;
-  }
+  // Diagnostics reported after parsing come from the interpreter phases
+  // (unknown syntax, unresolved includes, ...) sharing the same sink.
+  report.analysis_errors = diags.error_count() - parse_diags;
 
   report.objects_per_path =
       report.paths == 0
@@ -131,10 +250,6 @@ ScanReport Detector::scan(const Application& app) const {
           : static_cast<double>(report.objects) / static_cast<double>(report.paths);
   report.memory_mb = static_cast<double>(graph_bytes_total + env_bytes_total) /
                      (1024.0 * 1024.0);
-  report.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  return report;
 }
 
 }  // namespace uchecker::core

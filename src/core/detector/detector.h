@@ -31,11 +31,22 @@ struct ScanOptions {
 enum class Verdict : std::uint8_t {
   kVulnerable,
   kNotVulnerable,
-  kAnalysisIncomplete,  // budget exhausted before a verdict (paper's
-                        // Cimy-User-Extra-Fields false negative)
+  kAnalysisIncomplete,  // budget/deadline exhausted before a verdict
+                        // (paper's Cimy-User-Extra-Fields false negative)
+  kAnalysisError,       // a pipeline phase failed; report is partial and
+                        // the errors list says which phase and why
 };
 
 [[nodiscard]] std::string_view verdict_name(Verdict v);
+
+// One contained pipeline failure. A broken file or analysis root degrades
+// the scan to a partial report carrying these instead of killing it.
+struct ScanError {
+  std::string phase;    // "parse"|"locality"|"interp"|"translate"|"solve"|"scan"
+  std::string root;     // file or analysis-root name; "" for app-scoped errors
+  std::string message;
+  bool transient = false;  // a retry may clear it (OOM, injected transient)
+};
 
 struct Finding {
   std::string sink_name;
@@ -65,11 +76,32 @@ struct ScanReport {
   std::size_t roots = 0;
   std::size_t sink_hits = 0;
   std::size_t solver_calls = 0;
+  std::size_t solver_retries = 0;  // escalated re-solves of unknown outcomes
   bool budget_exhausted = false;
+  bool deadline_exceeded = false;  // wall-clock limit hit; report partial
   std::size_t parse_errors = 0;
+  std::size_t analysis_errors = 0;  // interpreter-phase diagnostics
+
+  // Contained failures (exceptions converted to data). Non-empty errors
+  // with no vulnerable finding yield Verdict::kAnalysisError.
+  std::vector<ScanError> errors;
 
   [[nodiscard]] bool vulnerable() const {
     return verdict == Verdict::kVulnerable;
+  }
+
+  [[nodiscard]] bool degraded() const {
+    return !errors.empty() || budget_exhausted || deadline_exceeded;
+  }
+
+  // True when every contained failure is transient (and there is at
+  // least one): a fleet driver may retry the app once.
+  [[nodiscard]] bool only_transient_errors() const {
+    if (errors.empty()) return false;
+    for (const ScanError& e : errors) {
+      if (!e.transient) return false;
+    }
+    return true;
   }
 };
 
@@ -88,9 +120,21 @@ class Detector {
  public:
   explicit Detector(ScanOptions options = {});
 
+  // Never throws: any error escaping a pipeline phase is contained and
+  // recorded on the report (see ScanReport::errors). The wall-clock
+  // budget is options.budget.time_limit, whose clock starts here.
   [[nodiscard]] ScanReport scan(const Application& app) const;
 
+  // As above, additionally bounded by `deadline` (the stricter of the
+  // two applies). Fleet drivers use this for per-app timeouts and shared
+  // cancellation.
+  [[nodiscard]] ScanReport scan(const Application& app,
+                                const Deadline& deadline) const;
+
  private:
+  void scan_impl(const Application& app, const Deadline& deadline,
+                 ScanReport& report) const;
+
   ScanOptions options_;
 };
 

@@ -21,6 +21,7 @@ std::string_view verdict_slug(Verdict v) {
     case Verdict::kVulnerable: return "vulnerable";
     case Verdict::kNotVulnerable: return "not_vulnerable";
     case Verdict::kAnalysisIncomplete: return "analysis_incomplete";
+    case Verdict::kAnalysisError: return "analysis_error";
   }
   return "invalid";
 }
@@ -42,10 +43,25 @@ std::string to_json(const ScanReport& report) {
   out += "\"roots\": " + std::to_string(report.roots) + ", ";
   out += "\"sink_hits\": " + std::to_string(report.sink_hits) + ", ";
   out += "\"solver_calls\": " + std::to_string(report.solver_calls) + ", ";
+  out += "\"solver_retries\": " + std::to_string(report.solver_retries) + ", ";
   out += std::string("\"budget_exhausted\": ") +
          (report.budget_exhausted ? "true" : "false") + ", ";
-  out += "\"parse_errors\": " + std::to_string(report.parse_errors);
-  out += "}, \"findings\": [";
+  out += std::string("\"deadline_exceeded\": ") +
+         (report.deadline_exceeded ? "true" : "false") + ", ";
+  out += "\"parse_errors\": " + std::to_string(report.parse_errors) + ", ";
+  out += "\"analysis_errors\": " + std::to_string(report.analysis_errors);
+  out += "}, \"errors\": [";
+  for (std::size_t i = 0; i < report.errors.size(); ++i) {
+    const ScanError& e = report.errors[i];
+    if (i != 0) out += ", ";
+    out += "{";
+    out += "\"phase\": " + strutil::quote(e.phase) + ", ";
+    out += "\"root\": " + strutil::quote(e.root) + ", ";
+    out += "\"message\": " + strutil::quote(e.message) + ", ";
+    out += std::string("\"transient\": ") + (e.transient ? "true" : "false");
+    out += "}";
+  }
+  out += "], \"findings\": [";
   for (std::size_t i = 0; i < report.findings.size(); ++i) {
     const Finding& f = report.findings[i];
     if (i != 0) out += ", ";
@@ -83,9 +99,28 @@ std::string to_text(const ScanReport& report) {
   if (report.budget_exhausted) {
     out += "warning     : analysis budget exhausted; results are partial\n";
   }
+  if (report.deadline_exceeded) {
+    out += "warning     : scan deadline exceeded; results are partial\n";
+  }
   if (report.parse_errors > 0) {
     out += "warning     : " + std::to_string(report.parse_errors) +
            " parse error(s)\n";
+  }
+  if (report.analysis_errors > 0) {
+    out += "warning     : " + std::to_string(report.analysis_errors) +
+           " analysis diagnostic(s)\n";
+  }
+  if (report.solver_retries > 0) {
+    out += "warning     : " + std::to_string(report.solver_retries) +
+           " solver retr" + (report.solver_retries == 1 ? "y" : "ies") +
+           " with escalated timeouts\n";
+  }
+  for (const ScanError& e : report.errors) {
+    out += "error       : [" + e.phase + "] ";
+    if (!e.root.empty()) out += e.root + ": ";
+    out += e.message;
+    if (e.transient) out += " (transient)";
+    out += "\n";
   }
   for (const Finding& f : report.findings) {
     out += "finding     : " + f.sink_name + " at " + f.location + "\n";

@@ -11,23 +11,37 @@ namespace uchecker::core {
 // Renders a report as a single JSON object:
 // {
 //   "app": "...", "verdict": "vulnerable" | "not_vulnerable" |
-//   "analysis_incomplete",
+//   "analysis_incomplete" | "analysis_error",
 //   "stats": { "total_loc": N, "analyzed_loc": N, "analyzed_percent": X,
 //              "paths": N, "objects": N, "objects_per_path": X,
 //              "memory_mb": X, "seconds": X, "roots": N, "sink_hits": N,
-//              "solver_calls": N, "budget_exhausted": B,
-//              "parse_errors": N },
+//              "solver_calls": N, "solver_retries": N,
+//              "budget_exhausted": B, "deadline_exceeded": B,
+//              "parse_errors": N, "analysis_errors": N },
+//   "errors": [ { "phase": "parse" | "locality" | "interp" | "translate" |
+//                 "solve" | "scan", "root": "...", "message": "...",
+//                 "transient": B }, ... ],
 //   "findings": [ { "sink": "...", "location": "...", "source_line": "...",
 //                   "dst": "...", "reachability": "...",
 //                   "witness": "..." }, ... ]
 // }
+//
+// Degradation fields (stable, additive):
+//  - "errors": contained pipeline failures; each names the phase that
+//    failed, the file/root it failed on, and whether a retry may clear it.
+//  - "deadline_exceeded": the scan's wall-clock budget expired; stats and
+//    findings cover only the work finished before the cut-off.
+//  - "solver_retries": how many solver attempts were re-run with
+//    escalated timeouts after a retryable unknown.
+//  - "analysis_errors": diagnostics reported by post-parse phases
+//    (previously folded into nothing; "parse_errors" remains parse-only).
 [[nodiscard]] std::string to_json(const ScanReport& report);
 
 // Multi-line human-readable rendering (what scan_directory prints).
 [[nodiscard]] std::string to_text(const ScanReport& report);
 
 // Stable slug for a verdict ("vulnerable", "not_vulnerable",
-// "analysis_incomplete").
+// "analysis_incomplete", "analysis_error").
 [[nodiscard]] std::string_view verdict_slug(Verdict v);
 
 }  // namespace uchecker::core

@@ -1,13 +1,75 @@
 #include "core/detector/scan_many.h"
 
-#include <atomic>
 #include <thread>
 
 namespace uchecker::core {
+namespace {
+
+bool fleet_cancelled(const ScanManyOptions& options) {
+  return options.cancel != nullptr &&
+         options.cancel->load(std::memory_order_relaxed);
+}
+
+ScanReport cancelled_report(const Application& app) {
+  ScanReport report;
+  report.app_name = app.name;
+  report.verdict = Verdict::kAnalysisError;
+  report.deadline_exceeded = true;
+  report.errors.push_back(
+      ScanError{"scan", "", "fleet cancelled before scan", false});
+  return report;
+}
+
+// One app, with per-app deadline, bounded transient retry, and a final
+// catch-all so the worker's thread boundary stays exception-free.
+ScanReport scan_one(const Detector& detector, const Application& app,
+                    const ScanManyOptions& options) {
+  for (unsigned attempt = 0;; ++attempt) {
+    if (fleet_cancelled(options)) return cancelled_report(app);
+
+    Deadline deadline = options.app_timeout.count() > 0
+                            ? Deadline::after(options.app_timeout)
+                            : Deadline::unlimited();
+    if (options.cancel != nullptr) deadline.attach(options.cancel);
+
+    ScanReport report;
+    try {
+      report = detector.scan(app, deadline);
+    } catch (const std::exception& e) {
+      // scan() contains its own errors; this is belt and braces.
+      report = ScanReport{};
+      report.app_name = app.name;
+      report.errors.push_back(ScanError{"scan", "", e.what(), false});
+      report.verdict = Verdict::kAnalysisError;
+    } catch (...) {
+      report = ScanReport{};
+      report.app_name = app.name;
+      report.errors.push_back(ScanError{"scan", "", "unknown error", false});
+      report.verdict = Verdict::kAnalysisError;
+    }
+
+    if (report.only_transient_errors() && attempt < options.max_retries &&
+        !fleet_cancelled(options)) {
+      continue;
+    }
+    return report;
+  }
+}
+
+}  // namespace
 
 std::vector<ScanReport> scan_many(const Detector& detector,
                                   const std::vector<Application>& apps,
                                   unsigned threads) {
+  ScanManyOptions options;
+  options.threads = threads;
+  return scan_many(detector, apps, options);
+}
+
+std::vector<ScanReport> scan_many(const Detector& detector,
+                                  const std::vector<Application>& apps,
+                                  const ScanManyOptions& options) {
+  unsigned threads = options.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -17,7 +79,7 @@ std::vector<ScanReport> scan_many(const Detector& detector,
 
   if (threads <= 1) {
     for (std::size_t i = 0; i < apps.size(); ++i) {
-      reports[i] = detector.scan(apps[i]);
+      reports[i] = scan_one(detector, apps[i], options);
     }
     return reports;
   }
@@ -30,7 +92,9 @@ std::vector<ScanReport> scan_many(const Detector& detector,
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= apps.size()) return;
-        reports[i] = detector.scan(apps[i]);
+        // scan_one never throws, so nothing can cross this noexcept
+        // thread boundary and call std::terminate.
+        reports[i] = scan_one(detector, apps[i], options);
       }
     });
   }

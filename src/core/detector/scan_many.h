@@ -5,13 +5,40 @@
 // analysis state — source manager, heap graph, Z3 context — is created
 // per scan), so scans of distinct applications can run concurrently.
 // Z3 contexts are not shared across threads; each scan owns its own.
+//
+// Fault isolation: one hostile or pathological application can never
+// take down the batch. Detector::scan contains its own errors, workers
+// additionally catch anything that still escapes (no exception ever
+// reaches the noexcept thread boundary), every app gets a per-app
+// wall-clock timeout, apps that failed with only transient errors are
+// retried a bounded number of times, and a shared cancellation token
+// aborts the whole fleet cleanly — scans not yet started report
+// kAnalysisError ("cancelled") instead of silently missing.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <vector>
 
 #include "core/detector/detector.h"
+#include "support/deadline.h"
 
 namespace uchecker::core {
+
+struct ScanManyOptions {
+  unsigned threads = 0;  // 0 = hardware concurrency
+  // Per-app wall-clock budget (0 = unlimited). Combined with the
+  // detector's own budget.time_limit; the stricter one wins.
+  std::chrono::milliseconds app_timeout{0};
+  // Re-scan an app whose report failed with *only transient* errors
+  // (ScanReport::only_transient_errors) up to this many extra times.
+  unsigned max_retries = 1;
+  // Optional fleet-wide cancellation (CancellationSource::token()).
+  // Cancelling aborts in-flight scans at their next deadline poll and
+  // prevents new ones from starting.
+  std::shared_ptr<const std::atomic<bool>> cancel;
+};
 
 // Scans every application, in input order, using up to `threads` worker
 // threads (0 = hardware concurrency). Reports are returned in the same
@@ -20,5 +47,10 @@ namespace uchecker::core {
 [[nodiscard]] std::vector<ScanReport> scan_many(
     const Detector& detector, const std::vector<Application>& apps,
     unsigned threads = 0);
+
+// As above with full fleet controls. Always returns one report per app.
+[[nodiscard]] std::vector<ScanReport> scan_many(
+    const Detector& detector, const std::vector<Application>& apps,
+    const ScanManyOptions& options);
 
 }  // namespace uchecker::core

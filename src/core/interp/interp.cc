@@ -5,6 +5,7 @@
 
 #include "core/interp/builtins.h"
 #include "phpast/visitor.h"
+#include "support/fault_injector.h"
 #include "support/strutil.h"
 
 namespace uchecker::core {
@@ -122,6 +123,13 @@ void Interpreter::check_budget() {
     aborted_ = true;
     stats_.budget_exhausted = true;
   }
+  // Wall-clock deadline, polled on a stride so the steady_clock read
+  // stays off the per-statement fast path. 16 keeps worst-case overshoot
+  // small (a handful of statements), which matters for tight deadlines.
+  if ((deadline_poll_++ & 0xF) == 0 && budget_.deadline.expired()) {
+    aborted_ = true;
+    stats_.deadline_exceeded = true;
+  }
 }
 
 Label Interpreter::fresh_symbol(std::string_view hint, Type type,
@@ -201,12 +209,14 @@ void Interpreter::discard_results(std::size_t count) {
 // Entry point
 
 InterpResult Interpreter::run(const AnalysisRoot& root) {
+  FaultInjector::checkpoint("interp");
   graph_ = HeapGraph();
   envs_.clear();
   envs_.emplace_back();
   sinks_.clear();
   stats_ = InterpStats{};
   aborted_ = false;
+  deadline_poll_ = 0;
 
   if (root.function != nullptr) {
     // Bind parameters. If locality captured a binding call site whose

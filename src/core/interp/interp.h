@@ -18,6 +18,7 @@
 // unrolled iterations.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -30,6 +31,7 @@
 #include "core/heapgraph/heapgraph.h"
 #include "core/sinks.h"
 #include "phpast/ast.h"
+#include "support/deadline.h"
 #include "support/diag.h"
 
 namespace uchecker::core {
@@ -47,6 +49,15 @@ struct Budget {
   // include/require whose path resolves to a file of the program are
   // executed inline up to this nesting depth (0 disables following).
   int max_include_depth = 8;
+  // Wall-clock budget for one whole scan, distinct from the path/object
+  // budgets above (0 = unlimited). The detector starts the clock when
+  // scan() begins; expiry degrades the scan to a partial report with
+  // deadline_exceeded set instead of hanging.
+  std::chrono::milliseconds time_limit{0};
+  // Materialized deadline/cancellation token for the current scan. Set
+  // by the detector (from time_limit and any fleet-level deadline);
+  // user code configures time_limit instead.
+  Deadline deadline;
 };
 
 // One reachable invocation of a file-upload sink, with everything the
@@ -66,6 +77,7 @@ struct InterpStats {
   std::size_t peak_paths = 0;
   std::size_t env_bytes = 0;    // accounted environment memory
   bool budget_exhausted = false;
+  bool deadline_exceeded = false;  // wall-clock deadline hit mid-run
 };
 
 struct InterpResult {
@@ -175,6 +187,7 @@ class Interpreter {
   std::vector<std::string> include_chain_;  // active include nesting
   std::set<std::string> included_once_;     // include_once/require_once
   std::uint64_t symbol_counter_ = 0;
+  std::uint32_t deadline_poll_ = 0;  // stride counter for deadline checks
 };
 
 }  // namespace uchecker::core

@@ -1,6 +1,7 @@
 #include "core/translate/translate.h"
 
 #include "core/interp/builtins.h"
+#include "support/fault_injector.h"
 #include "support/strutil.h"
 
 namespace uchecker::core {
@@ -93,6 +94,7 @@ z3::expr Translator::truthy(Label label) {
 }
 
 z3::expr Translator::translate(Label label, Type expected) {
+  FaultInjector::checkpoint("translate");
   const Object* obj = graph_.find(label);
   if (obj == nullptr) return fresh(expected, "null");
   const Type resolved = obj->type == Type::kUnknown ? expected : obj->type;

@@ -114,6 +114,12 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
   // the identical solver query; memoize outcomes.
   std::map<std::pair<Label, Label>, smt::SatResult> memo;
   for (const SinkHit& sink : interp.sinks) {
+    if (checker.deadline().expired()) {
+      // Degrade instead of hanging: unchecked sinks get no verdicts and
+      // the caller reports the scan as deadline-bounded.
+      result.deadline_exceeded = true;
+      break;
+    }
     SinkVerdict verdict;
     verdict.sink = sink;
 
@@ -200,6 +206,7 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
     const smt::SolverOutcome outcome = checker.check(constraints);
     ++result.solver_calls;
     verdict.constraints = outcome.result;
+    result.deadline_exceeded |= outcome.deadline_exceeded;
     memo.emplace(memo_key, outcome.result);
     if (outcome.model.has_value()) verdict.witness = outcome.model->to_string();
     if (verdict.exploitable()) result.vulnerable = true;

@@ -46,6 +46,9 @@ struct VulnModelResult {
   std::vector<SinkVerdict> verdicts;
   std::size_t solver_calls = 0;
   bool vulnerable = false;  // any exploitable verdict
+  // The checker's scan deadline expired mid-check; remaining sinks were
+  // skipped and the surviving verdicts are partial.
+  bool deadline_exceeded = false;
 };
 
 // Checks every sink hit recorded by the interpreter. `checker` supplies

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "phplex/lexer.h"
+#include "support/fault_injector.h"
 #include "support/strutil.h"
 
 namespace uchecker::phpparse {
@@ -101,6 +102,7 @@ Parser::Parser(const SourceFile& file, std::vector<Token> tokens,
 }
 
 phpast::PhpFile parse_php(const SourceFile& file, DiagnosticSink& diags) {
+  FaultInjector::checkpoint("parse");
   Parser parser(file, phplex::lex_file(file, diags), diags);
   return parser.parse_file();
 }
@@ -161,8 +163,11 @@ namespace {
 
 // Recursion bound for the whole grammar. Real plugins nest a few dozen
 // levels at most; pathological inputs (e.g. 100K open parens) would
-// otherwise overflow the stack.
-constexpr int kMaxParseDepth = 400;
+// otherwise overflow the stack. The cap also bounds AST depth for every
+// recursive pass downstream (call graph scan, locality, interpreter,
+// translation), and is sized so those passes fit in an 8 MB stack even
+// with sanitizer-inflated frames.
+constexpr int kMaxParseDepth = 128;
 
 class DepthGuard {
  public:
@@ -173,6 +178,28 @@ class DepthGuard {
 
  private:
   int& depth_;
+};
+
+// Left-deep chains ($a[0][1]..., a + b + ...) are built by loops, not
+// recursion, so DepthGuard alone cannot bound the depth of the AST they
+// produce — and every downstream consumer (call-graph scan, walk(),
+// interpreter) recurses over that spine. Each chain link charges the
+// shared depth budget for the lifetime of the enclosing expression.
+class ChainDepth {
+ public:
+  explicit ChainDepth(int& depth) : depth_(depth) {}
+  ~ChainDepth() { depth_ -= links_; }
+  ChainDepth(const ChainDepth&) = delete;
+  ChainDepth& operator=(const ChainDepth&) = delete;
+
+  void add_link() {
+    ++links_;
+    ++depth_;
+  }
+
+ private:
+  int& depth_;
+  int links_ = 0;
 };
 
 }  // namespace
@@ -810,9 +837,14 @@ ExprPtr Parser::parse_ternary() {
 ExprPtr Parser::parse_binary(int min_precedence) {
   ExprPtr lhs = parse_unary();
   if (lhs == nullptr) return nullptr;
+  ChainDepth chain(depth_);
   while (true) {
     const auto info = binop_info(peek().kind);
     if (!info || info->precedence < min_precedence) return lhs;
+    if (depth_ >= kMaxParseDepth) {
+      diags_.error(peek().loc, "expression nests too deeply");
+      return lhs;
+    }
     const SourceLoc loc = advance().loc;
     const int next_min =
         info->right_assoc ? info->precedence : info->precedence + 1;
@@ -823,6 +855,7 @@ ExprPtr Parser::parse_binary(int min_precedence) {
     }
     lhs = std::make_unique<Binary>(loc, info->op, std::move(lhs),
                                    std::move(rhs));
+    chain.add_link();
   }
 }
 
@@ -917,8 +950,13 @@ ExprPtr Parser::parse_unary() {
 
 ExprPtr Parser::parse_postfix(ExprPtr base) {
   if (base == nullptr) return nullptr;
+  ChainDepth chain(depth_);
   while (true) {
     const SourceLoc loc = peek().loc;
+    if (depth_ >= kMaxParseDepth) {
+      diags_.error(loc, "expression nests too deeply");
+      return base;
+    }
     if (match(TokenKind::kLBracket)) {
       ExprPtr index;
       if (!check(TokenKind::kRBracket)) {
@@ -927,6 +965,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
       expect(TokenKind::kRBracket, "']'");
       base = std::make_unique<ArrayAccess>(loc, std::move(base),
                                            std::move(index));
+      chain.add_link();
       continue;
     }
     if (match(TokenKind::kLBrace) &&
@@ -936,6 +975,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
       expect(TokenKind::kRBrace, "'}'");
       base = std::make_unique<ArrayAccess>(loc, std::move(base),
                                            std::move(index));
+      chain.add_link();
       continue;
     }
     if (check(TokenKind::kArrow)) {
@@ -957,6 +997,7 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
         base = std::make_unique<PropertyAccess>(loc, std::move(base),
                                                 std::move(name));
       }
+      chain.add_link();
       continue;
     }
     if (check(TokenKind::kDoubleColon)) {
@@ -990,16 +1031,19 @@ ExprPtr Parser::parse_postfix(ExprPtr base) {
       // Dynamic call through a variable: $f(...).
       std::vector<ExprPtr> args = parse_arg_list();
       base = std::make_unique<Call>(loc, std::move(base), std::move(args));
+      chain.add_link();
       continue;
     }
     if (check(TokenKind::kPlusPlus)) {
       advance();
       base = std::make_unique<Unary>(loc, UnaryOp::kPostInc, std::move(base));
+      chain.add_link();
       continue;
     }
     if (check(TokenKind::kMinusMinus)) {
       advance();
       base = std::make_unique<Unary>(loc, UnaryOp::kPostDec, std::move(base));
+      chain.add_link();
       continue;
     }
     return base;

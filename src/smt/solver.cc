@@ -1,6 +1,24 @@
 #include "smt/solver.h"
 
+#include <algorithm>
+
+#include "support/fault_injector.h"
+
 namespace uchecker::smt {
+namespace {
+
+// Z3 reports a timeout/cancellation through reason_unknown(); those are
+// the unknowns worth retrying with a larger budget. Incompleteness
+// ("smt tactic failed...", "unknown") is deterministic and is not.
+bool retryable_unknown_reason(const std::string& reason) {
+  return reason.find("timeout") != std::string::npos ||
+         reason.find("canceled") != std::string::npos ||
+         reason.find("cancelled") != std::string::npos ||
+         reason.find("resource") != std::string::npos ||
+         reason.find("interrupted") != std::string::npos;
+}
+
+}  // namespace
 
 std::string_view sat_result_name(SatResult r) {
   switch (r) {
@@ -20,53 +38,94 @@ std::string Model::to_string() const {
   return out;
 }
 
-Checker::Checker(unsigned timeout_ms) : timeout_ms_(timeout_ms) {}
+Checker::Checker(unsigned timeout_ms, unsigned max_retries)
+    : timeout_ms_(timeout_ms), max_retries_(max_retries) {}
 
 SolverOutcome Checker::check(const std::vector<z3::expr>& constraints) {
   ++check_count_;
-  SolverOutcome outcome;
-  try {
-    // Re-serialize the query and solve it in a scratch context. Z3
-    // 4.8.x's sequence solver is sensitive to AST creation order: the
-    // same formula that solves in milliseconds in a freshly-numbered
-    // context can hit a multi-second search when its terms were built
-    // incrementally by the translator. Round-tripping through SMT-LIB
-    // renumbers the ASTs and makes solve times reproducible. Symbol
-    // names are preserved, so model extraction is unaffected.
-    z3::solver builder(ctx_);
-    for (const z3::expr& c : constraints) builder.add(c);
-    const std::string smt2 = builder.to_smt2();
+  // Pipeline-level fault point: deliberately *outside* the containment
+  // below, so tests can prove the detector's own per-root recovery path.
+  FaultInjector::checkpoint("solve");
 
-    z3::context scratch;
-    z3::solver solver(scratch);
-    z3::params params(scratch);
-    params.set("timeout", timeout_ms_);
-    solver.set(params);
-    solver.from_string(smt2.c_str());
-    switch (solver.check()) {
-      case z3::sat: {
-        outcome.result = SatResult::kSat;
-        Model model;
-        const z3::model m = solver.get_model();
-        for (unsigned i = 0; i < m.num_consts(); ++i) {
-          const z3::func_decl decl = m.get_const_decl(i);
-          const z3::expr value = m.get_const_interp(decl);
-          model.assignments[decl.name().str()] = value.to_string();
-        }
-        outcome.model = std::move(model);
-        break;
-      }
-      case z3::unsat:
-        outcome.result = SatResult::kUnsat;
-        break;
-      case z3::unknown:
-        outcome.result = SatResult::kUnknown;
-        outcome.error = "solver returned unknown (timeout or incompleteness)";
-        break;
+  SolverOutcome outcome;
+  unsigned timeout = std::max(1u, timeout_ms_);
+  for (unsigned attempt = 0; attempt <= max_retries_; ++attempt) {
+    if (deadline_.expired()) {
+      outcome.result = SatResult::kUnknown;
+      outcome.deadline_exceeded = true;
+      outcome.error = deadline_.cancelled() ? "scan cancelled"
+                                            : "scan deadline exceeded";
+      if (outcome.attempts == 0) outcome.attempts = 1;
+      break;
     }
-  } catch (const z3::exception& e) {
-    outcome.result = SatResult::kUnknown;
-    outcome.error = e.msg();
+    // Never solve past the scan deadline: clamp this attempt's budget to
+    // the remaining wall-clock time.
+    const unsigned effective = static_cast<unsigned>(std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(timeout, deadline_.remaining_ms(timeout))));
+    outcome.attempts = attempt + 1;
+    outcome.attempt_timeouts_ms.push_back(effective);
+    outcome.error.clear();
+    outcome.model.reset();
+    bool retryable = false;
+    try {
+      // Per-attempt fault point, *inside* containment: an armed throw
+      // here degrades to an unknown outcome (transient ones retry).
+      FaultInjector::checkpoint("solve-attempt");
+
+      // Re-serialize the query and solve it in a scratch context. Z3
+      // 4.8.x's sequence solver is sensitive to AST creation order: the
+      // same formula that solves in milliseconds in a freshly-numbered
+      // context can hit a multi-second search when its terms were built
+      // incrementally by the translator. Round-tripping through SMT-LIB
+      // renumbers the ASTs and makes solve times reproducible. Symbol
+      // names are preserved, so model extraction is unaffected.
+      z3::solver builder(ctx_);
+      for (const z3::expr& c : constraints) builder.add(c);
+      const std::string smt2 = builder.to_smt2();
+
+      z3::context scratch;
+      z3::solver solver(scratch);
+      z3::params params(scratch);
+      params.set("timeout", effective);
+      solver.set(params);
+      solver.from_string(smt2.c_str());
+      switch (solver.check()) {
+        case z3::sat: {
+          outcome.result = SatResult::kSat;
+          Model model;
+          const z3::model m = solver.get_model();
+          for (unsigned i = 0; i < m.num_consts(); ++i) {
+            const z3::func_decl decl = m.get_const_decl(i);
+            const z3::expr value = m.get_const_interp(decl);
+            model.assignments[decl.name().str()] = value.to_string();
+          }
+          outcome.model = std::move(model);
+          break;
+        }
+        case z3::unsat:
+          outcome.result = SatResult::kUnsat;
+          break;
+        case z3::unknown: {
+          outcome.result = SatResult::kUnknown;
+          const std::string reason = solver.reason_unknown();
+          outcome.error = "solver returned unknown (" + reason + ")";
+          retryable = retryable_unknown_reason(reason);
+          break;
+        }
+      }
+    } catch (const InjectedFault& e) {
+      outcome.result = SatResult::kUnknown;
+      outcome.error = e.what();
+      retryable = e.transient();
+    } catch (const z3::exception& e) {
+      outcome.result = SatResult::kUnknown;
+      outcome.error = e.msg();
+    }
+    if (outcome.result != SatResult::kUnknown || !retryable) break;
+    if (attempt < max_retries_) {
+      ++retry_count_;
+      timeout = std::min(timeout * 2, kTimeoutEscalationCap);
+    }
   }
   return outcome;
 }

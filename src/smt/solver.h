@@ -5,6 +5,13 @@
 // model extraction. The translation module builds z3::expr terms through
 // the context exposed here; everything downstream of the detector sees
 // only SatResult / SolverOutcome values.
+//
+// Robustness: check() never lets a z3::exception escape, clamps its
+// timeout to any attached scan Deadline, and retries *retryable*
+// unknowns (Z3 timeouts/cancellations and TransientError fault
+// injections) with escalating timeouts — 1x, 2x, 4x the configured base,
+// capped at kTimeoutEscalationCap — recording every attempt in the
+// returned SolverOutcome.
 #pragma once
 
 #include <z3++.h>
@@ -14,6 +21,8 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "support/deadline.h"
 
 namespace uchecker::smt {
 
@@ -33,19 +42,36 @@ struct Model {
 struct SolverOutcome {
   SatResult result = SatResult::kUnknown;
   std::optional<Model> model;   // present iff result == kSat
-  std::string error;            // populated when Z3 threw
+  std::string error;            // populated when Z3 threw / timed out
+  // Retry bookkeeping: how many solve attempts ran and the timeout (ms)
+  // each one was given. attempts == 1 for a clean first solve;
+  // non-retryable failures never retry.
+  unsigned attempts = 0;
+  std::vector<unsigned> attempt_timeouts_ms;
+  // True when the scan deadline expired (or the scan was cancelled)
+  // before or during solving; such outcomes are never retried.
+  bool deadline_exceeded = false;
 };
 
 // Wraps one z3::context + z3::solver pair. Not thread-safe (Z3 contexts
 // are not); create one Checker per scan thread.
 class Checker {
  public:
-  explicit Checker(unsigned timeout_ms = 5000);
+  // Escalated per-attempt timeouts never exceed this.
+  static constexpr unsigned kTimeoutEscalationCap = 60'000;
+
+  explicit Checker(unsigned timeout_ms = 5000, unsigned max_retries = 2);
 
   Checker(const Checker&) = delete;
   Checker& operator=(const Checker&) = delete;
 
   [[nodiscard]] z3::context& ctx() { return ctx_; }
+
+  // Bounds all subsequent check() calls: per-attempt timeouts are
+  // clamped to the remaining wall-clock time, and an already-expired
+  // deadline short-circuits to kUnknown without invoking Z3.
+  void set_deadline(Deadline deadline) { deadline_ = std::move(deadline); }
+  [[nodiscard]] const Deadline& deadline() const { return deadline_; }
 
   // Checks the conjunction of `constraints`. Any z3::exception is caught
   // and converted into an outcome with result == kUnknown.
@@ -57,10 +83,16 @@ class Checker {
   // Total number of check() calls, for benchmark accounting.
   [[nodiscard]] std::uint64_t check_count() const { return check_count_; }
 
+  // Total retry attempts (beyond each check's first) across all checks.
+  [[nodiscard]] std::uint64_t retry_count() const { return retry_count_; }
+
  private:
   z3::context ctx_;
   unsigned timeout_ms_;
+  unsigned max_retries_;
+  Deadline deadline_;
   std::uint64_t check_count_ = 0;
+  std::uint64_t retry_count_ = 0;
 };
 
 }  // namespace uchecker::smt

@@ -1,0 +1,111 @@
+// Wall-clock deadlines and cooperative cancellation.
+//
+// A Deadline bounds one scan in real time, independently of the path- and
+// object-count budgets: the interpreter polls it in its hot loop, the SMT
+// layer clamps solver timeouts to the remaining time, and the detector
+// stops starting new analysis roots once it has expired. Expiration is
+// reported (ScanReport::deadline_exceeded), never fatal.
+//
+// A Deadline may also carry a shared cancellation token (from a
+// CancellationSource), so a fleet driver can abort every in-flight scan
+// with one store. Cancellation makes the deadline "expired" immediately.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace uchecker {
+
+// One writer-side cancellation flag shared by any number of Deadlines.
+// Copying the source shares the flag.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::shared_ptr<const std::atomic<bool>> token() const {
+    return flag_;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default-constructed deadlines never expire (but still honour an
+  // attached cancellation token).
+  Deadline() = default;
+
+  [[nodiscard]] static Deadline unlimited() { return Deadline{}; }
+
+  // Expires `budget` from *now* (construction time, not first use).
+  [[nodiscard]] static Deadline after(std::chrono::milliseconds budget) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.at_ = Clock::now() + budget;
+    return d;
+  }
+
+  void attach(std::shared_ptr<const std::atomic<bool>> cancel) {
+    cancel_ = std::move(cancel);
+  }
+
+  [[nodiscard]] bool is_unlimited() const { return unlimited_; }
+
+  [[nodiscard]] bool cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool expired() const {
+    if (cancelled()) return true;
+    return !unlimited_ && Clock::now() >= at_;
+  }
+
+  // Milliseconds left, clamped to [0, cap]. Unlimited deadlines report
+  // `cap` (callers use this to bound solver timeouts).
+  [[nodiscard]] std::uint64_t remaining_ms(
+      std::uint64_t cap = UINT64_C(1) << 32) const {
+    if (cancelled()) return 0;
+    if (unlimited_) return cap;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    if (left.count() <= 0) return 0;
+    return std::min<std::uint64_t>(static_cast<std::uint64_t>(left.count()),
+                                   cap);
+  }
+
+  // The stricter of two deadlines. At most one cancellation token is
+  // kept: `a`'s wins if both carry one (in practice only the fleet-level
+  // deadline does).
+  [[nodiscard]] static Deadline sooner(const Deadline& a, const Deadline& b) {
+    Deadline d;
+    d.unlimited_ = a.unlimited_ && b.unlimited_;
+    if (!d.unlimited_) {
+      if (a.unlimited_) {
+        d.at_ = b.at_;
+      } else if (b.unlimited_) {
+        d.at_ = a.at_;
+      } else {
+        d.at_ = std::min(a.at_, b.at_);
+      }
+    }
+    d.cancel_ = a.cancel_ != nullptr ? a.cancel_ : b.cancel_;
+    return d;
+  }
+
+ private:
+  Clock::time_point at_{};
+  bool unlimited_ = true;
+  std::shared_ptr<const std::atomic<bool>> cancel_;
+};
+
+}  // namespace uchecker

@@ -1,0 +1,98 @@
+#include "support/fault_injector.h"
+
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace uchecker {
+
+struct FaultInjector::State {
+  struct Point {
+    Action action = Action::kThrow;
+    std::chrono::milliseconds stall{0};
+    int remaining = 0;  // fires left; -1 = unlimited; 0 = inactive
+    std::size_t hits = 0;
+  };
+
+  std::mutex mu;
+  std::map<std::string, Point, std::less<>> points;
+};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::State& FaultInjector::state() {
+  static State s;
+  return s;
+}
+
+void FaultInjector::arm(std::string_view point, Action action,
+                        std::chrono::milliseconds stall, int max_hits) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  auto [it, inserted] = s.points.try_emplace(std::string(point));
+  const bool was_active = !inserted && it->second.remaining != 0;
+  it->second.action = action;
+  it->second.stall = stall;
+  it->second.remaining = max_hits;
+  const bool now_active = max_hits != 0;
+  if (now_active && !was_active) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!now_active && was_active) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::disarm(std::string_view point) {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.points.find(point);
+  if (it == s.points.end() || it->second.remaining == 0) return;
+  it->second.remaining = 0;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  State& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.points.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t FaultInjector::hits(std::string_view point) const {
+  State& s = const_cast<FaultInjector*>(this)->state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.points.find(point);
+  return it == s.points.end() ? 0 : it->second.hits;
+}
+
+void FaultInjector::fire(std::string_view point) {
+  Action action;
+  std::chrono::milliseconds stall{0};
+  {
+    State& s = state();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.points.find(point);
+    if (it == s.points.end() || it->second.remaining == 0) return;
+    State::Point& p = it->second;
+    ++p.hits;
+    if (p.remaining > 0 && --p.remaining == 0) {
+      armed_points_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    action = p.action;
+    stall = p.stall;
+  }
+  switch (action) {
+    case Action::kThrow:
+      throw InjectedFault(std::string(point), /*transient=*/false);
+    case Action::kThrowTransient:
+      throw InjectedFault(std::string(point), /*transient=*/true);
+    case Action::kStall:
+      std::this_thread::sleep_for(stall);
+      return;
+  }
+}
+
+}  // namespace uchecker

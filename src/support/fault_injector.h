@@ -1,0 +1,90 @@
+// Deterministic fault injection for the scan pipeline.
+//
+// The pipeline phases call FaultInjector::checkpoint("parse" | "locality" |
+// "interp" | "translate" | "solve" | "solve-attempt") at their entry
+// points. By default every checkpoint is a no-op behind a single relaxed
+// atomic load; tests arm a named point to throw (InjectedFault) or stall
+// (sleep) there, proving that each containment path in the detector and
+// the fleet driver actually fires. Compiled in unconditionally — the
+// disarmed cost is one branch, and keeping it in release builds means the
+// tested binary is the shipped binary.
+//
+// The injector is process-global and thread-safe; arming is serialized
+// with firing, so "fire at most N times" is exact even when several scan
+// workers reach the point concurrently.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace uchecker {
+
+// An error that a retry may plausibly clear (spurious resource blips,
+// lost races). Fleet drivers retry an app once when its scan failed with
+// only transient errors; everything else is permanent.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown by an armed kThrow/kThrowTransient checkpoint. Carries the point
+// name so containment code can attribute the failure to the exact phase.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(std::string point, bool transient)
+      : std::runtime_error("injected fault at " + point),
+        point_(std::move(point)),
+        transient_(transient) {}
+
+  [[nodiscard]] const std::string& point() const { return point_; }
+  [[nodiscard]] bool transient() const { return transient_; }
+
+ private:
+  std::string point_;
+  bool transient_;
+};
+
+class FaultInjector {
+ public:
+  enum class Action : std::uint8_t {
+    kThrow,           // throw InjectedFault (permanent)
+    kThrowTransient,  // throw InjectedFault marked transient
+    kStall,           // sleep for the configured duration, then continue
+  };
+
+  static FaultInjector& instance();
+
+  // Arms `point` to perform `action` the next `max_hits` times it is
+  // reached (-1 = until disarmed). Re-arming replaces the previous
+  // configuration; the fired-count is preserved across re-arms.
+  void arm(std::string_view point, Action action,
+           std::chrono::milliseconds stall = std::chrono::milliseconds{0},
+           int max_hits = -1);
+  void disarm(std::string_view point);
+  void disarm_all();
+
+  // How many times `point` has fired since the last disarm_all().
+  [[nodiscard]] std::size_t hits(std::string_view point) const;
+
+  // Instrumentation hook. No-op (one relaxed load) unless a point is
+  // armed anywhere in the process.
+  static void checkpoint(std::string_view point) {
+    FaultInjector& fi = instance();
+    if (fi.armed_points_.load(std::memory_order_relaxed) == 0) return;
+    fi.fire(point);
+  }
+
+ private:
+  FaultInjector() = default;
+  void fire(std::string_view point);
+
+  std::atomic<int> armed_points_{0};
+  struct State;  // mutex + point table (keeps <mutex>/<map> out of the hot path header)
+  State& state();
+};
+
+}  // namespace uchecker

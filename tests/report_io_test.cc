@@ -103,6 +103,71 @@ TEST(VerdictSlug, AllValues) {
   EXPECT_EQ(verdict_slug(Verdict::kNotVulnerable), "not_vulnerable");
   EXPECT_EQ(verdict_slug(Verdict::kAnalysisIncomplete),
             "analysis_incomplete");
+  EXPECT_EQ(verdict_slug(Verdict::kAnalysisError), "analysis_error");
+}
+
+ScanReport degraded_report() {
+  ScanReport r;
+  r.app_name = "hostile";
+  r.verdict = Verdict::kAnalysisError;
+  r.deadline_exceeded = true;
+  r.solver_retries = 2;
+  r.analysis_errors = 1;
+  r.errors.push_back(ScanError{"interp", "upload.php", "injected fault", true});
+  r.errors.push_back(ScanError{"solve", "handler()", "z3 blew up", false});
+  return r;
+}
+
+TEST(ReportJson, DegradationFields) {
+  const std::string json = to_json(degraded_report());
+  EXPECT_NE(json.find("\"verdict\": \"analysis_error\""), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_exceeded\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"solver_retries\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"analysis_errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"interp\""), std::string::npos);
+  EXPECT_NE(json.find("\"root\": \"upload.php\""), std::string::npos);
+  EXPECT_NE(json.find("\"message\": \"injected fault\""), std::string::npos);
+  EXPECT_NE(json.find("\"transient\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"solve\""), std::string::npos);
+}
+
+TEST(ReportJson, EmptyErrorsIsEmptyArray) {
+  const std::string json = to_json(sample_report());
+  EXPECT_NE(json.find("\"errors\": []"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_exceeded\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"solver_retries\": 0"), std::string::npos);
+}
+
+TEST(ReportJson, DegradedReportStaysBalanced) {
+  const std::string json = to_json(degraded_report());
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(ReportText, DegradationShown) {
+  const std::string text = to_text(degraded_report());
+  EXPECT_NE(text.find("verdict     : Analysis error"), std::string::npos);
+  EXPECT_NE(text.find("deadline exceeded"), std::string::npos);
+  EXPECT_NE(text.find("[interp] upload.php: injected fault (transient)"),
+            std::string::npos);
+  EXPECT_NE(text.find("[solve] handler(): z3 blew up"), std::string::npos);
+  EXPECT_NE(text.find("2 solver retries"), std::string::npos);
 }
 
 }  // namespace

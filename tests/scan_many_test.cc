@@ -50,6 +50,23 @@ TEST(ScanMany, EmptyBatch) {
   EXPECT_TRUE(scan_many(Detector(), {}, 4).empty());
 }
 
+TEST(ScanMany, OptionsOverloadMatchesDefault) {
+  const std::vector<Application> apps = sample_apps();
+  ScanManyOptions options;
+  options.threads = 4;
+  options.app_timeout = std::chrono::seconds(60);  // generous: no effect
+  const std::vector<ScanReport> reports =
+      scan_many(Detector(), apps, options);
+  ASSERT_EQ(reports.size(), apps.size());
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const Verdict expected =
+        (i % 2) == 0 ? Verdict::kVulnerable : Verdict::kNotVulnerable;
+    EXPECT_EQ(reports[i].verdict, expected) << i;
+    EXPECT_FALSE(reports[i].deadline_exceeded) << i;
+    EXPECT_TRUE(reports[i].errors.empty()) << i;
+  }
+}
+
 TEST(ScanMany, SingleThreadFallback) {
   const std::vector<Application> apps = sample_apps();
   const std::vector<ScanReport> reports = scan_many(Detector(), apps, 1);

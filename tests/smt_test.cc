@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "support/deadline.h"
+#include "support/fault_injector.h"
+
 namespace uchecker::smt {
 namespace {
 
@@ -75,6 +80,128 @@ TEST(SatResultName, AllValues) {
   EXPECT_EQ(sat_result_name(SatResult::kSat), "sat");
   EXPECT_EQ(sat_result_name(SatResult::kUnsat), "unsat");
   EXPECT_EQ(sat_result_name(SatResult::kUnknown), "unknown");
+}
+
+// ---------------------------------------------------------------------------
+// Failure containment and retry escalation.
+
+class CheckerFaults : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().disarm_all(); }
+};
+
+TEST_F(CheckerFaults, ExceptionPathPopulatesErrorWithoutRetry) {
+  // A permanent (non-transient) exception inside the solve attempt is
+  // contained: kUnknown + error, and no escalation retry is wasted.
+  FaultInjector::instance().arm("solve-attempt",
+                                FaultInjector::Action::kThrow,
+                                std::chrono::milliseconds{0}, 1);
+  Checker checker(100, 2);
+  const SolverOutcome outcome = checker.check(checker.ctx().bool_val(true));
+  EXPECT_EQ(outcome.result, SatResult::kUnknown);
+  EXPECT_FALSE(outcome.error.empty());
+  EXPECT_FALSE(outcome.model.has_value());
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(checker.retry_count(), 0u);
+}
+
+TEST_F(CheckerFaults, TransientFailureRetriesWithEscalatedTimeouts) {
+  FaultInjector::instance().arm("solve-attempt",
+                                FaultInjector::Action::kThrowTransient,
+                                std::chrono::milliseconds{0}, /*max_hits=*/1);
+  Checker checker(100, 2);
+  const SolverOutcome outcome = checker.check(checker.ctx().bool_val(true));
+  // Attempt 1 failed transiently; attempt 2 ran with a doubled timeout
+  // and succeeded.
+  EXPECT_EQ(outcome.result, SatResult::kSat);
+  EXPECT_EQ(outcome.attempts, 2u);
+  ASSERT_EQ(outcome.attempt_timeouts_ms.size(), 2u);
+  EXPECT_EQ(outcome.attempt_timeouts_ms[0], 100u);
+  EXPECT_EQ(outcome.attempt_timeouts_ms[1], 200u);
+  EXPECT_EQ(checker.retry_count(), 1u);
+  EXPECT_TRUE(outcome.error.empty());
+}
+
+TEST_F(CheckerFaults, RetryBudgetExhaustsAtOneTwoFourTimes) {
+  FaultInjector::instance().arm("solve-attempt",
+                                FaultInjector::Action::kThrowTransient,
+                                std::chrono::milliseconds{0}, -1);
+  Checker checker(100, 2);
+  const SolverOutcome outcome = checker.check(checker.ctx().bool_val(true));
+  EXPECT_EQ(outcome.result, SatResult::kUnknown);
+  EXPECT_FALSE(outcome.error.empty());
+  EXPECT_EQ(outcome.attempts, 3u);  // 1 initial + 2 retries
+  ASSERT_EQ(outcome.attempt_timeouts_ms.size(), 3u);
+  EXPECT_EQ(outcome.attempt_timeouts_ms[0], 100u);
+  EXPECT_EQ(outcome.attempt_timeouts_ms[1], 200u);
+  EXPECT_EQ(outcome.attempt_timeouts_ms[2], 400u);
+  EXPECT_EQ(checker.retry_count(), 2u);
+}
+
+TEST_F(CheckerFaults, EscalationRespectsCap) {
+  FaultInjector::instance().arm("solve-attempt",
+                                FaultInjector::Action::kThrowTransient,
+                                std::chrono::milliseconds{0}, -1);
+  Checker checker(Checker::kTimeoutEscalationCap, 2);
+  const SolverOutcome outcome = checker.check(checker.ctx().bool_val(true));
+  ASSERT_EQ(outcome.attempt_timeouts_ms.size(), 3u);
+  for (const unsigned t : outcome.attempt_timeouts_ms) {
+    EXPECT_EQ(t, Checker::kTimeoutEscalationCap);
+  }
+}
+
+TEST(CheckerDeadline, ExpiredDeadlineShortCircuits) {
+  Checker checker;
+  checker.set_deadline(Deadline::after(std::chrono::milliseconds{0}));
+  const SolverOutcome outcome = checker.check(checker.ctx().bool_val(true));
+  EXPECT_EQ(outcome.result, SatResult::kUnknown);
+  EXPECT_TRUE(outcome.deadline_exceeded);
+  EXPECT_FALSE(outcome.error.empty());
+  EXPECT_FALSE(outcome.model.has_value());
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(checker.retry_count(), 0u);  // deadline unknowns never retry
+}
+
+TEST(CheckerDeadline, RemainingTimeClampsAttemptTimeout) {
+  Checker checker(5000, 2);
+  checker.set_deadline(Deadline::after(std::chrono::milliseconds{50}));
+  const SolverOutcome outcome = checker.check(checker.ctx().bool_val(true));
+  EXPECT_EQ(outcome.result, SatResult::kSat);
+  ASSERT_EQ(outcome.attempt_timeouts_ms.size(), 1u);
+  EXPECT_LE(outcome.attempt_timeouts_ms[0], 50u);
+  EXPECT_GE(outcome.attempt_timeouts_ms[0], 1u);
+}
+
+TEST(CheckerDeadline, CancellationReportsCancelled) {
+  CancellationSource cancel;
+  Deadline deadline;  // unlimited, but carries the token
+  deadline.attach(cancel.token());
+  Checker checker;
+  checker.set_deadline(deadline);
+  cancel.cancel();
+  const SolverOutcome outcome = checker.check(checker.ctx().bool_val(true));
+  EXPECT_EQ(outcome.result, SatResult::kUnknown);
+  EXPECT_TRUE(outcome.deadline_exceeded);
+  EXPECT_NE(outcome.error.find("cancelled"), std::string::npos);
+}
+
+TEST(Checker, GenuineTimeoutPopulatesError) {
+  // A word equation whose unsatisfiability needs a parity argument the
+  // sequence solver searches for unboundedly: x.x = y.y."a" with long
+  // minimum lengths. A 20 ms budget cancels the search; the cancellation
+  // must surface as a retried kUnknown with a reason, never a hang.
+  Checker checker(20, 1);
+  z3::context& ctx = checker.ctx();
+  const z3::expr x = ctx.string_const("x");
+  const z3::expr y = ctx.string_const("y");
+  const SolverOutcome outcome = checker.check(
+      {z3::concat(x, x) == z3::concat(z3::concat(y, y), ctx.string_val("a")),
+       x.length() > 2000, y.length() > 1000});
+  if (outcome.result == SatResult::kUnknown) {
+    EXPECT_FALSE(outcome.error.empty());
+    EXPECT_GE(outcome.attempts, 1u);
+    EXPECT_EQ(outcome.attempts, outcome.attempt_timeouts_ms.size());
+  }
 }
 
 TEST(Checker, IntStringConversions) {
