@@ -14,6 +14,7 @@
 #include "corpus/corpus.h"
 #include "phpparse/parser.h"
 #include "smt/solver.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -105,6 +106,62 @@ void BM_EndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEnd)->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead contract: BM_EndToEnd is the unattached case (the
+// single null-check no-op path); this is the same scan with a trace
+// attached, collecting spans, solver samples and progress samples. The
+// gap between the two is the observability cost; ci/check.sh gates the
+// unattached case against a recorded baseline.
+void BM_EndToEndTelemetry(benchmark::State& state) {
+  uchecker::telemetry::Telemetry telemetry;
+  ScanOptions options;
+  options.telemetry = &telemetry;
+  Detector detector(options);
+  for (auto _ : state) {
+    const ScanReport report = detector.scan(sample_app().app);
+    benchmark::DoNotOptimize(report.verdict);
+  }
+  state.counters["traces"] = static_cast<double>(telemetry.traces().size());
+}
+BENCHMARK(BM_EndToEndTelemetry)->Unit(benchmark::kMillisecond);
+
+// Cost of one disarmed SpanScope: what every instrumentation site pays
+// when no telemetry is attached. Should be on the order of a branch.
+void BM_SpanScopeNull(benchmark::State& state) {
+  uchecker::telemetry::ScanTrace* trace = nullptr;
+  benchmark::DoNotOptimize(trace);
+  for (auto _ : state) {
+    const uchecker::telemetry::SpanScope span(trace, "parse");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanScopeNull);
+
+// Cost of one live span begin/end pair against a real trace.
+void BM_SpanScopeLive(benchmark::State& state) {
+  uchecker::telemetry::Telemetry telemetry;
+  uchecker::telemetry::ScanTrace& trace = telemetry.begin_scan("bench");
+  for (auto _ : state) {
+    const uchecker::telemetry::SpanScope span(&trace, "parse");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.counters["spans"] = static_cast<double>(trace.spans().size());
+}
+BENCHMARK(BM_SpanScopeLive);
+
+// Histogram hot path: one observe() on a default latency histogram.
+void BM_HistogramObserve(benchmark::State& state) {
+  uchecker::telemetry::MetricsRegistry metrics;
+  uchecker::telemetry::Histogram& h = metrics.histogram("bench.latency_ms");
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v += 0.37;
+    if (v > 70000.0) v = 0.0;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramObserve);
 
 void BM_HeapGraphOps(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# The full CI gate, in dependency order:
+#
+#   1. configure + build the default tree, run the tier-1 test suite
+#   2. sanitizer build + test suite (ci/sanitize.sh)
+#   3. telemetry smoke: scan a known-vulnerable sample with
+#      --trace-out/--metrics-out and validate that both outputs are
+#      well-formed JSON with the expected pipeline phases
+#   4. telemetry overhead gate: bench_micro's unattached end-to-end scan
+#      must stay within OVERHEAD_TOLERANCE of the recorded baseline
+#      (baseline is machine-local: recorded in the build dir on the
+#      first run, compared on later runs)
+#
+#   $ ci/check.sh            # everything
+#   $ SKIP_SANITIZE=1 ci/check.sh
+#   $ SKIP_BENCH=1 ci/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build
+OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
+
+echo "== [1/4] build + tier-1 tests =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+echo "== [2/4] sanitizers =="
+if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
+  echo "skipped (SKIP_SANITIZE=1)"
+else
+  ci/sanitize.sh
+fi
+
+echo "== [3/4] telemetry smoke: trace + metrics JSON =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/upload.php" <<'PHP'
+<?php
+move_uploaded_file($_FILES['f']['tmp_name'], '/u/' . $_FILES['f']['name']);
+PHP
+# Exit 1 = vulnerable (expected for this sample); anything else is a bug.
+rc=0
+"$BUILD_DIR/examples/scan_directory" "$SMOKE_DIR" --quiet \
+  --trace-out="$SMOKE_DIR/trace.json" \
+  --metrics-out="$SMOKE_DIR/metrics.json" >/dev/null || rc=$?
+if [[ "$rc" != "1" ]]; then
+  echo "FAIL: expected vulnerable verdict (exit 1), got exit $rc" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null; then
+  python3 - "$SMOKE_DIR/trace.json" "$SMOKE_DIR/metrics.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+assert trace["displayTimeUnit"] == "ms", "bad displayTimeUnit"
+names = {e["name"] for e in trace["traceEvents"]}
+for phase in ("scan", "parse", "locality", "interp", "translate", "solve"):
+    assert phase in names, f"trace missing phase span: {phase}"
+metrics = json.load(open(sys.argv[2]))
+phases = {p["phase"] for p in metrics["phases"]}
+for phase in ("scan", "parse", "locality", "interp", "translate", "solve"):
+    assert phase in phases, f"metrics missing phase stats: {phase}"
+assert metrics["counters"].get("scan.count") == 1, "scan.count != 1"
+print("trace + metrics JSON OK "
+      f"({len(trace['traceEvents'])} events, {len(phases)} phases)")
+PY
+else
+  echo "python3 not found; JSON structure check skipped"
+fi
+
+echo "== [4/4] telemetry overhead gate =="
+if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
+  echo "skipped (SKIP_BENCH=1)"
+elif ! command -v python3 >/dev/null; then
+  echo "python3 not found; overhead gate skipped"
+else
+  BASELINE="$BUILD_DIR/bench_baseline_ms.txt"
+  "$BUILD_DIR/bench/bench_micro" \
+    --benchmark_filter='BM_EndToEnd$' \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$SMOKE_DIR/bench.json"
+  CURRENT=$(python3 - "$SMOKE_DIR/bench.json" <<'PY'
+import json, sys
+for b in json.load(open(sys.argv[1]))["benchmarks"]:
+    if b["name"].endswith("_median"):
+        print(b["real_time"])
+        break
+PY
+)
+  if [[ -z "$CURRENT" ]]; then
+    echo "FAIL: could not read BM_EndToEnd median from bench output" >&2
+    exit 1
+  fi
+  if [[ ! -f "$BASELINE" ]]; then
+    # First run on this machine/build dir: record, don't gate. The
+    # baseline is intentionally not committed — wall-time is machine-
+    # dependent, so the gate only compares runs on the same host.
+    echo "$CURRENT" > "$BASELINE"
+    echo "recorded baseline: ${CURRENT} ms (no gate on first run)"
+  else
+    python3 - "$BASELINE" "$CURRENT" "$OVERHEAD_TOLERANCE" <<'PY'
+import sys
+baseline = float(open(sys.argv[1]).read())
+current = float(sys.argv[2])
+tolerance = float(sys.argv[3])
+ratio = current / baseline if baseline > 0 else 1.0
+print(f"unattached scan: baseline {baseline:.3f} ms, "
+      f"current {current:.3f} ms, ratio {ratio:.3f} (limit {tolerance})")
+if ratio > tolerance:
+    sys.exit(f"FAIL: no-op telemetry overhead regression >"
+             f"{(tolerance - 1) * 100:.0f}%")
+PY
+  fi
+fi
+
+echo "== all checks passed =="

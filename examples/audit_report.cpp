@@ -1,7 +1,8 @@
 // audit_report: runs UChecker and both baselines over the whole
 // reconstructed corpus and prints an auditor-style report: per-app
-// verdicts with precise source locations, plus aggregate
-// precision/recall for all three tools.
+// verdicts with precise source locations, aggregate precision/recall
+// for all three tools, and a fleet-level per-phase latency table
+// (p50/p95/p99 wall time per pipeline phase, from scan telemetry).
 //
 //   $ ./build/examples/audit_report
 #include <cstdio>
@@ -10,6 +11,7 @@
 #include "baselines/wap.h"
 #include "core/detector/detector.h"
 #include "corpus/corpus.h"
+#include "support/telemetry.h"
 
 using namespace uchecker;
 using namespace uchecker::core;
@@ -36,7 +38,10 @@ struct Counts {
 }  // namespace
 
 int main() {
-  Detector uchecker_scanner;
+  uchecker::telemetry::Telemetry telemetry;
+  ScanOptions scan_options;
+  scan_options.telemetry = &telemetry;
+  Detector uchecker_scanner(scan_options);
   baselines::RipsScanner rips;
   baselines::WapScanner wap;
 
@@ -75,5 +80,17 @@ int main() {
   std::printf("%-9s  TP=%2d FP=%2d FN=%2d TN=%2d  precision=%5.1f%%  "
               "recall=%5.1f%%\n",
               "WAP", cw.tp, cw.fp, cw.fn, cw.tn, cw.precision(), cw.recall());
+
+  // Fleet-level latency breakdown: where the UChecker pipeline spends
+  // its wall time across all scanned apps, in pipeline order.
+  std::printf("\n=== UChecker per-phase latency (all apps) ===\n");
+  std::printf("%-10s %6s %10s %10s %10s %10s %10s\n", "phase", "count",
+              "total ms", "p50 ms", "p95 ms", "p99 ms", "max ms");
+  for (const uchecker::telemetry::PhaseStats& s :
+       telemetry.fleet_phase_stats()) {
+    std::printf("%-10s %6zu %10.2f %10.3f %10.3f %10.3f %10.3f\n",
+                s.phase.c_str(), s.count, s.total_ms, s.p50_ms, s.p95_ms,
+                s.p99_ms, s.max_ms);
+  }
   return 0;
 }

@@ -4,11 +4,22 @@
 //                                                    [--json]
 //                                                    [--model-admin-gating]
 //                                                    [--timeout-ms N]
+//                                                    [--trace-out=FILE]
+//                                                    [--metrics-out=FILE]
+//                                                    [--quiet | -v]
 //
 // Recursively collects *.php (and *.module) files under the given
 // directory, runs the full UChecker pipeline, and prints a report
 // (human-readable by default, stable JSON with --json). This is the
 // example to start from when embedding the library in CI.
+//
+// Observability: --trace-out writes the scan's span tree (all pipeline
+// phases, per-root children, solver calls, interpreter progress samples)
+// as Chrome trace-event JSON — load it in Perfetto or chrome://tracing.
+// --metrics-out writes the metrics registry plus the per-phase latency
+// breakdown as JSON. Verbosity is routed through the telemetry event
+// sink: --quiet suppresses warnings/notes, -v additionally logs
+// structured progress (one JSON object per event) to stderr.
 //
 // Degradation behaviour: unreadable files are reported and skipped (the
 // scan continues on the rest), and --timeout-ms bounds the whole scan in
@@ -20,14 +31,40 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "core/detector/detector.h"
 #include "core/detector/report_io.h"
+#include "support/strutil.h"
+#include "support/telemetry.h"
+#include "support/trace_export.h"
 
 namespace fs = std::filesystem;
 using namespace uchecker::core;
 
 namespace {
+
+enum class Verbosity { kQuiet, kNormal, kVerbose };
+
+// All diagnostics-to-the-operator flow through here (not ad-hoc
+// fprintf): quiet drops them, normal prints plain text to stderr, and
+// verbose routes a structured JSON line through the telemetry sink.
+struct EventLog {
+  Verbosity verbosity = Verbosity::kNormal;
+  uchecker::telemetry::Telemetry* telemetry = nullptr;
+
+  void warn(const std::string& event, const std::string& detail,
+            const std::string& plain) const {
+    if (verbosity == Verbosity::kQuiet) return;
+    if (verbosity == Verbosity::kVerbose && telemetry != nullptr) {
+      telemetry->emit_progress(
+          "{\"event\": " + uchecker::strutil::quote(event) +
+          ", \"detail\": " + uchecker::strutil::quote(detail) + "}");
+      return;
+    }
+    std::fprintf(stderr, "%s\n", plain.c_str());
+  }
+};
 
 bool is_php_file(const fs::path& path) {
   const std::string ext = path.extension().string();
@@ -44,13 +81,38 @@ bool read_file(const fs::path& path, std::string& out) {
   return true;
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+// Accepts "--flag=value" or "--flag value"; returns true and fills
+// `value` when argv[i] matches `flag`.
+bool flag_with_value(int argc, char** argv, int& i, const char* flag,
+                     std::string& value) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, len) != 0) return false;
+  if (argv[i][len] == '=') {
+    value = argv[i] + len + 1;
+    return true;
+  }
+  if (argv[i][len] == '\0' && i + 1 < argc) {
+    value = argv[++i];
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <directory-or-file> [--all-findings] [--json] "
-                 "[--model-admin-gating] [--timeout-ms N]\n",
+                 "[--model-admin-gating] [--timeout-ms N] [--trace-out=FILE] "
+                 "[--metrics-out=FILE] [--quiet] [-v]\n",
                  argv[0]);
     return 2;
   }
@@ -59,10 +121,22 @@ int main(int argc, char** argv) {
   bool json = false;
   bool admin_gating = false;
   long timeout_ms = 0;
+  std::string trace_out;
+  std::string metrics_out;
+  Verbosity verbosity = Verbosity::kNormal;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all-findings") == 0) all_findings = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--model-admin-gating") == 0) admin_gating = true;
+    if (std::strcmp(argv[i], "--quiet") == 0 || std::strcmp(argv[i], "-q") == 0) {
+      verbosity = Verbosity::kQuiet;
+    }
+    if (std::strcmp(argv[i], "-v") == 0 ||
+        std::strcmp(argv[i], "--verbose") == 0) {
+      verbosity = Verbosity::kVerbose;
+    }
+    flag_with_value(argc, argv, i, "--trace-out", trace_out);
+    flag_with_value(argc, argv, i, "--metrics-out", metrics_out);
     if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --timeout-ms needs a value\n");
@@ -76,6 +150,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Telemetry is attached when anything consumes it: an export file or
+  // verbose structured logging. Otherwise the scan runs on the
+  // zero-overhead path.
+  uchecker::telemetry::Telemetry telemetry;
+  const bool want_telemetry = !trace_out.empty() || !metrics_out.empty() ||
+                              verbosity == Verbosity::kVerbose;
+  if (verbosity == Verbosity::kVerbose) {
+    telemetry.set_progress_sink([](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    });
+  }
+
+  EventLog log{verbosity, want_telemetry ? &telemetry : nullptr};
+
   Application app;
   app.name = root.string();
   std::size_t unreadable = 0;
@@ -87,8 +175,8 @@ int main(int argc, char** argv) {
       // Degrade, don't die: a permission-denied or vanished file should
       // not cost the report for the rest of the tree.
       ++unreadable;
-      std::fprintf(stderr, "warning: cannot read %s; skipping\n",
-                   path.string().c_str());
+      log.warn("file_unreadable", path.string(),
+               "warning: cannot read " + path.string() + "; skipping");
     }
   };
 
@@ -120,8 +208,27 @@ int main(int argc, char** argv) {
   options.vuln.stop_at_first_finding = !all_findings;
   options.locality.model_admin_gating = admin_gating;
   options.budget.time_limit = std::chrono::milliseconds(timeout_ms);
+  if (want_telemetry) options.telemetry = &telemetry;
   Detector detector(options);
   const ScanReport report = detector.scan(app);
+
+  if (verbosity == Verbosity::kVerbose) {
+    telemetry.emit_progress(
+        "{\"event\": \"app_done\", \"app\": " +
+        uchecker::strutil::quote(report.app_name) + ", \"verdict\": \"" +
+        std::string(verdict_slug(report.verdict)) +
+        "\", \"seconds\": " + std::to_string(report.seconds) + "}");
+  }
+  if (!trace_out.empty() &&
+      !write_file(trace_out, to_chrome_trace_json(telemetry))) {
+    log.warn("trace_write_failed", trace_out,
+             "warning: cannot write trace to " + trace_out);
+  }
+  if (!metrics_out.empty() &&
+      !write_file(metrics_out, metrics_to_json(telemetry))) {
+    log.warn("metrics_write_failed", metrics_out,
+             "warning: cannot write metrics to " + metrics_out);
+  }
 
   const int exit_code = report.vulnerable()              ? 1
                         : report.verdict == Verdict::kAnalysisError ? 3
@@ -131,34 +238,37 @@ int main(int argc, char** argv) {
     return exit_code;
   }
 
-  std::printf("scanned %zu file(s), %llu LoC; analyzed %.2f%% "
-              "(%zu analysis root(s))\n",
-              app.files.size(),
-              static_cast<unsigned long long>(report.total_loc),
-              report.analyzed_percent, report.roots);
-  if (unreadable > 0) {
-    std::printf("note: %zu file(s) could not be read and were skipped\n",
-                unreadable);
-  }
-  std::printf("symbolic execution: %zu paths, %zu objects, %.2f MB, %.3fs\n",
-              report.paths, report.objects, report.memory_mb, report.seconds);
-  if (report.parse_errors > 0) {
-    std::printf("note: %zu parse error(s); analysis continued on the rest\n",
-                report.parse_errors);
-  }
-  if (report.analysis_errors > 0) {
-    std::printf("note: %zu analysis diagnostic(s)\n", report.analysis_errors);
-  }
-  if (report.budget_exhausted) {
-    std::printf("note: analysis budget exhausted; results are partial\n");
-  }
-  if (report.deadline_exceeded) {
-    std::printf("note: scan deadline exceeded; results are partial\n");
-  }
-  if (report.solver_retries > 0) {
-    std::printf("note: %zu solver retr%s with escalated timeouts\n",
-                report.solver_retries,
-                report.solver_retries == 1 ? "y" : "ies");
+  const bool chatty = verbosity != Verbosity::kQuiet;
+  if (chatty) {
+    std::printf("scanned %zu file(s), %llu LoC; analyzed %.2f%% "
+                "(%zu analysis root(s))\n",
+                app.files.size(),
+                static_cast<unsigned long long>(report.total_loc),
+                report.analyzed_percent, report.roots);
+    if (unreadable > 0) {
+      std::printf("note: %zu file(s) could not be read and were skipped\n",
+                  unreadable);
+    }
+    std::printf("symbolic execution: %zu paths, %zu objects, %.2f MB, %.3fs\n",
+                report.paths, report.objects, report.memory_mb, report.seconds);
+    if (report.parse_errors > 0) {
+      std::printf("note: %zu parse error(s); analysis continued on the rest\n",
+                  report.parse_errors);
+    }
+    if (report.analysis_errors > 0) {
+      std::printf("note: %zu analysis diagnostic(s)\n", report.analysis_errors);
+    }
+    if (report.budget_exhausted) {
+      std::printf("note: analysis budget exhausted; results are partial\n");
+    }
+    if (report.deadline_exceeded) {
+      std::printf("note: scan deadline exceeded; results are partial\n");
+    }
+    if (report.solver_retries > 0) {
+      std::printf("note: %zu solver retr%s with escalated timeouts\n",
+                  report.solver_retries,
+                  report.solver_retries == 1 ? "y" : "ies");
+    }
   }
   for (const ScanError& e : report.errors) {
     std::printf("error: [%s] %s%s%s%s\n", e.phase.c_str(), e.root.c_str(),
@@ -166,7 +276,7 @@ int main(int argc, char** argv) {
                 e.transient ? " (transient)" : "");
   }
 
-  std::printf("\nverdict: %s\n",
+  std::printf("%sverdict: %s\n", chatty ? "\n" : "",
               std::string(verdict_name(report.verdict)).c_str());
   for (const Finding& f : report.findings) {
     std::printf("\n  %s at %s\n", f.sink_name.c_str(), f.location.c_str());

@@ -6,6 +6,7 @@
 #include "phpparse/parser.h"
 #include "smt/solver.h"
 #include "support/fault_injector.h"
+#include "support/telemetry.h"
 
 namespace uchecker::core {
 namespace {
@@ -72,16 +73,23 @@ ScanReport Detector::scan(const Application& app,
         Deadline::sooner(deadline, Deadline::after(options_.budget.time_limit));
   }
 
+  telemetry::ScanTrace* trace =
+      options_.telemetry != nullptr ? &options_.telemetry->begin_scan(app.name)
+                                    : nullptr;
+
   ScanReport report;
   report.app_name = app.name;
-  try {
-    scan_impl(app, effective, report);
-  } catch (...) {
-    // Last-resort containment: scan() must never throw (workers run it on
-    // noexcept thread boundaries). Phase-level handlers in scan_impl
-    // attribute errors more precisely; anything reaching here is from
-    // the glue between phases.
-    report.errors.push_back(describe_current_exception("scan", ""));
+  {
+    const telemetry::SpanScope scan_span(trace, "scan", app.name);
+    try {
+      scan_impl(app, effective, report, trace);
+    } catch (...) {
+      // Last-resort containment: scan() must never throw (workers run it
+      // on noexcept thread boundaries). Phase-level handlers in scan_impl
+      // attribute errors more precisely; anything reaching here is from
+      // the glue between phases.
+      report.errors.push_back(describe_current_exception("scan", ""));
+    }
   }
   // Verdict precedence: a proven finding survives degradation; otherwise
   // contained errors outrank resource exhaustion.
@@ -96,28 +104,59 @@ ScanReport Detector::scan(const Application& app,
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+
+  if (options_.telemetry != nullptr) {
+    telemetry::MetricsRegistry& m = options_.telemetry->metrics();
+    m.counter("scan.count").add(1);
+    if (report.degraded()) m.counter("scan.degraded").add(1);
+    if (report.deadline_exceeded) m.counter("scan.deadline_exceeded").add(1);
+    if (report.budget_exhausted) m.counter("scan.budget_exhausted").add(1);
+    for (const ScanError& e : report.errors) {
+      m.counter("scan.errors." + e.phase).add(1);
+    }
+    m.histogram("scan.seconds_ms").observe(report.seconds * 1000.0);
+  }
   return report;
 }
 
 void Detector::scan_impl(const Application& app, const Deadline& deadline,
-                         ScanReport& report) const {
+                         ScanReport& report,
+                         telemetry::ScanTrace* trace) const {
   // Phase 1: parsing. A file whose parse *throws* (as opposed to
   // reporting diagnostics) is dropped and recorded; the rest of the app
   // is still analyzed.
   SourceManager sources;
   DiagnosticSink diags;
+  // Copies the per-phase diagnostic counts onto the report on every exit
+  // path out of scan_impl, including exceptions contained by scan().
+  struct DiagPhaseCapture {
+    const DiagnosticSink& diags;
+    ScanReport& report;
+    ~DiagPhaseCapture() {
+      report.diagnostics_by_phase = diags.error_counts_by_phase();
+    }
+  } diag_capture{diags, report};
+
+  diags.set_phase("parse");
   std::vector<phpast::PhpFile> parsed;
   parsed.reserve(app.files.size());
-  for (const AppFile& f : app.files) {
-    if (deadline.expired()) {
-      report.deadline_exceeded = true;
-      break;
-    }
-    const FileId id = sources.add_file(f.name, f.content);
-    try {
-      parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
-    } catch (...) {
-      report.errors.push_back(describe_current_exception("parse", f.name));
+  {
+    const telemetry::SpanScope parse_span(trace, "parse");
+    for (const AppFile& f : app.files) {
+      if (deadline.expired()) {
+        report.deadline_exceeded = true;
+        if (trace != nullptr) {
+          trace->record_event("deadline_exceeded", "during parse");
+        }
+        break;
+      }
+      const telemetry::SpanScope file_span(trace, "parse.file", f.name);
+      const FileId id = sources.add_file(f.name, f.content);
+      try {
+        parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
+      } catch (...) {
+        report.errors.push_back(describe_current_exception("parse", f.name));
+      }
     }
   }
   const std::size_t parse_diags = diags.error_count();
@@ -131,9 +170,11 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   // Phase 2: vulnerability-oriented locality analysis. Without roots
   // nothing downstream runs, so a failure here ends the scan (contained,
   // with the partial parse results kept).
+  diags.set_phase("locality");
   const CallGraph call_graph = build_call_graph(program, options_.sinks);
   LocalityResult locality;
   try {
+    const telemetry::SpanScope locality_span(trace, "locality");
     if (options_.run_locality) {
       locality =
           analyze_locality(program, call_graph, sources, options_.locality);
@@ -162,7 +203,14 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   }
   report.roots = locality.roots.size();
   report.analyzed_loc = locality.analyzed_loc;
-  report.analyzed_percent = locality.analyzed_percent();
+  // Explicit zero-denominator guard: an app whose files are all empty
+  // (or unparseable) has total_loc == 0, and the percentage must come
+  // out 0.0, not NaN (which would also poison the JSON report).
+  report.analyzed_percent =
+      report.total_loc == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(report.analyzed_loc) /
+                static_cast<double>(report.total_loc);
 
   if (locality.roots.empty()) {
     // No scope both reads $_FILES and reaches a sink: not vulnerable by
@@ -174,20 +222,28 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   // Phases 3-6 per analysis root. A root whose analysis throws is
   // recorded and skipped; remaining roots still run, so one hostile
   // root degrades the verdict instead of erasing the whole app.
+  diags.set_phase("interp");
   smt::Checker checker(options_.vuln.solver_timeout_ms);
   checker.set_deadline(deadline);
+  checker.set_telemetry(options_.telemetry, trace);
   std::size_t env_bytes_total = 0;
   std::size_t graph_bytes_total = 0;
   for (const AnalysisRoot& root : locality.roots) {
     if (deadline.expired()) {
       report.deadline_exceeded = true;
+      if (trace != nullptr) {
+        trace->record_event("deadline_exceeded", "before " + root_name(root));
+      }
       break;
     }
+    const telemetry::SpanScope root_span(trace, "root", root_name(root));
 
     InterpResult exec;
     try {
+      const telemetry::SpanScope interp_span(trace, "interp");
       Budget budget = options_.budget;
       budget.deadline = deadline;
+      budget.trace = trace;
       Interpreter interp(program, diags, budget, options_.sinks);
       exec = interp.run(root);
     } catch (...) {

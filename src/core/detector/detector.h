@@ -8,6 +8,7 @@
 // and the verdict, plus per-finding source locations and witnesses.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,11 @@
 #include "support/diag.h"
 #include "support/source.h"
 
+namespace uchecker::telemetry {
+class ScanTrace;
+class Telemetry;
+}  // namespace uchecker::telemetry
+
 namespace uchecker::core {
 
 struct ScanOptions {
@@ -26,6 +32,12 @@ struct ScanOptions {
   LocalityOptions locality;
   SinkRegistry sinks;        // extend to treat copy()/rename() as sinks
   bool run_locality = true;  // ablation switch for bench_locality
+  // Optional observability handle (see support/telemetry.h). When set,
+  // every scan records a phase-scoped span tree, interpreter progress
+  // samples and solver latencies into a per-scan trace, and shared
+  // counters/histograms into the registry. Null (the default) keeps the
+  // pipeline on its zero-overhead path.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 enum class Verdict : std::uint8_t {
@@ -81,6 +93,9 @@ struct ScanReport {
   bool deadline_exceeded = false;  // wall-clock limit hit; report partial
   std::size_t parse_errors = 0;
   std::size_t analysis_errors = 0;  // interpreter-phase diagnostics
+  // Error-severity diagnostics grouped by the pipeline phase that
+  // reported them (same vocabulary as ScanError::phase).
+  std::map<std::string, std::size_t> diagnostics_by_phase;
 
   // Contained failures (exceptions converted to data). Non-empty errors
   // with no vulnerable finding yield Verdict::kAnalysisError.
@@ -131,9 +146,13 @@ class Detector {
   [[nodiscard]] ScanReport scan(const Application& app,
                                 const Deadline& deadline) const;
 
+  // The configuration this detector scans with (fleet drivers read the
+  // attached telemetry handle from here).
+  [[nodiscard]] const ScanOptions& options() const { return options_; }
+
  private:
   void scan_impl(const Application& app, const Deadline& deadline,
-                 ScanReport& report) const;
+                 ScanReport& report, telemetry::ScanTrace* trace) const;
 
   ScanOptions options_;
 };

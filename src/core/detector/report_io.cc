@@ -50,6 +50,13 @@ std::string to_json(const ScanReport& report) {
          (report.deadline_exceeded ? "true" : "false") + ", ";
   out += "\"parse_errors\": " + std::to_string(report.parse_errors) + ", ";
   out += "\"analysis_errors\": " + std::to_string(report.analysis_errors);
+  out += "}, \"diagnostics_by_phase\": {";
+  bool first_phase = true;
+  for (const auto& [phase, count] : report.diagnostics_by_phase) {
+    if (!first_phase) out += ", ";
+    first_phase = false;
+    out += strutil::quote(phase) + ": " + std::to_string(count);
+  }
   out += "}, \"errors\": [";
   for (std::size_t i = 0; i < report.errors.size(); ++i) {
     const ScanError& e = report.errors[i];
@@ -109,6 +116,14 @@ std::string to_text(const ScanReport& report) {
   if (report.analysis_errors > 0) {
     out += "warning     : " + std::to_string(report.analysis_errors) +
            " analysis diagnostic(s)\n";
+  }
+  if (!report.diagnostics_by_phase.empty()) {
+    out += "diagnostics :";
+    for (const auto& [phase, count] : report.diagnostics_by_phase) {
+      out += " " + (phase.empty() ? std::string("<unattributed>") : phase) +
+             "=" + std::to_string(count);
+    }
+    out += "\n";
   }
   if (report.solver_retries > 0) {
     out += "warning     : " + std::to_string(report.solver_retries) +

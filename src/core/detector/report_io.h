@@ -18,6 +18,7 @@ namespace uchecker::core {
 //              "solver_calls": N, "solver_retries": N,
 //              "budget_exhausted": B, "deadline_exceeded": B,
 //              "parse_errors": N, "analysis_errors": N },
+//   "diagnostics_by_phase": { "parse": N, "interp": N, ... },
 //   "errors": [ { "phase": "parse" | "locality" | "interp" | "translate" |
 //                 "solve" | "scan", "root": "...", "message": "...",
 //                 "transient": B }, ... ],
@@ -35,6 +36,10 @@ namespace uchecker::core {
 //    escalated timeouts after a retryable unknown.
 //  - "analysis_errors": diagnostics reported by post-parse phases
 //    (previously folded into nothing; "parse_errors" remains parse-only).
+//  - "diagnostics_by_phase": error-severity diagnostic counts keyed by
+//    the pipeline phase that reported them (the same phase vocabulary as
+//    "errors[].phase", so diagnostic and ScanError provenance agree).
+//    Diagnostics reported outside any phase group under "".
 [[nodiscard]] std::string to_json(const ScanReport& report);
 
 // Multi-line human-readable rendering (what scan_directory prints).

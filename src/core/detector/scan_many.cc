@@ -2,6 +2,10 @@
 
 #include <thread>
 
+#include "core/detector/report_io.h"
+#include "support/strutil.h"
+#include "support/telemetry.h"
+
 namespace uchecker::core {
 namespace {
 
@@ -50,9 +54,49 @@ ScanReport scan_one(const Detector& detector, const Application& app,
 
     if (report.only_transient_errors() && attempt < options.max_retries &&
         !fleet_cancelled(options)) {
+      if (telemetry::Telemetry* t = detector.options().telemetry) {
+        t->metrics().counter("fleet.app_retries").add(1);
+      }
       continue;
     }
+
+    // Structured per-app progress: one JSON object per completed scan,
+    // delivered through the telemetry event sink (fleet drivers and
+    // scan_directory -v attach a sink that prints these).
+    if (telemetry::Telemetry* t = detector.options().telemetry) {
+      std::string line = "{\"event\": \"app_done\", \"app\": " +
+                         strutil::quote(report.app_name) +
+                         ", \"verdict\": \"" +
+                         std::string(verdict_slug(report.verdict)) +
+                         "\", \"seconds\": " + std::to_string(report.seconds) +
+                         ", \"errors\": " + std::to_string(report.errors.size()) +
+                         ", \"attempts\": " + std::to_string(attempt + 1) + "}";
+      t->emit_progress(line);
+    }
     return report;
+  }
+}
+
+// Folds one fleet's reports into the shared metrics registry: verdict
+// and degradation counts (by ScanError::phase), solver totals, and the
+// per-app wall-time histogram. Phase latency percentiles come from the
+// traces themselves (Telemetry::fleet_phase_stats) at export time.
+void aggregate_fleet_metrics(telemetry::Telemetry& telemetry,
+                             const std::vector<ScanReport>& reports) {
+  telemetry::MetricsRegistry& m = telemetry.metrics();
+  m.counter("fleet.apps").add(reports.size());
+  for (const ScanReport& r : reports) {
+    m.counter("fleet.verdict." + std::string(verdict_slug(r.verdict))).add(1);
+    if (r.degraded()) m.counter("fleet.degraded").add(1);
+    for (const ScanError& e : r.errors) {
+      m.counter("fleet.degraded_phase." + e.phase).add(1);
+    }
+    if (r.deadline_exceeded) m.counter("fleet.deadline_exceeded").add(1);
+    if (r.budget_exhausted) m.counter("fleet.budget_exhausted").add(1);
+    m.counter("fleet.solver_calls").add(r.solver_calls);
+    m.counter("fleet.solver_retries").add(r.solver_retries);
+    m.counter("fleet.findings").add(r.findings.size());
+    m.histogram("fleet.app_seconds_ms").observe(r.seconds * 1000.0);
   }
 }
 
@@ -81,24 +125,27 @@ std::vector<ScanReport> scan_many(const Detector& detector,
     for (std::size_t i = 0; i < apps.size(); ++i) {
       reports[i] = scan_one(detector, apps[i], options);
     }
-    return reports;
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= apps.size()) return;
+          // scan_one never throws, so nothing can cross this noexcept
+          // thread boundary and call std::terminate.
+          reports[i] = scan_one(detector, apps[i], options);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
   }
 
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= apps.size()) return;
-        // scan_one never throws, so nothing can cross this noexcept
-        // thread boundary and call std::terminate.
-        reports[i] = scan_one(detector, apps[i], options);
-      }
-    });
+  if (telemetry::Telemetry* t = detector.options().telemetry) {
+    aggregate_fleet_metrics(*t, reports);
   }
-  for (std::thread& w : workers) w.join();
   return reports;
 }
 

@@ -7,6 +7,7 @@
 #include "phpast/visitor.h"
 #include "support/fault_injector.h"
 #include "support/strutil.h"
+#include "support/telemetry.h"
 
 namespace uchecker::core {
 
@@ -121,14 +122,32 @@ void Interpreter::check_budget() {
   if (envs_.size() > budget_.max_paths ||
       graph_.object_count() > budget_.max_objects) {
     aborted_ = true;
+    if (!stats_.budget_exhausted && budget_.trace != nullptr) {
+      budget_.trace->record_event(
+          "budget_exhausted", std::to_string(envs_.size()) + " paths, " +
+                                  std::to_string(graph_.object_count()) +
+                                  " objects");
+    }
     stats_.budget_exhausted = true;
   }
   // Wall-clock deadline, polled on a stride so the steady_clock read
   // stays off the per-statement fast path. 16 keeps worst-case overshoot
   // small (a handful of statements), which matters for tight deadlines.
-  if ((deadline_poll_++ & 0xF) == 0 && budget_.deadline.expired()) {
-    aborted_ = true;
-    stats_.deadline_exceeded = true;
+  // Telemetry progress samples share the stride (and its decimation in
+  // ScanTrace), so an attached trace adds no extra clock reads to the
+  // fast path and an unattached one costs a single null test.
+  if ((deadline_poll_++ & 0xF) == 0) {
+    if (budget_.deadline.expired()) {
+      aborted_ = true;
+      if (!stats_.deadline_exceeded && budget_.trace != nullptr) {
+        budget_.trace->record_event("deadline_exceeded");
+      }
+      stats_.deadline_exceeded = true;
+    }
+    if (budget_.trace != nullptr) {
+      budget_.trace->sample_progress(envs_.size(), graph_.object_count(),
+                                     graph_.memory_bytes());
+    }
   }
 }
 

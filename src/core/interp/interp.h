@@ -34,6 +34,10 @@
 #include "support/deadline.h"
 #include "support/diag.h"
 
+namespace uchecker::telemetry {
+class ScanTrace;
+}  // namespace uchecker::telemetry
+
 namespace uchecker::core {
 
 // Resource limits. Exhaustion is reported, never fatal: the detector
@@ -58,6 +62,12 @@ struct Budget {
   // by the detector (from time_limit and any fleet-level deadline);
   // user code configures time_limit instead.
   Deadline deadline;
+  // Per-scan telemetry trace, set by the detector when a Telemetry is
+  // attached to ScanOptions. When non-null, the interpreter samples
+  // progress (live paths, heap-graph objects, bytes) next to the
+  // deadline poll and records budget/deadline exhaustion events. Null
+  // (the default) costs one pointer test per poll.
+  telemetry::ScanTrace* trace = nullptr;
 };
 
 // One reachable invocation of a file-upload sink, with everything the

@@ -7,6 +7,7 @@
 #include "core/heapgraph/sexpr.h"
 #include "core/interp/builtins.h"
 #include "core/translate/translate.h"
+#include "support/telemetry.h"
 
 namespace uchecker::core {
 namespace {
@@ -145,8 +146,13 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
       continue;
     }
 
-    Translator trl(checker, interp.graph);
+    // Translation gets its own phase span (per sink) so the fleet's
+    // per-phase breakdown separates term construction from Z3 search.
     std::vector<z3::expr> constraints;
+    {
+    const telemetry::SpanScope translate_span(checker.trace(), "translate",
+                                              sink.sink_name);
+    Translator trl(checker, interp.graph);
     try {
     // Domain axioms for the pre-structured $_FILES model: a PHP file
     // extension (everything after the *last* dot) contains neither a dot
@@ -201,6 +207,7 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
       verdict.witness = std::string("translation error: ") + e.msg();
       result.verdicts.push_back(std::move(verdict));
       continue;
+    }
     }
 
     const smt::SolverOutcome outcome = checker.check(constraints);

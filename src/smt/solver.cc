@@ -1,8 +1,10 @@
 #include "smt/solver.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "support/fault_injector.h"
+#include "support/telemetry.h"
 
 namespace uchecker::smt {
 namespace {
@@ -46,6 +48,10 @@ SolverOutcome Checker::check(const std::vector<z3::expr>& constraints) {
   // Pipeline-level fault point: deliberately *outside* the containment
   // below, so tests can prove the detector's own per-root recovery path.
   FaultInjector::checkpoint("solve");
+
+  const telemetry::SpanScope span(trace_, "solve");
+  const auto solve_start = std::chrono::steady_clock::now();
+  const std::uint64_t retries_before = retry_count_;
 
   SolverOutcome outcome;
   unsigned timeout = std::max(1u, timeout_ms_);
@@ -125,6 +131,33 @@ SolverOutcome Checker::check(const std::vector<z3::expr>& constraints) {
     if (attempt < max_retries_) {
       ++retry_count_;
       timeout = std::min(timeout * 2, kTimeoutEscalationCap);
+    }
+  }
+
+  if (telemetry_ != nullptr || trace_ != nullptr) {
+    const auto dur_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - solve_start)
+            .count());
+    const auto escalations =
+        static_cast<unsigned>(retry_count_ - retries_before);
+    if (trace_ != nullptr) {
+      trace_->record_solver_call(dur_us, outcome.attempts, escalations,
+                                 outcome.deadline_exceeded,
+                                 sat_result_name(outcome.result));
+    }
+    if (telemetry_ != nullptr) {
+      telemetry::MetricsRegistry& m = telemetry_->metrics();
+      m.counter("solver.checks").add(1);
+      m.counter(std::string("solver.") +
+                std::string(sat_result_name(outcome.result)))
+          .add(1);
+      if (escalations > 0) m.counter("solver.retries").add(escalations);
+      if (outcome.deadline_exceeded) {
+        m.counter("solver.deadline_exceeded").add(1);
+      }
+      m.histogram("solver.latency_ms")
+          .observe(static_cast<double>(dur_us) / 1000.0);
     }
   }
   return outcome;

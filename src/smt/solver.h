@@ -24,6 +24,11 @@
 
 #include "support/deadline.h"
 
+namespace uchecker::telemetry {
+class ScanTrace;
+class Telemetry;
+}  // namespace uchecker::telemetry
+
 namespace uchecker::smt {
 
 enum class SatResult : std::uint8_t { kSat, kUnsat, kUnknown };
@@ -73,6 +78,18 @@ class Checker {
   void set_deadline(Deadline deadline) { deadline_ = std::move(deadline); }
   [[nodiscard]] const Deadline& deadline() const { return deadline_; }
 
+  // Attaches telemetry (both optional, default detached). With a trace,
+  // every check() records a "solve" span plus a latency sample carrying
+  // attempt count and timeout escalations; with a Telemetry, solver
+  // counters (checks, sat/unsat/unknown, retries) and the
+  // "solver.latency_ms" histogram are updated.
+  void set_telemetry(telemetry::Telemetry* telemetry,
+                     telemetry::ScanTrace* trace) {
+    telemetry_ = telemetry;
+    trace_ = trace;
+  }
+  [[nodiscard]] telemetry::ScanTrace* trace() const { return trace_; }
+
   // Checks the conjunction of `constraints`. Any z3::exception is caught
   // and converted into an outcome with result == kUnknown.
   [[nodiscard]] SolverOutcome check(const std::vector<z3::expr>& constraints);
@@ -91,6 +108,8 @@ class Checker {
   unsigned timeout_ms_;
   unsigned max_retries_;
   Deadline deadline_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::ScanTrace* trace_ = nullptr;
   std::uint64_t check_count_ = 0;
   std::uint64_t retry_count_ = 0;
 };

@@ -14,6 +14,15 @@ const char* severity_name(Severity s) {
 
 }  // namespace
 
+std::map<std::string, std::size_t> DiagnosticSink::error_counts_by_phase()
+    const {
+  std::map<std::string, std::size_t> counts;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kError) ++counts[d.phase];
+  }
+  return counts;
+}
+
 std::string DiagnosticSink::render(const SourceManager& sm) const {
   std::string out;
   for (const Diagnostic& d : diags_) {
@@ -21,6 +30,11 @@ std::string DiagnosticSink::render(const SourceManager& sm) const {
     out += ": ";
     out += severity_name(d.severity);
     out += ": ";
+    if (!d.phase.empty()) {
+      out += '[';
+      out += d.phase;
+      out += "] ";
+    }
     out += d.message;
     out += '\n';
   }

@@ -3,6 +3,7 @@
 // (never as exceptions crossing module boundaries).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,14 +17,24 @@ struct Diagnostic {
   Severity severity = Severity::kError;
   SourceLoc loc;
   std::string message;
+  // Pipeline phase the diagnostic was reported from ("parse", "interp",
+  // ...; same vocabulary as ScanError::phase). Defaulted so existing
+  // aggregate initializers stay source-compatible; stamped by the sink
+  // from its current phase context.
+  std::string phase;
 };
 
 // Collects diagnostics for one pipeline run. Cheap to pass by reference
 // through the phases; the detector inspects it at the end.
+//
+// Phase provenance: the detector calls set_phase() as the pipeline moves
+// from parsing to analysis, and every diagnostic reported while a phase
+// is active is stamped with it — so diagnostics and ScanError agree on
+// which phase an error belongs to.
 class DiagnosticSink {
  public:
   void report(Severity severity, SourceLoc loc, std::string message) {
-    diags_.push_back(Diagnostic{severity, loc, std::move(message)});
+    diags_.push_back(Diagnostic{severity, loc, std::move(message), phase_});
     if (severity == Severity::kError) ++error_count_;
   }
 
@@ -37,11 +48,20 @@ class DiagnosticSink {
     report(Severity::kNote, loc, std::move(message));
   }
 
+  // Sets the phase stamped onto subsequently reported diagnostics
+  // (empty = unattributed).
+  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  [[nodiscard]] const std::string& phase() const { return phase_; }
+
   [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
   [[nodiscard]] std::size_t error_count() const { return error_count_; }
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diags_;
   }
+
+  // Error-severity diagnostic counts grouped by phase, in phase-name
+  // order. Unattributed diagnostics group under "".
+  [[nodiscard]] std::map<std::string, std::size_t> error_counts_by_phase() const;
 
   // Renders all diagnostics using the manager for location names.
   [[nodiscard]] std::string render(const SourceManager& sm) const;
@@ -49,6 +69,7 @@ class DiagnosticSink {
  private:
   std::vector<Diagnostic> diags_;
   std::size_t error_count_ = 0;
+  std::string phase_;
 };
 
 }  // namespace uchecker

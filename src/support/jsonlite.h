@@ -1,0 +1,14 @@
+// Minimal dependency-free JSON validator (RFC 8259 grammar, UTF-8 not
+// verified). Used by tests and CI to assert that emitted trace/metrics/
+// report JSON parses, without pulling in a JSON library.
+#pragma once
+
+#include <string_view>
+
+namespace uchecker::jsonlite {
+
+// True iff `text` is exactly one valid JSON value (surrounding
+// whitespace allowed). Nesting deeper than 256 levels is rejected.
+[[nodiscard]] bool valid(std::string_view text);
+
+}  // namespace uchecker::jsonlite

@@ -1,0 +1,136 @@
+#include "support/trace_export.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/strutil.h"
+
+namespace uchecker::telemetry {
+namespace {
+
+std::string num(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+// One trace-event object. `extra` is appended verbatim after the common
+// fields (leading ", " included by the caller when non-empty).
+void append_event(std::string& out, bool& first, std::string_view name,
+                  std::string_view cat, char ph, std::uint64_t ts,
+                  std::uint32_t tid, const std::string& extra) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "  {\"name\": " + strutil::quote(name) + ", \"cat\": " +
+         strutil::quote(cat) + ", \"ph\": \"" + ph + "\", \"ts\": " +
+         std::to_string(ts) + ", \"pid\": 1, \"tid\": " + std::to_string(tid);
+  out += extra;
+  out += "}";
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Telemetry& telemetry,
+                                 const ChromeTraceOptions& options) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const ScanTrace* trace : telemetry.traces()) {
+    const std::uint32_t tid = trace->tid();
+    // Thread name metadata so Perfetto labels each scan's track.
+    append_event(out, first, "thread_name", "__metadata", 'M', 0, tid,
+                 ", \"args\": {\"name\": " + strutil::quote(trace->name()) +
+                     "}");
+    for (const Span& span : trace->spans()) {
+      const std::uint64_t ts = options.zero_times ? 0 : span.start_us;
+      const std::uint64_t dur = options.zero_times ? 0 : span.dur_us;
+      std::string extra = ", \"dur\": " + std::to_string(dur);
+      extra += ", \"args\": {\"detail\": " + strutil::quote(span.detail);
+      if (span.open) extra += ", \"open\": true";
+      extra += "}";
+      append_event(out, first, span.name, "phase", 'X', ts, tid, extra);
+    }
+    for (const ProgressSample& p : trace->progress()) {
+      const std::uint64_t ts = options.zero_times ? 0 : p.t_us;
+      const std::string extra =
+          ", \"args\": {\"live_paths\": " + std::to_string(p.live_paths) +
+          ", \"objects\": " + std::to_string(p.objects) +
+          ", \"heap_bytes\": " + std::to_string(p.heap_bytes) + "}";
+      append_event(out, first, "interp.progress", "sample", 'C', ts, tid,
+                   extra);
+    }
+    for (const SolverCallSample& s : trace->solver_calls()) {
+      const std::uint64_t ts = options.zero_times ? 0 : s.t_us;
+      const std::uint64_t dur = options.zero_times ? 0 : s.dur_us;
+      std::string extra = ", \"dur\": " + std::to_string(dur);
+      extra += ", \"args\": {\"attempts\": " + std::to_string(s.attempts) +
+               ", \"escalations\": " + std::to_string(s.escalations) +
+               ", \"deadline_exceeded\": " +
+               (s.deadline_exceeded ? "true" : "false") +
+               ", \"result\": " + strutil::quote(s.result) + "}";
+      append_event(out, first, "solver.check", "solver", 'X', ts, tid, extra);
+    }
+    for (const TraceEvent& e : trace->events()) {
+      const std::uint64_t ts = options.zero_times ? 0 : e.t_us;
+      const std::string extra =
+          ", \"s\": \"t\", \"args\": {\"detail\": " + strutil::quote(e.detail) +
+          "}";
+      append_event(out, first, e.name, "event", 'i', ts, tid, extra);
+    }
+  }
+  out += "\n]}";
+  return out;
+}
+
+std::string metrics_to_json(const Telemetry& telemetry) {
+  const MetricsRegistry& m = telemetry.metrics();
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : m.counters()) {
+    if (!first) out += ", ";
+    first = false;
+    out += strutil::quote(name) + ": " + std::to_string(value);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : m.gauges()) {
+    if (!first) out += ", ";
+    first = false;
+    out += strutil::quote(name) + ": " + num(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : m.histograms()) {
+    if (!first) out += ", ";
+    first = false;
+    out += strutil::quote(name) + ": {\"count\": " +
+           std::to_string(hist->count()) + ", \"sum\": " + num(hist->sum()) +
+           ", \"min\": " + num(hist->min()) + ", \"max\": " + num(hist->max()) +
+           ", \"buckets\": [";
+    const std::vector<double>& bounds = hist->bounds();
+    const std::vector<std::uint64_t> counts = hist->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < bounds.size() ? num(bounds[i]) : std::string("\"inf\"");
+      out += ", \"count\": " + std::to_string(counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += "}, \"phases\": [";
+  first = true;
+  for (const PhaseStats& s : telemetry.fleet_phase_stats()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"phase\": " + strutil::quote(s.phase) +
+           ", \"count\": " + std::to_string(s.count) +
+           ", \"total_ms\": " + num(s.total_ms) +
+           ", \"p50_ms\": " + num(s.p50_ms) + ", \"p95_ms\": " + num(s.p95_ms) +
+           ", \"p99_ms\": " + num(s.p99_ms) + ", \"max_ms\": " + num(s.max_ms) +
+           "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace uchecker::telemetry

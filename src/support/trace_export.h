@@ -1,0 +1,43 @@
+// Export of telemetry data:
+//
+//  - to_chrome_trace_json: the span trees, progress samples, solver-call
+//    latencies and deadline/budget events of every trace, as Chrome
+//    trace-event JSON (the "JSON Array Format" with a traceEvents
+//    wrapper object) — loadable in Perfetto / chrome://tracing. Each
+//    scan's trace renders as one thread (tid); spans become complete
+//    ("X") events, progress samples counter ("C") events, and
+//    deadline/budget events instant ("i") events.
+//  - metrics_to_json: the metrics registry (counters, gauges,
+//    histograms) plus the fleet per-phase latency aggregation
+//    (p50/p95/p99 wall time per phase) as one JSON object.
+//
+// Export after the scans writing the traces have completed; see
+// Telemetry::traces().
+#pragma once
+
+#include <string>
+
+#include "support/telemetry.h"
+
+namespace uchecker::telemetry {
+
+struct ChromeTraceOptions {
+  // Zero all timestamps and durations. The output is then deterministic
+  // for a given span tree, which is what the golden-format test pins.
+  bool zero_times = false;
+};
+
+[[nodiscard]] std::string to_chrome_trace_json(
+    const Telemetry& telemetry, const ChromeTraceOptions& options = {});
+
+// {
+//   "counters": { "name": N, ... },
+//   "gauges": { "name": X, ... },
+//   "histograms": { "name": { "count": N, "sum": X, "min": X, "max": X,
+//                             "buckets": [ { "le": X|"inf", "count": N } ] } },
+//   "phases": [ { "phase": "...", "count": N, "total_ms": X,
+//                 "p50_ms": X, "p95_ms": X, "p99_ms": X, "max_ms": X } ]
+// }
+[[nodiscard]] std::string metrics_to_json(const Telemetry& telemetry);
+
+}  // namespace uchecker::telemetry

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/detector/report_io.h"
+
 namespace uchecker::core {
 namespace {
 
@@ -351,6 +355,39 @@ function do_upload() {
 )php"});
   const ScanReport report = Detector().scan(app);
   EXPECT_EQ(report.verdict, Verdict::kVulnerable);
+}
+
+// --- zero-denominator regressions -----------------------------------------
+// Stats ratios must stay finite (0.0, not NaN/inf) when an app produces
+// zero LoC or zero execution paths; a NaN here would also poison the
+// JSON report with a bare "nan" token.
+
+TEST(Detector, ZeroLocAppHasFiniteStats) {
+  Application app;
+  app.name = "empty";
+  app.files.push_back(AppFile{"empty.php", ""});
+  app.files.push_back(AppFile{"blank.php", "\n\n\n"});
+  const ScanReport report = Detector().scan(app);
+  EXPECT_EQ(report.total_loc, 0u);
+  EXPECT_EQ(report.paths, 0u);
+  EXPECT_DOUBLE_EQ(report.analyzed_percent, 0.0);
+  EXPECT_DOUBLE_EQ(report.objects_per_path, 0.0);
+  EXPECT_TRUE(std::isfinite(report.analyzed_percent));
+  EXPECT_TRUE(std::isfinite(report.objects_per_path));
+}
+
+TEST(Detector, ZeroPathsReportSerializesWithoutNan) {
+  Application app;
+  app.name = "no-roots";
+  // No $_FILES access and no sink: locality finds zero roots, so zero
+  // paths and zero analyzed LoC flow into the ratio denominators.
+  app.files.push_back(AppFile{"lib.php", "<?php\n$x = 1;\necho $x;\n"});
+  const ScanReport report = Detector().scan(app);
+  EXPECT_EQ(report.paths, 0u);
+  EXPECT_DOUBLE_EQ(report.objects_per_path, 0.0);
+  const std::string json = to_json(report);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
 }
 
 TEST(Detector, ParseErrorsSurvivable) {

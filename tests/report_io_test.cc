@@ -160,6 +160,28 @@ TEST(ReportJson, DegradedReportStaysBalanced) {
   EXPECT_FALSE(in_string);
 }
 
+TEST(ReportJson, DiagnosticsByPhase) {
+  ScanReport r = degraded_report();
+  r.diagnostics_by_phase = {{"parse", 3}, {"interp", 1}, {"", 2}};
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"diagnostics_by_phase\": {\"\": 2, \"interp\": 1, "
+                      "\"parse\": 3}"),
+            std::string::npos);
+}
+
+TEST(ReportJson, EmptyDiagnosticsByPhaseIsEmptyObject) {
+  const std::string json = to_json(sample_report());
+  EXPECT_NE(json.find("\"diagnostics_by_phase\": {}"), std::string::npos);
+}
+
+TEST(ReportText, DiagnosticsByPhaseShown) {
+  ScanReport r = degraded_report();
+  r.diagnostics_by_phase = {{"parse", 3}, {"", 1}};
+  const std::string text = to_text(r);
+  EXPECT_NE(text.find("diagnostics : <unattributed>=1 parse=3"),
+            std::string::npos);
+}
+
 TEST(ReportText, DegradationShown) {
   const std::string text = to_text(degraded_report());
   EXPECT_NE(text.find("verdict     : Analysis error"), std::string::npos);
