@@ -61,12 +61,36 @@ int main() {
   const int planted_total =
       static_cast<int>(std::count(planted.begin(), planted.end(), true));
 
+  // Sharing effectiveness across the whole campaign: how much symbolic
+  // state was deduplicated (cons hits) and how many sink queries the
+  // per-scan solver cache absorbed instead of Z3.
+  std::size_t total_paths = 0;
+  std::size_t total_objects = 0;
+  std::size_t total_cons_hits = 0;
+  std::size_t total_solver_calls = 0;
+  std::size_t total_cache_hits = 0;
+  for (const ScanReport& r : parallel) {
+    total_paths += r.paths;
+    total_objects += r.objects;
+    total_cons_hits += r.cons_hits;
+    total_solver_calls += r.solver_calls;
+    total_cache_hits += r.solver_cache_hits;
+  }
+
   std::printf("Fleet scan of %d generated plugins (%u hardware thread(s)):\n",
               kFleetSize, std::thread::hardware_concurrency());
   std::printf("  serial   : %.2fs (%.1f plugins/s)\n", serial_s,
               kFleetSize / serial_s);
   std::printf("  parallel : %.2fs (%.1f plugins/s)\n", parallel_s,
               kFleetSize / parallel_s);
+  std::printf("  sharing  : %zu paths, %zu objects (%.1f/path), "
+              "%zu cons hits, %zu solver calls (%zu cache hits)\n",
+              total_paths, total_objects,
+              total_paths == 0
+                  ? 0.0
+                  : static_cast<double>(total_objects) /
+                        static_cast<double>(total_paths),
+              total_cons_hits, total_solver_calls, total_cache_hits);
   std::printf("  planted vulnerable: %d, found: %d, false alarms: %d\n",
               planted_total, found, false_alarms);
   std::printf("  serial/parallel verdicts agree: %s\n",

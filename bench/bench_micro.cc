@@ -5,6 +5,8 @@
 // phases on a representative corpus app so the cost structure is visible.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/callgraph/callgraph.h"
 #include "core/callgraph/locality.h"
 #include "core/detector/detector.h"
@@ -188,6 +190,50 @@ void BM_TaintReachability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TaintReachability)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Structural sharing: the same 250-node concat chain built four times
+// into one graph. Rounds 2-4 are answered entirely by the cons table, so
+// the graph holds one copy and cons_hits counts the deduplicated builds.
+void BM_HeapGraphConsDedup(benchmark::State& state) {
+  std::size_t hits = 0;
+  std::size_t objects = 0;
+  for (auto _ : state) {
+    HeapGraph graph;
+    for (int rep = 0; rep < 4; ++rep) {
+      Label prev = graph.add_concrete(Value(std::string("seed")), {});
+      for (int i = 0; i < 250; ++i) {
+        const Label c = graph.add_concrete(Value(std::int64_t{i}), {});
+        prev = graph.add_op(OpKind::kConcat, Type::kString, {prev, c}, {});
+      }
+      benchmark::DoNotOptimize(prev);
+    }
+    hits = graph.cons_hits();
+    objects = graph.object_count();
+  }
+  state.counters["cons_hits"] = static_cast<double>(hits);
+  state.counters["objects"] = static_cast<double>(objects);
+}
+BENCHMARK(BM_HeapGraphConsDedup);
+
+// Environment access through interned symbol IDs: the cost of the
+// get/set pairs the interpreter issues on every statement. Names are
+// interned once; steady-state lookups are integer binary searches over
+// a flat array instead of string-keyed tree walks.
+void BM_EnvVarAccess(benchmark::State& state) {
+  const auto interner = std::make_shared<VarInterner>();
+  std::vector<std::string> names;
+  for (int i = 0; i < 64; ++i) names.push_back("$var_" + std::to_string(i));
+  Env env;
+  env.bind_interner(interner);
+  for (auto _ : state) {
+    for (const std::string& name : names) {
+      env.set(interner->intern(name), Label{1});
+      benchmark::DoNotOptimize(env.get(interner->intern(name)));
+    }
+  }
+  state.counters["vars"] = static_cast<double>(interner->size());
+}
+BENCHMARK(BM_EnvVarAccess);
 
 }  // namespace
 

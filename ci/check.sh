@@ -10,6 +10,10 @@
 #      must stay within OVERHEAD_TOLERANCE of the recorded baseline
 #      (baseline is machine-local: recorded in the build dir on the
 #      first run, compared on later runs)
+#   5. perf baseline gate: BENCH_PR3.json must be valid (structure +
+#      required keys), and a fresh bench_fleet serial sweep must stay
+#      within 10% of the committed wall time. Wall time is machine-
+#      dependent, so a miss is a warning unless BENCH_STRICT=1.
 #
 #   $ ci/check.sh            # everything
 #   $ SKIP_SANITIZE=1 ci/check.sh
@@ -20,19 +24,19 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
 
-echo "== [1/4] build + tier-1 tests =="
+echo "== [1/5] build + tier-1 tests =="
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== [2/4] sanitizers =="
+echo "== [2/5] sanitizers =="
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "skipped (SKIP_SANITIZE=1)"
 else
   ci/sanitize.sh
 fi
 
-echo "== [3/4] telemetry smoke: trace + metrics JSON =="
+echo "== [3/5] telemetry smoke: trace + metrics JSON =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/upload.php" <<'PHP'
@@ -68,7 +72,7 @@ else
   echo "python3 not found; JSON structure check skipped"
 fi
 
-echo "== [4/4] telemetry overhead gate =="
+echo "== [4/5] telemetry overhead gate =="
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (SKIP_BENCH=1)"
 elif ! command -v python3 >/dev/null; then
@@ -110,6 +114,61 @@ if ratio > tolerance:
     sys.exit(f"FAIL: no-op telemetry overhead regression >"
              f"{(tolerance - 1) * 100:.0f}%")
 PY
+  fi
+fi
+
+echo "== [5/5] perf baseline gate (BENCH_PR3.json) =="
+if ! command -v python3 >/dev/null; then
+  echo "python3 not found; perf baseline gate skipped"
+else
+  # Structure check is always fatal: a malformed committed baseline is a
+  # repo bug, not a machine difference.
+  python3 - BENCH_PR3.json <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("fleet", "micro", "table3", "ci_gate"):
+    assert key in bench, f"BENCH_PR3.json missing section: {key}"
+for phase in ("pre", "post", "delta"):
+    assert phase in bench["fleet"], f"fleet section missing: {phase}"
+    assert phase in bench["micro"], f"micro section missing: {phase}"
+post = bench["fleet"]["post"]
+for key in ("serial_s", "parallel_s", "cons_hits", "solver_cache_hits"):
+    assert key in post, f"fleet.post missing: {key}"
+gate = bench["ci_gate"]
+assert float(gate["fleet_serial_s_committed"]) > 0, "bad committed wall time"
+assert 0 < float(gate["regression_tolerance"]) < 1, "bad tolerance"
+print(f"BENCH_PR3.json OK (committed serial sweep: "
+      f"{gate['fleet_serial_s_committed']}s)")
+PY
+  if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
+    echo "fleet regression check skipped (SKIP_BENCH=1)"
+  else
+    FLEET_OUT="$SMOKE_DIR/fleet.txt"
+    "$BUILD_DIR/bench/bench_fleet" | tee "$FLEET_OUT"
+    rc=0
+    python3 - BENCH_PR3.json "$FLEET_OUT" <<'PY' || rc=$?
+import json, re, sys
+bench = json.load(open(sys.argv[1]))
+committed = float(bench["ci_gate"]["fleet_serial_s_committed"])
+tolerance = float(bench["ci_gate"]["regression_tolerance"])
+m = re.search(r"serial\s*:\s*([0-9.]+)s", open(sys.argv[2]).read())
+assert m, "could not parse serial wall time from bench_fleet output"
+current = float(m.group(1))
+ratio = current / committed
+print(f"fleet serial sweep: committed {committed:.2f}s, "
+      f"current {current:.2f}s, ratio {ratio:.2f} "
+      f"(limit {1 + tolerance:.2f})")
+if ratio > 1 + tolerance:
+    sys.exit(1)
+PY
+    if [[ "$rc" != "0" ]]; then
+      if [[ "${BENCH_STRICT:-0}" == "1" ]]; then
+        echo "FAIL: fleet wall time regressed >10% vs BENCH_PR3.json" >&2
+        exit 1
+      fi
+      echo "WARNING: fleet wall time >10% over the committed baseline" \
+           "(machine-dependent; set BENCH_STRICT=1 to make this fatal)"
+    fi
   fi
 fi
 

@@ -4,6 +4,12 @@
 # exercise memory safety. Mirrors the "asan-ubsan" CMake preset for CI
 # runners whose cmake predates presets.
 #
+# The heap-graph hash-consing/memoization paths (open-addressing cons
+# table, rekeying, taint/s-expr caches, interned environments, shared
+# solver query cache) are covered by the same suite; stack-use-after-
+# return detection stays on to catch dangling references into rehashed
+# or resized cache storage.
+#
 #   $ ci/sanitize.sh [ctest-args...]
 set -euo pipefail
 
@@ -15,6 +21,6 @@ cmake -B "$BUILD_DIR" -S . \
   -DUCHECKER_SANITIZE=ON
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 
-export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
+export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1:detect_stack_use_after_return=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)" "$@"

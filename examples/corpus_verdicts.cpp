@@ -1,0 +1,37 @@
+// corpus_verdicts: deterministic dump of every corpus scan's verdict and
+// findings (sink, location, dst/reachability s-exprs, witness), with all
+// timing- and machine-dependent stats omitted. Two builds of the scanner
+// are behaviorally equivalent on the corpus iff their dumps are
+// byte-identical — this is the regression oracle for optimizations that
+// must not change analysis results (hash-consing, caching, interning).
+//
+//   $ ./build/examples/corpus_verdicts > verdicts.txt
+#include <cstdio>
+
+#include "core/detector/detector.h"
+#include "core/detector/report_io.h"
+#include "corpus/corpus.h"
+
+using namespace uchecker::core;  // NOLINT
+
+int main() {
+  Detector detector;
+  for (const uchecker::corpus::CorpusEntry& entry :
+       uchecker::corpus::full_corpus()) {
+    const ScanReport report = detector.scan(entry.app);
+    std::printf("app: %s\n", entry.app.name.c_str());
+    std::printf("verdict: %s\n",
+                std::string(verdict_slug(report.verdict)).c_str());
+    std::printf("findings: %zu\n", report.findings.size());
+    for (const Finding& f : report.findings) {
+      std::printf("  sink: %s\n", f.sink_name.c_str());
+      std::printf("  location: %s\n", f.location.c_str());
+      std::printf("  source: %s\n", f.source_line.c_str());
+      std::printf("  dst: %s\n", f.dst_sexpr.c_str());
+      std::printf("  reach: %s\n", f.reach_sexpr.c_str());
+      std::printf("  witness: %s\n", f.witness.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -114,6 +114,12 @@ ScanReport Detector::scan(const Application& app,
     for (const ScanError& e : report.errors) {
       m.counter("scan.errors." + e.phase).add(1);
     }
+    if (report.cons_hits > 0) {
+      m.counter("graph.cons_hits").add(report.cons_hits);
+    }
+    if (report.solver_cache_hits > 0) {
+      m.counter("solver.cache_hits").add(report.solver_cache_hits);
+    }
     m.histogram("scan.seconds_ms").observe(report.seconds * 1000.0);
   }
   return report;
@@ -254,6 +260,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
 
     report.paths += exec.stats.paths;
     report.objects += exec.stats.objects;
+    report.cons_hits += exec.stats.cons_hits;
     report.budget_exhausted |= exec.stats.budget_exhausted;
     report.deadline_exceeded |= exec.stats.deadline_exceeded;
     report.sink_hits += exec.sinks.size();
@@ -269,13 +276,14 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
 
     VulnModelResult vuln;
     try {
-      vuln = check_sinks(exec, checker, options_.vuln);
+      vuln = check_sinks(exec, checker, options_.vuln, &query_cache_);
     } catch (...) {
       report.errors.push_back(
           describe_current_exception("solve", root_name(root)));
       continue;
     }
     report.solver_calls += vuln.solver_calls;
+    report.solver_cache_hits += vuln.query_cache_hits;
     report.deadline_exceeded |= vuln.deadline_exceeded;
     if (vuln.vulnerable) {
       report.verdict = Verdict::kVulnerable;

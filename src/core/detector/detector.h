@@ -89,6 +89,10 @@ struct ScanReport {
   std::size_t sink_hits = 0;
   std::size_t solver_calls = 0;
   std::size_t solver_retries = 0;  // escalated re-solves of unknown outcomes
+  // Sharing/memoization effectiveness (summed over analysis roots).
+  std::size_t cons_hits = 0;          // heap-graph nodes answered by consing
+  std::size_t solver_cache_hits = 0;  // sinks answered by the per-scan
+                                      // cross-root solver query cache
   bool budget_exhausted = false;
   bool deadline_exceeded = false;  // wall-clock limit hit; report partial
   std::size_t parse_errors = 0;
@@ -155,6 +159,13 @@ class Detector {
                  ScanReport& report, telemetry::ScanTrace* trace) const;
 
   ScanOptions options_;
+  // Solver outcomes shared across every scan this detector runs (and, in
+  // parallel fleet drivers, across worker threads — the cache locks
+  // internally). Apps assembled from the same boilerplate reach
+  // byte-identical sink constraints, so a crawl pays for each distinct
+  // constraint set once. Keys pin the full constraint text, making a hit
+  // indistinguishable from a fresh solve; see SolverQueryCache.
+  mutable SolverQueryCache query_cache_;
 };
 
 }  // namespace uchecker::core

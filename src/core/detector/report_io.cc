@@ -44,6 +44,9 @@ std::string to_json(const ScanReport& report) {
   out += "\"sink_hits\": " + std::to_string(report.sink_hits) + ", ";
   out += "\"solver_calls\": " + std::to_string(report.solver_calls) + ", ";
   out += "\"solver_retries\": " + std::to_string(report.solver_retries) + ", ";
+  out += "\"cons_hits\": " + std::to_string(report.cons_hits) + ", ";
+  out += "\"solver_cache_hits\": " +
+         std::to_string(report.solver_cache_hits) + ", ";
   out += std::string("\"budget_exhausted\": ") +
          (report.budget_exhausted ? "true" : "false") + ", ";
   out += std::string("\"deadline_exceeded\": ") +

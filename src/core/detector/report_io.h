@@ -16,6 +16,7 @@ namespace uchecker::core {
 //              "paths": N, "objects": N, "objects_per_path": X,
 //              "memory_mb": X, "seconds": X, "roots": N, "sink_hits": N,
 //              "solver_calls": N, "solver_retries": N,
+//              "cons_hits": N, "solver_cache_hits": N,
 //              "budget_exhausted": B, "deadline_exceeded": B,
 //              "parse_errors": N, "analysis_errors": N },
 //   "diagnostics_by_phase": { "parse": N, "interp": N, ... },
@@ -40,6 +41,9 @@ namespace uchecker::core {
 //    the pipeline phase that reported them (the same phase vocabulary as
 //    "errors[].phase", so diagnostic and ScanError provenance agree).
 //    Diagnostics reported outside any phase group under "".
+//  - "cons_hits" / "solver_cache_hits": sharing effectiveness — heap-graph
+//    node constructions answered by hash-consing, and sinks answered by
+//    the per-scan cross-root solver query cache instead of a Z3 call.
 [[nodiscard]] std::string to_json(const ScanReport& report);
 
 // Multi-line human-readable rendering (what scan_directory prints).

@@ -1,5 +1,6 @@
 #include "core/heapgraph/heapgraph.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace uchecker::core {
@@ -84,7 +85,77 @@ Type value_type(const Value& v) {
   return std::visit(Visitor{}, v);
 }
 
-Label HeapGraph::insert(Object obj) {
+namespace {
+
+void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+std::size_t hash_value(const Value& v) {
+  struct Visitor {
+    std::size_t operator()(std::monostate) const { return 0x517cc1b7; }
+    std::size_t operator()(bool b) const { return b ? 2u : 1u; }
+    std::size_t operator()(std::int64_t i) const {
+      return std::hash<std::int64_t>{}(i);
+    }
+    std::size_t operator()(double d) const { return std::hash<double>{}(d); }
+    std::size_t operator()(const std::string& s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::size_t seed = v.index();
+  hash_combine(seed, std::visit(Visitor{}, v));
+  return seed;
+}
+
+// Slot marker for entries removed by rekey. Real labels are 1-based
+// indexes into objects_ and can never reach this value.
+constexpr Label kTombstoneSlot = 0xFFFFFFFFu;
+
+}  // namespace
+
+std::size_t HeapGraph::structural_hash(const Object& obj) {
+  // Covers every field that participates in structurally_equal; two
+  // objects the analysis could ever treat differently must hash (and
+  // compare) as distinct, or consing would merge them.
+  std::size_t seed = static_cast<std::size_t>(obj.kind);
+  hash_combine(seed, static_cast<std::size_t>(obj.type));
+  hash_combine(seed, static_cast<std::size_t>(obj.op));
+  hash_combine(seed, obj.files_tainted ? 1u : 0u);
+  hash_combine(seed, obj.loc.file.value);
+  hash_combine(seed, obj.loc.line);
+  hash_combine(seed, obj.loc.column);
+  hash_combine(seed, std::hash<std::string_view>{}(obj.name));
+  hash_combine(seed, hash_value(obj.value));
+  hash_combine(seed, obj.children.size());
+  for (const Label c : obj.children) hash_combine(seed, c);
+  hash_combine(seed, obj.entries.size());
+  for (const ArrayEntry& e : obj.entries) {
+    hash_combine(seed, std::hash<std::string_view>{}(e.key));
+    hash_combine(seed, e.int_key ? 1u : 0u);
+    hash_combine(seed, e.value);
+  }
+  return seed;
+}
+
+bool HeapGraph::structurally_equal(const Object& a, const Object& b) {
+  if (a.kind != b.kind || a.type != b.type || a.op != b.op ||
+      a.files_tainted != b.files_tainted || !(a.loc == b.loc) ||
+      a.name != b.name || a.value != b.value || a.children != b.children ||
+      a.entries.size() != b.entries.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const ArrayEntry& ea = a.entries[i];
+    const ArrayEntry& eb = b.entries[i];
+    if (ea.key != eb.key || ea.int_key != eb.int_key || ea.value != eb.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Label HeapGraph::insert(Object obj, std::size_t hash) {
   obj.label = static_cast<Label>(objects_.size() + 1);
   edge_count_ += obj.children.size();
   string_bytes_ += obj.name.size();
@@ -93,7 +164,65 @@ Label HeapGraph::insert(Object obj) {
   }
   for (const ArrayEntry& e : obj.entries) string_bytes_ += e.key.size();
   objects_.push_back(std::move(obj));
+  hashes_.push_back(hash);
   return objects_.back().label;
+}
+
+void HeapGraph::grow_table() {
+  std::vector<Label> old = std::move(slots_);
+  slots_.assign(old.empty() ? 64 : old.size() * 2, kNoLabel);
+  table_used_ = 0;
+  for (const Label l : old) {
+    if (l != kNoLabel && l != kTombstoneSlot) place(l);
+  }
+}
+
+void HeapGraph::place(Label label) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hashes_[label - 1] & mask;
+  while (slots_[i] != kNoLabel && slots_[i] != kTombstoneSlot) {
+    i = (i + 1) & mask;
+  }
+  if (slots_[i] == kNoLabel) ++table_used_;
+  slots_[i] = label;
+}
+
+Label HeapGraph::intern(Object obj) {
+  // Keep at least a quarter of the slots empty so probe chains stay
+  // short and the absence scans below always terminate.
+  if ((table_used_ + 1) * 4 >= slots_.size() * 3) grow_table();
+  const std::size_t h = structural_hash(obj);
+  const std::size_t mask = slots_.size() - 1;
+  for (std::size_t i = h & mask;; i = (i + 1) & mask) {
+    const Label slot = slots_[i];
+    if (slot == kNoLabel) break;
+    if (slot == kTombstoneSlot) continue;
+    if (hashes_[slot - 1] == h && structurally_equal(objects_[slot - 1], obj)) {
+      ++cons_hits_;
+      return slot;
+    }
+  }
+  const Label label = insert(std::move(obj), h);
+  place(label);
+  return label;
+}
+
+void HeapGraph::rekey(Label label) {
+  const std::size_t old_hash = hashes_[label - 1];
+  hashes_[label - 1] = structural_hash(objects_[label - 1]);
+  if (slots_.empty()) return;  // nothing consed yet, so nothing placed
+  if ((table_used_ + 1) * 4 >= slots_.size() * 3) grow_table();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = old_hash & mask;
+  for (;; i = (i + 1) & mask) {
+    const Label slot = slots_[i];
+    // Hitting an empty slot means the label was never placed: symbols
+    // (plain insert) stay out of the table and stay out after rekey.
+    if (slot == kNoLabel) return;
+    if (slot == label) break;
+  }
+  slots_[i] = kTombstoneSlot;
+  place(label);
 }
 
 Label HeapGraph::add_concrete(Value value, SourceLoc loc) {
@@ -102,18 +231,22 @@ Label HeapGraph::add_concrete(Value value, SourceLoc loc) {
   obj.type = value_type(value);
   obj.value = std::move(value);
   obj.loc = loc;
-  return insert(std::move(obj));
+  return intern(std::move(obj));
 }
 
 Label HeapGraph::add_symbol(std::string name, Type type, SourceLoc loc,
                             bool files_tainted) {
+  // Deliberately not consed: symbol names are unique by construction
+  // (per-variable counters) and symbols are the targets of later
+  // mark_files_tainted calls.
   Object obj;
   obj.kind = Object::Kind::kSymbol;
   obj.type = type;
   obj.name = std::move(name);
   obj.loc = loc;
   obj.files_tainted = files_tainted;
-  return insert(std::move(obj));
+  const std::size_t h = structural_hash(obj);
+  return insert(std::move(obj), h);
 }
 
 Label HeapGraph::add_func(std::string name, Type result_type,
@@ -124,7 +257,7 @@ Label HeapGraph::add_func(std::string name, Type result_type,
   obj.name = std::move(name);
   obj.children = std::move(params);
   obj.loc = loc;
-  return insert(std::move(obj));
+  return intern(std::move(obj));
 }
 
 Label HeapGraph::add_op(OpKind op, Type result_type, std::vector<Label> operands,
@@ -135,7 +268,7 @@ Label HeapGraph::add_op(OpKind op, Type result_type, std::vector<Label> operands
   obj.op = op;
   obj.children = std::move(operands);
   obj.loc = loc;
-  return insert(std::move(obj));
+  return intern(std::move(obj));
 }
 
 Label HeapGraph::add_array(std::vector<ArrayEntry> entries, SourceLoc loc,
@@ -146,7 +279,7 @@ Label HeapGraph::add_array(std::vector<ArrayEntry> entries, SourceLoc loc,
   obj.entries = std::move(entries);
   obj.loc = loc;
   obj.files_tainted = files_tainted;
-  return insert(std::move(obj));
+  return intern(std::move(obj));
 }
 
 const Object* HeapGraph::find(Label label) const {
@@ -163,32 +296,79 @@ const Object& HeapGraph::at(Label label) const {
 void HeapGraph::refine_type(Label label, Type type) {
   if (label == kNoLabel || label > objects_.size()) return;
   Object& obj = objects_[label - 1];
-  if (obj.type == Type::kUnknown) obj.type = type;
+  if (obj.type != Type::kUnknown || type == Type::kUnknown) return;
+  obj.type = type;
+  rekey(label);
 }
 
 void HeapGraph::mark_files_tainted(Label label) {
   if (label == kNoLabel || label > objects_.size()) return;
-  objects_[label - 1].files_tainted = true;
+  Object& obj = objects_[label - 1];
+  if (obj.files_tainted) return;
+  obj.files_tainted = true;
+  rekey(label);
+  // Cached "does not reach taint" answers may have just become wrong;
+  // positive answers stay valid but a full reset keeps this simple.
+  taint_memo_.clear();
 }
 
 bool HeapGraph::reaches_files_taint(Label label) const {
-  // Iterative DFS over children (and array entry values). The graph is
-  // acyclic by construction (children always have smaller labels), so no
-  // visited set is required for termination, but we keep one to bound
-  // work on heavily shared DAGs.
-  std::vector<Label> stack{label};
-  std::vector<bool> visited(objects_.size() + 1, false);
-  while (!stack.empty()) {
-    const Label l = stack.back();
-    stack.pop_back();
-    const Object* obj = find(l);
-    if (obj == nullptr || visited[l]) continue;
-    visited[l] = true;
-    if (obj->files_tainted) return true;
-    for (Label child : obj->children) stack.push_back(child);
-    for (const ArrayEntry& e : obj->entries) stack.push_back(e.value);
+  const Object* root = find(label);
+  if (root == nullptr) return false;
+  if (taint_memo_.size() <= objects_.size()) {
+    taint_memo_.resize(objects_.size() + 1, 0);
   }
-  return false;
+  if (taint_memo_[label] != 0) return taint_memo_[label] == 2;
+
+  // Iterative post-order DFS; children always carry smaller labels (they
+  // must exist before their parent is inserted), so the graph is acyclic
+  // and every finalized node's answer can be memoized for later queries.
+  struct Frame {
+    Label l;
+    std::size_t next = 0;  // cursor over children ++ entry values
+    bool reached = false;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({label});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const Object& obj = objects_[f.l - 1];
+    if (f.next == 0 && obj.files_tainted) f.reached = true;
+    const std::size_t n_children = obj.children.size();
+    const std::size_t n_total = n_children + obj.entries.size();
+    bool descended = false;
+    while (!f.reached && f.next < n_total) {
+      const std::size_t i = f.next++;
+      const Label c = i < n_children ? obj.children[i]
+                                     : obj.entries[i - n_children].value;
+      if (c == kNoLabel || c > objects_.size()) continue;
+      const std::uint8_t memo = taint_memo_[c];
+      if (memo == 2) {
+        f.reached = true;
+      } else if (memo == 0) {
+        stack.push_back({c});
+        descended = true;
+        break;
+      }  // memo == 1: known clean, skip
+    }
+    if (descended) continue;
+    taint_memo_[f.l] = f.reached ? 2 : 1;
+    const bool reached = f.reached;
+    stack.pop_back();
+    if (reached && !stack.empty()) stack.back().reached = true;
+  }
+  return taint_memo_[label] == 2;
+}
+
+const std::string* HeapGraph::cached_sexpr(Label label) const {
+  auto it = sexpr_cache_.find(label);
+  if (it == sexpr_cache_.end()) return nullptr;
+  ++sexpr_cache_hits_;
+  return &it->second;
+}
+
+void HeapGraph::cache_sexpr(Label label, std::string rendered) const {
+  sexpr_cache_.emplace(label, std::move(rendered));
 }
 
 std::size_t HeapGraph::memory_bytes() const {
@@ -196,11 +376,97 @@ std::size_t HeapGraph::memory_bytes() const {
          string_bytes_;
 }
 
-std::size_t Env::memory_bytes() const {
-  std::size_t bytes = sizeof(Env);
-  for (const auto& [name, label] : map_) {
-    bytes += name.size() + sizeof(label) + 48;  // rb-tree node overhead
+// ---------------------------------------------------------------------------
+// VarInterner
+
+VarId VarInterner::intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  names_.emplace_back(name);
+  const VarId id = static_cast<VarId>(names_.size());
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+VarId VarInterner::lookup(std::string_view name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kNoVar : it->second;
+}
+
+const std::string& VarInterner::name(VarId id) const {
+  assert(id != kNoVar && id <= names_.size() && "invalid VarId");
+  return names_[id - 1];
+}
+
+// ---------------------------------------------------------------------------
+// Env
+
+namespace {
+
+template <typename Vec>
+auto entry_pos(Vec& map, VarId id) {
+  return std::lower_bound(
+      map.begin(), map.end(), id,
+      [](const Env::VarEntry& e, VarId v) { return e.first < v; });
+}
+
+}  // namespace
+
+Label Env::get(VarId id) const {
+  auto it = entry_pos(map_, id);
+  return (it != map_.end() && it->first == id) ? it->second : kNoLabel;
+}
+
+void Env::set(VarId id, Label label) {
+  auto it = entry_pos(map_, id);
+  if (it != map_.end() && it->first == id) {
+    it->second = label;
+    return;
   }
+  map_.insert(it, {id, label});
+}
+
+void Env::erase(VarId id) {
+  auto it = entry_pos(map_, id);
+  if (it != map_.end() && it->first == id) map_.erase(it);
+}
+
+void Env::set_entries(std::vector<VarEntry> entries) {
+  map_ = std::move(entries);
+}
+
+VarInterner& Env::own_interner() {
+  if (!interner_) interner_ = std::make_shared<VarInterner>();
+  return *interner_;
+}
+
+Label Env::get_map(const std::string& var) const {
+  if (!interner_) return kNoLabel;
+  const VarId id = interner_->lookup(var);
+  return id == kNoVar ? kNoLabel : get(id);
+}
+
+void Env::add_map(const std::string& var, Label label) {
+  set(own_interner().intern(var), label);
+}
+
+void Env::remove_map(const std::string& var) {
+  if (!interner_) return;
+  const VarId id = interner_->lookup(var);
+  if (id != kNoVar) erase(id);
+}
+
+std::map<std::string, Label> Env::map() const {
+  std::map<std::string, Label> out;
+  if (!interner_) return out;
+  for (const auto& [id, label] : map_) out.emplace(interner_->name(id), label);
+  return out;
+}
+
+std::size_t Env::memory_bytes() const {
+  std::size_t bytes = sizeof(Env) + map_.capacity() * sizeof(VarEntry) +
+                      stack_.capacity() * sizeof(Label);
+  for (const auto& frame : frames_) bytes += frame.capacity() * sizeof(VarEntry);
   return bytes;
 }
 

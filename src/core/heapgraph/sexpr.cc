@@ -63,8 +63,16 @@ void render(const HeapGraph& graph, Label label, std::string& out, int depth) {
 }  // namespace
 
 std::string to_sexpr(const HeapGraph& graph, Label label) {
+  // Memoized per graph, keyed by the queried root label only. Rendered
+  // forms never go stale: object structure, names, and values are
+  // immutable after insertion, and the two monotone mutators
+  // (refine_type / mark_files_tainted) touch fields render() ignores.
+  // Subterm results are deliberately not reused across queries so the
+  // depth-guard truncation ("...") behaves exactly as before.
+  if (const std::string* cached = graph.cached_sexpr(label)) return *cached;
   std::string out;
   render(graph, label, out, 0);
+  graph.cache_sexpr(label, out);
   return out;
 }
 

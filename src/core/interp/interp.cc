@@ -230,8 +230,10 @@ void Interpreter::discard_results(std::size_t count) {
 InterpResult Interpreter::run(const AnalysisRoot& root) {
   FaultInjector::checkpoint("interp");
   graph_ = HeapGraph();
+  interner_ = std::make_shared<VarInterner>();
   envs_.clear();
   envs_.emplace_back();
+  envs_.back().bind_interner(interner_);
   sinks_.clear();
   stats_ = InterpStats{};
   aborted_ = false;
@@ -246,23 +248,25 @@ InterpResult Interpreter::run(const AnalysisRoot& root) {
         root.binding_call->args.size() <= fn.params.size() + 4) {
       const auto& args = root.binding_call->args;
       for (std::size_t i = 0; i < fn.params.size(); ++i) {
+        const VarId pid = vid(fn.params[i].name);
         if (i < args.size()) {
           eval_expr(*args[i]);
           for (Env& env : envs_) {
             if (!env.running()) continue;
-            env.add_map(fn.params[i].name, pop(env));
+            env.set(pid, pop(env));
           }
         } else {
           const Label sym = fresh_symbol("param_" + fn.params[i].name,
                                          Type::kUnknown, fn.loc());
-          for (Env& env : envs_) env.add_map(fn.params[i].name, sym);
+          for (Env& env : envs_) env.set(pid, sym);
         }
       }
     } else {
       for (const phpast::Param& p : fn.params) {
+        const VarId pid = vid(p.name);
         const Label sym =
             fresh_symbol("param_" + p.name, Type::kUnknown, fn.loc());
-        for (Env& env : envs_) env.add_map(p.name, sym);
+        for (Env& env : envs_) env.set(pid, sym);
       }
     }
     exec_stmts(fn.body);
@@ -272,6 +276,7 @@ InterpResult Interpreter::run(const AnalysisRoot& root) {
 
   stats_.paths = envs_.size();
   stats_.objects = graph_.object_count();
+  stats_.cons_hits = graph_.cons_hits();
   stats_.peak_paths = std::max(stats_.peak_paths, envs_.size());
   for (const Env& env : envs_) stats_.env_bytes += env.memory_bytes();
 
@@ -370,24 +375,26 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
               fresh_symbol("global_" + name, Type::kUnknown, stmt.loc());
           it = globals_.emplace(name, sym).first;
         }
+        const VarId id = vid(name);
         for (Env& env : envs_) {
-          if (env.running()) env.add_map(name, it->second);
+          if (env.running()) env.set(id, it->second);
         }
       }
       break;
     }
     case NodeKind::kStaticVarStmt: {
       const auto& s = static_cast<const phpast::StaticVarStmt&>(stmt);
+      const VarId id = vid(s.name);
       if (s.init != nullptr) {
         eval_expr(*s.init);
         for (Env& env : envs_) {
-          if (env.running()) env.add_map(s.name, pop(env));
+          if (env.running()) env.set(id, pop(env));
         }
       } else {
         const Label sym =
             fresh_symbol("static_" + s.name, Type::kUnknown, stmt.loc());
         for (Env& env : envs_) {
-          if (env.running()) env.add_map(s.name, sym);
+          if (env.running()) env.set(id, sym);
         }
       }
       break;
@@ -397,8 +404,9 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
       for (const auto& e : s.operands) {
         if (e->kind() == NodeKind::kVariable) {
           const auto& var = static_cast<const phpast::Variable&>(*e);
+          const VarId id = vid(var.name);
           for (Env& env : envs_) {
-            if (env.running()) env.remove_map(var.name);
+            if (env.running()) env.erase(id);
           }
         }
       }
@@ -419,11 +427,11 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
       std::vector<Env> joined = std::move(envs_);
       for (const phpast::CatchClause& c : s.catches) {
         envs_ = base;
+        const VarId cid = c.variable.empty() ? kNoVar : vid(c.variable);
         for (Env& env : envs_) {
-          if (env.running() && !c.variable.empty()) {
-            env.add_map(c.variable,
-                        fresh_symbol("exc_" + c.exception_class,
-                                     Type::kUnknown, stmt.loc()));
+          if (env.running() && cid != kNoVar) {
+            env.set(cid, fresh_symbol("exc_" + c.exception_class,
+                                      Type::kUnknown, stmt.loc()));
           }
         }
         exec_stmts(c.body);
@@ -683,6 +691,16 @@ void Interpreter::exec_loop(const Expr* cond,
 }
 
 void Interpreter::exec_foreach(const phpast::Foreach& stmt) {
+  // kNoVar encodes "no binding": key/value targets that are absent or
+  // not plain variables are skipped, exactly as before interning.
+  const VarId key_id =
+      (stmt.key_var != nullptr && stmt.key_var->kind() == NodeKind::kVariable)
+          ? vid(static_cast<const phpast::Variable&>(*stmt.key_var).name)
+          : kNoVar;
+  const VarId value_id =
+      stmt.value_var->kind() == NodeKind::kVariable
+          ? vid(static_cast<const phpast::Variable&>(*stmt.value_var).name)
+          : kNoVar;
   eval_expr(*stmt.iterable);
   // Partition running/finished and take the iterable labels.
   std::vector<Env> result;
@@ -740,19 +758,13 @@ void Interpreter::exec_foreach(const phpast::Foreach& stmt) {
         // Copy: creating the key object below may reallocate the arena
         // and invalidate a reference into obj->entries.
         const ArrayEntry e = obj->entries[static_cast<std::size_t>(entry_idx)];
-        if (stmt.key_var != nullptr &&
-            stmt.key_var->kind() == NodeKind::kVariable) {
+        if (key_id != kNoVar) {
           const Label key = graph_.add_concrete(
               e.int_key ? Value(strutil::php_intval(e.key)) : Value(e.key),
               stmt.loc());
-          env.add_map(static_cast<const phpast::Variable&>(*stmt.key_var).name,
-                      key);
+          env.set(key_id, key);
         }
-        if (stmt.value_var->kind() == NodeKind::kVariable) {
-          env.add_map(
-              static_cast<const phpast::Variable&>(*stmt.value_var).name,
-              e.value);
-        }
+        if (value_id != kNoVar) env.set(value_id, e.value);
       }
       if (!any) break;
       exec_stmts(stmt.body);
@@ -780,14 +792,9 @@ void Interpreter::exec_foreach(const phpast::Foreach& stmt) {
           {unknown_labels[idx],
            fresh_symbol("foreach_key", Type::kUnknown, stmt.loc())},
           stmt.loc());
-      if (stmt.value_var->kind() == NodeKind::kVariable) {
-        env.add_map(static_cast<const phpast::Variable&>(*stmt.value_var).name,
-                    elem);
-      }
-      if (stmt.key_var != nullptr &&
-          stmt.key_var->kind() == NodeKind::kVariable) {
-        env.add_map(static_cast<const phpast::Variable&>(*stmt.key_var).name,
-                    fresh_symbol("foreach_k", Type::kUnknown, stmt.loc()));
+      if (value_id != kNoVar) env.set(value_id, elem);
+      if (key_id != kNoVar) {
+        env.set(key_id, fresh_symbol("foreach_k", Type::kUnknown, stmt.loc()));
       }
       ++idx;
     }
@@ -1001,17 +1008,17 @@ void Interpreter::eval_expr(const Expr& expr) {
           const bool pre =
               un.op == UnaryOp::kPreInc || un.op == UnaryOp::kPreDec;
           const Label one = graph_.add_concrete(Value(std::int64_t{1}), loc);
+          const VarId target_id =
+              un.operand->kind() == NodeKind::kVariable
+                  ? vid(static_cast<const phpast::Variable&>(*un.operand).name)
+                  : kNoVar;
           for (Env& env : envs_) {
             if (!env.running()) continue;
             const Label old_value = pop(env);
             const Label new_value =
                 graph_.add_op(inc ? OpKind::kAdd : OpKind::kSub, Type::kInt,
                               {old_value, one}, loc);
-            if (un.operand->kind() == NodeKind::kVariable) {
-              env.add_map(
-                  static_cast<const phpast::Variable&>(*un.operand).name,
-                  new_value);
-            }
+            if (target_id != kNoVar) env.set(target_id, new_value);
             push(env, pre ? new_value : old_value);
           }
           break;
@@ -1266,12 +1273,13 @@ void Interpreter::eval_variable(const phpast::Variable& var) {
     }
     return;
   }
+  const VarId id = vid(var.name);
   for (Env& env : envs_) {
     if (!env.running()) continue;
-    Label label = env.get_map(var.name);
+    Label label = env.get(id);
     if (label == kNoLabel) {
       label = fresh_symbol(var.name, Type::kUnknown, loc);
-      env.add_map(var.name, label);
+      env.set(id, label);
     }
     push(env, label);
   }
@@ -1335,7 +1343,7 @@ void Interpreter::assign_into(Env& env, const Expr& target, Label value,
   switch (target.kind()) {
     case NodeKind::kVariable: {
       const auto& var = static_cast<const phpast::Variable&>(target);
-      env.add_map(var.name, value);
+      env.set(vid(var.name), value);
       return;
     }
     case NodeKind::kArrayAccess: {
@@ -1346,9 +1354,11 @@ void Interpreter::assign_into(Env& env, const Expr& target, Label value,
       // bases degrade to no-op.
       std::string key;
       bool int_key = false;
+      bool generated_key = false;  // synthesized, not from the source
       if (access.index == nullptr) {
         key = "#push" + std::to_string(graph_.object_count());
         int_key = true;
+        generated_key = true;
       } else if (access.index->kind() == NodeKind::kStringLit) {
         key = static_cast<const phpast::StringLit&>(*access.index).value;
       } else if (access.index->kind() == NodeKind::kIntLit) {
@@ -1357,15 +1367,32 @@ void Interpreter::assign_into(Env& env, const Expr& target, Label value,
         int_key = true;
       } else {
         key = "?dyn" + std::to_string(graph_.object_count());
+        generated_key = true;
       }
       // Current base value: only direct-variable bases can be rebound.
       if (access.base->kind() == NodeKind::kVariable) {
         const auto& var = static_cast<const phpast::Variable&>(*access.base);
-        const Label base = env.get_map(var.name);
+        const VarId base_id = vid(var.name);
+        const Label base = env.get(base_id);
         std::vector<ArrayEntry> entries;
         if (const Object* obj = graph_.find(base);
             obj != nullptr && obj->kind == Object::Kind::kArray) {
           entries = obj->entries;
+        }
+        if (generated_key) {
+          // object_count() no longer advances on every add (hash-consing
+          // can answer from existing nodes), so two synthesized keys may
+          // collide; a collision must append, never overwrite the
+          // earlier push.
+          const std::string base_key = key;
+          int bump = 0;
+          auto taken = [&entries](const std::string& k) {
+            for (const ArrayEntry& e : entries) {
+              if (e.key == k) return true;
+            }
+            return false;
+          };
+          while (taken(key)) key = base_key + "_" + std::to_string(++bump);
         }
         bool replaced = false;
         for (ArrayEntry& e : entries) {
@@ -1376,7 +1403,7 @@ void Interpreter::assign_into(Env& env, const Expr& target, Label value,
           }
         }
         if (!replaced) entries.push_back(ArrayEntry{key, int_key, value});
-        env.add_map(var.name, graph_.add_array(std::move(entries), loc));
+        env.set(base_id, graph_.add_array(std::move(entries), loc));
       }
       return;
     }
@@ -1384,7 +1411,8 @@ void Interpreter::assign_into(Env& env, const Expr& target, Label value,
       const auto& pa = static_cast<const phpast::PropertyAccess&>(target);
       if (pa.base->kind() == NodeKind::kVariable) {
         const auto& var = static_cast<const phpast::Variable&>(*pa.base);
-        const Label base = env.get_map(var.name);
+        const VarId base_id = vid(var.name);
+        const Label base = env.get(base_id);
         std::vector<ArrayEntry> entries;
         if (const Object* obj = graph_.find(base);
             obj != nullptr && obj->kind == Object::Kind::kArray) {
@@ -1400,7 +1428,7 @@ void Interpreter::assign_into(Env& env, const Expr& target, Label value,
           }
         }
         if (!replaced) entries.push_back(ArrayEntry{key, false, value});
-        env.add_map(var.name, graph_.add_array(std::move(entries), loc));
+        env.set(base_id, graph_.add_array(std::move(entries), loc));
       }
       return;
     }
@@ -1587,14 +1615,18 @@ void Interpreter::eval_user_function(const Program::FunctionInfo& info,
     envs_ = std::move(running);
   }
 
+  std::vector<VarId> param_ids;
+  param_ids.reserve(fn.params.size());
+  for (const phpast::Param& p : fn.params) param_ids.push_back(vid(p.name));
+
   for (Env& env : envs_) {
     std::vector<Label> args(arg_count);
     for (std::size_t i = arg_count; i-- > 0;) args[i] = pop(env);
-    env.frames().push_back(env.map());
-    std::map<std::string, Label> locals;
+    env.frames().push_back(env.entries());
+    env.set_entries({});
     for (std::size_t i = 0; i < fn.params.size(); ++i) {
       if (i < args.size()) {
-        locals[fn.params[i].name] = args[i];
+        env.set(param_ids[i], args[i]);
       } else if (fn.params[i].default_value != nullptr) {
         // Evaluate simple literal defaults; others degrade to symbols.
         const Expr& def = *fn.params[i].default_value;
@@ -1620,13 +1652,13 @@ void Interpreter::eval_user_function(const Program::FunctionInfo& info,
                                  Type::kUnknown, loc);
             break;
         }
-        locals[fn.params[i].name] = label;
+        env.set(param_ids[i], label);
       } else {
-        locals[fn.params[i].name] =
-            fresh_symbol("param_" + fn.params[i].name, Type::kUnknown, loc);
+        env.set(param_ids[i],
+                fresh_symbol("param_" + fn.params[i].name, Type::kUnknown,
+                             loc));
       }
     }
-    env.set_map(std::move(locals));
   }
 
   exec_stmts(fn.body);
@@ -1641,7 +1673,7 @@ void Interpreter::eval_user_function(const Program::FunctionInfo& info,
       env.set_status(Env::Status::kRunning);
       env.set_return_value(kNoLabel);
     }
-    env.set_map(std::move(env.frames().back()));
+    env.set_entries(std::move(env.frames().back()));
     env.frames().pop_back();
     if (env.running()) push(env, result);
   }

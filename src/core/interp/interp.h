@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -86,6 +87,7 @@ struct InterpStats {
   std::size_t objects = 0;      // heap graph size
   std::size_t peak_paths = 0;
   std::size_t env_bytes = 0;    // accounted environment memory
+  std::size_t cons_hits = 0;    // add_* calls answered by hash-consing
   bool budget_exhausted = false;
   bool deadline_exceeded = false;  // wall-clock deadline hit mid-run
 };
@@ -130,6 +132,11 @@ class Interpreter {
   friend struct BuiltinContext;
 
   // --- env-set plumbing
+  // Interned id for a variable name; hoisted out of per-env loops so a
+  // fork-heavy statement interns each name once, not once per path.
+  [[nodiscard]] VarId vid(std::string_view name) {
+    return interner_->intern(name);
+  }
   void push(Env& env, Label label);
   Label pop(Env& env);
   [[nodiscard]] bool any_running() const;
@@ -182,6 +189,9 @@ class Interpreter {
   const SinkRegistry& sink_registry_;
 
   HeapGraph graph_;
+  // Variable-name interner shared with every environment forked during
+  // this run (environments copy the shared_ptr, not the table).
+  std::shared_ptr<VarInterner> interner_ = std::make_shared<VarInterner>();
   std::vector<Env> envs_;
   std::vector<SinkHit> sinks_;
   InterpStats stats_;

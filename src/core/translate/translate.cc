@@ -98,7 +98,8 @@ z3::expr Translator::translate(Label label, Type expected) {
   const Object* obj = graph_.find(label);
   if (obj == nullptr) return fresh(expected, "null");
   const Type resolved = obj->type == Type::kUnknown ? expected : obj->type;
-  const auto key = std::make_pair(label, static_cast<int>(carrier_for(resolved)));
+  const std::uint64_t key = (static_cast<std::uint64_t>(label) << 2) |
+                            static_cast<std::uint64_t>(carrier_for(resolved));
   if (const auto it = cache_.find(key); it != cache_.end()) {
     // Cached at the object's own carrier; coerce to the caller's.
     return coerce(it->second, resolved, expected);

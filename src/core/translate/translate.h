@@ -16,8 +16,9 @@
 
 #include <z3++.h>
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "core/heapgraph/heapgraph.h"
 #include "smt/solver.h"
@@ -57,8 +58,10 @@ class Translator {
 
   smt::Checker& checker_;
   const HeapGraph& graph_;
-  // Cache keyed by (label, resolved type).
-  std::map<std::pair<Label, int>, z3::expr> cache_;
+  // Cache keyed by (label << 2) | carrier — one term per (object, sort).
+  // With the hash-consed heap graph, shared subterms across the sink's
+  // dst/src/reachability constraints translate exactly once.
+  std::unordered_map<std::uint64_t, z3::expr> cache_;
   std::size_t fallback_count_ = 0;
   std::size_t fresh_counter_ = 0;
 };

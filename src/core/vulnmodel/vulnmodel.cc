@@ -1,7 +1,8 @@
 #include "core/vulnmodel/vulnmodel.h"
 
 #include <algorithm>
-#include <map>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "core/heapgraph/sexpr.h"
@@ -106,14 +107,74 @@ Label trailing_extension_symbol(const HeapGraph& graph, Label dst,
   return kNoLabel;
 }
 
+// Hash for the per-call (dst, reachability) memo; labels are dense small
+// ints, so splicing them into one word distributes fine.
+struct LabelPairHash {
+  std::size_t operator()(const std::pair<Label, Label>& p) const noexcept {
+    return (static_cast<std::size_t>(p.first) << 32) ^
+           static_cast<std::size_t>(p.second);
+  }
+};
+
 }  // namespace
 
+std::optional<SolverQueryCache::Outcome> SolverQueryCache::lookup(
+    const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  ++hits_;
+  return it->second;
+}
+
+void SolverQueryCache::store(const std::string& key, Outcome outcome) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  map_.emplace(key, std::move(outcome));
+}
+
+std::size_t SolverQueryCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t SolverQueryCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
 VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
-                            const VulnModelOptions& options) {
+                            const VulnModelOptions& options,
+                            SolverQueryCache* query_cache) {
   VulnModelResult result;
+
+  // Domain axioms for the pre-structured $_FILES model: a PHP file
+  // extension (everything after the *last* dot) contains neither a dot
+  // nor a path separator. Without these, blacklist-style validation
+  // ("$ext !== 'php'") would be bypassable with s_ext = "x.php", which
+  // no real pathinfo() result can produce. The `_ext` symbols are fixed
+  // for the whole InterpResult, so collect them (and build their axiom
+  // terms) once instead of rescanning every graph object per sink.
+  std::vector<z3::expr> domain_axioms;
+  std::string axiom_fingerprint;
+  std::string axiom_error;  // hoisted translation failure, reported per sink
+  try {
+    Translator axiom_trl(checker, interp.graph);
+    for (const Object& obj : interp.graph.objects()) {
+      if (!is_ext_symbol(obj)) continue;
+      const z3::expr ext = axiom_trl.translate(obj.label, Type::kString);
+      domain_axioms.push_back(!ext.contains(checker.ctx().string_val(".")));
+      domain_axioms.push_back(!ext.contains(checker.ctx().string_val("/")));
+      axiom_fingerprint += obj.name;
+      axiom_fingerprint += ';';
+    }
+  } catch (const z3::exception& e) {
+    axiom_error = e.msg();
+  }
+
   // Paths that share the same (dst, reachability) objects would repeat
   // the identical solver query; memoize outcomes.
-  std::map<std::pair<Label, Label>, smt::SatResult> memo;
+  std::unordered_map<std::pair<Label, Label>, smt::SatResult, LabelPairHash>
+      memo;
   for (const SinkHit& sink : interp.sinks) {
     if (checker.deadline().expired()) {
       // Degrade instead of hanging: unchecked sinks get no verdicts and
@@ -146,28 +207,50 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
       continue;
     }
 
+    if (!axiom_error.empty()) {
+      // Same degradation the per-sink exception rule applies: the sink
+      // stays unknown, with the failure recorded in place of a witness.
+      verdict.constraints = smt::SatResult::kUnknown;
+      verdict.witness = "translation error: " + axiom_error;
+      result.verdicts.push_back(std::move(verdict));
+      continue;
+    }
+
+    // Cross-root cache: the axiom fingerprint plus both s-expressions
+    // pin down the full constraint set, so a hit replays the earlier
+    // root's outcome — including the witness a fresh solve would yield.
+    std::string cache_key;
+    if (query_cache != nullptr) {
+      cache_key.reserve(axiom_fingerprint.size() + verdict.dst_sexpr.size() +
+                        verdict.reach_sexpr.size() + 2);
+      cache_key += axiom_fingerprint;
+      cache_key += '\x1e';
+      cache_key += verdict.dst_sexpr;
+      cache_key += '\x1f';
+      cache_key += verdict.reach_sexpr;
+      if (const std::optional<SolverQueryCache::Outcome> hit =
+              query_cache->lookup(cache_key)) {
+        verdict.constraints = hit->result;
+        verdict.witness = hit->witness;
+        ++result.query_cache_hits;
+        memo.emplace(memo_key, hit->result);
+        if (verdict.exploitable()) result.vulnerable = true;
+        const bool stop =
+            verdict.exploitable() && options.stop_at_first_finding;
+        result.verdicts.push_back(std::move(verdict));
+        if (stop) break;
+        continue;
+      }
+    }
+
     // Translation gets its own phase span (per sink) so the fleet's
     // per-phase breakdown separates term construction from Z3 search.
-    std::vector<z3::expr> constraints;
+    std::vector<z3::expr> constraints = domain_axioms;
     {
     const telemetry::SpanScope translate_span(checker.trace(), "translate",
                                               sink.sink_name);
     Translator trl(checker, interp.graph);
     try {
-    // Domain axioms for the pre-structured $_FILES model: a PHP file
-    // extension (everything after the *last* dot) contains neither a dot
-    // nor a path separator. Without these, blacklist-style validation
-    // ("$ext !== 'php'") would be bypassable with s_ext = "x.php", which
-    // no real pathinfo() result can produce.
-    for (const Object& obj : interp.graph.objects()) {
-      if (obj.kind == Object::Kind::kSymbol && obj.files_tainted &&
-          obj.name.size() > 4 &&
-          obj.name.compare(obj.name.size() - 4, 4, "_ext") == 0) {
-        const z3::expr ext = trl.translate(obj.label, Type::kString);
-        constraints.push_back(!ext.contains(checker.ctx().string_val(".")));
-        constraints.push_back(!ext.contains(checker.ctx().string_val("/")));
-      }
-    }
     // Constraint-2: (or (str.suffixof ".php" dst) (str.suffixof ".php5" dst)).
     // When dst structurally ends in the pre-structured "." . s_ext, use
     // the equivalent (and far cheaper) equality form over s_ext.
@@ -216,6 +299,10 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
     result.deadline_exceeded |= outcome.deadline_exceeded;
     memo.emplace(memo_key, outcome.result);
     if (outcome.model.has_value()) verdict.witness = outcome.model->to_string();
+    if (query_cache != nullptr && (outcome.result == smt::SatResult::kSat ||
+                                   outcome.result == smt::SatResult::kUnsat)) {
+      query_cache->store(cache_key, {outcome.result, verdict.witness});
+    }
     if (verdict.exploitable()) result.vulnerable = true;
     const bool stop = verdict.exploitable() && options.stop_at_first_finding;
     result.verdicts.push_back(std::move(verdict));

@@ -9,7 +9,10 @@
 // by Z3. One SAT path suffices for a vulnerable verdict.
 #pragma once
 
+#include <mutex>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/heapgraph/heapgraph.h"
@@ -17,6 +20,35 @@
 #include "smt/solver.h"
 
 namespace uchecker::core {
+
+// Solver query cache, shared by every scan of one detector. Different
+// analysis roots — and, fleet-wide, different applications built from
+// the same plugin boilerplate — frequently reach byte-identical sink
+// constraints; keying by the canonical s-expressions of (dst,
+// reachability) — prefixed by the graph's `_ext` domain-axiom
+// fingerprint, so a hit implies the *whole* constraint set is textually
+// identical — lets later queries reuse the earlier verdict and witness
+// without calling Z3. Only definitive kSat/kUnsat outcomes are stored;
+// kUnknown (timeouts, translation gaps) is always re-attempted.
+// Thread-safe: parallel fleet drivers share one detector across workers.
+class SolverQueryCache {
+ public:
+  struct Outcome {
+    smt::SatResult result = smt::SatResult::kUnknown;
+    std::string witness;
+  };
+
+  // Returns the cached outcome on a hit (counted), nullopt on a miss.
+  [[nodiscard]] std::optional<Outcome> lookup(const std::string& key) const;
+  void store(const std::string& key, Outcome outcome);
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Outcome> map_;
+  mutable std::size_t hits_ = 0;
+};
 
 struct VulnModelOptions {
   // Extensions considered server-executable. Paper default; §VI notes
@@ -45,6 +77,7 @@ struct SinkVerdict {
 struct VulnModelResult {
   std::vector<SinkVerdict> verdicts;
   std::size_t solver_calls = 0;
+  std::size_t query_cache_hits = 0;  // sinks answered by SolverQueryCache
   bool vulnerable = false;  // any exploitable verdict
   // The checker's scan deadline expired mid-check; remaining sinks were
   // skipped and the surviving verdicts are partial.
@@ -55,8 +88,12 @@ struct VulnModelResult {
 // the Z3 context; a fresh Translator is built per sink so per-path
 // symbol caches do not leak across unrelated checks (objects shared
 // across paths still translate identically within one sink's check).
+// `query_cache`, when non-null, memoizes definitive solver outcomes
+// across check_sinks calls (the detector owns one cache for all of its
+// scans; see SolverQueryCache).
 [[nodiscard]] VulnModelResult check_sinks(const InterpResult& interp,
                                           smt::Checker& checker,
-                                          const VulnModelOptions& options = {});
+                                          const VulnModelOptions& options = {},
+                                          SolverQueryCache* query_cache = nullptr);
 
 }  // namespace uchecker::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/heapgraph/dot.h"
 #include "core/heapgraph/sexpr.h"
 
@@ -206,6 +208,150 @@ TEST(Dot, TaintedNodesHighlighted) {
   HeapGraph g;
   g.add_symbol("$_FILES", Type::kArray, {}, true);
   EXPECT_NE(to_dot(g).find("lightpink"), std::string::npos);
+}
+
+// --- Hash-consing -------------------------------------------------------------
+
+TEST(HashCons, StructurallyIdenticalNodesShareLabels) {
+  HeapGraph g;
+  const Label a1 = g.add_concrete(Value(std::int64_t{42}));
+  const Label a2 = g.add_concrete(Value(std::int64_t{42}));
+  EXPECT_EQ(a1, a2);
+  const Label s = g.add_symbol("s", Type::kString);
+  const Label op1 = g.add_op(OpKind::kConcat, Type::kString, {s, a1});
+  const Label op2 = g.add_op(OpKind::kConcat, Type::kString, {s, a2});
+  EXPECT_EQ(op1, op2);
+  EXPECT_EQ(g.object_count(), 3u);  // 42, s, concat — each stored once
+  EXPECT_EQ(g.cons_hits(), 2u);
+}
+
+TEST(HashCons, LabelsStayOneBasedAndStableUnderDedup) {
+  HeapGraph g;
+  const Label a = g.add_concrete(Value(std::int64_t{1}));
+  const Label b = g.add_concrete(Value(std::int64_t{2}));
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(g.add_concrete(Value(std::int64_t{1})), a);
+  const Label c = g.add_concrete(Value(std::int64_t{3}));
+  EXPECT_EQ(c, 3u);  // dedup never burns a label
+}
+
+TEST(HashCons, SymbolsAreNeverShared) {
+  // Symbols are the mutation targets of mark_files_tainted and carry
+  // identity (two reads of an unknown produce distinct unknowns), so
+  // they stay out of the cons table even when structurally identical.
+  HeapGraph g;
+  const Label s1 = g.add_symbol("s", Type::kString);
+  const Label s2 = g.add_symbol("s", Type::kString);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(HashCons, TaintIsPartOfTheConsKey) {
+  HeapGraph g;
+  const Label v = g.add_concrete(Value(std::string("v")));
+  const Label clean_arr = g.add_array({ArrayEntry{"k", false, v}});
+  const Label tainted_arr = g.add_array({ArrayEntry{"k", false, v}}, {}, true);
+  EXPECT_NE(clean_arr, tainted_arr);
+  EXPECT_FALSE(g.at(clean_arr).files_tainted);
+  EXPECT_TRUE(g.at(tainted_arr).files_tainted);
+}
+
+TEST(HashCons, MarkFilesTaintedDoesNotMergeLaterTwins) {
+  HeapGraph g;
+  const Label v = g.add_concrete(Value(std::string("v")));
+  const Label arr = g.add_array({ArrayEntry{"k", false, v}});
+  g.mark_files_tainted(arr);
+  // A fresh untainted twin must not resolve to the now-tainted node...
+  const Label clean = g.add_array({ArrayEntry{"k", false, v}});
+  EXPECT_NE(clean, arr);
+  EXPECT_FALSE(g.at(clean).files_tainted);
+  // ...while a tainted twin shares with the rekeyed node.
+  const Label tainted = g.add_array({ArrayEntry{"k", false, v}}, {}, true);
+  EXPECT_EQ(tainted, arr);
+}
+
+TEST(HashCons, RefineTypeRekeysSharedNodes) {
+  HeapGraph g;
+  const Label s = g.add_symbol("s", Type::kString);
+  const Label op = g.add_op(OpKind::kConcat, Type::kUnknown, {s, s});
+  g.refine_type(op, Type::kString);
+  EXPECT_EQ(g.at(op).type, Type::kString);
+  // Twins built with the refined type share; the stale pre-refinement
+  // key must not resolve to the mutated node.
+  EXPECT_EQ(g.add_op(OpKind::kConcat, Type::kString, {s, s}), op);
+  EXPECT_NE(g.add_op(OpKind::kConcat, Type::kUnknown, {s, s}), op);
+}
+
+TEST(HashCons, SourceLocationIsPartOfTheConsKey) {
+  // Two sinks on different lines must keep distinct loc metadata, so
+  // location participates in structural identity.
+  HeapGraph g;
+  SourceLoc l1;
+  l1.line = 3;
+  SourceLoc l2;
+  l2.line = 9;
+  const Label a = g.add_concrete(Value(std::string("x")), l1);
+  const Label b = g.add_concrete(Value(std::string("x")), l2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.add_concrete(Value(std::string("x")), l1), a);
+}
+
+TEST(HashCons, TaintMemoInvalidatedByMarkFilesTainted) {
+  HeapGraph g;
+  const Label s = g.add_symbol("late", Type::kString);
+  const Label op = g.add_op(OpKind::kConcat, Type::kString, {s, s});
+  EXPECT_FALSE(g.reaches_files_taint(op));  // memoized: no
+  g.mark_files_tainted(s);
+  EXPECT_TRUE(g.reaches_files_taint(op));  // memo dropped, recomputed
+}
+
+TEST(HashCons, SexprCacheReturnsIdenticalRendering) {
+  HeapGraph g;
+  const Label s = g.add_symbol("s_name", Type::kString);
+  const Label c = g.add_concrete(Value(std::string("/up/")));
+  const Label op = g.add_op(OpKind::kConcat, Type::kString, {c, s});
+  const std::string first = to_sexpr(g, op);
+  const std::string second = to_sexpr(g, op);  // served from the cache
+  EXPECT_EQ(first, second);
+  EXPECT_GE(g.sexpr_cache_hits(), 1u);
+}
+
+// --- Variable interning -------------------------------------------------------
+
+TEST(VarInterner, SameNameSameId) {
+  VarInterner interner;
+  const VarId a = interner.intern("$x");
+  const VarId b = interner.intern("$x");
+  const VarId c = interner.intern("$y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, kNoVar);
+  EXPECT_EQ(interner.name(a), "$x");
+  EXPECT_EQ(interner.name(c), "$y");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(VarInterner, LookupDoesNotIntern) {
+  VarInterner interner;
+  EXPECT_EQ(interner.lookup("$never"), kNoVar);
+  EXPECT_EQ(interner.size(), 0u);
+  const VarId id = interner.intern("$once");
+  EXPECT_EQ(interner.lookup("$once"), id);
+}
+
+TEST(Env, InternedAndStringApisAgree) {
+  const auto interner = std::make_shared<VarInterner>();
+  Env env;
+  env.bind_interner(interner);
+  env.add_map("a", 7);
+  EXPECT_EQ(env.get(interner->intern("a")), 7u);
+  env.set(interner->intern("b"), 9);
+  EXPECT_EQ(env.get_map("b"), 9u);
+  env.remove_map("a");
+  EXPECT_EQ(env.get(interner->intern("a")), kNoLabel);
+  const auto materialized = env.map();
+  EXPECT_EQ(materialized.size(), 1u);
+  EXPECT_EQ(materialized.at("b"), 9u);
 }
 
 // --- Property: DAG invariant (children always have smaller labels) ------------
