@@ -49,14 +49,28 @@ int main() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
           .count();
 
+  // The same serial sweep with the static pre-filter disabled: the gap
+  // quantifies what pruning proven-safe roots saves on a mostly-benign
+  // fleet (the realistic crawl distribution).
+  ScanOptions unfiltered_options;
+  unfiltered_options.prefilter = false;
+  Detector unfiltered(unfiltered_options);
+  const auto t2 = std::chrono::steady_clock::now();
+  const std::vector<ScanReport> nofilter = scan_many(unfiltered, fleet, 1);
+  const double nofilter_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t2)
+          .count();
+
   int found = 0;
   int false_alarms = 0;
   bool verdicts_agree = true;
+  bool prefilter_agrees = true;
   for (int i = 0; i < kFleetSize; ++i) {
     const bool flagged = parallel[i].verdict == Verdict::kVulnerable;
     if (flagged && planted[i]) ++found;
     if (flagged && !planted[i]) ++false_alarms;
     if (parallel[i].verdict != serial[i].verdict) verdicts_agree = false;
+    if (nofilter[i].verdict != serial[i].verdict) prefilter_agrees = false;
   }
   const int planted_total =
       static_cast<int>(std::count(planted.begin(), planted.end(), true));
@@ -69,20 +83,29 @@ int main() {
   std::size_t total_cons_hits = 0;
   std::size_t total_solver_calls = 0;
   std::size_t total_cache_hits = 0;
+  std::size_t total_roots = 0;
+  std::size_t total_pruned = 0;
   for (const ScanReport& r : parallel) {
     total_paths += r.paths;
     total_objects += r.objects;
     total_cons_hits += r.cons_hits;
     total_solver_calls += r.solver_calls;
     total_cache_hits += r.solver_cache_hits;
+    total_roots += r.roots;
+    total_pruned += r.pruned_roots;
   }
 
   std::printf("Fleet scan of %d generated plugins (%u hardware thread(s)):\n",
               kFleetSize, std::thread::hardware_concurrency());
   std::printf("  serial   : %.2fs (%.1f plugins/s)\n", serial_s,
               kFleetSize / serial_s);
+  std::printf("  serial (prefilter off): %.2fs (%.1f plugins/s)\n",
+              nofilter_s, kFleetSize / nofilter_s);
   std::printf("  parallel : %.2fs (%.1f plugins/s)\n", parallel_s,
               kFleetSize / parallel_s);
+  std::printf("  prefilter: pruned %zu of %zu root(s), verdicts agree "
+              "with unfiltered: %s\n",
+              total_pruned, total_roots, prefilter_agrees ? "yes" : "NO");
   std::printf("  sharing  : %zu paths, %zu objects (%.1f/path), "
               "%zu cons hits, %zu solver calls (%zu cache hits)\n",
               total_paths, total_objects,
@@ -105,7 +128,8 @@ int main() {
   const double tolerance =
       std::thread::hardware_concurrency() > 1 ? 1.05 : 1.60;
   const bool ok = found == planted_total && false_alarms == 0 &&
-                  verdicts_agree && parallel_s <= serial_s * tolerance;
+                  verdicts_agree && prefilter_agrees &&
+                  parallel_s <= serial_s * tolerance;
   std::printf("\nFleet invariants: %s\n", ok ? "HOLD" : "VIOLATED");
   return ok ? 0 : 1;
 }

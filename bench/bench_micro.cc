@@ -109,6 +109,53 @@ void BM_EndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEnd)->Unit(benchmark::kMillisecond);
 
+// Cost of the pre-symbolic static pass alone: analyze_root over every
+// locality root of the sample app. Counters report the prune rate and
+// the pass throughput in KLoC/s — the pass is pure AST work (no solver,
+// no interpreter), so it should stay orders of magnitude cheaper than
+// the symbolic execution it skips.
+void BM_StaticPass(benchmark::State& state) {
+  Parsed p = parse_sample();
+  const CallGraph graph = build_call_graph(p.program);
+  const LocalityResult locality = analyze_locality(p.program, graph, p.sources);
+  const SinkRegistry sinks;
+  const staticpass::StaticPassOptions options;
+  std::size_t pruned = 0;
+  std::size_t lints = 0;
+  for (auto _ : state) {
+    pruned = 0;
+    lints = 0;
+    for (const AnalysisRoot& root : locality.roots) {
+      const staticpass::RootAnalysis analysis = staticpass::analyze_root(
+          p.program, graph, root, p.sources, sinks, options);
+      if (analysis.prunable) ++pruned;
+      lints += analysis.lints.size();
+    }
+    benchmark::DoNotOptimize(pruned);
+  }
+  state.counters["roots"] = static_cast<double>(locality.roots.size());
+  state.counters["pruned"] = static_cast<double>(pruned);
+  state.counters["lints"] = static_cast<double>(lints);
+  state.counters["kloc_per_s"] = benchmark::Counter(
+      static_cast<double>(p.sources.total_loc()) / 1000.0,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_StaticPass)->Unit(benchmark::kMillisecond);
+
+// The same end-to-end scan with the pre-filter disabled: every root runs
+// symbolically. The gap to BM_EndToEnd is the wall-clock the pruning
+// saves on this app.
+void BM_EndToEndPrefilterOff(benchmark::State& state) {
+  ScanOptions options;
+  options.prefilter = false;
+  Detector detector(options);
+  for (auto _ : state) {
+    const ScanReport report = detector.scan(sample_app().app);
+    benchmark::DoNotOptimize(report.verdict);
+  }
+}
+BENCHMARK(BM_EndToEndPrefilterOff)->Unit(benchmark::kMillisecond);
+
 // Telemetry overhead contract: BM_EndToEnd is the unattached case (the
 // single null-check no-op path); this is the same scan with a trace
 // attached, collecting spans, solver samples and progress samples. The

@@ -2,15 +2,18 @@
 # The full CI gate, in dependency order:
 #
 #   1. configure + build the default tree, run the tier-1 test suite
-#   2. sanitizer build + test suite (ci/sanitize.sh)
-#   3. telemetry smoke: scan a known-vulnerable sample with
+#   2. clang-tidy over src/ with the repo .clang-tidy profile (skipped
+#      with a note when clang-tidy is not installed, like the python3
+#      checks below)
+#   3. sanitizer build + test suite (ci/sanitize.sh)
+#   4. telemetry smoke: scan a known-vulnerable sample with
 #      --trace-out/--metrics-out and validate that both outputs are
 #      well-formed JSON with the expected pipeline phases
-#   4. telemetry overhead gate: bench_micro's unattached end-to-end scan
+#   5. telemetry overhead gate: bench_micro's unattached end-to-end scan
 #      must stay within OVERHEAD_TOLERANCE of the recorded baseline
 #      (baseline is machine-local: recorded in the build dir on the
 #      first run, compared on later runs)
-#   5. perf baseline gate: BENCH_PR3.json must be valid (structure +
+#   6. perf baseline gate: BENCH_PR3.json must be valid (structure +
 #      required keys), and a fresh bench_fleet serial sweep must stay
 #      within 10% of the committed wall time. Wall time is machine-
 #      dependent, so a miss is a warning unless BENCH_STRICT=1.
@@ -18,25 +21,42 @@
 #   $ ci/check.sh            # everything
 #   $ SKIP_SANITIZE=1 ci/check.sh
 #   $ SKIP_BENCH=1 ci/check.sh
+#   $ SKIP_TIDY=1 ci/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
 
-echo "== [1/5] build + tier-1 tests =="
-cmake -B "$BUILD_DIR" -S . >/dev/null
+echo "== [1/6] build + tier-1 tests =="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== [2/5] sanitizers =="
+echo "== [2/6] clang-tidy =="
+if [[ "${SKIP_TIDY:-0}" == "1" ]]; then
+  echo "skipped (SKIP_TIDY=1)"
+elif ! command -v clang-tidy >/dev/null; then
+  echo "clang-tidy not found; lint step skipped"
+else
+  # Lint every translation unit under src/ against the repo profile.
+  # run-clang-tidy parallelizes when available; otherwise iterate.
+  mapfile -t TIDY_SOURCES < <(find src -name '*.cc' | sort)
+  if command -v run-clang-tidy >/dev/null; then
+    run-clang-tidy -p "$BUILD_DIR" -quiet "${TIDY_SOURCES[@]}"
+  else
+    clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_SOURCES[@]}"
+  fi
+fi
+
+echo "== [3/6] sanitizers =="
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "skipped (SKIP_SANITIZE=1)"
 else
   ci/sanitize.sh
 fi
 
-echo "== [3/5] telemetry smoke: trace + metrics JSON =="
+echo "== [4/6] telemetry smoke: trace + metrics JSON =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/upload.php" <<'PHP'
@@ -72,7 +92,7 @@ else
   echo "python3 not found; JSON structure check skipped"
 fi
 
-echo "== [4/5] telemetry overhead gate =="
+echo "== [5/6] telemetry overhead gate =="
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (SKIP_BENCH=1)"
 elif ! command -v python3 >/dev/null; then
@@ -117,7 +137,7 @@ PY
   fi
 fi
 
-echo "== [5/5] perf baseline gate (BENCH_PR3.json) =="
+echo "== [6/6] perf baseline gate (BENCH_PR3.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; perf baseline gate skipped"
 else

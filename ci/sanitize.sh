@@ -10,10 +10,39 @@
 # return detection stays on to catch dangling references into rehashed
 # or resized cache storage.
 #
+# With --tsan the tree is instead built with ThreadSanitizer (the "tsan"
+# preset) and the concurrency-sensitive suites run: scan_many_test
+# (parallel fleet driver, shared solver query cache, cancellation) and
+# telemetry_test (metrics registry and trace recording under concurrent
+# scans). ASan and TSan cannot share a build, hence the separate mode
+# and build directory.
+#
 #   $ ci/sanitize.sh [ctest-args...]
+#   $ ci/sanitize.sh --tsan [ctest-args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+MODE=asan
+if [[ "${1:-}" == "--tsan" ]]; then
+  MODE=tsan
+  shift
+fi
+
+if [[ "$MODE" == "tsan" ]]; then
+  BUILD_DIR=build-tsan
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DUCHECKER_TSAN=ON
+  cmake --build "$BUILD_DIR" -j"$(nproc)" \
+    --target scan_many_test telemetry_test
+
+  export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$PWD/ci/tsan.supp"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -R '^(scan_many_test|telemetry_test)$' "$@"
+  exit 0
+fi
+
 BUILD_DIR=build-asan
 
 cmake -B "$BUILD_DIR" -S . \

@@ -6,6 +6,8 @@
 //
 //   $ ./build/examples/audit_report
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include "baselines/rips.h"
 #include "baselines/wap.h"
@@ -46,9 +48,19 @@ int main() {
   baselines::WapScanner wap;
 
   Counts cu, cr, cw;
+  std::map<std::string, std::size_t> lints_by_rule;
+  std::size_t total_roots = 0;
+  std::size_t total_pruned = 0;
   std::printf("=== UChecker audit of the reconstructed DSN'19 corpus ===\n\n");
   for (const corpus::CorpusEntry& entry : corpus::full_corpus()) {
     const ScanReport report = uchecker_scanner.scan(entry.app);
+    for (const staticpass::LintFinding& l : report.lints) {
+      ++lints_by_rule[l.rule + " (" +
+                      std::string(staticpass::severity_name(l.severity)) +
+                      ")"];
+    }
+    total_roots += report.roots;
+    total_pruned += report.pruned_roots;
     const bool u = report.verdict == Verdict::kVulnerable;
     const bool r = rips.scan(entry.app).flagged;
     const bool w = wap.scan(entry.app).flagged;
@@ -80,6 +92,17 @@ int main() {
   std::printf("%-9s  TP=%2d FP=%2d FN=%2d TN=%2d  precision=%5.1f%%  "
               "recall=%5.1f%%\n",
               "WAP", cw.tp, cw.fp, cw.fn, cw.tn, cw.precision(), cw.recall());
+
+  // Static-pass summary: how many lints each idiom rule produced over
+  // the corpus, and how much symbolic-execution work the pre-filter
+  // saved.
+  std::printf("\n=== static pass (pre-symbolic) ===\n");
+  std::printf("pruned %zu of %zu analysis root(s) before symbolic "
+              "execution\n",
+              total_pruned, total_roots);
+  for (const auto& [rule, count] : lints_by_rule) {
+    std::printf("%-20s %4zu finding(s)\n", rule.c_str(), count);
+  }
 
   // Fleet-level latency breakdown: where the UChecker pipeline spends
   // its wall time across all scanned apps, in pipeline order.

@@ -4,6 +4,10 @@
 //                                                    [--json]
 //                                                    [--model-admin-gating]
 //                                                    [--timeout-ms N]
+//                                                    [--lint]
+//                                                    [--no-prefilter]
+//                                                    [--crosscheck]
+//                                                    [--fail-on-lint=SEV]
 //                                                    [--trace-out=FILE]
 //                                                    [--metrics-out=FILE]
 //                                                    [--quiet | -v]
@@ -21,11 +25,21 @@
 // sink: --quiet suppresses warnings/notes, -v additionally logs
 // structured progress (one JSON object per event) to stderr.
 //
+// Static pass: --lint prints the pre-symbolic pass's structured lint
+// findings (UC101..UC106) in the text report; --no-prefilter disables
+// the taint pre-filter so every root runs symbolically; --crosscheck
+// runs both engines on every root and reports any disagreement (a
+// soundness oracle for CI). --fail-on-lint=info|warning|error makes an
+// otherwise-clean scan exit non-zero when a lint at or above the given
+// severity fired.
+//
 // Degradation behaviour: unreadable files are reported and skipped (the
 // scan continues on the rest), and --timeout-ms bounds the whole scan in
 // wall-clock time. Exit codes: 0 clean, 1 vulnerable, 2 usage error,
-// 3 the scan itself failed (Verdict::kAnalysisError). Per-file read
-// failures alone never change the exit code.
+// 3 the scan itself failed (Verdict::kAnalysisError), 4 the engines
+// disagreed under --crosscheck, 5 --fail-on-lint tripped on an
+// otherwise-clean scan. Per-file read failures alone never change the
+// exit code.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -111,8 +125,9 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <directory-or-file> [--all-findings] [--json] "
-                 "[--model-admin-gating] [--timeout-ms N] [--trace-out=FILE] "
-                 "[--metrics-out=FILE] [--quiet] [-v]\n",
+                 "[--model-admin-gating] [--timeout-ms N] [--lint] "
+                 "[--no-prefilter] [--crosscheck] [--fail-on-lint=SEV] "
+                 "[--trace-out=FILE] [--metrics-out=FILE] [--quiet] [-v]\n",
                  argv[0]);
     return 2;
   }
@@ -120,6 +135,12 @@ int main(int argc, char** argv) {
   bool all_findings = false;
   bool json = false;
   bool admin_gating = false;
+  bool show_lints = false;
+  bool no_prefilter = false;
+  bool crosscheck = false;
+  bool fail_on_lint = false;
+  staticpass::Severity fail_severity =
+      staticpass::Severity::kError;
   long timeout_ms = 0;
   std::string trace_out;
   std::string metrics_out;
@@ -128,6 +149,20 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--all-findings") == 0) all_findings = true;
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--model-admin-gating") == 0) admin_gating = true;
+    if (std::strcmp(argv[i], "--lint") == 0) show_lints = true;
+    if (std::strcmp(argv[i], "--no-prefilter") == 0) no_prefilter = true;
+    if (std::strcmp(argv[i], "--crosscheck") == 0) crosscheck = true;
+    std::string severity_arg;
+    if (flag_with_value(argc, argv, i, "--fail-on-lint", severity_arg)) {
+      const auto parsed = staticpass::parse_severity(severity_arg);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "error: --fail-on-lint needs info, warning or error\n");
+        return 2;
+      }
+      fail_on_lint = true;
+      fail_severity = *parsed;
+    }
     if (std::strcmp(argv[i], "--quiet") == 0 || std::strcmp(argv[i], "-q") == 0) {
       verbosity = Verbosity::kQuiet;
     }
@@ -207,6 +242,8 @@ int main(int argc, char** argv) {
   ScanOptions options;
   options.vuln.stop_at_first_finding = !all_findings;
   options.locality.model_admin_gating = admin_gating;
+  options.prefilter = !no_prefilter;
+  options.crosscheck = crosscheck;
   options.budget.time_limit = std::chrono::milliseconds(timeout_ms);
   if (want_telemetry) options.telemetry = &telemetry;
   Detector detector(options);
@@ -230,9 +267,22 @@ int main(int argc, char** argv) {
              "warning: cannot write metrics to " + metrics_out);
   }
 
-  const int exit_code = report.vulnerable()              ? 1
-                        : report.verdict == Verdict::kAnalysisError ? 3
-                                                                    : 0;
+  bool lint_tripped = false;
+  if (fail_on_lint) {
+    for (const auto& l : report.lints) {
+      if (l.severity >= fail_severity) lint_tripped = true;
+    }
+  }
+  int exit_code = 0;
+  if (report.vulnerable()) {
+    exit_code = 1;
+  } else if (report.verdict == Verdict::kAnalysisError) {
+    exit_code = 3;
+  } else if (report.verdict == Verdict::kAnalysisDisagreement) {
+    exit_code = 4;
+  } else if (lint_tripped) {
+    exit_code = 5;
+  }
   if (json) {
     std::printf("%s\n", to_json(report).c_str());
     return exit_code;
@@ -274,6 +324,23 @@ int main(int argc, char** argv) {
     std::printf("error: [%s] %s%s%s%s\n", e.phase.c_str(), e.root.c_str(),
                 e.root.empty() ? "" : ": ", e.message.c_str(),
                 e.transient ? " (transient)" : "");
+  }
+  for (const ScanError& e : report.disagreements) {
+    std::printf("disagreement: %s: %s\n", e.root.c_str(), e.message.c_str());
+  }
+  if (show_lints) {
+    for (const auto& l : report.lints) {
+      std::printf("lint: [%s/%s] %s: %s\n", l.rule.c_str(),
+                  std::string(staticpass::severity_name(l.severity))
+                      .c_str(),
+                  l.location.c_str(), l.message.c_str());
+      if (!l.evidence.empty()) std::printf("      %s\n", l.evidence.c_str());
+    }
+    if (chatty && report.pruned_roots > 0) {
+      std::printf("note: static pass pruned %zu of %zu root(s) before "
+                  "symbolic execution\n",
+                  report.pruned_roots, report.roots);
+    }
   }
 
   std::printf("%sverdict: %s\n", chatty ? "\n" : "",

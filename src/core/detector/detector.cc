@@ -53,6 +53,7 @@ std::string_view verdict_name(Verdict v) {
     case Verdict::kNotVulnerable: return "Not vulnerable";
     case Verdict::kAnalysisIncomplete: return "Analysis incomplete";
     case Verdict::kAnalysisError: return "Analysis error";
+    case Verdict::kAnalysisDisagreement: return "Analysis disagreement";
   }
   return "invalid";
 }
@@ -91,9 +92,12 @@ ScanReport Detector::scan(const Application& app,
       report.errors.push_back(describe_current_exception("scan", ""));
     }
   }
-  // Verdict precedence: a proven finding survives degradation; otherwise
-  // contained errors outrank resource exhaustion.
-  if (report.verdict != Verdict::kVulnerable) {
+  // Verdict precedence: a crosscheck disagreement is a soundness alarm
+  // and outranks everything; then a proven finding survives degradation;
+  // otherwise contained errors outrank resource exhaustion.
+  if (!report.disagreements.empty()) {
+    report.verdict = Verdict::kAnalysisDisagreement;
+  } else if (report.verdict != Verdict::kVulnerable) {
     if (!report.errors.empty()) {
       report.verdict = Verdict::kAnalysisError;
     } else if (report.budget_exhausted || report.deadline_exceeded) {
@@ -119,6 +123,12 @@ ScanReport Detector::scan(const Application& app,
     }
     if (report.solver_cache_hits > 0) {
       m.counter("solver.cache_hits").add(report.solver_cache_hits);
+    }
+    if (report.pruned_roots > 0) {
+      m.counter("staticpass.pruned_roots").add(report.pruned_roots);
+    }
+    if (!report.lints.empty()) {
+      m.counter("staticpass.lint_findings").add(report.lints.size());
     }
     m.histogram("scan.seconds_ms").observe(report.seconds * 1000.0);
   }
@@ -225,6 +235,39 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     return;
   }
 
+  // Phase 2b: pre-symbolic static pass. Proves roots safe so symbolic
+  // execution can skip them (prefilter), collects structured lints, and
+  // in crosscheck mode doubles as a soundness oracle for the pruning
+  // decision. A failure here degrades to "no pruning" — the symbolic
+  // path still runs everything.
+  std::vector<staticpass::RootAnalysis> pre;
+  if (options_.prefilter || options_.lint || options_.crosscheck) {
+    diags.set_phase("staticpass");
+    try {
+      const telemetry::SpanScope staticpass_span(trace, "staticpass");
+      staticpass::StaticPassOptions pass_options;
+      pass_options.executable_extensions =
+          options_.vuln.executable_extensions;
+      pre.reserve(locality.roots.size());
+      for (const AnalysisRoot& root : locality.roots) {
+        pre.push_back(staticpass::analyze_root(
+            program, call_graph, root, sources, options_.sinks,
+            pass_options));
+      }
+      if (options_.lint) {
+        for (const staticpass::RootAnalysis& ra : pre) {
+          for (const staticpass::LintFinding& lint : ra.lints) {
+            report.lints.push_back(lint);
+          }
+        }
+      }
+    } catch (...) {
+      report.errors.push_back(
+          describe_current_exception("staticpass", ""));
+      pre.clear();
+    }
+  }
+
   // Phases 3-6 per analysis root. A root whose analysis throws is
   // recorded and skipped; remaining roots still run, so one hostile
   // root degrades the verdict instead of erasing the whole app.
@@ -234,7 +277,18 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   checker.set_telemetry(options_.telemetry, trace);
   std::size_t env_bytes_total = 0;
   std::size_t graph_bytes_total = 0;
-  for (const AnalysisRoot& root : locality.roots) {
+  for (std::size_t ri = 0; ri < locality.roots.size(); ++ri) {
+    const AnalysisRoot& root = locality.roots[ri];
+    const bool proven_safe = ri < pre.size() && pre[ri].prunable;
+    if (proven_safe) {
+      report.pruned_roots += 1;
+      if (options_.prefilter && !options_.crosscheck) {
+        if (trace != nullptr) {
+          trace->record_event("staticpass_pruned", root_name(root));
+        }
+        continue;
+      }
+    }
     if (deadline.expired()) {
       report.deadline_exceeded = true;
       if (trace != nullptr) {
@@ -285,6 +339,15 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     report.solver_calls += vuln.solver_calls;
     report.solver_cache_hits += vuln.query_cache_hits;
     report.deadline_exceeded |= vuln.deadline_exceeded;
+    if (options_.crosscheck && proven_safe && vuln.vulnerable) {
+      ScanError disagreement;
+      disagreement.phase = "crosscheck";
+      disagreement.root = root_name(root);
+      disagreement.message =
+          "static pass proved this root safe (" + pre[ri].reason +
+          ") but the symbolic engine found it vulnerable";
+      report.disagreements.push_back(std::move(disagreement));
+    }
     if (vuln.vulnerable) {
       report.verdict = Verdict::kVulnerable;
       for (const SinkVerdict& sv : vuln.verdicts) {

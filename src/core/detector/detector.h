@@ -15,6 +15,7 @@
 #include "core/callgraph/callgraph.h"
 #include "core/callgraph/locality.h"
 #include "core/interp/interp.h"
+#include "core/staticpass/staticpass.h"
 #include "core/vulnmodel/vulnmodel.h"
 #include "support/diag.h"
 #include "support/source.h"
@@ -32,6 +33,16 @@ struct ScanOptions {
   LocalityOptions locality;
   SinkRegistry sinks;        // extend to treat copy()/rename() as sinks
   bool run_locality = true;  // ablation switch for bench_locality
+  // Pre-symbolic static pass (core/staticpass). `prefilter` skips
+  // symbolic execution for roots the pass proves safe; `lint` collects
+  // the pass's structured findings into ScanReport::lints even when
+  // pruning is off; `crosscheck` runs *both* engines on every root and
+  // reports any root the pass would prune but the symbolic engine finds
+  // vulnerable as Verdict::kAnalysisDisagreement (a soundness oracle —
+  // see the contract in core/staticpass/staticpass.h).
+  bool prefilter = true;
+  bool lint = true;
+  bool crosscheck = false;
   // Optional observability handle (see support/telemetry.h). When set,
   // every scan records a phase-scoped span tree, interpreter progress
   // samples and solver latencies into a per-scan trace, and shared
@@ -47,6 +58,8 @@ enum class Verdict : std::uint8_t {
                         // (paper's Cimy-User-Extra-Fields false negative)
   kAnalysisError,       // a pipeline phase failed; report is partial and
                         // the errors list says which phase and why
+  kAnalysisDisagreement,  // crosscheck mode: the static pass proved a root
+                          // safe that the symbolic engine found vulnerable
 };
 
 [[nodiscard]] std::string_view verdict_name(Verdict v);
@@ -93,6 +106,10 @@ struct ScanReport {
   std::size_t cons_hits = 0;          // heap-graph nodes answered by consing
   std::size_t solver_cache_hits = 0;  // sinks answered by the per-scan
                                       // cross-root solver query cache
+  // Roots the static pass proved safe. With prefilter on these skip
+  // symbolic execution; in crosscheck mode they are still executed and
+  // the count says how many *would* be pruned.
+  std::size_t pruned_roots = 0;
   bool budget_exhausted = false;
   bool deadline_exceeded = false;  // wall-clock limit hit; report partial
   std::size_t parse_errors = 0;
@@ -104,6 +121,14 @@ struct ScanReport {
   // Contained failures (exceptions converted to data). Non-empty errors
   // with no vulnerable finding yield Verdict::kAnalysisError.
   std::vector<ScanError> errors;
+
+  // Structured lint findings from the static pass (ScanOptions::lint).
+  std::vector<staticpass::LintFinding> lints;
+
+  // Crosscheck mode only: roots where the static pass and the symbolic
+  // engine disagree (phase "crosscheck"). Any entry forces the verdict to
+  // kAnalysisDisagreement.
+  std::vector<ScanError> disagreements;
 
   [[nodiscard]] bool vulnerable() const {
     return verdict == Verdict::kVulnerable;

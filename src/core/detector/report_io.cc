@@ -22,6 +22,7 @@ std::string_view verdict_slug(Verdict v) {
     case Verdict::kNotVulnerable: return "not_vulnerable";
     case Verdict::kAnalysisIncomplete: return "analysis_incomplete";
     case Verdict::kAnalysisError: return "analysis_error";
+    case Verdict::kAnalysisDisagreement: return "analysis_disagreement";
   }
   return "invalid";
 }
@@ -52,7 +53,8 @@ std::string to_json(const ScanReport& report) {
   out += std::string("\"deadline_exceeded\": ") +
          (report.deadline_exceeded ? "true" : "false") + ", ";
   out += "\"parse_errors\": " + std::to_string(report.parse_errors) + ", ";
-  out += "\"analysis_errors\": " + std::to_string(report.analysis_errors);
+  out += "\"analysis_errors\": " + std::to_string(report.analysis_errors) + ", ";
+  out += "\"pruned_roots\": " + std::to_string(report.pruned_roots);
   out += "}, \"diagnostics_by_phase\": {";
   bool first_phase = true;
   for (const auto& [phase, count] : report.diagnostics_by_phase) {
@@ -69,6 +71,28 @@ std::string to_json(const ScanReport& report) {
     out += "\"root\": " + strutil::quote(e.root) + ", ";
     out += "\"message\": " + strutil::quote(e.message) + ", ";
     out += std::string("\"transient\": ") + (e.transient ? "true" : "false");
+    out += "}";
+  }
+  out += "], \"disagreements\": [";
+  for (std::size_t i = 0; i < report.disagreements.size(); ++i) {
+    const ScanError& e = report.disagreements[i];
+    if (i != 0) out += ", ";
+    out += "{";
+    out += "\"root\": " + strutil::quote(e.root) + ", ";
+    out += "\"message\": " + strutil::quote(e.message);
+    out += "}";
+  }
+  out += "], \"lints\": [";
+  for (std::size_t i = 0; i < report.lints.size(); ++i) {
+    const staticpass::LintFinding& l = report.lints[i];
+    if (i != 0) out += ", ";
+    out += "{";
+    out += "\"rule\": " + strutil::quote(l.rule) + ", ";
+    out += "\"severity\": \"" +
+           std::string(staticpass::severity_name(l.severity)) + "\", ";
+    out += "\"location\": " + strutil::quote(l.location) + ", ";
+    out += "\"message\": " + strutil::quote(l.message) + ", ";
+    out += "\"evidence\": " + strutil::quote(l.evidence);
     out += "}";
   }
   out += "], \"findings\": [";
@@ -139,6 +163,15 @@ std::string to_text(const ScanReport& report) {
     out += e.message;
     if (e.transient) out += " (transient)";
     out += "\n";
+  }
+  for (const ScanError& e : report.disagreements) {
+    out += "disagreement: " + e.root + ": " + e.message + "\n";
+  }
+  for (const staticpass::LintFinding& l : report.lints) {
+    out += "lint        : [" + l.rule + "/" +
+           std::string(staticpass::severity_name(l.severity)) + "] " +
+           l.location + ": " + l.message + "\n";
+    if (!l.evidence.empty()) out += "              " + l.evidence + "\n";
   }
   for (const Finding& f : report.findings) {
     out += "finding     : " + f.sink_name + " at " + f.location + "\n";

@@ -1,0 +1,155 @@
+#include "phpast/dataflow.h"
+
+#include "phpast/visitor.h"
+
+namespace uchecker::phpast {
+namespace {
+
+void bind_target(const Expr& target, const Expr* value, const Node& site,
+                 std::vector<VarBinding>& out);
+
+// Assignment through an array subscript ($a['k'] = v, $a[] = v) rebinds
+// the *root* variable of the subscript chain to something this analysis
+// cannot track element-wise; record it as opaque so joins degrade it.
+const Variable* subscript_root(const Expr& expr) {
+  const Expr* e = &expr;
+  while (e->kind() == NodeKind::kArrayAccess) {
+    e = static_cast<const ArrayAccess&>(*e).base.get();
+  }
+  return e->kind() == NodeKind::kVariable ? static_cast<const Variable*>(e)
+                                          : nullptr;
+}
+
+void bind_target(const Expr& target, const Expr* value, const Node& site,
+                 std::vector<VarBinding>& out) {
+  switch (target.kind()) {
+    case NodeKind::kVariable:
+      out.push_back(VarBinding{static_cast<const Variable&>(target).name,
+                               VarBinding::Kind::kAssign, value,
+                               BinaryOp::kConcat, &site});
+      break;
+    case NodeKind::kArrayAccess:
+      if (const Variable* root = subscript_root(target)) {
+        out.push_back(VarBinding{root->name, VarBinding::Kind::kOpaque,
+                                 nullptr, BinaryOp::kConcat, &site});
+      }
+      break;
+    case NodeKind::kListExpr:
+      for (const ExprPtr& element :
+           static_cast<const ListExpr&>(target).elements) {
+        if (element == nullptr) continue;
+        if (element->kind() == NodeKind::kVariable) {
+          out.push_back(VarBinding{
+              static_cast<const Variable&>(*element).name,
+              VarBinding::Kind::kListElement, value, BinaryOp::kConcat, &site});
+        } else {
+          bind_target(*element, nullptr, site, out);
+        }
+      }
+      break;
+    default:
+      break;  // property writes and friends are outside the variable model
+  }
+}
+
+void collect_from_node(const Node& node, std::vector<VarBinding>& out) {
+  walk(node, [&out](const Node& n) -> bool {
+    switch (n.kind()) {
+      // Nested scopes have their own variables.
+      case NodeKind::kFunctionDecl:
+      case NodeKind::kClassDecl:
+      case NodeKind::kClosure:
+        return false;
+
+      case NodeKind::kAssign: {
+        const auto& assign = static_cast<const Assign&>(n);
+        if (assign.compound_op.has_value() &&
+            assign.target->kind() == NodeKind::kVariable) {
+          out.push_back(VarBinding{
+              static_cast<const Variable&>(*assign.target).name,
+              VarBinding::Kind::kCompound, assign.value.get(),
+              *assign.compound_op, &n});
+        } else {
+          bind_target(*assign.target, assign.value.get(), n, out);
+        }
+        // `$a = &$b` aliases: later writes through $a also change $b, so
+        // $b's value is no longer fully described by its own bindings.
+        if (assign.by_ref && assign.value != nullptr &&
+            assign.value->kind() == NodeKind::kVariable) {
+          out.push_back(
+              VarBinding{static_cast<const Variable&>(*assign.value).name,
+                         VarBinding::Kind::kOpaque, nullptr,
+                         BinaryOp::kConcat, &n});
+        }
+        return true;
+      }
+
+      case NodeKind::kForeach: {
+        const auto& fe = static_cast<const Foreach&>(n);
+        if (fe.value_var != nullptr) {
+          if (fe.value_var->kind() == NodeKind::kVariable) {
+            out.push_back(
+                VarBinding{static_cast<const Variable&>(*fe.value_var).name,
+                           VarBinding::Kind::kForeachValue, fe.iterable.get(),
+                           BinaryOp::kConcat, &n});
+          } else {
+            bind_target(*fe.value_var, fe.iterable.get(), n, out);
+          }
+        }
+        if (fe.key_var != nullptr &&
+            fe.key_var->kind() == NodeKind::kVariable) {
+          out.push_back(
+              VarBinding{static_cast<const Variable&>(*fe.key_var).name,
+                         VarBinding::Kind::kForeachKey, fe.iterable.get(),
+                         BinaryOp::kConcat, &n});
+        }
+        return true;
+      }
+
+      case NodeKind::kGlobal:
+        for (const std::string& name : static_cast<const Global&>(n).names) {
+          out.push_back(VarBinding{name, VarBinding::Kind::kOpaque, nullptr,
+                                   BinaryOp::kConcat, &n});
+        }
+        return true;
+
+      case NodeKind::kStaticVarStmt:
+        // A static local persists across calls; its joined value is not
+        // derivable from this body alone.
+        out.push_back(
+            VarBinding{static_cast<const StaticVarStmt&>(n).name,
+                       VarBinding::Kind::kOpaque, nullptr, BinaryOp::kConcat,
+                       &n});
+        return true;
+
+      case NodeKind::kUnary: {
+        const auto& unary = static_cast<const Unary&>(n);
+        const bool mutates = unary.op == UnaryOp::kPreInc ||
+                             unary.op == UnaryOp::kPreDec ||
+                             unary.op == UnaryOp::kPostInc ||
+                             unary.op == UnaryOp::kPostDec;
+        if (mutates && unary.operand->kind() == NodeKind::kVariable) {
+          out.push_back(
+              VarBinding{static_cast<const Variable&>(*unary.operand).name,
+                         VarBinding::Kind::kOpaque, nullptr,
+                         BinaryOp::kConcat, &n});
+        }
+        return true;
+      }
+
+      default:
+        return true;
+    }
+  });
+}
+
+}  // namespace
+
+void collect_var_bindings(const std::vector<StmtPtr>& stmts,
+                          std::vector<VarBinding>& out) {
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt != nullptr) collect_from_node(*stmt, out);
+  }
+}
+
+}  // namespace uchecker::phpast

@@ -1,0 +1,98 @@
+// Reusable flow-insensitive intraprocedural dataflow over the AST.
+//
+// Two pieces, both scope-local (they never descend into nested function,
+// method, or closure bodies — those are separate scopes):
+//
+//  1. collect_var_bindings(): enumerates every site that binds a simple
+//     variable in a statement list — plain and compound assignments,
+//     foreach key/value bindings, list() destructuring elements, and
+//     opaque bindings whose value the AST cannot express (global/static
+//     declarations, ++/--, by-reference aliasing, writes through array
+//     subscripts).
+//
+//  2. solve_flow_insensitive(): a worklist-free fixpoint driver that
+//     re-evaluates every binding under the current variable valuation
+//     until nothing changes. The client supplies the abstract value type,
+//     the transfer function (evaluate a binding under an environment) and
+//     the lattice join. Flow insensitivity means a variable's value is
+//     the join over *all* its binding sites, which is what makes the
+//     result a sound over-approximation for clients that prune work
+//     (core/staticpass): a guard on a variable that is ever rebound to
+//     something worse sees the joined, worse value.
+//
+// The engine is deliberately small: clients with lattices of bounded
+// height converge in O(height) passes over the bindings, and the cap on
+// iterations bounds hostile inputs without affecting soundness (the
+// client treats "not stabilized" the same as top).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "phpast/ast.h"
+
+namespace uchecker::phpast {
+
+// One binding site of a simple variable.
+struct VarBinding {
+  enum class Kind : std::uint8_t {
+    kAssign,        // $x = value
+    kCompound,      // $x op= value; `op` says which operator
+    kForeachValue,  // foreach (value as ... => $x)
+    kForeachKey,    // foreach (value as $x => ...)
+    kListElement,   // list(..., $x, ...) = value
+    kOpaque,        // global $x, static $x, $x++, &$x aliasing, $x[..] = v:
+                    // the bound value is unknown to this analysis
+  };
+
+  std::string name;             // variable name, without the leading '$'
+  Kind kind = Kind::kAssign;
+  const Expr* value = nullptr;  // RHS / iterable / list source; null for kOpaque
+  BinaryOp compound_op = BinaryOp::kConcat;  // valid iff kind == kCompound
+  const Node* site = nullptr;   // the node that performs the binding
+};
+
+// Collects every binding of simple variables in `stmts`, recursing into
+// nested statements and expressions but not into nested FunctionDecl /
+// ClassDecl / Closure bodies.
+void collect_var_bindings(const std::vector<StmtPtr>& stmts,
+                          std::vector<VarBinding>& out);
+
+// Flow-insensitive fixpoint over `bindings`.
+//
+//   Value eval(const VarBinding& b, const std::map<std::string, Value>& env)
+//   Value join(const Value& a, const Value& b)
+//
+// `eval` must be monotone in `env` for termination within the lattice
+// height; `max_rounds` is a hard backstop either way. Variables never
+// bound do not appear in the result — the client decides what an absent
+// entry means (typically top).
+template <typename Value, typename Eval, typename Join>
+std::map<std::string, Value> solve_flow_insensitive(
+    const std::vector<VarBinding>& bindings, Eval&& eval, Join&& join,
+    std::size_t max_rounds = 16) {
+  std::map<std::string, Value> env;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (const VarBinding& b : bindings) {
+      Value v = eval(b, env);
+      auto it = env.find(b.name);
+      if (it == env.end()) {
+        env.emplace(b.name, std::move(v));
+        changed = true;
+      } else {
+        Value joined = join(it->second, v);
+        if (!(joined == it->second)) {
+          it->second = std::move(joined);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return env;
+}
+
+}  // namespace uchecker::phpast
