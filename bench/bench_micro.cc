@@ -174,6 +174,56 @@ void BM_EndToEndTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndTelemetry)->Unit(benchmark::kMillisecond);
 
+// Evidence overhead contract (mirrors the telemetry one): BM_EndToEnd is
+// the explain-off case — check_sinks takes a single untaken branch per
+// sink, the null-telemetry idiom — and this is the same scan with full
+// provenance collection (taint paths, guards, witness decoding). The gap
+// is the evidence cost, paid only by scans that asked for it;
+// ci/check.sh gates the explain-off case against the recorded baseline.
+void BM_EndToEndExplain(benchmark::State& state) {
+  ScanOptions options;
+  options.explain = true;
+  Detector detector(options);
+  std::size_t hops = 0;
+  for (auto _ : state) {
+    const ScanReport report = detector.scan(sample_app().app);
+    hops = 0;
+    for (const Finding& f : report.findings) {
+      hops += f.evidence.taint_path.size();
+    }
+    benchmark::DoNotOptimize(report.verdict);
+  }
+  state.counters["taint_hops"] = static_cast<double>(hops);
+}
+BENCHMARK(BM_EndToEndExplain)->Unit(benchmark::kMillisecond);
+
+// Evidence extraction alone: taint-path + guard walk over the sink
+// verdicts of one symbolically-executed root (no solver in the loop).
+void BM_EvidenceExtraction(benchmark::State& state) {
+  Parsed p = parse_sample();
+  const CallGraph graph = build_call_graph(p.program);
+  const LocalityResult locality = analyze_locality(p.program, graph, p.sources);
+  Interpreter interp(p.program, p.diags);
+  const InterpResult exec = interp.run(locality.roots.at(0));
+  std::size_t hops = 0;
+  std::size_t guards = 0;
+  for (auto _ : state) {
+    hops = 0;
+    guards = 0;
+    for (const SinkHit& sink : exec.sinks) {
+      if (sink.src != kNoLabel) {
+        hops += extract_taint_path(exec.graph, sink.src, sink.loc).size();
+      }
+      guards += extract_guards(exec.graph, sink.reachability).size();
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+  state.counters["sinks"] = static_cast<double>(exec.sinks.size());
+  state.counters["taint_hops"] = static_cast<double>(hops);
+  state.counters["guards"] = static_cast<double>(guards);
+}
+BENCHMARK(BM_EvidenceExtraction)->Unit(benchmark::kMicrosecond);
+
 // Cost of one disarmed SpanScope: what every instrumentation site pays
 // when no telemetry is attached. Should be on the order of a branch.
 void BM_SpanScopeNull(benchmark::State& state) {

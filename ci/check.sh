@@ -9,14 +9,21 @@
 #   4. telemetry smoke: scan a known-vulnerable sample with
 #      --trace-out/--metrics-out and validate that both outputs are
 #      well-formed JSON with the expected pipeline phases
-#   5. telemetry overhead gate: bench_micro's unattached end-to-end scan
-#      must stay within OVERHEAD_TOLERANCE of the recorded baseline
-#      (baseline is machine-local: recorded in the build dir on the
-#      first run, compared on later runs)
+#   5. telemetry + evidence overhead gate: bench_micro's unattached,
+#      explain-off end-to-end scan must stay within OVERHEAD_TOLERANCE
+#      of the recorded baseline (baseline is machine-local: recorded in
+#      the build dir on the first run, compared on later runs). The same
+#      number gates both zero-overhead contracts: no telemetry attached
+#      AND no evidence collection requested.
 #   6. perf baseline gate: BENCH_PR3.json must be valid (structure +
 #      required keys), and a fresh bench_fleet serial sweep must stay
 #      within 10% of the committed wall time. Wall time is machine-
 #      dependent, so a miss is a warning unless BENCH_STRICT=1.
+#   7. SARIF export gate: dump the corpus as PHP trees, scan each app
+#      with --explain --sarif-out, and structurally validate every
+#      emitted SARIF file (vulnerable apps must carry results with
+#      codeFlows); plus prove evidence is purely additive by requiring
+#      corpus_verdicts output byte-identical with --explain on and off.
 #
 #   $ ci/check.sh            # everything
 #   $ SKIP_SANITIZE=1 ci/check.sh
@@ -28,12 +35,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
 
-echo "== [1/6] build + tier-1 tests =="
+echo "== [1/7] build + tier-1 tests =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== [2/6] clang-tidy =="
+echo "== [2/7] clang-tidy =="
 if [[ "${SKIP_TIDY:-0}" == "1" ]]; then
   echo "skipped (SKIP_TIDY=1)"
 elif ! command -v clang-tidy >/dev/null; then
@@ -49,14 +56,14 @@ else
   fi
 fi
 
-echo "== [3/6] sanitizers =="
+echo "== [3/7] sanitizers =="
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "skipped (SKIP_SANITIZE=1)"
 else
   ci/sanitize.sh
 fi
 
-echo "== [4/6] telemetry smoke: trace + metrics JSON =="
+echo "== [4/7] telemetry smoke: trace + metrics JSON =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/upload.php" <<'PHP'
@@ -92,7 +99,7 @@ else
   echo "python3 not found; JSON structure check skipped"
 fi
 
-echo "== [5/6] telemetry overhead gate =="
+echo "== [5/7] telemetry overhead gate =="
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (SKIP_BENCH=1)"
 elif ! command -v python3 >/dev/null; then
@@ -137,7 +144,7 @@ PY
   fi
 fi
 
-echo "== [6/6] perf baseline gate (BENCH_PR3.json) =="
+echo "== [6/7] perf baseline gate (BENCH_PR3.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; perf baseline gate skipped"
 else
@@ -191,5 +198,47 @@ PY
     fi
   fi
 fi
+
+echo "== [7/7] SARIF export gate =="
+SARIF_DIR="$SMOKE_DIR/sarif"
+mkdir -p "$SARIF_DIR/corpus"
+# Evidence must be purely additive: same corpus dump byte-for-byte.
+"$BUILD_DIR/examples/corpus_verdicts" --dump "$SARIF_DIR/corpus" \
+  > "$SARIF_DIR/verdicts_plain.txt"
+"$BUILD_DIR/examples/corpus_verdicts" --explain \
+  > "$SARIF_DIR/verdicts_explain.txt"
+if ! cmp -s "$SARIF_DIR/verdicts_plain.txt" "$SARIF_DIR/verdicts_explain.txt"; then
+  echo "FAIL: corpus verdicts differ with --explain on vs off" >&2
+  diff "$SARIF_DIR/verdicts_plain.txt" "$SARIF_DIR/verdicts_explain.txt" | head >&2
+  exit 1
+fi
+echo "corpus verdicts byte-identical with --explain on/off"
+SARIF_APPS=0
+SARIF_VULN=0
+while IFS= read -r -d '' appdir; do
+  name=$(basename "$appdir")
+  out="$SARIF_DIR/${name// /_}.sarif"
+  rc=0
+  "$BUILD_DIR/examples/scan_directory" "$appdir" --quiet --explain \
+    --all-findings --sarif-out="$out" >/dev/null || rc=$?
+  if [[ "$rc" != "0" && "$rc" != "1" ]]; then
+    echo "FAIL: scan_directory exited $rc on $name" >&2
+    exit 1
+  fi
+  if [[ "$rc" == "1" ]]; then
+    # Vulnerable: the SARIF must carry results with full provenance.
+    "$BUILD_DIR/examples/validate_sarif" "$out" \
+      --require-result --require-codeflow >/dev/null
+    SARIF_VULN=$((SARIF_VULN + 1))
+  else
+    "$BUILD_DIR/examples/validate_sarif" "$out" >/dev/null
+  fi
+  SARIF_APPS=$((SARIF_APPS + 1))
+done < <(find "$SARIF_DIR/corpus" -mindepth 1 -maxdepth 1 -type d -print0)
+if [[ "$SARIF_VULN" == "0" ]]; then
+  echo "FAIL: no corpus app produced a vulnerable SARIF result" >&2
+  exit 1
+fi
+echo "validated $SARIF_APPS SARIF file(s), $SARIF_VULN with codeFlows"
 
 echo "== all checks passed =="

@@ -1,8 +1,10 @@
 // audit_report: runs UChecker and both baselines over the whole
 // reconstructed corpus and prints an auditor-style report: per-app
-// verdicts with precise source locations, aggregate precision/recall
-// for all three tools, and a fleet-level per-phase latency table
-// (p50/p95/p99 wall time per pipeline phase, from scan telemetry).
+// verdicts with precise source locations and full finding provenance
+// (source→sink taint path, branch guards, decoded attack), aggregate
+// precision/recall for all three tools, and a fleet-level per-phase
+// latency table (p50/p95/p99 wall time per pipeline phase, from scan
+// telemetry).
 //
 //   $ ./build/examples/audit_report
 #include <cstdio>
@@ -43,6 +45,7 @@ int main() {
   uchecker::telemetry::Telemetry telemetry;
   ScanOptions scan_options;
   scan_options.telemetry = &telemetry;
+  scan_options.explain = true;  // auditors want the full provenance
   Detector uchecker_scanner(scan_options);
   baselines::RipsScanner rips;
   baselines::WapScanner wap;
@@ -74,9 +77,27 @@ int main() {
                 entry.ground_truth_vulnerable ? "vulnerable" : "benign",
                 entry.ground_truth_vulnerable ? "" : "  (FALSE POSITIVE)");
     for (const Finding& f : report.findings) {
-      std::printf("  %s at %s\n", f.sink_name.c_str(), f.location.c_str());
+      std::printf("  %s at %s  [%s]\n", f.sink_name.c_str(),
+                  f.location.c_str(), f.fingerprint.c_str());
       std::printf("      %s\n", f.source_line.c_str());
       std::printf("      exploit witness: %s\n", f.witness.c_str());
+      const FindingEvidence& ev = f.evidence;
+      for (const EvidenceHop& hop : ev.taint_path) {
+        std::printf("      taint: %-8s %s%s%s%s\n", hop.kind.c_str(),
+                    hop.description.c_str(),
+                    hop.location.empty() ? "" : "  [", hop.location.c_str(),
+                    hop.location.empty() ? "" : "]");
+      }
+      for (const EvidenceGuard& g : ev.guards) {
+        std::printf("      guard: %s%s%s%s\n", g.sexpr.c_str(),
+                    g.location.empty() ? "" : "  [", g.location.c_str(),
+                    g.location.empty() ? "" : "]");
+      }
+      if (!ev.upload_filename.empty()) {
+        std::printf("      attack: upload \"%s\" -> written to \"%s\"%s\n",
+                    ev.upload_filename.c_str(), ev.destination.c_str(),
+                    ev.destination_complete ? "" : " (partially resolved)");
+      }
     }
     std::printf("\n");
   }

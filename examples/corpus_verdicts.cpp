@@ -1,12 +1,22 @@
 // corpus_verdicts: deterministic dump of every corpus scan's verdict and
-// findings (sink, location, dst/reachability s-exprs, witness), with all
-// timing- and machine-dependent stats omitted. Two builds of the scanner
-// are behaviorally equivalent on the corpus iff their dumps are
-// byte-identical — this is the regression oracle for optimizations that
-// must not change analysis results (hash-consing, caching, interning).
+// findings (sink, location, dst/reachability s-exprs, witness,
+// fingerprint), with all timing- and machine-dependent stats omitted.
+// Two builds of the scanner are behaviorally equivalent on the corpus
+// iff their dumps are byte-identical — this is the regression oracle for
+// optimizations that must not change analysis results (hash-consing,
+// caching, interning).
 //
 //   $ ./build/examples/corpus_verdicts > verdicts.txt
+//
+// --explain runs every scan with evidence collection on but prints the
+// same fields: diffing the two outputs proves evidence is purely
+// additive (CI does exactly that). --dump DIR additionally writes each
+// corpus app as a PHP tree under DIR/<app>/ so file-oriented tools
+// (scan_directory --sarif-out, external scanners) can run on the corpus.
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
 #include "core/detector/detector.h"
 #include "core/detector/report_io.h"
@@ -14,10 +24,49 @@
 
 using namespace uchecker::core;  // NOLINT
 
-int main() {
-  Detector detector;
+namespace {
+
+bool dump_app(const std::filesystem::path& dir, const Application& app) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const AppFile& f : app.files) {
+    const fs::path path = dir / app.name / f.name;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) return false;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << f.content;
+    if (!out) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool explain = false;
+  std::string dump_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
+    } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+      dump_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--explain] [--dump DIR]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  ScanOptions options;
+  options.explain = explain;
+  Detector detector(options);
   for (const uchecker::corpus::CorpusEntry& entry :
        uchecker::corpus::full_corpus()) {
+    if (!dump_dir.empty() && !dump_app(dump_dir, entry.app)) {
+      std::fprintf(stderr, "error: cannot dump %s under %s\n",
+                   entry.app.name.c_str(), dump_dir.c_str());
+      return 2;
+    }
     const ScanReport report = detector.scan(entry.app);
     std::printf("app: %s\n", entry.app.name.c_str());
     std::printf("verdict: %s\n",
@@ -30,6 +79,7 @@ int main() {
       std::printf("  dst: %s\n", f.dst_sexpr.c_str());
       std::printf("  reach: %s\n", f.reach_sexpr.c_str());
       std::printf("  witness: %s\n", f.witness.c_str());
+      std::printf("  fingerprint: %s\n", f.fingerprint.c_str());
     }
     std::printf("\n");
   }

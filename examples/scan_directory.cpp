@@ -10,6 +10,8 @@
 //                                                    [--fail-on-lint=SEV]
 //                                                    [--trace-out=FILE]
 //                                                    [--metrics-out=FILE]
+//                                                    [--sarif-out=FILE]
+//                                                    [--explain]
 //                                                    [--quiet | -v]
 //
 // Recursively collects *.php (and *.module) files under the given
@@ -24,6 +26,14 @@
 // breakdown as JSON. Verbosity is routed through the telemetry event
 // sink: --quiet suppresses warnings/notes, -v additionally logs
 // structured progress (one JSON object per event) to stderr.
+//
+// Triage: --explain attaches provenance to every finding — the
+// source→sink taint path (each hop anchored to file:line), the path's
+// branch guards, and the decoded attack (upload filename + resolved
+// destination). Verdicts are identical with or without it. --sarif-out
+// writes the report as SARIF 2.1.0 (findings as rule UC001 with
+// codeFlows when --explain is also given; lints as UC101..UC106) for
+// GitHub code scanning and other SARIF consumers.
 //
 // Static pass: --lint prints the pre-symbolic pass's structured lint
 // findings (UC101..UC106) in the text report; --no-prefilter disables
@@ -127,7 +137,8 @@ int main(int argc, char** argv) {
                  "usage: %s <directory-or-file> [--all-findings] [--json] "
                  "[--model-admin-gating] [--timeout-ms N] [--lint] "
                  "[--no-prefilter] [--crosscheck] [--fail-on-lint=SEV] "
-                 "[--trace-out=FILE] [--metrics-out=FILE] [--quiet] [-v]\n",
+                 "[--trace-out=FILE] [--metrics-out=FILE] [--sarif-out=FILE] "
+                 "[--explain] [--quiet] [-v]\n",
                  argv[0]);
     return 2;
   }
@@ -141,9 +152,11 @@ int main(int argc, char** argv) {
   bool fail_on_lint = false;
   staticpass::Severity fail_severity =
       staticpass::Severity::kError;
+  bool explain = false;
   long timeout_ms = 0;
   std::string trace_out;
   std::string metrics_out;
+  std::string sarif_out;
   Verbosity verbosity = Verbosity::kNormal;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all-findings") == 0) all_findings = true;
@@ -170,8 +183,10 @@ int main(int argc, char** argv) {
         std::strcmp(argv[i], "--verbose") == 0) {
       verbosity = Verbosity::kVerbose;
     }
+    if (std::strcmp(argv[i], "--explain") == 0) explain = true;
     flag_with_value(argc, argv, i, "--trace-out", trace_out);
     flag_with_value(argc, argv, i, "--metrics-out", metrics_out);
+    flag_with_value(argc, argv, i, "--sarif-out", sarif_out);
     if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --timeout-ms needs a value\n");
@@ -244,6 +259,7 @@ int main(int argc, char** argv) {
   options.locality.model_admin_gating = admin_gating;
   options.prefilter = !no_prefilter;
   options.crosscheck = crosscheck;
+  options.explain = explain;
   options.budget.time_limit = std::chrono::milliseconds(timeout_ms);
   if (want_telemetry) options.telemetry = &telemetry;
   Detector detector(options);
@@ -265,6 +281,11 @@ int main(int argc, char** argv) {
       !write_file(metrics_out, metrics_to_json(telemetry))) {
     log.warn("metrics_write_failed", metrics_out,
              "warning: cannot write metrics to " + metrics_out);
+  }
+  if (!sarif_out.empty() &&
+      !write_file(sarif_out, uchecker::sarif::to_json(to_sarif(report)))) {
+    log.warn("sarif_write_failed", sarif_out,
+             "warning: cannot write SARIF to " + sarif_out);
   }
 
   bool lint_tripped = false;
@@ -349,6 +370,30 @@ int main(int argc, char** argv) {
     std::printf("\n  %s at %s\n", f.sink_name.c_str(), f.location.c_str());
     std::printf("    %s\n", f.source_line.c_str());
     std::printf("    exploitable when: %s\n", f.witness.c_str());
+    std::printf("    fingerprint: %s\n", f.fingerprint.c_str());
+    const FindingEvidence& ev = f.evidence;
+    if (ev.empty()) continue;
+    if (!ev.taint_path.empty()) {
+      std::printf("    taint path:\n");
+      for (const EvidenceHop& hop : ev.taint_path) {
+        std::printf("      %-8s %s%s%s%s\n", hop.kind.c_str(),
+                    hop.description.c_str(), hop.location.empty() ? "" : "  [",
+                    hop.location.c_str(), hop.location.empty() ? "" : "]");
+      }
+    }
+    if (!ev.guards.empty()) {
+      std::printf("    guarded by:\n");
+      for (const EvidenceGuard& g : ev.guards) {
+        std::printf("      %s%s%s%s\n", g.sexpr.c_str(),
+                    g.location.empty() ? "" : "  [", g.location.c_str(),
+                    g.location.empty() ? "" : "]");
+      }
+    }
+    if (!ev.upload_filename.empty()) {
+      std::printf("    attack: upload \"%s\" -> written to \"%s\"%s\n",
+                  ev.upload_filename.c_str(), ev.destination.c_str(),
+                  ev.destination_complete ? "" : " (partially resolved)");
+    }
   }
   return exit_code;
 }

@@ -1,0 +1,85 @@
+// validate_sarif: structural SARIF 2.1.0 gate for CI.
+//
+//   $ ./build/examples/validate_sarif report.sarif [--require-result]
+//                                                  [--require-codeflow]
+//
+// Reads one SARIF file and runs uchecker's structural validator over it
+// (version/runs/tool spine, rule declarations, result locations,
+// codeFlows, partialFingerprints — see support/sarif_export.h). With
+// --require-result the file must additionally contain at least one
+// result; with --require-codeflow at least one result must carry a
+// codeFlow (i.e. the scan ran with --explain and produced provenance).
+// Exit codes: 0 valid, 1 invalid (reason on stderr), 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/jsonlite.h"
+#include "support/sarif_export.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <file.sarif> [--require-result] "
+                 "[--require-codeflow]\n",
+                 argv[0]);
+    return 2;
+  }
+  bool require_result = false;
+  bool require_codeflow = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-result") == 0) {
+      require_result = true;
+    } else if (std::strcmp(argv[i], "--require-codeflow") == 0) {
+      require_codeflow = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::string error;
+  if (!uchecker::sarif::structurally_valid(text, &error)) {
+    std::fprintf(stderr, "invalid SARIF: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (require_result || require_codeflow) {
+    const auto root = uchecker::jsonlite::parse(text);
+    std::size_t results = 0;
+    std::size_t codeflows = 0;
+    const uchecker::jsonlite::Value* runs = root->find("runs");
+    for (const uchecker::jsonlite::Value& run : runs->items()) {
+      const uchecker::jsonlite::Value* rs = run.find("results");
+      if (rs == nullptr) continue;
+      results += rs->size();
+      for (const uchecker::jsonlite::Value& result : rs->items()) {
+        const uchecker::jsonlite::Value* flows = result.find("codeFlows");
+        if (flows != nullptr && flows->size() > 0) ++codeflows;
+      }
+    }
+    if (require_result && results == 0) {
+      std::fprintf(stderr, "invalid SARIF: no results (--require-result)\n");
+      return 1;
+    }
+    if (require_codeflow && codeflows == 0) {
+      std::fprintf(stderr,
+                   "invalid SARIF: no result carries a codeFlow "
+                   "(--require-codeflow)\n");
+      return 1;
+    }
+  }
+  std::printf("%s: valid SARIF 2.1.0\n", argv[1]);
+  return 0;
+}

@@ -18,6 +18,47 @@ std::string root_name(const AnalysisRoot& root) {
   return "<root>";
 }
 
+// "file:line" anchor for an evidence hop/guard (no column: hops anchor
+// whole lines). Returns empty strings when the location is unknown.
+void render_anchor(const SourceManager& sources, SourceLoc loc,
+                   std::string& file, std::uint32_t& line,
+                   std::string& location) {
+  const SourceFile* sf = sources.file(loc.file);
+  if (sf == nullptr || loc.line == 0) return;
+  file = sf->name();
+  line = loc.line;
+  location = file + ":" + std::to_string(loc.line);
+}
+
+// Maps the structural evidence on a SinkVerdict into the rendered,
+// source-anchored bundle a Finding carries.
+FindingEvidence render_evidence(const SourceManager& sources,
+                                const SinkVerdict& sv) {
+  FindingEvidence evidence;
+  evidence.taint_path.reserve(sv.taint_path.size());
+  for (const TaintHop& hop : sv.taint_path) {
+    EvidenceHop rendered;
+    rendered.kind = std::string(object_kind_name(hop.kind));
+    rendered.description = hop.description;
+    render_anchor(sources, hop.loc, rendered.file, rendered.line,
+                  rendered.location);
+    evidence.taint_path.push_back(std::move(rendered));
+  }
+  evidence.guards.reserve(sv.guards.size());
+  for (const PathGuard& guard : sv.guards) {
+    EvidenceGuard rendered;
+    rendered.sexpr = guard.sexpr;
+    render_anchor(sources, guard.loc, rendered.file, rendered.line,
+                  rendered.location);
+    evidence.guards.push_back(std::move(rendered));
+  }
+  evidence.bindings = sv.attack.bindings;
+  evidence.upload_filename = sv.attack.upload_filename;
+  evidence.destination = sv.attack.destination;
+  evidence.destination_complete = sv.attack.destination_complete;
+  return evidence;
+}
+
 // Converts the exception in flight into a ScanError. InjectedFault
 // carries its exact fault point, which overrides the containment-site
 // phase — that is how tests prove phase provenance end to end.
@@ -56,6 +97,33 @@ std::string_view verdict_name(Verdict v) {
     case Verdict::kAnalysisDisagreement: return "Analysis disagreement";
   }
   return "invalid";
+}
+
+std::string finding_fingerprint(std::string_view app, std::string_view sink,
+                                std::string_view dst_sexpr) {
+  // FNV-1a 64 over the identity triple, fields separated by a byte that
+  // cannot occur in any of them. The dst s-expression is canonical
+  // (hash-consed graph → one rendering per term), so the hash is stable
+  // across line-number churn from unrelated edits.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ULL;
+  };
+  mix(app);
+  mix(sink);
+  mix(dst_sexpr);
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
 }
 
 Detector::Detector(ScanOptions options) : options_(std::move(options)) {}
@@ -330,7 +398,9 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
 
     VulnModelResult vuln;
     try {
-      vuln = check_sinks(exec, checker, options_.vuln, &query_cache_);
+      VulnModelOptions vuln_options = options_.vuln;
+      vuln_options.collect_evidence = options_.explain;
+      vuln = check_sinks(exec, checker, vuln_options, &query_cache_);
     } catch (...) {
       report.errors.push_back(
           describe_current_exception("solve", root_name(root)));
@@ -357,10 +427,17 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
         finding.location = sources.describe(sv.sink.loc);
         if (const SourceFile* sf = sources.file(sv.sink.loc.file)) {
           finding.source_line = std::string(sf->line(sv.sink.loc.line));
+          finding.file = sf->name();
+          finding.line = sv.sink.loc.line;
         }
         finding.dst_sexpr = sv.dst_sexpr;
         finding.reach_sexpr = sv.reach_sexpr;
         finding.witness = sv.witness;
+        finding.fingerprint =
+            finding_fingerprint(app.name, sv.sink.sink_name, sv.dst_sexpr);
+        if (options_.explain) {
+          finding.evidence = render_evidence(sources, sv);
+        }
         report.findings.push_back(std::move(finding));
       }
     }

@@ -8,8 +8,10 @@
 // and the verdict, plus per-finding source locations and witnesses.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/callgraph/callgraph.h"
@@ -43,6 +45,12 @@ struct ScanOptions {
   bool prefilter = true;
   bool lint = true;
   bool crosscheck = false;
+  // Finding provenance: attach a source→sink taint path, the path's
+  // branch guards, and a decoded attack reconstruction to every finding
+  // (and fill Finding::evidence). Purely additive — verdicts and every
+  // other report field are byte-identical with it on or off; off keeps
+  // the vulnerability model on its zero-overhead path.
+  bool explain = false;
   // Optional observability handle (see support/telemetry.h). When set,
   // every scan records a phase-scoped span tree, interpreter progress
   // samples and solver latencies into a per-scan trace, and shared
@@ -73,14 +81,62 @@ struct ScanError {
   bool transient = false;  // a retry may clear it (OOM, injected transient)
 };
 
+// One rendered hop of a finding's source→sink taint path: which heap
+// object carries the taint, and the PHP line it came from.
+struct EvidenceHop {
+  std::string kind;         // "symbol" | "concrete" | "func" | "op" | "array"
+  std::string description;  // operator / builtin / symbol name / value
+  std::string file;         // source file name ("" when unknown)
+  std::uint32_t line = 0;   // 1-based; 0 when unknown
+  std::string location;     // "file:line" rendering ("" when unknown)
+};
+
+// One rendered conjunct of the finding's path constraint.
+struct EvidenceGuard {
+  std::string sexpr;        // e.g. (== s_files_f_ext "php")
+  std::string file;
+  std::uint32_t line = 0;
+  std::string location;     // "file:line"
+};
+
+// The full provenance bundle of one finding (ScanOptions::explain).
+struct FindingEvidence {
+  std::vector<EvidenceHop> taint_path;  // ordered $_FILES source → sink
+  std::vector<EvidenceGuard> guards;    // path constraint, program order
+  std::vector<WitnessBinding> bindings; // decoded Z3 model assignments
+  std::string upload_filename;          // e.g. payload.php5
+  std::string destination;              // resolved destination string
+  bool destination_complete = false;
+
+  [[nodiscard]] bool empty() const {
+    return taint_path.empty() && guards.empty() && bindings.empty() &&
+           upload_filename.empty() && destination.empty();
+  }
+};
+
 struct Finding {
   std::string sink_name;
-  std::string location;     // "file:line"
+  std::string location;     // "file:line:col"
+  std::string file;         // source file name (SARIF artifact uri)
+  std::uint32_t line = 0;   // 1-based sink line; 0 when unknown
   std::string source_line;  // the vulnerable line of PHP
   std::string dst_sexpr;
   std::string reach_sexpr;
   std::string witness;      // Z3 model, e.g. s_ext = "php"
+  // Stable cross-scan identity: hash of (app, sink name, canonical dst
+  // s-expression). Survives line-number churn from unrelated edits, so
+  // CI can dedup findings across scans (SARIF partialFingerprints).
+  std::string fingerprint;
+  // Populated only under ScanOptions::explain; empty() otherwise.
+  FindingEvidence evidence;
 };
+
+// The fingerprint scheme behind Finding::fingerprint (FNV-1a 64,
+// rendered as 16 hex digits). Exposed so tests and external triage
+// tooling can recompute it.
+[[nodiscard]] std::string finding_fingerprint(std::string_view app,
+                                              std::string_view sink,
+                                              std::string_view dst_sexpr);
 
 struct ScanReport {
   std::string app_name;

@@ -14,6 +14,49 @@ std::string json_number(double value) {
   return buffer;
 }
 
+// Serializes one finding's provenance bundle (ScanOptions::explain).
+std::string evidence_json(const FindingEvidence& ev) {
+  std::string out = "{\"taint_path\": [";
+  for (std::size_t i = 0; i < ev.taint_path.size(); ++i) {
+    const EvidenceHop& hop = ev.taint_path[i];
+    if (i != 0) out += ", ";
+    out += "{";
+    out += "\"kind\": " + strutil::quote(hop.kind) + ", ";
+    out += "\"description\": " + strutil::quote(hop.description) + ", ";
+    out += "\"file\": " + strutil::quote(hop.file) + ", ";
+    out += "\"line\": " + std::to_string(hop.line) + ", ";
+    out += "\"location\": " + strutil::quote(hop.location);
+    out += "}";
+  }
+  out += "], \"guards\": [";
+  for (std::size_t i = 0; i < ev.guards.size(); ++i) {
+    const EvidenceGuard& g = ev.guards[i];
+    if (i != 0) out += ", ";
+    out += "{";
+    out += "\"sexpr\": " + strutil::quote(g.sexpr) + ", ";
+    out += "\"file\": " + strutil::quote(g.file) + ", ";
+    out += "\"line\": " + std::to_string(g.line) + ", ";
+    out += "\"location\": " + strutil::quote(g.location);
+    out += "}";
+  }
+  out += "], \"bindings\": [";
+  for (std::size_t i = 0; i < ev.bindings.size(); ++i) {
+    const WitnessBinding& b = ev.bindings[i];
+    if (i != 0) out += ", ";
+    out += "{";
+    out += "\"symbol\": " + strutil::quote(b.symbol) + ", ";
+    out += "\"raw\": " + strutil::quote(b.raw) + ", ";
+    out += "\"decoded\": " + strutil::quote(b.decoded);
+    out += "}";
+  }
+  out += "], \"upload_filename\": " + strutil::quote(ev.upload_filename);
+  out += ", \"destination\": " + strutil::quote(ev.destination);
+  out += std::string(", \"destination_complete\": ") +
+         (ev.destination_complete ? "true" : "false");
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 std::string_view verdict_slug(Verdict v) {
@@ -102,10 +145,16 @@ std::string to_json(const ScanReport& report) {
     out += "{";
     out += "\"sink\": " + strutil::quote(f.sink_name) + ", ";
     out += "\"location\": " + strutil::quote(f.location) + ", ";
+    out += "\"file\": " + strutil::quote(f.file) + ", ";
+    out += "\"line\": " + std::to_string(f.line) + ", ";
     out += "\"source_line\": " + strutil::quote(f.source_line) + ", ";
     out += "\"dst\": " + strutil::quote(f.dst_sexpr) + ", ";
     out += "\"reachability\": " + strutil::quote(f.reach_sexpr) + ", ";
-    out += "\"witness\": " + strutil::quote(f.witness);
+    out += "\"witness\": " + strutil::quote(f.witness) + ", ";
+    out += "\"fingerprint\": " + strutil::quote(f.fingerprint);
+    if (!f.evidence.empty()) {
+      out += ", \"evidence\": " + evidence_json(f.evidence);
+    }
     out += "}";
   }
   out += "]}";
@@ -177,8 +226,176 @@ std::string to_text(const ScanReport& report) {
     out += "finding     : " + f.sink_name + " at " + f.location + "\n";
     out += "              " + f.source_line + "\n";
     out += "              exploitable when " + f.witness + "\n";
+    out += "              fingerprint " + f.fingerprint + "\n";
+    const FindingEvidence& ev = f.evidence;
+    if (ev.empty()) continue;
+    if (!ev.taint_path.empty()) {
+      out += "  taint path:\n";
+      for (const EvidenceHop& hop : ev.taint_path) {
+        out += "    " + hop.kind + " " + hop.description;
+        if (!hop.location.empty()) out += "  [" + hop.location + "]";
+        out += "\n";
+      }
+    }
+    if (!ev.guards.empty()) {
+      out += "  guarded by:\n";
+      for (const EvidenceGuard& g : ev.guards) {
+        out += "    " + g.sexpr;
+        if (!g.location.empty()) out += "  [" + g.location + "]";
+        out += "\n";
+      }
+    }
+    if (!ev.upload_filename.empty()) {
+      out += "  attack      : upload \"" + ev.upload_filename +
+             "\" -> written to \"" + ev.destination + "\"";
+      if (!ev.destination_complete) out += " (partially resolved)";
+      out += "\n";
+    }
   }
   return out;
+}
+
+namespace {
+
+// Splits a "file:line" (lint) or "file:line:col" (finding) rendering
+// into artifact uri + 1-based line. Unparsable text keeps the whole
+// string as the uri with line 0 (region suppressed).
+sarif::Location split_location(std::string_view rendered) {
+  sarif::Location loc;
+  loc.uri = std::string(rendered);
+  // Walk colon-separated numeric suffixes off the right (at most two:
+  // column, then line).
+  std::string_view rest = rendered;
+  std::uint32_t numbers[2] = {0, 0};
+  int taken = 0;
+  while (taken < 2) {
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos) break;
+    const std::optional<std::int64_t> n =
+        strutil::parse_int(rest.substr(colon + 1));
+    if (!n.has_value() || *n < 0) break;
+    numbers[taken++] = static_cast<std::uint32_t>(*n);
+    rest = rest.substr(0, colon);
+  }
+  if (taken == 0) return loc;
+  loc.uri = std::string(rest);
+  // With one numeric suffix it is the line; with two, the line is the
+  // first of the pair (the rightmost number was the column).
+  loc.line = taken == 1 ? numbers[0] : numbers[1];
+  return loc;
+}
+
+std::string_view lint_rule_name(std::string_view rule) {
+  if (rule == "UC101") return "UnrestrictedUpload";
+  if (rule == "UC102") return "ExtensionBlacklist";
+  if (rule == "UC103") return "CaseSensitiveCompare";
+  if (rule == "UC104") return "DoubleExtensionSplit";
+  if (rule == "UC105") return "ForcedExecutableDest";
+  if (rule == "UC106") return "RawClientFilename";
+  return "UnknownLint";
+}
+
+std::string_view lint_rule_description(std::string_view rule) {
+  if (rule == "UC101") {
+    return "A tainted upload filename reaches a file-write sink with no "
+           "recognized guard.";
+  }
+  if (rule == "UC102") {
+    return "Upload extension filtered with a deny-list; unlisted "
+           "executable extensions pass.";
+  }
+  if (rule == "UC103") {
+    return "Extension compared case-sensitively; \".PhP\" bypasses the "
+           "check.";
+  }
+  if (rule == "UC104") {
+    return "Extension taken from a fixed explode() segment; "
+           "\"a.php.jpg\" style double extensions bypass the check.";
+  }
+  if (rule == "UC105") {
+    return "Upload destination is forced to end with a server-executable "
+           "extension.";
+  }
+  if (rule == "UC106") {
+    return "Client-supplied filename used in the destination path "
+           "without sanitization.";
+  }
+  return "Unknown lint rule.";
+}
+
+std::string_view severity_level(staticpass::Severity s) {
+  switch (s) {
+    case staticpass::Severity::kError: return "error";
+    case staticpass::Severity::kWarning: return "warning";
+    case staticpass::Severity::kInfo: return "note";
+  }
+  return "warning";
+}
+
+}  // namespace
+
+sarif::Log to_sarif(const ScanReport& report) {
+  sarif::Log log;
+  log.tool.name = "uchecker";
+  log.tool.version = "1.0.0";
+  log.tool.information_uri =
+      "https://www.usenix.org/conference/usenixsecurity19/presentation/huang";
+
+  // Declare the full rule vocabulary up front so every result's ruleId
+  // resolves regardless of which rules fired in this particular scan.
+  log.rules.push_back(
+      {"UC001", "UnrestrictedFileUpload",
+       "An attacker-controlled upload can be written with a "
+       "server-executable extension (verified satisfiable by the SMT "
+       "solver)."});
+  for (const char* rule :
+       {"UC101", "UC102", "UC103", "UC104", "UC105", "UC106"}) {
+    log.rules.push_back({rule, std::string(lint_rule_name(rule)),
+                         std::string(lint_rule_description(rule))});
+  }
+
+  for (const Finding& f : report.findings) {
+    sarif::Result result;
+    result.rule_id = "UC001";
+    result.level = "error";
+    result.message = "Unrestricted file upload: attacker-controlled data "
+                     "reaches " +
+                     f.sink_name + "() with a server-executable extension";
+    if (!f.evidence.upload_filename.empty()) {
+      result.message += "; uploading \"" + f.evidence.upload_filename +
+                        "\" writes \"" + f.evidence.destination + "\"";
+    }
+    result.message += ".";
+    result.location.uri = f.file.empty() ? report.app_name : f.file;
+    result.location.line = f.line;
+    result.fingerprints.emplace_back("uchecker/v1", f.fingerprint);
+    if (!f.evidence.taint_path.empty()) {
+      sarif::CodeFlow flow;
+      for (const EvidenceHop& hop : f.evidence.taint_path) {
+        sarif::Location step;
+        step.uri = hop.file.empty() ? result.location.uri : hop.file;
+        step.line = hop.line;
+        step.message = hop.kind + ": " + hop.description;
+        flow.locations.push_back(std::move(step));
+      }
+      sarif::Location sink_step = result.location;
+      sink_step.message = "sink: " + f.sink_name + "()";
+      flow.locations.push_back(std::move(sink_step));
+      result.code_flows.push_back(std::move(flow));
+    }
+    log.results.push_back(std::move(result));
+  }
+
+  for (const staticpass::LintFinding& l : report.lints) {
+    sarif::Result result;
+    result.rule_id = l.rule;
+    result.level = std::string(severity_level(l.severity));
+    result.message = l.message;
+    if (!l.evidence.empty()) result.message += " (" + l.evidence + ")";
+    result.location = split_location(l.location);
+    log.results.push_back(std::move(result));
+  }
+  return log;
 }
 
 }  // namespace uchecker::core

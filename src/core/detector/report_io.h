@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/detector/detector.h"
+#include "support/sarif_export.h"
 
 namespace uchecker::core {
 
@@ -23,9 +24,21 @@ namespace uchecker::core {
 //   "errors": [ { "phase": "parse" | "locality" | "interp" | "translate" |
 //                 "solve" | "scan", "root": "...", "message": "...",
 //                 "transient": B }, ... ],
-//   "findings": [ { "sink": "...", "location": "...", "source_line": "...",
-//                   "dst": "...", "reachability": "...",
-//                   "witness": "..." }, ... ]
+//   "findings": [ { "sink": "...", "location": "...", "file": "...",
+//                   "line": N, "source_line": "...", "dst": "...",
+//                   "reachability": "...", "witness": "...",
+//                   "fingerprint": "16 hex chars",
+//                   "evidence": {  // only under ScanOptions::explain
+//                     "taint_path": [ { "kind": "...", "description": "...",
+//                                       "file": "...", "line": N,
+//                                       "location": "file:line" }, ... ],
+//                     "guards": [ { "sexpr": "...", "file": "...",
+//                                   "line": N, "location": "..." }, ... ],
+//                     "bindings": [ { "symbol": "...", "raw": "...",
+//                                     "decoded": "..." }, ... ],
+//                     "upload_filename": "payload.php5",
+//                     "destination": "...",
+//                     "destination_complete": B } }, ... ]
 // }
 //
 // Degradation fields (stable, additive):
@@ -52,5 +65,14 @@ namespace uchecker::core {
 // Stable slug for a verdict ("vulnerable", "not_vulnerable",
 // "analysis_incomplete", "analysis_error").
 [[nodiscard]] std::string_view verdict_slug(Verdict v);
+
+// Maps a report into a SARIF 2.1.0 log (serialize with sarif::to_json).
+// Symbolic findings become rule UC001 results; when a finding carries
+// evidence (ScanOptions::explain) its taint path becomes a codeFlow /
+// threadFlow walking source → sink and the decoded attack joins the
+// message. Static-pass lints (UC101–UC106) become results at their
+// severity-mapped level (error/warning/note). Finding::fingerprint is
+// emitted under partialFingerprints as "uchecker/v1".
+[[nodiscard]] sarif::Log to_sarif(const ScanReport& report);
 
 }  // namespace uchecker::core

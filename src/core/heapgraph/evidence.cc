@@ -1,0 +1,143 @@
+#include "core/heapgraph/evidence.h"
+
+#include <algorithm>
+
+#include "core/heapgraph/sexpr.h"
+#include "support/strutil.h"
+
+namespace uchecker::core {
+namespace {
+
+constexpr std::size_t kValuePreviewLimit = 40;
+
+std::string describe_node(const Object& obj) {
+  switch (obj.kind) {
+    case Object::Kind::kConcrete: {
+      std::string rendered = value_to_string(obj.value);
+      if (rendered.size() > kValuePreviewLimit) {
+        rendered.resize(kValuePreviewLimit);
+        rendered += "...";
+      }
+      if (obj.type == Type::kString) return strutil::quote(rendered);
+      return rendered;
+    }
+    case Object::Kind::kSymbol:
+      return obj.name;
+    case Object::Kind::kFunc:
+      return obj.name + "()";
+    case Object::Kind::kOp:
+      return std::string(op_kind_name(obj.op));
+    case Object::Kind::kArray:
+      return "array";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<TaintHop> extract_taint_path(const HeapGraph& graph, Label from,
+                                         SourceLoc fallback) {
+  std::vector<TaintHop> hops;
+  if (!graph.reaches_files_taint(from)) return hops;
+
+  // Descend from the sink argument towards a tainted object, always
+  // taking the first child (operands, then array entries) that still
+  // reaches taint. Children carry strictly smaller labels than their
+  // parent, so the walk terminates without a visited set.
+  Label label = from;
+  while (label != kNoLabel) {
+    const Object& obj = graph.at(label);
+    TaintHop hop;
+    hop.label = label;
+    hop.kind = obj.kind;
+    hop.description = describe_node(obj);
+    hop.loc = obj.loc;
+    if (obj.files_tainted) {
+      hops.push_back(std::move(hop));
+      break;
+    }
+    Label next = kNoLabel;
+    for (const Label c : obj.children) {
+      if (c != kNoLabel && graph.reaches_files_taint(c)) {
+        next = c;
+        break;
+      }
+    }
+    if (next == kNoLabel) {
+      for (const ArrayEntry& e : obj.entries) {
+        if (e.value != kNoLabel && graph.reaches_files_taint(e.value)) {
+          next = e.value;
+          hop.description = "array[" + e.key + "]";
+          break;
+        }
+      }
+    }
+    hops.push_back(std::move(hop));
+    // reaches_files_taint(label) held and the node itself is untainted,
+    // so some child must reach taint; next == kNoLabel is unreachable
+    // but guards against a concurrent-modification bug becoming a hang.
+    if (next == kNoLabel) break;
+    label = next;
+  }
+
+  // Sink-first as walked; the contract is source-first.
+  std::reverse(hops.begin(), hops.end());
+
+  // Anchor hops whose node has no location: inherit the nearest
+  // neighbour's (prefer the previous hop — same direction the value
+  // flowed), then the sink-site fallback.
+  SourceLoc last_valid = fallback;
+  for (TaintHop& hop : hops) {
+    if (hop.loc.valid()) {
+      last_valid = hop.loc;
+    } else {
+      hop.loc = last_valid;
+    }
+  }
+  for (std::size_t i = hops.size(); i-- > 0;) {
+    if (hops[i].loc.valid()) {
+      last_valid = hops[i].loc;
+    } else {
+      hops[i].loc = last_valid;
+    }
+  }
+  return hops;
+}
+
+std::vector<PathGuard> extract_guards(const HeapGraph& graph,
+                                      Label reachability) {
+  std::vector<PathGuard> guards;
+  if (reachability == kNoLabel) return guards;
+
+  // ER() builds cur as (AND (AND (AND g1 g2) g3) g4): a left-leaning
+  // chain whose left spine holds earlier guards. Unwind it iteratively,
+  // left-first, so conjuncts come out in program order.
+  std::vector<Label> stack{reachability};
+  std::vector<Label> conjuncts;
+  while (!stack.empty()) {
+    const Label label = stack.back();
+    stack.pop_back();
+    const Object* obj = graph.find(label);
+    if (obj == nullptr) continue;
+    if (obj->kind == Object::Kind::kOp && obj->op == OpKind::kAnd) {
+      // Push left last so it is unwound first (earlier guards first).
+      if (obj->children.size() == 2) {
+        stack.push_back(obj->children[1]);
+        stack.push_back(obj->children[0]);
+        continue;
+      }
+    }
+    conjuncts.push_back(label);
+  }
+  guards.reserve(conjuncts.size());
+  for (const Label label : conjuncts) {
+    PathGuard guard;
+    guard.label = label;
+    guard.sexpr = to_sexpr(graph, label);
+    guard.loc = graph.at(label).loc;
+    guards.push_back(std::move(guard));
+  }
+  return guards;
+}
+
+}  // namespace uchecker::core

@@ -1,0 +1,62 @@
+// Finding provenance over the heap graph (paper Fig. 4/5/6): the
+// reachability argument a verdict rests on, materialized as data.
+//
+// A vulnerable verdict says "the sink's source argument reaches a
+// $_FILES-tainted object and the destination constraint is SAT", but the
+// Finding used to expose only s-expressions — an auditor could not see
+// *which* chain of operations carries the taint, or which branch guards
+// make up the path constraint. The two extractors here walk the
+// (immutable, acyclic) heap graph and return that argument as hop lists
+// anchored in PHP source, cheap enough to run per finding:
+//
+//   extract_taint_path  — one concrete object path from the $_FILES
+//                         source down to the sink argument, one hop per
+//                         graph node, each with its SourceLoc.
+//   extract_guards      — the conjuncts of the path's reachability
+//                         constraint (Env::cur is a right-leaning AND
+//                         chain built by ER()), each with the location
+//                         of the branch condition that contributed it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/heapgraph/heapgraph.h"
+
+namespace uchecker::core {
+
+// One node on the source-to-sink taint path.
+struct TaintHop {
+  Label label = kNoLabel;
+  Object::Kind kind = Object::Kind::kSymbol;
+  // Human-readable node identity: the operator ("."), the builtin name
+  // ("str_replace()"), the symbol name ("s_files_f_ext"), a concrete
+  // value preview ("\"/uploads/\""), or "array[key]" for the entry
+  // descended through.
+  std::string description;
+  SourceLoc loc;
+};
+
+// Walks from `from` (a sink argument) to a $_FILES-tainted object and
+// returns the hops ordered source-first (the tainted origin is hop 0,
+// `from` is the last hop). Empty when `from` does not reach taint.
+// Nodes whose own location is unknown inherit the nearest anchored
+// neighbour's location, falling back to `fallback` (pass the sink call
+// site), so every returned hop is anchored when any anchor exists.
+[[nodiscard]] std::vector<TaintHop> extract_taint_path(
+    const HeapGraph& graph, Label from, SourceLoc fallback = {});
+
+// One conjunct of a path's reachability constraint.
+struct PathGuard {
+  Label label = kNoLabel;
+  std::string sexpr;  // the guard, paper notation, e.g. (== s_ext "php")
+  SourceLoc loc;      // branch condition's source location
+};
+
+// Flattens the AND chain rooted at `reachability` (kNoLabel = "true",
+// yielding no guards) into its conjuncts, in the order ER() conjoined
+// them — i.e. program order of the branches taken.
+[[nodiscard]] std::vector<PathGuard> extract_guards(const HeapGraph& graph,
+                                                    Label reachability);
+
+}  // namespace uchecker::core

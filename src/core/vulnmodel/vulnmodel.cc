@@ -116,7 +116,181 @@ struct LabelPairHash {
   }
 };
 
+// Renders the destination term with model bindings substituted. Tracks
+// whether every subterm resolved to a concrete string.
+struct DestinationResolver {
+  const HeapGraph& graph;
+  const std::map<std::string, std::string>& assignments;
+  const VulnModelOptions& options;
+  bool complete = true;
+
+  void render(Label label, std::string& out, int depth) {
+    if (depth > 64) {
+      out += "<...>";
+      complete = false;
+      return;
+    }
+    const Object* obj = graph.find(label);
+    if (obj == nullptr) {
+      complete = false;
+      out += "<null>";
+      return;
+    }
+    switch (obj->kind) {
+      case Object::Kind::kConcrete:
+        out += value_to_string(obj->value);
+        return;
+      case Object::Kind::kSymbol: {
+        const auto it = assignments.find(obj->name);
+        if (it != assignments.end()) {
+          out += decode_z3_value(it->second);
+          return;
+        }
+        if (obj->files_tainted) {
+          // Unconstrained attacker-controlled input: any value satisfies
+          // the model, so pick a presentable one. Extension symbols get
+          // an executable extension (that is the attack), stems a stub.
+          if (obj->name.find("_ext") != std::string::npos &&
+              !options.executable_extensions.empty()) {
+            out += options.executable_extensions.front();
+          } else {
+            out += "payload";
+          }
+          return;
+        }
+        complete = false;
+        out += "<" + obj->name + ">";
+        return;
+      }
+      case Object::Kind::kOp:
+        if (obj->op == OpKind::kConcat && obj->children.size() == 2) {
+          render(obj->children[0], out, depth + 1);
+          render(obj->children[1], out, depth + 1);
+          return;
+        }
+        complete = false;
+        out += "<" + std::string(op_kind_name(obj->op)) + ">";
+        return;
+      case Object::Kind::kFunc: {
+        const Label through = resolve_through_identity(graph, label);
+        if (through != label) {
+          render(through, out, depth + 1);
+          return;
+        }
+        complete = false;
+        out += "<" + obj->name + "(...)>";
+        return;
+      }
+      case Object::Kind::kArray:
+        complete = false;
+        out += "<array>";
+        return;
+    }
+  }
+};
+
 }  // namespace
+
+std::string decode_z3_value(std::string_view raw) {
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') {
+    return std::string(raw);  // numeral / boolean / uninterpreted
+  }
+  const std::string_view body = raw.substr(1, raw.size() - 2);
+  std::string out;
+  out.reserve(body.size());
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (c == '"' && i + 1 < body.size() && body[i + 1] == '"') {
+      out += '"';  // SMT-LIB doubles quotes inside string literals
+      ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < body.size()) {
+      // Z3 renders non-printables as \xNN or \u{NN...}.
+      const auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      if (body[i + 1] == 'x' && i + 3 < body.size() && hex(body[i + 2]) >= 0 &&
+          hex(body[i + 3]) >= 0) {
+        out += static_cast<char>(hex(body[i + 2]) * 16 + hex(body[i + 3]));
+        i += 3;
+        continue;
+      }
+      if (body[i + 1] == 'u' && i + 2 < body.size() && body[i + 2] == '{') {
+        const std::size_t close = body.find('}', i + 3);
+        if (close != std::string_view::npos && close - i - 3 <= 6) {
+          unsigned code = 0;
+          bool ok = true;
+          for (std::size_t j = i + 3; j < close; ++j) {
+            const int h = hex(body[j]);
+            if (h < 0) {
+              ok = false;
+              break;
+            }
+            code = code * 16 + static_cast<unsigned>(h);
+          }
+          if (ok && code < 0x80) {
+            out += static_cast<char>(code);
+            i = close;
+            continue;
+          }
+        }
+      }
+    }
+    out += c;
+  }
+  return out;
+}
+
+AttackWitness decode_witness(
+    const HeapGraph& graph, Label dst,
+    const std::map<std::string, std::string>& assignments,
+    const VulnModelOptions& options) {
+  AttackWitness attack;
+  // No assignments means no model (unsat/unknown, or a solver that
+  // produced none): nothing to decode, no attack to reconstruct.
+  if (assignments.empty()) return attack;
+  attack.has_model = true;
+  attack.bindings.reserve(assignments.size());
+  std::string ext_value;
+  std::string stem_value;
+  for (const auto& [symbol, raw] : assignments) {
+    WitnessBinding binding;
+    binding.symbol = symbol;
+    binding.raw = raw;
+    binding.decoded = decode_z3_value(raw);
+    if (symbol.find("_ext") != std::string::npos && ext_value.empty()) {
+      ext_value = binding.decoded;
+    }
+    if (symbol.find("_filename") != std::string::npos && stem_value.empty()) {
+      stem_value = binding.decoded;
+    }
+    attack.bindings.push_back(std::move(binding));
+  }
+
+  // The attacker's upload filename: the bound stem/extension of the
+  // pre-structured $_FILES name, with free (attacker-chosen) parts
+  // defaulted. Without an extension binding — the suffixof encoding
+  // constrains the whole destination, not the extension symbol — any
+  // executable extension realizes the attack.
+  if (stem_value.empty()) stem_value = "payload";
+  if (ext_value.empty() && !options.executable_extensions.empty()) {
+    ext_value = options.executable_extensions.front();
+  }
+  if (!ext_value.empty()) {
+    attack.upload_filename = stem_value + "." + ext_value;
+  }
+
+  if (dst != kNoLabel) {
+    DestinationResolver resolver{graph, assignments, options};
+    resolver.render(dst, attack.destination, 0);
+    attack.destination_complete = resolver.complete;
+  }
+  return attack;
+}
 
 std::optional<SolverQueryCache::Outcome> SolverQueryCache::lookup(
     const std::string& key) const {
@@ -172,9 +346,34 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
   }
 
   // Paths that share the same (dst, reachability) objects would repeat
-  // the identical solver query; memoize outcomes.
-  std::unordered_map<std::pair<Label, Label>, smt::SatResult, LabelPairHash>
-      memo;
+  // the identical solver query; memoize outcomes. The witness and model
+  // bindings ride along so a memoized duplicate carries the same
+  // evidence bundle as the sink that actually solved.
+  struct MemoOutcome {
+    smt::SatResult result = smt::SatResult::kUnknown;
+    std::string witness;
+    std::map<std::string, std::string> bindings;
+  };
+  std::unordered_map<std::pair<Label, Label>, MemoOutcome, LabelPairHash> memo;
+
+  // Provenance is additive-only: attached after the verdict is decided,
+  // never consulted before, so collect_evidence cannot change results.
+  // The off path is a single branch (null-telemetry idiom).
+  const auto attach_evidence =
+      [&](SinkVerdict& verdict,
+          const std::map<std::string, std::string>& bindings) {
+        if (!options.collect_evidence) return;
+        if (verdict.taint_ok && verdict.sink.src != kNoLabel) {
+          verdict.taint_path = extract_taint_path(
+              interp.graph, verdict.sink.src, verdict.sink.loc);
+        }
+        verdict.guards = extract_guards(interp.graph, verdict.sink.reachability);
+        if (verdict.constraints == smt::SatResult::kSat) {
+          verdict.attack =
+              decode_witness(interp.graph, verdict.sink.dst, bindings, options);
+        }
+      };
+
   for (const SinkHit& sink : interp.sinks) {
     if (checker.deadline().expired()) {
       // Degrade instead of hanging: unchecked sinks get no verdicts and
@@ -200,7 +399,9 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
 
     const auto memo_key = std::make_pair(sink.dst, sink.reachability);
     if (const auto it = memo.find(memo_key); it != memo.end()) {
-      verdict.constraints = it->second;
+      verdict.constraints = it->second.result;
+      verdict.witness = it->second.witness;
+      attach_evidence(verdict, it->second.bindings);
       if (verdict.exploitable()) result.vulnerable = true;
       result.verdicts.push_back(std::move(verdict));
       if (result.vulnerable && options.stop_at_first_finding) break;
@@ -232,8 +433,10 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
               query_cache->lookup(cache_key)) {
         verdict.constraints = hit->result;
         verdict.witness = hit->witness;
+        attach_evidence(verdict, hit->bindings);
         ++result.query_cache_hits;
-        memo.emplace(memo_key, hit->result);
+        memo.emplace(memo_key, MemoOutcome{hit->result, hit->witness,
+                                           hit->bindings});
         if (verdict.exploitable()) result.vulnerable = true;
         const bool stop =
             verdict.exploitable() && options.stop_at_first_finding;
@@ -297,11 +500,16 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
     ++result.solver_calls;
     verdict.constraints = outcome.result;
     result.deadline_exceeded |= outcome.deadline_exceeded;
-    memo.emplace(memo_key, outcome.result);
+    static const std::map<std::string, std::string> kNoBindings;
+    const std::map<std::string, std::string>& bindings =
+        outcome.model.has_value() ? outcome.model->assignments : kNoBindings;
     if (outcome.model.has_value()) verdict.witness = outcome.model->to_string();
+    memo.emplace(memo_key,
+                 MemoOutcome{outcome.result, verdict.witness, bindings});
+    attach_evidence(verdict, bindings);
     if (query_cache != nullptr && (outcome.result == smt::SatResult::kSat ||
                                    outcome.result == smt::SatResult::kUnsat)) {
-      query_cache->store(cache_key, {outcome.result, verdict.witness});
+      query_cache->store(cache_key, {outcome.result, verdict.witness, bindings});
     }
     if (verdict.exploitable()) result.vulnerable = true;
     const bool stop = verdict.exploitable() && options.stop_at_first_finding;

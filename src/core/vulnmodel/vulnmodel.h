@@ -9,12 +9,14 @@
 // by Z3. One SAT path suffices for a vulnerable verdict.
 #pragma once
 
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/heapgraph/evidence.h"
 #include "core/heapgraph/heapgraph.h"
 #include "core/interp/interp.h"
 #include "smt/solver.h"
@@ -36,6 +38,12 @@ class SolverQueryCache {
   struct Outcome {
     smt::SatResult result = smt::SatResult::kUnknown;
     std::string witness;
+    // The structured Z3 model the witness text was rendered from.
+    // Cached so a hit can replay the *whole* evidence bundle — witness
+    // decoding re-runs against the current root's graph — rather than
+    // only the witness text (symbol names are part of the cache key via
+    // the s-expressions, so the bindings transfer exactly).
+    std::map<std::string, std::string> bindings;
   };
 
   // Returns the cached outcome on a hit (counted), nullopt on a miss.
@@ -58,7 +66,48 @@ struct VulnModelOptions {
   // One SAT path proves the vulnerability; stop checking further paths.
   // Disable to enumerate every exploitable sink (audit reports).
   bool stop_at_first_finding = true;
+  // Attach provenance to each verdict: the source→sink taint path, the
+  // path-constraint guards, and the decoded attack reconstruction.
+  // Off (the default) keeps check_sinks on its zero-overhead path —
+  // verdicts are byte-identical either way, evidence is purely additive.
+  bool collect_evidence = false;
 };
+
+// One Z3 model assignment, decoded for human consumption.
+struct WitnessBinding {
+  std::string symbol;   // e.g. s_files_f_ext
+  std::string raw;      // Z3 rendering, e.g. "\"php\""
+  std::string decoded;  // e.g. php
+};
+
+// The concrete attack a SAT model describes, reconstructed against the
+// sink's destination term: what the attacker names the uploaded file,
+// and where the server ends up writing it.
+struct AttackWitness {
+  bool has_model = false;  // false for unsat/unknown or modelless SAT
+  std::vector<WitnessBinding> bindings;
+  // Attacker-controlled upload filename, e.g. "payload.php5". Built
+  // from the $_FILES stem/extension bindings; unbound attacker-chosen
+  // parts default to "payload" (any value satisfies the model).
+  std::string upload_filename;
+  // The destination term with every binding substituted, e.g.
+  // "/uploads/payload.php". Unresolved subterms render as <name>.
+  std::string destination;
+  bool destination_complete = false;  // no unresolved subterm remains
+};
+
+// Unescapes one Z3 value rendering: strips surrounding quotes and
+// decodes SMT-LIB string escapes ("" and \xNN / \uNNNN). Non-string
+// renderings (numerals, booleans) pass through unchanged.
+[[nodiscard]] std::string decode_z3_value(std::string_view raw);
+
+// Decodes `assignments` (a Z3 model, as rendered by smt::Model) into an
+// AttackWitness for the sink destination `dst`. Pure; safe to replay on
+// SolverQueryCache hits because symbol names are pinned by the cache key.
+[[nodiscard]] AttackWitness decode_witness(
+    const HeapGraph& graph, Label dst,
+    const std::map<std::string, std::string>& assignments,
+    const VulnModelOptions& options);
 
 // One analyzed sink occurrence (per path).
 struct SinkVerdict {
@@ -68,6 +117,12 @@ struct SinkVerdict {
   std::string dst_sexpr;          // se_dst, PHP-semantics s-expression
   std::string reach_sexpr;        // se_reachability
   std::string witness;            // satisfying assignment when SAT
+
+  // Provenance, populated only under VulnModelOptions::collect_evidence
+  // (empty otherwise). taint_path is ordered source→sink.
+  std::vector<TaintHop> taint_path;
+  std::vector<PathGuard> guards;
+  AttackWitness attack;
 
   [[nodiscard]] bool exploitable() const {
     return taint_ok && constraints == smt::SatResult::kSat;

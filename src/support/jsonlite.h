@@ -1,14 +1,83 @@
-// Minimal dependency-free JSON validator (RFC 8259 grammar, UTF-8 not
+// Minimal dependency-free JSON support (RFC 8259 grammar, UTF-8 not
 // verified). Used by tests and CI to assert that emitted trace/metrics/
-// report JSON parses, without pulling in a JSON library.
+// report JSON parses — and, via parse(), to structurally inspect SARIF
+// output — without pulling in a JSON library.
 #pragma once
 
+#include <memory>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace uchecker::jsonlite {
 
 // True iff `text` is exactly one valid JSON value (surrounding
 // whitespace allowed). Nesting deeper than 256 levels is rejected.
 [[nodiscard]] bool valid(std::string_view text);
+
+// One parsed JSON value. Objects preserve insertion order (duplicate
+// keys keep the last occurrence, matching most consumers). Numbers are
+// held as double; string escapes are decoded (\uXXXX outside the BMP's
+// ASCII range is rendered as UTF-8).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(Kind kind) : kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool boolean() const { return bool_; }
+  [[nodiscard]] double number() const { return number_; }
+  [[nodiscard]] const std::string& str() const { return string_; }
+
+  // Array/object element count (0 for scalars).
+  [[nodiscard]] std::size_t size() const {
+    return kind_ == Kind::kArray ? items_.size() : members_.size();
+  }
+  // Array element; nullptr when out of range or not an array.
+  [[nodiscard]] const Value* at(std::size_t index) const {
+    if (kind_ != Kind::kArray || index >= items_.size()) return nullptr;
+    return &items_[index];
+  }
+  // Object member by key; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const std::vector<Value>& items() const { return items_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const {
+    return members_;
+  }
+
+ private:
+  friend std::optional<Value> parse(std::string_view);
+  friend struct DomParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;                              // kArray
+  std::vector<std::pair<std::string, Value>> members_;    // kObject
+};
+
+// Parses exactly one JSON value (surrounding whitespace allowed) into a
+// DOM; nullopt on any syntax error or nesting beyond 256 levels. A text
+// accepted by parse() is also accepted by valid() and vice versa.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
 
 }  // namespace uchecker::jsonlite

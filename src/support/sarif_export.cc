@@ -1,0 +1,245 @@
+#include "support/sarif_export.h"
+
+#include "support/jsonlite.h"
+#include "support/strutil.h"
+
+namespace uchecker::sarif {
+namespace {
+
+using strutil::quote;
+
+std::string location_json(const Location& loc) {
+  std::string out = "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ";
+  out += quote(loc.uri);
+  out += "}";
+  if (loc.line > 0) {
+    out += ", \"region\": {\"startLine\": " + std::to_string(loc.line) + "}";
+  }
+  out += "}";
+  if (!loc.message.empty()) {
+    out += ", \"message\": {\"text\": " + quote(loc.message) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string result_json(const Result& r) {
+  std::string out = "{\"ruleId\": " + quote(r.rule_id);
+  out += ", \"level\": " + quote(r.level);
+  out += ", \"message\": {\"text\": " + quote(r.message) + "}";
+  out += ", \"locations\": [" + location_json(r.location) + "]";
+  if (!r.code_flows.empty()) {
+    out += ", \"codeFlows\": [";
+    for (std::size_t i = 0; i < r.code_flows.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"threadFlows\": [{\"locations\": [";
+      const CodeFlow& flow = r.code_flows[i];
+      for (std::size_t j = 0; j < flow.locations.size(); ++j) {
+        if (j != 0) out += ", ";
+        out += "{\"location\": " + location_json(flow.locations[j]) + "}";
+      }
+      out += "]}]}";
+    }
+    out += "]";
+  }
+  if (!r.fingerprints.empty()) {
+    out += ", \"partialFingerprints\": {";
+    for (std::size_t i = 0; i < r.fingerprints.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += quote(r.fingerprints[i].first) + ": " +
+             quote(r.fingerprints[i].second);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+// --- validator -------------------------------------------------------
+
+// Appends `message` to *error (when non-null) and returns false — the
+// single exit path of every structural check below.
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool check_location(const jsonlite::Value& loc, std::string* error,
+                    const char* what) {
+  const jsonlite::Value* phys = loc.find("physicalLocation");
+  if (phys == nullptr || !phys->is_object()) {
+    return fail(error, std::string(what) + ": missing physicalLocation");
+  }
+  const jsonlite::Value* artifact = phys->find("artifactLocation");
+  const jsonlite::Value* uri =
+      artifact != nullptr ? artifact->find("uri") : nullptr;
+  if (uri == nullptr || !uri->is_string()) {
+    return fail(error,
+                std::string(what) + ": missing artifactLocation.uri string");
+  }
+  if (const jsonlite::Value* region = phys->find("region")) {
+    const jsonlite::Value* start = region->find("startLine");
+    if (start == nullptr || !start->is_number() || start->number() < 1) {
+      return fail(error,
+                  std::string(what) + ": region.startLine must be >= 1");
+    }
+  }
+  return true;
+}
+
+bool known_level(const std::string& level) {
+  return level == "none" || level == "note" || level == "warning" ||
+         level == "error";
+}
+
+}  // namespace
+
+std::string to_json(const Log& log) {
+  std::string out =
+      "{\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\", "
+      "\"version\": \"2.1.0\", \"runs\": [{\"tool\": {\"driver\": {";
+  out += "\"name\": " + quote(log.tool.name);
+  if (!log.tool.version.empty()) {
+    out += ", \"version\": " + quote(log.tool.version);
+  }
+  if (!log.tool.information_uri.empty()) {
+    out += ", \"informationUri\": " + quote(log.tool.information_uri);
+  }
+  out += ", \"rules\": [";
+  for (std::size_t i = 0; i < log.rules.size(); ++i) {
+    const Rule& rule = log.rules[i];
+    if (i != 0) out += ", ";
+    out += "{\"id\": " + quote(rule.id);
+    out += ", \"name\": " + quote(rule.name);
+    out += ", \"shortDescription\": {\"text\": " + quote(rule.description) +
+           "}}";
+  }
+  out += "]}}, \"results\": [";
+  for (std::size_t i = 0; i < log.results.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += result_json(log.results[i]);
+  }
+  out += "]}]}";
+  return out;
+}
+
+bool structurally_valid(std::string_view text, std::string* error) {
+  const std::optional<jsonlite::Value> root = jsonlite::parse(text);
+  if (!root.has_value()) return fail(error, "not valid JSON");
+  const jsonlite::Value* version = root->find("version");
+  if (version == nullptr || !version->is_string() ||
+      version->str() != "2.1.0") {
+    return fail(error, "version must be the string \"2.1.0\"");
+  }
+  const jsonlite::Value* runs = root->find("runs");
+  if (runs == nullptr || !runs->is_array() || runs->size() == 0) {
+    return fail(error, "runs must be a non-empty array");
+  }
+  for (std::size_t ri = 0; ri < runs->size(); ++ri) {
+    const jsonlite::Value& run = *runs->at(ri);
+    const jsonlite::Value* tool = run.find("tool");
+    const jsonlite::Value* driver =
+        tool != nullptr ? tool->find("driver") : nullptr;
+    const jsonlite::Value* name =
+        driver != nullptr ? driver->find("name") : nullptr;
+    if (name == nullptr || !name->is_string() || name->str().empty()) {
+      return fail(error, "run is missing tool.driver.name");
+    }
+    // Collect declared rule ids so results can be checked against them.
+    std::vector<std::string> rule_ids;
+    if (const jsonlite::Value* rules = driver->find("rules")) {
+      if (!rules->is_array()) return fail(error, "rules must be an array");
+      for (const jsonlite::Value& rule : rules->items()) {
+        const jsonlite::Value* id = rule.find("id");
+        if (id == nullptr || !id->is_string()) {
+          return fail(error, "every rule needs a string id");
+        }
+        rule_ids.push_back(id->str());
+      }
+    }
+    const jsonlite::Value* results = run.find("results");
+    if (results == nullptr || !results->is_array()) {
+      return fail(error, "run is missing its results array");
+    }
+    for (const jsonlite::Value& result : results->items()) {
+      const jsonlite::Value* rule_id = result.find("ruleId");
+      if (rule_id == nullptr || !rule_id->is_string()) {
+        return fail(error, "result is missing ruleId");
+      }
+      bool declared = false;
+      for (const std::string& id : rule_ids) {
+        if (id == rule_id->str()) {
+          declared = true;
+          break;
+        }
+      }
+      if (!declared) {
+        return fail(error, "result ruleId \"" + rule_id->str() +
+                               "\" is not declared in tool.driver.rules");
+      }
+      if (const jsonlite::Value* level = result.find("level")) {
+        if (!level->is_string() || !known_level(level->str())) {
+          return fail(error, "result level must be one of "
+                             "none/note/warning/error");
+        }
+      }
+      const jsonlite::Value* message = result.find("message");
+      const jsonlite::Value* msg_text =
+          message != nullptr ? message->find("text") : nullptr;
+      if (msg_text == nullptr || !msg_text->is_string()) {
+        return fail(error, "result is missing message.text");
+      }
+      const jsonlite::Value* locations = result.find("locations");
+      if (locations == nullptr || !locations->is_array() ||
+          locations->size() == 0) {
+        return fail(error, "result needs a non-empty locations array");
+      }
+      for (const jsonlite::Value& loc : locations->items()) {
+        if (!check_location(loc, error, "result location")) return false;
+      }
+      if (const jsonlite::Value* flows = result.find("codeFlows")) {
+        if (!flows->is_array()) {
+          return fail(error, "codeFlows must be an array");
+        }
+        for (const jsonlite::Value& flow : flows->items()) {
+          const jsonlite::Value* threads = flow.find("threadFlows");
+          if (threads == nullptr || !threads->is_array() ||
+              threads->size() == 0) {
+            return fail(error, "codeFlow needs a non-empty threadFlows array");
+          }
+          for (const jsonlite::Value& thread : threads->items()) {
+            const jsonlite::Value* steps = thread.find("locations");
+            if (steps == nullptr || !steps->is_array() || steps->size() == 0) {
+              return fail(error,
+                          "threadFlow needs a non-empty locations array");
+            }
+            for (const jsonlite::Value& step : steps->items()) {
+              const jsonlite::Value* step_loc = step.find("location");
+              if (step_loc == nullptr ||
+                  !check_location(*step_loc, error, "threadFlow step")) {
+                if (step_loc == nullptr) {
+                  return fail(error, "threadFlow step is missing location");
+                }
+                return false;
+              }
+            }
+          }
+        }
+      }
+      if (const jsonlite::Value* prints = result.find("partialFingerprints")) {
+        if (!prints->is_object()) {
+          return fail(error, "partialFingerprints must be an object");
+        }
+        for (const auto& [key, value] : prints->members()) {
+          if (!value.is_string()) {
+            return fail(error, "partialFingerprints value for \"" + key +
+                                   "\" must be a string");
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace uchecker::sarif

@@ -1,0 +1,76 @@
+// SARIF 2.1.0 export (OASIS Static Analysis Results Interchange Format).
+//
+// A deliberately small slice of the spec — runs / tool.driver.rules /
+// results with locations, codeFlows/threadFlows (taint provenance) and
+// partialFingerprints (cross-scan dedup) — which is the slice GitHub
+// code scanning and most SARIF viewers consume. This layer is generic:
+// it knows nothing about scans or findings. The mapping from a
+// ScanReport lives in core/detector/report_io (to_sarif).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace uchecker::sarif {
+
+// One physical location: artifact URI + 1-based line. line 0 means
+// "unknown" and suppresses the region object.
+struct Location {
+  std::string uri;
+  std::uint32_t line = 0;
+  std::string message;  // optional per-location message (threadFlow steps)
+};
+
+// One codeFlow: a single threadFlow whose locations walk source → sink.
+struct CodeFlow {
+  std::vector<Location> locations;
+};
+
+struct Result {
+  std::string rule_id;
+  std::string level = "error";  // "none" | "note" | "warning" | "error"
+  std::string message;
+  Location location;            // primary (sink site)
+  std::vector<CodeFlow> code_flows;
+  // partialFingerprints: stable name → value pairs (emitted in order).
+  std::vector<std::pair<std::string, std::string>> fingerprints;
+};
+
+struct Rule {
+  std::string id;
+  std::string name;         // PascalCase display name
+  std::string description;  // shortDescription.text
+};
+
+struct Tool {
+  std::string name;
+  std::string version;
+  std::string information_uri;
+};
+
+// One sarif-log with a single run (all this exporter ever emits).
+struct Log {
+  Tool tool;
+  std::vector<Rule> rules;
+  std::vector<Result> results;
+};
+
+// Serializes `log` as a SARIF 2.1.0 JSON document (single line, stable
+// key order — suitable for golden-file tests).
+[[nodiscard]] std::string to_json(const Log& log);
+
+// Structural validator for SARIF produced by this exporter (and used by
+// CI to gate emitted files): parses `text` with jsonlite and checks the
+// spine — version "2.1.0", non-empty runs, tool.driver.name, every
+// result's ruleId declared in the driver's rules, message.text present,
+// locations carrying artifactLocation.uri + 1-based region.startLine,
+// codeFlows/threadFlows well-formed, partialFingerprints all strings.
+// On failure returns false and, when `error` is non-null, says which
+// constraint broke.
+[[nodiscard]] bool structurally_valid(std::string_view text,
+                                      std::string* error = nullptr);
+
+}  // namespace uchecker::sarif

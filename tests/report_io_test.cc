@@ -23,11 +23,31 @@ ScanReport sample_report() {
   Finding f;
   f.sink_name = "move_uploaded_file";
   f.location = "upload.php:7:5";
+  f.file = "upload.php";
+  f.line = 7;
   f.source_line = "move_uploaded_file($tmp, $dst);";
   f.dst_sexpr = "(. \"/u/\" s_name)";
   f.reach_sexpr = "true";
   f.witness = "s_ext = \"php\"";
+  f.fingerprint = "0123456789abcdef";
   r.findings.push_back(std::move(f));
+  return r;
+}
+
+// A sample report whose finding carries the full --explain bundle.
+ScanReport evidence_report() {
+  ScanReport r = sample_report();
+  FindingEvidence& ev = r.findings[0].evidence;
+  ev.taint_path.push_back(
+      {"symbol", "s_files_f_tmp", "upload.php", 3, "upload.php:3"});
+  ev.taint_path.push_back(
+      {"op", "concat", "upload.php", 5, "upload.php:5"});
+  ev.guards.push_back(
+      {"(> s_size 10)", "upload.php", 4, "upload.php:4"});
+  ev.bindings.push_back({"s_ext", "\"php\"", "php"});
+  ev.upload_filename = "payload.php";
+  ev.destination = "/u/payload.php";
+  ev.destination_complete = true;
   return r;
 }
 
@@ -39,6 +59,41 @@ TEST(ReportJson, ContainsAllFields) {
   EXPECT_NE(json.find("\"budget_exhausted\": false"), std::string::npos);
   EXPECT_NE(json.find("\"sink\": \"move_uploaded_file\""), std::string::npos);
   EXPECT_NE(json.find("\"location\": \"upload.php:7:5\""), std::string::npos);
+}
+
+TEST(ReportJson, FindingCarriesIdentityFields) {
+  const std::string json = to_json(sample_report());
+  EXPECT_NE(json.find("\"file\": \"upload.php\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\": \"0123456789abcdef\""),
+            std::string::npos);
+  // Without evidence there is no evidence member at all.
+  EXPECT_EQ(json.find("\"evidence\""), std::string::npos);
+}
+
+TEST(ReportJson, EvidenceSerializedWhenPresent) {
+  const std::string json = to_json(evidence_report());
+  EXPECT_NE(json.find("\"evidence\": {\"taint_path\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"description\": \"s_files_f_tmp\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"location\": \"upload.php:3\""), std::string::npos);
+  EXPECT_NE(json.find("\"sexpr\": \"(> s_size 10)\""), std::string::npos);
+  EXPECT_NE(json.find("\"symbol\": \"s_ext\""), std::string::npos);
+  EXPECT_NE(json.find("\"upload_filename\": \"payload.php\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"destination_complete\": true"), std::string::npos);
+}
+
+TEST(ReportText, EvidenceRendered) {
+  const std::string text = to_text(evidence_report());
+  EXPECT_NE(text.find("taint path:"), std::string::npos);
+  EXPECT_NE(text.find("symbol s_files_f_tmp  [upload.php:3]"),
+            std::string::npos);
+  EXPECT_NE(text.find("guarded by:"), std::string::npos);
+  EXPECT_NE(text.find("(> s_size 10)  [upload.php:4]"), std::string::npos);
+  EXPECT_NE(text.find("upload \"payload.php\" -> written to "
+                      "\"/u/payload.php\""),
+            std::string::npos);
 }
 
 TEST(ReportJson, EscapesQuotesInStrings) {

@@ -22,7 +22,8 @@ struct ModelRun {
   smt::Checker checker;
   VulnModelResult result;
 
-  explicit ModelRun(const std::string& src, VulnModelOptions options = {}) {
+  explicit ModelRun(const std::string& src, VulnModelOptions options = {},
+                    SolverQueryCache* query_cache = nullptr) {
     const FileId id = sources.add_file("t.php", "<?php\n" + src);
     files.push_back(phpparse::parse_php(*sources.file(id), diags));
     std::vector<const phpast::PhpFile*> ptrs{&files[0]};
@@ -31,7 +32,7 @@ struct ModelRun {
     AnalysisRoot root;
     root.file = &files[0];
     exec = interp.run(root);
-    result = check_sinks(exec, checker, options);
+    result = check_sinks(exec, checker, options, query_cache);
   }
 };
 
@@ -146,6 +147,70 @@ move_uploaded_file($_FILES['f']['tmp_name'], $d);
              all);
   EXPECT_EQ(r.result.verdicts.size(), 2u);
   EXPECT_EQ(r.result.solver_calls, 1u);  // second hit memoized
+}
+
+TEST(VulnModel, MemoHitReplaysWitness) {
+  // Regression: the per-call (dst, reach) memo used to cache only the
+  // SatResult, so the duplicate sink lost its witness text.
+  VulnModelOptions all;
+  all.stop_at_first_finding = false;
+  ModelRun r(R"(
+$d = '/www/' . $_FILES['f']['name'];
+move_uploaded_file($_FILES['f']['tmp_name'], $d);
+move_uploaded_file($_FILES['f']['tmp_name'], $d);
+)",
+             all);
+  ASSERT_EQ(r.result.verdicts.size(), 2u);
+  EXPECT_EQ(r.result.solver_calls, 1u);
+  EXPECT_FALSE(r.result.verdicts[0].witness.empty());
+  EXPECT_EQ(r.result.verdicts[0].witness, r.result.verdicts[1].witness);
+}
+
+TEST(VulnModel, QueryCacheHitReplaysWitnessAndEvidence) {
+  // Two independent check_sinks runs over the same source, sharing one
+  // SolverQueryCache: the second run must answer from the cache and
+  // still deliver the full evidence bundle — identical witness text,
+  // identical decoded attack, taint path and guards recomputed against
+  // its own (structurally identical) graph.
+  const std::string src = R"(
+if (strlen($_FILES['f']['name']) > 3) {
+    move_uploaded_file($_FILES['f']['tmp_name'], '/up/' . $_FILES['f']['name']);
+}
+)";
+  VulnModelOptions options;
+  options.collect_evidence = true;
+  SolverQueryCache cache;
+  ModelRun first(src, options, &cache);
+  ModelRun second(src, options, &cache);
+
+  ASSERT_TRUE(first.result.vulnerable);
+  ASSERT_TRUE(second.result.vulnerable);
+  EXPECT_EQ(first.result.query_cache_hits, 0u);
+  EXPECT_GT(second.result.query_cache_hits, 0u);
+  EXPECT_EQ(second.result.solver_calls, 0u);
+
+  const SinkVerdict& a = first.result.verdicts[0];
+  const SinkVerdict& b = second.result.verdicts[0];
+  EXPECT_FALSE(b.witness.empty());
+  EXPECT_EQ(a.witness, b.witness);
+  // The replayed evidence bundle matches the fresh solve's exactly.
+  ASSERT_EQ(a.taint_path.size(), b.taint_path.size());
+  for (std::size_t i = 0; i < a.taint_path.size(); ++i) {
+    EXPECT_EQ(a.taint_path[i].description, b.taint_path[i].description);
+    EXPECT_EQ(a.taint_path[i].loc.line, b.taint_path[i].loc.line);
+  }
+  ASSERT_EQ(a.guards.size(), b.guards.size());
+  for (std::size_t i = 0; i < a.guards.size(); ++i) {
+    EXPECT_EQ(a.guards[i].sexpr, b.guards[i].sexpr);
+  }
+  EXPECT_TRUE(b.attack.has_model);
+  EXPECT_EQ(a.attack.upload_filename, b.attack.upload_filename);
+  EXPECT_EQ(a.attack.destination, b.attack.destination);
+  ASSERT_EQ(a.attack.bindings.size(), b.attack.bindings.size());
+  for (std::size_t i = 0; i < a.attack.bindings.size(); ++i) {
+    EXPECT_EQ(a.attack.bindings[i].symbol, b.attack.bindings[i].symbol);
+    EXPECT_EQ(a.attack.bindings[i].decoded, b.attack.bindings[i].decoded);
+  }
 }
 
 TEST(VulnModel, SExpressionsMatchPaperNotation) {
