@@ -24,6 +24,14 @@
 #      emitted SARIF file (vulnerable apps must carry results with
 #      codeFlows); plus prove evidence is purely additive by requiring
 #      corpus_verdicts output byte-identical with --explain on and off.
+#   8. scand service gate: start the daemon against a fresh state dir,
+#      scan the whole dumped corpus through scanctl and require every
+#      verdict to match single-shot scan_directory; scan it all again
+#      and require warm cache hits with reports byte-identical to the
+#      first pass; then kill -9 the daemon mid-scan, restart it on the
+#      same state dir, and require it to recover and re-serve from the
+#      durable caches. (The durable-store and service suites also run
+#      under ASan/TSan via step 3.)
 #
 #   $ ci/check.sh            # everything
 #   $ SKIP_SANITIZE=1 ci/check.sh
@@ -35,12 +43,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
 
-echo "== [1/7] build + tier-1 tests =="
+echo "== [1/8] build + tier-1 tests =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== [2/7] clang-tidy =="
+echo "== [2/8] clang-tidy =="
 if [[ "${SKIP_TIDY:-0}" == "1" ]]; then
   echo "skipped (SKIP_TIDY=1)"
 elif ! command -v clang-tidy >/dev/null; then
@@ -56,14 +64,14 @@ else
   fi
 fi
 
-echo "== [3/7] sanitizers =="
+echo "== [3/8] sanitizers =="
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "skipped (SKIP_SANITIZE=1)"
 else
   ci/sanitize.sh
 fi
 
-echo "== [4/7] telemetry smoke: trace + metrics JSON =="
+echo "== [4/8] telemetry smoke: trace + metrics JSON =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/upload.php" <<'PHP'
@@ -99,7 +107,7 @@ else
   echo "python3 not found; JSON structure check skipped"
 fi
 
-echo "== [5/7] telemetry overhead gate =="
+echo "== [5/8] telemetry overhead gate =="
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (SKIP_BENCH=1)"
 elif ! command -v python3 >/dev/null; then
@@ -144,7 +152,7 @@ PY
   fi
 fi
 
-echo "== [6/7] perf baseline gate (BENCH_PR3.json) =="
+echo "== [6/8] perf baseline gate (BENCH_PR3.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; perf baseline gate skipped"
 else
@@ -199,7 +207,7 @@ PY
   fi
 fi
 
-echo "== [7/7] SARIF export gate =="
+echo "== [7/8] SARIF export gate =="
 SARIF_DIR="$SMOKE_DIR/sarif"
 mkdir -p "$SARIF_DIR/corpus"
 # Evidence must be purely additive: same corpus dump byte-for-byte.
@@ -240,5 +248,171 @@ if [[ "$SARIF_VULN" == "0" ]]; then
   exit 1
 fi
 echo "validated $SARIF_APPS SARIF file(s), $SARIF_VULN with codeFlows"
+
+echo "== [8/8] scand service gate =="
+SCAND_DIR="$SMOKE_DIR/scand"
+SCAND_SOCK="$SCAND_DIR/scand.sock"
+SCAND_STATE="$SCAND_DIR/state"
+mkdir -p "$SCAND_STATE"
+SCAND_PID=
+stop_scand() {
+  if [[ -n "$SCAND_PID" ]] && kill -0 "$SCAND_PID" 2>/dev/null; then
+    kill -9 "$SCAND_PID" 2>/dev/null || true
+    wait "$SCAND_PID" 2>/dev/null || true
+  fi
+  SCAND_PID=
+}
+start_scand() {
+  "$BUILD_DIR/examples/scand" --socket "$SCAND_SOCK" \
+    --state-dir "$SCAND_STATE" --request-timeout-ms 120000 \
+    2>> "$SCAND_DIR/scand.log" &
+  SCAND_PID=$!
+  for _ in $(seq 100); do
+    if "$BUILD_DIR/examples/scanctl" --socket "$SCAND_SOCK" ping \
+         >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: scand did not come up on $SCAND_SOCK" >&2
+  cat "$SCAND_DIR/scand.log" >&2 || true
+  exit 1
+}
+trap 'stop_scand; rm -rf "$SMOKE_DIR"' EXIT
+
+start_scand
+# Pass 1 (cold): daemon verdicts must match single-shot scan_directory
+# on every corpus app. Reports are stashed for the byte-identity check.
+mkdir -p "$SCAND_DIR/pass1" "$SCAND_DIR/pass2"
+SCAND_APPS=0
+while IFS= read -r -d '' appdir; do
+  name=$(basename "$appdir"); name=${name// /_}
+  rc=0
+  "$BUILD_DIR/examples/scanctl" --socket "$SCAND_SOCK" scan "$appdir" \
+    > "$SCAND_DIR/pass1/$name.json" || rc=$?
+  if [[ "$rc" != "0" && "$rc" != "1" ]]; then
+    echo "FAIL: scanctl exited $rc on $name" >&2
+    exit 1
+  fi
+  rc2=0
+  "$BUILD_DIR/examples/scan_directory" "$appdir" --quiet --json \
+    > "$SCAND_DIR/pass1/$name.batch.json" || rc2=$?
+  if [[ "$rc" != "$rc2" ]]; then
+    echo "FAIL: scanctl exit $rc != scan_directory exit $rc2 on $name" >&2
+    exit 1
+  fi
+  python3 - "$SCAND_DIR/pass1/$name.json" \
+    "$SCAND_DIR/pass1/$name.batch.json" <<'PY'
+import json, sys
+daemon = json.load(open(sys.argv[1]))
+batch = json.load(open(sys.argv[2]))
+assert daemon["status"] == "ok", f"daemon status: {daemon['status']}"
+assert daemon["verdict"] == batch["verdict"], (
+    f"daemon {daemon['verdict']} != batch {batch['verdict']}")
+dfp = [f["fingerprint"] for f in daemon["report"]["findings"]]
+bfp = [f["fingerprint"] for f in batch["findings"]]
+assert dfp == bfp, f"finding fingerprints differ: {dfp} vs {bfp}"
+PY
+  SCAND_APPS=$((SCAND_APPS + 1))
+done < <(find "$SARIF_DIR/corpus" -mindepth 1 -maxdepth 1 -type d -print0)
+echo "cold pass: $SCAND_APPS daemon verdicts match scan_directory"
+
+# Pass 2 (warm): every clean report must replay from the durable
+# verdict cache byte-identically (degraded reports — e.g. the paper's
+# budget-exhausted Cimy case — are deliberately never cached and only
+# need to reproduce their verdict). At least one app must actually hit.
+WARM_HITS=0
+CACHED_APP=
+while IFS= read -r -d '' appdir; do
+  name=$(basename "$appdir"); name=${name// /_}
+  rc=0
+  "$BUILD_DIR/examples/scanctl" --socket "$SCAND_SOCK" scan "$appdir" \
+    > "$SCAND_DIR/pass2/$name.json" || rc=$?
+  if [[ "$rc" != "0" && "$rc" != "1" ]]; then
+    echo "FAIL: warm scanctl exited $rc on $name" >&2
+    exit 1
+  fi
+  mode=$(python3 - "$SCAND_DIR/pass1/$name.json" \
+    "$SCAND_DIR/pass2/$name.json" <<'PY'
+import json, sys
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+assert warm["verdict"] == cold["verdict"], (
+    f"warm verdict {warm['verdict']} != cold {cold['verdict']}")
+report = cold["report"]
+degraded = (bool(report["errors"]) or report["stats"]["budget_exhausted"]
+            or report["stats"]["deadline_exceeded"])
+if degraded:
+    assert warm["cached"] is False, "degraded report must not be cached"
+    print("recomputed")
+else:
+    assert warm["cached"] is True, "clean report missed the verdict cache"
+    assert json.dumps(cold["report"], sort_keys=True) == \
+           json.dumps(warm["report"], sort_keys=True), "warm report drifted"
+    print("cached")
+PY
+)
+  if [[ "$mode" == "cached" ]]; then
+    WARM_HITS=$((WARM_HITS + 1))
+    CACHED_APP="$appdir"
+  fi
+done < <(find "$SARIF_DIR/corpus" -mindepth 1 -maxdepth 1 -type d -print0)
+if [[ "$WARM_HITS" == "0" || -z "$CACHED_APP" ]]; then
+  echo "FAIL: no corpus app replayed from the verdict cache" >&2
+  exit 1
+fi
+"$BUILD_DIR/examples/scanctl" --socket "$SCAND_SOCK" status \
+  > "$SCAND_DIR/status.json"
+python3 - "$SCAND_DIR/status.json" "$WARM_HITS" "$SCAND_APPS" <<'PY'
+import json, sys
+status = json.load(open(sys.argv[1]))
+warm_hits, apps = int(sys.argv[2]), int(sys.argv[3])
+hits = status["gauges"]["scand.verdict_cache.hits"]
+assert hits >= warm_hits, f"status reports {hits} hits < {warm_hits} replays"
+print(f"warm pass: {warm_hits}/{apps} byte-identical cache replays, "
+      f"{int(hits)} verdict cache hits")
+PY
+
+# Crash recovery: kill -9 mid-scan, restart on the same state dir, and
+# the daemon must come back up and re-serve from the durable caches.
+# The in-flight scan targets *fresh* content (an edited corpus copy, so
+# no cache can answer it) to guarantee the kill lands mid-analysis.
+APPDIR="$CACHED_APP"
+cp -r "$APPDIR" "$SCAND_DIR/killapp"
+printf '<?php /* uncached variant */ $x = 1;\n' >> \
+  "$(find "$SCAND_DIR/killapp" -name '*.php' | head -1)"
+"$BUILD_DIR/examples/scanctl" --socket "$SCAND_SOCK" scan \
+  "$SCAND_DIR/killapp" >/dev/null 2>&1 &
+CTL_PID=$!
+sleep 0.1
+kill -9 "$SCAND_PID"
+wait "$SCAND_PID" 2>/dev/null || true
+SCAND_PID=
+wait "$CTL_PID" 2>/dev/null || true
+start_scand
+rc=0
+"$BUILD_DIR/examples/scanctl" --socket "$SCAND_SOCK" scan "$APPDIR" \
+  > "$SCAND_DIR/recovered.json" || rc=$?
+if [[ "$rc" != "0" && "$rc" != "1" ]]; then
+  echo "FAIL: post-recovery scanctl exited $rc" >&2
+  exit 1
+fi
+name=$(basename "$APPDIR"); name=${name// /_}
+python3 - "$SCAND_DIR/pass1/$name.json" "$SCAND_DIR/recovered.json" <<'PY'
+import json, sys
+cold = json.load(open(sys.argv[1]))
+recovered = json.load(open(sys.argv[2]))
+assert recovered["status"] == "ok", "daemon did not recover"
+assert recovered["cached"] is True, (
+    "recovered daemon did not replay from the durable verdict cache")
+assert json.dumps(cold["report"], sort_keys=True) == \
+       json.dumps(recovered["report"], sort_keys=True), \
+    "post-recovery report drifted"
+print("kill -9 recovery: restarted daemon replayed the verdict "
+      "byte-identically from the durable cache")
+PY
+"$BUILD_DIR/examples/scanctl" --socket "$SCAND_SOCK" shutdown >/dev/null
+wait "$SCAND_PID" || { echo "FAIL: scand drain exited non-zero" >&2; exit 1; }
+SCAND_PID=
 
 echo "== all checks passed =="

@@ -1,0 +1,139 @@
+// scanctl: command-line client for the scand daemon.
+//
+//   $ scanctl --socket /run/uchecker.sock ping
+//   $ scanctl --socket /run/uchecker.sock scan path/to/plugin [--sarif]
+//   $ scanctl --socket /run/uchecker.sock status
+//   $ scanctl --socket /run/uchecker.sock shutdown
+//
+// Sends one request line (protocol in src/service/scan_server.h),
+// prints the one-line JSON response to stdout, and maps it to an exit
+// code CI can branch on:
+//
+//   0  ok (scan: not vulnerable)      3  analysis error / server error
+//   1  scan: vulnerable               6  overloaded (queue full; retry)
+//   2  usage / cannot connect
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/jsonlite.h"
+#include "support/strutil.h"
+
+using namespace uchecker;
+
+namespace {
+
+int connect_to(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads up to (and including) the first newline.
+bool recv_line(int fd, std::string& line) {
+  line.clear();
+  char c = 0;
+  while (true) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) return !line.empty();
+    if (c == '\n') return true;
+    line.push_back(c);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string op;
+  std::string scan_path;
+  bool sarif = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--socket", 8) == 0) {
+      if (argv[i][8] == '=') {
+        socket_path = argv[i] + 9;
+      } else if (i + 1 < argc) {
+        socket_path = argv[++i];
+      }
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      sarif = true;
+    } else if (op.empty()) {
+      op = argv[i];
+    } else if (scan_path.empty()) {
+      scan_path = argv[i];
+    }
+  }
+  const bool usage_ok =
+      !socket_path.empty() &&
+      (op == "ping" || op == "status" || op == "shutdown" ||
+       (op == "scan" && !scan_path.empty()));
+  if (!usage_ok) {
+    std::fprintf(stderr,
+                 "usage: %s --socket PATH ping|status|shutdown|scan DIR "
+                 "[--sarif]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string request = "{\"op\": " + strutil::quote(op);
+  if (op == "scan") {
+    request += ", \"path\": " + strutil::quote(scan_path);
+    if (sarif) request += ", \"format\": \"sarif\"";
+  }
+  request += "}\n";
+
+  const int fd = connect_to(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    return 2;
+  }
+  std::string response;
+  const bool io_ok = send_all(fd, request) && recv_line(fd, response);
+  ::close(fd);
+  if (!io_ok) {
+    std::fprintf(stderr, "error: no response from %s\n", socket_path.c_str());
+    return 2;
+  }
+  std::printf("%s\n", response.c_str());
+
+  const auto parsed = jsonlite::parse(response);
+  if (!parsed.has_value() || !parsed->is_object()) return 3;
+  const jsonlite::Value* status = parsed->find("status");
+  if (status == nullptr || !status->is_string()) return 3;
+  if (status->str() == "overloaded") return 6;
+  if (status->str() != "ok") return 3;
+  if (op == "scan") {
+    // Mirrors scan_directory's exit codes so CI can compare them 1:1.
+    const jsonlite::Value* verdict = parsed->find("verdict");
+    if (verdict == nullptr || !verdict->is_string()) return 3;
+    if (verdict->str() == "vulnerable") return 1;
+    if (verdict->str() == "analysis_error") return 3;
+    if (verdict->str() == "analysis_disagreement") return 4;
+    return 0;  // not_vulnerable / analysis_incomplete (partial, like batch)
+  }
+  return 0;
+}

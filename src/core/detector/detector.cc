@@ -400,7 +400,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     try {
       VulnModelOptions vuln_options = options_.vuln;
       vuln_options.collect_evidence = options_.explain;
-      vuln = check_sinks(exec, checker, vuln_options, &query_cache_);
+      vuln = check_sinks(exec, checker, vuln_options, &query_cache());
     } catch (...) {
       report.errors.push_back(
           describe_current_exception("solve", root_name(root)));

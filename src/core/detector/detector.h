@@ -29,6 +29,12 @@ class Telemetry;
 
 namespace uchecker::core {
 
+// Bumped whenever a change can alter verdicts, findings or the report
+// JSON schema. Persistent caches (scand's verdict and solver stores)
+// key on it, so an engine upgrade cold-starts them instead of replaying
+// stale analysis results.
+inline constexpr std::string_view kEngineVersion = "uchecker-pr6";
+
 struct ScanOptions {
   Budget budget;
   VulnModelOptions vuln;
@@ -51,6 +57,13 @@ struct ScanOptions {
   // other report field are byte-identical with it on or off; off keeps
   // the vulnerability model on its zero-overhead path.
   bool explain = false;
+  // Optional externally-owned solver query cache. When set it replaces
+  // the detector's internal one, letting several Detector instances (a
+  // service handling per-request option variants) share one fleet-wide
+  // cache — and letting a daemon preload it from disk and drain newly
+  // solved outcomes for incremental persistence. The cache locks
+  // internally; the pointee must outlive every scan.
+  SolverQueryCache* query_cache = nullptr;
   // Optional observability handle (see support/telemetry.h). When set,
   // every scan records a phase-scoped span tree, interpreter progress
   // samples and solver latencies into a per-scan trace, and shared
@@ -234,6 +247,13 @@ class Detector {
   // The configuration this detector scans with (fleet drivers read the
   // attached telemetry handle from here).
   [[nodiscard]] const ScanOptions& options() const { return options_; }
+
+  // The solver query cache scans actually use: the externally shared one
+  // when ScanOptions::query_cache is set, the detector's own otherwise.
+  [[nodiscard]] SolverQueryCache& query_cache() const {
+    return options_.query_cache != nullptr ? *options_.query_cache
+                                           : query_cache_;
+  }
 
  private:
   void scan_impl(const Application& app, const Deadline& deadline,

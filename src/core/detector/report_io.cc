@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "support/jsonlite.h"
 #include "support/strutil.h"
 
 namespace uchecker::core {
@@ -57,7 +58,210 @@ std::string evidence_json(const FindingEvidence& ev) {
   return out;
 }
 
+// --- report_from_json helpers. Every getter returns false on a missing
+// or mistyped field, so one bad byte fails the whole parse (and the
+// caller recomputes) instead of yielding a half-filled report.
+
+bool get_string(const jsonlite::Value& obj, std::string_view key,
+                std::string& out) {
+  const jsonlite::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_string()) return false;
+  out = v->str();
+  return true;
+}
+
+bool get_double(const jsonlite::Value& obj, std::string_view key,
+                double& out) {
+  const jsonlite::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) return false;
+  out = v->number();
+  return true;
+}
+
+bool get_bool(const jsonlite::Value& obj, std::string_view key, bool& out) {
+  const jsonlite::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_bool()) return false;
+  out = v->boolean();
+  return true;
+}
+
+template <typename UInt>
+bool get_uint(const jsonlite::Value& obj, std::string_view key, UInt& out) {
+  double d = 0.0;
+  if (!get_double(obj, key, d) || d < 0.0) return false;
+  out = static_cast<UInt>(d);
+  return true;
+}
+
+bool parse_verdict(std::string_view slug, Verdict& out) {
+  for (const Verdict v :
+       {Verdict::kVulnerable, Verdict::kNotVulnerable,
+        Verdict::kAnalysisIncomplete, Verdict::kAnalysisError,
+        Verdict::kAnalysisDisagreement}) {
+    if (slug == verdict_slug(v)) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_evidence(const jsonlite::Value& ev, FindingEvidence& out) {
+  const jsonlite::Value* taint = ev.find("taint_path");
+  const jsonlite::Value* guards = ev.find("guards");
+  const jsonlite::Value* bindings = ev.find("bindings");
+  if (taint == nullptr || !taint->is_array() || guards == nullptr ||
+      !guards->is_array() || bindings == nullptr || !bindings->is_array()) {
+    return false;
+  }
+  for (const jsonlite::Value& h : taint->items()) {
+    EvidenceHop hop;
+    if (!h.is_object() || !get_string(h, "kind", hop.kind) ||
+        !get_string(h, "description", hop.description) ||
+        !get_string(h, "file", hop.file) || !get_uint(h, "line", hop.line) ||
+        !get_string(h, "location", hop.location)) {
+      return false;
+    }
+    out.taint_path.push_back(std::move(hop));
+  }
+  for (const jsonlite::Value& g : guards->items()) {
+    EvidenceGuard guard;
+    if (!g.is_object() || !get_string(g, "sexpr", guard.sexpr) ||
+        !get_string(g, "file", guard.file) ||
+        !get_uint(g, "line", guard.line) ||
+        !get_string(g, "location", guard.location)) {
+      return false;
+    }
+    out.guards.push_back(std::move(guard));
+  }
+  for (const jsonlite::Value& b : bindings->items()) {
+    WitnessBinding binding;
+    if (!b.is_object() || !get_string(b, "symbol", binding.symbol) ||
+        !get_string(b, "raw", binding.raw) ||
+        !get_string(b, "decoded", binding.decoded)) {
+      return false;
+    }
+    out.bindings.push_back(std::move(binding));
+  }
+  return get_string(ev, "upload_filename", out.upload_filename) &&
+         get_string(ev, "destination", out.destination) &&
+         get_bool(ev, "destination_complete", out.destination_complete);
+}
+
 }  // namespace
+
+std::optional<ScanReport> report_from_json(std::string_view json) {
+  const std::optional<jsonlite::Value> doc = jsonlite::parse(json);
+  if (!doc.has_value() || !doc->is_object()) return std::nullopt;
+
+  ScanReport r;
+  std::string verdict;
+  if (!get_string(*doc, "app", r.app_name) ||
+      !get_string(*doc, "verdict", verdict) ||
+      !parse_verdict(verdict, r.verdict)) {
+    return std::nullopt;
+  }
+
+  const jsonlite::Value* stats = doc->find("stats");
+  if (stats == nullptr || !stats->is_object()) return std::nullopt;
+  if (!get_uint(*stats, "total_loc", r.total_loc) ||
+      !get_uint(*stats, "analyzed_loc", r.analyzed_loc) ||
+      !get_double(*stats, "analyzed_percent", r.analyzed_percent) ||
+      !get_uint(*stats, "paths", r.paths) ||
+      !get_uint(*stats, "objects", r.objects) ||
+      !get_double(*stats, "objects_per_path", r.objects_per_path) ||
+      !get_double(*stats, "memory_mb", r.memory_mb) ||
+      !get_double(*stats, "seconds", r.seconds) ||
+      !get_uint(*stats, "roots", r.roots) ||
+      !get_uint(*stats, "sink_hits", r.sink_hits) ||
+      !get_uint(*stats, "solver_calls", r.solver_calls) ||
+      !get_uint(*stats, "solver_retries", r.solver_retries) ||
+      !get_uint(*stats, "cons_hits", r.cons_hits) ||
+      !get_uint(*stats, "solver_cache_hits", r.solver_cache_hits) ||
+      !get_bool(*stats, "budget_exhausted", r.budget_exhausted) ||
+      !get_bool(*stats, "deadline_exceeded", r.deadline_exceeded) ||
+      !get_uint(*stats, "parse_errors", r.parse_errors) ||
+      !get_uint(*stats, "analysis_errors", r.analysis_errors) ||
+      !get_uint(*stats, "pruned_roots", r.pruned_roots)) {
+    return std::nullopt;
+  }
+
+  const jsonlite::Value* diags = doc->find("diagnostics_by_phase");
+  if (diags == nullptr || !diags->is_object()) return std::nullopt;
+  for (const auto& [phase, count] : diags->members()) {
+    if (!count.is_number() || count.number() < 0.0) return std::nullopt;
+    r.diagnostics_by_phase[phase] = static_cast<std::size_t>(count.number());
+  }
+
+  const jsonlite::Value* errors = doc->find("errors");
+  if (errors == nullptr || !errors->is_array()) return std::nullopt;
+  for (const jsonlite::Value& e : errors->items()) {
+    ScanError err;
+    if (!e.is_object() || !get_string(e, "phase", err.phase) ||
+        !get_string(e, "root", err.root) ||
+        !get_string(e, "message", err.message) ||
+        !get_bool(e, "transient", err.transient)) {
+      return std::nullopt;
+    }
+    r.errors.push_back(std::move(err));
+  }
+
+  const jsonlite::Value* disagreements = doc->find("disagreements");
+  if (disagreements == nullptr || !disagreements->is_array()) {
+    return std::nullopt;
+  }
+  for (const jsonlite::Value& d : disagreements->items()) {
+    ScanError err;
+    err.phase = "crosscheck";
+    if (!d.is_object() || !get_string(d, "root", err.root) ||
+        !get_string(d, "message", err.message)) {
+      return std::nullopt;
+    }
+    r.disagreements.push_back(std::move(err));
+  }
+
+  const jsonlite::Value* lints = doc->find("lints");
+  if (lints == nullptr || !lints->is_array()) return std::nullopt;
+  for (const jsonlite::Value& l : lints->items()) {
+    staticpass::LintFinding lint;
+    std::string severity;
+    if (!l.is_object() || !get_string(l, "rule", lint.rule) ||
+        !get_string(l, "severity", severity) ||
+        !get_string(l, "location", lint.location) ||
+        !get_string(l, "message", lint.message) ||
+        !get_string(l, "evidence", lint.evidence)) {
+      return std::nullopt;
+    }
+    const auto parsed = staticpass::parse_severity(severity);
+    if (!parsed.has_value()) return std::nullopt;
+    lint.severity = *parsed;
+    r.lints.push_back(std::move(lint));
+  }
+
+  const jsonlite::Value* findings = doc->find("findings");
+  if (findings == nullptr || !findings->is_array()) return std::nullopt;
+  for (const jsonlite::Value& f : findings->items()) {
+    Finding finding;
+    if (!f.is_object() || !get_string(f, "sink", finding.sink_name) ||
+        !get_string(f, "location", finding.location) ||
+        !get_string(f, "file", finding.file) ||
+        !get_uint(f, "line", finding.line) ||
+        !get_string(f, "source_line", finding.source_line) ||
+        !get_string(f, "dst", finding.dst_sexpr) ||
+        !get_string(f, "reachability", finding.reach_sexpr) ||
+        !get_string(f, "witness", finding.witness) ||
+        !get_string(f, "fingerprint", finding.fingerprint)) {
+      return std::nullopt;
+    }
+    if (const jsonlite::Value* ev = f.find("evidence")) {
+      if (!ev->is_object() || !parse_evidence(*ev, finding.evidence)) {
+        return std::nullopt;
+      }
+    }
+    r.findings.push_back(std::move(finding));
+  }
+  return r;
+}
 
 std::string_view verdict_slug(Verdict v) {
   switch (v) {

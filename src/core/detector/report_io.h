@@ -2,7 +2,9 @@
 // CI integration) and a human-readable text rendering.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/detector/detector.h"
 #include "support/sarif_export.h"
@@ -61,6 +63,14 @@ namespace uchecker::core {
 
 // Multi-line human-readable rendering (what scan_directory prints).
 [[nodiscard]] std::string to_text(const ScanReport& report);
+
+// Parses a report previously rendered by to_json back into a ScanReport.
+// Exact inverse on to_json's output: to_json(*report_from_json(j)) == j.
+// Returns nullopt on any structural mismatch — a persistent verdict
+// cache treats that as a corrupt record and recomputes, so a schema
+// drift can never be replayed as a wrong verdict.
+[[nodiscard]] std::optional<ScanReport> report_from_json(
+    std::string_view json);
 
 // Stable slug for a verdict ("vulnerable", "not_vulnerable",
 // "analysis_incomplete", "analysis_error").

@@ -1,8 +1,10 @@
 #include "core/detector/scan_many.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "core/detector/report_io.h"
+#include "support/store.h"
 #include "support/strutil.h"
 #include "support/telemetry.h"
 
@@ -12,6 +14,21 @@ namespace {
 bool fleet_cancelled(const ScanManyOptions& options) {
   return options.cancel != nullptr &&
          options.cancel->load(std::memory_order_relaxed);
+}
+
+// Sleeps `delay` in short slices, aborting early on fleet cancellation
+// (a cancelled fleet must not sit out a long backoff before noticing).
+void backoff_sleep(std::chrono::milliseconds delay,
+                   const ScanManyOptions& options) {
+  const auto until = std::chrono::steady_clock::now() + delay;
+  while (!fleet_cancelled(options)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= until) return;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(until - now);
+    std::this_thread::sleep_for(
+        std::min(left, std::chrono::milliseconds{10}));
+  }
 }
 
 ScanReport cancelled_report(const Application& app) {
@@ -54,9 +71,17 @@ ScanReport scan_one(const Detector& detector, const Application& app,
 
     if (report.only_transient_errors() && attempt < options.max_retries &&
         !fleet_cancelled(options)) {
+      const std::chrono::milliseconds delay =
+          retry_backoff_delay(options, app.name, attempt);
       if (telemetry::Telemetry* t = detector.options().telemetry) {
         t->metrics().counter("fleet.app_retries").add(1);
+        if (delay.count() > 0) {
+          t->metrics()
+              .counter("fleet.retry_backoff_ms")
+              .add(static_cast<std::uint64_t>(delay.count()));
+        }
       }
+      if (delay.count() > 0) backoff_sleep(delay, options);
       continue;
     }
 
@@ -101,6 +126,29 @@ void aggregate_fleet_metrics(telemetry::Telemetry& telemetry,
 }
 
 }  // namespace
+
+std::chrono::milliseconds retry_backoff_delay(const ScanManyOptions& options,
+                                              std::string_view app_name,
+                                              unsigned attempt) {
+  if (options.retry_backoff.count() <= 0) return std::chrono::milliseconds{0};
+  constexpr std::int64_t kCapMs = 60'000;
+  // Exponential base: retry_backoff doubled per attempt, saturating at
+  // the cap (the shift alone would overflow past attempt 62).
+  std::int64_t base = options.retry_backoff.count();
+  for (unsigned i = 0; i < attempt && base < kCapMs; ++i) base *= 2;
+  base = std::min(base, kCapMs);
+  // Deterministic jitter in [0, base/2]: FNV over seed, app and attempt
+  // decorrelates retries of different apps that failed in the same
+  // instant (the thundering-herd case) without any global random state.
+  std::uint64_t h = store::fnv1a64(app_name);
+  h = store::fnv1a64(std::string_view("\x1f", 1), h ^ options.retry_jitter_seed);
+  h ^= attempt;
+  h *= store::kFnvPrime;
+  const std::int64_t jitter =
+      base < 2 ? 0 : static_cast<std::int64_t>(h % static_cast<std::uint64_t>(
+                                                       base / 2 + 1));
+  return std::chrono::milliseconds{std::min(base + jitter, kCapMs)};
+}
 
 std::vector<ScanReport> scan_many(const Detector& detector,
                                   const std::vector<Application>& apps,

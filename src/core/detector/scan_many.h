@@ -18,7 +18,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "core/detector/detector.h"
@@ -34,6 +36,15 @@ struct ScanManyOptions {
   // Re-scan an app whose report failed with *only transient* errors
   // (ScanReport::only_transient_errors) up to this many extra times.
   unsigned max_retries = 1;
+  // Base delay before retry k (attempt k+1): retry_backoff * 2^k plus a
+  // deterministic jitter of up to half the delay, derived from
+  // (retry_jitter_seed, app name, attempt) — so a transiently flaky app
+  // never hot-loops the fleet, retries of different apps decorrelate,
+  // and a test can predict every delay exactly. 0 (the default) keeps
+  // the immediate-retry behaviour. The sleep polls `cancel`, so a fleet
+  // cancellation is never held up by a backoff in progress.
+  std::chrono::milliseconds retry_backoff{0};
+  std::uint64_t retry_jitter_seed = 0;
   // Optional fleet-wide cancellation (CancellationSource::token()).
   // Cancelling aborts in-flight scans at their next deadline poll and
   // prevents new ones from starting.
@@ -52,5 +63,15 @@ struct ScanManyOptions {
 [[nodiscard]] std::vector<ScanReport> scan_many(
     const Detector& detector, const std::vector<Application>& apps,
     const ScanManyOptions& options);
+
+// The exact delay scan_many waits before retry `attempt` (0-based: the
+// wait before the first re-scan is attempt 0) of `app_name`. Pure and
+// deterministic in (options, app_name, attempt); exposed so tests and
+// capacity planning can reproduce the fleet's retry schedule. Doubles
+// per attempt from options.retry_backoff, plus jitter in [0, delay/2]
+// hashed from (retry_jitter_seed, app_name, attempt); capped at 60s.
+[[nodiscard]] std::chrono::milliseconds retry_backoff_delay(
+    const ScanManyOptions& options, std::string_view app_name,
+    unsigned attempt);
 
 }  // namespace uchecker::core

@@ -8,6 +8,8 @@
 #include "core/heapgraph/sexpr.h"
 #include "core/interp/builtins.h"
 #include "core/translate/translate.h"
+#include "support/jsonlite.h"
+#include "support/strutil.h"
 #include "support/telemetry.h"
 
 namespace uchecker::core {
@@ -303,7 +305,36 @@ std::optional<SolverQueryCache::Outcome> SolverQueryCache::lookup(
 
 void SolverQueryCache::store(const std::string& key, Outcome outcome) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = map_.emplace(key, std::move(outcome));
+  (void)it;
+  if (inserted) dirty_.push_back(key);
+}
+
+void SolverQueryCache::preload(const std::string& key, Outcome outcome) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   map_.emplace(key, std::move(outcome));
+}
+
+std::vector<std::pair<std::string, SolverQueryCache::Outcome>>
+SolverQueryCache::drain_dirty() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Outcome>> out;
+  out.reserve(dirty_.size());
+  for (const std::string& key : dirty_) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) out.emplace_back(it->first, it->second);
+  }
+  dirty_.clear();
+  return out;
+}
+
+std::vector<std::pair<std::string, SolverQueryCache::Outcome>>
+SolverQueryCache::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Outcome>> out;
+  out.reserve(map_.size());
+  for (const auto& [key, outcome] : map_) out.emplace_back(key, outcome);
+  return out;
 }
 
 std::size_t SolverQueryCache::hits() const {
@@ -517,6 +548,49 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
     if (stop) break;
   }
   return result;
+}
+
+std::string encode_outcome(const SolverQueryCache::Outcome& o) {
+  std::string out = "{\"result\": \"";
+  out += sat_result_name(o.result);
+  out += "\", \"witness\": " + strutil::quote(o.witness);
+  out += ", \"bindings\": {";
+  bool first = true;
+  for (const auto& [symbol, raw] : o.bindings) {
+    if (!first) out += ", ";
+    first = false;
+    out += strutil::quote(symbol) + ": " + strutil::quote(raw);
+  }
+  out += "}}";
+  return out;
+}
+
+std::optional<SolverQueryCache::Outcome> decode_outcome(std::string_view json) {
+  const std::optional<jsonlite::Value> doc = jsonlite::parse(json);
+  if (!doc.has_value() || !doc->is_object()) return std::nullopt;
+  const jsonlite::Value* result = doc->find("result");
+  const jsonlite::Value* witness = doc->find("witness");
+  const jsonlite::Value* bindings = doc->find("bindings");
+  if (result == nullptr || !result->is_string() || witness == nullptr ||
+      !witness->is_string() || bindings == nullptr || !bindings->is_object()) {
+    return std::nullopt;
+  }
+  SolverQueryCache::Outcome o;
+  if (result->str() == "sat") {
+    o.result = smt::SatResult::kSat;
+  } else if (result->str() == "unsat") {
+    o.result = smt::SatResult::kUnsat;
+  } else {
+    // Only definitive outcomes are ever stored; an "unknown" on disk
+    // means the record is not one of ours.
+    return std::nullopt;
+  }
+  o.witness = witness->str();
+  for (const auto& [symbol, raw] : bindings->members()) {
+    if (!raw.is_string()) return std::nullopt;
+    o.bindings[symbol] = raw.str();
+  }
+  return o;
 }
 
 }  // namespace uchecker::core

@@ -13,7 +13,9 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/heapgraph/evidence.h"
@@ -52,11 +54,28 @@ class SolverQueryCache {
   [[nodiscard]] std::size_t hits() const;
   [[nodiscard]] std::size_t size() const;
 
+  // Persistence hooks (scand durable caches). preload() inserts an
+  // outcome recovered from disk without marking it dirty; drain_dirty()
+  // returns every entry store()d since the last drain, so a service can
+  // flush incrementally after each scan instead of rewriting the world.
+  void preload(const std::string& key, Outcome outcome);
+  [[nodiscard]] std::vector<std::pair<std::string, Outcome>> drain_dirty();
+  [[nodiscard]] std::vector<std::pair<std::string, Outcome>> snapshot() const;
+
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Outcome> map_;
+  std::vector<std::string> dirty_;  // keys inserted since the last drain
   mutable std::size_t hits_ = 0;
 };
+
+// Serialization of one cached outcome for the durable solver-cache
+// store: a stable JSON object (parsed back with support/jsonlite).
+// decode returns nullopt on any structural mismatch — the caller counts
+// the record corrupt and re-solves.
+[[nodiscard]] std::string encode_outcome(const SolverQueryCache::Outcome& o);
+[[nodiscard]] std::optional<SolverQueryCache::Outcome> decode_outcome(
+    std::string_view json);
 
 struct VulnModelOptions {
   // Extensions considered server-executable. Paper default; §VI notes

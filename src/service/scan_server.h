@@ -1,0 +1,95 @@
+// Unix-domain-socket front end for ScanService (the scand daemon's
+// network layer).
+//
+// Wire protocol: line-delimited JSON, one request object per line, one
+// response object per line, over a SOCK_STREAM Unix socket. A client
+// may pipeline several requests on one connection.
+//
+//   {"op": "ping"}                          -> {"status": "ok", "pong": true}
+//   {"op": "status"}                        -> {"status": "ok",
+//                                               "queue_depth": N,
+//                                               "counters": {name: N, ...},
+//                                               "gauges": {name: X, ...}}
+//   {"op": "scan", "path": "/php/tree"}     -> {"status": "ok",
+//        [, "format": "sarif"]                  "app": "...",
+//                                               "verdict": "<slug>",
+//                                               "cached": B,
+//                                               "quarantined": B,
+//                                               "report": {...} | "sarif": {...}}
+//   {"op": "scan", "app": {"name": "...",   -> as above (sources inline,
+//        "files": [{"name","content"},..]}}    nothing read from disk)
+//   {"op": "shutdown"}                      -> {"status": "ok",
+//                                               "stopping": true}
+//
+// Degradation responses (all still one JSON line):
+//   {"status": "overloaded", "queue_depth": N}   bounded queue is full —
+//       retry later; nothing was enqueued.
+//   {"status": "error", "message": "..."}        malformed request,
+//       unknown op, unreadable path.
+//
+// The server never trusts the client: any parse failure is answered,
+// never crashed on, and a scan request's cost is bounded by the
+// service's request_timeout + watchdog.
+//
+// Shutdown: request_stop() is async-signal-safe (one relaxed atomic
+// store), so the daemon's SIGTERM handler calls it directly; run()
+// notices within one poll interval, stops accepting, joins connection
+// threads, and returns — the caller then drains via ScanService::stop().
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/scan_service.h"
+
+namespace uchecker::service {
+
+struct ServerOptions {
+  std::string socket_path;
+  // Accept-loop poll interval: the latency bound on noticing a stop
+  // request or an exiting connection thread.
+  std::chrono::milliseconds poll_interval{200};
+};
+
+class ScanServer {
+ public:
+  ScanServer(ScanService& service, ServerOptions options);
+  ~ScanServer();
+
+  ScanServer(const ScanServer&) = delete;
+  ScanServer& operator=(const ScanServer&) = delete;
+
+  // Binds and listens on the socket (unlinking a stale one first).
+  // False (with errno intact) when the socket cannot be created.
+  [[nodiscard]] bool listen();
+
+  // Accept loop; blocks until request_stop() or a shutdown request.
+  // Returns 0 on a clean stop, 1 when listen() was never called.
+  int run();
+
+  // Safe from signal handlers.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  // One request line -> one response line (no trailing newline).
+  // Exposed for tests; run() routes every connection through it.
+  [[nodiscard]] std::string handle_request(const std::string& line);
+
+ private:
+  void serve_connection(int fd);
+
+  ScanService& service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::mutex threads_mu_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace uchecker::service

@@ -1,0 +1,431 @@
+#include "service/scan_service.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/detector/report_io.h"
+#include "support/telemetry.h"
+
+namespace uchecker::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Store schemas carry the engine version: upgrading the engine
+// cold-starts both caches instead of replaying stale analysis.
+std::string schema_for(std::string_view store_name) {
+  return std::string(store_name) + "/1 " + std::string(core::kEngineVersion);
+}
+
+core::ScanReport service_error_report(std::string app_name,
+                                      std::string message) {
+  core::ScanReport report;
+  report.app_name = std::move(app_name);
+  report.verdict = core::Verdict::kAnalysisError;
+  report.errors.push_back(
+      core::ScanError{"service", "", std::move(message), false});
+  return report;
+}
+
+}  // namespace
+
+ScanService::ScanService(ServiceOptions options)
+    : options_(std::move(options)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.max_queue == 0) options_.max_queue = 1;
+}
+
+ScanService::~ScanService() { stop(); }
+
+void ScanService::count(const char* name, std::uint64_t n) {
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics().counter(name).add(n);
+  }
+}
+
+void ScanService::set_gauge(const char* name, double value) {
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->metrics().gauge(name).set(value);
+  }
+}
+
+void ScanService::publish_store_metrics() {
+  if (options_.telemetry == nullptr) return;
+  const auto mirror = [this](const char* prefix, const store::StoreStats& s) {
+    const std::string p(prefix);
+    auto& m = options_.telemetry->metrics();
+    m.gauge(p + ".hits").set(static_cast<double>(s.hits));
+    m.gauge(p + ".misses").set(static_cast<double>(s.misses));
+    m.gauge(p + ".corrupt").set(static_cast<double>(s.corrupt));
+    m.gauge(p + ".dropped_flushes").set(static_cast<double>(s.dropped_flushes));
+    m.gauge(p + ".cold_start").set(s.cold_start ? 1.0 : 0.0);
+  };
+  mirror("scand.verdict_cache", verdict_store_.stats());
+  mirror("scand.solver_cache", solver_store_.stats());
+  set_gauge("scand.quarantine.size",
+            static_cast<double>(quarantine_store_.size()));
+}
+
+bool ScanService::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return false;
+    started_ = true;
+    stopping_ = false;
+  }
+
+  if (!options_.state_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options_.state_dir, ec);  // failure -> open fails
+    const std::string dir = options_.state_dir + "/";
+    verdict_store_.open(dir + "verdicts.kv", schema_for("uchecker-verdicts"));
+    solver_store_.open(dir + "solver.kv", schema_for("uchecker-solver"));
+    quarantine_store_.open(dir + "quarantine.kv",
+                           schema_for("uchecker-quarantine"));
+
+    // Replay persisted solver outcomes into the shared in-memory cache.
+    // A value that passes the record checksum but no longer decodes is
+    // counted corrupt and dropped — re-solved on demand, never trusted.
+    std::size_t loaded = 0;
+    for (const auto& [key, value] : solver_store_.snapshot()) {
+      if (auto outcome = core::decode_outcome(value); outcome.has_value()) {
+        solver_cache_.preload(key, *std::move(outcome));
+        ++loaded;
+      } else {
+        solver_store_.invalidate(key);
+      }
+    }
+    count("scand.solver_cache.preloaded", loaded);
+  }
+  publish_store_metrics();
+  set_gauge("scand.queue_depth", 0.0);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    threads_.reserve(options_.workers);
+    for (unsigned i = 0; i < options_.workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+  return true;
+}
+
+void ScanService::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  // The watchdog is gone, so threads_ can no longer grow; a retired
+  // worker's thread still finishes its wedged scan before joining.
+  std::vector<std::thread> workers;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(threads_);
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+
+  // Final flush: anything solved but not yet drained, then compact the
+  // append logs down to their live maps.
+  for (auto& [key, outcome] : solver_cache_.drain_dirty()) {
+    solver_store_.put(key, core::encode_outcome(outcome));
+  }
+  verdict_store_.compact();
+  solver_store_.compact();
+  quarantine_store_.compact();
+  publish_store_metrics();
+  verdict_store_.close();
+  solver_store_.close();
+  quarantine_store_.close();
+}
+
+std::future<ScanOutcome> ScanService::submit(core::Application app) {
+  auto flight = std::make_shared<InFlight>();
+  flight->app_name = app.name;
+  flight->key = verdict_key(app, options_.scan);
+  flight->has_deadline = options_.request_timeout.count() > 0;
+  std::future<ScanOutcome> future = flight->promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return {};
+    if (queue_.size() >= options_.max_queue) {
+      count("scand.overloaded");
+      return {};
+    }
+    queue_.push_back(Request{std::move(app), std::move(flight)});
+    set_gauge("scand.queue_depth", static_cast<double>(queue_.size()));
+  }
+  count("scand.requests");
+  cv_.notify_one();
+  return future;
+}
+
+std::optional<ScanOutcome> ScanService::scan(core::Application app) {
+  std::future<ScanOutcome> future = submit(std::move(app));
+  if (!future.valid()) return std::nullopt;
+  return future.get();
+}
+
+std::size_t ScanService::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::string ScanService::verdict_key(const core::Application& app,
+                                     const core::ScanOptions& scan) {
+  // Only option fields that can change a non-degraded report are part
+  // of the key (budget/deadline overruns mark the report degraded, and
+  // degraded reports are never cached).
+  std::string opts = "stop=";
+  opts += scan.vuln.stop_at_first_finding ? '1' : '0';
+  opts += ";admin=";
+  opts += scan.locality.model_admin_gating ? '1' : '0';
+  opts += ";locality=";
+  opts += scan.run_locality ? '1' : '0';
+  opts += ";prefilter=";
+  opts += scan.prefilter ? '1' : '0';
+  opts += ";lint=";
+  opts += scan.lint ? '1' : '0';
+  opts += ";crosscheck=";
+  opts += scan.crosscheck ? '1' : '0';
+  opts += ";explain=";
+  opts += scan.explain ? '1' : '0';
+  opts += ";ext=";
+  for (const std::string& ext : scan.vuln.executable_extensions) {
+    opts += ext;
+    opts += ',';
+  }
+
+  std::uint64_t h = store::fnv1a64(core::kEngineVersion);
+  h = store::fnv1a64(opts, h);
+  h = store::fnv1a64(app.name, h);
+  // Content identity is order-independent: hash (name, content hash)
+  // pairs in sorted-name order.
+  std::vector<std::pair<std::string_view, std::uint64_t>> files;
+  files.reserve(app.files.size());
+  for (const core::AppFile& f : app.files) {
+    files.emplace_back(f.name, store::fnv1a64(f.content));
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [name, content_hash] : files) {
+    h = store::fnv1a64(name, h);
+    h = store::fnv1a64(store::hex64(content_hash), h);
+  }
+  return store::hex64(h);
+}
+
+bool ScanService::is_quarantined(const core::Application& app) const {
+  return quarantine_store_.contains(verdict_key(app, options_.scan));
+}
+
+store::StoreStats ScanService::verdict_store_stats() const {
+  return verdict_store_.stats();
+}
+
+store::StoreStats ScanService::solver_store_stats() const {
+  return solver_store_.stats();
+}
+
+void ScanService::worker_loop() {
+  while (true) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      if (request.flight->has_deadline) {
+        request.flight->deadline_at =
+            std::chrono::steady_clock::now() + options_.request_timeout;
+      }
+      inflight_.push_back(request.flight);
+      set_gauge("scand.queue_depth", static_cast<double>(queue_.size()));
+    }
+
+    process(request);
+
+    bool retired = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(
+          std::remove(inflight_.begin(), inflight_.end(), request.flight),
+          inflight_.end());
+      retired = request.flight->abandoned.load(std::memory_order_acquire);
+    }
+    // The watchdog answered for this scan and spawned a replacement
+    // worker; this thread bows out rather than doubling the pool.
+    if (retired) return;
+  }
+}
+
+void ScanService::process(Request& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  InFlight& flight = *request.flight;
+  ScanOutcome outcome;
+
+  if (quarantine_store_.contains(flight.key)) {
+    count("scand.quarantine_hits");
+    outcome.quarantined = true;
+    outcome.report = service_error_report(
+        flight.app_name,
+        "quarantined: a previous scan of this content exceeded its deadline");
+    outcome.report_json = core::to_json(outcome.report);
+  } else {
+    bool need_scan = true;
+    if (auto cached = verdict_store_.get(flight.key); cached.has_value()) {
+      if (auto parsed = core::report_from_json(*cached); parsed.has_value()) {
+        // Warm replay: the reply bytes are the stored bytes, which are
+        // the to_json() of the original scan — byte-identical.
+        outcome.report = *std::move(parsed);
+        outcome.report_json = *std::move(cached);
+        outcome.from_cache = true;
+        need_scan = false;
+      } else {
+        // Checksum-clean but undecodable (schema drift that survived
+        // the header check): corrupt, recompute, never replay.
+        verdict_store_.invalidate(flight.key);
+      }
+    }
+
+    if (need_scan) {
+      core::ScanOptions scan_options = options_.scan;
+      scan_options.query_cache = &solver_cache_;
+      const core::Detector detector(scan_options);
+      Deadline deadline = flight.has_deadline
+                              ? Deadline::after(options_.request_timeout)
+                              : Deadline::unlimited();
+      deadline.attach(flight.cancel.token());
+      outcome.report = detector.scan(request.app, deadline);
+      outcome.report_json = core::to_json(outcome.report);
+      // Only clean reports are worth replaying; a degraded one (error,
+      // timeout, budget) must be recomputed next time.
+      if (!outcome.report.degraded() &&
+          outcome.report.verdict != core::Verdict::kAnalysisError) {
+        verdict_store_.put(flight.key, outcome.report_json);
+      }
+      // Incremental solver-cache flush: persist what this scan solved
+      // now, so a crash loses at most the scans after the last flush.
+      std::size_t flushed = 0;
+      for (auto& [key, solver_outcome] : solver_cache_.drain_dirty()) {
+        solver_store_.put(key, core::encode_outcome(solver_outcome));
+        ++flushed;
+      }
+      if (flushed > 0) count("scand.solver_cache.flushed", flushed);
+    }
+  }
+
+  if (!flight.replied.exchange(true, std::memory_order_acq_rel)) {
+    if (options_.telemetry != nullptr) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      options_.telemetry->metrics()
+          .histogram("scand.request_ms",
+                     telemetry::MetricsRegistry::default_latency_buckets_ms())
+          .observe(ms);
+    }
+    flight.promise.set_value(std::move(outcome));
+  }
+  publish_store_metrics();
+}
+
+void ScanService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock, options_.watchdog_poll,
+                          [this] { return stopping_; });
+    if (stopping_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& flight : inflight_) {
+      if (!flight->has_deadline ||
+          flight->replied.load(std::memory_order_acquire) ||
+          now <= flight->deadline_at + options_.watchdog_grace) {
+        continue;
+      }
+      // A scan is wedged past deadline + grace: cancel it, answer for
+      // it, quarantine its content, and replace the worker stuck on it.
+      flight->cancel.cancel();
+      count("scand.watchdog_cancellations");
+      quarantine_store_.put(flight->key, "watchdog: scan exceeded deadline");
+      count("scand.quarantined");
+      flight->abandoned.store(true, std::memory_order_release);
+      if (!flight->replied.exchange(true, std::memory_order_acq_rel)) {
+        ScanOutcome outcome;
+        outcome.quarantined = true;
+        outcome.report = service_error_report(
+            flight->app_name,
+            "watchdog: scan cancelled after exceeding its deadline; "
+            "content quarantined");
+        outcome.report_json = core::to_json(outcome.report);
+        flight->promise.set_value(std::move(outcome));
+      }
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+std::optional<core::Application> load_application(const std::string& root,
+                                                  std::string& error,
+                                                  std::size_t* unreadable) {
+  const auto is_php_file = [](const fs::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".php" || ext == ".module" || ext == ".inc";
+  };
+  const auto read_file = [](const fs::path& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return false;
+    out = buffer.str();
+    return true;
+  };
+
+  core::Application app;
+  app.name = root;
+  std::size_t skipped = 0;
+  const auto add_file = [&](const fs::path& path, std::string name) {
+    std::string content;
+    if (read_file(path, content)) {
+      app.files.push_back(core::AppFile{std::move(name), std::move(content)});
+    } else {
+      ++skipped;
+    }
+  };
+
+  const fs::path root_path(root);
+  std::error_code ec;
+  if (fs::is_regular_file(root_path, ec)) {
+    add_file(root_path, root_path.filename().string());
+  } else if (fs::is_directory(root_path, ec)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root_path, ec)) {
+      if (!is_php_file(entry.path())) continue;
+      std::error_code sec;
+      if (entry.is_regular_file(sec) || fs::is_symlink(entry.path(), sec)) {
+        add_file(entry.path(),
+                 fs::relative(entry.path(), root_path, ec).string());
+      }
+    }
+  } else {
+    error = root + " is not a file or directory";
+    return std::nullopt;
+  }
+  if (unreadable != nullptr) *unreadable = skipped;
+  if (app.files.empty()) {
+    error = "no readable PHP files found under " + root;
+    return std::nullopt;
+  }
+  return app;
+}
+
+}  // namespace uchecker::service

@@ -1,0 +1,188 @@
+// The scand service core: a long-running scan queue with durable
+// caches, backpressure and a watchdog (the library behind the scand
+// daemon; see service/scan_server.h for the socket front end).
+//
+// What it adds over scan_many:
+//
+//  - Durable caches. Verdicts (whole ScanReport JSON, keyed by engine
+//    version + scan options + content hashes) and solver outcomes
+//    (SolverQueryCache entries) persist across restarts in
+//    corruption-detecting KvStores (support/store.h). A cache record
+//    that fails its checksum or no longer decodes is *counted and
+//    recomputed*, never trusted: the failure mode of every crash,
+//    torn write or bit flip is a cold scan, not a wrong verdict.
+//  - Backpressure. The request queue is bounded; submit() on a full
+//    queue fails immediately (the server replies "overloaded") instead
+//    of buffering without limit.
+//  - Watchdog. Every request gets a deadline (ServiceOptions::
+//    request_timeout). A scan that overruns it plus a grace period is
+//    cancelled through its token, answered kAnalysisError on the
+//    caller's behalf, and its app is quarantined (persistently): a
+//    wedged scan costs one worker temporarily — the watchdog retires
+//    that worker and spawns a replacement — but never the daemon, and
+//    the same content can never wedge it twice.
+//  - Drain shutdown. stop() finishes every queued request, flushes the
+//    caches and compacts the stores; kill -9 at any point loses at most
+//    the records not yet appended (each put is flushed to the OS).
+//
+// Cache replay is byte-exact: a warm hit returns the stored JSON bytes,
+// which are the to_json() of the original scan — so a client cannot
+// tell a replay from a fresh scan (acceptance: warm verdicts are
+// byte-identical to single-shot scans of the same content).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/detector/detector.h"
+#include "support/store.h"
+
+namespace uchecker::telemetry {
+class Telemetry;
+}  // namespace uchecker::telemetry
+
+namespace uchecker::service {
+
+struct ServiceOptions {
+  // Directory for the durable stores (created if missing). Empty
+  // disables persistence: the service still runs, fully in-memory.
+  std::string state_dir;
+  unsigned workers = 2;
+  // Bounded queue: submit() fails once this many requests are waiting
+  // (in-flight scans do not count against it).
+  std::size_t max_queue = 32;
+  // Per-request wall-clock deadline (0 = unlimited; the watchdog is
+  // then idle and scans can only be bounded by scan.budget).
+  std::chrono::milliseconds request_timeout{0};
+  // How far past its deadline a scan may run before the watchdog
+  // cancels it, answers for it and quarantines the app.
+  std::chrono::milliseconds watchdog_grace{1000};
+  std::chrono::milliseconds watchdog_poll{20};
+  // Base configuration for every scan. `scan.query_cache` is
+  // overwritten: all scans share the service's persistent solver cache.
+  core::ScanOptions scan;
+  // Service-level counters/gauges/histograms land here (may be the
+  // same Telemetry as scan.telemetry). Optional.
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+// The answer to one request. `report_json` is the exact reply bytes:
+// the freshly rendered to_json() on a cold scan, the stored bytes on a
+// warm hit (identical by construction).
+struct ScanOutcome {
+  core::ScanReport report;
+  std::string report_json;
+  bool from_cache = false;
+  bool quarantined = false;
+};
+
+class ScanService {
+ public:
+  explicit ScanService(ServiceOptions options);
+  ~ScanService();
+
+  ScanService(const ScanService&) = delete;
+  ScanService& operator=(const ScanService&) = delete;
+
+  // Opens the stores (replaying persisted state) and launches the
+  // worker and watchdog threads. Persistence failures (unwritable
+  // state_dir, corrupt files) degrade to cold/in-memory operation and
+  // surface in telemetry; start() itself only fails when called twice.
+  bool start();
+
+  // Drains the queue (every accepted request is still answered),
+  // flushes and compacts the stores, joins all threads. Idempotent.
+  void stop();
+
+  // Enqueues one scan. Returns an invalid future (valid() == false)
+  // when the queue is full or the service is stopping — the caller
+  // should report backpressure, not block.
+  [[nodiscard]] std::future<ScanOutcome> submit(core::Application app);
+
+  // Convenience synchronous wrapper: nullopt = backpressure.
+  [[nodiscard]] std::optional<ScanOutcome> scan(core::Application app);
+
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  // The persistent verdict-cache key for `app` under `scan` options:
+  // FNV over engine version, the option fields that can change a
+  // verdict, and every (file name, content hash). Exposed for tests
+  // and for external cache tooling.
+  [[nodiscard]] static std::string verdict_key(const core::Application& app,
+                                               const core::ScanOptions& scan);
+
+  [[nodiscard]] bool is_quarantined(const core::Application& app) const;
+
+  // Fleet-wide solver cache (preloaded from disk on start()).
+  [[nodiscard]] core::SolverQueryCache& solver_cache() { return solver_cache_; }
+
+  // Aggregated store health (verdict + solver + quarantine stores).
+  [[nodiscard]] store::StoreStats verdict_store_stats() const;
+  [[nodiscard]] store::StoreStats solver_store_stats() const;
+
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct InFlight {
+    std::string app_name;
+    std::string key;
+    CancellationSource cancel;
+    std::chrono::steady_clock::time_point deadline_at{};
+    bool has_deadline = false;
+    // Whoever flips this first (worker or watchdog) owns the promise.
+    std::atomic<bool> replied{false};
+    // Set by the watchdog: the worker running this scan is considered
+    // lost and must exit instead of taking more work (a replacement is
+    // already running).
+    std::atomic<bool> abandoned{false};
+    std::promise<ScanOutcome> promise;
+  };
+
+  struct Request {
+    core::Application app;
+    std::shared_ptr<InFlight> flight;
+  };
+
+  void worker_loop();
+  void watchdog_loop();
+  void process(Request& request);
+  void publish_store_metrics();
+  void count(const char* name, std::uint64_t n = 1);
+  void set_gauge(const char* name, double value);
+
+  ServiceOptions options_;
+  core::SolverQueryCache solver_cache_;
+  store::KvStore verdict_store_;
+  store::KvStore solver_store_;
+  store::KvStore quarantine_store_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;           // workers: queue / stop
+  std::condition_variable watchdog_cv_;  // watchdog: stop only
+  std::deque<Request> queue_;
+  std::vector<std::shared_ptr<InFlight>> inflight_;
+  std::vector<std::thread> threads_;  // workers + replacements
+  std::thread watchdog_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+// Recursively collects *.php / *.module / *.inc files under `root`
+// (or the single file itself) into an Application named after the
+// path. Unreadable files are skipped and counted; an empty result is
+// reported through `error`. Shared by scand and its tests.
+[[nodiscard]] std::optional<core::Application> load_application(
+    const std::string& root, std::string& error,
+    std::size_t* unreadable = nullptr);
+
+}  // namespace uchecker::service

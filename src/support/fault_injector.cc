@@ -68,15 +68,38 @@ std::size_t FaultInjector::hits(std::string_view point) const {
   return it == s.points.end() ? 0 : it->second.hits;
 }
 
-void FaultInjector::fire(std::string_view point) {
+namespace {
+
+bool is_io_action(FaultInjector::Action a) {
+  switch (a) {
+    case FaultInjector::Action::kShortWrite:
+    case FaultInjector::Action::kTornRename:
+    case FaultInjector::Action::kEnospc:
+    case FaultInjector::Action::kBitFlip:
+      return true;
+    case FaultInjector::Action::kThrow:
+    case FaultInjector::Action::kThrowTransient:
+    case FaultInjector::Action::kStall:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<FaultInjector::Action> FaultInjector::fire(std::string_view point,
+                                                         bool io) {
   Action action;
   std::chrono::milliseconds stall{0};
   {
     State& s = state();
     const std::lock_guard<std::mutex> lock(s.mu);
     const auto it = s.points.find(point);
-    if (it == s.points.end() || it->second.remaining == 0) return;
+    if (it == s.points.end() || it->second.remaining == 0) return std::nullopt;
     State::Point& p = it->second;
+    // An I/O action armed here only fires at an io_checkpoint — a plain
+    // checkpoint cannot simulate it, and must not burn the hit budget.
+    if (is_io_action(p.action) && !io) return std::nullopt;
     ++p.hits;
     if (p.remaining > 0 && --p.remaining == 0) {
       armed_points_.fetch_sub(1, std::memory_order_relaxed);
@@ -91,8 +114,14 @@ void FaultInjector::fire(std::string_view point) {
       throw InjectedFault(std::string(point), /*transient=*/true);
     case Action::kStall:
       std::this_thread::sleep_for(stall);
-      return;
+      return std::nullopt;
+    case Action::kShortWrite:
+    case Action::kTornRename:
+    case Action::kEnospc:
+    case Action::kBitFlip:
+      return action;
   }
+  return std::nullopt;
 }
 
 }  // namespace uchecker

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -54,6 +55,14 @@ class FaultInjector {
     kThrow,           // throw InjectedFault (permanent)
     kThrowTransient,  // throw InjectedFault marked transient
     kStall,           // sleep for the configured duration, then continue
+    // Disk-I/O fault classes, applied cooperatively by the durable store
+    // (support/store) at its io_checkpoint()s. Regular checkpoint() calls
+    // ignore these — they only make sense where the caller can simulate
+    // the hardware behaviour:
+    kShortWrite,  // persist only a prefix of the record (power cut mid-write)
+    kTornRename,  // drop the atomic rename (crash between write and rename)
+    kEnospc,      // the write fails cleanly with "no space left on device"
+    kBitFlip,     // flip one bit of the buffer just read (media corruption)
   };
 
   static FaultInjector& instance();
@@ -71,16 +80,30 @@ class FaultInjector {
   [[nodiscard]] std::size_t hits(std::string_view point) const;
 
   // Instrumentation hook. No-op (one relaxed load) unless a point is
-  // armed anywhere in the process.
+  // armed anywhere in the process. Disk-I/O actions armed at `point` are
+  // ignored here (they need caller cooperation; see io_checkpoint).
   static void checkpoint(std::string_view point) {
     FaultInjector& fi = instance();
     if (fi.armed_points_.load(std::memory_order_relaxed) == 0) return;
-    fi.fire(point);
+    fi.fire(point, /*io=*/false);
+  }
+
+  // Disk-I/O instrumentation hook. Returns the armed I/O action the
+  // caller must now simulate (short write, torn rename, ...), or nullopt
+  // when nothing (relevant) is armed. kThrow/kThrowTransient/kStall
+  // armed at the same point still throw/sleep here, so every existing
+  // arming mode also works on store code paths.
+  static std::optional<Action> io_checkpoint(std::string_view point) {
+    FaultInjector& fi = instance();
+    if (fi.armed_points_.load(std::memory_order_relaxed) == 0) {
+      return std::nullopt;
+    }
+    return fi.fire(point, /*io=*/true);
   }
 
  private:
   FaultInjector() = default;
-  void fire(std::string_view point);
+  std::optional<Action> fire(std::string_view point, bool io);
 
   std::atomic<int> armed_points_{0};
   struct State;  // mutex + point table (keeps <mutex>/<map> out of the hot path header)

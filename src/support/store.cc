@@ -1,0 +1,360 @@
+#include "support/store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/fault_injector.h"
+
+namespace uchecker::store {
+namespace {
+
+constexpr char kMagic[4] = {'U', 'C', 'D', 'S'};
+constexpr std::uint32_t kFormatVersion = 1;
+// u32 payload length + u64 checksum.
+constexpr std::size_t kRecordHeader = 4 + 8;
+// One cache record holds at most one serialized scan report; anything
+// beyond this is treated as a corrupt length field, not an allocation.
+constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::string header_bytes(std::string_view schema) {
+  std::string out(kMagic, sizeof(kMagic));
+  put_u32(out, kFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(schema.size()));
+  out.append(schema);
+  return out;
+}
+
+// Writes all of `data`, honouring the "store.append" I/O fault point:
+// a short write persists only half the buffer but still reports success
+// (the caller learns the truth, like after a power cut, on the next
+// open); ENOSPC fails cleanly before anything lands on disk.
+bool write_all(int fd, std::string_view data, bool faultable) {
+  if (faultable) {
+    if (const auto fault = FaultInjector::io_checkpoint("store.append")) {
+      if (*fault == FaultInjector::Action::kEnospc) {
+        errno = ENOSPC;
+        return false;
+      }
+      if (*fault == FaultInjector::Action::kShortWrite) {
+        data = data.substr(0, data.size() / 2);
+      }
+    }
+  }
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  out.clear();
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // Read-time media corruption: flip one bit in the middle of the
+  // buffer. The per-record checksum downstream is what must catch it.
+  if (const auto fault = FaultInjector::io_checkpoint("store.read")) {
+    if (*fault == FaultInjector::Action::kBitFlip && !out.empty()) {
+      out[out.size() / 2] = static_cast<char>(out[out.size() / 2] ^ 0x10);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string hex64(std::uint64_t value) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DurableLog
+
+DurableLog::~DurableLog() { close(); }
+
+bool DurableLog::write_header(int fd) const {
+  return write_all(fd, header_bytes(schema_), /*faultable=*/false);
+}
+
+bool DurableLog::append_record(int fd, std::string_view payload) const {
+  std::string record;
+  record.reserve(kRecordHeader + payload.size());
+  put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  put_u64(record, fnv1a64(payload));
+  record.append(payload);
+  return write_all(fd, record, /*faultable=*/true);
+}
+
+bool DurableLog::open(const std::string& path, std::string_view schema,
+                      const std::function<void(std::string_view)>& replay,
+                      OpenStats& stats) {
+  close();
+  path_ = path;
+  schema_ = std::string(schema);
+  stats = OpenStats{};
+
+  std::string data;
+  const bool existed = read_file(path, data);
+
+  // Validate the header; any mismatch (magic, format version, schema /
+  // engine version, truncation) is a cold start: the old contents may
+  // follow a different layout, so nothing in them can be trusted.
+  std::size_t valid_end = 0;
+  bool replayable = false;
+  const std::string expect = header_bytes(schema_);
+  if (existed) {
+    if (data.size() >= expect.size() &&
+        std::memcmp(data.data(), expect.data(), expect.size()) == 0) {
+      replayable = true;
+      valid_end = expect.size();
+    } else {
+      stats.cold = true;
+      stats.cold_reason = data.empty() ? "empty store file"
+                                       : "store header/schema mismatch";
+    }
+  }
+
+  if (replayable) {
+    std::size_t off = valid_end;
+    while (off < data.size()) {
+      if (data.size() - off < kRecordHeader) {
+        ++stats.records_corrupt;  // torn record header at the tail
+        break;
+      }
+      const std::uint32_t len = get_u32(data.data() + off);
+      const std::uint64_t sum = get_u64(data.data() + off + 4);
+      if (len > kMaxRecordBytes || data.size() - off - kRecordHeader < len) {
+        ++stats.records_corrupt;  // impossible length or torn payload
+        break;
+      }
+      const std::string_view payload(data.data() + off + kRecordHeader, len);
+      if (fnv1a64(payload) != sum) {
+        ++stats.records_corrupt;  // bit rot: checksum mismatch
+        break;
+      }
+      replay(payload);
+      ++stats.records_loaded;
+      off += kRecordHeader + len;
+      valid_end = off;
+    }
+  }
+
+  // Re-open for appends, truncated back to the last intact record (or
+  // re-initialized from scratch on a cold start) so new appends can
+  // never land on top of a damaged tail.
+  const int flags = O_WRONLY | O_CREAT | O_CLOEXEC;
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return false;
+  if (!replayable) {
+    if (::ftruncate(fd, 0) != 0 || !write_header(fd)) {
+      ::close(fd);
+      return false;
+    }
+  } else if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool DurableLog::append(std::string_view payload) {
+  if (fd_ < 0) return false;
+  return append_record(fd_, payload);
+}
+
+bool DurableLog::rewrite(const std::vector<std::string>& records) {
+  if (path_.empty()) return false;
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  bool ok = write_header(fd);
+  for (const std::string& r : records) {
+    if (!ok) break;
+    ok = append_record(fd, r);
+  }
+  // The rename is the commit point; everything before it must be on
+  // disk first, or a crash could publish a hollow file.
+  if (ok) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Torn rename: the process "dies" after writing the temp file but
+  // before the atomic publish — the original file stays live.
+  if (const auto fault = FaultInjector::io_checkpoint("store.rename")) {
+    if (*fault == FaultInjector::Action::kTornRename) return false;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Future appends go to the newly published file.
+  const int nfd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (nfd < 0) return false;
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = nfd;
+  return true;
+}
+
+void DurableLog::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KvStore
+
+std::string KvStore::encode(std::string_view key, std::string_view value) {
+  std::string out;
+  out.reserve(4 + key.size() + value.size());
+  put_u32(out, static_cast<std::uint32_t>(key.size()));
+  out.append(key);
+  out.append(value);
+  return out;
+}
+
+bool KvStore::open(const std::string& path, std::string_view schema) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  stats_ = StoreStats{};
+  OpenStats open_stats;
+  std::size_t undecodable = 0;
+  const bool ok = log_.open(
+      path, schema,
+      [this, &undecodable](std::string_view payload) {
+        if (payload.size() < 4) {
+          ++undecodable;
+          return;
+        }
+        const std::uint32_t key_len = get_u32(payload.data());
+        if (payload.size() - 4 < key_len) {
+          ++undecodable;
+          return;
+        }
+        std::string key(payload.substr(4, key_len));
+        map_[std::move(key)] = std::string(payload.substr(4 + key_len));
+      },
+      open_stats);
+  stats_.cold_start = open_stats.cold;
+  stats_.cold_reason = open_stats.cold_reason;
+  stats_.corrupt = open_stats.records_corrupt + undecodable;
+  return ok;
+}
+
+bool KvStore::put(const std::string& key, const std::string& value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_[key] = value;
+  if (!log_.is_open()) return false;
+  if (!log_.append(encode(key, value))) {
+    ++stats_.dropped_flushes;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+bool KvStore::contains(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.find(key) != map_.end();
+}
+
+std::size_t KvStore::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void KvStore::invalidate(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (map_.erase(key) > 0) ++stats_.corrupt;
+}
+
+bool KvStore::compact() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!log_.is_open()) return false;
+  std::vector<std::string> records;
+  records.reserve(map_.size());
+  for (const auto& [k, v] : map_) records.push_back(encode(k, v));
+  return log_.rewrite(records);
+}
+
+void KvStore::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  log_.close();
+}
+
+StoreStats KvStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::map<std::string, std::string> KvStore::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_;
+}
+
+}  // namespace uchecker::store

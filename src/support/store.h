@@ -1,0 +1,172 @@
+// Durable, corruption-detecting cache store (the persistence layer of
+// the scand service).
+//
+// Design goal: a torn write, a flipped bit, an out-of-space append or a
+// schema change must be *detected* and degrade the cache to a cold
+// recompute — it must never be trusted into a wrong verdict. The store
+// therefore checksums every record, versions its header, and keeps every
+// mutation either atomic (whole-file rewrite via write-to-temp + rename)
+// or append-only (a torn appended record is recognized and discarded on
+// the next open, and everything before it survives).
+//
+// Two layers:
+//
+//  - DurableLog: an append-only record log. File layout:
+//        magic "UCDS" | u32 format version | u32 len | schema string
+//        repeat: u32 payload length | u64 FNV-1a-64(payload) | payload
+//    (all integers little-endian). open() replays records until the
+//    first length/checksum violation, truncates the file back to the
+//    last intact record (so later appends never land on top of garbage)
+//    and reports how many records were dropped. A magic/version/schema
+//    mismatch discards the whole file ("cold start").
+//  - KvStore: a string -> string map persisted through a DurableLog
+//    (payload = u32 key length | key | value; later records win, so
+//    put() is a cheap upsert append). compact() rewrites the live map
+//    atomically and drops superseded records. Thread-safe.
+//
+// Fault injection: the store runs FaultInjector::io_checkpoint at the
+// points "store.append" (short write / ENOSPC), "store.rename" (torn
+// rename) and "store.read" (bit flip), so tests can prove each detection
+// path end to end. See support/fault_injector.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uchecker::store {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+// FNV-1a 64 over raw bytes — the per-record checksum, and the content
+// hash callers build cache keys from (same scheme as the PR5 finding
+// fingerprints, so fingerprints and cache keys share one vocabulary).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data,
+                                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// 16 lowercase hex digits.
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+// What open() found on disk. `cold` means no prior state was usable
+// (missing file, header mismatch, unreadable) — the caches start empty
+// and the file is re-initialized. Corrupt *records* are not cold: the
+// intact prefix is kept and only the damaged tail is dropped.
+struct OpenStats {
+  bool cold = false;
+  std::string cold_reason;          // "" unless cold
+  std::size_t records_loaded = 0;   // intact records replayed
+  std::size_t records_corrupt = 0;  // records dropped by checksum/length
+};
+
+class DurableLog {
+ public:
+  DurableLog() = default;
+  ~DurableLog();
+
+  DurableLog(const DurableLog&) = delete;
+  DurableLog& operator=(const DurableLog&) = delete;
+
+  // Opens (creating if needed) the log at `path`. `schema` names the
+  // record schema of the owning cache *and* the engine version that
+  // wrote it: any mismatch — including a corrupt or truncated header —
+  // re-initializes the file empty. Intact records are delivered to
+  // `replay` in append order. Returns false only when the file cannot
+  // be created at all (the store is then disabled, not wrong).
+  bool open(const std::string& path, std::string_view schema,
+            const std::function<void(std::string_view)>& replay,
+            OpenStats& stats);
+
+  // Appends one checksummed record and flushes it to the OS. Returns
+  // false on any I/O failure (ENOSPC, closed log); the record is then
+  // not (reliably) durable and the caller should count a dropped flush —
+  // nothing in-memory is harmed.
+  bool append(std::string_view payload);
+
+  // Atomically replaces the log's contents with `records` (write to
+  // `path + ".tmp"`, fsync, rename over the original). On failure the
+  // original file is untouched and remains the live log.
+  bool rewrite(const std::vector<std::string>& records);
+
+  void close();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  bool write_header(int fd) const;
+  bool append_record(int fd, std::string_view payload) const;
+
+  int fd_ = -1;
+  std::string path_;
+  std::string schema_;
+};
+
+// Counters a persistent cache exposes (mirrored into telemetry by the
+// service). `corrupt` accumulates both open-time record drops and any
+// value that later fails to decode.
+struct StoreStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t corrupt = 0;
+  std::size_t dropped_flushes = 0;  // append failures (e.g. ENOSPC)
+  bool cold_start = false;
+  std::string cold_reason;
+};
+
+class KvStore {
+ public:
+  KvStore() = default;
+
+  // Opens the backing log and replays it into memory. Per-record
+  // corruption and header mismatches surface in stats() — a usable
+  // (possibly empty) store always results. Returns false only when the
+  // backing file cannot be created; the store then runs purely
+  // in-memory (put/get still work, nothing persists).
+  bool open(const std::string& path, std::string_view schema);
+
+  // Upsert + durable append. The in-memory map always updates; the
+  // return value says whether the append reached the OS (false counts a
+  // dropped flush — after a crash the entry is simply recomputed).
+  bool put(const std::string& key, const std::string& value);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key);
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const;
+
+  // Marks `key`'s current value undecodable (counted corrupt) and
+  // removes it so the caller recomputes. Used when a value passes the
+  // record checksum but fails semantic decoding.
+  void invalidate(const std::string& key);
+
+  // Atomic whole-store rewrite dropping superseded append records.
+  bool compact();
+
+  void close();
+
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] std::map<std::string, std::string> snapshot() const;
+
+ private:
+  [[nodiscard]] static std::string encode(std::string_view key,
+                                          std::string_view value);
+
+  mutable std::mutex mu_;
+  DurableLog log_;
+  std::map<std::string, std::string> map_;
+  StoreStats stats_;
+};
+
+}  // namespace uchecker::store

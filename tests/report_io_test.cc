@@ -247,5 +247,80 @@ TEST(ReportText, DegradationShown) {
   EXPECT_NE(text.find("2 solver retries"), std::string::npos);
 }
 
+// --- report_from_json: the deserialization half of the scand verdict
+// cache. The contract is exact inversion on to_json output — a cached
+// replay must re-serialize byte-identically to the scan that stored it.
+
+TEST(ReportRoundTrip, PlainReportInvertsExactly) {
+  const std::string json = to_json(sample_report());
+  const std::optional<ScanReport> parsed = report_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(to_json(*parsed), json);
+  EXPECT_EQ(parsed->verdict, Verdict::kVulnerable);
+  EXPECT_EQ(parsed->app_name, "demo \"quoted\" plugin");
+  ASSERT_EQ(parsed->findings.size(), 1u);
+  EXPECT_EQ(parsed->findings[0].fingerprint, "0123456789abcdef");
+  EXPECT_EQ(parsed->findings[0].line, 7u);
+}
+
+TEST(ReportRoundTrip, EvidenceReportInvertsExactly) {
+  const std::string json = to_json(evidence_report());
+  const std::optional<ScanReport> parsed = report_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(to_json(*parsed), json);
+  const FindingEvidence& ev = parsed->findings[0].evidence;
+  ASSERT_EQ(ev.taint_path.size(), 2u);
+  EXPECT_EQ(ev.taint_path[0].description, "s_files_f_tmp");
+  ASSERT_EQ(ev.guards.size(), 1u);
+  EXPECT_EQ(ev.guards[0].sexpr, "(> s_size 10)");
+  ASSERT_EQ(ev.bindings.size(), 1u);
+  EXPECT_EQ(ev.bindings[0].decoded, "php");
+  EXPECT_EQ(ev.upload_filename, "payload.php");
+  EXPECT_TRUE(ev.destination_complete);
+}
+
+TEST(ReportRoundTrip, DegradedReportInvertsExactly) {
+  ScanReport r = degraded_report();
+  r.diagnostics_by_phase = {{"parse", 3}, {"interp", 1}};
+  staticpass::LintFinding lint;
+  lint.rule = "UC103";
+  lint.severity = staticpass::Severity::kWarning;
+  lint.location = "upload.php:4";
+  lint.message = "blacklist extension check";
+  lint.evidence = "if ($ext !== 'php')";
+  r.lints.push_back(std::move(lint));
+  ScanError d;
+  d.root = "handler()";
+  d.message = "engines disagree";
+  r.disagreements.push_back(std::move(d));
+
+  const std::string json = to_json(r);
+  const std::optional<ScanReport> parsed = report_from_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(to_json(*parsed), json);
+  ASSERT_EQ(parsed->errors.size(), r.errors.size());
+  EXPECT_EQ(parsed->errors[0].transient, r.errors[0].transient);
+  ASSERT_EQ(parsed->lints.size(), 1u);
+  EXPECT_EQ(parsed->lints[0].severity, staticpass::Severity::kWarning);
+  ASSERT_EQ(parsed->disagreements.size(), 1u);
+  EXPECT_EQ(parsed->diagnostics_by_phase.at("parse"), 3u);
+}
+
+TEST(ReportRoundTrip, RejectsDamagedInput) {
+  EXPECT_FALSE(report_from_json("").has_value());
+  EXPECT_FALSE(report_from_json("not json at all").has_value());
+  EXPECT_FALSE(report_from_json("{}").has_value());
+  EXPECT_FALSE(report_from_json("[1, 2, 3]").has_value());
+  // Structurally valid JSON with a mangled verdict must not parse.
+  std::string json = to_json(sample_report());
+  const std::size_t pos = json.find("vulnerable");
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, 10, "vulnerablX");
+  EXPECT_FALSE(report_from_json(json).has_value());
+  // Truncation anywhere must not parse.
+  const std::string whole = to_json(sample_report());
+  EXPECT_FALSE(report_from_json(whole.substr(0, whole.size() / 2)).has_value());
+}
+
 }  // namespace
 }  // namespace uchecker::core

@@ -1,0 +1,550 @@
+// End-to-end tests of the scand service core and its socket protocol:
+// durable verdict/solver caches (warm hits byte-identical to the cold
+// scan, survival across restart and simulated crash), corruption
+// recovery (a damaged record is detected and recomputed, never
+// trusted), backpressure, the watchdog/quarantine path for wedged
+// scans, and the line-JSON wire protocol.
+#include "service/scan_service.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/detector/report_io.h"
+#include "corpus/corpus.h"
+#include "service/scan_server.h"
+#include "support/fault_injector.h"
+#include "support/jsonlite.h"
+#include "support/telemetry.h"
+
+namespace uchecker::service {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+core::Application synth(const std::string& name, bool vulnerable) {
+  corpus::SynthSpec spec;
+  spec.name = name;
+  spec.sequential_ifs = 2;
+  spec.vulnerable = vulnerable;
+  spec.filler_loc = 60;
+  return corpus::synth_app(spec);
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().disarm_all();
+    dir_ = fs::temp_directory_path() /
+           ("uchecker_service_test_" +
+            std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::instance().disarm_all();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string state_dir(const char* sub = "state") const {
+    return (dir_ / sub).string();
+  }
+
+  ServiceOptions base_options(const char* sub = "state") const {
+    ServiceOptions options;
+    options.state_dir = state_dir(sub);
+    options.workers = 2;
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ServiceTest, VerdictKeyIsContentAndOptionSensitive) {
+  const core::Application app = synth("key-app", true);
+  core::ScanOptions scan;
+  const std::string key = ScanService::verdict_key(app, scan);
+  EXPECT_EQ(key.size(), 16u);
+  EXPECT_EQ(key, ScanService::verdict_key(app, scan));
+
+  // File order must not matter; file content and options must.
+  core::Application reordered = app;
+  std::reverse(reordered.files.begin(), reordered.files.end());
+  EXPECT_EQ(key, ScanService::verdict_key(reordered, scan));
+
+  core::Application edited = app;
+  edited.files[0].content += " ";
+  EXPECT_NE(key, ScanService::verdict_key(edited, scan));
+
+  core::ScanOptions explain = scan;
+  explain.explain = true;
+  EXPECT_NE(key, ScanService::verdict_key(app, explain));
+}
+
+TEST_F(ServiceTest, WarmHitIsByteIdenticalToColdScan) {
+  ScanService service(base_options());
+  ASSERT_TRUE(service.start());
+  const core::Application app = synth("warm", true);
+
+  const auto cold = service.scan(app);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_FALSE(cold->from_cache);
+  EXPECT_EQ(cold->report.verdict, core::Verdict::kVulnerable);
+  EXPECT_EQ(cold->report_json, core::to_json(cold->report));
+
+  const auto warm = service.scan(app);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->from_cache);
+  // The replay is the stored bytes of the original scan: identical.
+  EXPECT_EQ(warm->report_json, cold->report_json);
+  EXPECT_EQ(warm->report.verdict, cold->report.verdict);
+  EXPECT_EQ(service.verdict_store_stats().hits, 1u);
+  service.stop();
+}
+
+TEST_F(ServiceTest, VerdictsSurviveRestart) {
+  const core::Application vuln = synth("restart-vuln", true);
+  const core::Application benign = synth("restart-benign", false);
+  std::string cold_vuln_json;
+  std::string cold_benign_json;
+  {
+    ScanService service(base_options());
+    ASSERT_TRUE(service.start());
+    cold_vuln_json = service.scan(vuln)->report_json;
+    cold_benign_json = service.scan(benign)->report_json;
+    service.stop();
+  }
+  {
+    ScanService service(base_options());
+    ASSERT_TRUE(service.start());
+    EXPECT_FALSE(service.verdict_store_stats().cold_start);
+    const auto warm_vuln = service.scan(vuln);
+    const auto warm_benign = service.scan(benign);
+    ASSERT_TRUE(warm_vuln.has_value());
+    ASSERT_TRUE(warm_benign.has_value());
+    EXPECT_TRUE(warm_vuln->from_cache);
+    EXPECT_TRUE(warm_benign->from_cache);
+    EXPECT_EQ(warm_vuln->report_json, cold_vuln_json);
+    EXPECT_EQ(warm_benign->report_json, cold_benign_json);
+    service.stop();
+  }
+}
+
+TEST_F(ServiceTest, SolverOutcomesSurviveRestart) {
+  {
+    ScanService service(base_options());
+    ASSERT_TRUE(service.start());
+    (void)service.scan(synth("solver-a", true));
+    service.stop();
+    EXPECT_GT(service.solver_cache().size(), 0u);
+  }
+  {
+    ScanService service(base_options());
+    ASSERT_TRUE(service.start());
+    // Preloaded from disk before any scan.
+    EXPECT_GT(service.solver_cache().size(), 0u);
+    // A *different* app with the same vulnerable shape reaches
+    // byte-identical sink constraints: the persisted outcome answers
+    // without a fresh Z3 call.
+    const auto report = service.scan(synth("solver-b", true));
+    ASSERT_TRUE(report.has_value());
+    EXPECT_FALSE(report->from_cache);  // different verdict key...
+    EXPECT_GT(service.solver_cache().hits(), 0u);  // ...same constraints
+    EXPECT_EQ(report->report.verdict, core::Verdict::kVulnerable);
+    service.stop();
+  }
+}
+
+TEST_F(ServiceTest, CrashWithoutDrainStillRecovers) {
+  const core::Application app = synth("crash", true);
+  std::string cold_json;
+  {
+    ScanService service(base_options());
+    ASSERT_TRUE(service.start());
+    cold_json = service.scan(app)->report_json;
+    // Simulate kill -9: snapshot the store files as they are mid-run
+    // (every put is flushed to the OS at append time), with no drain,
+    // no final flush, no compaction.
+    fs::copy(state_dir(), state_dir("crashed"), fs::copy_options::recursive);
+    service.stop();
+  }
+  ServiceOptions options = base_options("crashed");
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+  EXPECT_FALSE(service.verdict_store_stats().cold_start);
+  const auto warm = service.scan(app);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->report_json, cold_json);
+  service.stop();
+}
+
+TEST_F(ServiceTest, CorruptVerdictRecordIsRecomputedNotTrusted) {
+  const core::Application app = synth("corrupt", true);
+  {
+    ScanService service(base_options());
+    ASSERT_TRUE(service.start());
+    const auto cold = service.scan(app);
+    ASSERT_TRUE(cold.has_value());
+    EXPECT_FALSE(cold->from_cache);
+    service.stop();
+  }
+
+  // Flip one bit inside the persisted record's payload.
+  const std::string path = state_dir() + "/verdicts.kv";
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() - 16] ^= 0x04;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  // Restart: the checksum catches the damage, the record is dropped
+  // (counted corrupt) and the verdict is recomputed — and the fresh
+  // scan agrees with a cacheless one on everything that matters.
+  ScanService service(base_options());
+  ASSERT_TRUE(service.start());
+  EXPECT_GT(service.verdict_store_stats().corrupt, 0u);
+  const auto recomputed = service.scan(app);
+  ASSERT_TRUE(recomputed.has_value());
+  EXPECT_FALSE(recomputed->from_cache);
+
+  const core::ScanReport direct = core::Detector().scan(app);
+  EXPECT_EQ(recomputed->report.verdict, direct.verdict);
+  ASSERT_EQ(recomputed->report.findings.size(), direct.findings.size());
+  for (std::size_t i = 0; i < direct.findings.size(); ++i) {
+    EXPECT_EQ(recomputed->report.findings[i].fingerprint,
+              direct.findings[i].fingerprint);
+  }
+  service.stop();
+}
+
+TEST_F(ServiceTest, CorpusVerdictsMatchCachelessAfterCorruption) {
+  std::vector<core::Application> apps;
+  apps.push_back(synth("corpus-v", true));
+  apps.push_back(synth("corpus-b", false));
+  for (const auto& entry : corpus::new_vulnerable()) {
+    apps.push_back(entry.app);
+    if (apps.size() >= 4) break;
+  }
+
+  {
+    ScanService service(base_options());
+    ASSERT_TRUE(service.start());
+    for (const auto& app : apps) (void)service.scan(app);
+    service.stop();
+  }
+  // Damage both stores, then require every verdict to match a cacheless
+  // run byte-for-byte at the JSON level (modulo wall-clock timing the
+  // fresh scans produce themselves).
+  for (const char* name : {"/verdicts.kv", "/solver.kv"}) {
+    const std::string path = state_dir() + name;
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open()) << path;
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_GT(size, 40);
+    file.seekp(size / 2);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+
+  ScanService service(base_options());
+  ASSERT_TRUE(service.start());
+  const core::Detector cacheless;
+  for (const auto& app : apps) {
+    const auto served = service.scan(app);
+    ASSERT_TRUE(served.has_value()) << app.name;
+    const core::ScanReport direct = cacheless.scan(app);
+    EXPECT_EQ(core::verdict_slug(served->report.verdict),
+              core::verdict_slug(direct.verdict))
+        << app.name;
+    ASSERT_EQ(served->report.findings.size(), direct.findings.size())
+        << app.name;
+    for (std::size_t i = 0; i < direct.findings.size(); ++i) {
+      EXPECT_EQ(served->report.findings[i].fingerprint,
+                direct.findings[i].fingerprint);
+    }
+  }
+  service.stop();
+}
+
+TEST_F(ServiceTest, InMemoryModeCachesWithoutPersistence) {
+  ServiceOptions options;  // no state_dir
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+  const core::Application app = synth("mem", true);
+  const auto cold = service.scan(app);
+  const auto warm = service.scan(app);
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_FALSE(cold->from_cache);
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->report_json, cold->report_json);
+  service.stop();
+}
+
+TEST_F(ServiceTest, BackpressureRejectsWhenQueueFull) {
+  telemetry::Telemetry telemetry;
+  ServiceOptions options = base_options();
+  options.workers = 1;
+  options.max_queue = 1;
+  options.telemetry = &telemetry;
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+
+  // Make each scan slow enough to hold the single worker.
+  FaultInjector::instance().arm("interp", FaultInjector::Action::kStall,
+                                300ms, /*max_hits=*/-1);
+  auto first = service.submit(synth("bp-0", false));
+  ASSERT_TRUE(first.valid());
+  // Wait for the worker to pick it up so the queue is empty again.
+  for (int i = 0; i < 200 && service.queue_depth() > 0; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(service.queue_depth(), 0u);
+
+  auto queued = service.submit(synth("bp-1", false));
+  ASSERT_TRUE(queued.valid());  // fills the queue
+  auto rejected = service.submit(synth("bp-2", false));
+  EXPECT_FALSE(rejected.valid());  // bounded: immediate backpressure
+  EXPECT_GE(telemetry.metrics().counter("scand.overloaded").value(), 1u);
+
+  FaultInjector::instance().disarm_all();
+  (void)first.get();
+  (void)queued.get();
+  service.stop();
+}
+
+TEST_F(ServiceTest, WatchdogCancelsWedgedScanAndQuarantines) {
+  telemetry::Telemetry telemetry;
+  ServiceOptions options = base_options();
+  options.workers = 1;
+  options.request_timeout = 50ms;
+  options.watchdog_grace = 50ms;
+  options.watchdog_poll = 10ms;
+  options.telemetry = &telemetry;
+  const core::Application app = synth("wedged", true);
+  {
+    ScanService service(options);
+    ASSERT_TRUE(service.start());
+    // The stall ignores deadlines — exactly a wedged scan.
+    FaultInjector::instance().arm("interp", FaultInjector::Action::kStall,
+                                  1500ms, /*max_hits=*/1);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcome = service.scan(app);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    ASSERT_TRUE(outcome.has_value());
+    // The watchdog answered long before the 1.5s stall released.
+    EXPECT_LT(elapsed, 1s);
+    EXPECT_EQ(outcome->report.verdict, core::Verdict::kAnalysisError);
+    EXPECT_TRUE(outcome->quarantined);
+    EXPECT_GE(telemetry.metrics()
+                  .counter("scand.watchdog_cancellations")
+                  .value(),
+              1u);
+    EXPECT_TRUE(service.is_quarantined(app));
+
+    // Same content again: answered from quarantine, no scan attempted.
+    FaultInjector::instance().disarm_all();
+    const auto again = service.scan(app);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_TRUE(again->quarantined);
+    EXPECT_EQ(again->report.verdict, core::Verdict::kAnalysisError);
+    EXPECT_GE(telemetry.metrics().counter("scand.quarantine_hits").value(),
+              1u);
+
+    // The replacement worker keeps the service serving other content.
+    const auto other = service.scan(synth("healthy", false));
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(other->report.verdict, core::Verdict::kNotVulnerable);
+    service.stop();
+  }
+  // Quarantine is durable: a restarted daemon still refuses the content.
+  ScanService restarted(options);
+  ASSERT_TRUE(restarted.start());
+  EXPECT_TRUE(restarted.is_quarantined(app));
+  restarted.stop();
+}
+
+TEST_F(ServiceTest, StopDrainsQueuedRequests) {
+  ServiceOptions options = base_options();
+  options.workers = 1;
+  options.max_queue = 8;
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+  std::vector<std::future<ScanOutcome>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto f = service.submit(synth("drain-" + std::to_string(i), i % 2 == 0));
+    ASSERT_TRUE(f.valid());
+    futures.push_back(std::move(f));
+  }
+  service.stop();  // must answer everything already accepted
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    const ScanOutcome outcome = f.get();
+    EXPECT_NE(outcome.report_json, "");
+  }
+}
+
+TEST_F(ServiceTest, UnwritableStateDirDegradesToInMemory) {
+  ServiceOptions options;
+  options.state_dir = "/proc/definitely/not/writable/state";
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+  const auto outcome = service.scan(synth("nodisk", true));
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->report.verdict, core::Verdict::kVulnerable);
+  service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+class ServerTest : public ServiceTest {
+ protected:
+  [[nodiscard]] std::string socket_path() const {
+    // sun_path is ~108 bytes; keep it short and unique.
+    return "/tmp/ucd_" + std::to_string(::getpid()) + ".sock";
+  }
+
+  static std::string roundtrip(const std::string& path,
+                               const std::string& request) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+    const std::string line = request + "\n";
+    EXPECT_EQ(::send(fd, line.data(), line.size(), 0),
+              static_cast<ssize_t>(line.size()));
+    std::string response;
+    char c = 0;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n') response.push_back(c);
+    ::close(fd);
+    return response;
+  }
+};
+
+TEST_F(ServerTest, HandleRequestValidation) {
+  ScanService service(base_options());
+  ASSERT_TRUE(service.start());
+  ScanServer server(service, ServerOptions{socket_path()});
+
+  auto expect_error = [&](const std::string& line) {
+    const auto parsed = jsonlite::parse(server.handle_request(line));
+    ASSERT_TRUE(parsed.has_value()) << line;
+    const jsonlite::Value* status = parsed->find("status");
+    ASSERT_NE(status, nullptr);
+    EXPECT_EQ(status->str(), "error") << line;
+  };
+  expect_error("not json at all");
+  expect_error("[1, 2, 3]");
+  expect_error("{}");
+  expect_error("{\"op\": 7}");
+  expect_error("{\"op\": \"launch-missiles\"}");
+  expect_error("{\"op\": \"scan\"}");
+  expect_error("{\"op\": \"scan\", \"path\": \"/nonexistent/nowhere\"}");
+  expect_error("{\"op\": \"scan\", \"app\": {\"name\": \"x\"}}");
+  expect_error(
+      "{\"op\": \"scan\", \"app\": {\"name\": \"x\", \"files\": []}}");
+
+  const auto pong = jsonlite::parse(server.handle_request("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->find("status")->str(), "ok");
+  service.stop();
+}
+
+TEST_F(ServerTest, SocketScanStatusShutdown) {
+  telemetry::Telemetry telemetry;
+  ServiceOptions options = base_options();
+  options.telemetry = &telemetry;
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+  ScanServer server(service, ServerOptions{socket_path(), 20ms});
+  ASSERT_TRUE(server.listen());
+  std::thread runner([&server] { EXPECT_EQ(server.run(), 0); });
+
+  const std::string pong = roundtrip(socket_path(), "{\"op\": \"ping\"}");
+  EXPECT_NE(pong.find("\"pong\": true"), std::string::npos) << pong;
+
+  // Scan an on-disk tree through the socket.
+  const fs::path tree = dir_ / "webapp";
+  fs::create_directories(tree);
+  std::ofstream(tree / "upload.php")
+      << "<?php\n"
+         "move_uploaded_file($_FILES['f']['tmp_name'], "
+         "'/u/' . $_FILES['f']['name']);\n";
+  const std::string scan_request =
+      "{\"op\": \"scan\", \"path\": \"" + tree.string() + "\"}";
+  const std::string cold = roundtrip(socket_path(), scan_request);
+  const auto cold_json = jsonlite::parse(cold);
+  ASSERT_TRUE(cold_json.has_value()) << cold;
+  EXPECT_EQ(cold_json->find("status")->str(), "ok");
+  EXPECT_EQ(cold_json->find("verdict")->str(), "vulnerable");
+  EXPECT_FALSE(cold_json->find("cached")->boolean());
+  ASSERT_NE(cold_json->find("report"), nullptr);
+  EXPECT_TRUE(cold_json->find("report")->is_object());
+
+  const std::string warm = roundtrip(socket_path(), scan_request);
+  const auto warm_json = jsonlite::parse(warm);
+  ASSERT_TRUE(warm_json.has_value());
+  EXPECT_TRUE(warm_json->find("cached")->boolean());
+  EXPECT_EQ(warm_json->find("verdict")->str(), "vulnerable");
+
+  // SARIF format variant.
+  const std::string sarif = roundtrip(
+      socket_path(),
+      "{\"op\": \"scan\", \"path\": \"" + tree.string() +
+          "\", \"format\": \"sarif\"}");
+  const auto sarif_json = jsonlite::parse(sarif);
+  ASSERT_TRUE(sarif_json.has_value());
+  ASSERT_NE(sarif_json->find("sarif"), nullptr);
+  EXPECT_NE(sarif_json->find("sarif")->find("runs"), nullptr);
+
+  const std::string status = roundtrip(socket_path(), "{\"op\": \"status\"}");
+  const auto status_json = jsonlite::parse(status);
+  ASSERT_TRUE(status_json.has_value()) << status;
+  const jsonlite::Value* counters = status_json->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const jsonlite::Value* requests = counters->find("scand.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->number(), 3.0);
+  const jsonlite::Value* gauges = status_json->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_NE(gauges->find("scand.verdict_cache.hits"), nullptr);
+
+  const std::string bye = roundtrip(socket_path(), "{\"op\": \"shutdown\"}");
+  EXPECT_NE(bye.find("\"stopping\": true"), std::string::npos);
+  runner.join();
+  service.stop();
+}
+
+}  // namespace
+}  // namespace uchecker::service

@@ -1,0 +1,299 @@
+// Durable store: crash-safety and corruption-detection properties. The
+// contract under test is the scand acceptance bar — a torn write, bit
+// flip, ENOSPC or schema change is *detected* and degrades to a cold
+// recompute, never to trusting damaged bytes.
+#include "support/store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "support/fault_injector.h"
+
+namespace uchecker::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::instance().disarm_all();
+    dir_ = fs::temp_directory_path() /
+           ("uchecker_store_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    FaultInjector::instance().disarm_all();
+    fs::remove_all(dir_);
+  }
+
+  std::string path(const char* name = "cache.uds") const {
+    return (dir_ / name).string();
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  static void splat(const std::string& p, const std::string& data) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << data;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StoreTest, Fnv1a64KnownVectors) {
+  // Reference values for the FNV-1a 64 test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 12638187200555641996ULL);
+  EXPECT_EQ(fnv1a64("foobar"), 9625390261332436968ULL);
+  EXPECT_EQ(hex64(fnv1a64("foobar")), "85944171f73967e8");
+}
+
+TEST_F(StoreTest, RoundTripAcrossReopen) {
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(path(), "test-v1"));
+    EXPECT_TRUE(kv.stats().cold_reason.empty());
+    EXPECT_TRUE(kv.put("alpha", "1"));
+    EXPECT_TRUE(kv.put("beta", "two"));
+    EXPECT_TRUE(kv.put("alpha", "one"));  // upsert: later record wins
+  }
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  EXPECT_FALSE(kv.stats().cold_start);
+  EXPECT_EQ(kv.stats().corrupt, 0u);
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_EQ(kv.get("alpha").value_or(""), "one");
+  EXPECT_EQ(kv.get("beta").value_or(""), "two");
+  EXPECT_FALSE(kv.get("gamma").has_value());
+  EXPECT_EQ(kv.stats().hits, 2u);
+  EXPECT_EQ(kv.stats().misses, 1u);
+}
+
+TEST_F(StoreTest, SchemaMismatchColdStarts) {
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(path(), "engine-v1"));
+    kv.put("k", "old engine value");
+  }
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "engine-v2"));
+  EXPECT_TRUE(kv.stats().cold_start);
+  EXPECT_EQ(kv.stats().cold_reason, "store header/schema mismatch");
+  EXPECT_EQ(kv.size(), 0u);
+  // The store is re-initialized and usable under the new schema.
+  EXPECT_TRUE(kv.put("k", "new"));
+  KvStore again;
+  ASSERT_TRUE(again.open(path(), "engine-v2"));
+  EXPECT_EQ(again.get("k").value_or(""), "new");
+}
+
+TEST_F(StoreTest, GarbageFileColdStarts) {
+  splat(path(), "this is not a store file at all");
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  EXPECT_TRUE(kv.stats().cold_start);
+  EXPECT_EQ(kv.size(), 0u);
+  EXPECT_TRUE(kv.put("fresh", "start"));
+}
+
+TEST_F(StoreTest, BitFlipInRecordIsDetectedNotTrusted) {
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(path(), "test-v1"));
+    kv.put("first", "survives");
+    kv.put("second", "this payload will be damaged on disk");
+  }
+  // Flip one bit inside the *last* record's payload.
+  std::string bytes = slurp(path());
+  ASSERT_GT(bytes.size(), 8u);
+  bytes[bytes.size() - 5] = static_cast<char>(bytes[bytes.size() - 5] ^ 0x01);
+  splat(path(), bytes);
+
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  EXPECT_FALSE(kv.stats().cold_start);
+  EXPECT_EQ(kv.stats().corrupt, 1u);
+  // The intact prefix survives; the damaged record degrades to a miss.
+  EXPECT_EQ(kv.get("first").value_or(""), "survives");
+  EXPECT_FALSE(kv.get("second").has_value());
+}
+
+TEST_F(StoreTest, TornTailIsTruncatedAndAppendsResume) {
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(path(), "test-v1"));
+    kv.put("a", "1");
+    kv.put("b", "2");
+  }
+  // Tear the file mid-record (a crash during the final append).
+  std::string bytes = slurp(path());
+  splat(path(), bytes.substr(0, bytes.size() - 3));
+
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  EXPECT_EQ(kv.stats().corrupt, 1u);
+  EXPECT_EQ(kv.get("a").value_or(""), "1");
+  EXPECT_FALSE(kv.get("b").has_value());
+  // New appends land on a clean tail, not on top of the torn bytes.
+  EXPECT_TRUE(kv.put("c", "3"));
+  KvStore again;
+  ASSERT_TRUE(again.open(path(), "test-v1"));
+  EXPECT_EQ(again.stats().corrupt, 0u);
+  EXPECT_EQ(again.get("a").value_or(""), "1");
+  EXPECT_EQ(again.get("c").value_or(""), "3");
+}
+
+TEST_F(StoreTest, InjectedShortWriteIsDetectedOnReopen) {
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(path(), "test-v1"));
+    kv.put("good", "record");
+    FaultInjector::instance().arm("store.append",
+                                  FaultInjector::Action::kShortWrite,
+                                  std::chrono::milliseconds{0}, 1);
+    // The short write *reports success* — exactly like a power cut after
+    // the write() returned: the truth only surfaces on the next open.
+    kv.put("torn", "only half of this record reaches the disk");
+    FaultInjector::instance().disarm_all();
+  }
+  EXPECT_EQ(FaultInjector::instance().hits("store.append"), 0u)
+      << "hits are reset by disarm_all";
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  EXPECT_EQ(kv.stats().corrupt, 1u);
+  EXPECT_EQ(kv.get("good").value_or(""), "record");
+  EXPECT_FALSE(kv.get("torn").has_value());
+}
+
+TEST_F(StoreTest, InjectedEnospcDropsFlushButKeepsServing) {
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  ASSERT_TRUE(kv.put("before", "disk had space"));
+  FaultInjector::instance().arm("store.append", FaultInjector::Action::kEnospc,
+                                std::chrono::milliseconds{0}, 1);
+  // The append fails cleanly; the in-memory cache still serves the value
+  // for this process's lifetime, it just will not survive a restart.
+  EXPECT_FALSE(kv.put("during", "no space left"));
+  EXPECT_EQ(kv.stats().dropped_flushes, 1u);
+  EXPECT_EQ(kv.get("during").value_or(""), "no space left");
+  // The device recovers; later appends are durable again.
+  EXPECT_TRUE(kv.put("after", "space again"));
+  kv.close();
+
+  KvStore reopened;
+  ASSERT_TRUE(reopened.open(path(), "test-v1"));
+  EXPECT_EQ(reopened.get("before").value_or(""), "disk had space");
+  EXPECT_FALSE(reopened.get("during").has_value());
+  EXPECT_EQ(reopened.get("after").value_or(""), "space again");
+}
+
+TEST_F(StoreTest, InjectedTornRenameKeepsOriginalLive) {
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  for (int i = 0; i < 8; ++i) {
+    kv.put("key", "version " + std::to_string(i));
+  }
+  FaultInjector::instance().arm("store.rename",
+                                FaultInjector::Action::kTornRename,
+                                std::chrono::milliseconds{0}, 1);
+  EXPECT_FALSE(kv.compact());
+  EXPECT_EQ(FaultInjector::instance().hits("store.rename"), 1u);
+  kv.close();
+
+  // The "crash" happened between temp-file write and rename: the
+  // original (uncompacted) log is still the live store.
+  KvStore reopened;
+  ASSERT_TRUE(reopened.open(path(), "test-v1"));
+  EXPECT_FALSE(reopened.stats().cold_start);
+  EXPECT_EQ(reopened.stats().corrupt, 0u);
+  EXPECT_EQ(reopened.get("key").value_or(""), "version 7");
+}
+
+TEST_F(StoreTest, InjectedReadBitFlipIsCaughtByChecksum) {
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(path(), "test-v1"));
+    kv.put("k", std::string(256, 'x'));
+  }
+  FaultInjector::instance().arm("store.read", FaultInjector::Action::kBitFlip,
+                                std::chrono::milliseconds{0}, 1);
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  EXPECT_GE(kv.stats().corrupt + (kv.stats().cold_start ? 1u : 0u), 1u)
+      << "a flipped bit must surface as corruption or a cold start";
+  EXPECT_FALSE(kv.get("k").has_value());
+}
+
+TEST_F(StoreTest, CompactShrinksAndPreservesLiveMap) {
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  for (int i = 0; i < 100; ++i) {
+    kv.put("hot-key", "value " + std::to_string(i));
+  }
+  kv.put("other", "kept");
+  const auto before = fs::file_size(path());
+  ASSERT_TRUE(kv.compact());
+  const auto after = fs::file_size(path());
+  EXPECT_LT(after, before);
+  // Appends after compaction go to the published file.
+  EXPECT_TRUE(kv.put("post", "compact"));
+  kv.close();
+
+  KvStore reopened;
+  ASSERT_TRUE(reopened.open(path(), "test-v1"));
+  EXPECT_EQ(reopened.get("hot-key").value_or(""), "value 99");
+  EXPECT_EQ(reopened.get("other").value_or(""), "kept");
+  EXPECT_EQ(reopened.get("post").value_or(""), "compact");
+}
+
+TEST_F(StoreTest, InvalidateCountsCorruptAndForcesRecompute) {
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  kv.put("k", "semantically broken value");
+  kv.invalidate("k");
+  EXPECT_EQ(kv.stats().corrupt, 1u);
+  EXPECT_FALSE(kv.get("k").has_value());
+}
+
+TEST_F(StoreTest, UnwritableDirectoryDisablesPersistenceNotService) {
+  KvStore kv;
+  EXPECT_FALSE(kv.open((dir_ / "no/such/dir/cache.uds").string(), "test-v1"));
+  // Still a working in-memory cache: degraded, never wrong.
+  EXPECT_FALSE(kv.put("k", "v"));
+  EXPECT_EQ(kv.get("k").value_or(""), "v");
+}
+
+TEST_F(StoreTest, EmptyValueAndBinaryKeysRoundTrip) {
+  {
+    KvStore kv;
+    ASSERT_TRUE(kv.open(path(), "test-v1"));
+    kv.put(std::string("\x00\x01\xff key", 8), "");
+    kv.put("k2", std::string("\x00"
+                             "binary\xff",
+                             8));
+  }
+  KvStore kv;
+  ASSERT_TRUE(kv.open(path(), "test-v1"));
+  EXPECT_EQ(kv.get(std::string("\x00\x01\xff key", 8)).value_or("x"), "");
+  EXPECT_EQ(kv.get("k2").value_or(""), std::string("\x00"
+                                                   "binary\xff",
+                                                   8));
+}
+
+}  // namespace
+}  // namespace uchecker::store
