@@ -32,6 +32,16 @@
 #      same state dir, and require it to recover and re-serve from the
 #      durable caches. (The durable-store and service suites also run
 #      under ASan/TSan via step 3.)
+#   9. observability gate: BENCH_PR7.json structure; a daemon corpus
+#      sweep with caller-supplied trace IDs asserting every ID lands in
+#      the response envelope, the report, the structured log, the
+#      Prometheus exemplars and the shutdown Chrome trace; every log
+#      line validates against the JSON schema; the Prometheus
+#      exposition passes a lint (TYPE coverage, counter naming,
+#      cumulative buckets, +Inf == _count); a SIGTERM drain must leave
+#      per-worker flight-recorder dumps; and the attached/unattached
+#      telemetry micro ratio is gated at OVERHEAD_TOLERANCE (absolute
+#      wall times vs. committed baselines warn unless BENCH_STRICT=1).
 #
 #   $ ci/check.sh            # everything
 #   $ SKIP_SANITIZE=1 ci/check.sh
@@ -43,12 +53,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
 
-echo "== [1/8] build + tier-1 tests =="
+echo "== [1/9] build + tier-1 tests =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== [2/8] clang-tidy =="
+echo "== [2/9] clang-tidy =="
 if [[ "${SKIP_TIDY:-0}" == "1" ]]; then
   echo "skipped (SKIP_TIDY=1)"
 elif ! command -v clang-tidy >/dev/null; then
@@ -64,14 +74,14 @@ else
   fi
 fi
 
-echo "== [3/8] sanitizers =="
+echo "== [3/9] sanitizers =="
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "skipped (SKIP_SANITIZE=1)"
 else
   ci/sanitize.sh
 fi
 
-echo "== [4/8] telemetry smoke: trace + metrics JSON =="
+echo "== [4/9] telemetry smoke: trace + metrics JSON =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/upload.php" <<'PHP'
@@ -107,7 +117,7 @@ else
   echo "python3 not found; JSON structure check skipped"
 fi
 
-echo "== [5/8] telemetry overhead gate =="
+echo "== [5/9] telemetry overhead gate =="
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (SKIP_BENCH=1)"
 elif ! command -v python3 >/dev/null; then
@@ -152,7 +162,7 @@ PY
   fi
 fi
 
-echo "== [6/8] perf baseline gate (BENCH_PR3.json) =="
+echo "== [6/9] perf baseline gate (BENCH_PR3.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; perf baseline gate skipped"
 else
@@ -207,7 +217,7 @@ PY
   fi
 fi
 
-echo "== [7/8] SARIF export gate =="
+echo "== [7/9] SARIF export gate =="
 SARIF_DIR="$SMOKE_DIR/sarif"
 mkdir -p "$SARIF_DIR/corpus"
 # Evidence must be purely additive: same corpus dump byte-for-byte.
@@ -249,7 +259,7 @@ if [[ "$SARIF_VULN" == "0" ]]; then
 fi
 echo "validated $SARIF_APPS SARIF file(s), $SARIF_VULN with codeFlows"
 
-echo "== [8/8] scand service gate =="
+echo "== [8/9] scand service gate =="
 SCAND_DIR="$SMOKE_DIR/scand"
 SCAND_SOCK="$SCAND_DIR/scand.sock"
 SCAND_STATE="$SCAND_DIR/state"
@@ -414,5 +424,246 @@ PY
 "$BUILD_DIR/examples/scanctl" --socket "$SCAND_SOCK" shutdown >/dev/null
 wait "$SCAND_PID" || { echo "FAIL: scand drain exited non-zero" >&2; exit 1; }
 SCAND_PID=
+
+echo "== [9/9] observability gate =="
+if ! command -v python3 >/dev/null; then
+  echo "python3 not found; observability gate skipped"
+else
+  # Committed baseline file must be structurally valid (always fatal: a
+  # malformed committed baseline is a repo bug, not a machine
+  # difference).
+  python3 - BENCH_PR7.json <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("micro", "fleet", "observability", "ci_gate"):
+    assert key in bench, f"BENCH_PR7.json missing section: {key}"
+micro = bench["micro"]
+for key in ("BM_EndToEnd_ms", "BM_EndToEndTelemetry_ms",
+            "telemetry_attached_ratio"):
+    assert key in micro, f"micro section missing: {key}"
+gate = bench["ci_gate"]
+assert 1 < 1 + float(gate["telemetry_overhead_tolerance"]) < 2, "bad tolerance"
+assert float(gate["micro_end_to_end_ms_pr4_committed"]) > 0, "bad committed ms"
+print(f"BENCH_PR7.json OK (telemetry attached/unattached ratio committed: "
+      f"{micro['telemetry_attached_ratio']})")
+PY
+
+  # Daemon sweep with caller-supplied trace IDs over the dumped corpus.
+  OBS_DIR="$SMOKE_DIR/obs"
+  OBS_SOCK="$OBS_DIR/scand.sock"
+  OBS_STATE="$OBS_DIR/state"
+  mkdir -p "$OBS_STATE" "$OBS_DIR/out"
+  "$BUILD_DIR/examples/scand" --socket "$OBS_SOCK" --state-dir "$OBS_STATE" \
+    --request-timeout-ms 120000 \
+    --log-file "$OBS_DIR/scand.log" --log-level debug \
+    --trace-out "$OBS_DIR/trace.json" 2>> "$OBS_DIR/stderr.log" &
+  SCAND_PID=$!
+  for _ in $(seq 100); do
+    if "$BUILD_DIR/examples/scanctl" --socket "$OBS_SOCK" ping \
+         >/dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  # Identity: ping must report the engine version scanctl --version prints.
+  ENGINE_VERSION=$("$BUILD_DIR/examples/scanctl" --version)
+  "$BUILD_DIR/examples/scanctl" --socket "$OBS_SOCK" ping \
+    | grep -q "\"version\": \"$ENGINE_VERSION\"" \
+    || { echo "FAIL: ping does not report engine version" >&2; exit 1; }
+
+  : > "$OBS_DIR/ids.txt"
+  OBS_APPS=0
+  while IFS= read -r -d '' appdir; do
+    name=$(basename "$appdir"); name=${name// /_}
+    tid=$(printf 'c0ffee%010d' "$OBS_APPS")
+    rc=0
+    "$BUILD_DIR/examples/scanctl" --socket "$OBS_SOCK" scan "$appdir" \
+      --trace-id "$tid" > "$OBS_DIR/out/$name.json" || rc=$?
+    if [[ "$rc" != "0" && "$rc" != "1" ]]; then
+      echo "FAIL: scanctl exited $rc on $name" >&2
+      exit 1
+    fi
+    # The caller's ID must come back in the envelope AND in the report.
+    python3 - "$OBS_DIR/out/$name.json" "$tid" <<'PY'
+import json, sys
+resp = json.load(open(sys.argv[1]))
+tid = sys.argv[2]
+assert resp["trace_id"] == tid, f"envelope trace_id {resp['trace_id']!r}"
+assert resp["report"]["trace_id"] == tid, "report trace_id drifted"
+PY
+    echo "$tid" >> "$OBS_DIR/ids.txt"
+    OBS_APPS=$((OBS_APPS + 1))
+  done < <(find "$SARIF_DIR/corpus" -mindepth 1 -maxdepth 1 -type d -print0)
+  echo "trace sweep: $OBS_APPS apps, envelope + report carry the caller's ID"
+
+  # Prometheus exposition lint + exemplar correlation.
+  "$BUILD_DIR/examples/scanctl" --socket "$OBS_SOCK" metrics \
+    > "$OBS_DIR/exposition.prom"
+  python3 - "$OBS_DIR/exposition.prom" "$OBS_DIR/ids.txt" <<'PY'
+import re, sys
+text = open(sys.argv[1]).read()
+ids = set(open(sys.argv[2]).read().split())
+typed = {}
+buckets = {}   # base name -> [(le, value)]
+counts = {}    # base name -> _count value
+exemplars = set()
+sample_re = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+]+|\+Inf|NaN)'
+    r'( # \{trace_id="([0-9a-f]+)"\} 1)?$')
+for line in text.splitlines():
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split()
+        typed[name] = kind
+        continue
+    if line.startswith("#"):
+        continue
+    m = sample_re.match(line)
+    assert m, f"unlintable sample line: {line!r}"
+    name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+    assert name.startswith("uchecker_"), f"unprefixed metric: {name}"
+    base = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in typed:
+            base = name[: -len(suffix)]
+    assert base in typed, f"sample without a # TYPE line: {name}"
+    if m.group(5):
+        exemplars.add(m.group(5))
+    if name.endswith("_bucket") and typed.get(base) == "histogram":
+        le = re.search(r'le="([^"]+)"', labels).group(1)
+        buckets.setdefault(base, []).append((le, float(value)))
+    if name.endswith("_count") and typed.get(base) == "histogram":
+        counts[base] = float(value)
+for name, kind in typed.items():
+    if kind == "counter":
+        assert name.endswith("_total"), f"counter without _total: {name}"
+for base, series in buckets.items():
+    values = [v for _, v in series]
+    assert values == sorted(values), f"non-cumulative buckets: {base}"
+    assert series[-1][0] == "+Inf", f"histogram missing +Inf: {base}"
+    assert series[-1][1] == counts.get(base), f"+Inf != _count: {base}"
+assert exemplars, "no trace-ID exemplars in the exposition"
+assert exemplars <= ids, f"exemplar IDs not from this sweep: {exemplars - ids}"
+print(f"prometheus lint OK ({len(typed)} metrics, "
+      f"{len(buckets)} histograms, {len(exemplars)} exemplar ID(s))")
+PY
+
+  # Cost attribution: every `top` row must be one of this sweep's IDs.
+  "$BUILD_DIR/examples/scanctl" --socket "$OBS_SOCK" top --n 5 \
+    > "$OBS_DIR/top.txt"
+  python3 - "$OBS_DIR/top.txt" "$OBS_DIR/ids.txt" <<'PY'
+import sys
+ids = set(open(sys.argv[2]).read().split())
+rows = open(sys.argv[1]).read().splitlines()
+assert len(rows) >= 2, "top returned no requests"
+seen = [tok for row in rows[1:] for tok in row.split() if tok in ids]
+assert seen, "top rows carry no trace ID from this sweep"
+print(f"top OK ({len(rows) - 1} rows, most expensive: {rows[1].split()[0]}ms)")
+PY
+
+  # SIGTERM drain: must exit 0, leave per-worker flight-recorder dumps,
+  # and write the Chrome trace.
+  kill -TERM "$SCAND_PID"
+  wait "$SCAND_PID" || { echo "FAIL: SIGTERM drain exited non-zero" >&2; exit 1; }
+  SCAND_PID=
+  ls "$OBS_STATE"/flightrec-worker*.json >/dev/null 2>&1 \
+    || { echo "FAIL: no flight-recorder dump after SIGTERM" >&2; exit 1; }
+  for dump in "$OBS_STATE"/flightrec-worker*.json; do
+    python3 - "$dump" <<'PY'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+for key in ("total_recorded", "dropped", "wedged_phase", "last_progress",
+            "events"):
+    assert key in rec, f"flight dump missing: {key}"
+assert rec["events"], "flight dump has no events"
+kinds = {e["kind"] for e in rec["events"]}
+assert "queue" in kinds, "flight dump missing queue pickups"
+assert rec["wedged_phase"] is None, "drained worker reports a wedged phase"
+PY
+  done
+  echo "flight recorder: SIGTERM dumped $(ls "$OBS_STATE"/flightrec-worker*.json | wc -l) worker ring(s)"
+
+  # Log schema: every line is one JSON object with the required keys;
+  # every sweep trace ID appears in the log and in the Chrome trace.
+  python3 - "$OBS_DIR/scand.log" "$OBS_DIR/ids.txt" "$OBS_DIR/trace.json" <<'PY'
+import json, sys
+levels = {"debug", "info", "warn", "error"}
+lines = 0
+log_ids = set()
+for raw in open(sys.argv[1]):
+    raw = raw.strip()
+    if not raw:
+        continue
+    line = json.loads(raw)
+    assert isinstance(line, dict), "log line is not an object"
+    for key in ("ts", "level", "event"):
+        assert key in line, f"log line missing {key}: {raw[:120]}"
+    assert line["level"] in levels, f"unknown level: {line['level']}"
+    assert isinstance(line["event"], str) and line["event"]
+    for key, value in line.items():
+        assert isinstance(value, (str, int, float, bool)), (
+            f"non-scalar log field {key}")
+    if "trace_id" in line:
+        assert isinstance(line["trace_id"], str) and line["trace_id"]
+        log_ids.add(line["trace_id"])
+    lines += 1
+assert lines > 0, "structured log is empty"
+ids = set(open(sys.argv[2]).read().split())
+missing = ids - log_ids
+assert not missing, f"trace IDs never logged: {sorted(missing)[:3]}"
+trace = json.load(open(sys.argv[3]))
+trace_ids = {e.get("args", {}).get("trace_id")
+             for e in trace["traceEvents"]}
+missing = ids - trace_ids
+assert not missing, f"trace IDs absent from Chrome trace: {sorted(missing)[:3]}"
+print(f"log schema OK ({lines} lines); all {len(ids)} sweep IDs present "
+      "in log and Chrome trace")
+PY
+
+  # Observability overhead: the attached/unattached micro ratio is
+  # same-run and same-machine, so it gates hard at OVERHEAD_TOLERANCE.
+  # Absolute wall time vs. the PR4-era committed number is machine-
+  # dependent and only warns (BENCH_STRICT=1 to make it fatal).
+  if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
+    echo "observability overhead gate skipped (SKIP_BENCH=1)"
+  else
+    "$BUILD_DIR/bench/bench_micro" \
+      --benchmark_filter='BM_EndToEnd$|BM_EndToEndTelemetry$' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > "$OBS_DIR/bench.json"
+    rc=0
+    python3 - "$OBS_DIR/bench.json" BENCH_PR7.json "$OVERHEAD_TOLERANCE" \
+      <<'PY' || rc=$?
+import json, sys
+medians = {}
+for b in json.load(open(sys.argv[1]))["benchmarks"]:
+    if b["name"].endswith("_median"):
+        medians[b["name"].removesuffix("_median")] = b["real_time"]
+plain = medians["BM_EndToEnd"]
+attached = medians["BM_EndToEndTelemetry"]
+tolerance = float(sys.argv[3])
+ratio = attached / plain if plain > 0 else 1.0
+print(f"attached {attached:.2f} ms vs unattached {plain:.2f} ms: "
+      f"ratio {ratio:.3f} (limit {tolerance})")
+if ratio > tolerance:
+    sys.exit(f"FAIL: telemetry-attached scan > "
+             f"{(tolerance - 1) * 100:.0f}% over unattached")
+committed = float(
+    json.load(open(sys.argv[2]))["ci_gate"]["micro_end_to_end_ms_pr4_committed"])
+if plain > committed * tolerance:
+    print(f"WARN: BM_EndToEnd {plain:.1f} ms exceeds PR4 committed "
+          f"{committed} ms by >{(tolerance - 1) * 100:.0f}% "
+          "(machine-dependent)")
+    sys.exit(2)
+PY
+    if [[ "$rc" == "2" && "${BENCH_STRICT:-0}" == "1" ]]; then
+      echo "FAIL: wall time regressed vs committed baseline (BENCH_STRICT=1)" >&2
+      exit 1
+    elif [[ "$rc" != "0" && "$rc" != "2" ]]; then
+      exit 1
+    fi
+  fi
+fi
 
 echo "== all checks passed =="

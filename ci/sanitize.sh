@@ -14,9 +14,11 @@
 # preset) and the concurrency-sensitive suites run: scan_many_test
 # (parallel fleet driver, shared solver query cache, cancellation),
 # telemetry_test (metrics registry and trace recording under concurrent
-# scans) and service_test (scand worker pool, watchdog, durable cache
-# flushes under concurrent requests). ASan and TSan cannot share a
-# build, hence the separate mode and build directory.
+# scans), service_test (scand worker pool, watchdog, durable cache
+# flushes under concurrent requests) and observability_test (lock-free
+# flight-recorder ring racing snapshot against a writer, concurrent
+# trace/metrics export). ASan and TSan cannot share a build, hence the
+# separate mode and build directory.
 #
 #   $ ci/sanitize.sh [ctest-args...]
 #   $ ci/sanitize.sh --tsan [ctest-args...]
@@ -36,11 +38,11 @@ if [[ "$MODE" == "tsan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUCHECKER_TSAN=ON
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target scan_many_test telemetry_test service_test
+    --target scan_many_test telemetry_test service_test observability_test
 
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$PWD/ci/tsan.supp"
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R '^(scan_many_test|telemetry_test|service_test)$' "$@"
+    -R '^(scan_many_test|telemetry_test|service_test|observability_test)$' "$@"
   exit 0
 fi
 

@@ -7,9 +7,11 @@
 // telemetry).
 //
 //   $ ./build/examples/audit_report
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "baselines/rips.h"
 #include "baselines/wap.h"
@@ -54,6 +56,13 @@ int main() {
   std::map<std::string, std::size_t> lints_by_rule;
   std::size_t total_roots = 0;
   std::size_t total_pruned = 0;
+  // (app, root) cost rows across the whole corpus, for the
+  // most-expensive-roots table at the end.
+  struct RootRow {
+    std::string app;
+    RootCost cost;
+  };
+  std::vector<RootRow> root_rows;
   std::printf("=== UChecker audit of the reconstructed DSN'19 corpus ===\n\n");
   for (const corpus::CorpusEntry& entry : corpus::full_corpus()) {
     const ScanReport report = uchecker_scanner.scan(entry.app);
@@ -64,6 +73,9 @@ int main() {
     }
     total_roots += report.roots;
     total_pruned += report.pruned_roots;
+    for (const RootCost& rc : report.root_costs) {
+      if (!rc.pruned) root_rows.push_back(RootRow{entry.app.name, rc});
+    }
     const bool u = report.verdict == Verdict::kVulnerable;
     const bool r = rips.scan(entry.app).flagged;
     const bool w = wap.scan(entry.app).flagged;
@@ -135,6 +147,25 @@ int main() {
     std::printf("%-10s %6zu %10.2f %10.3f %10.3f %10.3f %10.3f\n",
                 s.phase.c_str(), s.count, s.total_ms, s.p50_ms, s.p95_ms,
                 s.p99_ms, s.max_ms);
+  }
+
+  // Cost attribution: the individual analysis roots the corpus spends
+  // the most wall time on — the optimization targets.
+  std::sort(root_rows.begin(), root_rows.end(),
+            [](const RootRow& x, const RootRow& y) {
+              return x.cost.interp_ms + x.cost.solve_ms >
+                     y.cost.interp_ms + y.cost.solve_ms;
+            });
+  std::printf("\n=== most expensive analysis roots ===\n");
+  std::printf("%10s %10s %10s %8s %8s  %s\n", "total ms", "interp ms",
+              "solve ms", "paths", "solves", "app :: root");
+  const std::size_t show = std::min<std::size_t>(root_rows.size(), 10);
+  for (std::size_t i = 0; i < show; ++i) {
+    const RootRow& row = root_rows[i];
+    std::printf("%10.2f %10.2f %10.2f %8zu %8zu  %s :: %s\n",
+                row.cost.interp_ms + row.cost.solve_ms, row.cost.interp_ms,
+                row.cost.solve_ms, row.cost.paths, row.cost.solver_calls,
+                row.app.c_str(), row.cost.root.c_str());
   }
   return 0;
 }

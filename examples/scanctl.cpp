@@ -2,8 +2,12 @@
 //
 //   $ scanctl --socket /run/uchecker.sock ping
 //   $ scanctl --socket /run/uchecker.sock scan path/to/plugin [--sarif]
+//       [--trace-id ID]
 //   $ scanctl --socket /run/uchecker.sock status
+//   $ scanctl --socket /run/uchecker.sock metrics
+//   $ scanctl --socket /run/uchecker.sock top [--n N] [--watch SECONDS]
 //   $ scanctl --socket /run/uchecker.sock shutdown
+//   $ scanctl --version
 //
 // Sends one request line (protocol in src/service/scan_server.h),
 // prints the one-line JSON response to stdout, and maps it to an exit
@@ -12,15 +16,31 @@
 //   0  ok (scan: not vulnerable)      3  analysis error / server error
 //   1  scan: vulnerable               6  overloaded (queue full; retry)
 //   2  usage / cannot connect
+//
+// Trace IDs: every scan request carries one. --trace-id passes the
+// caller's (e.g. a CI job ID hashed to 16 hex chars); otherwise scanctl
+// mints a random one and prints it as part of the response — grep the
+// daemon's log, trace and metrics exemplars for it to reconstruct the
+// request end-to-end.
+//
+// `metrics` prints the raw Prometheus text exposition (not the JSON
+// envelope), so `scanctl metrics > /metrics.prom` is directly
+// scrape-shaped. `top` renders the most expensive recent requests as a
+// table; --watch re-queries every N seconds until interrupted.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <thread>
 
+#include "core/detector/detector.h"
 #include "support/jsonlite.h"
+#include "support/store.h"
 #include "support/strutil.h"
 
 using namespace uchecker;
@@ -64,20 +84,98 @@ bool recv_line(int fd, std::string& line) {
   }
 }
 
+// 16 lowercase hex chars from /dev/urandom; falls back to an FNV mix of
+// time and pid when that cannot be read (trace IDs label, they never
+// key, so the fallback's weaker uniqueness is fine).
+std::string mint_trace_id() {
+  std::uint64_t bits = 0;
+  std::ifstream urandom("/dev/urandom", std::ios::binary);
+  if (urandom.read(reinterpret_cast<char*>(&bits), sizeof(bits)) &&
+      bits != 0) {
+    return store::hex64(bits);
+  }
+  std::uint64_t h = store::fnv1a64(std::to_string(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  h = store::fnv1a64(std::to_string(static_cast<long long>(::getpid())), h);
+  return store::hex64(h);
+}
+
+// One round trip: connect, send `request` (newline-terminated), read the
+// one-line response. Returns false on any socket failure.
+bool round_trip(const std::string& socket_path, const std::string& request,
+                std::string& response) {
+  const int fd = connect_to(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    return false;
+  }
+  const bool io_ok = send_all(fd, request) && recv_line(fd, response);
+  ::close(fd);
+  if (!io_ok) {
+    std::fprintf(stderr, "error: no response from %s\n", socket_path.c_str());
+  }
+  return io_ok;
+}
+
+void print_top_table(const jsonlite::Value& parsed) {
+  const jsonlite::Value* requests = parsed.find("requests");
+  if (requests == nullptr || !requests->is_array()) return;
+  std::printf("%9s %9s %9s %6s %-20s %-16s %s\n", "TOTAL_MS", "INTERP_MS",
+              "SOLVE_MS", "CACHED", "VERDICT", "TRACE", "APP (top root)");
+  for (const jsonlite::Value& r : requests->items()) {
+    const auto str = [&r](const char* key) {
+      const jsonlite::Value* v = r.find(key);
+      return v != nullptr && v->is_string() ? v->str() : std::string();
+    };
+    const auto num = [&r](const char* key) {
+      const jsonlite::Value* v = r.find(key);
+      return v != nullptr && v->is_number() ? v->number() : 0.0;
+    };
+    const jsonlite::Value* cached = r.find("cached");
+    std::string app = str("app");
+    const std::string top_root = str("top_root");
+    if (!top_root.empty()) app += " (" + top_root + ")";
+    std::printf("%9.1f %9.1f %9.1f %6s %-20s %-16s %s\n", num("total_ms"),
+                num("interp_ms"), num("solve_ms"),
+                (cached != nullptr && cached->is_bool() && cached->boolean())
+                    ? "yes"
+                    : "no",
+                str("verdict").c_str(), str("trace_id").c_str(), app.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string op;
   std::string scan_path;
+  std::string trace_id;
   bool sarif = false;
+  long top_n = 10;
+  long watch_seconds = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--socket", 8) == 0) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", std::string(core::kEngineVersion).c_str());
+      return 0;
+    } else if (std::strncmp(argv[i], "--socket", 8) == 0) {
       if (argv[i][8] == '=') {
         socket_path = argv[i] + 9;
       } else if (i + 1 < argc) {
         socket_path = argv[++i];
       }
+    } else if (std::strncmp(argv[i], "--trace-id", 10) == 0) {
+      if (argv[i][10] == '=') {
+        trace_id = argv[i] + 11;
+      } else if (i + 1 < argc) {
+        trace_id = argv[++i];
+      }
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      top_n = std::strtol(argv[++i], nullptr, 10);
+      if (top_n <= 0) top_n = 10;
+    } else if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      watch_seconds = std::strtol(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--sarif") == 0) {
       sarif = true;
     } else if (op.empty()) {
@@ -89,51 +187,71 @@ int main(int argc, char** argv) {
   const bool usage_ok =
       !socket_path.empty() &&
       (op == "ping" || op == "status" || op == "shutdown" ||
+       op == "metrics" || op == "top" ||
        (op == "scan" && !scan_path.empty()));
   if (!usage_ok) {
     std::fprintf(stderr,
-                 "usage: %s --socket PATH ping|status|shutdown|scan DIR "
-                 "[--sarif]\n",
-                 argv[0]);
+                 "usage: %s --socket PATH "
+                 "ping|status|metrics|shutdown|scan DIR|top "
+                 "[--sarif] [--trace-id ID] [--n N] [--watch SECONDS] "
+                 "| %s --version\n",
+                 argv[0], argv[0]);
     return 2;
   }
 
   std::string request = "{\"op\": " + strutil::quote(op);
   if (op == "scan") {
+    // Every scan is traceable: use the caller's ID or mint one here, so
+    // the daemon-side log/trace/exemplar correlation never has a gap.
+    if (trace_id.empty()) trace_id = mint_trace_id();
     request += ", \"path\": " + strutil::quote(scan_path);
+    request += ", \"trace_id\": " + strutil::quote(trace_id);
     if (sarif) request += ", \"format\": \"sarif\"";
+  } else if (op == "top") {
+    request += ", \"n\": " + std::to_string(top_n);
   }
   request += "}\n";
 
-  const int fd = connect_to(socket_path);
-  if (fd < 0) {
-    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
-                 socket_path.c_str(), std::strerror(errno));
-    return 2;
-  }
-  std::string response;
-  const bool io_ok = send_all(fd, request) && recv_line(fd, response);
-  ::close(fd);
-  if (!io_ok) {
-    std::fprintf(stderr, "error: no response from %s\n", socket_path.c_str());
-    return 2;
-  }
-  std::printf("%s\n", response.c_str());
+  // `top --watch N` is a live view: re-query until interrupted.
+  while (true) {
+    std::string response;
+    if (!round_trip(socket_path, request, response)) return 2;
 
-  const auto parsed = jsonlite::parse(response);
-  if (!parsed.has_value() || !parsed->is_object()) return 3;
-  const jsonlite::Value* status = parsed->find("status");
-  if (status == nullptr || !status->is_string()) return 3;
-  if (status->str() == "overloaded") return 6;
-  if (status->str() != "ok") return 3;
-  if (op == "scan") {
-    // Mirrors scan_directory's exit codes so CI can compare them 1:1.
-    const jsonlite::Value* verdict = parsed->find("verdict");
-    if (verdict == nullptr || !verdict->is_string()) return 3;
-    if (verdict->str() == "vulnerable") return 1;
-    if (verdict->str() == "analysis_error") return 3;
-    if (verdict->str() == "analysis_disagreement") return 4;
-    return 0;  // not_vulnerable / analysis_incomplete (partial, like batch)
+    const auto parsed = jsonlite::parse(response);
+    if (!parsed.has_value() || !parsed->is_object()) return 3;
+    const jsonlite::Value* status = parsed->find("status");
+    if (status == nullptr || !status->is_string()) return 3;
+    if (status->str() == "overloaded") {
+      std::printf("%s\n", response.c_str());
+      return 6;
+    }
+    if (status->str() != "ok") {
+      std::printf("%s\n", response.c_str());
+      return 3;
+    }
+
+    if (op == "metrics") {
+      // Print the exposition itself, scrape-shaped, not the envelope.
+      const jsonlite::Value* metrics = parsed->find("metrics");
+      if (metrics == nullptr || !metrics->is_string()) return 3;
+      std::fputs(metrics->str().c_str(), stdout);
+    } else if (op == "top") {
+      if (watch_seconds > 0) std::printf("\033[2J\033[H");
+      print_top_table(*parsed);
+    } else {
+      std::printf("%s\n", response.c_str());
+    }
+
+    if (op == "scan") {
+      // Mirrors scan_directory's exit codes so CI can compare them 1:1.
+      const jsonlite::Value* verdict = parsed->find("verdict");
+      if (verdict == nullptr || !verdict->is_string()) return 3;
+      if (verdict->str() == "vulnerable") return 1;
+      if (verdict->str() == "analysis_error") return 3;
+      if (verdict->str() == "analysis_disagreement") return 4;
+      return 0;  // not_vulnerable / analysis_incomplete (partial, like batch)
+    }
+    if (op != "top" || watch_seconds <= 0) return 0;
+    std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
   }
-  return 0;
 }

@@ -1,12 +1,13 @@
 // scand: the uchecker scan daemon.
 //
-//   $ ./build/examples/scand --socket /run/uchecker.sock \
-//                            --state-dir /var/lib/uchecker \
-//                            [--workers N] [--queue N]
-//                            [--request-timeout-ms N]
-//                            [--watchdog-grace-ms N]
-//                            [--all-findings] [--explain]
-//                            [--metrics-out FILE]
+//   $ ./build/examples/scand --socket /run/uchecker.sock
+//       --state-dir /var/lib/uchecker
+//       [--workers N] [--queue N]
+//       [--request-timeout-ms N] [--watchdog-grace-ms N]
+//       [--all-findings] [--explain]
+//       [--metrics-out FILE] [--trace-out FILE]
+//       [--log-file FILE] [--log-level debug|info|warn|error]
+//       [--version]
 //
 // A long-running scan service over a Unix socket (line-delimited JSON;
 // protocol in src/service/scan_server.h — drive it with scanctl).
@@ -24,7 +25,14 @@
 // takes the daemon down, and the same content cannot wedge it twice.
 //
 // Shutdown: SIGTERM/SIGINT drain — stop accepting, finish queued
-// requests, flush + compact the stores, exit 0.
+// requests, flush + compact the stores, dump each worker's flight
+// recorder under --state-dir, exit 0.
+//
+// Observability: --log-file/--log-level emit structured JSON-lines
+// (request_done, watchdog_cancel, lifecycle; see support/logging.h),
+// the `metrics` protocol op serves a Prometheus text exposition, and
+// --trace-out writes a Chrome trace of every scan on exit. All of it
+// is correlated by request trace IDs (client-supplied or minted).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +41,7 @@
 #include <string>
 
 #include "service/scan_server.h"
+#include "support/logging.h"
 #include "support/telemetry.h"
 #include "support/trace_export.h"
 
@@ -79,6 +88,9 @@ long parse_positive(const std::string& text, const char* flag) {
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string metrics_out;
+  std::string trace_out;
+  std::string log_file;
+  std::string log_level;
   service::ServiceOptions options;
   options.scan.vuln.stop_at_first_finding = true;
   for (int i = 1; i < argc; ++i) {
@@ -101,10 +113,19 @@ int main(int argc, char** argv) {
           parse_positive(value, "--watchdog-grace-ms"));
     } else if (flag_with_value(argc, argv, i, "--metrics-out", value)) {
       metrics_out = value;
+    } else if (flag_with_value(argc, argv, i, "--trace-out", value)) {
+      trace_out = value;
+    } else if (flag_with_value(argc, argv, i, "--log-file", value)) {
+      log_file = value;
+    } else if (flag_with_value(argc, argv, i, "--log-level", value)) {
+      log_level = value;
     } else if (std::strcmp(argv[i], "--all-findings") == 0) {
       options.scan.vuln.stop_at_first_finding = false;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       options.scan.explain = true;
+    } else if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", std::string(core::kEngineVersion).c_str());
+      return 0;
     } else {
       std::fprintf(stderr, "error: unknown flag %s\n", argv[i]);
       return 2;
@@ -115,13 +136,34 @@ int main(int argc, char** argv) {
                  "usage: %s --socket PATH [--state-dir DIR] [--workers N] "
                  "[--queue N] [--request-timeout-ms N] "
                  "[--watchdog-grace-ms N] [--all-findings] [--explain] "
-                 "[--metrics-out FILE]\n",
+                 "[--metrics-out FILE] [--trace-out FILE] [--log-file FILE] "
+                 "[--log-level LEVEL] [--version]\n",
                  argv[0]);
+    return 2;
+  }
+
+  logging::Logger logger;
+  if (!log_level.empty()) {
+    logging::Level level = logging::Level::kInfo;
+    if (!logging::parse_level(log_level, &level)) {
+      std::fprintf(stderr, "error: unknown log level %s\n", log_level.c_str());
+      return 2;
+    }
+    logger.set_min_level(level);
+  }
+  if (!log_file.empty() && !logger.open_file(log_file)) {
+    std::fprintf(stderr, "error: cannot open log file %s\n", log_file.c_str());
     return 2;
   }
 
   telemetry::Telemetry telemetry;
   options.telemetry = &telemetry;
+  // Per-scan tracing feeds the flight recorders, --trace-out and the
+  // metric exemplars. Traces accumulate for the daemon's lifetime
+  // (bounded per scan by sample decimation); a scrape-and-restart
+  // deployment keeps that growth irrelevant.
+  options.scan.telemetry = &telemetry;
+  options.logger = &logger;
 
   service::ScanService service(options);
   service.start();
@@ -153,6 +195,14 @@ int main(int argc, char** argv) {
     if (!out) {
       std::fprintf(stderr, "warning: cannot write metrics to %s\n",
                    metrics_out.c_str());
+    }
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+    if (out) out << telemetry::to_chrome_trace_json(telemetry);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                   trace_out.c_str());
     }
   }
   std::fprintf(stderr, "scand: drained, exiting\n");

@@ -1,15 +1,48 @@
 #include "core/detector/detector.h"
 
+#include <atomic>
 #include <chrono>
 #include <new>
 
 #include "phpparse/parser.h"
 #include "smt/solver.h"
 #include "support/fault_injector.h"
+#include "support/flight_recorder.h"
 #include "support/telemetry.h"
 
 namespace uchecker::core {
 namespace {
+
+// Mints a process-unique 16-hex-digit trace ID for scans that arrive
+// without one (direct Detector::scan calls with telemetry attached, as
+// opposed to scand requests, which carry the client's ID). FNV-1a 64
+// over the app name, a monotone counter and the clock, so concurrent
+// scans of the same app still get distinct IDs.
+std::string mint_trace_id(std::string_view app_name) {
+  static std::atomic<std::uint64_t> sequence{0};
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= v & 0xFF;
+      h *= 1099511628211ULL;
+      v >>= 8;
+    }
+  };
+  for (const char c : app_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  mix(sequence.fetch_add(1, std::memory_order_relaxed));
+  mix(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
 
 // Display name of an analysis root for error attribution.
 std::string root_name(const AnalysisRoot& root) {
@@ -142,12 +175,25 @@ ScanReport Detector::scan(const Application& app,
         Deadline::sooner(deadline, Deadline::after(options_.budget.time_limit));
   }
 
+  // Traced scans are always addressable: use the request's trace ID when
+  // one was supplied, mint one otherwise. With no telemetry attached the
+  // ID stays empty — nothing would carry it, and minting would break the
+  // zero-overhead contract.
+  std::string trace_id = options_.trace_id;
+  if (trace_id.empty() && options_.telemetry != nullptr) {
+    trace_id = mint_trace_id(app.name);
+  }
   telemetry::ScanTrace* trace =
-      options_.telemetry != nullptr ? &options_.telemetry->begin_scan(app.name)
-                                    : nullptr;
+      options_.telemetry != nullptr
+          ? &options_.telemetry->begin_scan(app.name, trace_id)
+          : nullptr;
+  if (trace != nullptr && options_.flight != nullptr) {
+    trace->set_flight_recorder(options_.flight);
+  }
 
   ScanReport report;
   report.app_name = app.name;
+  report.trace_id = trace_id;
   {
     const telemetry::SpanScope scan_span(trace, "scan", app.name);
     try {
@@ -199,6 +245,10 @@ ScanReport Detector::scan(const Application& app,
       m.counter("staticpass.lint_findings").add(report.lints.size());
     }
     m.histogram("scan.seconds_ms").observe(report.seconds * 1000.0);
+    // Exemplars: the Prometheus exposition links these series to the
+    // most recent request that moved them.
+    m.set_exemplar("scan.count", trace_id);
+    m.set_exemplar("scan.seconds_ms", trace_id);
   }
   return report;
 }
@@ -221,9 +271,20 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     }
   } diag_capture{diags, report};
 
+  // Cost attribution: wall time per phase and per root, kept on the
+  // report so the service and audit tooling can say where a scan's time
+  // went without a trace attached. A handful of steady_clock reads per
+  // root — noise next to a single solver call.
+  using CostClock = std::chrono::steady_clock;
+  const auto ms_since = [](CostClock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(CostClock::now() - t0)
+        .count();
+  };
+
   diags.set_phase("parse");
   std::vector<phpast::PhpFile> parsed;
   parsed.reserve(app.files.size());
+  const CostClock::time_point parse_start = CostClock::now();
   {
     const telemetry::SpanScope parse_span(trace, "parse");
     for (const AppFile& f : app.files) {
@@ -243,6 +304,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
       }
     }
   }
+  report.phase_ms["parse"] = ms_since(parse_start);
   const std::size_t parse_diags = diags.error_count();
   report.parse_errors = parse_diags;
   report.total_loc = sources.total_loc();
@@ -255,6 +317,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   // nothing downstream runs, so a failure here ends the scan (contained,
   // with the partial parse results kept).
   diags.set_phase("locality");
+  const CostClock::time_point locality_start = CostClock::now();
   const CallGraph call_graph = build_call_graph(program, options_.sinks);
   LocalityResult locality;
   try {
@@ -283,8 +346,10 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     }
   } catch (...) {
     report.errors.push_back(describe_current_exception("locality", ""));
+    report.phase_ms["locality"] = ms_since(locality_start);
     return;
   }
+  report.phase_ms["locality"] = ms_since(locality_start);
   report.roots = locality.roots.size();
   report.analyzed_loc = locality.analyzed_loc;
   // Explicit zero-denominator guard: an app whose files are all empty
@@ -311,6 +376,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   std::vector<staticpass::RootAnalysis> pre;
   if (options_.prefilter || options_.lint || options_.crosscheck) {
     diags.set_phase("staticpass");
+    const CostClock::time_point staticpass_start = CostClock::now();
     try {
       const telemetry::SpanScope staticpass_span(trace, "staticpass");
       staticpass::StaticPassOptions pass_options;
@@ -334,6 +400,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
           describe_current_exception("staticpass", ""));
       pre.clear();
     }
+    report.phase_ms["staticpass"] = ms_since(staticpass_start);
   }
 
   // Phases 3-6 per analysis root. A root whose analysis throws is
@@ -347,6 +414,8 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   std::size_t graph_bytes_total = 0;
   for (std::size_t ri = 0; ri < locality.roots.size(); ++ri) {
     const AnalysisRoot& root = locality.roots[ri];
+    RootCost cost;
+    cost.root = root_name(root);
     const bool proven_safe = ri < pre.size() && pre[ri].prunable;
     if (proven_safe) {
       report.pruned_roots += 1;
@@ -354,6 +423,8 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
         if (trace != nullptr) {
           trace->record_event("staticpass_pruned", root_name(root));
         }
+        cost.pruned = true;
+        report.root_costs.push_back(std::move(cost));
         continue;
       }
     }
@@ -367,6 +438,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     const telemetry::SpanScope root_span(trace, "root", root_name(root));
 
     InterpResult exec;
+    const CostClock::time_point interp_start = CostClock::now();
     try {
       const telemetry::SpanScope interp_span(trace, "interp");
       Budget budget = options_.budget;
@@ -377,8 +449,13 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     } catch (...) {
       report.errors.push_back(
           describe_current_exception("interp", root_name(root)));
+      cost.interp_ms = ms_since(interp_start);
+      report.root_costs.push_back(std::move(cost));
       continue;
     }
+    cost.interp_ms = ms_since(interp_start);
+    cost.paths = exec.stats.paths;
+    cost.objects = exec.stats.objects;
 
     report.paths += exec.stats.paths;
     report.objects += exec.stats.objects;
@@ -393,10 +470,12 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
       // The paper's behaviour: the run that exhausts memory produces no
       // verdict for this root (Cimy FN). Continue with other roots
       // (deadline expiry ends the loop at the next iteration's check).
+      report.root_costs.push_back(std::move(cost));
       continue;
     }
 
     VulnModelResult vuln;
+    const CostClock::time_point solve_start = CostClock::now();
     try {
       VulnModelOptions vuln_options = options_.vuln;
       vuln_options.collect_evidence = options_.explain;
@@ -404,8 +483,13 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     } catch (...) {
       report.errors.push_back(
           describe_current_exception("solve", root_name(root)));
+      cost.solve_ms = ms_since(solve_start);
+      report.root_costs.push_back(std::move(cost));
       continue;
     }
+    cost.solve_ms = ms_since(solve_start);
+    cost.solver_calls = vuln.solver_calls;
+    cost.solver_cache_hits = vuln.query_cache_hits;
     report.solver_calls += vuln.solver_calls;
     report.solver_cache_hits += vuln.query_cache_hits;
     report.deadline_exceeded |= vuln.deadline_exceeded;
@@ -441,8 +525,19 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
         report.findings.push_back(std::move(finding));
       }
     }
+    report.root_costs.push_back(std::move(cost));
   }
   report.solver_retries = checker.retry_count();
+  {
+    double interp_ms = 0.0;
+    double solve_ms = 0.0;
+    for (const RootCost& rc : report.root_costs) {
+      interp_ms += rc.interp_ms;
+      solve_ms += rc.solve_ms;
+    }
+    report.phase_ms["interp"] = interp_ms;
+    report.phase_ms["solve"] = solve_ms;
+  }
 
   // Diagnostics reported after parsing come from the interpreter phases
   // (unknown syntax, unresolved includes, ...) sharing the same sink.

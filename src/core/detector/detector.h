@@ -23,6 +23,7 @@
 #include "support/source.h"
 
 namespace uchecker::telemetry {
+class FlightRecorder;
 class ScanTrace;
 class Telemetry;
 }  // namespace uchecker::telemetry
@@ -33,7 +34,7 @@ namespace uchecker::core {
 // JSON schema. Persistent caches (scand's verdict and solver stores)
 // key on it, so an engine upgrade cold-starts them instead of replaying
 // stale analysis results.
-inline constexpr std::string_view kEngineVersion = "uchecker-pr6";
+inline constexpr std::string_view kEngineVersion = "uchecker-pr7";
 
 struct ScanOptions {
   Budget budget;
@@ -70,6 +71,18 @@ struct ScanOptions {
   // counters/histograms into the registry. Null (the default) keeps the
   // pipeline on its zero-overhead path.
   telemetry::Telemetry* telemetry = nullptr;
+  // Request trace ID correlating this scan with the request that caused
+  // it (minted by scanctl or the scand server). Stamped into the per-scan
+  // trace, the report and metric exemplars. When empty and telemetry is
+  // attached, Detector::scan mints one so every traced scan is
+  // addressable; with no telemetry it stays empty (zero-overhead path).
+  std::string trace_id;
+  // Optional per-worker flight recorder (support/flight_recorder.h):
+  // phase transitions, progress samples and solver calls are mirrored
+  // into its lock-free ring so a watchdog can dump what a wedged scan
+  // was doing. Requires telemetry to be attached (events flow through
+  // the scan trace). The pointee must outlive the scan.
+  telemetry::FlightRecorder* flight = nullptr;
 };
 
 enum class Verdict : std::uint8_t {
@@ -151,8 +164,27 @@ struct Finding {
                                               std::string_view sink,
                                               std::string_view dst_sexpr);
 
+// Per-analysis-root cost attribution: where one root's wall time went.
+// Collected whenever telemetry is attached; surfaced in the report JSON
+// ("cost" object), audit_report's most-expensive-roots table and
+// scanctl top.
+struct RootCost {
+  std::string root;           // analysis-root name (file or entry point)
+  double interp_ms = 0.0;     // symbolic execution wall time
+  double solve_ms = 0.0;      // vulnerability modeling + Z3 wall time
+  std::size_t paths = 0;
+  std::size_t objects = 0;
+  std::size_t solver_calls = 0;
+  std::size_t solver_cache_hits = 0;
+  bool pruned = false;        // static pass skipped symbolic execution
+};
+
 struct ScanReport {
   std::string app_name;
+  // The request trace ID the scan ran under ("" when untraced). Carried
+  // through the report JSON so a stored report links back to the scand
+  // log lines and Chrome-trace spans of the request that computed it.
+  std::string trace_id;
   Verdict verdict = Verdict::kNotVulnerable;
   std::vector<Finding> findings;
 
@@ -186,6 +218,14 @@ struct ScanReport {
   // Error-severity diagnostics grouped by the pipeline phase that
   // reported them (same vocabulary as ScanError::phase).
   std::map<std::string, std::size_t> diagnostics_by_phase;
+
+  // Cost attribution (filled on every scan; all zeros cost nothing to
+  // serialize — report_io omits the "cost" object when empty).
+  // Wall milliseconds per pipeline phase ("parse", "locality",
+  // "staticpass", "interp", "solve").
+  std::map<std::string, double> phase_ms;
+  // Per-root breakdown, in analysis order.
+  std::vector<RootCost> root_costs;
 
   // Contained failures (exceptions converted to data). Non-empty errors
   // with no vulnerable finding yield Verdict::kAnalysisError.

@@ -161,6 +161,11 @@ std::optional<ScanReport> report_from_json(std::string_view json) {
       !parse_verdict(verdict, r.verdict)) {
     return std::nullopt;
   }
+  // Optional (omitted for untraced scans); must be a string if present.
+  if (doc->find("trace_id") != nullptr &&
+      !get_string(*doc, "trace_id", r.trace_id)) {
+    return std::nullopt;
+  }
 
   const jsonlite::Value* stats = doc->find("stats");
   if (stats == nullptr || !stats->is_object()) return std::nullopt;
@@ -191,6 +196,35 @@ std::optional<ScanReport> report_from_json(std::string_view json) {
   for (const auto& [phase, count] : diags->members()) {
     if (!count.is_number() || count.number() < 0.0) return std::nullopt;
     r.diagnostics_by_phase[phase] = static_cast<std::size_t>(count.number());
+  }
+
+  // Optional cost attribution (omitted when the scan recorded none).
+  if (const jsonlite::Value* cost = doc->find("cost")) {
+    if (!cost->is_object()) return std::nullopt;
+    const jsonlite::Value* phases = cost->find("phases");
+    const jsonlite::Value* roots = cost->find("roots");
+    if (phases == nullptr || !phases->is_object() || roots == nullptr ||
+        !roots->is_array()) {
+      return std::nullopt;
+    }
+    for (const auto& [phase, ms] : phases->members()) {
+      if (!ms.is_number()) return std::nullopt;
+      r.phase_ms[phase] = ms.number();
+    }
+    for (const jsonlite::Value& rc_json : roots->items()) {
+      RootCost rc;
+      if (!rc_json.is_object() || !get_string(rc_json, "root", rc.root) ||
+          !get_double(rc_json, "interp_ms", rc.interp_ms) ||
+          !get_double(rc_json, "solve_ms", rc.solve_ms) ||
+          !get_uint(rc_json, "paths", rc.paths) ||
+          !get_uint(rc_json, "objects", rc.objects) ||
+          !get_uint(rc_json, "solver_calls", rc.solver_calls) ||
+          !get_uint(rc_json, "solver_cache_hits", rc.solver_cache_hits) ||
+          !get_bool(rc_json, "pruned", rc.pruned)) {
+        return std::nullopt;
+      }
+      r.root_costs.push_back(std::move(rc));
+    }
   }
 
   const jsonlite::Value* errors = doc->find("errors");
@@ -277,6 +311,9 @@ std::string_view verdict_slug(Verdict v) {
 std::string to_json(const ScanReport& report) {
   std::string out = "{";
   out += "\"app\": " + strutil::quote(report.app_name) + ", ";
+  if (!report.trace_id.empty()) {
+    out += "\"trace_id\": " + strutil::quote(report.trace_id) + ", ";
+  }
   out += "\"verdict\": \"" + std::string(verdict_slug(report.verdict)) +
          "\", ";
   out += "\"stats\": {";
@@ -309,7 +346,34 @@ std::string to_json(const ScanReport& report) {
     first_phase = false;
     out += strutil::quote(phase) + ": " + std::to_string(count);
   }
-  out += "}, \"errors\": [";
+  out += "}";
+  if (!report.phase_ms.empty() || !report.root_costs.empty()) {
+    out += ", \"cost\": {\"phases\": {";
+    bool first_cost = true;
+    for (const auto& [phase, ms] : report.phase_ms) {
+      if (!first_cost) out += ", ";
+      first_cost = false;
+      out += strutil::quote(phase) + ": " + json_number(ms);
+    }
+    out += "}, \"roots\": [";
+    for (std::size_t i = 0; i < report.root_costs.size(); ++i) {
+      const RootCost& rc = report.root_costs[i];
+      if (i != 0) out += ", ";
+      out += "{";
+      out += "\"root\": " + strutil::quote(rc.root) + ", ";
+      out += "\"interp_ms\": " + json_number(rc.interp_ms) + ", ";
+      out += "\"solve_ms\": " + json_number(rc.solve_ms) + ", ";
+      out += "\"paths\": " + std::to_string(rc.paths) + ", ";
+      out += "\"objects\": " + std::to_string(rc.objects) + ", ";
+      out += "\"solver_calls\": " + std::to_string(rc.solver_calls) + ", ";
+      out += "\"solver_cache_hits\": " +
+             std::to_string(rc.solver_cache_hits) + ", ";
+      out += std::string("\"pruned\": ") + (rc.pruned ? "true" : "false");
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += ", \"errors\": [";
   for (std::size_t i = 0; i < report.errors.size(); ++i) {
     const ScanError& e = report.errors[i];
     if (i != 0) out += ", ";
@@ -368,6 +432,9 @@ std::string to_json(const ScanReport& report) {
 std::string to_text(const ScanReport& report) {
   std::string out;
   out += "application : " + report.app_name + "\n";
+  if (!report.trace_id.empty()) {
+    out += "trace       : " + report.trace_id + "\n";
+  }
   out += "verdict     : " + std::string(verdict_name(report.verdict)) + "\n";
   char line[256];
   std::snprintf(line, sizeof(line),
@@ -383,6 +450,17 @@ std::string to_text(const ScanReport& report) {
                 report.paths, report.objects, report.objects_per_path,
                 report.memory_mb, report.seconds, report.solver_calls);
   out += line;
+  if (!report.phase_ms.empty()) {
+    out += "cost        :";
+    for (const char* phase :
+         {"parse", "locality", "staticpass", "interp", "solve"}) {
+      const auto it = report.phase_ms.find(phase);
+      if (it == report.phase_ms.end()) continue;
+      std::snprintf(line, sizeof(line), " %s=%.1fms", phase, it->second);
+      out += line;
+    }
+    out += "\n";
+  }
   if (report.budget_exhausted) {
     out += "warning     : analysis budget exhausted; results are partial\n";
   }

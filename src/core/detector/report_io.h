@@ -13,7 +13,9 @@ namespace uchecker::core {
 
 // Renders a report as a single JSON object:
 // {
-//   "app": "...", "verdict": "vulnerable" | "not_vulnerable" |
+//   "app": "...",
+//   "trace_id": "16 hex chars",  // only when the scan ran under one
+//   "verdict": "vulnerable" | "not_vulnerable" |
 //   "analysis_incomplete" | "analysis_error",
 //   "stats": { "total_loc": N, "analyzed_loc": N, "analyzed_percent": X,
 //              "paths": N, "objects": N, "objects_per_path": X,
@@ -23,6 +25,12 @@ namespace uchecker::core {
 //              "budget_exhausted": B, "deadline_exceeded": B,
 //              "parse_errors": N, "analysis_errors": N },
 //   "diagnostics_by_phase": { "parse": N, "interp": N, ... },
+//   "cost": {  // omitted when the scan recorded no cost attribution
+//     "phases": { "parse": ms, "locality": ms, "staticpass": ms,
+//                 "interp": ms, "solve": ms },
+//     "roots": [ { "root": "...", "interp_ms": X, "solve_ms": X,
+//                  "paths": N, "objects": N, "solver_calls": N,
+//                  "solver_cache_hits": N, "pruned": B }, ... ] },
 //   "errors": [ { "phase": "parse" | "locality" | "interp" | "translate" |
 //                 "solve" | "scan", "root": "...", "message": "...",
 //                 "transient": B }, ... ],

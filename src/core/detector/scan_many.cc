@@ -91,6 +91,10 @@ ScanReport scan_one(const Detector& detector, const Application& app,
     if (telemetry::Telemetry* t = detector.options().telemetry) {
       std::string line = "{\"event\": \"app_done\", \"app\": " +
                          strutil::quote(report.app_name) +
+                         (report.trace_id.empty()
+                              ? std::string()
+                              : ", \"trace_id\": " +
+                                    strutil::quote(report.trace_id)) +
                          ", \"verdict\": \"" +
                          std::string(verdict_slug(report.verdict)) +
                          "\", \"seconds\": " + std::to_string(report.seconds) +
@@ -122,6 +126,13 @@ void aggregate_fleet_metrics(telemetry::Telemetry& telemetry,
     m.counter("fleet.solver_retries").add(r.solver_retries);
     m.counter("fleet.findings").add(r.findings.size());
     m.histogram("fleet.app_seconds_ms").observe(r.seconds * 1000.0);
+    // Per-root cost attribution: where fleet wall time concentrates
+    // (interp vs solve), over every executed root of every app.
+    for (const RootCost& rc : r.root_costs) {
+      if (rc.pruned) continue;
+      m.histogram("fleet.root_interp_ms").observe(rc.interp_ms);
+      m.histogram("fleet.root_solve_ms").observe(rc.solve_ms);
+    }
   }
 }
 

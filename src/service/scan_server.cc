@@ -5,10 +5,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "core/detector/report_io.h"
 #include "support/jsonlite.h"
+#include "support/prom_export.h"
 #include "support/sarif_export.h"
 #include "support/strutil.h"
 #include "support/telemetry.h"
@@ -70,6 +72,12 @@ std::optional<core::Application> request_application(
     return std::nullopt;
   }
   return result;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
 }
 
 }  // namespace
@@ -179,8 +187,20 @@ std::string ScanServer::handle_request(const std::string& line) {
     return error_response("missing \"op\"");
   }
 
+  // Daemon identity, shared by ping and status: engine version, pid and
+  // uptime answer "which build am I talking to, and since when?".
+  const auto identity = [this] {
+    const double uptime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      service_.started_at())
+            .count();
+    return "\"version\": " + strutil::quote(core::kEngineVersion) +
+           ", \"pid\": " + std::to_string(static_cast<long long>(::getpid())) +
+           ", \"uptime_s\": " + fmt_double(uptime_s);
+  };
+
   if (op->str() == "ping") {
-    return "{\"status\": \"ok\", \"pong\": true}";
+    return "{\"status\": \"ok\", \"pong\": true, " + identity() + "}";
   }
 
   if (op->str() == "shutdown") {
@@ -188,8 +208,50 @@ std::string ScanServer::handle_request(const std::string& line) {
     return "{\"status\": \"ok\", \"stopping\": true}";
   }
 
+  if (op->str() == "metrics") {
+    std::string body = "# no telemetry attached\n";
+    if (telemetry::Telemetry* t = service_.options().telemetry) {
+      telemetry::PromOptions prom;
+      prom.engine_version = std::string(core::kEngineVersion);
+      prom.process_start = service_.started_at();
+      body = telemetry::to_prometheus_text(*t, prom);
+    }
+    return "{\"status\": \"ok\", \"content_type\": "
+           "\"text/plain; version=0.0.4\", \"metrics\": " +
+           strutil::quote(body) + "}";
+  }
+
+  if (op->str() == "top") {
+    std::size_t n = 10;
+    if (const jsonlite::Value* nv = request->find("n");
+        nv != nullptr && nv->is_number() && nv->number() > 0) {
+      n = static_cast<std::size_t>(nv->number());
+    }
+    std::string out = "{\"status\": \"ok\", \"requests\": [";
+    bool first = true;
+    for (const RequestCost& c : service_.top_requests(n)) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"app\": " + strutil::quote(c.app) +
+             ", \"trace_id\": " + strutil::quote(c.trace_id) +
+             ", \"verdict\": " + strutil::quote(c.verdict) +
+             ", \"total_ms\": " + fmt_double(c.total_ms) +
+             ", \"parse_ms\": " + fmt_double(c.parse_ms) +
+             ", \"interp_ms\": " + fmt_double(c.interp_ms) +
+             ", \"solve_ms\": " + fmt_double(c.solve_ms) +
+             ", \"solver_calls\": " + std::to_string(c.solver_calls) +
+             ", \"cached\": " + (c.from_cache ? "true" : "false") +
+             ", \"quarantined\": " + (c.quarantined ? "true" : "false") +
+             ", \"top_root\": " + strutil::quote(c.top_root) +
+             ", \"top_root_ms\": " + fmt_double(c.top_root_ms) + "}";
+    }
+    out += "]}";
+    return out;
+  }
+
   if (op->str() == "status") {
-    std::string out = "{\"status\": \"ok\", \"queue_depth\": " +
+    std::string out = "{\"status\": \"ok\", " + identity() +
+                      ", \"queue_depth\": " +
                       std::to_string(service_.queue_depth());
     if (telemetry::Telemetry* t = service_.options().telemetry) {
       out += ", \"counters\": {";
@@ -219,8 +281,14 @@ std::string ScanServer::handle_request(const std::string& line) {
     const jsonlite::Value* format = request->find("format");
     const bool want_sarif =
         format != nullptr && format->is_string() && format->str() == "sarif";
+    std::string trace_id;
+    if (const jsonlite::Value* tid = request->find("trace_id");
+        tid != nullptr && tid->is_string()) {
+      trace_id = tid->str();
+    }
 
-    std::future<ScanOutcome> future = service_.submit(*std::move(app));
+    std::future<ScanOutcome> future =
+        service_.submit(*std::move(app), std::move(trace_id));
     if (!future.valid()) {
       return "{\"status\": \"overloaded\", \"queue_depth\": " +
              std::to_string(service_.queue_depth()) + "}";
@@ -228,6 +296,7 @@ std::string ScanServer::handle_request(const std::string& line) {
     ScanOutcome outcome = future.get();
     std::string out = "{\"status\": \"ok\", \"app\": " +
                       strutil::quote(outcome.report.app_name) +
+                      ", \"trace_id\": " + strutil::quote(outcome.trace_id) +
                       ", \"verdict\": \"" +
                       std::string(core::verdict_slug(outcome.report.verdict)) +
                       "\", \"cached\": " +

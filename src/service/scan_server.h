@@ -5,17 +5,36 @@
 // response object per line, over a SOCK_STREAM Unix socket. A client
 // may pipeline several requests on one connection.
 //
-//   {"op": "ping"}                          -> {"status": "ok", "pong": true}
+//   {"op": "ping"}                          -> {"status": "ok", "pong": true,
+//                                               "version": "...", "pid": N,
+//                                               "uptime_s": X}
 //   {"op": "status"}                        -> {"status": "ok",
+//                                               "version": "...", "pid": N,
+//                                               "uptime_s": X,
 //                                               "queue_depth": N,
 //                                               "counters": {name: N, ...},
 //                                               "gauges": {name: X, ...}}
+//   {"op": "metrics"}                       -> {"status": "ok",
+//                                               "content_type": "text/plain; version=0.0.4",
+//                                               "metrics": "<Prometheus text exposition>"}
+//   {"op": "top" [, "n": N]}                -> {"status": "ok",
+//                                               "requests": [{"app", "trace_id",
+//                                                 "verdict", "total_ms", "parse_ms",
+//                                                 "interp_ms", "solve_ms",
+//                                                 "solver_calls", "cached",
+//                                                 "quarantined", "top_root",
+//                                                 "top_root_ms"}, ...]}  (most
+//                                               expensive first; default n=10)
 //   {"op": "scan", "path": "/php/tree"}     -> {"status": "ok",
 //        [, "format": "sarif"]                  "app": "...",
+//        [, "trace_id": "..."]                  "trace_id": "...",
 //                                               "verdict": "<slug>",
 //                                               "cached": B,
 //                                               "quarantined": B,
 //                                               "report": {...} | "sarif": {...}}
+//       A client-supplied trace_id is propagated into every span, log
+//       line, metric exemplar and the report; when absent the service
+//       mints one — either way the response echoes the ID actually used.
 //   {"op": "scan", "app": {"name": "...",   -> as above (sources inline,
 //        "files": [{"name","content"},..]}}    nothing read from disk)
 //   {"op": "shutdown"}                      -> {"status": "ok",

@@ -7,6 +7,9 @@
 #include <utility>
 
 #include "core/detector/report_io.h"
+#include "support/flight_recorder.h"
+#include "support/logging.h"
+#include "support/strutil.h"
 #include "support/telemetry.h"
 
 namespace uchecker::service {
@@ -30,7 +33,43 @@ core::ScanReport service_error_report(std::string app_name,
   return report;
 }
 
+// Pulls the cost attribution a report carries (phase_ms, root_costs)
+// into the bounded `scanctl top` record for this request.
+RequestCost cost_from_report(const core::ScanReport& report) {
+  RequestCost cost;
+  cost.verdict = std::string(core::verdict_slug(report.verdict));
+  const auto phase = [&](const char* name) {
+    const auto it = report.phase_ms.find(name);
+    return it == report.phase_ms.end() ? 0.0 : it->second;
+  };
+  cost.parse_ms = phase("parse");
+  cost.interp_ms = phase("interp");
+  cost.solve_ms = phase("solve");
+  cost.solver_calls = report.solver_calls;
+  for (const core::RootCost& rc : report.root_costs) {
+    const double ms = rc.interp_ms + rc.solve_ms;
+    if (ms >= cost.top_root_ms && !rc.pruned) {
+      cost.top_root_ms = ms;
+      cost.top_root = rc.root;
+    }
+  }
+  return cost;
+}
+
 }  // namespace
+
+std::string mint_trace_id(std::string_view hint) {
+  static std::atomic<std::uint64_t> sequence{0};
+  std::uint64_t h = store::fnv1a64(hint);
+  h = store::fnv1a64(store::hex64(static_cast<std::uint64_t>(
+                         std::chrono::steady_clock::now()
+                             .time_since_epoch()
+                             .count())),
+                     h);
+  h = store::fnv1a64(
+      store::hex64(sequence.fetch_add(1, std::memory_order_relaxed)), h);
+  return store::hex64(h);
+}
 
 ScanService::ScanService(ServiceOptions options)
     : options_(std::move(options)) {
@@ -103,6 +142,7 @@ bool ScanService::start() {
   publish_store_metrics();
   set_gauge("scand.queue_depth", 0.0);
 
+  started_at_ = std::chrono::steady_clock::now();
   {
     const std::lock_guard<std::mutex> lock(mu_);
     threads_.reserve(options_.workers);
@@ -111,6 +151,13 @@ bool ScanService::start() {
     }
   }
   watchdog_ = std::thread([this] { watchdog_loop(); });
+  if (options_.logger != nullptr) {
+    options_.logger->info(
+        "service_start", {},
+        {{"workers", static_cast<std::uint64_t>(options_.workers)},
+         {"state_dir", options_.state_dir},
+         {"engine", core::kEngineVersion}});
+  }
   return true;
 }
 
@@ -134,6 +181,16 @@ void ScanService::stop() {
     if (w.joinable()) w.join();
   }
 
+  // SIGTERM drain: persist each worker's flight-recorder window so a
+  // post-mortem can see what every worker was doing at shutdown.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < recorders_.size(); ++i) {
+      if (recorders_[i]->total_recorded() == 0) continue;
+      dump_flight(*recorders_[i], "worker" + std::to_string(i));
+    }
+  }
+
   // Final flush: anything solved but not yet drained, then compact the
   // append logs down to their live maps.
   for (auto& [key, outcome] : solver_cache_.drain_dirty()) {
@@ -146,12 +203,18 @@ void ScanService::stop() {
   verdict_store_.close();
   solver_store_.close();
   quarantine_store_.close();
+  if (options_.logger != nullptr) {
+    options_.logger->info("service_stop");
+  }
 }
 
-std::future<ScanOutcome> ScanService::submit(core::Application app) {
+std::future<ScanOutcome> ScanService::submit(core::Application app,
+                                             std::string trace_id) {
   auto flight = std::make_shared<InFlight>();
   flight->app_name = app.name;
   flight->key = verdict_key(app, options_.scan);
+  flight->trace_id =
+      trace_id.empty() ? mint_trace_id(app.name) : std::move(trace_id);
   flight->has_deadline = options_.request_timeout.count() > 0;
   std::future<ScanOutcome> future = flight->promise.get_future();
   {
@@ -169,10 +232,45 @@ std::future<ScanOutcome> ScanService::submit(core::Application app) {
   return future;
 }
 
-std::optional<ScanOutcome> ScanService::scan(core::Application app) {
-  std::future<ScanOutcome> future = submit(std::move(app));
+std::optional<ScanOutcome> ScanService::scan(core::Application app,
+                                             std::string trace_id) {
+  std::future<ScanOutcome> future =
+      submit(std::move(app), std::move(trace_id));
   if (!future.valid()) return std::nullopt;
   return future.get();
+}
+
+std::vector<RequestCost> ScanService::top_requests(std::size_t n) const {
+  std::vector<RequestCost> out;
+  {
+    const std::lock_guard<std::mutex> lock(costs_mu_);
+    out.assign(recent_costs_.begin(), recent_costs_.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RequestCost& x, const RequestCost& y) {
+                     return x.total_ms > y.total_ms;
+                   });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+void ScanService::remember_cost(RequestCost cost) {
+  if (options_.top_history == 0) return;
+  const std::lock_guard<std::mutex> lock(costs_mu_);
+  recent_costs_.push_back(std::move(cost));
+  while (recent_costs_.size() > options_.top_history) {
+    recent_costs_.pop_front();
+  }
+}
+
+void ScanService::dump_flight(const telemetry::FlightRecorder& recorder,
+                              const std::string& tag) {
+  if (options_.state_dir.empty()) return;
+  const std::string path =
+      options_.state_dir + "/flightrec-" + tag + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return;
+  out << recorder.to_json() << '\n';
 }
 
 std::size_t ScanService::queue_depth() const {
@@ -236,6 +334,16 @@ store::StoreStats ScanService::solver_store_stats() const {
 }
 
 void ScanService::worker_loop() {
+  // This worker's flight recorder. Owned by recorders_ (never removed),
+  // so the watchdog can still dump it after this worker is retired.
+  telemetry::FlightRecorder* recorder = nullptr;
+  if (options_.flight_recorder_capacity > 0) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    recorders_.push_back(std::make_unique<telemetry::FlightRecorder>(
+        options_.flight_recorder_capacity));
+    recorder = recorders_.back().get();
+  }
+
   while (true) {
     Request request;
     {
@@ -248,11 +356,16 @@ void ScanService::worker_loop() {
         request.flight->deadline_at =
             std::chrono::steady_clock::now() + options_.request_timeout;
       }
+      request.flight->recorder = recorder;
       inflight_.push_back(request.flight);
       set_gauge("scand.queue_depth", static_cast<double>(queue_.size()));
+      if (recorder != nullptr) {
+        recorder->record(telemetry::FlightKind::kQueue,
+                         request.flight->app_name, queue_.size());
+      }
     }
 
-    process(request);
+    process(request, recorder);
 
     bool retired = false;
     {
@@ -268,10 +381,12 @@ void ScanService::worker_loop() {
   }
 }
 
-void ScanService::process(Request& request) {
+void ScanService::process(Request& request,
+                          telemetry::FlightRecorder* recorder) {
   const auto t0 = std::chrono::steady_clock::now();
   InFlight& flight = *request.flight;
   ScanOutcome outcome;
+  outcome.trace_id = flight.trace_id;
 
   if (quarantine_store_.contains(flight.key)) {
     count("scand.quarantine_hits");
@@ -300,6 +415,8 @@ void ScanService::process(Request& request) {
     if (need_scan) {
       core::ScanOptions scan_options = options_.scan;
       scan_options.query_cache = &solver_cache_;
+      scan_options.trace_id = flight.trace_id;
+      scan_options.flight = recorder;
       const core::Detector detector(scan_options);
       Deadline deadline = flight.has_deadline
                               ? Deadline::after(options_.request_timeout)
@@ -324,15 +441,45 @@ void ScanService::process(Request& request) {
     }
   }
 
+  const double total_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  // A cache hit never paid the report's parse/interp/solve time — those
+  // belong to the original scan — so only the verdict is attributed.
+  RequestCost cost;
+  if (outcome.from_cache) {
+    cost.verdict = std::string(core::verdict_slug(outcome.report.verdict));
+  } else {
+    cost = cost_from_report(outcome.report);
+  }
+  cost.app = flight.app_name;
+  cost.trace_id = flight.trace_id;
+  cost.total_ms = total_ms;
+  cost.from_cache = outcome.from_cache;
+  cost.quarantined = outcome.quarantined;
+
+  if (options_.logger != nullptr) {
+    options_.logger->info(
+        "request_done", flight.trace_id,
+        {{"app", flight.app_name},
+         {"verdict", cost.verdict},
+         {"total_ms", total_ms},
+         {"cached", outcome.from_cache},
+         {"quarantined", outcome.quarantined},
+         {"solver_calls", cost.solver_calls}});
+  }
+
+  // Record the cost before fulfilling the promise: a client that sees
+  // its scan response must also see the request in `top`.
+  remember_cost(std::move(cost));
   if (!flight.replied.exchange(true, std::memory_order_acq_rel)) {
     if (options_.telemetry != nullptr) {
-      const double ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
       options_.telemetry->metrics()
           .histogram("scand.request_ms",
                      telemetry::MetricsRegistry::default_latency_buckets_ms())
-          .observe(ms);
+          .observe(total_ms);
+      options_.telemetry->metrics().set_exemplar("scand.request_ms",
+                                                 flight.trace_id);
     }
     flight.promise.set_value(std::move(outcome));
   }
@@ -356,11 +503,32 @@ void ScanService::watchdog_loop() {
       // it, quarantine its content, and replace the worker stuck on it.
       flight->cancel.cancel();
       count("scand.watchdog_cancellations");
-      quarantine_store_.put(flight->key, "watchdog: scan exceeded deadline");
+      // The quarantine value is a small JSON object naming the trace
+      // and the phase the scan was wedged in, and the flight-recorder
+      // dump lands alongside it — together they answer "what was it
+      // doing when it hung?" long after the daemon moved on.
+      std::string wedged;
+      if (flight->recorder != nullptr) {
+        wedged = flight->recorder->wedged_phase();
+        dump_flight(*flight->recorder, flight->key);
+      }
+      quarantine_store_.put(
+          flight->key,
+          "{\"reason\": \"watchdog: scan exceeded deadline\", "
+          "\"trace_id\": " +
+              strutil::quote(flight->trace_id) +
+              ", \"wedged_phase\": " + strutil::quote(wedged) + "}");
       count("scand.quarantined");
+      if (options_.logger != nullptr) {
+        options_.logger->warn("watchdog_cancel", flight->trace_id,
+                              {{"app", flight->app_name},
+                               {"key", flight->key},
+                               {"wedged_phase", wedged}});
+      }
       flight->abandoned.store(true, std::memory_order_release);
       if (!flight->replied.exchange(true, std::memory_order_acq_rel)) {
         ScanOutcome outcome;
+        outcome.trace_id = flight->trace_id;
         outcome.quarantined = true;
         outcome.report = service_error_report(
             flight->app_name,

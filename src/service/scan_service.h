@@ -49,7 +49,12 @@
 
 namespace uchecker::telemetry {
 class Telemetry;
+class FlightRecorder;
 }  // namespace uchecker::telemetry
+
+namespace uchecker::logging {
+class Logger;
+}  // namespace uchecker::logging
 
 namespace uchecker::service {
 
@@ -74,6 +79,14 @@ struct ServiceOptions {
   // Service-level counters/gauges/histograms land here (may be the
   // same Telemetry as scan.telemetry). Optional.
   telemetry::Telemetry* telemetry = nullptr;
+  // Structured log lines (request_done, watchdog_cancel, lifecycle)
+  // land here. Optional; must outlive the service.
+  logging::Logger* logger = nullptr;
+  // Ring size of each worker's flight recorder (rounded up to a power
+  // of two). 0 disables flight recording entirely.
+  std::size_t flight_recorder_capacity = 256;
+  // How many recently completed requests top_requests() remembers.
+  std::size_t top_history = 256;
 };
 
 // The answer to one request. `report_json` is the exact reply bytes:
@@ -82,8 +95,30 @@ struct ServiceOptions {
 struct ScanOutcome {
   core::ScanReport report;
   std::string report_json;
+  // The request's trace ID: the caller's if one was supplied to
+  // submit(), otherwise minted by the service. Cache replays keep the
+  // *request's* ID here even though the stored report bytes carry the
+  // original scan's ID — the reply envelope is about this request.
+  std::string trace_id;
   bool from_cache = false;
   bool quarantined = false;
+};
+
+// One completed request's cost attribution, as remembered for
+// `scanctl top`: where its wall time went and which root dominated.
+struct RequestCost {
+  std::string app;
+  std::string trace_id;
+  std::string verdict;
+  double total_ms = 0.0;
+  double parse_ms = 0.0;
+  double interp_ms = 0.0;
+  double solve_ms = 0.0;
+  std::uint64_t solver_calls = 0;
+  bool from_cache = false;
+  bool quarantined = false;
+  std::string top_root;  // most expensive root (interp + solve)
+  double top_root_ms = 0.0;
 };
 
 class ScanService {
@@ -106,13 +141,27 @@ class ScanService {
 
   // Enqueues one scan. Returns an invalid future (valid() == false)
   // when the queue is full or the service is stopping — the caller
-  // should report backpressure, not block.
-  [[nodiscard]] std::future<ScanOutcome> submit(core::Application app);
+  // should report backpressure, not block. `trace_id` propagates into
+  // every span, metric exemplar, log line and the report itself; when
+  // empty the service mints one, so every request is traceable.
+  [[nodiscard]] std::future<ScanOutcome> submit(core::Application app,
+                                                std::string trace_id = {});
 
   // Convenience synchronous wrapper: nullopt = backpressure.
-  [[nodiscard]] std::optional<ScanOutcome> scan(core::Application app);
+  [[nodiscard]] std::optional<ScanOutcome> scan(core::Application app,
+                                                std::string trace_id = {});
 
   [[nodiscard]] std::size_t queue_depth() const;
+
+  // The `n` most expensive completed requests (by total wall time),
+  // most expensive first, drawn from the last ServiceOptions::
+  // top_history completions. Powers `scanctl top`.
+  [[nodiscard]] std::vector<RequestCost> top_requests(std::size_t n) const;
+
+  // When start() succeeded (steady clock). Powers status/ping uptime.
+  [[nodiscard]] std::chrono::steady_clock::time_point started_at() const {
+    return started_at_;
+  }
 
   // The persistent verdict-cache key for `app` under `scan` options:
   // FNV over engine version, the option fields that can change a
@@ -136,6 +185,11 @@ class ScanService {
   struct InFlight {
     std::string app_name;
     std::string key;
+    std::string trace_id;
+    // The flight recorder of the worker running this scan (set at
+    // pickup). Recorders live in recorders_ for the service's lifetime,
+    // so the watchdog can dump one even after the worker is retired.
+    telemetry::FlightRecorder* recorder = nullptr;
     CancellationSource cancel;
     std::chrono::steady_clock::time_point deadline_at{};
     bool has_deadline = false;
@@ -155,10 +209,16 @@ class ScanService {
 
   void worker_loop();
   void watchdog_loop();
-  void process(Request& request);
+  void process(Request& request, telemetry::FlightRecorder* recorder);
   void publish_store_metrics();
   void count(const char* name, std::uint64_t n = 1);
   void set_gauge(const char* name, double value);
+  void remember_cost(RequestCost cost);
+  // Writes `recorder`'s dump to state_dir/flightrec-<tag>.json (no-op
+  // without a state_dir). Called by the watchdog (tag = verdict key)
+  // and by stop() for the SIGTERM drain (tag = worker index).
+  void dump_flight(const telemetry::FlightRecorder& recorder,
+                   const std::string& tag);
 
   ServiceOptions options_;
   core::SolverQueryCache solver_cache_;
@@ -175,7 +235,25 @@ class ScanService {
   std::thread watchdog_;
   bool started_ = false;
   bool stopping_ = false;
+
+  // One flight recorder per worker thread (including replacements).
+  // Append-only under mu_; entries are never removed, so raw pointers
+  // into it (InFlight::recorder) stay valid until destruction.
+  std::vector<std::unique_ptr<telemetry::FlightRecorder>> recorders_;
+
+  // Recently completed requests, newest at the back, bounded by
+  // options_.top_history. Own mutex: readers (scanctl top) must not
+  // contend with the scheduler lock.
+  mutable std::mutex costs_mu_;
+  std::deque<RequestCost> recent_costs_;
+
+  std::chrono::steady_clock::time_point started_at_{};
 };
+
+// Mints a fresh trace ID (16 lowercase hex chars): time + a process-
+// wide sequence + `hint`, FNV-mixed. Collisions across processes are
+// harmless (trace IDs label, they don't key).
+[[nodiscard]] std::string mint_trace_id(std::string_view hint);
 
 // Recursively collects *.php / *.module / *.inc files under `root`
 // (or the single file itself) into an Application named after the

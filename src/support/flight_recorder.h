@@ -1,0 +1,119 @@
+// Flight recorder: a fixed-size lock-free ring of the most recent
+// events on one worker — phase transitions, solver calls, interpreter
+// progress samples, queue pickups. The hot path (record) is wait-free:
+// one fetch_add plus relaxed stores into a slot, no mutex, no
+// allocation, so it can sit inside the interpreter loop. The cold path
+// (snapshot/to_json) runs on a *different* thread — the watchdog dumping
+// a wedged scan, or the SIGTERM drain — and tolerates racing writers: a
+// slot whose sequence number changes mid-copy is discarded rather than
+// read torn.
+//
+// Why not a seqlock over plain fields: TSan (ci/sanitize.sh --tsan)
+// flags any non-atomic read racing a write even when the sequence check
+// would discard it. Every payload field, including the detail bytes, is
+// therefore individually atomic with relaxed ordering; the per-slot
+// `seq` uses release/acquire to order payload visibility.
+//
+// The dump names the wedged phase (innermost kPhaseBegin without a
+// matching kPhaseEnd) and the last interpreter progress sample, which is
+// exactly what a watchdog quarantine entry needs to answer "what was it
+// doing when it hung?".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uchecker::telemetry {
+
+enum class FlightKind : std::uint8_t {
+  kPhaseBegin = 0,  // detail = phase name ("parse", "interp", ...)
+  kPhaseEnd = 1,    // detail = phase name
+  kProgress = 2,    // a = live paths, b = heap-graph objects
+  kSolverCall = 3,  // detail = result, a = dur_us, b = attempts
+  kEvent = 4,       // detail = event name (deadline_exceeded, ...)
+  kQueue = 5,       // detail = app name, a = queue depth at pickup
+};
+
+[[nodiscard]] std::string_view flight_kind_name(FlightKind kind);
+
+// One event as copied out by snapshot().
+struct FlightEvent {
+  std::uint64_t index = 0;  // monotone sequence number across the ring
+  std::uint64_t t_us = 0;   // relative to the recorder's construction
+  FlightKind kind = FlightKind::kEvent;
+  std::string detail;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  // `capacity` is rounded up to a power of two (min 16).
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Wait-free; truncates `detail` to kDetailBytes. Safe to call from the
+  // scan thread while another thread snapshots.
+  void record(FlightKind kind, std::string_view detail, std::uint64_t a = 0,
+              std::uint64_t b = 0) noexcept;
+
+  // Copies out every intact slot, oldest first. Slots being overwritten
+  // during the copy are skipped (they are about to be replaced by newer
+  // events anyway).
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  // Renders a snapshot as one JSON object:
+  //   {"total_recorded": N, "dropped": N,
+  //    "wedged_phase": "interp" | null,
+  //    "last_progress": {"t_us": N, "live_paths": N, "objects": N} | null,
+  //    "events": [{"t_us": N, "kind": "phase_begin", "detail": "...",
+  //                "a": N, "b": N}, ...]}
+  // wedged_phase is the innermost phase begun but never ended in the
+  // visible window; dropped = total_recorded - ring capacity (floor 0).
+  [[nodiscard]] std::string to_json() const;
+
+  // The innermost phase begun but never ended in the current window
+  // ("" when none) — what a wedged scan was doing. Same walk as
+  // to_json()'s "wedged_phase".
+  [[nodiscard]] std::string wedged_phase() const;
+
+  // Total record() calls since construction (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_count_; }
+
+  static constexpr std::size_t kDetailBytes = 48;
+
+ private:
+  struct Slot {
+    // 0 = never written; odd = write in progress; even>0 = intact, and
+    // (seq/2 - 1) is the event's monotone index.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> t_us{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint8_t> kind{0};
+    std::atomic<std::uint8_t> detail_len{0};
+    std::array<std::atomic<char>, kDetailBytes> detail{};
+  };
+
+  std::uint64_t now_us() const noexcept;
+
+  std::size_t slots_count_;
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace uchecker::telemetry

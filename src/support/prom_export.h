@@ -1,0 +1,50 @@
+// Prometheus text exposition (format version 0.0.4) for a
+// MetricsRegistry, served by scand's `metrics` protocol command so the
+// daemon can be scraped.
+//
+// Mapping:
+//  - metric names are sanitized ("scand.request_ms" ->
+//    "uchecker_scand_request_ms"); counters additionally get the
+//    conventional `_total` suffix.
+//  - histograms emit cumulative `_bucket{le="..."}` series (Prometheus
+//    le convention: each bucket counts samples <= its bound, the last
+//    is le="+Inf" and equals `_count`) plus `_sum` and `_count`. The
+//    same cumulative counts back the JSON export
+//    (Histogram::cumulative_counts), so the two surfaces can never
+//    disagree on boundary-exact samples again.
+//  - process metadata: uchecker_engine_info{version="..."} 1,
+//    uchecker_process_uptime_seconds, and (Linux)
+//    uchecker_process_resident_memory_bytes from /proc/self/statm.
+//  - when the registry carries a trace-ID exemplar for a metric, the
+//    sample line gets an OpenMetrics-style exemplar suffix:
+//      uchecker_scan_count_total 44 # {trace_id="a1b2..."} 1
+//    so a scrape links straight back to a concrete request.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+namespace uchecker::telemetry {
+
+class Telemetry;
+
+struct PromOptions {
+  // Rendered into uchecker_engine_info{version="..."}.
+  std::string engine_version;
+  // Basis for uchecker_process_uptime_seconds; default-constructed
+  // (epoch) disables the uptime series.
+  std::chrono::steady_clock::time_point process_start{};
+  bool include_process_metrics = true;
+};
+
+// Renders every counter, gauge and histogram in `telemetry`'s registry.
+// Deterministic: series are emitted in sorted name order.
+[[nodiscard]] std::string to_prometheus_text(const Telemetry& telemetry,
+                                             const PromOptions& options = {});
+
+// Sanitizes a registry metric name into a Prometheus metric name:
+// prefixes "uchecker_", maps every character outside [a-zA-Z0-9_] to '_'.
+[[nodiscard]] std::string prom_sanitize_name(std::string_view name);
+
+}  // namespace uchecker::telemetry

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/flight_recorder.h"
+
 namespace uchecker::telemetry {
 
 // ---------------------------------------------------------------------------
@@ -49,6 +51,17 @@ double Histogram::max() const {
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counts_;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> out(counts_.size(), 0);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    out[i] = running;
+  }
+  return out;
 }
 
 double Histogram::quantile(double q) const {
@@ -141,6 +154,23 @@ MetricsRegistry::histograms() const {
   return out;
 }
 
+void MetricsRegistry::set_exemplar(std::string_view metric,
+                                   std::string_view trace_id) {
+  if (trace_id.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = exemplars_.find(metric);
+  if (it == exemplars_.end()) {
+    exemplars_.emplace(std::string(metric), std::string(trace_id));
+  } else {
+    it->second = std::string(trace_id);
+  }
+}
+
+std::map<std::string, std::string> MetricsRegistry::exemplars() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {exemplars_.begin(), exemplars_.end()};
+}
+
 // ---------------------------------------------------------------------------
 // ScanTrace
 
@@ -151,7 +181,13 @@ std::uint64_t ScanTrace::now_us() const {
           .count());
 }
 
+void ScanTrace::set_flight_recorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flight_ = recorder;
+}
+
 SpanId ScanTrace::begin_span(std::string_view name, std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mu_);
   Span span;
   span.id = static_cast<SpanId>(spans_.size());
   span.parent = open_stack_.empty() ? kNoSpan : open_stack_.back();
@@ -160,10 +196,14 @@ SpanId ScanTrace::begin_span(std::string_view name, std::string_view detail) {
   span.start_us = now_us();
   open_stack_.push_back(span.id);
   spans_.push_back(std::move(span));
+  if (flight_ != nullptr) {
+    flight_->record(FlightKind::kPhaseBegin, name);
+  }
   return spans_.back().id;
 }
 
 void ScanTrace::end_span(SpanId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (id == kNoSpan || id >= spans_.size()) return;
   const std::uint64_t now = now_us();
   // RAII callers close in strict LIFO order; if something closed a span
@@ -176,6 +216,9 @@ void ScanTrace::end_span(SpanId id) {
     if (span.open) {
       span.open = false;
       span.dur_us = now - span.start_us;
+      if (flight_ != nullptr) {
+        flight_->record(FlightKind::kPhaseEnd, span.name, span.dur_us);
+      }
     }
     if (top == id) return;
   }
@@ -184,6 +227,10 @@ void ScanTrace::end_span(SpanId id) {
 
 void ScanTrace::sample_progress(std::uint64_t live_paths, std::uint64_t objects,
                                 std::uint64_t heap_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (flight_ != nullptr) {
+    flight_->record(FlightKind::kProgress, {}, live_paths, objects);
+  }
   if (progress_skip_ > 0) {
     --progress_skip_;
     return;
@@ -202,6 +249,10 @@ void ScanTrace::sample_progress(std::uint64_t live_paths, std::uint64_t objects,
 }
 
 void ScanTrace::record_event(std::string_view name, std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (flight_ != nullptr) {
+    flight_->record(FlightKind::kEvent, name);
+  }
   events_.push_back(
       TraceEvent{now_us(), std::string(name), std::string(detail)});
 }
@@ -210,6 +261,10 @@ void ScanTrace::record_solver_call(std::uint64_t dur_us, unsigned attempts,
                                    unsigned escalations,
                                    bool deadline_exceeded,
                                    std::string_view result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (flight_ != nullptr) {
+    flight_->record(FlightKind::kSolverCall, result, dur_us, attempts);
+  }
   SolverCallSample s;
   s.dur_us = dur_us;
   const std::uint64_t now = now_us();
@@ -221,14 +276,27 @@ void ScanTrace::record_solver_call(std::uint64_t dur_us, unsigned attempts,
   solver_calls_.push_back(std::move(s));
 }
 
+TraceSnapshot ScanTrace::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSnapshot snap;
+  snap.name = name_;
+  snap.trace_id = trace_id_;
+  snap.tid = tid_;
+  snap.spans = spans_;
+  snap.progress = progress_;
+  snap.solver_calls = solver_calls_;
+  snap.events = events_;
+  return snap;
+}
+
 // ---------------------------------------------------------------------------
 // Telemetry
 
-ScanTrace& Telemetry::begin_scan(std::string name) {
+ScanTrace& Telemetry::begin_scan(std::string name, std::string trace_id) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto tid = static_cast<std::uint32_t>(traces_.size() + 1);
   traces_.push_back(std::unique_ptr<ScanTrace>(
-      new ScanTrace(std::move(name), epoch_, tid)));
+      new ScanTrace(std::move(name), std::move(trace_id), epoch_, tid)));
   return *traces_.back();
 }
 
@@ -243,7 +311,8 @@ std::vector<const ScanTrace*> Telemetry::traces() const {
 std::vector<PhaseStats> Telemetry::fleet_phase_stats() const {
   std::map<std::string, std::vector<double>> by_phase;  // durations, ms
   for (const ScanTrace* trace : traces()) {
-    for (const Span& span : trace->spans()) {
+    const TraceSnapshot snap = trace->snapshot();
+    for (const Span& span : snap.spans) {
       if (span.open) continue;
       by_phase[span.name].push_back(static_cast<double>(span.dur_us) / 1000.0);
     }

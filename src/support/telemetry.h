@@ -35,6 +35,8 @@
 
 namespace uchecker::telemetry {
 
+class FlightRecorder;
+
 // ---------------------------------------------------------------------------
 // Metrics
 
@@ -80,6 +82,13 @@ class Histogram {
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   // Per-bucket counts; size bounds().size() + 1, last entry = overflow.
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  // Cumulative per-bucket counts (Prometheus "le" convention): entry i
+  // counts samples <= bounds()[i]; the last entry is the implicit +Inf
+  // bucket and always equals count(). Same size as bucket_counts().
+  // Both the metrics JSON export and the Prometheus exposition render
+  // from this, so boundary-exact samples can never disagree between the
+  // two surfaces.
+  [[nodiscard]] std::vector<std::uint64_t> cumulative_counts() const;
   // Quantile estimate (q in [0,1]) by linear interpolation inside the
   // bucket containing the target rank. 0 when empty.
   [[nodiscard]] double quantile(double q) const;
@@ -112,11 +121,18 @@ class MetricsRegistry {
   [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
   [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>> histograms() const;
 
+  // Trace-ID exemplars: the most recent request that touched a metric,
+  // rendered as an OpenMetrics exemplar by the Prometheus exposition so
+  // a scraped series links back to a concrete request. Last write wins.
+  void set_exemplar(std::string_view metric, std::string_view trace_id);
+  [[nodiscard]] std::map<std::string, std::string> exemplars() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> exemplars_;
 };
 
 // ---------------------------------------------------------------------------
@@ -163,13 +179,36 @@ struct TraceEvent {
   std::string detail;
 };
 
-// The record of one scan. NOT thread-safe: it is written by the single
-// thread running that scan and read only after the scan completes.
+// Immutable copy of one trace's state, safe to render while the scan is
+// still running. trace_id is empty for traces begun without one.
+struct TraceSnapshot {
+  std::string name;
+  std::string trace_id;
+  std::uint32_t tid = 0;
+  std::vector<Span> spans;
+  std::vector<ProgressSample> progress;
+  std::vector<SolverCallSample> solver_calls;
+  std::vector<TraceEvent> events;
+};
+
+// The record of one scan. Written by the single thread running that
+// scan; mutators are serialized by an internal mutex so exporters on
+// other threads can take a consistent snapshot() mid-scan. The const-ref
+// accessors (spans() etc.) bypass that mutex and are only safe after the
+// scan completes — live readers must go through snapshot().
 class ScanTrace {
  public:
   [[nodiscard]] const std::string& name() const { return name_; }
+  // The request trace ID this scan belongs to (empty when none was
+  // supplied to begin_scan). Stamped into exported spans and the report.
+  [[nodiscard]] const std::string& trace_id() const { return trace_id_; }
   // Chrome trace "tid" used on export; unique per trace within a Telemetry.
   [[nodiscard]] std::uint32_t tid() const { return tid_; }
+
+  // Mirrors phase transitions, progress samples, solver calls and events
+  // into `recorder` (a per-worker flight-recorder ring) in addition to
+  // recording them here. Null detaches. Set before the scan starts.
+  void set_flight_recorder(FlightRecorder* recorder);
 
   // Opens a span as a child of the innermost still-open span.
   SpanId begin_span(std::string_view name, std::string_view detail = {});
@@ -192,13 +231,19 @@ class ScanTrace {
   }
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
 
+  // Consistent copy under the trace mutex; safe while the scan runs.
+  [[nodiscard]] TraceSnapshot snapshot() const;
+
   [[nodiscard]] std::uint64_t now_us() const;
 
  private:
   friend class Telemetry;
-  ScanTrace(std::string name, std::chrono::steady_clock::time_point epoch,
-            std::uint32_t tid)
-      : name_(std::move(name)), epoch_(epoch), tid_(tid) {}
+  ScanTrace(std::string name, std::string trace_id,
+            std::chrono::steady_clock::time_point epoch, std::uint32_t tid)
+      : name_(std::move(name)),
+        trace_id_(std::move(trace_id)),
+        epoch_(epoch),
+        tid_(tid) {}
 
   // Progress samples are decimated once kMaxProgressSamples is reached
   // (every other sample dropped, stride doubled), so a long scan's trace
@@ -206,8 +251,11 @@ class ScanTrace {
   static constexpr std::size_t kMaxProgressSamples = 4096;
 
   std::string name_;
+  std::string trace_id_;
   std::chrono::steady_clock::time_point epoch_;
   std::uint32_t tid_ = 0;
+  FlightRecorder* flight_ = nullptr;
+  mutable std::mutex mu_;
   std::vector<Span> spans_;
   std::vector<SpanId> open_stack_;
   std::vector<ProgressSample> progress_;
@@ -245,11 +293,13 @@ class Telemetry {
   // Creates the trace for one scan. Thread-safe; the returned reference
   // stays valid for the Telemetry's lifetime. All traces share this
   // Telemetry's epoch, so concurrent scans line up on one timeline.
-  ScanTrace& begin_scan(std::string name);
+  // `trace_id` (optional) correlates the trace with the request that
+  // caused it; it is stamped into exported spans and samples.
+  ScanTrace& begin_scan(std::string name, std::string trace_id = {});
 
-  // Snapshot of all traces (in begin_scan order). Traces still being
-  // written by a live scan may grow after the snapshot; export after the
-  // scans complete.
+  // Snapshot of all trace handles (in begin_scan order). Traces still
+  // being written by a live scan may grow after the snapshot; read live
+  // traces via ScanTrace::snapshot().
   [[nodiscard]] std::vector<const ScanTrace*> traces() const;
 
   // Groups completed spans by name across every trace and reports

@@ -36,30 +36,41 @@ std::string to_chrome_trace_json(const Telemetry& telemetry,
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
   for (const ScanTrace* trace : telemetry.traces()) {
-    const std::uint32_t tid = trace->tid();
+    // Consistent copy: safe even while the scan is still writing.
+    const TraceSnapshot snap = trace->snapshot();
+    const std::uint32_t tid = snap.tid;
+    // Request correlation: every event of a trace begun with a trace ID
+    // carries it in args, so one grep over the trace file finds the
+    // request. Empty for traces begun without one (keeps the golden
+    // format test byte-stable).
+    const std::string tid_arg =
+        snap.trace_id.empty()
+            ? std::string()
+            : ", \"trace_id\": " + strutil::quote(snap.trace_id);
     // Thread name metadata so Perfetto labels each scan's track.
     append_event(out, first, "thread_name", "__metadata", 'M', 0, tid,
-                 ", \"args\": {\"name\": " + strutil::quote(trace->name()) +
-                     "}");
-    for (const Span& span : trace->spans()) {
+                 ", \"args\": {\"name\": " + strutil::quote(snap.name) +
+                     tid_arg + "}");
+    for (const Span& span : snap.spans) {
       const std::uint64_t ts = options.zero_times ? 0 : span.start_us;
       const std::uint64_t dur = options.zero_times ? 0 : span.dur_us;
       std::string extra = ", \"dur\": " + std::to_string(dur);
       extra += ", \"args\": {\"detail\": " + strutil::quote(span.detail);
       if (span.open) extra += ", \"open\": true";
+      extra += tid_arg;
       extra += "}";
       append_event(out, first, span.name, "phase", 'X', ts, tid, extra);
     }
-    for (const ProgressSample& p : trace->progress()) {
+    for (const ProgressSample& p : snap.progress) {
       const std::uint64_t ts = options.zero_times ? 0 : p.t_us;
       const std::string extra =
           ", \"args\": {\"live_paths\": " + std::to_string(p.live_paths) +
           ", \"objects\": " + std::to_string(p.objects) +
-          ", \"heap_bytes\": " + std::to_string(p.heap_bytes) + "}";
+          ", \"heap_bytes\": " + std::to_string(p.heap_bytes) + tid_arg + "}";
       append_event(out, first, "interp.progress", "sample", 'C', ts, tid,
                    extra);
     }
-    for (const SolverCallSample& s : trace->solver_calls()) {
+    for (const SolverCallSample& s : snap.solver_calls) {
       const std::uint64_t ts = options.zero_times ? 0 : s.t_us;
       const std::uint64_t dur = options.zero_times ? 0 : s.dur_us;
       std::string extra = ", \"dur\": " + std::to_string(dur);
@@ -67,14 +78,14 @@ std::string to_chrome_trace_json(const Telemetry& telemetry,
                ", \"escalations\": " + std::to_string(s.escalations) +
                ", \"deadline_exceeded\": " +
                (s.deadline_exceeded ? "true" : "false") +
-               ", \"result\": " + strutil::quote(s.result) + "}";
+               ", \"result\": " + strutil::quote(s.result) + tid_arg + "}";
       append_event(out, first, "solver.check", "solver", 'X', ts, tid, extra);
     }
-    for (const TraceEvent& e : trace->events()) {
+    for (const TraceEvent& e : snap.events) {
       const std::uint64_t ts = options.zero_times ? 0 : e.t_us;
       const std::string extra =
           ", \"s\": \"t\", \"args\": {\"detail\": " + strutil::quote(e.detail) +
-          "}";
+          tid_arg + "}";
       append_event(out, first, e.name, "event", 'i', ts, tid, extra);
     }
   }
@@ -98,6 +109,13 @@ std::string metrics_to_json(const Telemetry& telemetry) {
     first = false;
     out += strutil::quote(name) + ": " + num(value);
   }
+  out += "}, \"exemplars\": {";
+  first = true;
+  for (const auto& [name, trace_id] : m.exemplars()) {
+    if (!first) out += ", ";
+    first = false;
+    out += strutil::quote(name) + ": " + strutil::quote(trace_id);
+  }
   out += "}, \"histograms\": {";
   first = true;
   for (const auto& [name, hist] : m.histograms()) {
@@ -108,7 +126,10 @@ std::string metrics_to_json(const Telemetry& telemetry) {
            ", \"min\": " + num(hist->min()) + ", \"max\": " + num(hist->max()) +
            ", \"buckets\": [";
     const std::vector<double>& bounds = hist->bounds();
-    const std::vector<std::uint64_t> counts = hist->bucket_counts();
+    // Cumulative le-convention counts — the same numbers the Prometheus
+    // exposition serves, so the two surfaces agree on boundary-exact
+    // samples and the final "inf" bucket always equals "count".
+    const std::vector<std::uint64_t> counts = hist->cumulative_counts();
     for (std::size_t i = 0; i < counts.size(); ++i) {
       if (i != 0) out += ", ";
       out += "{\"le\": ";

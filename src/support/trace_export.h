@@ -11,8 +11,10 @@
 //    histograms) plus the fleet per-phase latency aggregation
 //    (p50/p95/p99 wall time per phase) as one JSON object.
 //
-// Export after the scans writing the traces have completed; see
-// Telemetry::traces().
+// Both exports read traces through ScanTrace::snapshot(), so they are
+// safe to call while scans are still running (live traces render with
+// their spans still open). Traces begun with a request trace ID carry
+// it as a "trace_id" arg on every emitted event.
 #pragma once
 
 #include <string>
@@ -33,11 +35,15 @@ struct ChromeTraceOptions {
 // {
 //   "counters": { "name": N, ... },
 //   "gauges": { "name": X, ... },
+//   "exemplars": { "name": "trace_id", ... },
 //   "histograms": { "name": { "count": N, "sum": X, "min": X, "max": X,
 //                             "buckets": [ { "le": X|"inf", "count": N } ] } },
 //   "phases": [ { "phase": "...", "count": N, "total_ms": X,
 //                 "p50_ms": X, "p95_ms": X, "p99_ms": X, "max_ms": X } ]
 // }
+// Histogram buckets are cumulative ("le" convention, matching the
+// Prometheus exposition in prom_export.h): each bucket counts samples
+// <= its bound and the final "inf" bucket equals "count".
 [[nodiscard]] std::string metrics_to_json(const Telemetry& telemetry);
 
 }  // namespace uchecker::telemetry

@@ -24,7 +24,9 @@
 #include "service/scan_server.h"
 #include "support/fault_injector.h"
 #include "support/jsonlite.h"
+#include "support/logging.h"
 #include "support/telemetry.h"
+#include "support/trace_export.h"
 
 namespace uchecker::service {
 namespace {
@@ -341,13 +343,23 @@ TEST_F(ServiceTest, BackpressureRejectsWhenQueueFull) {
 
 TEST_F(ServiceTest, WatchdogCancelsWedgedScanAndQuarantines) {
   telemetry::Telemetry telemetry;
+  logging::Logger logger;
+  std::vector<std::string> log_lines;
+  logger.set_sink([&log_lines](const std::string& line) {
+    log_lines.push_back(line);
+  });
   ServiceOptions options = base_options();
   options.workers = 1;
   options.request_timeout = 50ms;
   options.watchdog_grace = 50ms;
   options.watchdog_poll = 10ms;
   options.telemetry = &telemetry;
+  // Per-scan telemetry feeds the flight recorder (phase transitions are
+  // mirrored off the scan trace), exactly as scand wires it.
+  options.scan.telemetry = &telemetry;
+  options.logger = &logger;
   const core::Application app = synth("wedged", true);
+  const std::string key = ScanService::verdict_key(app, options.scan);
   {
     ScanService service(options);
     ASSERT_TRUE(service.start());
@@ -362,11 +374,38 @@ TEST_F(ServiceTest, WatchdogCancelsWedgedScanAndQuarantines) {
     EXPECT_LT(elapsed, 1s);
     EXPECT_EQ(outcome->report.verdict, core::Verdict::kAnalysisError);
     EXPECT_TRUE(outcome->quarantined);
+    EXPECT_FALSE(outcome->trace_id.empty());
     EXPECT_GE(telemetry.metrics()
                   .counter("scand.watchdog_cancellations")
                   .value(),
               1u);
     EXPECT_TRUE(service.is_quarantined(app));
+
+    // The watchdog dumped the wedged worker's flight recorder next to
+    // the quarantine entry, naming the phase the scan was stuck in.
+    const std::string dump_path = state_dir() + "/flightrec-" + key + ".json";
+    ASSERT_TRUE(fs::exists(dump_path)) << dump_path;
+    std::ifstream dump_in(dump_path);
+    std::ostringstream dump_buf;
+    dump_buf << dump_in.rdbuf();
+    const auto dump = jsonlite::parse(dump_buf.str());
+    ASSERT_TRUE(dump.has_value()) << dump_buf.str();
+    const jsonlite::Value* wedged_phase = dump->find("wedged_phase");
+    ASSERT_NE(wedged_phase, nullptr);
+    ASSERT_TRUE(wedged_phase->is_string()) << dump_buf.str();
+    EXPECT_EQ(wedged_phase->str(), "interp") << dump_buf.str();
+
+    // And logged the cancellation with the same wedged phase.
+    bool saw_watchdog_line = false;
+    for (const std::string& line : log_lines) {
+      const auto parsed = jsonlite::parse(line);
+      ASSERT_TRUE(parsed.has_value()) << line;
+      if (parsed->find("event")->str() != "watchdog_cancel") continue;
+      saw_watchdog_line = true;
+      EXPECT_EQ(parsed->find("trace_id")->str(), outcome->trace_id);
+      EXPECT_EQ(parsed->find("wedged_phase")->str(), "interp");
+    }
+    EXPECT_TRUE(saw_watchdog_line);
 
     // Same content again: answered from quarantine, no scan attempted.
     FaultInjector::instance().disarm_all();
@@ -388,6 +427,101 @@ TEST_F(ServiceTest, WatchdogCancelsWedgedScanAndQuarantines) {
   ASSERT_TRUE(restarted.start());
   EXPECT_TRUE(restarted.is_quarantined(app));
   restarted.stop();
+}
+
+TEST_F(ServiceTest, TraceIdPropagatesEndToEnd) {
+  telemetry::Telemetry telemetry;
+  logging::Logger logger;
+  std::vector<std::string> log_lines;
+  logger.set_sink([&log_lines](const std::string& line) {
+    log_lines.push_back(line);
+  });
+  ServiceOptions options = base_options();
+  options.telemetry = &telemetry;
+  options.scan.telemetry = &telemetry;
+  options.logger = &logger;
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+  const core::Application app = synth("traced", true);
+
+  const auto cold = service.scan(app, "feedc0dedeadbeef");
+  ASSERT_TRUE(cold.has_value());
+  // One ID all the way through: the outcome envelope, the parsed
+  // report, the stored/rendered report JSON, the metric exemplar, and
+  // the request_done log line.
+  EXPECT_EQ(cold->trace_id, "feedc0dedeadbeef");
+  EXPECT_EQ(cold->report.trace_id, "feedc0dedeadbeef");
+  EXPECT_NE(cold->report_json.find("\"trace_id\": \"feedc0dedeadbeef\""),
+            std::string::npos);
+  const auto exemplars = telemetry.metrics().exemplars();
+  const auto request_exemplar = exemplars.find("scand.request_ms");
+  ASSERT_NE(request_exemplar, exemplars.end());
+  EXPECT_EQ(request_exemplar->second, "feedc0dedeadbeef");
+  bool saw_request_line = false;
+  for (const std::string& line : log_lines) {
+    const auto parsed = jsonlite::parse(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    if (parsed->find("event")->str() != "request_done") continue;
+    saw_request_line = true;
+    EXPECT_EQ(parsed->find("trace_id")->str(), "feedc0dedeadbeef");
+  }
+  EXPECT_TRUE(saw_request_line);
+  // The Chrome trace carries the ID in its span args.
+  EXPECT_NE(telemetry::to_chrome_trace_json(telemetry)
+                .find("feedc0dedeadbeef"),
+            std::string::npos);
+
+  // A warm replay serves the original scan's bytes (original trace ID
+  // inside) but the outcome envelope carries *this* request's ID.
+  const auto warm = service.scan(app, "0123456789abcdef");
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_TRUE(warm->from_cache);
+  EXPECT_EQ(warm->trace_id, "0123456789abcdef");
+  EXPECT_EQ(warm->report_json, cold->report_json);
+
+  // No caller-supplied ID: the service mints one, never leaves it empty.
+  const auto minted = service.scan(synth("traced-minted", false));
+  ASSERT_TRUE(minted.has_value());
+  EXPECT_EQ(minted->trace_id.size(), 16u);
+  service.stop();
+}
+
+TEST_F(ServiceTest, TopRequestsRanksByWallTime) {
+  ServiceOptions options = base_options();
+  options.top_history = 8;
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+  const core::Application big = synth("top-big", true);
+  (void)service.scan(big);
+  (void)service.scan(synth("top-small", false));
+  (void)service.scan(big);  // warm hit, near-zero cost
+
+  const auto top = service.top_requests(10);
+  ASSERT_EQ(top.size(), 3u);
+  // Sorted most-expensive first.
+  EXPECT_GE(top[0].total_ms, top[1].total_ms);
+  EXPECT_GE(top[1].total_ms, top[2].total_ms);
+  for (const RequestCost& cost : top) {
+    EXPECT_FALSE(cost.app.empty());
+    EXPECT_EQ(cost.trace_id.size(), 16u);
+    EXPECT_FALSE(cost.verdict.empty());
+  }
+  // The cold scan of the vulnerable app attributes cost to its roots.
+  bool saw_cold_big = false;
+  for (const RequestCost& cost : top) {
+    if (cost.app == big.name && !cost.from_cache) {
+      saw_cold_big = true;
+      EXPECT_FALSE(cost.top_root.empty());
+      EXPECT_GT(cost.solver_calls, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_cold_big);
+  // The bounded history keeps only the newest top_history entries.
+  for (int i = 0; i < 10; ++i) {
+    (void)service.scan(synth("top-filler-" + std::to_string(i), false));
+  }
+  EXPECT_EQ(service.top_requests(100).size(), 8u);
+  service.stop();
 }
 
 TEST_F(ServiceTest, StopDrainsQueuedRequests) {
@@ -543,6 +677,76 @@ TEST_F(ServerTest, SocketScanStatusShutdown) {
   const std::string bye = roundtrip(socket_path(), "{\"op\": \"shutdown\"}");
   EXPECT_NE(bye.find("\"stopping\": true"), std::string::npos);
   runner.join();
+  service.stop();
+}
+
+TEST_F(ServerTest, ObservabilityOps) {
+  telemetry::Telemetry telemetry;
+  ServiceOptions options = base_options();
+  options.telemetry = &telemetry;
+  options.scan.telemetry = &telemetry;
+  ScanService service(options);
+  ASSERT_TRUE(service.start());
+  ScanServer server(service, ServerOptions{socket_path()});
+
+  // ping / status identify the daemon: engine version, pid, uptime.
+  const auto pong = jsonlite::parse(server.handle_request("{\"op\":\"ping\"}"));
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->find("version")->str(), std::string(core::kEngineVersion));
+  EXPECT_DOUBLE_EQ(pong->find("pid")->number(),
+                   static_cast<double>(::getpid()));
+  EXPECT_GE(pong->find("uptime_s")->number(), 0.0);
+  const auto status =
+      jsonlite::parse(server.handle_request("{\"op\":\"status\"}"));
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->find("version")->str(), std::string(core::kEngineVersion));
+
+  // A scan with a client trace ID: echoed in the envelope and stamped
+  // into the report.
+  const fs::path tree = dir_ / "webapp";
+  fs::create_directories(tree);
+  std::ofstream(tree / "upload.php")
+      << "<?php\n"
+         "move_uploaded_file($_FILES['f']['tmp_name'], "
+         "'/u/' . $_FILES['f']['name']);\n";
+  const auto scanned = jsonlite::parse(server.handle_request(
+      "{\"op\": \"scan\", \"path\": \"" + tree.string() +
+      "\", \"trace_id\": \"beefbeefbeefbeef\"}"));
+  ASSERT_TRUE(scanned.has_value());
+  EXPECT_EQ(scanned->find("trace_id")->str(), "beefbeefbeefbeef");
+  EXPECT_EQ(scanned->find("report")->find("trace_id")->str(),
+            "beefbeefbeefbeef");
+
+  // metrics: a Prometheus exposition in the JSON envelope, carrying the
+  // scan's series and its trace-ID exemplar.
+  const auto metrics =
+      jsonlite::parse(server.handle_request("{\"op\":\"metrics\"}"));
+  ASSERT_TRUE(metrics.has_value());
+  ASSERT_NE(metrics->find("metrics"), nullptr);
+  const std::string exposition = metrics->find("metrics")->str();
+  EXPECT_NE(exposition.find("# TYPE uchecker_scand_requests_total counter"),
+            std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("uchecker_engine_info{version=\"" +
+                            std::string(core::kEngineVersion) + "\"} 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("trace_id=\"beefbeefbeefbeef\""),
+            std::string::npos);
+  EXPECT_NE(exposition.find("uchecker_process_uptime_seconds"),
+            std::string::npos);
+
+  // top: the scan shows up as the most expensive recent request.
+  const auto top =
+      jsonlite::parse(server.handle_request("{\"op\": \"top\", \"n\": 5}"));
+  ASSERT_TRUE(top.has_value());
+  const jsonlite::Value* requests = top->find("requests");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_TRUE(requests->is_array());
+  ASSERT_GE(requests->items().size(), 1u);
+  const jsonlite::Value& first = requests->items()[0];
+  EXPECT_EQ(first.find("trace_id")->str(), "beefbeefbeefbeef");
+  EXPECT_GT(first.find("total_ms")->number(), 0.0);
+  EXPECT_EQ(first.find("top_root")->str(), "upload.php");
   service.stop();
 }
 
