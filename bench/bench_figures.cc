@@ -22,6 +22,7 @@ namespace {
 struct Pipeline {
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // Arena moves preserve AST pointers
   std::vector<phpast::PhpFile> files;
   Program program;
   CallGraph graph;
@@ -30,7 +31,9 @@ struct Pipeline {
   explicit Pipeline(const std::vector<std::pair<std::string, std::string>>& src) {
     for (const auto& [name, content] : src) {
       const FileId id = sources.add_file(name, content);
-      files.push_back(phpparse::parse_php(*sources.file(id), diags));
+      arenas.emplace_back();
+      files.push_back(
+          phpparse::parse_php(*sources.file(id), diags, arenas.back()));
     }
     std::vector<const phpast::PhpFile*> ptrs;
     for (const auto& f : files) ptrs.push_back(&f);

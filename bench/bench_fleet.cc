@@ -61,6 +61,18 @@ int main() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t2)
           .count();
 
+  // Parallel-parse sweep: serial app driver (one app at a time) but each
+  // app's files parsed on the per-file pool. Isolates the front-end
+  // fan-out win from the scan_many app-level parallelism above.
+  ScanOptions pp_options;
+  pp_options.parse_threads = 0;  // auto: hardware concurrency capped at 8
+  Detector pp_detector(pp_options);
+  const auto t3 = std::chrono::steady_clock::now();
+  const std::vector<ScanReport> pparse = scan_many(pp_detector, fleet, 1);
+  const double pparse_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t3)
+          .count();
+
   int found = 0;
   int false_alarms = 0;
   bool verdicts_agree = true;
@@ -71,6 +83,7 @@ int main() {
     if (flagged && !planted[i]) ++false_alarms;
     if (parallel[i].verdict != serial[i].verdict) verdicts_agree = false;
     if (nofilter[i].verdict != serial[i].verdict) prefilter_agrees = false;
+    if (pparse[i].verdict != serial[i].verdict) verdicts_agree = false;
   }
   const int planted_total =
       static_cast<int>(std::count(planted.begin(), planted.end(), true));
@@ -103,6 +116,9 @@ int main() {
               nofilter_s, kFleetSize / nofilter_s);
   std::printf("  parallel : %.2fs (%.1f plugins/s)\n", parallel_s,
               kFleetSize / parallel_s);
+  std::printf("  parallel-parse: %.2fs (%.1f plugins/s; serial driver, "
+              "per-file parse fan-out)\n",
+              pparse_s, kFleetSize / pparse_s);
   std::printf("  prefilter: pruned %zu of %zu root(s), verdicts agree "
               "with unfiltered: %s\n",
               total_pruned, total_roots, prefilter_agrees ? "yes" : "NO");

@@ -5,7 +5,10 @@
 // phases on a representative corpus app so the cost structure is visible.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "core/callgraph/callgraph.h"
 #include "core/callgraph/locality.h"
@@ -13,10 +16,57 @@
 #include "core/interp/interp.h"
 #include "core/translate/translate.h"
 #include "core/vulnmodel/vulnmodel.h"
+#include "bench/prearena/lexer.h"
+#include "bench/prearena/parser.h"
 #include "corpus/corpus.h"
+#include "phplex/lexer.h"
+#include "phpparse/parse_pool.h"
 #include "phpparse/parser.h"
 #include "smt/solver.h"
 #include "support/telemetry.h"
+
+// Binary-wide allocation counter so BM_Lex can prove the "lexing never
+// heap-allocates per token" contract as a measured number instead of a
+// comment. Arena blocks come from std::malloc and are deliberately NOT
+// counted — the counter sees exactly the operator-new traffic the arena
+// was introduced to eliminate.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -33,6 +83,7 @@ const corpus::CorpusEntry& sample_app() {
 struct Parsed {
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // one per file; moves preserve AST pointers
   std::vector<phpast::PhpFile> files;
   Program program;
 };
@@ -41,7 +92,9 @@ Parsed parse_sample() {
   Parsed p;
   for (const AppFile& f : sample_app().app.files) {
     const FileId id = p.sources.add_file(f.name, f.content);
-    p.files.push_back(phpparse::parse_php(*p.sources.file(id), p.diags));
+    p.arenas.emplace_back();
+    p.files.push_back(
+        phpparse::parse_php(*p.sources.file(id), p.diags, p.arenas.back()));
   }
   std::vector<const phpast::PhpFile*> ptrs;
   for (const auto& f : p.files) ptrs.push_back(&f);
@@ -49,16 +102,143 @@ Parsed parse_sample() {
   return p;
 }
 
+// Arena front end over the sample app: per file, one fresh arena and a
+// full lex+parse. Mirrors BM_ParsePreArena exactly (files registered
+// once outside the loop, statements counted, nothing else) so the
+// BM_ParsePreArena / BM_Parse ratio isolates the front-end rebuild.
 void BM_Parse(benchmark::State& state) {
-  std::uint64_t lines = 0;
-  for (auto _ : state) {
-    Parsed p = parse_sample();
-    benchmark::DoNotOptimize(p.files.size());
-    lines = p.sources.total_loc();
+  SourceManager sources;
+  std::vector<const SourceFile*> files;
+  for (const AppFile& f : sample_app().app.files) {
+    files.push_back(sources.file(sources.add_file(f.name, f.content)));
   }
-  state.counters["loc"] = static_cast<double>(lines);
+  for (auto _ : state) {
+    std::size_t statements = 0;
+    for (const SourceFile* f : files) {
+      DiagnosticSink diags;
+      Arena arena;
+      const phpast::PhpFile file = phpparse::parse_php(*f, diags, arena);
+      statements += file.statements.size();
+    }
+    benchmark::DoNotOptimize(statements);
+  }
+  state.counters["loc"] = static_cast<double>(sources.total_loc());
 }
 BENCHMARK(BM_Parse)->Unit(benchmark::kMillisecond);
+
+// Lexing alone, across every file of the sample app. The contract under
+// test: tokens are arena-backed views, so the only operator-new traffic
+// is the per-file token vector's growth — fractions of an allocation per
+// token, not one-plus (the pre-arena lexer paid a std::string per token
+// and per interpolation part).
+void BM_Lex(benchmark::State& state) {
+  SourceManager sources;
+  std::vector<const SourceFile*> files;
+  std::uint64_t bytes = 0;
+  for (const AppFile& f : sample_app().app.files) {
+    files.push_back(sources.file(sources.add_file(f.name, f.content)));
+    bytes += f.content.size();
+  }
+  std::uint64_t tokens = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    tokens = 0;
+    const std::uint64_t before = heap_allocs();
+    Arena arena;
+    for (const SourceFile* f : files) {
+      DiagnosticSink diags;
+      const auto toks = phplex::lex_file(*f, diags, arena);
+      tokens += toks.size();
+      benchmark::DoNotOptimize(toks.data());
+    }
+    allocs = heap_allocs() - before;
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<std::int64_t>(bytes));
+  }
+  state.counters["tokens"] = static_cast<double>(tokens);
+  state.counters["heap_allocs"] = static_cast<double>(allocs);
+  state.counters["allocs_per_token"] =
+      tokens == 0 ? 0.0
+                  : static_cast<double>(allocs) / static_cast<double>(tokens);
+}
+BENCHMARK(BM_Lex)->Unit(benchmark::kMillisecond);
+
+// The SAME app through the frozen pre-arena front end (bench/prearena/,
+// the PR7-era lexer/parser kept verbatim): per-token std::string copies,
+// unique_ptr AST nodes, per-node owned strings. The BM_Parse /
+// BM_ParsePreArena ratio is the arena speedup, measured in one run on
+// one machine — ci/check.sh step 10 gates it.
+void BM_ParsePreArena(benchmark::State& state) {
+  SourceManager sources;
+  std::vector<const SourceFile*> files;
+  for (const AppFile& f : sample_app().app.files) {
+    files.push_back(sources.file(sources.add_file(f.name, f.content)));
+  }
+  for (auto _ : state) {
+    std::size_t statements = 0;
+    for (const SourceFile* f : files) {
+      DiagnosticSink diags;
+      const prearena::phpast::PhpFile file =
+          prearena::phpparse::parse_php(*f, diags);
+      statements += file.statements.size();
+    }
+    benchmark::DoNotOptimize(statements);
+  }
+}
+BENCHMARK(BM_ParsePreArena)->Unit(benchmark::kMillisecond);
+
+// Pre-arena lexing alone: the per-token allocation churn BM_Lex proves
+// gone (compare the two allocs_per_token counters).
+void BM_LexPreArena(benchmark::State& state) {
+  SourceManager sources;
+  std::vector<const SourceFile*> files;
+  for (const AppFile& f : sample_app().app.files) {
+    files.push_back(sources.file(sources.add_file(f.name, f.content)));
+  }
+  std::uint64_t tokens = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    tokens = 0;
+    const std::uint64_t before = heap_allocs();
+    for (const SourceFile* f : files) {
+      DiagnosticSink diags;
+      const auto toks = prearena::phplex::lex_file(*f, diags);
+      tokens += toks.size();
+      benchmark::DoNotOptimize(toks.data());
+    }
+    allocs = heap_allocs() - before;
+  }
+  state.counters["tokens"] = static_cast<double>(tokens);
+  state.counters["heap_allocs"] = static_cast<double>(allocs);
+  state.counters["allocs_per_token"] =
+      tokens == 0 ? 0.0
+                  : static_cast<double>(allocs) / static_cast<double>(tokens);
+}
+BENCHMARK(BM_LexPreArena)->Unit(benchmark::kMillisecond);
+
+// Per-file parse fan-out on the same app: the parse pool with 1..N
+// workers, one arena per file. Thread count 1 is the serial baseline the
+// speedup is measured against.
+void BM_ParseParallel(benchmark::State& state) {
+  SourceManager sources;
+  std::vector<const SourceFile*> files;
+  for (const AppFile& f : sample_app().app.files) {
+    files.push_back(sources.file(sources.add_file(f.name, f.content)));
+  }
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto units = phpparse::parse_files(files, threads);
+    benchmark::DoNotOptimize(units.size());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["files"] = static_cast<double>(files.size());
+}
+BENCHMARK(BM_ParseParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CallGraphAndLocality(benchmark::State& state) {
   Parsed p = parse_sample();

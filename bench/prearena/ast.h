@@ -1,3 +1,11 @@
+// FROZEN pre-arena reference front end — measurement baseline only.
+//
+// This is the PR7-era (pre-arena) lexer/parser/AST, kept verbatim under
+// the uchecker::prearena namespace so bench_micro can measure the
+// arena front end against its real predecessor in the same run, on the
+// same machine, with the same compiler. ci/check.sh step 10 gates the
+// BM_Parse / BM_ParsePreArena ratio. Never include this from src/ and
+// never "improve" it: its only value is being the unchanged baseline.
 // Abstract syntax tree for the PHP subset interpreted by UChecker.
 //
 // The AST deliberately mirrors the paper's Table I core syntax (constants,
@@ -8,41 +16,26 @@
 // isset/empty, ternary, casts, and interpolated strings (desugared to
 // concatenation by the parser).
 //
-// Ownership model: every node, child list and string payload of one
-// parsed file lives in a single bump Arena (support/arena.h). Nodes hold
-// raw `Node*` children and `std::string_view` names/literals backed by
-// the arena's copy of the source buffer (or by arena-allocated decoded
-// buffers); nothing in the tree owns heap memory, so the whole AST is
-// trivially destructible and freed wholesale with its arena. Node
-// pointers stay valid for exactly the arena's lifetime — consumers that
-// must outlive the arena (reports, call-graph names, heap-graph labels)
-// copy what they keep.
-//
 // Every node carries a SourceLoc; the symbolic interpreter propagates it
 // into heap-graph objects so reports can cite exact source lines.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
 
-#include "support/arena.h"
 #include "support/source.h"
 
-namespace uchecker::phpast {
+namespace uchecker::prearena::phpast {
 
 class Node;
 class Expr;
 class Stmt;
 
-// Raw arena pointers. The aliases keep the historical names from the
-// unique_ptr era; ownership is the arena's, never the holder's.
-using ExprPtr = Expr*;
-using StmtPtr = Stmt*;
-using ExprList = Span<ExprPtr>;
-using StmtList = Span<StmtPtr>;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
 
 enum class NodeKind : std::uint8_t {
   // Expressions
@@ -62,21 +55,13 @@ enum class NodeKind : std::uint8_t {
 
 [[nodiscard]] std::string_view node_kind_name(NodeKind kind);
 
-// Nodes are non-virtual (no RTTI), so expression-ness is a kind-range
-// check: every expression kind precedes kExprStmt in the enum.
-[[nodiscard]] constexpr bool is_expr_kind(NodeKind kind) {
-  return kind < NodeKind::kExprStmt;
-}
-
 // -------------------------------------------------------------------------
-// Base classes. Deliberately non-virtual: nodes are placement-allocated
-// in an arena and never destroyed or deleted through a base pointer, and
-// dropping the vtable keeps them trivially destructible and 8 bytes
-// smaller. Downcasts dispatch on kind().
+// Base classes
 
 class Node {
  public:
   Node(NodeKind kind, SourceLoc loc) : kind_(kind), loc_(loc) {}
+  virtual ~Node() = default;
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -130,34 +115,36 @@ class FloatLit final : public Expr {
 
 class StringLit final : public Expr {
  public:
-  StringLit(SourceLoc loc, std::string_view value)
-      : Expr(NodeKind::kStringLit, loc), value(value) {}
-  std::string_view value;  // decoded; arena-backed
+  StringLit(SourceLoc loc, std::string value)
+      : Expr(NodeKind::kStringLit, loc), value(std::move(value)) {}
+  std::string value;
 };
 
 // $name. Superglobals ($_FILES, $_POST, ...) appear here too; the
 // interpreter gives them special treatment.
 class Variable final : public Expr {
  public:
-  Variable(SourceLoc loc, std::string_view name)
-      : Expr(NodeKind::kVariable, loc), name(name) {}
-  std::string_view name;  // without the leading '$'
+  Variable(SourceLoc loc, std::string name)
+      : Expr(NodeKind::kVariable, loc), name(std::move(name)) {}
+  std::string name;  // without the leading '$'
 };
 
 // A bare identifier used as an expression: PHP constants such as
 // PATHINFO_EXTENSION, __DIR__, UPLOAD_ERR_OK, or class constants.
 class ConstFetch final : public Expr {
  public:
-  ConstFetch(SourceLoc loc, std::string_view name)
-      : Expr(NodeKind::kConstFetch, loc), name(name) {}
-  std::string_view name;
+  ConstFetch(SourceLoc loc, std::string name)
+      : Expr(NodeKind::kConstFetch, loc), name(std::move(name)) {}
+  std::string name;
 };
 
 // base[index]; index may be null for the push form `$a[] = v`.
 class ArrayAccess final : public Expr {
  public:
   ArrayAccess(SourceLoc loc, ExprPtr base, ExprPtr index)
-      : Expr(NodeKind::kArrayAccess, loc), base(base), index(index) {}
+      : Expr(NodeKind::kArrayAccess, loc),
+        base(std::move(base)),
+        index(std::move(index)) {}
   ExprPtr base;
   ExprPtr index;  // may be null
 };
@@ -165,10 +152,12 @@ class ArrayAccess final : public Expr {
 // base->name (property read). Dynamic property names are not modeled.
 class PropertyAccess final : public Expr {
  public:
-  PropertyAccess(SourceLoc loc, ExprPtr base, std::string_view name)
-      : Expr(NodeKind::kPropertyAccess, loc), base(base), name(name) {}
+  PropertyAccess(SourceLoc loc, ExprPtr base, std::string name)
+      : Expr(NodeKind::kPropertyAccess, loc),
+        base(std::move(base)),
+        name(std::move(name)) {}
   ExprPtr base;
-  std::string_view name;
+  std::string name;
 };
 
 enum class UnaryOp : std::uint8_t {
@@ -180,7 +169,7 @@ enum class UnaryOp : std::uint8_t {
 class Unary final : public Expr {
  public:
   Unary(SourceLoc loc, UnaryOp op, ExprPtr operand)
-      : Expr(NodeKind::kUnary, loc), op(op), operand(operand) {}
+      : Expr(NodeKind::kUnary, loc), op(op), operand(std::move(operand)) {}
   UnaryOp op;
   ExprPtr operand;
 };
@@ -198,7 +187,10 @@ enum class BinaryOp : std::uint8_t {
 class Binary final : public Expr {
  public:
   Binary(SourceLoc loc, BinaryOp op, ExprPtr lhs, ExprPtr rhs)
-      : Expr(NodeKind::kBinary, loc), op(op), lhs(lhs), rhs(rhs) {}
+      : Expr(NodeKind::kBinary, loc),
+        op(op),
+        lhs(std::move(lhs)),
+        rhs(std::move(rhs)) {}
   BinaryOp op;
   ExprPtr lhs;
   ExprPtr rhs;
@@ -210,8 +202,8 @@ class Assign final : public Expr {
   Assign(SourceLoc loc, ExprPtr target, ExprPtr value,
          std::optional<BinaryOp> compound_op = std::nullopt, bool by_ref = false)
       : Expr(NodeKind::kAssign, loc),
-        target(target),
-        value(value),
+        target(std::move(target)),
+        value(std::move(value)),
         compound_op(compound_op),
         by_ref(by_ref) {}
   ExprPtr target;
@@ -225,9 +217,9 @@ class Ternary final : public Expr {
  public:
   Ternary(SourceLoc loc, ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr)
       : Expr(NodeKind::kTernary, loc),
-        cond(cond),
-        then_expr(then_expr),
-        else_expr(else_expr) {}
+        cond(std::move(cond)),
+        then_expr(std::move(then_expr)),
+        else_expr(std::move(else_expr)) {}
   ExprPtr cond;
   ExprPtr then_expr;  // may be null (Elvis operator)
   ExprPtr else_expr;
@@ -241,7 +233,7 @@ enum class CastKind : std::uint8_t {
 class Cast final : public Expr {
  public:
   Cast(SourceLoc loc, CastKind cast, ExprPtr operand)
-      : Expr(NodeKind::kCast, loc), cast(cast), operand(operand) {}
+      : Expr(NodeKind::kCast, loc), cast(cast), operand(std::move(operand)) {}
   CastKind cast;
   ExprPtr operand;
 };
@@ -250,75 +242,81 @@ class Cast final : public Expr {
 // dynamic expression ($f(...), rare; modeled as unknown).
 class Call final : public Expr {
  public:
-  Call(SourceLoc loc, std::string_view callee, ExprList args)
-      : Expr(NodeKind::kCall, loc), callee(callee), args(args) {}
-  Call(SourceLoc loc, ExprPtr callee_expr, ExprList args)
-      : Expr(NodeKind::kCall, loc), callee_expr(callee_expr), args(args) {}
-  std::string_view callee;         // lowercased function name; empty if dynamic
-  ExprPtr callee_expr = nullptr;   // non-null iff dynamic call
-  ExprList args;
+  Call(SourceLoc loc, std::string callee, std::vector<ExprPtr> args)
+      : Expr(NodeKind::kCall, loc),
+        callee(std::move(callee)),
+        args(std::move(args)) {}
+  Call(SourceLoc loc, ExprPtr callee_expr, std::vector<ExprPtr> args)
+      : Expr(NodeKind::kCall, loc),
+        callee_expr(std::move(callee_expr)),
+        args(std::move(args)) {}
+  std::string callee;    // lowercase-insensitive function name; empty if dynamic
+  ExprPtr callee_expr;   // non-null iff dynamic call
+  std::vector<ExprPtr> args;
 
   [[nodiscard]] bool is_dynamic() const { return callee_expr != nullptr; }
 };
 
 class MethodCall final : public Expr {
  public:
-  MethodCall(SourceLoc loc, ExprPtr object, std::string_view method,
-             ExprList args)
+  MethodCall(SourceLoc loc, ExprPtr object, std::string method,
+             std::vector<ExprPtr> args)
       : Expr(NodeKind::kMethodCall, loc),
-        object(object),
-        method(method),
-        args(args) {}
+        object(std::move(object)),
+        method(std::move(method)),
+        args(std::move(args)) {}
   ExprPtr object;
-  std::string_view method;
-  ExprList args;
+  std::string method;
+  std::vector<ExprPtr> args;
 };
 
 class StaticCall final : public Expr {
  public:
-  StaticCall(SourceLoc loc, std::string_view class_name,
-             std::string_view method, ExprList args)
+  StaticCall(SourceLoc loc, std::string class_name, std::string method,
+             std::vector<ExprPtr> args)
       : Expr(NodeKind::kStaticCall, loc),
-        class_name(class_name),
-        method(method),
-        args(args) {}
-  std::string_view class_name;
-  std::string_view method;
-  ExprList args;
+        class_name(std::move(class_name)),
+        method(std::move(method)),
+        args(std::move(args)) {}
+  std::string class_name;
+  std::string method;
+  std::vector<ExprPtr> args;
 };
 
 class New final : public Expr {
  public:
-  New(SourceLoc loc, std::string_view class_name, ExprList args)
-      : Expr(NodeKind::kNew, loc), class_name(class_name), args(args) {}
-  std::string_view class_name;
-  ExprList args;
+  New(SourceLoc loc, std::string class_name, std::vector<ExprPtr> args)
+      : Expr(NodeKind::kNew, loc),
+        class_name(std::move(class_name)),
+        args(std::move(args)) {}
+  std::string class_name;
+  std::vector<ExprPtr> args;
 };
 
 // array(k => v, ...) or [v, ...].
 struct ArrayItem {
-  ExprPtr key = nullptr;  // may be null
-  ExprPtr value = nullptr;
+  ExprPtr key;  // may be null
+  ExprPtr value;
 };
 
 class ArrayLit final : public Expr {
  public:
-  ArrayLit(SourceLoc loc, Span<ArrayItem> items)
-      : Expr(NodeKind::kArrayLit, loc), items(items) {}
-  Span<ArrayItem> items;
+  ArrayLit(SourceLoc loc, std::vector<ArrayItem> items)
+      : Expr(NodeKind::kArrayLit, loc), items(std::move(items)) {}
+  std::vector<ArrayItem> items;
 };
 
 class Isset final : public Expr {
  public:
-  Isset(SourceLoc loc, ExprList operands)
-      : Expr(NodeKind::kIsset, loc), operands(operands) {}
-  ExprList operands;
+  Isset(SourceLoc loc, std::vector<ExprPtr> operands)
+      : Expr(NodeKind::kIsset, loc), operands(std::move(operands)) {}
+  std::vector<ExprPtr> operands;
 };
 
 class Empty final : public Expr {
  public:
   Empty(SourceLoc loc, ExprPtr operand)
-      : Expr(NodeKind::kEmpty, loc), operand(operand) {}
+      : Expr(NodeKind::kEmpty, loc), operand(std::move(operand)) {}
   ExprPtr operand;
 };
 
@@ -332,7 +330,7 @@ class IncludeExpr final : public Expr {
   IncludeExpr(SourceLoc loc, IncludeKind include_kind, ExprPtr path)
       : Expr(NodeKind::kIncludeExpr, loc),
         include_kind(include_kind),
-        path(path) {}
+        path(std::move(path)) {}
   IncludeKind include_kind;
   ExprPtr path;
 };
@@ -341,16 +339,16 @@ class IncludeExpr final : public Expr {
 class ExitExpr final : public Expr {
  public:
   ExitExpr(SourceLoc loc, ExprPtr operand)
-      : Expr(NodeKind::kExitExpr, loc), operand(operand) {}
+      : Expr(NodeKind::kExitExpr, loc), operand(std::move(operand)) {}
   ExprPtr operand;  // may be null
 };
 
 // list($a, $b) destructuring target.
 class ListExpr final : public Expr {
  public:
-  ListExpr(SourceLoc loc, ExprList elements)
-      : Expr(NodeKind::kListExpr, loc), elements(elements) {}
-  ExprList elements;  // entries may be null (skipped slots)
+  ListExpr(SourceLoc loc, std::vector<ExprPtr> elements)
+      : Expr(NodeKind::kListExpr, loc), elements(std::move(elements)) {}
+  std::vector<ExprPtr> elements;  // entries may be null (skipped slots)
 };
 
 // -------------------------------------------------------------------------
@@ -359,102 +357,109 @@ class ListExpr final : public Expr {
 class ExprStmt final : public Stmt {
  public:
   ExprStmt(SourceLoc loc, ExprPtr expr)
-      : Stmt(NodeKind::kExprStmt, loc), expr(expr) {}
+      : Stmt(NodeKind::kExprStmt, loc), expr(std::move(expr)) {}
   ExprPtr expr;
 };
 
 class Echo final : public Stmt {
  public:
-  Echo(SourceLoc loc, ExprList values)
-      : Stmt(NodeKind::kEcho, loc), values(values) {}
-  ExprList values;
+  Echo(SourceLoc loc, std::vector<ExprPtr> values)
+      : Stmt(NodeKind::kEcho, loc), values(std::move(values)) {}
+  std::vector<ExprPtr> values;
 };
 
 struct ElseIfClause {
-  ExprPtr cond = nullptr;
-  StmtList body;
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
 };
 
 class If final : public Stmt {
  public:
-  If(SourceLoc loc, ExprPtr cond, StmtList then_body,
-     Span<ElseIfClause> elseifs, StmtList else_body, bool has_else)
+  If(SourceLoc loc, ExprPtr cond, std::vector<StmtPtr> then_body,
+     std::vector<ElseIfClause> elseifs, std::vector<StmtPtr> else_body,
+     bool has_else)
       : Stmt(NodeKind::kIf, loc),
-        cond(cond),
-        then_body(then_body),
-        elseifs(elseifs),
-        else_body(else_body),
+        cond(std::move(cond)),
+        then_body(std::move(then_body)),
+        elseifs(std::move(elseifs)),
+        else_body(std::move(else_body)),
         has_else(has_else) {}
   ExprPtr cond;
-  StmtList then_body;
-  Span<ElseIfClause> elseifs;
-  StmtList else_body;
+  std::vector<StmtPtr> then_body;
+  std::vector<ElseIfClause> elseifs;
+  std::vector<StmtPtr> else_body;
   bool has_else;
 };
 
 class While final : public Stmt {
  public:
-  While(SourceLoc loc, ExprPtr cond, StmtList body)
-      : Stmt(NodeKind::kWhile, loc), cond(cond), body(body) {}
+  While(SourceLoc loc, ExprPtr cond, std::vector<StmtPtr> body)
+      : Stmt(NodeKind::kWhile, loc),
+        cond(std::move(cond)),
+        body(std::move(body)) {}
   ExprPtr cond;
-  StmtList body;
+  std::vector<StmtPtr> body;
 };
 
 class DoWhile final : public Stmt {
  public:
-  DoWhile(SourceLoc loc, StmtList body, ExprPtr cond)
-      : Stmt(NodeKind::kDoWhile, loc), body(body), cond(cond) {}
-  StmtList body;
+  DoWhile(SourceLoc loc, std::vector<StmtPtr> body, ExprPtr cond)
+      : Stmt(NodeKind::kDoWhile, loc),
+        body(std::move(body)),
+        cond(std::move(cond)) {}
+  std::vector<StmtPtr> body;
   ExprPtr cond;
 };
 
 class For final : public Stmt {
  public:
-  For(SourceLoc loc, ExprList init, ExprList cond, ExprList step,
-      StmtList body)
+  For(SourceLoc loc, std::vector<ExprPtr> init, std::vector<ExprPtr> cond,
+      std::vector<ExprPtr> step, std::vector<StmtPtr> body)
       : Stmt(NodeKind::kFor, loc),
-        init(init),
-        cond(cond),
-        step(step),
-        body(body) {}
-  ExprList init;
-  ExprList cond;
-  ExprList step;
-  StmtList body;
+        init(std::move(init)),
+        cond(std::move(cond)),
+        step(std::move(step)),
+        body(std::move(body)) {}
+  std::vector<ExprPtr> init;
+  std::vector<ExprPtr> cond;
+  std::vector<ExprPtr> step;
+  std::vector<StmtPtr> body;
 };
 
 class Foreach final : public Stmt {
  public:
   Foreach(SourceLoc loc, ExprPtr iterable, ExprPtr key_var, ExprPtr value_var,
-          StmtList body)
+          std::vector<StmtPtr> body)
       : Stmt(NodeKind::kForeach, loc),
-        iterable(iterable),
-        key_var(key_var),
-        value_var(value_var),
-        body(body) {}
+        iterable(std::move(iterable)),
+        key_var(std::move(key_var)),
+        value_var(std::move(value_var)),
+        body(std::move(body)) {}
   ExprPtr iterable;
   ExprPtr key_var;    // may be null
   ExprPtr value_var;  // target for each element
-  StmtList body;
+  std::vector<StmtPtr> body;
 };
 
 struct SwitchCase {
-  ExprPtr match = nullptr;  // null for `default:`
-  StmtList body;
+  ExprPtr match;  // null for `default:`
+  std::vector<StmtPtr> body;
 };
 
 class Switch final : public Stmt {
  public:
-  Switch(SourceLoc loc, ExprPtr subject, Span<SwitchCase> cases)
-      : Stmt(NodeKind::kSwitch, loc), subject(subject), cases(cases) {}
+  Switch(SourceLoc loc, ExprPtr subject, std::vector<SwitchCase> cases)
+      : Stmt(NodeKind::kSwitch, loc),
+        subject(std::move(subject)),
+        cases(std::move(cases)) {}
   ExprPtr subject;
-  Span<SwitchCase> cases;
+  std::vector<SwitchCase> cases;
 };
 
 class Return final : public Stmt {
  public:
   Return(SourceLoc loc, ExprPtr value)
-      : Stmt(NodeKind::kReturn, loc), value(value) {}
+      : Stmt(NodeKind::kReturn, loc), value(std::move(value)) {}
   ExprPtr value;  // may be null
 };
 
@@ -470,147 +475,140 @@ class Continue final : public Stmt {
 
 class Global final : public Stmt {
  public:
-  Global(SourceLoc loc, Span<std::string_view> names)
-      : Stmt(NodeKind::kGlobal, loc), names(names) {}
-  Span<std::string_view> names;
+  Global(SourceLoc loc, std::vector<std::string> names)
+      : Stmt(NodeKind::kGlobal, loc), names(std::move(names)) {}
+  std::vector<std::string> names;
 };
 
 class StaticVarStmt final : public Stmt {
  public:
-  StaticVarStmt(SourceLoc loc, std::string_view name, ExprPtr init)
-      : Stmt(NodeKind::kStaticVarStmt, loc), name(name), init(init) {}
-  std::string_view name;
+  StaticVarStmt(SourceLoc loc, std::string name, ExprPtr init)
+      : Stmt(NodeKind::kStaticVarStmt, loc),
+        name(std::move(name)),
+        init(std::move(init)) {}
+  std::string name;
   ExprPtr init;  // may be null
 };
 
 class UnsetStmt final : public Stmt {
  public:
-  UnsetStmt(SourceLoc loc, ExprList operands)
-      : Stmt(NodeKind::kUnsetStmt, loc), operands(operands) {}
-  ExprList operands;
+  UnsetStmt(SourceLoc loc, std::vector<ExprPtr> operands)
+      : Stmt(NodeKind::kUnsetStmt, loc), operands(std::move(operands)) {}
+  std::vector<ExprPtr> operands;
 };
 
 class Block final : public Stmt {
  public:
-  Block(SourceLoc loc, StmtList body)
-      : Stmt(NodeKind::kBlock, loc), body(body) {}
-  StmtList body;
+  Block(SourceLoc loc, std::vector<StmtPtr> body)
+      : Stmt(NodeKind::kBlock, loc), body(std::move(body)) {}
+  std::vector<StmtPtr> body;
 };
 
 struct Param {
-  std::string_view name;
-  ExprPtr default_value = nullptr;  // may be null
+  std::string name;
+  ExprPtr default_value;  // may be null
   bool by_ref = false;
-  std::string_view type_hint;  // informational only
+  std::string type_hint;  // informational only
 };
 
 class FunctionDecl final : public Stmt {
  public:
-  FunctionDecl(SourceLoc loc, std::string_view name, Span<Param> params,
-               StmtList body)
+  FunctionDecl(SourceLoc loc, std::string name, std::vector<Param> params,
+               std::vector<StmtPtr> body)
       : Stmt(NodeKind::kFunctionDecl, loc),
-        name(name),
-        params(params),
-        body(body) {}
-  std::string_view name;
-  Span<Param> params;
-  StmtList body;
+        name(std::move(name)),
+        params(std::move(params)),
+        body(std::move(body)) {}
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
 };
 
 // Anonymous function (closure). Shares Param with FunctionDecl.
 class Closure final : public Expr {
  public:
-  Closure(SourceLoc loc, Span<Param> params, Span<std::string_view> uses,
-          StmtList body)
+  Closure(SourceLoc loc, std::vector<Param> params,
+          std::vector<std::string> uses, std::vector<StmtPtr> body)
       : Expr(NodeKind::kClosure, loc),
-        params(params),
-        uses(uses),
-        body(body) {}
-  Span<Param> params;
-  Span<std::string_view> uses;
-  StmtList body;
+        params(std::move(params)),
+        uses(std::move(uses)),
+        body(std::move(body)) {}
+  std::vector<Param> params;
+  std::vector<std::string> uses;
+  std::vector<StmtPtr> body;
 };
 
 struct PropertyDecl {
-  std::string_view name;
-  ExprPtr default_value = nullptr;  // may be null
+  std::string name;
+  ExprPtr default_value;  // may be null
   bool is_static = false;
 };
 
 class ClassDecl final : public Stmt {
  public:
-  ClassDecl(SourceLoc loc, std::string_view name, std::string_view parent,
-            Span<PropertyDecl> properties, Span<FunctionDecl*> methods)
+  ClassDecl(SourceLoc loc, std::string name, std::string parent,
+            std::vector<PropertyDecl> properties,
+            std::vector<std::unique_ptr<FunctionDecl>> methods)
       : Stmt(NodeKind::kClassDecl, loc),
-        name(name),
-        parent(parent),
-        properties(properties),
-        methods(methods) {}
-  std::string_view name;
-  std::string_view parent;  // empty if no `extends`
-  Span<PropertyDecl> properties;
-  Span<FunctionDecl*> methods;
+        name(std::move(name)),
+        parent(std::move(parent)),
+        properties(std::move(properties)),
+        methods(std::move(methods)) {}
+  std::string name;
+  std::string parent;  // empty if no `extends`
+  std::vector<PropertyDecl> properties;
+  std::vector<std::unique_ptr<FunctionDecl>> methods;
 };
 
 struct CatchClause {
-  std::string_view exception_class;
-  std::string_view variable;
-  StmtList body;
+  std::string exception_class;
+  std::string variable;
+  std::vector<StmtPtr> body;
 };
 
 class TryCatch final : public Stmt {
  public:
-  TryCatch(SourceLoc loc, StmtList body, Span<CatchClause> catches,
-           StmtList finally_body)
+  TryCatch(SourceLoc loc, std::vector<StmtPtr> body,
+           std::vector<CatchClause> catches, std::vector<StmtPtr> finally_body)
       : Stmt(NodeKind::kTryCatch, loc),
-        body(body),
-        catches(catches),
-        finally_body(finally_body) {}
-  StmtList body;
-  Span<CatchClause> catches;
-  StmtList finally_body;
+        body(std::move(body)),
+        catches(std::move(catches)),
+        finally_body(std::move(finally_body)) {}
+  std::vector<StmtPtr> body;
+  std::vector<CatchClause> catches;
+  std::vector<StmtPtr> finally_body;
 };
 
 class ThrowStmt final : public Stmt {
  public:
   ThrowStmt(SourceLoc loc, ExprPtr value)
-      : Stmt(NodeKind::kThrowStmt, loc), value(value) {}
+      : Stmt(NodeKind::kThrowStmt, loc), value(std::move(value)) {}
   ExprPtr value;
 };
 
 class InlineHtml final : public Stmt {
  public:
-  InlineHtml(SourceLoc loc, std::string_view text)
-      : Stmt(NodeKind::kInlineHtml, loc), text(text) {}
-  std::string_view text;
+  InlineHtml(SourceLoc loc, std::string text)
+      : Stmt(NodeKind::kInlineHtml, loc), text(std::move(text)) {}
+  std::string text;
 };
 
 class NamespaceDecl final : public Stmt {
  public:
-  NamespaceDecl(SourceLoc loc, std::string_view name)
-      : Stmt(NodeKind::kNamespaceDecl, loc), name(name) {}
-  std::string_view name;
+  NamespaceDecl(SourceLoc loc, std::string name)
+      : Stmt(NodeKind::kNamespaceDecl, loc), name(std::move(name)) {}
+  std::string name;
 };
 
 class UseDecl final : public Stmt {
  public:
-  UseDecl(SourceLoc loc, std::string_view path)
-      : Stmt(NodeKind::kUseDecl, loc), path(path) {}
-  std::string_view path;
+  UseDecl(SourceLoc loc, std::string path)
+      : Stmt(NodeKind::kUseDecl, loc), path(std::move(path)) {}
+  std::string path;
 };
 
-// Every node must stay trivially destructible: arena blocks are freed
-// wholesale without running destructors.
-static_assert(std::is_trivially_destructible_v<If>);
-static_assert(std::is_trivially_destructible_v<ClassDecl>);
-static_assert(std::is_trivially_destructible_v<Closure>);
-static_assert(std::is_trivially_destructible_v<Call>);
-static_assert(std::is_trivially_destructible_v<Assign>);
-
 // -------------------------------------------------------------------------
-// A parsed PHP file. The handle itself is an ordinary value (name and
-// top-level statement list are owned normally); every Stmt it points to
-// lives in the Arena the file was parsed with and dies with it.
+// A parsed PHP file.
 
 struct PhpFile {
   FileId file;
@@ -618,4 +616,4 @@ struct PhpFile {
   std::vector<StmtPtr> statements;
 };
 
-}  // namespace uchecker::phpast
+}  // namespace uchecker::prearena::phpast

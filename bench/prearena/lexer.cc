@@ -1,0 +1,689 @@
+// FROZEN pre-arena reference front end — measurement baseline only.
+//
+// This is the PR7-era (pre-arena) lexer/parser/AST, kept verbatim under
+// the uchecker::prearena namespace so bench_micro can measure the
+// arena front end against its real predecessor in the same run, on the
+// same machine, with the same compiler. ci/check.sh step 10 gates the
+// BM_Parse / BM_ParsePreArena ratio. Never include this from src/ and
+// never "improve" it: its only value is being the unchanged baseline.
+#include "bench/prearena/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/strutil.h"
+
+namespace uchecker::prearena::phplex {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+const std::unordered_map<std::string, TokenKind>& keyword_table() {
+  static const auto* table = new std::unordered_map<std::string, TokenKind>{
+      {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},
+      {"elseif", TokenKind::kKwElseif},
+      {"while", TokenKind::kKwWhile},
+      {"for", TokenKind::kKwFor},
+      {"foreach", TokenKind::kKwForeach},
+      {"as", TokenKind::kKwAs},
+      {"function", TokenKind::kKwFunction},
+      {"return", TokenKind::kKwReturn},
+      {"echo", TokenKind::kKwEcho},
+      {"print", TokenKind::kKwPrint},
+      {"global", TokenKind::kKwGlobal},
+      {"static", TokenKind::kKwStatic},
+      {"include", TokenKind::kKwInclude},
+      {"include_once", TokenKind::kKwIncludeOnce},
+      {"require", TokenKind::kKwRequire},
+      {"require_once", TokenKind::kKwRequireOnce},
+      {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+      {"null", TokenKind::kKwNull},
+      {"array", TokenKind::kKwArray},
+      {"list", TokenKind::kKwList},
+      {"isset", TokenKind::kKwIsset},
+      {"empty", TokenKind::kKwEmpty},
+      {"unset", TokenKind::kKwUnset},
+      {"new", TokenKind::kKwNew},
+      {"class", TokenKind::kKwClass},
+      {"public", TokenKind::kKwPublic},
+      {"private", TokenKind::kKwPrivate},
+      {"protected", TokenKind::kKwProtected},
+      {"const", TokenKind::kKwConst},
+      {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue},
+      {"switch", TokenKind::kKwSwitch},
+      {"case", TokenKind::kKwCase},
+      {"default", TokenKind::kKwDefault},
+      {"do", TokenKind::kKwDo},
+      {"and", TokenKind::kKwAnd},
+      {"or", TokenKind::kKwOr},
+      {"xor", TokenKind::kKwXor},
+      {"die", TokenKind::kKwDie},
+      {"exit", TokenKind::kKwExit},
+      {"extends", TokenKind::kKwExtends},
+      {"try", TokenKind::kKwTry},
+      {"catch", TokenKind::kKwCatch},
+      {"finally", TokenKind::kKwFinally},
+      {"throw", TokenKind::kKwThrow},
+      {"namespace", TokenKind::kKwNamespace},
+      {"use", TokenKind::kKwUse},
+      {"instanceof", TokenKind::kKwInstanceof},
+      {"abstract", TokenKind::kKwAbstract},
+      {"final", TokenKind::kKwFinal},
+      {"interface", TokenKind::kKwInterface},
+      {"implements", TokenKind::kKwImplements},
+  };
+  return *table;
+}
+
+}  // namespace
+
+Lexer::Lexer(const SourceFile& file, DiagnosticSink& diags)
+    : file_(file), diags_(diags), src_(file.content()) {}
+
+std::vector<Token> lex_file(const SourceFile& file, DiagnosticSink& diags) {
+  return Lexer(file, diags).lex_all();
+}
+
+char Lexer::peek(std::size_t ahead) const {
+  return (pos_ + ahead < src_.size()) ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  return at_end() ? '\0' : src_[pos_++];
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  ++pos_;
+  return true;
+}
+
+SourceLoc Lexer::loc_here() const { return file_.loc_for_offset(pos_); }
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  while (!at_end()) {
+    if (!in_php_) {
+      lex_inline_html(out);
+    } else {
+      lex_php_token(out);
+    }
+  }
+  Token eof;
+  eof.kind = TokenKind::kEndOfFile;
+  eof.loc = loc_here();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+void Lexer::lex_inline_html(std::vector<Token>& out) {
+  const SourceLoc start = loc_here();
+  const std::size_t begin = pos_;
+  const std::size_t open = src_.find("<?php", pos_);
+  std::size_t html_end;
+  if (open == std::string_view::npos) {
+    // Also accept the short echo tag "<?=" which lexes as echo.
+    const std::size_t short_open = src_.find("<?=", pos_);
+    if (short_open == std::string_view::npos) {
+      html_end = src_.size();
+      pos_ = src_.size();
+    } else {
+      html_end = short_open;
+      pos_ = short_open + 3;
+      in_php_ = true;
+    }
+  } else {
+    html_end = open;
+    pos_ = open + 5;
+    in_php_ = true;
+  }
+  if (html_end > begin) {
+    Token t;
+    t.kind = TokenKind::kInlineHtml;
+    t.loc = start;
+    t.text = std::string(src_.substr(begin, html_end - begin));
+    // Pure-whitespace HTML between code blocks is noise; drop it.
+    if (!strutil::trim(t.text).empty()) out.push_back(std::move(t));
+  }
+  if (in_php_ && open != std::string_view::npos &&
+      src_.substr(pos_ - 5, 5) == "<?php") {
+    // "<?=" emits an implicit echo keyword so `<?= $x ?>` parses.
+  } else if (in_php_) {
+    Token echo;
+    echo.kind = TokenKind::kKwEcho;
+    echo.loc = loc_here();
+    out.push_back(std::move(echo));
+  }
+}
+
+void Lexer::lex_php_token(std::vector<Token>& out) {
+  // Skip whitespace and comments.
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      ++pos_;
+    } else if (c == '/' && peek(1) == '/') {
+      skip_line_comment();
+    } else if (c == '#') {
+      skip_line_comment();
+    } else if (c == '/' && peek(1) == '*') {
+      skip_block_comment();
+    } else {
+      break;
+    }
+  }
+  if (at_end()) return;
+
+  const SourceLoc start = loc_here();
+
+  // Close tag?
+  if (peek() == '?' && peek(1) == '>') {
+    pos_ += 2;
+    in_php_ = false;
+    // PHP treats "?>" as an implicit statement terminator.
+    Token t;
+    t.kind = TokenKind::kSemicolon;
+    t.loc = start;
+    out.push_back(std::move(t));
+    // Skip a single newline immediately following the close tag.
+    if (peek() == '\n') ++pos_;
+    return;
+  }
+
+  const char c = peek();
+  if (c == '$') {
+    if (peek(1) == '{') {
+      pos_ += 2;
+      Token t;
+      t.kind = TokenKind::kDollarBrace;
+      t.loc = start;
+      out.push_back(std::move(t));
+      return;
+    }
+    out.push_back(lex_variable());
+    return;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+    out.push_back(lex_number());
+    return;
+  }
+  if (is_ident_start(c)) {
+    out.push_back(lex_identifier_or_keyword());
+    return;
+  }
+  if (c == '\'') {
+    out.push_back(lex_single_quoted());
+    return;
+  }
+  if (c == '"') {
+    out.push_back(lex_double_quoted());
+    return;
+  }
+  if (c == '<' && peek(1) == '<' && peek(2) == '<') {
+    out.push_back(lex_heredoc());
+    return;
+  }
+
+  ++pos_;
+  Token t;
+  t.loc = start;
+  switch (c) {
+    case '+':
+      t.kind = match('+') ? TokenKind::kPlusPlus
+               : match('=') ? TokenKind::kPlusAssign
+                            : TokenKind::kPlus;
+      break;
+    case '-':
+      t.kind = match('-') ? TokenKind::kMinusMinus
+               : match('=') ? TokenKind::kMinusAssign
+               : match('>') ? TokenKind::kArrow
+                            : TokenKind::kMinus;
+      break;
+    case '*':
+      t.kind = match('*') ? TokenKind::kStarStar
+               : match('=') ? TokenKind::kStarAssign
+                            : TokenKind::kStar;
+      break;
+    case '/':
+      t.kind = match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash;
+      break;
+    case '%':
+      t.kind = match('=') ? TokenKind::kPercentAssign : TokenKind::kPercent;
+      break;
+    case '.':
+      t.kind = match('=') ? TokenKind::kDotAssign : TokenKind::kDot;
+      break;
+    case '=':
+      if (match('=')) {
+        t.kind = match('=') ? TokenKind::kIdentical : TokenKind::kEqual;
+      } else if (match('>')) {
+        t.kind = TokenKind::kDoubleArrow;
+      } else {
+        t.kind = TokenKind::kAssign;
+      }
+      break;
+    case '!':
+      if (match('=')) {
+        t.kind = match('=') ? TokenKind::kNotIdentical : TokenKind::kNotEqual;
+      } else {
+        t.kind = TokenKind::kBang;
+      }
+      break;
+    case '<':
+      if (match('=')) {
+        t.kind = match('>') ? TokenKind::kSpaceship : TokenKind::kLessEqual;
+      } else if (match('<')) {
+        t.kind = TokenKind::kShiftLeft;
+      } else if (match('>')) {
+        t.kind = TokenKind::kNotEqual;  // PHP's "<>"
+      } else {
+        t.kind = TokenKind::kLess;
+      }
+      break;
+    case '>':
+      if (match('=')) {
+        t.kind = TokenKind::kGreaterEqual;
+      } else if (match('>')) {
+        t.kind = TokenKind::kShiftRight;
+      } else {
+        t.kind = TokenKind::kGreater;
+      }
+      break;
+    case '&':
+      t.kind = match('&') ? TokenKind::kAmpAmp : TokenKind::kAmp;
+      break;
+    case '|':
+      t.kind = match('|') ? TokenKind::kPipePipe : TokenKind::kPipe;
+      break;
+    case '^': t.kind = TokenKind::kCaret; break;
+    case '~': t.kind = TokenKind::kTilde; break;
+    case '?':
+      if (match('?')) {
+        t.kind = match('=') ? TokenKind::kCoalesceAssign : TokenKind::kCoalesce;
+      } else {
+        t.kind = TokenKind::kQuestion;
+      }
+      break;
+    case ':':
+      t.kind = match(':') ? TokenKind::kDoubleColon : TokenKind::kColon;
+      break;
+    case '@': t.kind = TokenKind::kAt; break;
+    case ',': t.kind = TokenKind::kComma; break;
+    case ';': t.kind = TokenKind::kSemicolon; break;
+    case '(': t.kind = TokenKind::kLParen; break;
+    case ')': t.kind = TokenKind::kRParen; break;
+    case '[': t.kind = TokenKind::kLBracket; break;
+    case ']': t.kind = TokenKind::kRBracket; break;
+    case '{': t.kind = TokenKind::kLBrace; break;
+    case '}': t.kind = TokenKind::kRBrace; break;
+    case '\\': t.kind = TokenKind::kBackslash; break;
+    default:
+      t.kind = TokenKind::kUnknown;
+      t.text = std::string(1, c);
+      diags_.warning(start, "unexpected character '" + t.text + "'");
+      break;
+  }
+  out.push_back(std::move(t));
+}
+
+Token Lexer::lex_variable() {
+  Token t;
+  t.loc = loc_here();
+  ++pos_;  // consume '$'
+  std::string name;
+  while (!at_end() && is_ident_char(peek())) name += advance();
+  if (name.empty()) {
+    diags_.warning(t.loc, "'$' not followed by a variable name");
+    t.kind = TokenKind::kUnknown;
+    t.text = "$";
+    return t;
+  }
+  t.kind = TokenKind::kVariable;
+  t.text = std::move(name);
+  return t;
+}
+
+Token Lexer::lex_number() {
+  Token t;
+  t.loc = loc_here();
+  std::string digits;
+  bool is_float = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    pos_ += 2;
+    std::int64_t value = 0;
+    while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+      const char c = advance();
+      const int digit = std::isdigit(static_cast<unsigned char>(c))
+                            ? c - '0'
+                            : (std::tolower(c) - 'a' + 10);
+      value = value * 16 + digit;
+    }
+    t.kind = TokenKind::kIntLiteral;
+    t.int_value = value;
+    t.text = std::to_string(value);
+    return t;
+  }
+
+  while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+    digits += advance();
+  }
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    digits += advance();  // '.'
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      digits += advance();
+    }
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    const char sign = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(sign)) ||
+        ((sign == '+' || sign == '-') &&
+         std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      is_float = true;
+      digits += advance();  // 'e'
+      if (peek() == '+' || peek() == '-') digits += advance();
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits += advance();
+      }
+    }
+  }
+  t.text = digits;
+  if (is_float) {
+    t.kind = TokenKind::kFloatLiteral;
+    t.float_value = std::stod(digits);
+  } else {
+    t.kind = TokenKind::kIntLiteral;
+    t.int_value = strutil::php_intval(digits);
+  }
+  return t;
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+  Token t;
+  t.loc = loc_here();
+  std::string name;
+  while (!at_end() && is_ident_char(peek())) name += advance();
+  const auto it = keyword_table().find(strutil::to_lower(name));
+  if (it != keyword_table().end()) {
+    t.kind = it->second;
+  } else {
+    t.kind = TokenKind::kIdentifier;
+  }
+  t.text = std::move(name);
+  return t;
+}
+
+Token Lexer::lex_single_quoted() {
+  Token t;
+  t.loc = loc_here();
+  ++pos_;  // opening quote
+  std::string value;
+  while (!at_end() && peek() != '\'') {
+    char c = advance();
+    if (c == '\\' && (peek() == '\'' || peek() == '\\')) c = advance();
+    value += c;
+  }
+  if (at_end()) {
+    diags_.error(t.loc, "unterminated single-quoted string");
+  } else {
+    ++pos_;  // closing quote
+  }
+  t.kind = TokenKind::kStringLiteral;
+  t.text = std::move(value);
+  return t;
+}
+
+namespace {
+
+// Decodes one escape sequence after a backslash in a double-quoted string.
+char decode_escape(char c) {
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case 'v': return '\v';
+    case 'f': return '\f';
+    case '0': return '\0';
+    default: return c;  // \" \\ \$ and everything else pass through
+  }
+}
+
+}  // namespace
+
+Token Lexer::lex_double_quoted() {
+  const SourceLoc start = loc_here();
+  ++pos_;  // opening quote
+  std::vector<InterpPart> parts;
+  std::string literal;
+
+  auto flush_literal = [&] {
+    if (!literal.empty()) {
+      InterpPart p;
+      p.kind = InterpPart::Kind::kLiteral;
+      p.text = std::move(literal);
+      parts.push_back(std::move(p));
+      literal.clear();
+    }
+  };
+
+  while (!at_end() && peek() != '"') {
+    char c = advance();
+    if (c == '\\' && !at_end()) {
+      literal += decode_escape(advance());
+      continue;
+    }
+    if (c == '$' && is_ident_start(peek())) {
+      flush_literal();
+      InterpPart p;
+      p.kind = InterpPart::Kind::kVariable;
+      while (!at_end() && is_ident_char(peek())) p.text += advance();
+      // Simple syntax allows one [idx] or ->prop suffix.
+      if (peek() == '[') {
+        ++pos_;
+        p.has_index = true;
+        if (peek() == '\'' || peek() == '"') {
+          const char q = advance();
+          while (!at_end() && peek() != q) p.index += advance();
+          if (!at_end()) ++pos_;
+          p.index_is_string = true;
+        } else if (peek() == '$') {
+          // "$a[$i]" — dynamic index; approximate with an empty-string
+          // index marker that the parser turns into a fresh symbol.
+          ++pos_;
+          while (!at_end() && is_ident_char(peek())) p.index += advance();
+          p.index_is_string = true;
+          diags_.warning(start,
+                         "dynamic index in string interpolation approximated");
+        } else {
+          while (!at_end() && peek() != ']') p.index += advance();
+          p.index_is_string =
+              !strutil::parse_int(p.index).has_value();
+        }
+        if (peek() == ']') ++pos_;
+      } else if (peek() == '-' && peek(1) == '>') {
+        pos_ += 2;
+        while (!at_end() && is_ident_char(peek())) p.property += advance();
+      }
+      parts.push_back(std::move(p));
+      continue;
+    }
+    if (c == '{' && peek() == '$') {
+      // Complex syntax {$var} / {$var['idx']}.
+      flush_literal();
+      ++pos_;  // '$'
+      InterpPart p;
+      p.kind = InterpPart::Kind::kVariable;
+      while (!at_end() && is_ident_char(peek())) p.text += advance();
+      if (peek() == '[') {
+        ++pos_;
+        p.has_index = true;
+        if (peek() == '\'' || peek() == '"') {
+          const char q = advance();
+          while (!at_end() && peek() != q) p.index += advance();
+          if (!at_end()) ++pos_;
+          p.index_is_string = true;
+        } else {
+          while (!at_end() && peek() != ']') p.index += advance();
+          p.index_is_string = !strutil::parse_int(p.index).has_value();
+        }
+        if (peek() == ']') ++pos_;
+      } else if (peek() == '-' && peek(1) == '>') {
+        pos_ += 2;
+        while (!at_end() && is_ident_char(peek())) p.property += advance();
+      }
+      if (peek() == '}') {
+        ++pos_;
+      } else {
+        diags_.warning(start, "unsupported complex interpolation syntax");
+      }
+      parts.push_back(std::move(p));
+      continue;
+    }
+    literal += c;
+  }
+  if (at_end()) {
+    diags_.error(start, "unterminated double-quoted string");
+  } else {
+    ++pos_;  // closing quote
+  }
+  flush_literal();
+  return make_string_token(start, std::move(parts));
+}
+
+Token Lexer::lex_heredoc() {
+  const SourceLoc start = loc_here();
+  pos_ += 3;  // <<<
+  while (peek() == ' ' || peek() == '\t') ++pos_;
+  bool nowdoc = false;
+  char quote = '\0';
+  if (peek() == '\'' || peek() == '"') {
+    quote = advance();
+    nowdoc = (quote == '\'');
+  }
+  std::string tag;
+  while (!at_end() && is_ident_char(peek())) tag += advance();
+  if (quote != '\0' && peek() == quote) ++pos_;
+  if (peek() == '\r') ++pos_;
+  if (peek() == '\n') ++pos_;
+
+  // Find the terminator line: the tag at line start, optionally indented,
+  // optionally followed by ';'.
+  std::string body;
+  while (!at_end()) {
+    const std::size_t line_start = pos_;
+    std::size_t probe = pos_;
+    while (probe < src_.size() && (src_[probe] == ' ' || src_[probe] == '\t')) {
+      ++probe;
+    }
+    if (src_.substr(probe, tag.size()) == tag) {
+      const std::size_t after = probe + tag.size();
+      const char next = after < src_.size() ? src_[after] : '\n';
+      if (!is_ident_char(next)) {
+        pos_ = after;
+        // Strip one trailing newline from the body per heredoc semantics.
+        if (!body.empty() && body.back() == '\n') body.pop_back();
+        if (!body.empty() && body.back() == '\r') body.pop_back();
+        break;
+      }
+    }
+    // Copy this whole line into the body.
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    if (pos_ < src_.size()) ++pos_;  // the newline
+    body.append(src_.substr(line_start, pos_ - line_start));
+  }
+
+  if (nowdoc) {
+    Token t;
+    t.kind = TokenKind::kStringLiteral;
+    t.loc = start;
+    t.text = std::move(body);
+    return t;
+  }
+
+  // Heredoc bodies interpolate like double-quoted strings; reuse that
+  // decoder by scanning the body for "$ident" markers.
+  std::vector<InterpPart> parts;
+  std::string literal;
+  std::size_t i = 0;
+  auto flush_literal = [&] {
+    if (!literal.empty()) {
+      InterpPart p;
+      p.kind = InterpPart::Kind::kLiteral;
+      p.text = std::move(literal);
+      parts.push_back(std::move(p));
+      literal.clear();
+    }
+  };
+  while (i < body.size()) {
+    const char c = body[i];
+    if (c == '\\' && i + 1 < body.size()) {
+      literal += decode_escape(body[i + 1]);
+      i += 2;
+      continue;
+    }
+    if (c == '$' && i + 1 < body.size() && is_ident_start(body[i + 1])) {
+      flush_literal();
+      InterpPart p;
+      p.kind = InterpPart::Kind::kVariable;
+      ++i;
+      while (i < body.size() && is_ident_char(body[i])) p.text += body[i++];
+      parts.push_back(std::move(p));
+      continue;
+    }
+    literal += c;
+    ++i;
+  }
+  flush_literal();
+  return make_string_token(start, std::move(parts));
+}
+
+Token Lexer::make_string_token(SourceLoc start, std::vector<InterpPart> parts) {
+  Token t;
+  t.loc = start;
+  const bool pure_literal =
+      parts.empty() ||
+      (parts.size() == 1 && parts[0].kind == InterpPart::Kind::kLiteral);
+  if (pure_literal) {
+    t.kind = TokenKind::kStringLiteral;
+    t.text = parts.empty() ? std::string() : std::move(parts[0].text);
+  } else {
+    t.kind = TokenKind::kTemplateString;
+    t.parts = std::move(parts);
+  }
+  return t;
+}
+
+void Lexer::skip_line_comment() {
+  while (!at_end() && peek() != '\n') {
+    // A close tag inside a line comment still ends PHP mode in real PHP;
+    // handle it so "// ?>" doesn't swallow the rest of the file.
+    if (peek() == '?' && peek(1) == '>') return;
+    ++pos_;
+  }
+}
+
+void Lexer::skip_block_comment() {
+  const SourceLoc start = loc_here();
+  pos_ += 2;
+  while (!at_end()) {
+    if (peek() == '*' && peek(1) == '/') {
+      pos_ += 2;
+      return;
+    }
+    ++pos_;
+  }
+  diags_.error(start, "unterminated block comment");
+}
+
+}  // namespace uchecker::prearena::phplex

@@ -1,0 +1,66 @@
+// FROZEN pre-arena reference front end — measurement baseline only.
+//
+// This is the PR7-era (pre-arena) lexer/parser/AST, kept verbatim under
+// the uchecker::prearena namespace so bench_micro can measure the
+// arena front end against its real predecessor in the same run, on the
+// same machine, with the same compiler. ci/check.sh step 10 gates the
+// BM_Parse / BM_ParsePreArena ratio. Never include this from src/ and
+// never "improve" it: its only value is being the unchanged baseline.
+// PHP lexer: converts a SourceFile into a token stream.
+//
+// Handles the PHP constructs needed by the UChecker corpus: open/close
+// tags with inline HTML, single-/double-quoted strings with simple
+// interpolation, heredoc/nowdoc, all comment styles, and the full
+// operator set of the parser's grammar.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/prearena/token.h"
+#include "support/diag.h"
+#include "support/source.h"
+
+namespace uchecker::prearena::phplex {
+
+class Lexer {
+ public:
+  Lexer(const SourceFile& file, DiagnosticSink& diags);
+
+  // Lexes the whole file. Always ends with a kEndOfFile token.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool match(char expected);
+  [[nodiscard]] SourceLoc loc_here() const;
+
+  void lex_inline_html(std::vector<Token>& out);
+  void lex_php_token(std::vector<Token>& out);
+  Token lex_variable();
+  Token lex_number();
+  Token lex_identifier_or_keyword();
+  Token lex_single_quoted();
+  Token lex_double_quoted();
+  Token lex_heredoc();
+  void skip_line_comment();
+  void skip_block_comment();
+
+  // Parses the body of a double-quoted/heredoc string with interpolation
+  // markers into parts; shared between lex_double_quoted and lex_heredoc.
+  Token make_string_token(SourceLoc start, std::vector<InterpPart> parts);
+
+  const SourceFile& file_;
+  DiagnosticSink& diags_;
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  bool in_php_ = false;
+};
+
+// Convenience: lex a whole file.
+[[nodiscard]] std::vector<Token> lex_file(const SourceFile& file,
+                                          DiagnosticSink& diags);
+
+}  // namespace uchecker::prearena::phplex

@@ -1,15 +1,23 @@
-#include "phpparse/parser.h"
+// FROZEN pre-arena reference front end — measurement baseline only.
+//
+// This is the PR7-era (pre-arena) lexer/parser/AST, kept verbatim under
+// the uchecker::prearena namespace so bench_micro can measure the
+// arena front end against its real predecessor in the same run, on the
+// same machine, with the same compiler. ci/check.sh step 10 gates the
+// BM_Parse / BM_ParsePreArena ratio. Never include this from src/ and
+// never "improve" it: its only value is being the unchanged baseline.
+#include "bench/prearena/parser.h"
 
 #include <cassert>
 
-#include "phplex/lexer.h"
+#include "bench/prearena/lexer.h"
 #include "support/fault_injector.h"
 #include "support/strutil.h"
 
-namespace uchecker::phpparse {
+namespace uchecker::prearena::phpparse {
 
-using phplex::Token;
-using phplex::TokenKind;
+using prearena::phplex::Token;
+using prearena::phplex::TokenKind;
 using namespace phpast;  // NOLINT: parser is the AST's builder
 
 namespace {
@@ -82,32 +90,28 @@ std::optional<BinaryOp> compound_assign_op(TokenKind kind) {
 
 // Recognizes "(int)", "(string)" etc. cast syntax from an identifier.
 std::optional<CastKind> cast_kind_for(std::string_view name) {
-  using strutil::iequals;
-  if (iequals(name, "int") || iequals(name, "integer")) return CastKind::kInt;
-  if (iequals(name, "float") || iequals(name, "double") ||
-      iequals(name, "real")) {
+  const std::string lower = strutil::to_lower(name);
+  if (lower == "int" || lower == "integer") return CastKind::kInt;
+  if (lower == "float" || lower == "double" || lower == "real") {
     return CastKind::kFloat;
   }
-  if (iequals(name, "string")) return CastKind::kString;
-  if (iequals(name, "bool") || iequals(name, "boolean")) {
-    return CastKind::kBool;
-  }
-  if (iequals(name, "object")) return CastKind::kObject;
+  if (lower == "string") return CastKind::kString;
+  if (lower == "bool" || lower == "boolean") return CastKind::kBool;
+  if (lower == "object") return CastKind::kObject;
   return std::nullopt;
 }
 
 }  // namespace
 
 Parser::Parser(const SourceFile& file, std::vector<Token> tokens,
-               DiagnosticSink& diags, Arena& arena)
-    : file_(file), tokens_(std::move(tokens)), diags_(diags), arena_(arena) {
+               DiagnosticSink& diags)
+    : file_(file), tokens_(std::move(tokens)), diags_(diags) {
   assert(!tokens_.empty() && tokens_.back().kind == TokenKind::kEndOfFile);
 }
 
-phpast::PhpFile parse_php(const SourceFile& file, DiagnosticSink& diags,
-                          Arena& arena) {
+prearena::phpast::PhpFile parse_php(const SourceFile& file, DiagnosticSink& diags) {
   FaultInjector::checkpoint("parse");
-  Parser parser(file, phplex::lex_file(file, diags, arena), diags, arena);
+  Parser parser(file, prearena::phplex::lex_file(file, diags), diags);
   return parser.parse_file();
 }
 
@@ -133,7 +137,7 @@ bool Parser::match(TokenKind kind) {
 const Token& Parser::expect(TokenKind kind, const char* what) {
   if (check(kind)) return advance();
   diags_.error(peek().loc, std::string("expected ") + what + " but found " +
-                               std::string(phplex::token_kind_name(peek().kind)));
+                               std::string(prearena::phplex::token_kind_name(peek().kind)));
   return peek();  // do not consume; caller / synchronize() recovers
 }
 
@@ -155,26 +159,11 @@ void Parser::synchronize() {
   }
 }
 
-std::string_view Parser::lower_view(std::string_view s) {
-  bool already_lower = true;
-  for (const char c : s) {
-    if (c >= 'A' && c <= 'Z') {
-      already_lower = false;
-      break;
-    }
-  }
-  if (already_lower) return s;
-  scratch_.clear();
-  for (const char c : s) {
-    scratch_ += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-  }
-  return arena_.copy(scratch_);
-}
-
-// The error itself has already been reported when a sub-parse fails;
-// downstream passes treat the placeholder as a null literal.
-Parser::ExprPtr Parser::require_expr(ExprPtr expr, SourceLoc loc) {
-  if (expr == nullptr) expr = make<NullLit>(loc);
+// Error placeholder: guarantees node constructors never receive a null
+// required child after a failed sub-parse (the error itself has already
+// been reported). Downstream passes treat it as a null literal.
+static ExprPtr require_expr(ExprPtr expr, SourceLoc loc) {
+  if (expr == nullptr) expr = std::make_unique<NullLit>(loc);
   return expr;
 }
 
@@ -223,14 +212,14 @@ class ChainDepth {
 
 }  // namespace
 
-phpast::PhpFile Parser::parse_file() {
+prearena::phpast::PhpFile Parser::parse_file() {
   PhpFile out;
   out.file = file_.id();
   out.name = file_.name();
   while (!at_end()) {
     const std::size_t before = pos_;
     StmtPtr stmt = parse_statement();
-    if (stmt != nullptr) out.statements.push_back(stmt);
+    if (stmt != nullptr) out.statements.push_back(std::move(stmt));
     if (pos_ == before) {
       // Defensive: guarantee forward progress on malformed input.
       diags_.error(peek().loc, "could not parse statement; skipping token");
@@ -243,7 +232,7 @@ phpast::PhpFile Parser::parse_file() {
 // ---------------------------------------------------------------------------
 // Statements
 
-Parser::StmtPtr Parser::parse_statement() {
+StmtPtr Parser::parse_statement() {
   const SourceLoc loc = peek().loc;
   if (depth_ >= kMaxParseDepth) {
     diags_.error(loc, "statement nests too deeply");
@@ -257,17 +246,17 @@ Parser::StmtPtr Parser::parse_statement() {
       return nullptr;
     case TokenKind::kInlineHtml: {
       const Token& t = advance();
-      return make<InlineHtml>(loc, t.text);
+      return std::make_unique<InlineHtml>(loc, t.text);
     }
     case TokenKind::kLBrace: {
       advance();
       std::vector<StmtPtr> body;
       while (!check(TokenKind::kRBrace) && !at_end()) {
         StmtPtr s = parse_statement();
-        if (s != nullptr) body.push_back(s);
+        if (s != nullptr) body.push_back(std::move(s));
       }
       expect(TokenKind::kRBrace, "'}'");
-      return make<Block>(loc, span_of(body));
+      return std::make_unique<Block>(loc, std::move(body));
     }
     case TokenKind::kKwIf:
       return parse_if();
@@ -298,28 +287,28 @@ Parser::StmtPtr Parser::parse_statement() {
       advance();
       ExprPtr value = require_expr(parse_expr(), loc);
       match(TokenKind::kSemicolon);
-      return make<ThrowStmt>(loc, value);
+      return std::make_unique<ThrowStmt>(loc, std::move(value));
     }
     case TokenKind::kKwReturn: {
       advance();
-      ExprPtr value = nullptr;
+      ExprPtr value;
       if (!check(TokenKind::kSemicolon) && !check(TokenKind::kRBrace)) {
         value = require_expr(parse_expr(), loc);
       }
       match(TokenKind::kSemicolon);
-      return make<Return>(loc, value);
+      return std::make_unique<Return>(loc, std::move(value));
     }
     case TokenKind::kKwBreak: {
       advance();
       if (check(TokenKind::kIntLiteral)) advance();  // break N: level ignored
       match(TokenKind::kSemicolon);
-      return make<Break>(loc);
+      return std::make_unique<Break>(loc);
     }
     case TokenKind::kKwContinue: {
       advance();
       if (check(TokenKind::kIntLiteral)) advance();
       match(TokenKind::kSemicolon);
-      return make<Continue>(loc);
+      return std::make_unique<Continue>(loc);
     }
     case TokenKind::kKwEcho: {
       advance();
@@ -329,11 +318,11 @@ Parser::StmtPtr Parser::parse_statement() {
         values.push_back(require_expr(parse_expr(), loc));
       }
       match(TokenKind::kSemicolon);
-      return make<Echo>(loc, span_of(values));
+      return std::make_unique<Echo>(loc, std::move(values));
     }
     case TokenKind::kKwGlobal: {
       advance();
-      std::vector<std::string_view> names;
+      std::vector<std::string> names;
       do {
         if (check(TokenKind::kVariable)) {
           names.push_back(advance().text);
@@ -343,18 +332,18 @@ Parser::StmtPtr Parser::parse_statement() {
         }
       } while (match(TokenKind::kComma));
       match(TokenKind::kSemicolon);
-      return make<Global>(loc, span_of(names));
+      return std::make_unique<Global>(loc, std::move(names));
     }
     case TokenKind::kKwStatic: {
       // `static $x = ...;` at statement level. (Static method calls are
       // handled through expressions and never start with kKwStatic here.)
       if (peek(1).kind == TokenKind::kVariable) {
         advance();
-        const std::string_view name = advance().text;
-        ExprPtr init = nullptr;
+        const std::string name = advance().text;
+        ExprPtr init;
         if (match(TokenKind::kAssign)) init = require_expr(parse_expr(), loc);
         match(TokenKind::kSemicolon);
-        return make<StaticVarStmt>(loc, name, init);
+        return std::make_unique<StaticVarStmt>(loc, name, std::move(init));
       }
       break;
     }
@@ -370,26 +359,25 @@ Parser::StmtPtr Parser::parse_statement() {
       }
       expect(TokenKind::kRParen, "')'");
       match(TokenKind::kSemicolon);
-      return make<UnsetStmt>(loc, span_of(operands));
+      return std::make_unique<UnsetStmt>(loc, std::move(operands));
     }
     case TokenKind::kKwNamespace: {
       advance();
-      scratch_.clear();
+      std::string name;
       while (check(TokenKind::kIdentifier) || check(TokenKind::kBackslash)) {
-        const Token& t = advance();
-        scratch_ += t.text.empty() ? std::string_view("\\") : t.text;
+        name += advance().text.empty() ? "\\" : tokens_[pos_ - 1].text;
       }
       match(TokenKind::kSemicolon);
-      return make<NamespaceDecl>(loc, arena_.copy(scratch_));
+      return std::make_unique<NamespaceDecl>(loc, name);
     }
     case TokenKind::kKwUse: {
       advance();
-      scratch_.clear();
+      std::string path;
       while (!check(TokenKind::kSemicolon) && !at_end()) {
-        scratch_ += advance().text;
+        path += advance().text;
       }
       match(TokenKind::kSemicolon);
-      return make<UseDecl>(loc, arena_.copy(scratch_));
+      return std::make_unique<UseDecl>(loc, path);
     }
     default:
       break;
@@ -402,36 +390,36 @@ Parser::StmtPtr Parser::parse_statement() {
     return nullptr;
   }
   match(TokenKind::kSemicolon);
-  return make<ExprStmt>(loc, expr);
+  return std::make_unique<ExprStmt>(loc, std::move(expr));
 }
 
-std::vector<Parser::StmtPtr> Parser::parse_block_or_single() {
+std::vector<StmtPtr> Parser::parse_block_or_single() {
   std::vector<StmtPtr> body;
   if (match(TokenKind::kLBrace)) {
     while (!check(TokenKind::kRBrace) && !at_end()) {
       StmtPtr s = parse_statement();
-      if (s != nullptr) body.push_back(s);
+      if (s != nullptr) body.push_back(std::move(s));
     }
     expect(TokenKind::kRBrace, "'}'");
   } else {
     StmtPtr s = parse_statement();
-    if (s != nullptr) body.push_back(s);
+    if (s != nullptr) body.push_back(std::move(s));
   }
   return body;
 }
 
-std::vector<Parser::StmtPtr> Parser::parse_braced_block() {
+std::vector<StmtPtr> Parser::parse_braced_block() {
   std::vector<StmtPtr> body;
   expect(TokenKind::kLBrace, "'{'");
   while (!check(TokenKind::kRBrace) && !at_end()) {
     StmtPtr s = parse_statement();
-    if (s != nullptr) body.push_back(s);
+    if (s != nullptr) body.push_back(std::move(s));
   }
   expect(TokenKind::kRBrace, "'}'");
   return body;
 }
 
-std::vector<Parser::StmtPtr> Parser::parse_alt_body(
+std::vector<StmtPtr> Parser::parse_alt_body(
     std::initializer_list<const char*> ends) {
   std::vector<StmtPtr> body;
   while (!at_end()) {
@@ -445,12 +433,12 @@ std::vector<Parser::StmtPtr> Parser::parse_alt_body(
     }
     if (hit_end) break;
     StmtPtr s = parse_statement();
-    if (s != nullptr) body.push_back(s);
+    if (s != nullptr) body.push_back(std::move(s));
   }
   return body;
 }
 
-Parser::StmtPtr Parser::parse_if() {
+StmtPtr Parser::parse_if() {
   const SourceLoc loc = peek().loc;
   expect(TokenKind::kKwIf, "'if'");
   expect(TokenKind::kLParen, "'('");
@@ -470,7 +458,7 @@ Parser::StmtPtr Parser::parse_if() {
       expect(TokenKind::kRParen, "')'");
       expect(TokenKind::kColon, "':'");
       std::vector<StmtPtr> body = parse_alt_body({"endif", "elseif", "else"});
-      elseifs.push_back(ElseIfClause{elseif_cond, span_of(body)});
+      elseifs.push_back(ElseIfClause{std::move(elseif_cond), std::move(body)});
     }
     if (match(TokenKind::kKwElse)) {
       expect(TokenKind::kColon, "':'");
@@ -479,8 +467,9 @@ Parser::StmtPtr Parser::parse_if() {
     }
     if (check_ident("endif")) advance();
     match(TokenKind::kSemicolon);
-    return make<If>(loc, cond, span_of(then_body), span_of(elseifs),
-                    span_of(else_body), has_else);
+    return std::make_unique<If>(loc, std::move(cond), std::move(then_body),
+                                std::move(elseifs), std::move(else_body),
+                                has_else);
   }
 
   std::vector<StmtPtr> then_body = parse_block_or_single();
@@ -494,7 +483,7 @@ Parser::StmtPtr Parser::parse_if() {
       ExprPtr elseif_cond = require_expr(parse_expr(), loc);
       expect(TokenKind::kRParen, "')'");
       std::vector<StmtPtr> body = parse_block_or_single();
-      elseifs.push_back(ElseIfClause{elseif_cond, span_of(body)});
+      elseifs.push_back(ElseIfClause{std::move(elseif_cond), std::move(body)});
       continue;
     }
     if (check(TokenKind::kKwElse) && peek(1).kind == TokenKind::kKwIf) {
@@ -505,7 +494,7 @@ Parser::StmtPtr Parser::parse_if() {
       ExprPtr elseif_cond = require_expr(parse_expr(), loc);
       expect(TokenKind::kRParen, "')'");
       std::vector<StmtPtr> body = parse_block_or_single();
-      elseifs.push_back(ElseIfClause{elseif_cond, span_of(body)});
+      elseifs.push_back(ElseIfClause{std::move(elseif_cond), std::move(body)});
       continue;
     }
     if (check(TokenKind::kKwElse)) {
@@ -515,11 +504,12 @@ Parser::StmtPtr Parser::parse_if() {
     }
     break;
   }
-  return make<If>(loc, cond, span_of(then_body), span_of(elseifs),
-                  span_of(else_body), has_else);
+  return std::make_unique<If>(loc, std::move(cond), std::move(then_body),
+                              std::move(elseifs), std::move(else_body),
+                              has_else);
 }
 
-Parser::StmtPtr Parser::parse_while() {
+StmtPtr Parser::parse_while() {
   const SourceLoc loc = peek().loc;
   expect(TokenKind::kKwWhile, "'while'");
   expect(TokenKind::kLParen, "'('");
@@ -533,10 +523,10 @@ Parser::StmtPtr Parser::parse_while() {
   } else {
     body = parse_block_or_single();
   }
-  return make<While>(loc, cond, span_of(body));
+  return std::make_unique<While>(loc, std::move(cond), std::move(body));
 }
 
-Parser::StmtPtr Parser::parse_do_while() {
+StmtPtr Parser::parse_do_while() {
   const SourceLoc loc = peek().loc;
   expect(TokenKind::kKwDo, "'do'");
   std::vector<StmtPtr> body = parse_block_or_single();
@@ -545,10 +535,10 @@ Parser::StmtPtr Parser::parse_do_while() {
   ExprPtr cond = require_expr(parse_expr(), loc);
   expect(TokenKind::kRParen, "')'");
   match(TokenKind::kSemicolon);
-  return make<DoWhile>(loc, span_of(body), cond);
+  return std::make_unique<DoWhile>(loc, std::move(body), std::move(cond));
 }
 
-Parser::StmtPtr Parser::parse_for() {
+StmtPtr Parser::parse_for() {
   const SourceLoc loc = peek().loc;
   expect(TokenKind::kKwFor, "'for'");
   expect(TokenKind::kLParen, "'('");
@@ -584,11 +574,11 @@ Parser::StmtPtr Parser::parse_for() {
   } else {
     body = parse_block_or_single();
   }
-  return make<For>(loc, span_of(init), span_of(cond), span_of(step),
-                   span_of(body));
+  return std::make_unique<For>(loc, std::move(init), std::move(cond),
+                               std::move(step), std::move(body));
 }
 
-Parser::StmtPtr Parser::parse_foreach() {
+StmtPtr Parser::parse_foreach() {
   const SourceLoc loc = peek().loc;
   expect(TokenKind::kKwForeach, "'foreach'");
   expect(TokenKind::kLParen, "'('");
@@ -596,14 +586,14 @@ Parser::StmtPtr Parser::parse_foreach() {
   expect(TokenKind::kKwAs, "'as'");
   match(TokenKind::kAmp);  // by-ref value
   ExprPtr first = require_expr(parse_expr(), loc);
-  ExprPtr key_var = nullptr;
-  ExprPtr value_var = nullptr;
+  ExprPtr key_var;
+  ExprPtr value_var;
   if (match(TokenKind::kDoubleArrow)) {
-    key_var = first;
+    key_var = std::move(first);
     match(TokenKind::kAmp);
     value_var = require_expr(parse_expr(), loc);
   } else {
-    value_var = first;
+    value_var = std::move(first);
   }
   expect(TokenKind::kRParen, "')'");
   std::vector<StmtPtr> body;
@@ -614,10 +604,12 @@ Parser::StmtPtr Parser::parse_foreach() {
   } else {
     body = parse_block_or_single();
   }
-  return make<Foreach>(loc, iterable, key_var, value_var, span_of(body));
+  return std::make_unique<Foreach>(loc, std::move(iterable),
+                                   std::move(key_var), std::move(value_var),
+                                   std::move(body));
 }
 
-Parser::StmtPtr Parser::parse_switch() {
+StmtPtr Parser::parse_switch() {
   const SourceLoc loc = peek().loc;
   expect(TokenKind::kKwSwitch, "'switch'");
   expect(TokenKind::kLParen, "'('");
@@ -637,17 +629,15 @@ Parser::StmtPtr Parser::parse_switch() {
       continue;
     }
     if (!match(TokenKind::kColon)) match(TokenKind::kSemicolon);
-    std::vector<StmtPtr> body;
     while (!check(TokenKind::kKwCase) && !check(TokenKind::kKwDefault) &&
            !check(TokenKind::kRBrace) && !at_end()) {
       StmtPtr s = parse_statement();
-      if (s != nullptr) body.push_back(s);
+      if (s != nullptr) c.body.push_back(std::move(s));
     }
-    c.body = span_of(body);
-    cases.push_back(c);
+    cases.push_back(std::move(c));
   }
   expect(TokenKind::kRBrace, "'}'");
-  return make<Switch>(loc, subject, span_of(cases));
+  return std::make_unique<Switch>(loc, std::move(subject), std::move(cases));
 }
 
 std::vector<Param> Parser::parse_param_list() {
@@ -669,34 +659,33 @@ std::vector<Param> Parser::parse_param_list() {
       break;
     }
     if (match(TokenKind::kAssign)) p.default_value = parse_expr();
-    params.push_back(p);
+    params.push_back(std::move(p));
     if (!match(TokenKind::kComma)) break;
   }
   expect(TokenKind::kRParen, "')'");
   return params;
 }
 
-Parser::StmtPtr Parser::parse_function_decl() {
+StmtPtr Parser::parse_function_decl() {
   const SourceLoc loc = peek().loc;
   expect(TokenKind::kKwFunction, "'function'");
   match(TokenKind::kAmp);  // return-by-ref
-  const std::string_view name =
-      expect(TokenKind::kIdentifier, "function name").text;
+  std::string name = expect(TokenKind::kIdentifier, "function name").text;
   std::vector<Param> params = parse_param_list();
   if (match(TokenKind::kColon)) {  // return type hint
     match(TokenKind::kQuestion);
     if (check(TokenKind::kIdentifier) || check(TokenKind::kKwArray)) advance();
   }
   std::vector<StmtPtr> body = parse_braced_block();
-  return make<FunctionDecl>(loc, name, span_of(params), span_of(body));
+  return std::make_unique<FunctionDecl>(loc, std::move(name),
+                                        std::move(params), std::move(body));
 }
 
-Parser::StmtPtr Parser::parse_class_decl() {
+StmtPtr Parser::parse_class_decl() {
   const SourceLoc loc = peek().loc;
   advance();  // 'class' or 'interface'
-  const std::string_view name =
-      expect(TokenKind::kIdentifier, "class name").text;
-  std::string_view parent;
+  std::string name = expect(TokenKind::kIdentifier, "class name").text;
+  std::string parent;
   if (match(TokenKind::kKwExtends)) {
     parent = expect(TokenKind::kIdentifier, "parent class name").text;
   }
@@ -708,7 +697,7 @@ Parser::StmtPtr Parser::parse_class_decl() {
   expect(TokenKind::kLBrace, "'{'");
 
   std::vector<PropertyDecl> properties;
-  std::vector<FunctionDecl*> methods;
+  std::vector<std::unique_ptr<FunctionDecl>> methods;
   while (!check(TokenKind::kRBrace) && !at_end()) {
     bool is_static = false;
     // Visibility / static / abstract / final modifiers, any order.
@@ -722,8 +711,7 @@ Parser::StmtPtr Parser::parse_class_decl() {
       const SourceLoc floc = peek().loc;
       advance();
       match(TokenKind::kAmp);
-      const std::string_view method =
-          expect(TokenKind::kIdentifier, "method name").text;
+      std::string method = expect(TokenKind::kIdentifier, "method name").text;
       std::vector<Param> params = parse_param_list();
       if (match(TokenKind::kColon)) {
         match(TokenKind::kQuestion);
@@ -737,8 +725,8 @@ Parser::StmtPtr Parser::parse_class_decl() {
       } else {
         match(TokenKind::kSemicolon);  // abstract / interface method
       }
-      methods.push_back(
-          make<FunctionDecl>(floc, method, span_of(params), span_of(body)));
+      methods.push_back(std::make_unique<FunctionDecl>(
+          floc, std::move(method), std::move(params), std::move(body)));
       continue;
     }
     if (check(TokenKind::kVariable)) {
@@ -753,11 +741,11 @@ Parser::StmtPtr Parser::parse_class_decl() {
           extra.name = advance().text;
           extra.is_static = is_static;
           if (match(TokenKind::kAssign)) extra.default_value = parse_expr();
-          properties.push_back(extra);
+          properties.push_back(std::move(extra));
         }
       }
       match(TokenKind::kSemicolon);
-      properties.push_back(p);
+      properties.push_back(std::move(p));
       continue;
     }
     if (match(TokenKind::kKwConst)) {
@@ -767,7 +755,7 @@ Parser::StmtPtr Parser::parse_class_decl() {
         p.name = advance().text;
         p.is_static = true;
         if (match(TokenKind::kAssign)) p.default_value = parse_expr();
-        properties.push_back(p);
+        properties.push_back(std::move(p));
         if (!match(TokenKind::kComma)) break;
       }
       match(TokenKind::kSemicolon);
@@ -783,11 +771,11 @@ Parser::StmtPtr Parser::parse_class_decl() {
     advance();
   }
   expect(TokenKind::kRBrace, "'}'");
-  return make<ClassDecl>(loc, name, parent, span_of(properties),
-                         span_of(methods));
+  return std::make_unique<ClassDecl>(loc, std::move(name), std::move(parent),
+                                     std::move(properties), std::move(methods));
 }
 
-Parser::StmtPtr Parser::parse_try() {
+StmtPtr Parser::parse_try() {
   const SourceLoc loc = peek().loc;
   expect(TokenKind::kKwTry, "'try'");
   std::vector<StmtPtr> body = parse_braced_block();
@@ -805,25 +793,24 @@ Parser::StmtPtr Parser::parse_try() {
     }
     if (check(TokenKind::kVariable)) clause.variable = advance().text;
     expect(TokenKind::kRParen, "')'");
-    std::vector<StmtPtr> clause_body = parse_braced_block();
-    clause.body = span_of(clause_body);
-    catches.push_back(clause);
+    clause.body = parse_braced_block();
+    catches.push_back(std::move(clause));
   }
   std::vector<StmtPtr> finally_body;
   if (check(TokenKind::kKwFinally)) {
     advance();
     finally_body = parse_braced_block();
   }
-  return make<TryCatch>(loc, span_of(body), span_of(catches),
-                        span_of(finally_body));
+  return std::make_unique<TryCatch>(loc, std::move(body), std::move(catches),
+                                    std::move(finally_body));
 }
 
 // ---------------------------------------------------------------------------
 // Expressions
 
-Parser::ExprPtr Parser::parse_expr() { return parse_assignment(); }
+ExprPtr Parser::parse_expr() { return parse_assignment(); }
 
-Parser::ExprPtr Parser::parse_assignment() {
+ExprPtr Parser::parse_assignment() {
   ExprPtr lhs = parse_ternary();
   if (lhs == nullptr) return nullptr;
   const SourceLoc loc = peek().loc;
@@ -831,29 +818,31 @@ Parser::ExprPtr Parser::parse_assignment() {
     advance();
     const bool by_ref = match(TokenKind::kAmp);
     ExprPtr rhs = require_expr(parse_assignment(), loc);  // right-associative
-    return make<Assign>(loc, lhs, rhs, std::nullopt, by_ref);
+    return std::make_unique<Assign>(loc, std::move(lhs), std::move(rhs),
+                                    std::nullopt, by_ref);
   }
   if (auto op = compound_assign_op(peek().kind)) {
     advance();
     ExprPtr rhs = require_expr(parse_assignment(), loc);
-    return make<Assign>(loc, lhs, rhs, op);
+    return std::make_unique<Assign>(loc, std::move(lhs), std::move(rhs), op);
   }
   return lhs;
 }
 
-Parser::ExprPtr Parser::parse_ternary() {
+ExprPtr Parser::parse_ternary() {
   ExprPtr cond = parse_binary(0);
   if (cond == nullptr) return nullptr;
   if (!check(TokenKind::kQuestion)) return cond;
   const SourceLoc loc = advance().loc;
-  ExprPtr then_expr = nullptr;
+  ExprPtr then_expr;
   if (!check(TokenKind::kColon)) then_expr = parse_expr();
   expect(TokenKind::kColon, "':'");
   ExprPtr else_expr = require_expr(parse_assignment(), loc);
-  return make<Ternary>(loc, cond, then_expr, else_expr);
+  return std::make_unique<Ternary>(loc, std::move(cond), std::move(then_expr),
+                                   std::move(else_expr));
 }
 
-Parser::ExprPtr Parser::parse_binary(int min_precedence) {
+ExprPtr Parser::parse_binary(int min_precedence) {
   ExprPtr lhs = parse_unary();
   if (lhs == nullptr) return nullptr;
   ChainDepth chain(depth_);
@@ -872,52 +861,56 @@ Parser::ExprPtr Parser::parse_binary(int min_precedence) {
       diags_.error(loc, "missing right operand");
       return lhs;
     }
-    lhs = make<Binary>(loc, info->op, lhs, rhs);
+    lhs = std::make_unique<Binary>(loc, info->op, std::move(lhs),
+                                   std::move(rhs));
     chain.add_link();
   }
 }
 
-Parser::ExprPtr Parser::parse_unary() {
+ExprPtr Parser::parse_unary() {
   const SourceLoc loc = peek().loc;
   if (depth_ >= kMaxParseDepth) {
     diags_.error(loc, "expression nests too deeply");
     advance();  // guarantee forward progress
-    return make<NullLit>(loc);
+    return std::make_unique<NullLit>(loc);
   }
   DepthGuard guard(depth_);
   switch (peek().kind) {
     case TokenKind::kBang:
       advance();
-      return make<Unary>(loc, UnaryOp::kNot, require_expr(parse_unary(), loc));
+      return std::make_unique<Unary>(loc, UnaryOp::kNot,
+                                     require_expr(parse_unary(), loc));
     case TokenKind::kMinus:
       advance();
-      return make<Unary>(loc, UnaryOp::kMinus,
-                         require_expr(parse_unary(), loc));
+      return std::make_unique<Unary>(loc, UnaryOp::kMinus,
+                                     require_expr(parse_unary(), loc));
     case TokenKind::kPlus:
       advance();
-      return make<Unary>(loc, UnaryOp::kPlus, require_expr(parse_unary(), loc));
+      return std::make_unique<Unary>(loc, UnaryOp::kPlus,
+                                     require_expr(parse_unary(), loc));
     case TokenKind::kTilde:
       advance();
-      return make<Unary>(loc, UnaryOp::kBitNot,
-                         require_expr(parse_unary(), loc));
+      return std::make_unique<Unary>(loc, UnaryOp::kBitNot,
+                                     require_expr(parse_unary(), loc));
     case TokenKind::kAt:
       advance();
-      return make<Unary>(loc, UnaryOp::kErrorSuppress,
-                         require_expr(parse_unary(), loc));
+      return std::make_unique<Unary>(loc, UnaryOp::kErrorSuppress,
+                                     require_expr(parse_unary(), loc));
     case TokenKind::kPlusPlus:
       advance();
-      return make<Unary>(loc, UnaryOp::kPreInc,
-                         require_expr(parse_unary(), loc));
+      return std::make_unique<Unary>(loc, UnaryOp::kPreInc,
+                                     require_expr(parse_unary(), loc));
     case TokenKind::kMinusMinus:
       advance();
-      return make<Unary>(loc, UnaryOp::kPreDec,
-                         require_expr(parse_unary(), loc));
+      return std::make_unique<Unary>(loc, UnaryOp::kPreDec,
+                                     require_expr(parse_unary(), loc));
     case TokenKind::kKwPrint:
       advance();
-      return make<Unary>(loc, UnaryOp::kPrint, require_expr(parse_expr(), loc));
+      return std::make_unique<Unary>(loc, UnaryOp::kPrint,
+                                     require_expr(parse_expr(), loc));
     case TokenKind::kKwNew: {
       advance();
-      std::string_view class_name = "stdClass";
+      std::string class_name = "stdClass";
       match(TokenKind::kBackslash);
       if (check(TokenKind::kIdentifier) || check(TokenKind::kKwStatic)) {
         class_name = advance().text;
@@ -930,7 +923,8 @@ Parser::ExprPtr Parser::parse_unary() {
       }
       std::vector<ExprPtr> args;
       if (check(TokenKind::kLParen)) args = parse_arg_list();
-      return parse_postfix(make<New>(loc, class_name, span_of(args)));
+      return parse_postfix(
+          std::make_unique<New>(loc, std::move(class_name), std::move(args)));
     }
     case TokenKind::kLParen: {
       // Could be a cast "(int) expr" or a parenthesized expression.
@@ -940,7 +934,8 @@ Parser::ExprPtr Parser::parse_unary() {
           advance();  // (
           advance();  // type
           advance();  // )
-          return make<Cast>(loc, *cast, require_expr(parse_unary(), loc));
+          return std::make_unique<Cast>(loc, *cast,
+                                        require_expr(parse_unary(), loc));
         }
       }
       if (peek(1).kind == TokenKind::kKwArray &&
@@ -948,20 +943,20 @@ Parser::ExprPtr Parser::parse_unary() {
         advance();
         advance();
         advance();
-        return make<Cast>(loc, CastKind::kArray,
-                          require_expr(parse_unary(), loc));
+        return std::make_unique<Cast>(loc, CastKind::kArray,
+                                      require_expr(parse_unary(), loc));
       }
       advance();  // (
       ExprPtr inner = require_expr(parse_expr(), loc);
       expect(TokenKind::kRParen, "')'");
-      return parse_postfix(inner);
+      return parse_postfix(std::move(inner));
     }
     default:
       return parse_postfix(parse_primary());
   }
 }
 
-Parser::ExprPtr Parser::parse_postfix(ExprPtr base) {
+ExprPtr Parser::parse_postfix(ExprPtr base) {
   if (base == nullptr) return nullptr;
   ChainDepth chain(depth_);
   while (true) {
@@ -971,12 +966,13 @@ Parser::ExprPtr Parser::parse_postfix(ExprPtr base) {
       return base;
     }
     if (match(TokenKind::kLBracket)) {
-      ExprPtr index = nullptr;
+      ExprPtr index;
       if (!check(TokenKind::kRBracket)) {
         index = require_expr(parse_expr(), loc);
       }
       expect(TokenKind::kRBracket, "']'");
-      base = make<ArrayAccess>(loc, base, index);
+      base = std::make_unique<ArrayAccess>(loc, std::move(base),
+                                           std::move(index));
       chain.add_link();
       continue;
     }
@@ -985,60 +981,56 @@ Parser::ExprPtr Parser::parse_postfix(ExprPtr base) {
       // Legacy string offset syntax $s{0}; treat as array access.
       ExprPtr index = require_expr(parse_expr(), loc);
       expect(TokenKind::kRBrace, "'}'");
-      base = make<ArrayAccess>(loc, base, index);
+      base = std::make_unique<ArrayAccess>(loc, std::move(base),
+                                           std::move(index));
       chain.add_link();
       continue;
     }
     if (check(TokenKind::kArrow)) {
       advance();
-      std::string_view name;
+      std::string name;
       if (check(TokenKind::kIdentifier) || peek().is_keyword()) {
         name = advance().text;
       } else if (check(TokenKind::kVariable)) {
-        // Dynamic property; opaque "$name".
-        scratch_.clear();
-        scratch_ += '$';
-        scratch_ += advance().text;
-        name = arena_.copy(scratch_);
+        name = "$" + advance().text;  // dynamic property; opaque name
       } else {
         diags_.error(peek().loc, "expected property or method name after '->'");
         return base;
       }
       if (check(TokenKind::kLParen)) {
         std::vector<ExprPtr> args = parse_arg_list();
-        base = make<MethodCall>(loc, base, name, span_of(args));
+        base = std::make_unique<MethodCall>(loc, std::move(base),
+                                            std::move(name), std::move(args));
       } else {
-        base = make<PropertyAccess>(loc, base, name);
+        base = std::make_unique<PropertyAccess>(loc, std::move(base),
+                                                std::move(name));
       }
       chain.add_link();
       continue;
     }
     if (check(TokenKind::kDoubleColon)) {
       advance();
-      std::string_view class_name = "?";
-      if (base->kind() == NodeKind::kConstFetch) {
-        class_name = static_cast<const ConstFetch*>(base)->name;
+      std::string class_name = "?";
+      if (const auto* cf = dynamic_cast<const ConstFetch*>(base.get())) {
+        class_name = cf->name;
       }
-      std::string_view member;
+      std::string member;
       if (check(TokenKind::kIdentifier) || peek().is_keyword()) {
         member = advance().text;
       } else if (check(TokenKind::kVariable)) {
         member = advance().text;
       } else if (check(TokenKind::kKwClass)) {
         advance();
-        base = make<StringLit>(loc, class_name);
+        base = std::make_unique<StringLit>(loc, class_name);
         continue;
       }
       if (check(TokenKind::kLParen)) {
         std::vector<ExprPtr> args = parse_arg_list();
-        base = make<StaticCall>(loc, class_name, member, span_of(args));
+        base = std::make_unique<StaticCall>(loc, std::move(class_name),
+                                            std::move(member), std::move(args));
       } else {
         // Class constant / static property read: model as const fetch.
-        scratch_.clear();
-        scratch_ += class_name;
-        scratch_ += "::";
-        scratch_ += member;
-        base = make<ConstFetch>(loc, arena_.copy(scratch_));
+        base = std::make_unique<ConstFetch>(loc, class_name + "::" + member);
       }
       continue;
     }
@@ -1046,19 +1038,19 @@ Parser::ExprPtr Parser::parse_postfix(ExprPtr base) {
         base->kind() == NodeKind::kVariable) {
       // Dynamic call through a variable: $f(...).
       std::vector<ExprPtr> args = parse_arg_list();
-      base = make<Call>(loc, base, span_of(args));
+      base = std::make_unique<Call>(loc, std::move(base), std::move(args));
       chain.add_link();
       continue;
     }
     if (check(TokenKind::kPlusPlus)) {
       advance();
-      base = make<Unary>(loc, UnaryOp::kPostInc, base);
+      base = std::make_unique<Unary>(loc, UnaryOp::kPostInc, std::move(base));
       chain.add_link();
       continue;
     }
     if (check(TokenKind::kMinusMinus)) {
       advance();
-      base = make<Unary>(loc, UnaryOp::kPostDec, base);
+      base = std::make_unique<Unary>(loc, UnaryOp::kPostDec, std::move(base));
       chain.add_link();
       continue;
     }
@@ -1073,36 +1065,36 @@ std::vector<Parser::ExprPtr> Parser::parse_arg_list() {
     match(TokenKind::kAmp);  // by-ref argument
     ExprPtr arg = parse_expr();
     if (arg == nullptr) break;
-    args.push_back(arg);
+    args.push_back(std::move(arg));
     if (!match(TokenKind::kComma)) break;
   }
   expect(TokenKind::kRParen, "')'");
   return args;
 }
 
-Parser::ExprPtr Parser::parse_primary() {
+ExprPtr Parser::parse_primary() {
   const SourceLoc loc = peek().loc;
   switch (peek().kind) {
     case TokenKind::kKwTrue:
       advance();
-      return make<BoolLit>(loc, true);
+      return std::make_unique<BoolLit>(loc, true);
     case TokenKind::kKwFalse:
       advance();
-      return make<BoolLit>(loc, false);
+      return std::make_unique<BoolLit>(loc, false);
     case TokenKind::kKwNull:
       advance();
-      return make<NullLit>(loc);
+      return std::make_unique<NullLit>(loc);
     case TokenKind::kIntLiteral: {
       const Token& t = advance();
-      return make<IntLit>(loc, t.int_value);
+      return std::make_unique<IntLit>(loc, t.int_value);
     }
     case TokenKind::kFloatLiteral: {
       const Token& t = advance();
-      return make<FloatLit>(loc, t.float_value);
+      return std::make_unique<FloatLit>(loc, t.float_value);
     }
     case TokenKind::kStringLiteral: {
       const Token& t = advance();
-      return make<StringLit>(loc, t.text);
+      return std::make_unique<StringLit>(loc, t.text);
     }
     case TokenKind::kTemplateString: {
       const Token& t = advance();
@@ -1110,7 +1102,7 @@ Parser::ExprPtr Parser::parse_primary() {
     }
     case TokenKind::kVariable: {
       const Token& t = advance();
-      return make<Variable>(loc, t.text);
+      return std::make_unique<Variable>(loc, t.text);
     }
     case TokenKind::kKwArray: {
       advance();
@@ -1118,7 +1110,7 @@ Parser::ExprPtr Parser::parse_primary() {
         advance();
         return parse_array_literal(loc, /*bracket_form=*/false);
       }
-      return make<ConstFetch>(loc, "array");
+      return std::make_unique<ConstFetch>(loc, "array");
     }
     case TokenKind::kLBracket: {
       advance();
@@ -1137,7 +1129,7 @@ Parser::ExprPtr Parser::parse_primary() {
         if (!match(TokenKind::kComma)) break;
       }
       expect(TokenKind::kRParen, "')'");
-      return make<ListExpr>(loc, span_of(elements));
+      return std::make_unique<ListExpr>(loc, std::move(elements));
     }
     case TokenKind::kKwIsset: {
       advance();
@@ -1148,14 +1140,14 @@ Parser::ExprPtr Parser::parse_primary() {
         operands.push_back(require_expr(parse_expr(), loc));
       }
       expect(TokenKind::kRParen, "')'");
-      return make<Isset>(loc, span_of(operands));
+      return std::make_unique<Isset>(loc, std::move(operands));
     }
     case TokenKind::kKwEmpty: {
       advance();
       expect(TokenKind::kLParen, "'('");
       ExprPtr operand = require_expr(parse_expr(), loc);
       expect(TokenKind::kRParen, "')'");
-      return make<Empty>(loc, operand);
+      return std::make_unique<Empty>(loc, std::move(operand));
     }
     case TokenKind::kKwInclude:
     case TokenKind::kKwIncludeOnce:
@@ -1167,26 +1159,26 @@ Parser::ExprPtr Parser::parse_primary() {
       if (kind == TokenKind::kKwRequire) ik = IncludeKind::kRequire;
       if (kind == TokenKind::kKwRequireOnce) ik = IncludeKind::kRequireOnce;
       ExprPtr path = require_expr(parse_expr(), loc);
-      return make<IncludeExpr>(loc, ik, path);
+      return std::make_unique<IncludeExpr>(loc, ik, std::move(path));
     }
     case TokenKind::kKwDie:
     case TokenKind::kKwExit: {
       advance();
-      ExprPtr operand = nullptr;
+      ExprPtr operand;
       if (match(TokenKind::kLParen)) {
         if (!check(TokenKind::kRParen)) {
           operand = require_expr(parse_expr(), loc);
         }
         expect(TokenKind::kRParen, "')'");
       }
-      return make<ExitExpr>(loc, operand);
+      return std::make_unique<ExitExpr>(loc, std::move(operand));
     }
     case TokenKind::kKwFunction: {
       // Closure expression.
       advance();
       match(TokenKind::kAmp);
       std::vector<Param> params = parse_param_list();
-      std::vector<std::string_view> uses;
+      std::vector<std::string> uses;
       if (check(TokenKind::kKwUse)) {
         advance();
         expect(TokenKind::kLParen, "'('");
@@ -1204,7 +1196,8 @@ Parser::ExprPtr Parser::parse_primary() {
         }
       }
       std::vector<StmtPtr> body = parse_braced_block();
-      return make<Closure>(loc, span_of(params), span_of(uses), span_of(body));
+      return std::make_unique<Closure>(loc, std::move(params),
+                                       std::move(uses), std::move(body));
     }
     case TokenKind::kBackslash:
       // Fully-qualified name: \foo(...) — strip the namespace separator.
@@ -1213,21 +1206,21 @@ Parser::ExprPtr Parser::parse_primary() {
     case TokenKind::kIdentifier: {
       const Token& t = advance();
       if (check(TokenKind::kLParen)) {
-        const std::string_view callee = lower_view(t.text);
         std::vector<ExprPtr> args = parse_arg_list();
-        return make<Call>(loc, callee, span_of(args));
+        return std::make_unique<Call>(loc, strutil::to_lower(t.text),
+                                      std::move(args));
       }
-      return make<ConstFetch>(loc, t.text);
+      return std::make_unique<ConstFetch>(loc, t.text);
     }
     default:
       diags_.error(loc, "unexpected token " +
-                            std::string(phplex::token_kind_name(peek().kind)) +
+                            std::string(prearena::phplex::token_kind_name(peek().kind)) +
                             " in expression");
       return nullptr;
   }
 }
 
-Parser::ExprPtr Parser::parse_array_literal(SourceLoc loc, bool bracket_form) {
+ExprPtr Parser::parse_array_literal(SourceLoc loc, bool bracket_form) {
   const TokenKind closer =
       bracket_form ? TokenKind::kRBracket : TokenKind::kRParen;
   std::vector<ArrayItem> items;
@@ -1236,50 +1229,54 @@ Parser::ExprPtr Parser::parse_array_literal(SourceLoc loc, bool bracket_form) {
     if (first == nullptr) break;
     ArrayItem item;
     if (match(TokenKind::kDoubleArrow)) {
-      item.key = first;
+      item.key = std::move(first);
       match(TokenKind::kAmp);
       item.value = require_expr(parse_expr(), loc);
     } else {
-      item.value = first;
+      item.value = std::move(first);
     }
-    items.push_back(item);
+    items.push_back(std::move(item));
     if (!match(TokenKind::kComma)) break;
   }
   expect(closer, bracket_form ? "']'" : "')'");
-  return make<ArrayLit>(loc, span_of(items));
+  return std::make_unique<ArrayLit>(loc, std::move(items));
 }
 
-Parser::ExprPtr Parser::desugar_template_string(const Token& token) {
+ExprPtr Parser::desugar_template_string(const Token& token) {
   // "pre $a post" => ("pre" . $a) . " post"; interpolated variables with
   // an index/property become the matching access expression.
-  ExprPtr acc = nullptr;
-  for (const phplex::InterpPart& part : token.parts) {
-    ExprPtr piece = nullptr;
-    if (part.kind == phplex::InterpPart::Kind::kLiteral) {
-      piece = make<StringLit>(token.loc, part.text);
+  ExprPtr acc;
+  for (const prearena::phplex::InterpPart& part : token.parts) {
+    ExprPtr piece;
+    if (part.kind == prearena::phplex::InterpPart::Kind::kLiteral) {
+      piece = std::make_unique<StringLit>(token.loc, part.text);
     } else {
-      ExprPtr var = make<Variable>(token.loc, part.text);
+      ExprPtr var = std::make_unique<Variable>(token.loc, part.text);
       if (part.has_index) {
-        ExprPtr index = nullptr;
+        ExprPtr index;
         if (part.index_is_string) {
-          index = make<StringLit>(token.loc, part.index);
+          index = std::make_unique<StringLit>(token.loc, part.index);
         } else {
-          index = make<IntLit>(token.loc, strutil::php_intval(part.index));
+          index = std::make_unique<IntLit>(
+              token.loc, strutil::php_intval(part.index));
         }
-        var = make<ArrayAccess>(token.loc, var, index);
+        var = std::make_unique<ArrayAccess>(token.loc, std::move(var),
+                                            std::move(index));
       } else if (!part.property.empty()) {
-        var = make<PropertyAccess>(token.loc, var, part.property);
+        var = std::make_unique<PropertyAccess>(token.loc, std::move(var),
+                                               part.property);
       }
-      piece = var;
+      piece = std::move(var);
     }
     if (acc == nullptr) {
-      acc = piece;
+      acc = std::move(piece);
     } else {
-      acc = make<Binary>(token.loc, BinaryOp::kConcat, acc, piece);
+      acc = std::make_unique<Binary>(token.loc, BinaryOp::kConcat,
+                                     std::move(acc), std::move(piece));
     }
   }
-  if (acc == nullptr) acc = make<StringLit>(token.loc, "");
+  if (acc == nullptr) acc = std::make_unique<StringLit>(token.loc, "");
   return acc;
 }
 
-}  // namespace uchecker::phpparse
+}  // namespace uchecker::prearena::phpparse

@@ -1,0 +1,94 @@
+// FROZEN pre-arena reference front end — measurement baseline only.
+//
+// This is the PR7-era (pre-arena) lexer/parser/AST, kept verbatim under
+// the uchecker::prearena namespace so bench_micro can measure the
+// arena front end against its real predecessor in the same run, on the
+// same machine, with the same compiler. ci/check.sh step 10 gates the
+// BM_Parse / BM_ParsePreArena ratio. Never include this from src/ and
+// never "improve" it: its only value is being the unchanged baseline.
+// Recursive-descent parser for the PHP subset defined in phpast/ast.h.
+//
+// Replaces the paper's dependency on the external PHP-Parser tool. The
+// grammar follows PHP 7 operator precedence; interpolated strings are
+// desugared into concatenation chains so the downstream symbolic
+// interpreter only sees the paper's Table I core syntax plus statements.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bench/prearena/ast.h"
+#include "bench/prearena/token.h"
+#include "support/diag.h"
+#include "support/source.h"
+
+namespace uchecker::prearena::phpparse {
+
+class Parser {
+ public:
+  Parser(const SourceFile& file, std::vector<prearena::phplex::Token> tokens,
+         DiagnosticSink& diags);
+
+  // Parses the whole token stream into a PhpFile. Parse errors are
+  // reported to the sink; the parser recovers at statement boundaries so
+  // one bad statement does not lose the rest of the file.
+  [[nodiscard]] prearena::phpast::PhpFile parse_file();
+
+ private:
+  using ExprPtr = prearena::phpast::ExprPtr;
+  using StmtPtr = prearena::phpast::StmtPtr;
+
+  // --- token helpers
+  [[nodiscard]] const prearena::phplex::Token& peek(std::size_t ahead = 0) const;
+  const prearena::phplex::Token& advance();
+  [[nodiscard]] bool check(prearena::phplex::TokenKind kind) const;
+  bool match(prearena::phplex::TokenKind kind);
+  const prearena::phplex::Token& expect(prearena::phplex::TokenKind kind, const char* what);
+  [[nodiscard]] bool at_end() const;
+  [[nodiscard]] bool check_ident(const char* name) const;
+  void synchronize();
+
+  // --- statements
+  StmtPtr parse_statement();
+  std::vector<StmtPtr> parse_block_or_single();
+  std::vector<StmtPtr> parse_braced_block();
+  // Alternative syntax body: statements until one of the given
+  // end-keywords (checked as identifiers, e.g. "endif").
+  std::vector<StmtPtr> parse_alt_body(std::initializer_list<const char*> ends);
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_do_while();
+  StmtPtr parse_for();
+  StmtPtr parse_foreach();
+  StmtPtr parse_switch();
+  StmtPtr parse_function_decl();
+  StmtPtr parse_class_decl();
+  StmtPtr parse_try();
+  std::vector<prearena::phpast::Param> parse_param_list();
+
+  // --- expressions (precedence climbing)
+  ExprPtr parse_expr();
+  ExprPtr parse_assignment();
+  ExprPtr parse_ternary();
+  ExprPtr parse_binary(int min_precedence);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix(ExprPtr base);
+  ExprPtr parse_primary();
+  ExprPtr parse_array_literal(SourceLoc loc, bool bracket_form);
+  std::vector<ExprPtr> parse_arg_list();
+  ExprPtr desugar_template_string(const prearena::phplex::Token& token);
+
+  const SourceFile& file_;
+  std::vector<prearena::phplex::Token> tokens_;
+  DiagnosticSink& diags_;
+  std::size_t pos_ = 0;
+  // Expression/statement recursion depth, capped to keep the recursive-
+  // descent parser within stack bounds on pathological inputs.
+  int depth_ = 0;
+};
+
+// Convenience: lex + parse a registered source file.
+[[nodiscard]] prearena::phpast::PhpFile parse_php(const SourceFile& file,
+                                        DiagnosticSink& diags);
+
+}  // namespace uchecker::prearena::phpparse

@@ -1,0 +1,128 @@
+// FROZEN pre-arena reference front end — measurement baseline only.
+// See bench/prearena/token.h.
+#include "bench/prearena/token.h"
+
+namespace uchecker::prearena::phplex {
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEndOfFile: return "end of file";
+    case TokenKind::kInlineHtml: return "inline HTML";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kTemplateString: return "interpolated string";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwElseif: return "'elseif'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwForeach: return "'foreach'";
+    case TokenKind::kKwAs: return "'as'";
+    case TokenKind::kKwFunction: return "'function'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwEcho: return "'echo'";
+    case TokenKind::kKwPrint: return "'print'";
+    case TokenKind::kKwGlobal: return "'global'";
+    case TokenKind::kKwStatic: return "'static'";
+    case TokenKind::kKwInclude: return "'include'";
+    case TokenKind::kKwIncludeOnce: return "'include_once'";
+    case TokenKind::kKwRequire: return "'require'";
+    case TokenKind::kKwRequireOnce: return "'require_once'";
+    case TokenKind::kKwTrue: return "'true'";
+    case TokenKind::kKwFalse: return "'false'";
+    case TokenKind::kKwNull: return "'null'";
+    case TokenKind::kKwArray: return "'array'";
+    case TokenKind::kKwList: return "'list'";
+    case TokenKind::kKwIsset: return "'isset'";
+    case TokenKind::kKwEmpty: return "'empty'";
+    case TokenKind::kKwUnset: return "'unset'";
+    case TokenKind::kKwNew: return "'new'";
+    case TokenKind::kKwClass: return "'class'";
+    case TokenKind::kKwPublic: return "'public'";
+    case TokenKind::kKwPrivate: return "'private'";
+    case TokenKind::kKwProtected: return "'protected'";
+    case TokenKind::kKwConst: return "'const'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kKwSwitch: return "'switch'";
+    case TokenKind::kKwCase: return "'case'";
+    case TokenKind::kKwDefault: return "'default'";
+    case TokenKind::kKwDo: return "'do'";
+    case TokenKind::kKwAnd: return "'and'";
+    case TokenKind::kKwOr: return "'or'";
+    case TokenKind::kKwXor: return "'xor'";
+    case TokenKind::kKwDie: return "'die'";
+    case TokenKind::kKwExit: return "'exit'";
+    case TokenKind::kKwExtends: return "'extends'";
+    case TokenKind::kKwTry: return "'try'";
+    case TokenKind::kKwCatch: return "'catch'";
+    case TokenKind::kKwFinally: return "'finally'";
+    case TokenKind::kKwThrow: return "'throw'";
+    case TokenKind::kKwNamespace: return "'namespace'";
+    case TokenKind::kKwUse: return "'use'";
+    case TokenKind::kKwInstanceof: return "'instanceof'";
+    case TokenKind::kKwAbstract: return "'abstract'";
+    case TokenKind::kKwFinal: return "'final'";
+    case TokenKind::kKwInterface: return "'interface'";
+    case TokenKind::kKwImplements: return "'implements'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStarStar: return "'**'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kSlashAssign: return "'/='";
+    case TokenKind::kDotAssign: return "'.='";
+    case TokenKind::kPercentAssign: return "'%='";
+    case TokenKind::kCoalesceAssign: return "'??='";
+    case TokenKind::kEqual: return "'=='";
+    case TokenKind::kNotEqual: return "'!='";
+    case TokenKind::kIdentical: return "'==='";
+    case TokenKind::kNotIdentical: return "'!=='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kLessEqual: return "'<='";
+    case TokenKind::kGreaterEqual: return "'>='";
+    case TokenKind::kSpaceship: return "'<=>'";
+    case TokenKind::kAmpAmp: return "'&&'";
+    case TokenKind::kPipePipe: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kShiftLeft: return "'<<'";
+    case TokenKind::kShiftRight: return "'>>'";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kCoalesce: return "'??'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kDoubleArrow: return "'=>'";
+    case TokenKind::kDoubleColon: return "'::'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kDollarBrace: return "'${'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kBackslash: return "'\\'";
+    case TokenKind::kUnknown: return "unknown token";
+  }
+  return "invalid";
+}
+
+}  // namespace uchecker::prearena::phplex

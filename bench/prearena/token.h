@@ -1,19 +1,22 @@
-// Token definitions for the PHP lexer.
+// FROZEN pre-arena reference front end — measurement baseline only.
 //
-// Tokens are trivially-destructible values: `text` and the interpolation
-// parts are `std::string_view`s backed either by the arena-owned copy of
-// the source buffer (identifiers, numbers, escape-free strings) or by
-// arena-allocated decoded buffers (strings with escapes). Lexing a token
-// therefore never heap-allocates; the backing Arena owns everything.
+// This is the PR7-era (pre-arena) lexer/parser/AST, kept verbatim under
+// the uchecker::prearena namespace so bench_micro can measure the
+// arena front end against its real predecessor in the same run, on the
+// same machine, with the same compiler. ci/check.sh step 10 gates the
+// BM_Parse / BM_ParsePreArena ratio. Never include this from src/ and
+// never "improve" it: its only value is being the unchanged baseline.
+// Token definitions for the PHP lexer.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
-#include "support/arena.h"
 #include "support/source.h"
 
-namespace uchecker::phplex {
+namespace uchecker::prearena::phplex {
 
 enum class TokenKind : std::uint8_t {
   kEndOfFile,
@@ -27,7 +30,7 @@ enum class TokenKind : std::uint8_t {
   kStringLiteral,  // fully-literal string (single-quoted, or double-quoted
                    // with no interpolation); text holds the decoded value
   kTemplateString, // double-quoted/heredoc string with interpolation;
-                   // parts holds the decoded segments
+                   // parts() holds the decoded segments
 
   // Keywords
   kKwIf, kKwElse, kKwElseif, kKwWhile, kKwFor, kKwForeach, kKwAs,
@@ -69,24 +72,23 @@ enum class TokenKind : std::uint8_t {
 // text; variable segments carry the variable name plus an optional
 // constant index or property access, covering the simple "$var",
 // "$var[idx]", "$var->prop", and "{$var['idx']}" interpolation syntaxes.
-// All views are arena-backed.
 struct InterpPart {
   enum class Kind : std::uint8_t { kLiteral, kVariable };
   Kind kind = Kind::kLiteral;
-  std::string_view text;     // literal text, or variable name
+  std::string text;        // literal text, or variable name
   bool has_index = false;
-  std::string_view index;    // constant array index, if has_index
+  std::string index;       // constant array index, if has_index
   bool index_is_string = true;
-  std::string_view property; // non-empty for $var->prop
+  std::string property;    // non-empty for $var->prop
 };
 
 struct Token {
   TokenKind kind = TokenKind::kEndOfFile;
   SourceLoc loc;
-  std::string_view text;          // decoded literal value or identifier text
+  std::string text;               // decoded literal value or identifier text
   std::int64_t int_value = 0;     // for kIntLiteral
   double float_value = 0.0;       // for kFloatLiteral
-  Span<const InterpPart> parts;   // for kTemplateString
+  std::vector<InterpPart> parts;  // for kTemplateString
 
   [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
   [[nodiscard]] bool is_keyword() const {
@@ -94,7 +96,4 @@ struct Token {
   }
 };
 
-static_assert(std::is_trivially_destructible_v<Token>);
-static_assert(std::is_trivially_destructible_v<InterpPart>);
-
-}  // namespace uchecker::phplex
+}  // namespace uchecker::prearena::phplex

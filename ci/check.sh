@@ -42,6 +42,13 @@
 #      per-worker flight-recorder dumps; and the attached/unattached
 #      telemetry micro ratio is gated at OVERHEAD_TOLERANCE (absolute
 #      wall times vs. committed baselines warn unless BENCH_STRICT=1).
+#  10. arena front-end gate: BENCH_PR8.json structure; corpus_verdicts
+#      dumps must be byte-identical between --parse-threads 1 and
+#      --parse-threads 4 (parallel parsing is behaviorally invisible);
+#      and the same-run BM_ParsePreArena / BM_Parse ratio — the arena
+#      front end vs. the PR7-era front end frozen in bench/prearena/ —
+#      must be >= the committed arena_speedup_min (machine-independent
+#      because both sides run in the same process on the same input).
 #
 #   $ ci/check.sh            # everything
 #   $ SKIP_SANITIZE=1 ci/check.sh
@@ -53,12 +60,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
 
-echo "== [1/9] build + tier-1 tests =="
+echo "== [1/10] build + tier-1 tests =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== [2/9] clang-tidy =="
+echo "== [2/10] clang-tidy =="
 if [[ "${SKIP_TIDY:-0}" == "1" ]]; then
   echo "skipped (SKIP_TIDY=1)"
 elif ! command -v clang-tidy >/dev/null; then
@@ -74,14 +81,14 @@ else
   fi
 fi
 
-echo "== [3/9] sanitizers =="
+echo "== [3/10] sanitizers =="
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "skipped (SKIP_SANITIZE=1)"
 else
   ci/sanitize.sh
 fi
 
-echo "== [4/9] telemetry smoke: trace + metrics JSON =="
+echo "== [4/10] telemetry smoke: trace + metrics JSON =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/upload.php" <<'PHP'
@@ -117,7 +124,7 @@ else
   echo "python3 not found; JSON structure check skipped"
 fi
 
-echo "== [5/9] telemetry overhead gate =="
+echo "== [5/10] telemetry overhead gate =="
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (SKIP_BENCH=1)"
 elif ! command -v python3 >/dev/null; then
@@ -162,7 +169,7 @@ PY
   fi
 fi
 
-echo "== [6/9] perf baseline gate (BENCH_PR3.json) =="
+echo "== [6/10] perf baseline gate (BENCH_PR3.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; perf baseline gate skipped"
 else
@@ -217,7 +224,7 @@ PY
   fi
 fi
 
-echo "== [7/9] SARIF export gate =="
+echo "== [7/10] SARIF export gate =="
 SARIF_DIR="$SMOKE_DIR/sarif"
 mkdir -p "$SARIF_DIR/corpus"
 # Evidence must be purely additive: same corpus dump byte-for-byte.
@@ -259,7 +266,7 @@ if [[ "$SARIF_VULN" == "0" ]]; then
 fi
 echo "validated $SARIF_APPS SARIF file(s), $SARIF_VULN with codeFlows"
 
-echo "== [8/9] scand service gate =="
+echo "== [8/10] scand service gate =="
 SCAND_DIR="$SMOKE_DIR/scand"
 SCAND_SOCK="$SCAND_DIR/scand.sock"
 SCAND_STATE="$SCAND_DIR/state"
@@ -425,7 +432,7 @@ PY
 wait "$SCAND_PID" || { echo "FAIL: scand drain exited non-zero" >&2; exit 1; }
 SCAND_PID=
 
-echo "== [9/9] observability gate =="
+echo "== [9/10] observability gate =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; observability gate skipped"
 else
@@ -663,6 +670,75 @@ PY
     elif [[ "$rc" != "0" && "$rc" != "2" ]]; then
       exit 1
     fi
+  fi
+fi
+
+echo "== [10/10] arena front-end gate (BENCH_PR8.json) =="
+if ! command -v python3 >/dev/null; then
+  echo "python3 not found; arena front-end gate skipped"
+else
+  # Committed baseline structure (always fatal).
+  python3 - BENCH_PR8.json <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("micro", "lex_allocation_contract", "parallel_parse",
+            "fleet", "pre_vs_post_arena", "ci_gate"):
+    assert key in bench, f"BENCH_PR8.json missing section: {key}"
+micro = bench["micro"]
+for key in ("BM_Parse_ms", "BM_ParsePreArena_ms", "arena_speedup"):
+    assert key in micro, f"micro section missing: {key}"
+contract = bench["lex_allocation_contract"]
+assert contract["heap_allocs_arena"] < contract["tokens"] / 1000, (
+    "committed lex allocation contract is not per-file")
+gate = bench["ci_gate"]
+assert float(gate["arena_speedup_min"]) >= 1, "bad arena_speedup_min"
+print(f"BENCH_PR8.json OK (committed arena speedup: "
+      f"{micro['arena_speedup']}x, gate >= {gate['arena_speedup_min']}x)")
+PY
+
+  # Parallel parsing must be behaviorally invisible: the corpus dump —
+  # verdicts, findings, s-exprs, witnesses, fingerprints on all 44 apps
+  # — must be byte-identical between a serial and a 4-thread parse.
+  PP_DIR="$SMOKE_DIR/parse_pool"
+  mkdir -p "$PP_DIR"
+  "$BUILD_DIR/examples/corpus_verdicts" --parse-threads 1 \
+    > "$PP_DIR/verdicts_serial.txt"
+  "$BUILD_DIR/examples/corpus_verdicts" --parse-threads 4 \
+    > "$PP_DIR/verdicts_parallel.txt"
+  if ! cmp -s "$PP_DIR/verdicts_serial.txt" "$PP_DIR/verdicts_parallel.txt"; then
+    echo "FAIL: corpus verdicts differ between serial and parallel parse" >&2
+    diff "$PP_DIR/verdicts_serial.txt" "$PP_DIR/verdicts_parallel.txt" | head >&2
+    exit 1
+  fi
+  APPS=$(grep -c '^app: ' "$PP_DIR/verdicts_serial.txt")
+  echo "corpus verdicts byte-identical, serial vs 4-thread parse ($APPS apps)"
+
+  # Same-run speedup gate: the frozen pre-arena front end and the arena
+  # front end parse the same app in the same process, so the ratio is
+  # machine-independent and gates hard.
+  if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
+    echo "arena speedup gate skipped (SKIP_BENCH=1)"
+  else
+    "$BUILD_DIR/bench/bench_micro" \
+      --benchmark_filter='BM_Parse$|BM_ParsePreArena$' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > "$PP_DIR/bench.json"
+    python3 - "$PP_DIR/bench.json" BENCH_PR8.json <<'PY'
+import json, sys
+medians = {}
+for b in json.load(open(sys.argv[1]))["benchmarks"]:
+    if b["name"].endswith("_median"):
+        medians[b["name"].removesuffix("_median")] = b["real_time"]
+arena = medians["BM_Parse"]
+prearena = medians["BM_ParsePreArena"]
+floor = float(json.load(open(sys.argv[2]))["ci_gate"]["arena_speedup_min"])
+ratio = prearena / arena if arena > 0 else 0.0
+print(f"arena front end {arena:.2f} ms vs pre-arena {prearena:.2f} ms: "
+      f"{ratio:.2f}x (gate >= {floor}x)")
+if ratio < floor:
+    sys.exit(f"FAIL: arena front end only {ratio:.2f}x faster than the "
+             f"frozen pre-arena baseline (floor {floor}x)")
+PY
   fi
 fi
 

@@ -15,10 +15,14 @@
 # (parallel fleet driver, shared solver query cache, cancellation),
 # telemetry_test (metrics registry and trace recording under concurrent
 # scans), service_test (scand worker pool, watchdog, durable cache
-# flushes under concurrent requests) and observability_test (lock-free
+# flushes under concurrent requests), observability_test (lock-free
 # flight-recorder ring racing snapshot against a writer, concurrent
-# trace/metrics export). ASan and TSan cannot share a build, hence the
-# separate mode and build directory.
+# trace/metrics export), parse_pool_test (parallel per-file parsing:
+# work-stealing claim counter, per-file arenas/sinks, deadline expiry
+# mid-pool) and property_fuzz_test (serial-vs-parallel parse identity
+# over generated multi-file apps, end to end through the detector).
+# ASan and TSan cannot share a build, hence the separate mode and build
+# directory.
 #
 #   $ ci/sanitize.sh [ctest-args...]
 #   $ ci/sanitize.sh --tsan [ctest-args...]
@@ -38,11 +42,12 @@ if [[ "$MODE" == "tsan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUCHECKER_TSAN=ON
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
-    --target scan_many_test telemetry_test service_test observability_test
+    --target scan_many_test telemetry_test service_test observability_test \
+             parse_pool_test property_fuzz_test
 
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$PWD/ci/tsan.supp"
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R '^(scan_many_test|telemetry_test|service_test|observability_test)$' "$@"
+    -R '^(scan_many_test|telemetry_test|service_test|observability_test|parse_pool_test|property_fuzz_test)$' "$@"
   exit 0
 fi
 

@@ -13,7 +13,11 @@
 // additive (CI does exactly that). --dump DIR additionally writes each
 // corpus app as a PHP tree under DIR/<app>/ so file-oriented tools
 // (scan_directory --sarif-out, external scanners) can run on the corpus.
+// --parse-threads N parses each app's files on an N-thread pool (0 =
+// auto); diffing against a --parse-threads 1 dump proves parallel
+// parsing is behaviorally invisible (CI does that too).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -45,20 +49,27 @@ bool dump_app(const std::filesystem::path& dir, const Application& app) {
 
 int main(int argc, char** argv) {
   bool explain = false;
+  int parse_threads = 1;
   std::string dump_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
     } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
       dump_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--parse-threads") == 0 && i + 1 < argc) {
+      parse_threads = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--explain] [--dump DIR]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--explain] [--dump DIR] [--parse-threads N]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   ScanOptions options;
   options.explain = explain;
+  options.parse_threads =
+      parse_threads > 0 ? static_cast<std::size_t>(parse_threads) : 0;
   Detector detector(options);
   for (const uchecker::corpus::CorpusEntry& entry :
        uchecker::corpus::full_corpus()) {

@@ -48,7 +48,9 @@ if ($b + $a > 10) {
   SourceManager sources;
   DiagnosticSink diags;
   const FileId id = sources.add_file(name, source);
-  const phpast::PhpFile file = phpparse::parse_php(*sources.file(id), diags);
+  Arena arena;
+  const phpast::PhpFile file =
+      phpparse::parse_php(*sources.file(id), diags, arena);
   if (diags.has_errors()) {
     std::fprintf(stderr, "%s", diags.render(sources).c_str());
   }

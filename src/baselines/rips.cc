@@ -13,11 +13,15 @@ BaselineReport RipsScanner::scan(const core::Application& app) const {
 
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // Arena moves preserve AST pointers
+  arenas.reserve(app.files.size());
   std::vector<phpast::PhpFile> parsed;
   parsed.reserve(app.files.size());
   for (const core::AppFile& f : app.files) {
     const FileId id = sources.add_file(f.name, f.content);
-    parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
+    arenas.emplace_back();
+    parsed.push_back(
+        phpparse::parse_php(*sources.file(id), diags, arenas.back()));
   }
   std::vector<const phpast::PhpFile*> ptrs;
   for (const phpast::PhpFile& f : parsed) ptrs.push_back(&f);

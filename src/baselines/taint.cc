@@ -11,17 +11,17 @@ using namespace phpast;  // NOLINT: baseline is an AST consumer
 
 namespace {
 
-bool is_user_source(const std::string& name) {
+bool is_user_source(std::string_view name) {
   return name == "_FILES" || name == "_POST" || name == "_GET" ||
          name == "_REQUEST" || name == "_COOKIE";
 }
 
-bool is_sink_name(const std::string& lower) {
+bool is_sink_name(std::string_view lower) {
   return lower == "move_uploaded_file" || lower == "file_put_contents" ||
          lower == "file_put_content";
 }
 
-bool is_sanitizer_name(const std::string& lower) {
+bool is_sanitizer_name(std::string_view lower) {
   return lower == "in_array" || lower == "pathinfo" ||
          lower == "wp_check_filetype" || lower == "getimagesize" ||
          lower == "preg_match" || lower == "wp_handle_upload" ||
@@ -50,7 +50,7 @@ class ScopeScanner {
   ScopeScanner(std::string scope_name, std::vector<TaintFinding>& out)
       : scope_(std::move(scope_name)), out_(out) {}
 
-  void run(const std::vector<StmtPtr>& body) {
+  void run(Span<const StmtPtr> body) {
     for (const auto& stmt : body) count_statements(*stmt);
     // Two passes give a cheap fixpoint for use-before-def ordering
     // produced by loops.
@@ -127,16 +127,17 @@ class ScopeScanner {
       if (a.target->kind() == NodeKind::kVariable) {
         const auto& v = static_cast<const Variable&>(*a.target);
         if (tainted_expr(*a.value)) {
-          tainted_vars_.insert(v.name);
+          tainted_vars_.insert(std::string(v.name));
         }
       } else if (a.target->kind() == NodeKind::kArrayAccess) {
         // $arr[k] = tainted taints the whole array variable.
-        const Expr* base = a.target.get();
+        const Expr* base = a.target;
         while (base->kind() == NodeKind::kArrayAccess) {
-          base = static_cast<const ArrayAccess&>(*base).base.get();
+          base = static_cast<const ArrayAccess&>(*base).base;
         }
         if (base->kind() == NodeKind::kVariable && tainted_expr(*a.value)) {
-          tainted_vars_.insert(static_cast<const Variable&>(*base).name);
+          tainted_vars_.insert(
+              std::string(static_cast<const Variable&>(*base).name));
         }
       }
       return;
@@ -154,8 +155,8 @@ class ScopeScanner {
       return;
     }
     for_each_child(e, [this](const Node& child) {
-      if (const auto* expr = dynamic_cast<const Expr*>(&child)) {
-        scan_expr(*expr);
+      if (is_expr_kind(child.kind())) {
+        scan_expr(static_cast<const Expr&>(child));
       }
     });
   }
@@ -165,11 +166,11 @@ class ScopeScanner {
     const Expr* src = nullptr;
     const Expr* dst = nullptr;
     if (is_move) {
-      src = c.args.size() > 0 ? c.args[0].get() : nullptr;
-      dst = c.args.size() > 1 ? c.args[1].get() : nullptr;
+      src = c.args.size() > 0 ? c.args[0] : nullptr;
+      dst = c.args.size() > 1 ? c.args[1] : nullptr;
     } else {
-      dst = c.args.size() > 0 ? c.args[0].get() : nullptr;
-      src = c.args.size() > 1 ? c.args[1].get() : nullptr;
+      dst = c.args.size() > 0 ? c.args[0] : nullptr;
+      src = c.args.size() > 1 ? c.args[1] : nullptr;
     }
     if (src == nullptr || !tainted_expr(*src)) return;
     // Across fixpoint passes, update an existing finding's features (the
@@ -216,17 +217,17 @@ class ScopeScanner {
     }
     // Detect sanitizer mentions in conditions too.
     for_each_child(stmt, [this](const Node& child) {
-      if (const auto* expr = dynamic_cast<const Expr*>(&child)) {
-        scan_expr(*expr);
-      } else if (const auto* s = dynamic_cast<const Stmt*>(&child)) {
-        scan_stmt(*s);
+      if (is_expr_kind(child.kind())) {
+        scan_expr(static_cast<const Expr&>(child));
+      } else {
+        scan_stmt(static_cast<const Stmt&>(child));
       }
     });
   }
 
   std::string scope_;
   std::vector<TaintFinding>& out_;
-  std::set<std::string> tainted_vars_;
+  std::set<std::string, std::less<>> tainted_vars_;
   bool has_sanitizer_ = false;
   bool has_direct_name_ = false;
   std::size_t statements_ = 0;
@@ -235,13 +236,13 @@ class ScopeScanner {
 void scan_scopes(const PhpFile& file, std::vector<TaintFinding>& out) {
   // File body scope.
   ScopeScanner file_scope(file.name, out);
-  file_scope.run(file.statements);
+  file_scope.run(as_span(file.statements));
   // Every function/method scope (including nested declarations).
   for (const auto& stmt : file.statements) {
     walk(*stmt, [&out](const Node& n) {
       if (n.kind() == NodeKind::kFunctionDecl) {
         const auto& fn = static_cast<const FunctionDecl&>(n);
-        ScopeScanner fn_scope(fn.name, out);
+        ScopeScanner fn_scope(std::string(fn.name), out);
         fn_scope.run(fn.body);
       }
       return true;

@@ -49,12 +49,12 @@ Program build_program(const std::vector<const phpast::PhpFile*>& files) {
                 strutil::to_lower(cls.name) + "::" + strutil::to_lower(method->name);
             program.functions.emplace(
                 qualified,
-                Program::FunctionInfo{qualified, method.get(), file->file});
+                Program::FunctionInfo{qualified, method, file->file});
             // Also register by bare method name if unambiguous, since
             // WordPress hooks often receive bare method names.
             const std::string bare = strutil::to_lower(method->name);
             program.functions.emplace(
-                bare, Program::FunctionInfo{bare, method.get(), file->file});
+                bare, Program::FunctionInfo{bare, method, file->file});
           }
           return false;  // methods handled above
         }
@@ -213,12 +213,12 @@ class GraphBuilder {
     return files_node_;
   }
 
-  NodeId sink_node(const std::string& name) {
+  NodeId sink_node(std::string_view name) {
     auto it = sink_nodes_.find(name);
     if (it != sink_nodes_.end()) return it->second;
     const NodeId id =
-        graph_.add_node(CallGraphNode::Kind::kSink, name + "()");
-    sink_nodes_.emplace(name, id);
+        graph_.add_node(CallGraphNode::Kind::kSink, std::string(name) + "()");
+    sink_nodes_.emplace(std::string(name), id);
     return id;
   }
 
@@ -345,7 +345,7 @@ class GraphBuilder {
     if (arg.kind() == NodeKind::kArrayLit) {
       const auto& lit = static_cast<const phpast::ArrayLit&>(arg);
       if (lit.items.size() != 2) return;
-      const phpast::Expr* member = lit.items[1].value.get();
+      const phpast::Expr* member = lit.items[1].value;
       if (member == nullptr || member->kind() != NodeKind::kStringLit) return;
       const std::string method = strutil::to_lower(
           static_cast<const phpast::StringLit&>(*member).value);
@@ -397,9 +397,9 @@ class GraphBuilder {
   const Program& program_;
   const SinkRegistry& sinks_;
   CallGraph graph_;
-  std::map<std::string, NodeId> file_nodes_;
-  std::map<std::string, NodeId> function_nodes_;
-  std::map<std::string, NodeId> sink_nodes_;
+  std::map<std::string, NodeId, std::less<>> file_nodes_;
+  std::map<std::string, NodeId, std::less<>> function_nodes_;
+  std::map<std::string, NodeId, std::less<>> sink_nodes_;
   NodeId files_node_ = kNoNode;
 };
 

@@ -40,7 +40,7 @@ struct Program {
     FileId file;
   };
   // Keyed by lowercase name. Populated by build_program().
-  std::map<std::string, FunctionInfo> functions;
+  std::map<std::string, FunctionInfo, std::less<>> functions;
 };
 
 // Collects every file-level and method-level function into a registry.

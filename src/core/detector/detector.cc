@@ -4,7 +4,9 @@
 #include <chrono>
 #include <new>
 
+#include "phpparse/parse_pool.h"
 #include "phpparse/parser.h"
+#include "support/strutil.h"
 #include "smt/solver.h"
 #include "support/fault_injector.h"
 #include "support/flight_recorder.h"
@@ -46,7 +48,7 @@ std::string mint_trace_id(std::string_view app_name) {
 
 // Display name of an analysis root for error attribution.
 std::string root_name(const AnalysisRoot& root) {
-  if (root.function != nullptr) return root.function->name + "()";
+  if (root.function != nullptr) return strutil::cat(root.function->name, "()");
   if (root.file != nullptr) return root.file->name;
   return "<root>";
 }
@@ -282,25 +284,43 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   };
 
   diags.set_phase("parse");
-  std::vector<phpast::PhpFile> parsed;
-  parsed.reserve(app.files.size());
   const CostClock::time_point parse_start = CostClock::now();
+  // Registration is serial (it fixes FileIds and SourceFile addresses);
+  // the parse itself fans out per file — one arena and one diagnostic
+  // sink each, merged back in registration order so the diagnostic
+  // stream and every downstream verdict are independent of thread count
+  // (see phpparse/parse_pool.h).
+  std::vector<const SourceFile*> source_files;
+  source_files.reserve(app.files.size());
+  for (const AppFile& f : app.files) {
+    const FileId id = sources.add_file(f.name, f.content);
+    source_files.push_back(sources.file(id));
+  }
+  const std::size_t parse_threads = phpparse::resolve_parse_threads(
+      options_.parse_threads, source_files.size());
+  std::vector<phpparse::ParsedUnit> units;
   {
     const telemetry::SpanScope parse_span(trace, "parse");
-    for (const AppFile& f : app.files) {
-      if (deadline.expired()) {
+    units = phpparse::parse_files(source_files, parse_threads, &deadline);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      phpparse::ParsedUnit& unit = units[i];
+      if (!unit.attempted) {
         report.deadline_exceeded = true;
         if (trace != nullptr) {
           trace->record_event("deadline_exceeded", "during parse");
         }
         break;
       }
-      const telemetry::SpanScope file_span(trace, "parse.file", f.name);
-      const FileId id = sources.add_file(f.name, f.content);
-      try {
-        parsed.push_back(phpparse::parse_php(*sources.file(id), diags));
-      } catch (...) {
-        report.errors.push_back(describe_current_exception("parse", f.name));
+      const telemetry::SpanScope file_span(trace, "parse.file",
+                                           app.files[i].name);
+      diags.merge(unit.diags);
+      if (unit.error != nullptr) {
+        try {
+          std::rethrow_exception(unit.error);
+        } catch (...) {
+          report.errors.push_back(
+              describe_current_exception("parse", app.files[i].name));
+        }
       }
     }
   }
@@ -310,7 +330,9 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   report.total_loc = sources.total_loc();
 
   std::vector<const phpast::PhpFile*> file_ptrs;
-  for (const phpast::PhpFile& f : parsed) file_ptrs.push_back(&f);
+  for (const phpparse::ParsedUnit& unit : units) {
+    if (unit.attempted && unit.error == nullptr) file_ptrs.push_back(&unit.ast);
+  }
   const Program program = build_program(file_ptrs);
 
   // Phase 2: vulnerability-oriented locality analysis. Without roots

@@ -77,6 +77,12 @@ struct ScanOptions {
   // attached, Detector::scan mints one so every traced scan is
   // addressable; with no telemetry it stays empty (zero-overhead path).
   std::string trace_id;
+  // Parse-phase worker threads. 0 = auto (hardware concurrency capped
+  // at 8); 1 = serial parsing on the scanning thread. Parsing is
+  // per-file independent (one arena, one diagnostic sink per file; see
+  // phpparse/parse_pool.h), so thread count never changes verdicts,
+  // diagnostics, or their order — only wall-clock time.
+  std::size_t parse_threads = 0;
   // Optional per-worker flight recorder (support/flight_recorder.h):
   // phase transitions, progress samples and solver calls are mirrored
   // into its lock-free ring so a watchdog can dump what a wedged scan

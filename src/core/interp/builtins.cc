@@ -19,12 +19,13 @@ Label arg_or_fresh(BuiltinContext& ctx, std::size_t i, Type type,
 }
 
 // Typed opaque model: an O_FUNC node over the argument objects.
-Label opaque(BuiltinContext& ctx, const std::string& name, Type type) {
+Label opaque(BuiltinContext& ctx, std::string_view name, Type type) {
   std::vector<Label> children;
   for (Label a : ctx.args) {
     if (a != kNoLabel) children.push_back(a);
   }
-  return ctx.graph.add_func(name, type, std::move(children), ctx.loc);
+  return ctx.graph.add_func(std::string(name), type, std::move(children),
+                            ctx.loc);
 }
 
 // Recognizes (stem . "." . ext) built by the pre-structured $_FILES
@@ -325,8 +326,8 @@ Label model_strrchr(BuiltinContext& ctx) {
 // ---------------------------------------------------------------------------
 // Registry
 
-const std::map<std::string, Handler>& semantic_registry() {
-  static const auto* registry = new std::map<std::string, Handler>{
+const std::map<std::string, Handler, std::less<>>& semantic_registry() {
+  static const auto* registry = new std::map<std::string, Handler, std::less<>>{
       {"basename", model_basename},
       {"pathinfo", model_pathinfo},
       {"explode", model_explode},
@@ -348,8 +349,8 @@ const std::map<std::string, Handler>& semantic_registry() {
 
 // Result types for typed opaque builtins (Table II operations plus the
 // common library surface of WordPress-style plugins).
-const std::map<std::string, Type>& typed_registry() {
-  static const auto* registry = new std::map<std::string, Type>{
+const std::map<std::string, Type, std::less<>>& typed_registry() {
+  static const auto* registry = new std::map<std::string, Type, std::less<>>{
       {"strlen", Type::kInt},
       {"strpos", Type::kInt},
       {"strrpos", Type::kInt},
@@ -449,7 +450,7 @@ const std::map<std::string, Type>& typed_registry() {
 
 // Hook registrars return true and have no symbolic effect here: the call
 // graph already models their callback edges.
-bool is_hook_registrar(const std::string& name) {
+bool is_hook_registrar(std::string_view name) {
   return name == "add_action" || name == "add_filter" ||
          name == "remove_action" || name == "remove_filter" ||
          name == "register_activation_hook" ||
@@ -460,7 +461,7 @@ bool is_hook_registrar(const std::string& name) {
 
 }  // namespace
 
-bool is_identity_builtin(const std::string& name) {
+bool is_identity_builtin(std::string_view name) {
   return name == "strtolower" || name == "strtoupper" || name == "trim" ||
          name == "ltrim" || name == "rtrim" || name == "stripslashes" ||
          name == "addslashes" || name == "urldecode" ||
@@ -488,7 +489,7 @@ Label resolve_through_identity(const HeapGraph& graph, Label label) {
   return label;
 }
 
-Label dispatch_builtin(BuiltinContext& ctx, const std::string& name) {
+Label dispatch_builtin(BuiltinContext& ctx, std::string_view name) {
   const auto& semantic = semantic_registry();
   if (const auto it = semantic.find(name); it != semantic.end()) {
     return it->second(ctx);
@@ -496,7 +497,8 @@ Label dispatch_builtin(BuiltinContext& ctx, const std::string& name) {
   if (is_identity_builtin(name)) {
     const Label arg = arg_or_fresh(ctx, 0, Type::kString, "identity_arg");
     ctx.graph.refine_type(arg, Type::kString);
-    return ctx.graph.add_func(name, Type::kString, {arg}, ctx.loc);
+    return ctx.graph.add_func(std::string(name), Type::kString, {arg},
+                              ctx.loc);
   }
   if (is_hook_registrar(name)) {
     return ctx.graph.add_concrete(Value(true), ctx.loc);
@@ -509,11 +511,11 @@ Label dispatch_builtin(BuiltinContext& ctx, const std::string& name) {
   return opaque(ctx, name, Type::kUnknown);
 }
 
-Label builtin_const_value(Interpreter& interp, const std::string& name,
+Label builtin_const_value(Interpreter& interp, std::string_view name,
                           SourceLoc loc) {
   HeapGraph& graph = interp.graph();
-  static const std::map<std::string, std::int64_t>* int_consts =
-      new std::map<std::string, std::int64_t>{
+  static const std::map<std::string, std::int64_t, std::less<>>* int_consts =
+      new std::map<std::string, std::int64_t, std::less<>>{
           {"PATHINFO_DIRNAME", 1},    {"PATHINFO_BASENAME", 2},
           {"PATHINFO_EXTENSION", 4},  {"PATHINFO_FILENAME", 8},
           {"UPLOAD_ERR_OK", 0},       {"UPLOAD_ERR_INI_SIZE", 1},
@@ -531,7 +533,8 @@ Label builtin_const_value(Interpreter& interp, const std::string& name,
   if (name == "PHP_EOL") {
     return graph.add_concrete(Value(std::string("\n")), loc);
   }
-  return interp.fresh_symbol("const_" + name, Type::kUnknown, loc);
+  return interp.fresh_symbol(strutil::cat("const_", name), Type::kUnknown,
+                             loc);
 }
 
 }  // namespace uchecker::core

@@ -16,7 +16,7 @@
 //      (paper §III-D's exception rule).
 #pragma once
 
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/heapgraph/heapgraph.h"
@@ -39,19 +39,19 @@ struct BuiltinContext {
 // Evaluates builtin `name` (lowercase) for one environment; returns the
 // result object's label. Unknown names get the level-3 default model.
 [[nodiscard]] Label dispatch_builtin(BuiltinContext& ctx,
-                                     const std::string& name);
+                                     std::string_view name);
 
 // Value of a PHP constant (PATHINFO_EXTENSION, UPLOAD_ERR_OK, ...);
 // unknown constants become named symbols.
 [[nodiscard]] Label builtin_const_value(Interpreter& interp,
-                                        const std::string& name,
+                                        std::string_view name,
                                         SourceLoc loc);
 
 // String functions whose symbolic value is translated as the identity on
 // their first argument (strtolower, trim, ...): for satisfiability
 // checking the attacker controls the input, so case/whitespace mapping
 // does not change whether a ".php" suffix is reachable.
-[[nodiscard]] bool is_identity_builtin(const std::string& name);
+[[nodiscard]] bool is_identity_builtin(std::string_view name);
 
 // Follows identity builtins (and basename) down to the underlying value;
 // used to recognize the pre-structured $_FILES "name" object behind

@@ -19,7 +19,7 @@ using phpast::UnaryOp;
 
 namespace {
 
-bool is_superglobal(const std::string& name) {
+bool is_superglobal(std::string_view name) {
   return name == "_FILES" || name == "_POST" || name == "_GET" ||
          name == "_REQUEST" || name == "_SERVER" || name == "_COOKIE" ||
          name == "_SESSION" || name == "_ENV" || name == "GLOBALS";
@@ -256,22 +256,23 @@ InterpResult Interpreter::run(const AnalysisRoot& root) {
             env.set(pid, pop(env));
           }
         } else {
-          const Label sym = fresh_symbol("param_" + fn.params[i].name,
-                                         Type::kUnknown, fn.loc());
+          const Label sym = fresh_symbol(
+              strutil::cat("param_", fn.params[i].name), Type::kUnknown,
+              fn.loc());
           for (Env& env : envs_) env.set(pid, sym);
         }
       }
     } else {
       for (const phpast::Param& p : fn.params) {
         const VarId pid = vid(p.name);
-        const Label sym =
-            fresh_symbol("param_" + p.name, Type::kUnknown, fn.loc());
+        const Label sym = fresh_symbol(strutil::cat("param_", p.name),
+                                       Type::kUnknown, fn.loc());
         for (Env& env : envs_) env.set(pid, sym);
       }
     }
     exec_stmts(fn.body);
   } else if (root.file != nullptr) {
-    exec_stmts(root.file->statements);
+    exec_stmts(as_span(root.file->statements));
   }
 
   stats_.paths = envs_.size();
@@ -291,7 +292,7 @@ InterpResult Interpreter::run(const AnalysisRoot& root) {
 // ---------------------------------------------------------------------------
 // Statements
 
-void Interpreter::exec_stmts(const std::vector<phpast::StmtPtr>& stmts) {
+void Interpreter::exec_stmts(Span<const phpast::StmtPtr> stmts) {
   for (const auto& stmt : stmts) {
     if (aborted_ || !any_running()) return;
     exec_stmt(*stmt);
@@ -315,7 +316,7 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
       break;
     case NodeKind::kWhile: {
       const auto& s = static_cast<const phpast::While&>(stmt);
-      exec_loop(s.cond.get(), s.body, nullptr);
+      exec_loop(s.cond, s.body, nullptr);
       break;
     }
     case NodeKind::kDoWhile: {
@@ -333,7 +334,7 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
         eval_expr(*e);
         discard_results(1);
       }
-      exec_loop(s.cond.empty() ? nullptr : s.cond.front().get(), s.body,
+      exec_loop(s.cond.empty() ? nullptr : s.cond.front(), s.body,
                 &s.step);
       break;
     }
@@ -368,12 +369,12 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
       break;
     case NodeKind::kGlobal: {
       const auto& s = static_cast<const phpast::Global&>(stmt);
-      for (const std::string& name : s.names) {
+      for (const std::string_view name : s.names) {
         auto it = globals_.find(name);
         if (it == globals_.end()) {
-          const Label sym =
-              fresh_symbol("global_" + name, Type::kUnknown, stmt.loc());
-          it = globals_.emplace(name, sym).first;
+          const Label sym = fresh_symbol(strutil::cat("global_", name),
+                                         Type::kUnknown, stmt.loc());
+          it = globals_.emplace(std::string(name), sym).first;
         }
         const VarId id = vid(name);
         for (Env& env : envs_) {
@@ -391,8 +392,8 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
           if (env.running()) env.set(id, pop(env));
         }
       } else {
-        const Label sym =
-            fresh_symbol("static_" + s.name, Type::kUnknown, stmt.loc());
+        const Label sym = fresh_symbol(strutil::cat("static_", s.name),
+                                       Type::kUnknown, stmt.loc());
         for (Env& env : envs_) {
           if (env.running()) env.set(id, sym);
         }
@@ -430,7 +431,7 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
         const VarId cid = c.variable.empty() ? kNoVar : vid(c.variable);
         for (Env& env : envs_) {
           if (env.running() && cid != kNoVar) {
-            env.set(cid, fresh_symbol("exc_" + c.exception_class,
+            env.set(cid, fresh_symbol(strutil::cat("exc_", c.exception_class),
                                       Type::kUnknown, stmt.loc()));
           }
         }
@@ -463,7 +464,7 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
 
 void Interpreter::exec_branch(const std::vector<Label>& cond_labels,
                               bool negate,
-                              const std::vector<phpast::StmtPtr>& body,
+                              Span<const phpast::StmtPtr> body,
                               std::vector<Env> base_envs,
                               std::vector<Env>& out) {
   envs_ = std::move(base_envs);
@@ -489,11 +490,11 @@ void Interpreter::exec_if(const phpast::If& stmt) {
   // branch by repeatedly processing clauses.
   struct Clause {
     const Expr* cond;
-    const std::vector<phpast::StmtPtr>* body;
+    phpast::StmtList body;
   };
   std::vector<Clause> clauses;
-  clauses.push_back({stmt.cond.get(), &stmt.then_body});
-  for (const auto& c : stmt.elseifs) clauses.push_back({c.cond.get(), &c.body});
+  clauses.push_back({stmt.cond, stmt.then_body});
+  for (const auto& c : stmt.elseifs) clauses.push_back({c.cond, c.body});
 
   // Processes clause `i` over the current envs_; joins into `result`.
   std::vector<Env> result;
@@ -510,7 +511,7 @@ void Interpreter::exec_if(const phpast::If& stmt) {
     envs_ = std::move(running);
   }
 
-  static const std::vector<phpast::StmtPtr> kEmptyBody;
+  const phpast::StmtList kEmptyBody;
   std::vector<Env> pending = std::move(envs_);
   envs_.clear();
   for (std::size_t i = 0; i < clauses.size(); ++i) {
@@ -528,7 +529,7 @@ void Interpreter::exec_if(const phpast::If& stmt) {
     envs_.clear();
 
     // True branch.
-    exec_branch(cond_labels, /*negate=*/false, *clauses[i].body, base, result);
+    exec_branch(cond_labels, /*negate=*/false, clauses[i].body, base, result);
     // False branch: either the next clause's pending set or the else body.
     const bool last = (i + 1 == clauses.size());
     if (last) {
@@ -626,8 +627,8 @@ void Interpreter::exec_switch(const phpast::Switch& stmt) {
 }
 
 void Interpreter::exec_loop(const Expr* cond,
-                            const std::vector<phpast::StmtPtr>& body,
-                            const std::vector<phpast::ExprPtr>* step) {
+                            Span<const phpast::StmtPtr> body,
+                            const phpast::ExprList* step) {
   // Approximate `while (c) S` as a bounded unrolling that forks into a
   // skip path (NOT c) and an enter path (c asserted, S executed once per
   // unroll round). Paper §VI: "UChecker does not precisely model loops".
@@ -866,7 +867,7 @@ void Interpreter::eval_include(const phpast::IncludeExpr& include) {
 
   included_once_.insert(target->name);
   include_chain_.push_back(target->name);
-  exec_stmts(target->statements);
+  exec_stmts(as_span(target->statements));
   include_chain_.pop_back();
   // A PHP include evaluates to 1 unless the file returns a value; the
   // distinction rarely matters, so push the conventional 1.
@@ -916,7 +917,8 @@ void Interpreter::eval_expr(const Expr& expr) {
     }
     case NodeKind::kStringLit: {
       const Label l = graph_.add_concrete(
-          Value(static_cast<const phpast::StringLit&>(expr).value), loc);
+          Value(std::string(static_cast<const phpast::StringLit&>(expr).value)),
+          loc);
       for (Env& env : envs_) {
         if (env.running()) push(env, l);
       }
@@ -939,7 +941,8 @@ void Interpreter::eval_expr(const Expr& expr) {
     case NodeKind::kPropertyAccess: {
       const auto& pa = static_cast<const phpast::PropertyAccess&>(expr);
       eval_expr(*pa.base);
-      const Label key = graph_.add_concrete(Value("->" + pa.name), loc);
+      const Label key =
+          graph_.add_concrete(Value(strutil::cat("->", pa.name)), loc);
       for (Env& env : envs_) {
         if (!env.running()) continue;
         const Label base = pop(env);
@@ -947,7 +950,7 @@ void Interpreter::eval_expr(const Expr& expr) {
         if (obj != nullptr && obj->kind == Object::Kind::kArray) {
           bool found = false;
           for (const ArrayEntry& e : obj->entries) {
-            if (!e.int_key && e.key == "->" + pa.name) {
+            if (!e.int_key && e.key == strutil::cat("->", pa.name)) {
               push(env, e.value);
               found = true;
               break;
@@ -1110,7 +1113,7 @@ void Interpreter::eval_expr(const Expr& expr) {
       }
       const auto it = program_.functions.find(strutil::to_lower(call.method));
       std::vector<const Expr*> arg_exprs;
-      for (const auto& a : call.args) arg_exprs.push_back(a.get());
+      for (const auto& a : call.args) arg_exprs.push_back(a);
       if (it != program_.functions.end()) {
         for (const auto& a : call.args) eval_expr(*a);
         eval_user_function(it->second, call.args.size(), loc);
@@ -1128,7 +1131,7 @@ void Interpreter::eval_expr(const Expr& expr) {
         it = program_.functions.find(strutil::to_lower(call.method));
       }
       std::vector<const Expr*> arg_exprs;
-      for (const auto& a : call.args) arg_exprs.push_back(a.get());
+      for (const auto& a : call.args) arg_exprs.push_back(a);
       if (it != program_.functions.end()) {
         for (const auto& a : call.args) eval_expr(*a);
         eval_user_function(it->second, call.args.size(), loc);
@@ -1145,7 +1148,8 @@ void Interpreter::eval_expr(const Expr& expr) {
       for (Env& env : envs_) {
         if (!env.running()) continue;
         for (std::size_t i = 0; i < n.args.size(); ++i) pop(env);
-        push(env, fresh_symbol("obj_" + n.class_name, Type::kUnknown, loc));
+        push(env, fresh_symbol(strutil::cat("obj_", n.class_name),
+                               Type::kUnknown, loc));
       }
       break;
     }
@@ -1264,9 +1268,10 @@ void Interpreter::eval_variable(const phpast::Variable& var) {
     auto it = superglobals_.find(var.name);
     if (it == superglobals_.end()) {
       const bool is_files = var.name == "_FILES";
-      const Label sym = graph_.add_symbol("$" + var.name, Type::kArray, loc,
-                                          /*files_tainted=*/is_files);
-      it = superglobals_.emplace(var.name, sym).first;
+      const Label sym =
+          graph_.add_symbol(strutil::cat("$", var.name), Type::kArray, loc,
+                            /*files_tainted=*/is_files);
+      it = superglobals_.emplace(std::string(var.name), sym).first;
     }
     for (Env& env : envs_) {
       if (env.running()) push(env, it->second);
@@ -1418,7 +1423,7 @@ void Interpreter::assign_into(Env& env, const Expr& target, Label value,
             obj != nullptr && obj->kind == Object::Kind::kArray) {
           entries = obj->entries;
         }
-        const std::string key = "->" + pa.name;
+        const std::string key = strutil::cat("->", pa.name);
         bool replaced = false;
         for (ArrayEntry& e : entries) {
           if (e.key == key) {
@@ -1523,11 +1528,11 @@ void Interpreter::eval_call(const phpast::Call& call) {
   }
 
   std::vector<const Expr*> arg_exprs;
-  for (const auto& a : call.args) arg_exprs.push_back(a.get());
+  for (const auto& a : call.args) arg_exprs.push_back(a);
   eval_builtin_or_unknown(call.callee, arg_exprs, loc);
 }
 
-void Interpreter::record_sink(const std::string& name, std::size_t arg_count,
+void Interpreter::record_sink(std::string_view name, std::size_t arg_count,
                               SourceLoc loc) {
   for (Env& env : envs_) {
     if (!env.running()) continue;
@@ -1546,7 +1551,8 @@ void Interpreter::record_sink(const std::string& name, std::size_t arg_count,
     hit.reachability = env.cur();
     sinks_.push_back(hit);
     // The sink call itself evaluates to a boolean in the program.
-    push(env, graph_.add_func(name, Type::kBool, std::move(args), loc));
+    push(env, graph_.add_func(std::string(name), Type::kBool,
+                              std::move(args), loc));
   }
 }
 
@@ -1556,7 +1562,7 @@ namespace {
 // past them, so paths through them never reach a later sink. Missing
 // this is exactly how a guard like `if (!valid) wp_die();` would turn
 // into a false positive.
-bool is_terminator(const std::string& name) {
+bool is_terminator(std::string_view name) {
   return name == "wp_die" || name == "wp_send_json" ||
          name == "wp_send_json_error" || name == "wp_send_json_success" ||
          name == "wp_redirect_and_exit" || name == "drupal_exit";
@@ -1565,7 +1571,7 @@ bool is_terminator(const std::string& name) {
 }  // namespace
 
 void Interpreter::eval_builtin_or_unknown(
-    const std::string& name, const std::vector<const Expr*>& arg_exprs,
+    std::string_view name, const std::vector<const Expr*>& arg_exprs,
     SourceLoc loc) {
   for (const Expr* a : arg_exprs) eval_expr(*a);
   const bool terminates = is_terminator(name);
@@ -1638,7 +1644,9 @@ void Interpreter::eval_user_function(const Program::FunctionInfo& info,
             break;
           case NodeKind::kStringLit:
             label = graph_.add_concrete(
-                Value(static_cast<const phpast::StringLit&>(def).value), loc);
+                Value(std::string(
+                    static_cast<const phpast::StringLit&>(def).value)),
+                loc);
             break;
           case NodeKind::kBoolLit:
             label = graph_.add_concrete(
@@ -1648,15 +1656,15 @@ void Interpreter::eval_user_function(const Program::FunctionInfo& info,
             label = graph_.add_concrete(Value(std::monostate{}), loc);
             break;
           default:
-            label = fresh_symbol("default_" + fn.params[i].name,
+            label = fresh_symbol(strutil::cat("default_", fn.params[i].name),
                                  Type::kUnknown, loc);
             break;
         }
         env.set(param_ids[i], label);
       } else {
         env.set(param_ids[i],
-                fresh_symbol("param_" + fn.params[i].name, Type::kUnknown,
-                             loc));
+                fresh_symbol(strutil::cat("param_", fn.params[i].name),
+                             Type::kUnknown, loc));
       }
     }
   }

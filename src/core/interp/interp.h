@@ -148,12 +148,12 @@ class Interpreter {
   void eval_array_access(const phpast::ArrayAccess& access);
   void eval_assign(const phpast::Assign& assign);
   void eval_call(const phpast::Call& call);
-  void eval_builtin_or_unknown(const std::string& name,
+  void eval_builtin_or_unknown(std::string_view name,
                                const std::vector<const phpast::Expr*>& arg_exprs,
                                SourceLoc loc);
   void eval_user_function(const Program::FunctionInfo& info,
                           std::size_t arg_count, SourceLoc loc);
-  void record_sink(const std::string& name, std::size_t arg_count,
+  void record_sink(std::string_view name, std::size_t arg_count,
                    SourceLoc loc);
 
   // Assignment into a possibly-nested lvalue for one environment.
@@ -161,16 +161,16 @@ class Interpreter {
                    SourceLoc loc);
 
   // --- statements
-  void exec_stmts(const std::vector<phpast::StmtPtr>& stmts);
+  void exec_stmts(Span<const phpast::StmtPtr> stmts);
   void exec_stmt(const phpast::Stmt& stmt);
   void exec_if(const phpast::If& stmt);
   void exec_branch(const std::vector<Label>& cond_labels, bool negate,
-                   const std::vector<phpast::StmtPtr>& body,
+                   Span<const phpast::StmtPtr> body,
                    std::vector<Env> base_envs, std::vector<Env>& out);
   void exec_switch(const phpast::Switch& stmt);
   void exec_loop(const phpast::Expr* cond,
-                 const std::vector<phpast::StmtPtr>& body,
-                 const std::vector<phpast::ExprPtr>* step);
+                 Span<const phpast::StmtPtr> body,
+                 const phpast::ExprList* step);
   void exec_foreach(const phpast::Foreach& stmt);
 
   // Pops per-statement expression results from running envs.
@@ -198,9 +198,9 @@ class Interpreter {
   bool aborted_ = false;
 
   // Shared (cross-environment) object caches.
-  std::map<std::string, Label> superglobals_;
+  std::map<std::string, Label, std::less<>> superglobals_;
   std::map<std::string, Label> files_entries_;
-  std::map<std::string, Label> globals_;
+  std::map<std::string, Label, std::less<>> globals_;
   std::map<Label, std::pair<Label, Label>> name_parts_;
 
   std::vector<std::string> call_chain_;     // active user-function inlining

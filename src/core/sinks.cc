@@ -11,14 +11,14 @@ SinkRegistry::SinkRegistry() {
 
 void SinkRegistry::add(SinkSpec spec) { specs_.push_back(std::move(spec)); }
 
-bool SinkRegistry::is_sink(const std::string& lower_name) const {
+bool SinkRegistry::is_sink(std::string_view lower_name) const {
   for (const SinkSpec& s : specs_) {
     if (s.name == lower_name) return true;
   }
   return false;
 }
 
-SinkSignature SinkRegistry::signature(const std::string& lower_name) const {
+SinkSignature SinkRegistry::signature(std::string_view lower_name) const {
   for (const SinkSpec& s : specs_) {
     if (s.name == lower_name) return s.signature;
   }

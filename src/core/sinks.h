@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace uchecker::core {
@@ -33,9 +34,9 @@ class SinkRegistry {
   // Registers an additional sink (lowercase name).
   void add(SinkSpec spec);
 
-  [[nodiscard]] bool is_sink(const std::string& lower_name) const;
+  [[nodiscard]] bool is_sink(std::string_view lower_name) const;
   // Signature lookup; defaults to kSrcDst for unknown names.
-  [[nodiscard]] SinkSignature signature(const std::string& lower_name) const;
+  [[nodiscard]] SinkSignature signature(std::string_view lower_name) const;
 
   [[nodiscard]] const std::vector<SinkSpec>& specs() const { return specs_; }
 

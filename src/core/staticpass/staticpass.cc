@@ -55,7 +55,6 @@ bool ends_with(std::string_view s, std::string_view suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-bool is_expr_kind(NodeKind kind) { return kind < NodeKind::kExprStmt; }
 
 // -------------------------------------------------------------------------
 // Abstract values: the taint lattice.
@@ -98,21 +97,21 @@ struct AbsVal {
 };
 
 using Kind = AbsVal::Kind;
-using Env = std::map<std::string, AbsVal>;
+using Env = std::map<std::string, AbsVal, std::less<>>;
 
 AbsVal make(Kind k) { return AbsVal{k, "", "", false, false}; }
 AbsVal bottom() { return make(Kind::kBottom); }
 AbsVal top() { return make(Kind::kTop); }
 AbsVal safe_atom() { return make(Kind::kSafeAtom); }
 AbsVal untainted() { return make(Kind::kUntainted); }
-AbsVal constant(std::string text) {
+AbsVal constant(std::string_view text) {
   AbsVal v = make(Kind::kConst);
-  v.text = std::move(text);
+  v.text = text;
   return v;
 }
-AbsVal files(Kind k, std::string field, bool lowered = false,
+AbsVal files(Kind k, std::string_view field, bool lowered = false,
              bool basenamed = false) {
-  return AbsVal{k, std::move(field), "", lowered, basenamed};
+  return AbsVal{k, std::string(field), "", lowered, basenamed};
 }
 
 bool is_files(Kind k) {
@@ -163,10 +162,10 @@ struct Suffix {
 
 Suffix unknown_suffix() { return Suffix{}; }
 
-Suffix lit_suffix(std::string text, bool whole) {
+Suffix lit_suffix(std::string_view text, bool whole) {
   Suffix s;
   s.kind = Suffix::Kind::kLit;
-  s.texts.push_back(std::move(text));
+  s.texts.push_back(std::string(text));
   s.whole = whole;
   return s;
 }
@@ -269,18 +268,18 @@ struct GuardEval {
 
 // -------------------------------------------------------------------------
 
-const std::set<std::string>& terminator_builtins() {
+const std::set<std::string, std::less<>>& terminator_builtins() {
   // Mirrors the symbolic interpreter's is_terminator() list.
-  static const std::set<std::string> kSet{
+  static const std::set<std::string, std::less<>> kSet{
       "wp_die",           "wp_send_json",         "wp_send_json_error",
       "wp_send_json_success", "wp_redirect_and_exit", "drupal_exit",
   };
   return kSet;
 }
 
-const std::set<std::string>& higher_order_builtins() {
+const std::set<std::string, std::less<>>& higher_order_builtins() {
   // Builtins that invoke a callback or otherwise escape this analysis.
-  static const std::set<std::string> kSet{
+  static const std::set<std::string, std::less<>> kSet{
       "call_user_func", "call_user_func_array", "array_map", "array_walk",
       "array_filter",   "usort",                "uasort",    "uksort",
       "array_reduce",   "preg_replace_callback", "register_shutdown_function",
@@ -290,7 +289,7 @@ const std::set<std::string>& higher_order_builtins() {
   return kSet;
 }
 
-bool is_superglobal(const std::string& name) {
+bool is_superglobal(std::string_view name) {
   return name == "_POST" || name == "_GET" || name == "_REQUEST" ||
          name == "_COOKIE" || name == "_SERVER" || name == "_SESSION" ||
          name == "_ENV" || name == "GLOBALS";
@@ -317,23 +316,25 @@ class Analyzer {
   // --- taint lattice -----------------------------------------------------
   AbsVal transfer(const VarBinding& b, const Env& env);
   AbsVal eval(const Expr& e, const Env& env);
-  AbsVal eval_var(const std::string& name, const Env& env);
+  AbsVal eval_var(std::string_view name, const Env& env);
   AbsVal eval_array_access(const ArrayAccess& aa, const Env& env);
   AbsVal eval_call(const Call& call, const Env& env);
   AbsVal concat_val(const AbsVal& lhs, const AbsVal& rhs);
 
   // --- destination suffixes ----------------------------------------------
-  Suffix suffix_of(const Expr& e, std::set<std::string>& visiting, int depth);
-  Suffix var_suffix(const std::string& name, std::set<std::string>& visiting,
+  Suffix suffix_of(const Expr& e, std::set<std::string, std::less<>>& visiting,
+                   int depth);
+  Suffix var_suffix(std::string_view name,
+                    std::set<std::string, std::less<>>& visiting,
                     int depth);
   Suffix absval_to_suffix(const AbsVal& v) const;
 
   // --- guard recognition -------------------------------------------------
-  void scan_stmts(const std::vector<StmtPtr>& stmts);
+  void scan_stmts(Span<const StmtPtr> stmts);
   void scan_stmt(const Stmt& s);
   void collect_sinks_expr(const Expr& e);
   void collect_sinks_children(const Stmt& s);
-  bool always_exits(const std::vector<StmtPtr>& stmts) const;
+  bool always_exits(Span<const StmtPtr> stmts) const;
   bool stmt_exits(const Stmt& s) const;
 
   CondInfo cond_info(const Expr& cond, const std::string& field);
@@ -347,8 +348,8 @@ class Analyzer {
                          const std::string& trailing) const;
 
   // --- escape hatches ----------------------------------------------------
-  std::string find_bail(const std::vector<StmtPtr>& stmts);
-  bool function_reaches_sink(const std::string& lower_name);
+  std::string find_bail(Span<const StmtPtr> stmts);
+  bool function_reaches_sink(std::string_view lower_name);
   bool method_reaches_sink(const std::string& lower_method);
 
   // --- lints -------------------------------------------------------------
@@ -364,16 +365,17 @@ class Analyzer {
   std::set<std::string> exec_;
 
   std::vector<VarBinding> bindings_;
-  std::map<std::string, std::vector<const VarBinding*>> bindings_by_name_;
-  std::set<std::string> bound_names_;
-  std::map<std::string, AbsVal> param_values_;
+  std::map<std::string, std::vector<const VarBinding*>, std::less<>>
+      bindings_by_name_;
+  std::set<std::string, std::less<>> bound_names_;
+  std::map<std::string, AbsVal, std::less<>> param_values_;
   bool caller_scope_ = false;
   Env env_;
 
   std::vector<Fact> facts_;
   std::vector<SinkSite> sink_sites_;
 
-  std::map<std::string, NodeId> function_nodes_;
+  std::map<std::string, NodeId, std::less<>> function_nodes_;
   std::map<NodeId, bool> reach_memo_;
 
   std::set<std::pair<std::string, std::string>> lint_keys_;
@@ -448,7 +450,7 @@ AbsVal Analyzer::transfer(const VarBinding& b, const Env& env) {
   return top();
 }
 
-AbsVal Analyzer::eval_var(const std::string& name, const Env& env) {
+AbsVal Analyzer::eval_var(std::string_view name, const Env& env) {
   if (name == "_FILES") return files(Kind::kFilesArray, "");
   if (is_superglobal(name)) return top();
   if (caller_scope_) return top();
@@ -463,7 +465,7 @@ AbsVal Analyzer::eval_array_access(const ArrayAccess& aa, const Env& env) {
   AbsVal base = eval(*aa.base, env);
   const StringLit* lit =
       aa.index != nullptr && aa.index->kind() == NodeKind::kStringLit
-          ? static_cast<const StringLit*>(aa.index.get())
+          ? static_cast<const StringLit*>(aa.index)
           : nullptr;
   switch (base.kind) {
     case Kind::kBottom:
@@ -534,7 +536,7 @@ AbsVal Analyzer::concat_val(const AbsVal& lhs, const AbsVal& rhs) {
 
 AbsVal Analyzer::eval_call(const Call& call, const Env& env) {
   if (call.is_dynamic()) return top();
-  const std::string& name = call.callee;
+  const std::string_view name = call.callee;
   auto arg = [&](std::size_t i) -> AbsVal {
     if (i >= call.args.size() || call.args[i] == nullptr) return top();
     return eval(*call.args[i], env);
@@ -586,7 +588,7 @@ AbsVal Analyzer::eval_call(const Call& call, const Env& env) {
     if (v.kind == Kind::kFilesName) {
       if (call.args.size() >= 2 && call.args[1] != nullptr &&
           call.args[1]->kind() == NodeKind::kConstFetch) {
-        const std::string flag =
+        const std::string_view flag =
             static_cast<const ConstFetch&>(*call.args[1]).name;
         if (flag == "PATHINFO_EXTENSION") {
           return files(Kind::kFilesExt, v.field, v.lowered);
@@ -779,8 +781,9 @@ Suffix Analyzer::absval_to_suffix(const AbsVal& v) const {
   }
 }
 
-Suffix Analyzer::var_suffix(const std::string& name,
-                            std::set<std::string>& visiting, int depth) {
+Suffix Analyzer::var_suffix(std::string_view name,
+                            std::set<std::string, std::less<>>& visiting,
+                            int depth) {
   if (depth > 8 || visiting.count(name) != 0 ||
       bound_names_.count(name) == 0) {
     auto it = env_.find(name);
@@ -788,7 +791,7 @@ Suffix Analyzer::var_suffix(const std::string& name,
   }
   const auto bit = bindings_by_name_.find(name);
   if (bit == bindings_by_name_.end()) return unknown_suffix();
-  visiting.insert(name);
+  visiting.insert(std::string(name));
   std::optional<Suffix> acc;
   bool syntactic = true;
   for (const VarBinding* b : bit->second) {
@@ -804,7 +807,7 @@ Suffix Analyzer::var_suffix(const std::string& name,
     }
     acc = acc.has_value() ? suffix_join(*acc, s) : s;
   }
-  visiting.erase(name);
+  visiting.erase(std::string(name));
   if (!syntactic || !acc.has_value()) {
     auto it = env_.find(name);
     return it == env_.end() ? unknown_suffix() : absval_to_suffix(it->second);
@@ -812,7 +815,8 @@ Suffix Analyzer::var_suffix(const std::string& name,
   return *acc;
 }
 
-Suffix Analyzer::suffix_of(const Expr& e, std::set<std::string>& visiting,
+Suffix Analyzer::suffix_of(const Expr& e,
+                           std::set<std::string, std::less<>>& visiting,
                            int depth) {
   if (depth > 32) return unknown_suffix();
   switch (e.kind()) {
@@ -938,7 +942,7 @@ bool Analyzer::stmt_exits(const Stmt& s) const {
     case NodeKind::kThrowStmt:
       return true;
     case NodeKind::kExprStmt: {
-      const Expr* e = static_cast<const phpast::ExprStmt&>(s).expr.get();
+      const Expr* e = static_cast<const phpast::ExprStmt&>(s).expr;
       if (e == nullptr) return false;
       if (e->kind() == NodeKind::kExitExpr) return true;
       if (e->kind() == NodeKind::kCall) {
@@ -966,7 +970,7 @@ bool Analyzer::stmt_exits(const Stmt& s) const {
   }
 }
 
-bool Analyzer::always_exits(const std::vector<StmtPtr>& stmts) const {
+bool Analyzer::always_exits(Span<const StmtPtr> stmts) const {
   for (const StmtPtr& s : stmts) {
     if (s != nullptr && stmt_exits(*s)) return true;
   }
@@ -1000,19 +1004,19 @@ void Analyzer::scan_stmt(const Stmt& s) {
       const auto& f = static_cast<const If&>(s);
       collect_sinks_expr(*f.cond);
       const std::size_t mark = facts_.size();
-      facts_.push_back(Fact{f.cond.get(), true, nullptr, {}});
+      facts_.push_back(Fact{f.cond, true, nullptr, {}});
       scan_stmts(f.then_body);
       facts_.resize(mark);
-      std::vector<const Expr*> negations{f.cond.get()};
+      std::vector<const Expr*> negations{f.cond};
       for (const auto& ei : f.elseifs) {
         for (const Expr* c : negations) {
           facts_.push_back(Fact{c, false, nullptr, {}});
         }
         collect_sinks_expr(*ei.cond);
-        facts_.push_back(Fact{ei.cond.get(), true, nullptr, {}});
+        facts_.push_back(Fact{ei.cond, true, nullptr, {}});
         scan_stmts(ei.body);
         facts_.resize(mark);
-        negations.push_back(ei.cond.get());
+        negations.push_back(ei.cond);
       }
       if (f.has_else) {
         for (const Expr* c : negations) {
@@ -1024,10 +1028,10 @@ void Analyzer::scan_stmt(const Stmt& s) {
       // Exit guards establish persistent facts for the rest of this
       // statement list: `if (c) { die; }` implies !c afterwards.
       if (f.elseifs.empty() && !f.has_else && always_exits(f.then_body)) {
-        facts_.push_back(Fact{f.cond.get(), false, nullptr, {}});
+        facts_.push_back(Fact{f.cond, false, nullptr, {}});
       } else if (f.elseifs.empty() && f.has_else &&
                  always_exits(f.else_body) && !always_exits(f.then_body)) {
-        facts_.push_back(Fact{f.cond.get(), true, nullptr, {}});
+        facts_.push_back(Fact{f.cond, true, nullptr, {}});
       }
       return;
     }
@@ -1043,7 +1047,7 @@ void Analyzer::scan_stmt(const Stmt& s) {
           has_default = true;
           default_exits = always_exits(c.body);
         } else if (c.match->kind() == NodeKind::kStringLit) {
-          lits.push_back(static_cast<const StringLit&>(*c.match).value);
+          lits.push_back(std::string(static_cast<const StringLit&>(*c.match).value));
         } else {
           lits_ok = false;
         }
@@ -1055,14 +1059,14 @@ void Analyzer::scan_stmt(const Stmt& s) {
           scan_stmts(c.body);  // default body: subject unconstrained
         } else {
           if (constrains) {
-            facts_.push_back(Fact{nullptr, true, sw.subject.get(), lits});
+            facts_.push_back(Fact{nullptr, true, sw.subject, lits});
           }
           scan_stmts(c.body);
           facts_.resize(mark);
         }
       }
       if (lits_ok && has_default && default_exits) {
-        facts_.push_back(Fact{nullptr, true, sw.subject.get(), lits});
+        facts_.push_back(Fact{nullptr, true, sw.subject, lits});
       }
       return;
     }
@@ -1131,7 +1135,7 @@ void Analyzer::scan_stmt(const Stmt& s) {
   }
 }
 
-void Analyzer::scan_stmts(const std::vector<StmtPtr>& stmts) {
+void Analyzer::scan_stmts(Span<const StmtPtr> stmts) {
   for (const StmtPtr& s : stmts) {
     if (s != nullptr) scan_stmt(*s);
   }
@@ -1145,12 +1149,12 @@ std::optional<std::vector<std::string>> Analyzer::literal_set(const Expr& e) {
           item.value->kind() != NodeKind::kStringLit) {
         return std::nullopt;
       }
-      out.push_back(static_cast<const StringLit&>(*item.value).value);
+      out.push_back(std::string(static_cast<const StringLit&>(*item.value).value));
     }
     return out;
   }
   if (e.kind() == NodeKind::kVariable) {
-    const std::string& name = static_cast<const Variable&>(e).name;
+    const std::string_view name = static_cast<const Variable&>(e).name;
     auto it = bindings_by_name_.find(name);
     if (it == bindings_by_name_.end()) return std::nullopt;
     std::optional<std::vector<std::string>> acc;
@@ -1233,11 +1237,11 @@ CondInfo Analyzer::cond_info(const Expr& cond, const std::string& field) {
       const bool neq = bin.op == BinaryOp::kNotEqual ||
                        bin.op == BinaryOp::kNotIdentical;
       if (!eq && !neq) break;
-      const Expr* lhs = bin.lhs.get();
-      const Expr* rhs = bin.rhs.get();
+      const Expr* lhs = bin.lhs;
+      const Expr* rhs = bin.rhs;
       if (lhs->kind() == NodeKind::kStringLit) std::swap(lhs, rhs);
       if (rhs->kind() != NodeKind::kStringLit) break;
-      const std::string& lit = static_cast<const StringLit&>(*rhs).value;
+      const std::string_view lit = static_cast<const StringLit&>(*rhs).value;
       // substr($name, -k) == '.ext' constrains the name's suffix.
       if (lhs->kind() == NodeKind::kCall) {
         const auto& call = static_cast<const Call&>(*lhs);
@@ -1266,7 +1270,7 @@ CondInfo Analyzer::cond_info(const Expr& cond, const std::string& field) {
             lit[0] != '.') {
           break;
         }
-        const std::string word = lit.substr(1);
+        const std::string word(lit.substr(1));
         if (word.find('.') != std::string::npos) break;
         if (eq) {
           info.allowed_true = std::vector<std::string>{word};
@@ -1281,11 +1285,11 @@ CondInfo Analyzer::cond_info(const Expr& cond, const std::string& field) {
       AbsVal subject = eval(*lhs, env_);
       if (subject.kind != Kind::kFilesExt || subject.field != field) break;
       if (eq) {
-        info.allowed_true = std::vector<std::string>{lit};
-        info.excluded_false = std::vector<std::string>{lit};
+        info.allowed_true = std::vector<std::string>{std::string(lit)};
+        info.excluded_false = std::vector<std::string>{std::string(lit)};
       } else {
-        info.excluded_true = std::vector<std::string>{lit};
-        info.allowed_false = std::vector<std::string>{lit};
+        info.excluded_true = std::vector<std::string>{std::string(lit)};
+        info.allowed_false = std::vector<std::string>{std::string(lit)};
       }
       info.unlowered = !subject.lowered;
       break;
@@ -1393,11 +1397,11 @@ SinkSummary Analyzer::classify_sink(const SinkSite& site) {
   }
   const SinkSignature sig = sinks_.signature(site.call->callee);
   const Expr* src_expr = sig == SinkSignature::kSrcDst
-                             ? site.call->args[0].get()
-                             : site.call->args[1].get();
+                             ? site.call->args[0]
+                             : site.call->args[1];
   const Expr* dst_expr = sig == SinkSignature::kSrcDst
-                             ? site.call->args[1].get()
-                             : site.call->args[0].get();
+                             ? site.call->args[1]
+                             : site.call->args[0];
   if (src_expr == nullptr || dst_expr == nullptr) {
     out.reason = "malformed sink call";
     return out;
@@ -1410,7 +1414,7 @@ SinkSummary Analyzer::classify_sink(const SinkSite& site) {
     return out;
   }
 
-  std::set<std::string> visiting;
+  std::set<std::string, std::less<>> visiting;
   const Suffix dst = suffix_of(*dst_expr, visiting, 0);
   switch (dst.kind) {
     case Suffix::Kind::kLit: {
@@ -1510,7 +1514,7 @@ SinkSummary Analyzer::classify_sink(const SinkSite& site) {
 
 // --- escape hatches ------------------------------------------------------
 
-bool Analyzer::function_reaches_sink(const std::string& lower_name) {
+bool Analyzer::function_reaches_sink(std::string_view lower_name) {
   if (function_nodes_.empty()) {
     for (NodeId i = 0; i < static_cast<NodeId>(graph_.node_count()); ++i) {
       const CallGraphNode& n = graph_.node(i);
@@ -1537,7 +1541,7 @@ bool Analyzer::method_reaches_sink(const std::string& lower_method) {
   return false;
 }
 
-std::string Analyzer::find_bail(const std::vector<StmtPtr>& stmts) {
+std::string Analyzer::find_bail(Span<const StmtPtr> stmts) {
   std::string reason;
   auto visit = [this, &reason](const Node& n) -> bool {
     if (!reason.empty()) return false;
@@ -1558,12 +1562,15 @@ std::string Analyzer::find_bail(const std::vector<StmtPtr>& stmts) {
           return false;
         }
         if (higher_order_builtins().count(call.callee) != 0) {
-          reason = "higher-order builtin " + call.callee;
+          reason = "higher-order builtin ";
+          reason += call.callee;
           return false;
         }
         if (program_.functions.count(call.callee) != 0 &&
             function_reaches_sink(call.callee)) {
-          reason = "call into " + call.callee + "() which reaches a sink";
+          reason = "call into ";
+          reason += call.callee;
+          reason += "() which reaches a sink";
           return false;
         }
         return true;
@@ -1635,10 +1642,10 @@ void Analyzer::add_lint(const char* rule, Severity severity, SourceLoc loc,
 // --- driver --------------------------------------------------------------
 
 RootAnalysis Analyzer::run() {
-  const std::vector<StmtPtr>* body = root_.function != nullptr
-                                         ? &root_.function->body
-                                         : &root_.file->statements;
-  phpast::collect_var_bindings(*body, bindings_);
+  const Span<const StmtPtr> body =
+      root_.function != nullptr ? Span<const StmtPtr>(root_.function->body)
+                                : as_span(root_.file->statements);
+  phpast::collect_var_bindings(body, bindings_);
 
   if (root_.function != nullptr) {
     caller_scope_ = true;
@@ -1654,8 +1661,9 @@ RootAnalysis Analyzer::run() {
         v = eval(*p.default_value, empty);
       }
       param_values_.emplace(p.name, std::move(v));
-      bindings_.push_back(VarBinding{p.name, VarBinding::Kind::kAssign,
-                                     nullptr, BinaryOp::kConcat, nullptr});
+      bindings_.push_back(VarBinding{std::string(p.name),
+                                     VarBinding::Kind::kAssign, nullptr,
+                                     BinaryOp::kConcat, nullptr});
     }
     caller_scope_ = false;
   }
@@ -1670,8 +1678,8 @@ RootAnalysis Analyzer::run() {
       [this](const VarBinding& b, const Env& env) { return transfer(b, env); },
       [](const AbsVal& a, const AbsVal& b) { return join(a, b); });
 
-  const std::string bail = find_bail(*body);
-  scan_stmts(*body);
+  const std::string bail = find_bail(body);
+  scan_stmts(body);
 
   RootAnalysis result;
   bool all_prunable = true;

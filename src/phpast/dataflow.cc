@@ -14,7 +14,7 @@ void bind_target(const Expr& target, const Expr* value, const Node& site,
 const Variable* subscript_root(const Expr& expr) {
   const Expr* e = &expr;
   while (e->kind() == NodeKind::kArrayAccess) {
-    e = static_cast<const ArrayAccess&>(*e).base.get();
+    e = static_cast<const ArrayAccess&>(*e).base;
   }
   return e->kind() == NodeKind::kVariable ? static_cast<const Variable*>(e)
                                           : nullptr;
@@ -24,14 +24,16 @@ void bind_target(const Expr& target, const Expr* value, const Node& site,
                  std::vector<VarBinding>& out) {
   switch (target.kind()) {
     case NodeKind::kVariable:
-      out.push_back(VarBinding{static_cast<const Variable&>(target).name,
-                               VarBinding::Kind::kAssign, value,
-                               BinaryOp::kConcat, &site});
+      out.push_back(
+          VarBinding{std::string(static_cast<const Variable&>(target).name),
+                     VarBinding::Kind::kAssign, value, BinaryOp::kConcat,
+                     &site});
       break;
     case NodeKind::kArrayAccess:
       if (const Variable* root = subscript_root(target)) {
-        out.push_back(VarBinding{root->name, VarBinding::Kind::kOpaque,
-                                 nullptr, BinaryOp::kConcat, &site});
+        out.push_back(VarBinding{std::string(root->name),
+                                 VarBinding::Kind::kOpaque, nullptr,
+                                 BinaryOp::kConcat, &site});
       }
       break;
     case NodeKind::kListExpr:
@@ -40,7 +42,7 @@ void bind_target(const Expr& target, const Expr* value, const Node& site,
         if (element == nullptr) continue;
         if (element->kind() == NodeKind::kVariable) {
           out.push_back(VarBinding{
-              static_cast<const Variable&>(*element).name,
+              std::string(static_cast<const Variable&>(*element).name),
               VarBinding::Kind::kListElement, value, BinaryOp::kConcat, &site});
         } else {
           bind_target(*element, nullptr, site, out);
@@ -66,20 +68,19 @@ void collect_from_node(const Node& node, std::vector<VarBinding>& out) {
         if (assign.compound_op.has_value() &&
             assign.target->kind() == NodeKind::kVariable) {
           out.push_back(VarBinding{
-              static_cast<const Variable&>(*assign.target).name,
-              VarBinding::Kind::kCompound, assign.value.get(),
-              *assign.compound_op, &n});
+              std::string(static_cast<const Variable&>(*assign.target).name),
+              VarBinding::Kind::kCompound, assign.value, *assign.compound_op,
+              &n});
         } else {
-          bind_target(*assign.target, assign.value.get(), n, out);
+          bind_target(*assign.target, assign.value, n, out);
         }
         // `$a = &$b` aliases: later writes through $a also change $b, so
         // $b's value is no longer fully described by its own bindings.
         if (assign.by_ref && assign.value != nullptr &&
             assign.value->kind() == NodeKind::kVariable) {
-          out.push_back(
-              VarBinding{static_cast<const Variable&>(*assign.value).name,
-                         VarBinding::Kind::kOpaque, nullptr,
-                         BinaryOp::kConcat, &n});
+          out.push_back(VarBinding{
+              std::string(static_cast<const Variable&>(*assign.value).name),
+              VarBinding::Kind::kOpaque, nullptr, BinaryOp::kConcat, &n});
         }
         return true;
       }
@@ -88,27 +89,29 @@ void collect_from_node(const Node& node, std::vector<VarBinding>& out) {
         const auto& fe = static_cast<const Foreach&>(n);
         if (fe.value_var != nullptr) {
           if (fe.value_var->kind() == NodeKind::kVariable) {
-            out.push_back(
-                VarBinding{static_cast<const Variable&>(*fe.value_var).name,
-                           VarBinding::Kind::kForeachValue, fe.iterable.get(),
-                           BinaryOp::kConcat, &n});
+            out.push_back(VarBinding{
+                std::string(static_cast<const Variable&>(*fe.value_var).name),
+                VarBinding::Kind::kForeachValue, fe.iterable,
+                BinaryOp::kConcat, &n});
           } else {
-            bind_target(*fe.value_var, fe.iterable.get(), n, out);
+            bind_target(*fe.value_var, fe.iterable, n, out);
           }
         }
         if (fe.key_var != nullptr &&
             fe.key_var->kind() == NodeKind::kVariable) {
-          out.push_back(
-              VarBinding{static_cast<const Variable&>(*fe.key_var).name,
-                         VarBinding::Kind::kForeachKey, fe.iterable.get(),
-                         BinaryOp::kConcat, &n});
+          out.push_back(VarBinding{
+              std::string(static_cast<const Variable&>(*fe.key_var).name),
+              VarBinding::Kind::kForeachKey, fe.iterable, BinaryOp::kConcat,
+              &n});
         }
         return true;
       }
 
       case NodeKind::kGlobal:
-        for (const std::string& name : static_cast<const Global&>(n).names) {
-          out.push_back(VarBinding{name, VarBinding::Kind::kOpaque, nullptr,
+        for (const std::string_view name :
+             static_cast<const Global&>(n).names) {
+          out.push_back(VarBinding{std::string(name),
+                                   VarBinding::Kind::kOpaque, nullptr,
                                    BinaryOp::kConcat, &n});
         }
         return true;
@@ -116,10 +119,9 @@ void collect_from_node(const Node& node, std::vector<VarBinding>& out) {
       case NodeKind::kStaticVarStmt:
         // A static local persists across calls; its joined value is not
         // derivable from this body alone.
-        out.push_back(
-            VarBinding{static_cast<const StaticVarStmt&>(n).name,
-                       VarBinding::Kind::kOpaque, nullptr, BinaryOp::kConcat,
-                       &n});
+        out.push_back(VarBinding{
+            std::string(static_cast<const StaticVarStmt&>(n).name),
+            VarBinding::Kind::kOpaque, nullptr, BinaryOp::kConcat, &n});
         return true;
 
       case NodeKind::kUnary: {
@@ -129,10 +131,9 @@ void collect_from_node(const Node& node, std::vector<VarBinding>& out) {
                              unary.op == UnaryOp::kPostInc ||
                              unary.op == UnaryOp::kPostDec;
         if (mutates && unary.operand->kind() == NodeKind::kVariable) {
-          out.push_back(
-              VarBinding{static_cast<const Variable&>(*unary.operand).name,
-                         VarBinding::Kind::kOpaque, nullptr,
-                         BinaryOp::kConcat, &n});
+          out.push_back(VarBinding{
+              std::string(static_cast<const Variable&>(*unary.operand).name),
+              VarBinding::Kind::kOpaque, nullptr, BinaryOp::kConcat, &n});
         }
         return true;
       }
@@ -145,9 +146,9 @@ void collect_from_node(const Node& node, std::vector<VarBinding>& out) {
 
 }  // namespace
 
-void collect_var_bindings(const std::vector<StmtPtr>& stmts,
+void collect_var_bindings(Span<const StmtPtr> stmts,
                           std::vector<VarBinding>& out) {
-  for (const StmtPtr& stmt : stmts) {
+  for (const StmtPtr stmt : stmts) {
     if (stmt != nullptr) collect_from_node(*stmt, out);
   }
 }

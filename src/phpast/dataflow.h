@@ -57,7 +57,7 @@ struct VarBinding {
 // Collects every binding of simple variables in `stmts`, recursing into
 // nested statements and expressions but not into nested FunctionDecl /
 // ClassDecl / Closure bodies.
-void collect_var_bindings(const std::vector<StmtPtr>& stmts,
+void collect_var_bindings(Span<const StmtPtr> stmts,
                           std::vector<VarBinding>& out);
 
 // Flow-insensitive fixpoint over `bindings`.
@@ -70,10 +70,10 @@ void collect_var_bindings(const std::vector<StmtPtr>& stmts,
 // bound do not appear in the result — the client decides what an absent
 // entry means (typically top).
 template <typename Value, typename Eval, typename Join>
-std::map<std::string, Value> solve_flow_insensitive(
+std::map<std::string, Value, std::less<>> solve_flow_insensitive(
     const std::vector<VarBinding>& bindings, Eval&& eval, Join&& join,
     std::size_t max_rounds = 16) {
-  std::map<std::string, Value> env;
+  std::map<std::string, Value, std::less<>> env;
   for (std::size_t round = 0; round < max_rounds; ++round) {
     bool changed = false;
     for (const VarBinding& b : bindings) {

@@ -34,10 +34,14 @@ class Printer {
                 ")\n";
         break;
       case NodeKind::kVariable:
-        out_ += "(var $" + static_cast<const Variable&>(node).name + ")\n";
+        out_ += "(var $";
+        out_ += static_cast<const Variable&>(node).name;
+        out_ += ")\n";
         break;
       case NodeKind::kConstFetch:
-        out_ += "(const " + static_cast<const ConstFetch&>(node).name + ")\n";
+        out_ += "(const ";
+        out_ += static_cast<const ConstFetch&>(node).name;
+        out_ += ")\n";
         break;
       case NodeKind::kArrayAccess: {
         const auto& n = static_cast<const ArrayAccess&>(node);
@@ -54,7 +58,9 @@ class Printer {
       }
       case NodeKind::kPropertyAccess: {
         const auto& n = static_cast<const PropertyAccess&>(node);
-        out_ += "(prop " + n.name + "\n";
+        out_ += "(prop ";
+        out_ += n.name;
+        out_ += "\n";
         print(*n.base, indent + 1);
         close(indent);
         break;
@@ -109,7 +115,9 @@ class Printer {
           out_ += "(dyncall\n";
           print(*n.callee_expr, indent + 1);
         } else {
-          out_ += "(call " + n.callee + "\n";
+          out_ += "(call ";
+          out_ += n.callee;
+          out_ += "\n";
         }
         for (const auto& a : n.args) print(*a, indent + 1);
         close(indent);
@@ -117,7 +125,9 @@ class Printer {
       }
       case NodeKind::kMethodCall: {
         const auto& n = static_cast<const MethodCall&>(node);
-        out_ += "(method-call " + n.method + "\n";
+        out_ += "(method-call ";
+        out_ += n.method;
+        out_ += "\n";
         print(*n.object, indent + 1);
         for (const auto& a : n.args) print(*a, indent + 1);
         close(indent);
@@ -125,14 +135,20 @@ class Printer {
       }
       case NodeKind::kStaticCall: {
         const auto& n = static_cast<const StaticCall&>(node);
-        out_ += "(static-call " + n.class_name + "::" + n.method + "\n";
+        out_ += "(static-call ";
+        out_ += n.class_name;
+        out_ += "::";
+        out_ += n.method;
+        out_ += "\n";
         for (const auto& a : n.args) print(*a, indent + 1);
         close(indent);
         break;
       }
       case NodeKind::kNew: {
         const auto& n = static_cast<const New&>(node);
-        out_ += "(new " + n.class_name + "\n";
+        out_ += "(new ";
+        out_ += n.class_name;
+        out_ += "\n";
         for (const auto& a : n.args) print(*a, indent + 1);
         close(indent);
         break;
@@ -197,7 +213,8 @@ class Printer {
         out_ += "(closure (";
         for (std::size_t i = 0; i < n.params.size(); ++i) {
           if (i != 0) out_ += ' ';
-          out_ += '$' + n.params[i].name;
+          out_ += '$';
+          out_ += n.params[i].name;
         }
         out_ += ")\n";
         for (const auto& s : n.body) print(*s, indent + 1);
@@ -308,13 +325,18 @@ class Printer {
       case NodeKind::kGlobal: {
         const auto& n = static_cast<const Global&>(node);
         out_ += "(global";
-        for (const auto& name : n.names) out_ += " $" + name;
+        for (const auto& name : n.names) {
+          out_ += " $";
+          out_ += name;
+        }
         out_ += ")\n";
         break;
       }
       case NodeKind::kStaticVarStmt: {
         const auto& n = static_cast<const StaticVarStmt&>(node);
-        out_ += "(static $" + n.name + "\n";
+        out_ += "(static $";
+        out_ += n.name;
+        out_ += "\n";
         if (n.init != nullptr) print(*n.init, indent + 1);
         close(indent);
         break;
@@ -335,10 +357,13 @@ class Printer {
       }
       case NodeKind::kFunctionDecl: {
         const auto& n = static_cast<const FunctionDecl&>(node);
-        out_ += "(function " + n.name + " (";
+        out_ += "(function ";
+        out_ += n.name;
+        out_ += " (";
         for (std::size_t i = 0; i < n.params.size(); ++i) {
           if (i != 0) out_ += ' ';
-          out_ += '$' + n.params[i].name;
+          out_ += '$';
+          out_ += n.params[i].name;
         }
         out_ += ")\n";
         for (const auto& s : n.body) print(*s, indent + 1);
@@ -347,8 +372,12 @@ class Printer {
       }
       case NodeKind::kClassDecl: {
         const auto& n = static_cast<const ClassDecl&>(node);
-        out_ += "(class " + n.name;
-        if (!n.parent.empty()) out_ += " extends " + n.parent;
+        out_ += "(class ";
+        out_ += n.name;
+        if (!n.parent.empty()) {
+          out_ += " extends ";
+          out_ += n.parent;
+        }
         out_ += "\n";
         for (const auto& m : n.methods) print(*m, indent + 1);
         close(indent);
@@ -360,7 +389,11 @@ class Printer {
         for (const auto& s : n.body) print(*s, indent + 1);
         for (const auto& c : n.catches) {
           pad(indent + 1);
-          out_ += "(catch " + c.exception_class + " $" + c.variable + "\n";
+          out_ += "(catch ";
+          out_ += c.exception_class;
+          out_ += " $";
+          out_ += c.variable;
+          out_ += "\n";
           for (const auto& s : c.body) print(*s, indent + 2);
           close(indent + 1);
         }
@@ -384,11 +417,14 @@ class Printer {
         out_ += "(html)\n";
         break;
       case NodeKind::kNamespaceDecl:
-        out_ += "(namespace " +
-                static_cast<const NamespaceDecl&>(node).name + ")\n";
+        out_ += "(namespace ";
+        out_ += static_cast<const NamespaceDecl&>(node).name;
+        out_ += ")\n";
         break;
       case NodeKind::kUseDecl:
-        out_ += "(use " + static_cast<const UseDecl&>(node).path + ")\n";
+        out_ += "(use ";
+        out_ += static_cast<const UseDecl&>(node).path;
+        out_ += ")\n";
         break;
     }
   }

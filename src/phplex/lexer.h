@@ -4,12 +4,20 @@
 // tags with inline HTML, single-/double-quoted strings with simple
 // interpolation, heredoc/nowdoc, all comment styles, and the full
 // operator set of the parser's grammar.
+//
+// The lexer first copies the file content into the Arena, then emits
+// tokens whose `text` views point either straight into that copy
+// (identifiers, numbers, escape-free strings) or into arena-allocated
+// decoded buffers (strings with escapes, heredoc bodies). Lexing never
+// heap-allocates per token; everything a Token references outlives the
+// SourceFile and dies with the Arena.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "phplex/token.h"
+#include "support/arena.h"
 #include "support/diag.h"
 #include "support/source.h"
 
@@ -17,7 +25,7 @@ namespace uchecker::phplex {
 
 class Lexer {
  public:
-  Lexer(const SourceFile& file, DiagnosticSink& diags);
+  Lexer(const SourceFile& file, DiagnosticSink& diags, Arena& arena);
 
   // Lexes the whole file. Always ends with a kEndOfFile token.
   [[nodiscard]] std::vector<Token> lex_all();
@@ -28,31 +36,49 @@ class Lexer {
   char advance();
   [[nodiscard]] bool match(char expected);
   [[nodiscard]] SourceLoc loc_here() const;
+  // View into the arena-backed source copy for [begin, end).
+  [[nodiscard]] std::string_view slice(std::size_t begin,
+                                       std::size_t end) const {
+    return src_.substr(begin, end - begin);
+  }
 
   void lex_inline_html(std::vector<Token>& out);
   void lex_php_token(std::vector<Token>& out);
-  Token lex_variable();
-  Token lex_number();
-  Token lex_identifier_or_keyword();
-  Token lex_single_quoted();
+  // The sub-lexers take the already-computed location of the token's
+  // first character so it is not recomputed per token.
+  Token lex_variable(SourceLoc start);
+  Token lex_number(SourceLoc start);
+  Token lex_identifier_or_keyword(SourceLoc start);
+  Token lex_single_quoted(SourceLoc start);
   Token lex_double_quoted();
   Token lex_heredoc();
   void skip_line_comment();
   void skip_block_comment();
 
-  // Parses the body of a double-quoted/heredoc string with interpolation
-  // markers into parts; shared between lex_double_quoted and lex_heredoc.
-  Token make_string_token(SourceLoc start, std::vector<InterpPart> parts);
+  // Folds the accumulated parts into a kStringLiteral (single literal
+  // segment) or kTemplateString token; shared between lex_double_quoted
+  // and lex_heredoc. The parts' views must already be arena-backed.
+  Token make_string_token(SourceLoc start, std::vector<InterpPart>& parts);
 
   const SourceFile& file_;
   DiagnosticSink& diags_;
-  std::string_view src_;
+  Arena& arena_;
+  std::string_view src_;  // arena-owned copy of the file content
   std::size_t pos_ = 0;
+  // Line cursor for loc_here(): index into file_.line_offsets() of the
+  // line containing the last queried position. Only ever moves forward,
+  // mirroring pos_; mutable because loc_here() is logically const.
+  mutable std::size_t line_idx_ = 0;
   bool in_php_ = false;
+
+  // Reusable scratch buffers for decoding escaped strings; the decoded
+  // bytes are copied into the arena before a token references them.
+  std::string scratch_;
+  std::vector<InterpPart> parts_scratch_;
 };
 
-// Convenience: lex a whole file.
+// Convenience: lex a whole file into `arena`-backed tokens.
 [[nodiscard]] std::vector<Token> lex_file(const SourceFile& file,
-                                          DiagnosticSink& diags);
+                                          DiagnosticSink& diags, Arena& arena);
 
 }  // namespace uchecker::phplex

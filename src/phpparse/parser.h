@@ -4,13 +4,19 @@
 // grammar follows PHP 7 operator precedence; interpolated strings are
 // desugared into concatenation chains so the downstream symbolic
 // interpreter only sees the paper's Table I core syntax plus statements.
+//
+// The parser builds the whole AST inside one caller-provided Arena:
+// nodes are placement-allocated, child lists are arena spans, and every
+// name/literal view is arena-backed (see phpast/ast.h for the ownership
+// model). The returned PhpFile is valid exactly as long as that arena.
 #pragma once
 
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "phpast/ast.h"
 #include "phplex/token.h"
+#include "support/arena.h"
 #include "support/diag.h"
 #include "support/source.h"
 
@@ -19,7 +25,7 @@ namespace uchecker::phpparse {
 class Parser {
  public:
   Parser(const SourceFile& file, std::vector<phplex::Token> tokens,
-         DiagnosticSink& diags);
+         DiagnosticSink& diags, Arena& arena);
 
   // Parses the whole token stream into a PhpFile. Parse errors are
   // reported to the sink; the parser recovers at statement boundaries so
@@ -39,6 +45,22 @@ class Parser {
   [[nodiscard]] bool at_end() const;
   [[nodiscard]] bool check_ident(const char* name) const;
   void synchronize();
+
+  // --- arena helpers
+  template <typename T, typename... Args>
+  [[nodiscard]] T* make(Args&&... args) {
+    return arena_.make<T>(std::forward<Args>(args)...);
+  }
+  template <typename T>
+  [[nodiscard]] Span<T> span_of(const std::vector<T>& v) {
+    return arena_.make_span(v);
+  }
+  // Arena-backed view of `s` lowercased; returns `s` itself when it is
+  // already lowercase (the common case — no copy).
+  [[nodiscard]] std::string_view lower_view(std::string_view s);
+  // Error placeholder: guarantees node constructors never receive a null
+  // required child after a failed sub-parse.
+  [[nodiscard]] ExprPtr require_expr(ExprPtr expr, SourceLoc loc);
 
   // --- statements
   StmtPtr parse_statement();
@@ -73,14 +95,18 @@ class Parser {
   const SourceFile& file_;
   std::vector<phplex::Token> tokens_;
   DiagnosticSink& diags_;
+  Arena& arena_;
   std::size_t pos_ = 0;
   // Expression/statement recursion depth, capped to keep the recursive-
   // descent parser within stack bounds on pathological inputs.
   int depth_ = 0;
+  // Reusable buffer for building names that are then arena-copied.
+  std::string scratch_;
 };
 
-// Convenience: lex + parse a registered source file.
+// Convenience: lex + parse a registered source file. The returned AST
+// lives entirely in `arena` (plus the PhpFile handle's own members).
 [[nodiscard]] phpast::PhpFile parse_php(const SourceFile& file,
-                                        DiagnosticSink& diags);
+                                        DiagnosticSink& diags, Arena& arena);
 
 }  // namespace uchecker::phpparse

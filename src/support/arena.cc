@@ -1,0 +1,125 @@
+#include "support/arena.h"
+
+#include <cstdlib>
+
+namespace uchecker {
+
+Arena::Arena(std::size_t first_block_size)
+    : next_block_size_(first_block_size == 0 ? kDefaultBlockSize
+                                             : first_block_size),
+      first_block_size_(next_block_size_) {}
+
+Arena::~Arena() { free_blocks(); }
+
+Arena::Arena(Arena&& other) noexcept
+    : blocks_(std::move(other.blocks_)),
+      ptr_(other.ptr_),
+      end_(other.end_),
+      next_block_size_(other.next_block_size_),
+      first_block_size_(other.first_block_size_),
+      allocated_(other.allocated_),
+      reserved_(other.reserved_) {
+  other.blocks_.clear();
+  other.ptr_ = other.end_ = nullptr;
+  other.allocated_ = other.reserved_ = 0;
+  other.next_block_size_ = other.first_block_size_;
+}
+
+Arena& Arena::operator=(Arena&& other) noexcept {
+  if (this != &other) {
+    free_blocks();
+    blocks_ = std::move(other.blocks_);
+    ptr_ = other.ptr_;
+    end_ = other.end_;
+    next_block_size_ = other.next_block_size_;
+    first_block_size_ = other.first_block_size_;
+    allocated_ = other.allocated_;
+    reserved_ = other.reserved_;
+    other.blocks_.clear();
+    other.ptr_ = other.end_ = nullptr;
+    other.allocated_ = other.reserved_ = 0;
+    other.next_block_size_ = other.first_block_size_;
+  }
+  return *this;
+}
+
+void Arena::free_blocks() {
+  for (const Block& b : blocks_) std::free(b.data);
+  blocks_.clear();
+  ptr_ = end_ = nullptr;
+}
+
+void Arena::grow(std::size_t min_size) {
+  std::size_t size = next_block_size_;
+  while (size < min_size) size *= 2;
+  Block block;
+  block.data = static_cast<char*>(std::malloc(size));
+  if (block.data == nullptr) throw std::bad_alloc();
+  block.size = size;
+  blocks_.push_back(block);
+  ptr_ = block.data;
+  end_ = block.data + size;
+  reserved_ += size;
+  if (next_block_size_ < kMaxBlockSize) next_block_size_ *= 2;
+}
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  // Large-object fallback: a dedicated block, spliced *behind* the
+  // current bump block so the remaining bump space is not wasted.
+  if (size > kMaxBlockSize) {
+    Block block;
+    block.data = static_cast<char*>(std::malloc(size));
+    if (block.data == nullptr) throw std::bad_alloc();
+    block.size = size;
+    reserved_ += size;
+    allocated_ += size;
+    if (blocks_.empty()) {
+      blocks_.push_back(block);
+      // No bump block yet; keep ptr_/end_ null so the next small
+      // allocation starts a fresh one.
+    } else {
+      blocks_.push_back(blocks_.back());
+      blocks_[blocks_.size() - 2] = block;
+    }
+    return block.data;
+  }
+  char* aligned = reinterpret_cast<char*>(
+      (reinterpret_cast<std::uintptr_t>(ptr_) + (align - 1)) & ~(align - 1));
+  if (ptr_ == nullptr || aligned + size > end_) {
+    grow(size + align);
+    aligned = reinterpret_cast<char*>(
+        (reinterpret_cast<std::uintptr_t>(ptr_) + (align - 1)) & ~(align - 1));
+  }
+  ptr_ = aligned + size;
+  allocated_ += size;
+  return aligned;
+}
+
+std::string_view Arena::copy(std::string_view s) {
+  if (s.empty()) return {};
+  char* data = static_cast<char*>(allocate(s.size(), 1));
+  std::memcpy(data, s.data(), s.size());
+  return {data, s.size()};
+}
+
+void Arena::reset() {
+  while (blocks_.size() > 1) {
+    std::free(blocks_.back().data);
+    reserved_ -= blocks_.back().size;
+    blocks_.pop_back();
+  }
+  allocated_ = 0;
+  if (blocks_.empty()) {
+    ptr_ = end_ = nullptr;
+    next_block_size_ = first_block_size_;
+  } else {
+    ptr_ = blocks_.front().data;
+    end_ = blocks_.front().data + blocks_.front().size;
+    next_block_size_ =
+        blocks_.front().size < kMaxBlockSize ? blocks_.front().size * 2
+                                             : kMaxBlockSize;
+  }
+}
+
+}  // namespace uchecker

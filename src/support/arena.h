@@ -1,0 +1,149 @@
+// Bump-pointer arena allocator for the parser front end.
+//
+// One Arena owns every allocation of one compilation unit: the copied
+// source buffer, decoded string literals, interpolation parts, AST nodes
+// and their child lists. Allocation is a pointer bump; deallocation is
+// wholesale when the arena is destroyed (or reset). Objects placed in an
+// arena must be trivially destructible — their destructors never run —
+// which also makes the resulting AST trivially relocatable: moving the
+// Arena object moves block ownership without invalidating any pointer.
+//
+// Thread model: an Arena is single-threaded by design. Parallel parsing
+// gives every file its own arena, so no synchronization is needed and no
+// allocation is ever shared across threads while being written.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace uchecker {
+
+// A non-owning view of `count` objects of T living in an arena (or any
+// storage outliving the view). Trivially copyable; the arena front end
+// uses it everywhere std::vector would otherwise own heap memory.
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+
+  constexpr Span() = default;
+  constexpr Span(T* data, std::size_t count) : data_(data), count_(count) {}
+
+  // Span<T> -> Span<const T>.
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U (*)[], T (*)[]>>>
+  constexpr Span(const Span<U>& other)  // NOLINT(google-explicit-constructor)
+      : data_(other.data()), count_(other.size()) {}
+
+  [[nodiscard]] constexpr T* data() const { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const { return count_; }
+  [[nodiscard]] constexpr bool empty() const { return count_ == 0; }
+  [[nodiscard]] constexpr T* begin() const { return data_; }
+  [[nodiscard]] constexpr T* end() const { return data_ + count_; }
+  [[nodiscard]] constexpr T& operator[](std::size_t i) const {
+    return data_[i];
+  }
+  [[nodiscard]] constexpr T& front() const { return data_[0]; }
+  [[nodiscard]] constexpr T& back() const { return data_[count_ - 1]; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+// Read-only span view of a vector (the vector must outlive the view).
+// Bridges vector-owned lists (e.g. PhpFile::statements) into APIs that
+// take arena Spans.
+template <typename T>
+[[nodiscard]] constexpr Span<const T> as_span(const std::vector<T>& v) {
+  return {v.data(), v.size()};
+}
+
+class Arena {
+ public:
+  // First block size. Subsequent blocks double up to kMaxBlockSize, so
+  // small files stay in one page-sized block while large files amortize
+  // the malloc count.
+  static constexpr std::size_t kDefaultBlockSize = 16 * 1024;
+  static constexpr std::size_t kMaxBlockSize = 1024 * 1024;
+
+  explicit Arena(std::size_t first_block_size = kDefaultBlockSize);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  // Moving an arena transfers block ownership; every pointer previously
+  // handed out stays valid (blocks never move, only their registry does).
+  Arena(Arena&& other) noexcept;
+  Arena& operator=(Arena&& other) noexcept;
+
+  // Raw allocation, aligned to `align` (a power of two). Requests larger
+  // than kMaxBlockSize get a dedicated block (large-object fallback) and
+  // leave the current bump block in place.
+  [[nodiscard]] void* allocate(std::size_t size, std::size_t align);
+
+  // Placement-constructs a T. Arena objects are freed wholesale, so T
+  // must not own heap memory.
+  template <typename T, typename... Args>
+  [[nodiscard]] T* make(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are freed wholesale without running "
+                  "destructors; T must be trivially destructible");
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  // Copies a byte string into the arena. Returns a view into the copy
+  // (empty input returns an empty view without allocating).
+  [[nodiscard]] std::string_view copy(std::string_view s);
+
+  // Copies the elements of `v` into the arena and returns a span over
+  // the copy. T must be trivially destructible (and is memcpy-safe for
+  // every front-end payload: pointers, views, small PODs).
+  template <typename T>
+  [[nodiscard]] Span<T> make_span(const std::vector<T>& v) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "span elements live in the arena; they must be "
+                  "trivially destructible");
+    if (v.empty()) return {};
+    T* data = static_cast<T*>(allocate(v.size() * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < v.size(); ++i) ::new (data + i) T(v[i]);
+    return Span<T>(data, v.size());
+  }
+
+  // Frees every block except the first, which is rewound — so a pooled
+  // arena reused across files keeps its warm block instead of going back
+  // to malloc. All outstanding pointers are invalidated.
+  void reset();
+
+  // Bytes handed out since construction/reset (sum of allocation sizes,
+  // excluding alignment padding) and bytes reserved from malloc.
+  [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
+  [[nodiscard]] std::size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  struct Block {
+    char* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  // Starts a new bump block of at least `min_size` bytes.
+  void grow(std::size_t min_size);
+  void free_blocks();
+
+  std::vector<Block> blocks_;
+  char* ptr_ = nullptr;   // next free byte in the current bump block
+  char* end_ = nullptr;   // one past the current bump block
+  std::size_t next_block_size_ = kDefaultBlockSize;
+  std::size_t first_block_size_ = kDefaultBlockSize;
+  std::size_t allocated_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace uchecker

@@ -59,6 +59,17 @@ class DiagnosticSink {
     return diags_;
   }
 
+  // Appends every diagnostic of `other`, keeping its phase stamps (they
+  // were stamped by the producing sink, not this one). Used to fold
+  // per-file sinks from parallel parsing into the scan-wide sink in
+  // deterministic file order.
+  void merge(const DiagnosticSink& other) {
+    for (const Diagnostic& d : other.diags_) {
+      diags_.push_back(d);
+      if (d.severity == Severity::kError) ++error_count_;
+    }
+  }
+
   // Error-severity diagnostic counts grouped by phase, in phase-name
   // order. Unattributed diagnostics group under "".
   [[nodiscard]] std::map<std::string, std::size_t> error_counts_by_phase() const;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +50,13 @@ class SourceFile {
   // Maps a byte offset into the content to a (line, column) pair.
   [[nodiscard]] SourceLoc loc_for_offset(std::size_t offset) const;
 
+  // Byte offset of each line start (always non-empty; [0] == 0). The
+  // lexer walks this incrementally instead of binary-searching per
+  // token via loc_for_offset.
+  [[nodiscard]] const std::vector<std::size_t>& line_offsets() const {
+    return line_offsets_;
+  }
+
   // Counts "physical lines of code": non-empty lines that are not pure
   // comment lines. Used by the locality-analysis LoC accounting.
   [[nodiscard]] std::uint32_t loc_count() const;
@@ -60,7 +68,11 @@ class SourceFile {
   std::vector<std::size_t> line_offsets_;  // byte offset of each line start
 };
 
-// Registry of all files in a scan. Append-only; FileIds are stable.
+// Registry of all files in a scan. Append-only; FileIds are stable, and
+// so are SourceFile addresses: files live in a deque, so a pointer from
+// file() survives later add_file calls. The parallel parse pool relies
+// on this — registration hands out per-file pointers that stay valid
+// while more files are registered and while workers lex from them.
 class SourceManager {
  public:
   SourceManager() = default;
@@ -78,7 +90,7 @@ class SourceManager {
   [[nodiscard]] std::size_t file_count() const { return files_.size(); }
 
   // All registered files, in registration order.
-  [[nodiscard]] const std::vector<SourceFile>& files() const { return files_; }
+  [[nodiscard]] const std::deque<SourceFile>& files() const { return files_; }
 
   // Human-readable "name:line:col" rendering of a location.
   [[nodiscard]] std::string describe(SourceLoc loc) const;
@@ -88,7 +100,7 @@ class SourceManager {
   [[nodiscard]] std::uint64_t total_loc() const;
 
  private:
-  std::vector<SourceFile> files_;
+  std::deque<SourceFile> files_;
 };
 
 }  // namespace uchecker

@@ -9,6 +9,25 @@
 
 namespace uchecker::strutil {
 
+// Concatenation of views without an intermediate std::string per operand
+// (std::string_view has no operator+; arena-era identifiers are views).
+[[nodiscard]] inline std::string cat(std::string_view a, std::string_view b) {
+  std::string out;
+  out.reserve(a.size() + b.size());
+  out += a;
+  out += b;
+  return out;
+}
+[[nodiscard]] inline std::string cat(std::string_view a, std::string_view b,
+                                     std::string_view c) {
+  std::string out;
+  out.reserve(a.size() + b.size() + c.size());
+  out += a;
+  out += b;
+  out += c;
+  return out;
+}
+
 // Removes leading and trailing ASCII whitespace.
 [[nodiscard]] std::string_view trim(std::string_view s);
 

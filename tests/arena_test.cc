@@ -1,0 +1,224 @@
+#include "support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace uchecker {
+namespace {
+
+bool is_aligned(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena arena;
+  for (const std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    for (const std::size_t size : {1u, 3u, 7u, 100u}) {
+      void* p = arena.allocate(size, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_TRUE(is_aligned(p, align)) << "size=" << size << " align=" << align;
+      std::memset(p, 0xAB, size);  // must be writable end to end
+    }
+  }
+}
+
+TEST(Arena, ZeroSizeAllocationReturnsDistinctPointers) {
+  Arena arena;
+  void* a = arena.allocate(0, 1);
+  void* b = arena.allocate(0, 1);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, MixedAlignmentsStayAligned) {
+  Arena arena;
+  (void)arena.allocate(1, 1);  // misalign the bump pointer
+  void* p8 = arena.allocate(8, 8);
+  EXPECT_TRUE(is_aligned(p8, 8));
+  (void)arena.allocate(3, 1);
+  void* p16 = arena.allocate(16, 16);
+  EXPECT_TRUE(is_aligned(p16, 16));
+}
+
+TEST(Arena, GrowsAcrossBlocks) {
+  Arena arena(64);  // tiny first block to force growth quickly
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    char* p = static_cast<char*>(arena.allocate(48, 8));
+    std::memset(p, i, 48);
+    ptrs.push_back(p);
+  }
+  // Every earlier allocation must survive later growth.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(ptrs[i][0]), i & 0xFF);
+    EXPECT_EQ(static_cast<unsigned char>(ptrs[i][47]), i & 0xFF);
+  }
+  EXPECT_GE(arena.bytes_allocated(), 100u * 48u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(Arena, LargeObjectFallbackKeepsBumpBlockUsable) {
+  Arena arena;
+  char* small1 = static_cast<char*>(arena.allocate(16, 1));
+  std::memset(small1, 0x11, 16);
+  // A dedicated block, larger than any bump block.
+  const std::size_t huge = Arena::kMaxBlockSize + 1234;
+  char* big = static_cast<char*>(arena.allocate(huge, 8));
+  ASSERT_NE(big, nullptr);
+  big[0] = 'a';
+  big[huge - 1] = 'z';
+  // The bump block survives: the next small allocation lands right after
+  // the first one rather than in a fresh block.
+  char* small2 = static_cast<char*>(arena.allocate(16, 1));
+  EXPECT_EQ(small2, small1 + 16);
+  // And the earlier small allocation is untouched.
+  EXPECT_EQ(small1[0], 0x11);
+  EXPECT_EQ(arena.bytes_reserved() >= huge, true);
+}
+
+TEST(Arena, LargeObjectAsFirstAllocation) {
+  Arena arena;
+  const std::size_t huge = Arena::kMaxBlockSize + 1;
+  char* big = static_cast<char*>(arena.allocate(huge, 8));
+  ASSERT_NE(big, nullptr);
+  big[huge - 1] = 'x';
+  // Subsequent small allocations still work.
+  char* small = static_cast<char*>(arena.allocate(8, 8));
+  ASSERT_NE(small, nullptr);
+  std::memset(small, 0, 8);
+  EXPECT_EQ(big[huge - 1], 'x');
+}
+
+TEST(Arena, ResetKeepsFirstBlockWarm) {
+  Arena arena;
+  void* first = arena.allocate(64, 8);
+  // Force extra blocks.
+  for (int i = 0; i < 10; ++i) (void)arena.allocate(Arena::kDefaultBlockSize / 2, 8);
+  const std::size_t reserved_before = arena.bytes_reserved();
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_LT(arena.bytes_reserved(), reserved_before);
+
+  // The first allocation after reset reuses the warm first block: same
+  // address, and no new bytes are reserved from malloc.
+  const std::size_t reserved_after_reset = arena.bytes_reserved();
+  void* again = arena.allocate(64, 8);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after_reset);
+}
+
+TEST(Arena, ResetOnEmptyArenaIsANoop) {
+  Arena arena;
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  void* p = arena.allocate(8, 8);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, CopyDetachesFromOriginalBuffer) {
+  Arena arena;
+  std::string original = "move_uploaded_file";
+  const std::string_view view = arena.copy(original);
+  EXPECT_EQ(view, "move_uploaded_file");
+  EXPECT_NE(view.data(), original.data());
+  // Mutating (then destroying) the original must not affect the copy.
+  original.assign("clobbered------------");
+  original.clear();
+  original.shrink_to_fit();
+  EXPECT_EQ(view, "move_uploaded_file");
+}
+
+TEST(Arena, CopyEmptyDoesNotAllocate) {
+  Arena arena;
+  const std::size_t before = arena.bytes_allocated();
+  const std::string_view view = arena.copy({});
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(arena.bytes_allocated(), before);
+}
+
+TEST(Arena, MakeConstructsInPlace) {
+  struct Pod {
+    int a;
+    double b;
+  };
+  Arena arena;
+  Pod* p = arena.make<Pod>(Pod{7, 2.5});
+  EXPECT_EQ(p->a, 7);
+  EXPECT_EQ(p->b, 2.5);
+  EXPECT_TRUE(is_aligned(p, alignof(Pod)));
+}
+
+TEST(Arena, MakeSpanCopiesElements) {
+  Arena arena;
+  std::vector<int> v{1, 2, 3, 4};
+  const Span<int> span = arena.make_span(v);
+  ASSERT_EQ(span.size(), 4u);
+  v[0] = 99;  // the span owns an arena copy, not a view of v
+  EXPECT_EQ(span[0], 1);
+  EXPECT_EQ(span.back(), 4);
+  const Span<int> empty = arena.make_span(std::vector<int>{});
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Arena, MoveTransfersOwnershipWithoutInvalidatingPointers) {
+  Arena a;
+  char* p = static_cast<char*>(a.allocate(32, 8));
+  std::memset(p, 0x5C, 32);
+  const std::size_t allocated = a.bytes_allocated();
+
+  Arena b(std::move(a));
+  EXPECT_EQ(b.bytes_allocated(), allocated);
+  EXPECT_EQ(p[0], 0x5C);  // still readable: blocks moved, not freed
+  EXPECT_EQ(a.bytes_allocated(), 0u);  // NOLINT(bugprone-use-after-move)
+
+  // The moved-from arena is reusable.
+  void* q = a.allocate(8, 8);
+  EXPECT_NE(q, nullptr);
+
+  Arena c;
+  c = std::move(b);
+  EXPECT_EQ(c.bytes_allocated(), allocated);
+  EXPECT_EQ(p[31], 0x5C);
+}
+
+TEST(Arena, VectorOfArenasSurvivesReallocation) {
+  // The detector and tests store one Arena per file in a std::vector;
+  // vector growth moves the Arena objects and must not invalidate any
+  // outstanding AST pointer.
+  std::vector<Arena> arenas;
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 32; ++i) {
+    arenas.emplace_back();
+    char* p = static_cast<char*>(arenas.back().allocate(24, 8));
+    std::memset(p, i, 24);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(ptrs[i][0]), i & 0xFF);
+  }
+}
+
+TEST(Span, ConstConversionAndAccessors) {
+  std::vector<int> v{10, 20, 30};
+  const Span<const int> s = as_span(v);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.front(), 10);
+  EXPECT_EQ(s.back(), 30);
+  int sum = 0;
+  for (const int x : s) sum += x;
+  EXPECT_EQ(sum, 60);
+  const Span<int> none;
+  EXPECT_TRUE(none.empty());
+  const Span<const int> converted = Span<int>(v.data(), v.size());
+  EXPECT_EQ(converted.data(), v.data());
+}
+
+}  // namespace
+}  // namespace uchecker

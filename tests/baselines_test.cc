@@ -20,8 +20,10 @@ std::vector<TaintFinding> taint_of(const std::string& php) {
   SourceManager sm;
   DiagnosticSink diags;
   const FileId id = sm.add_file("t.php", "<?php\n" + php);
+  static std::vector<Arena>* keep_arenas = new std::vector<Arena>();
   static std::vector<phpast::PhpFile>* keep = new std::vector<phpast::PhpFile>();
-  keep->push_back(phpparse::parse_php(*sm.file(id), diags));
+  keep_arenas->emplace_back();
+  keep->push_back(phpparse::parse_php(*sm.file(id), diags, keep_arenas->back()));
   return taint_scan({&keep->back()});
 }
 

@@ -12,13 +12,15 @@ namespace {
 struct ExecRun {
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // declared before files: ASTs live here
   std::vector<phpast::PhpFile> files;
   Program program;
   InterpResult result;
 
   explicit ExecRun(const std::string& src) {
     const FileId id = sources.add_file("t.php", "<?php\n" + src);
-    files.push_back(phpparse::parse_php(*sources.file(id), diags));
+    arenas.emplace_back();
+    files.push_back(phpparse::parse_php(*sources.file(id), diags, arenas.back()));
     std::vector<const phpast::PhpFile*> ptrs{&files[0]};
     program = build_program(ptrs);
     Interpreter interp(program, diags);

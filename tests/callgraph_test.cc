@@ -13,6 +13,7 @@ namespace {
 struct Fixture {
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // declared before files: ASTs live here
   std::vector<phpast::PhpFile> files;
   Program program;
   CallGraph graph;
@@ -21,7 +22,9 @@ struct Fixture {
   Fixture(std::initializer_list<std::pair<std::string, std::string>> sources_in) {
     for (const auto& [name, content] : sources_in) {
       const FileId id = sources.add_file(name, content);
-      files.push_back(phpparse::parse_php(*sources.file(id), diags));
+      arenas.emplace_back();
+      files.push_back(
+          phpparse::parse_php(*sources.file(id), diags, arenas.back()));
     }
     std::vector<const phpast::PhpFile*> ptrs;
     for (const auto& f : files) ptrs.push_back(&f);

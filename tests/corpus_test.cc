@@ -58,7 +58,8 @@ TEST(CorpusStructure, AllAppsParseCleanly) {
     DiagnosticSink diags;
     for (const core::AppFile& f : entry.app.files) {
       const FileId id = sm.add_file(f.name, f.content);
-      (void)phpparse::parse_php(*sm.file(id), diags);
+      Arena arena;
+      (void)phpparse::parse_php(*sm.file(id), diags, arena);
     }
     EXPECT_EQ(diags.error_count(), 0u) << entry.app.name << "\n"
                                        << diags.render(sm);

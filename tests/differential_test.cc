@@ -221,7 +221,9 @@ void expect_translation_matches(const std::string& php,
   SourceManager sources;
   DiagnosticSink diags;
   const FileId id = sources.add_file("d.php", "<?php\n" + php);
-  const phpast::PhpFile file = phpparse::parse_php(*sources.file(id), diags);
+  Arena arena;
+  const phpast::PhpFile file =
+      phpparse::parse_php(*sources.file(id), diags, arena);
   ASSERT_FALSE(diags.has_errors()) << diags.render(sources);
   const Program program = build_program({&file});
   Interpreter interp(program, diags);

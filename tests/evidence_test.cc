@@ -25,6 +25,7 @@ namespace {
 struct EvidenceRun {
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // declared before files: ASTs live here
   std::vector<phpast::PhpFile> files;
   Program program;
   InterpResult exec;
@@ -34,7 +35,8 @@ struct EvidenceRun {
   explicit EvidenceRun(const std::string& src, VulnModelOptions options = {}) {
     options.collect_evidence = true;
     const FileId id = sources.add_file("t.php", "<?php\n" + src);
-    files.push_back(phpparse::parse_php(*sources.file(id), diags));
+    arenas.emplace_back();
+    files.push_back(phpparse::parse_php(*sources.file(id), diags, arenas.back()));
     std::vector<const phpast::PhpFile*> ptrs{&files[0]};
     program = build_program(ptrs);
     Interpreter interp(program, diags);

@@ -14,13 +14,15 @@ namespace {
 struct ExecRun {
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // declared before files: ASTs live here
   std::vector<phpast::PhpFile> files;
   Program program;
   InterpResult result;
 
   explicit ExecRun(const std::string& src, Budget budget = {}) {
     const FileId id = sources.add_file("t.php", "<?php\n" + src);
-    files.push_back(phpparse::parse_php(*sources.file(id), diags));
+    arenas.emplace_back();
+    files.push_back(phpparse::parse_php(*sources.file(id), diags, arenas.back()));
     std::vector<const phpast::PhpFile*> ptrs{&files[0]};
     program = build_program(ptrs);
     Interpreter interp(program, diags, budget);
@@ -442,6 +444,7 @@ TEST(Interp, StatsPopulated) {
 struct MultiFileRun {
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // declared before files: ASTs live here
   std::vector<phpast::PhpFile> files;
   Program program;
   InterpResult result;
@@ -450,7 +453,9 @@ struct MultiFileRun {
                Budget budget = {}) {
     for (const auto& [name, content] : in) {
       const FileId id = sources.add_file(name, content);
-      files.push_back(phpparse::parse_php(*sources.file(id), diags));
+      arenas.emplace_back();
+      files.push_back(
+          phpparse::parse_php(*sources.file(id), diags, arenas.back()));
     }
     std::vector<const phpast::PhpFile*> ptrs;
     for (const auto& f : files) ptrs.push_back(&f);

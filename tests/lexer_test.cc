@@ -2,17 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include "support/arena.h"
 #include "support/diag.h"
 #include "support/source.h"
 
 namespace uchecker::phplex {
 namespace {
 
+// Token text views are backed by the lexing arena, so the arena (like
+// the SourceManager) must outlive every returned token.
+Arena& test_arena() {
+  static Arena arena;
+  return arena;
+}
+
 std::vector<Token> lex(const std::string& src) {
   static SourceManager sm;
   DiagnosticSink diags;
   const FileId id = sm.add_file("test.php", src);
-  return lex_file(*sm.file(id), diags);
+  return lex_file(*sm.file(id), diags, test_arena());
 }
 
 std::vector<TokenKind> kinds(const std::string& src) {
@@ -181,7 +189,8 @@ TEST(Lexer, UnterminatedBlockCommentReportsError) {
   SourceManager sm;
   DiagnosticSink diags;
   const FileId id = sm.add_file("t.php", "<?php /* never closed");
-  lex_file(*sm.file(id), diags);
+  Arena arena;
+  (void)lex_file(*sm.file(id), diags, arena);
   EXPECT_TRUE(diags.has_errors());
 }
 
@@ -189,7 +198,8 @@ TEST(Lexer, UnterminatedStringReportsError) {
   SourceManager sm;
   DiagnosticSink diags;
   const FileId id = sm.add_file("t.php", "<?php $x = 'oops");
-  lex_file(*sm.file(id), diags);
+  Arena arena;
+  (void)lex_file(*sm.file(id), diags, arena);
   EXPECT_TRUE(diags.has_errors());
 }
 

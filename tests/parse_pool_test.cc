@@ -1,0 +1,137 @@
+#include "phpparse/parse_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "phpast/printer.h"
+#include "support/deadline.h"
+#include "support/diag.h"
+#include "support/source.h"
+
+namespace uchecker::phpparse {
+namespace {
+
+// A small app with per-file variety: plain code, strings needing
+// decoding, functions, classes, and one file with a parse error so the
+// diagnostic-merge order is exercised.
+std::vector<std::pair<std::string, std::string>> corpus_files() {
+  return {
+      {"a.php", "<?php $x = $_FILES['f']['name']; move_uploaded_file($x, '/tmp/' . $x);"},
+      {"b.php", "<?php function f($a) { return $a . \"suffix\\n\"; } echo f('x');"},
+      {"c.php", "<?php class C { public $p = 'v'; function m() { return $this->p; } }"},
+      {"bad.php", "<?php if ($x { broken"},
+      {"d.php", "<?php $s = \"interp $x and {$y['k']} done\";"},
+  };
+}
+
+struct Registered {
+  SourceManager sources;
+  std::vector<const SourceFile*> files;
+
+  explicit Registered(
+      const std::vector<std::pair<std::string, std::string>>& in) {
+    for (const auto& [name, content] : in) {
+      const FileId id = sources.add_file(name, content);
+      files.push_back(sources.file(id));
+    }
+  }
+};
+
+// Renders every unit the same way the identity assertions compare them.
+std::vector<std::string> dumps(const std::vector<ParsedUnit>& units) {
+  std::vector<std::string> out;
+  for (const ParsedUnit& u : units) out.push_back(phpast::dump(u.ast));
+  return out;
+}
+
+TEST(ResolveParseThreads, Bounds) {
+  EXPECT_EQ(resolve_parse_threads(4, 100), 4u);
+  EXPECT_EQ(resolve_parse_threads(4, 2), 2u);   // never more than files
+  EXPECT_EQ(resolve_parse_threads(1, 100), 1u);
+  EXPECT_GE(resolve_parse_threads(0, 100), 1u); // auto resolves to >= 1
+  EXPECT_LE(resolve_parse_threads(0, 100), 8u); // auto caps at 8
+  EXPECT_EQ(resolve_parse_threads(0, 0), 1u);   // no files still >= 1
+}
+
+TEST(ParsePool, SerialAndParallelProduceIdenticalAsts) {
+  Registered serial_reg(corpus_files());
+  Registered parallel_reg(corpus_files());
+  const auto serial = parse_files(serial_reg.files, 1);
+  const auto parallel = parse_files(parallel_reg.files, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(dumps(serial), dumps(parallel));
+}
+
+TEST(ParsePool, DiagnosticsMatchSerialRunPerFile) {
+  Registered serial_reg(corpus_files());
+  Registered parallel_reg(corpus_files());
+  const auto serial = parse_files(serial_reg.files, 1);
+  const auto parallel = parse_files(parallel_reg.files, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].diags.error_count(), parallel[i].diags.error_count())
+        << "file #" << i;
+  }
+  // The broken file reports its error in its own sink; clean files don't.
+  EXPECT_GT(parallel[3].diags.error_count(), 0u);
+  EXPECT_EQ(parallel[0].diags.error_count(), 0u);
+}
+
+TEST(ParsePool, EveryUnitAttemptedWithoutDeadline) {
+  Registered reg(corpus_files());
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    const auto units = parse_files(reg.files, threads);
+    for (const ParsedUnit& u : units) {
+      EXPECT_TRUE(u.attempted);
+      EXPECT_EQ(u.error, nullptr);
+    }
+  }
+}
+
+TEST(ParsePool, ExpiredDeadlineSkipsFiles) {
+  Registered reg(corpus_files());
+  const Deadline expired = Deadline::after(std::chrono::milliseconds(0));
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const auto units = parse_files(reg.files, threads, &expired);
+    ASSERT_EQ(units.size(), reg.files.size());
+    for (const ParsedUnit& u : units) {
+      // An already-expired deadline means no file should start (workers
+      // check before claiming); skipped units carry no error.
+      if (!u.attempted) EXPECT_EQ(u.error, nullptr);
+    }
+    EXPECT_FALSE(units.back().attempted);
+  }
+}
+
+TEST(ParsePool, ManyFilesManyThreads) {
+  // Stress the claim counter with more files than threads; under TSan
+  // this is the main race check for the pool itself.
+  std::vector<std::pair<std::string, std::string>> many;
+  for (int i = 0; i < 64; ++i) {
+    many.emplace_back("f" + std::to_string(i) + ".php",
+                      "<?php $v" + std::to_string(i) + " = " +
+                          std::to_string(i) + " + strlen('abc');");
+  }
+  Registered reg(many);
+  const auto serial = parse_files(reg.files, 1);
+  const auto parallel = parse_files(reg.files, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(parallel[i].attempted);
+    EXPECT_EQ(phpast::dump(serial[i].ast), phpast::dump(parallel[i].ast));
+  }
+}
+
+TEST(ParsePool, UnitsAreMovableWithValidAsts) {
+  Registered reg(corpus_files());
+  auto units = parse_files(reg.files, 2);
+  const std::string before = phpast::dump(units[0].ast);
+  // Moving a unit moves its arena blocks; the AST pointers stay valid.
+  ParsedUnit moved = std::move(units[0]);
+  EXPECT_EQ(phpast::dump(moved.ast), before);
+}
+
+}  // namespace
+}  // namespace uchecker::phpparse

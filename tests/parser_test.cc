@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "phpast/printer.h"
 #include "phpast/visitor.h"
 #include "support/diag.h"
@@ -17,12 +19,15 @@ struct ParseResult {
   bool ok = false;
 };
 
-// Keeps sources alive for the process (tests hold pointers into ASTs).
+// Keeps sources and arenas alive for the process (tests hold pointers
+// into ASTs, whose nodes and name views live in the parse arena).
 PhpFile parse(const std::string& src, bool* ok = nullptr) {
   static SourceManager* sm = new SourceManager();
+  static std::vector<Arena>* arenas = new std::vector<Arena>();
   DiagnosticSink diags;
   const FileId id = sm->add_file("test.php", src);
-  PhpFile file = parse_php(*sm->file(id), diags);
+  arenas->emplace_back();
+  PhpFile file = parse_php(*sm->file(id), diags, arenas->back());
   if (ok != nullptr) *ok = !diags.has_errors();
   return file;
 }
@@ -259,9 +264,9 @@ TEST(Parser, FunctionByRefParam) {
 TEST(Parser, ReturnWithAndWithoutValue) {
   const PhpFile file = parse("<?php function f() { return; } function g() { return 1; }");
   const auto& f = static_cast<const FunctionDecl&>(*file.statements.at(0));
-  EXPECT_EQ(static_cast<const Return&>(*f.body.at(0)).value, nullptr);
+  EXPECT_EQ(static_cast<const Return&>(*f.body[0]).value, nullptr);
   const auto& g = static_cast<const FunctionDecl&>(*file.statements.at(1));
-  EXPECT_NE(static_cast<const Return&>(*g.body.at(0)).value, nullptr);
+  EXPECT_NE(static_cast<const Return&>(*g.body[0]).value, nullptr);
 }
 
 TEST(Parser, ClassWithMethodsAndProperties) {
@@ -535,6 +540,105 @@ TEST(Parser, ClassConstantAndStaticProperty) {
   ASSERT_TRUE(ok);
   const auto& assign = static_cast<const Assign&>(first_expr(file));
   EXPECT_EQ(assign.value->kind(), NodeKind::kConstFetch);
+}
+
+// --- arena lifetime / string_view aliasing -------------------------------
+//
+// Every view in the AST must be backed by the parse arena, never by the
+// SourceManager's content string or any lexer scratch buffer. These
+// tests destroy the SourceManager (which owns the only other copy of
+// the source bytes) and then read the AST; under ASan any view still
+// aliasing the source buffer is a heap-use-after-free.
+
+// Parses into `arena` and destroys the SourceManager before returning.
+PhpFile parse_then_drop_source(const std::string& src, Arena& arena) {
+  auto sm = std::make_unique<SourceManager>();
+  DiagnosticSink diags;
+  const FileId id = sm->add_file("t.php", src);
+  PhpFile file = parse_php(*sm->file(id), diags, arena);
+  EXPECT_FALSE(diags.has_errors()) << diags.render(*sm);
+  sm.reset();  // frees the source content the token views were lexed from
+  return file;
+}
+
+TEST(Parser, AstOutlivesSourceBuffer) {
+  Arena arena;
+  const PhpFile file = parse_then_drop_source(
+      "<?php $name = $_FILES['upload']['name']; "
+      "move_uploaded_file($name, '/var/www/' . $name);",
+      arena);
+  ASSERT_EQ(file.statements.size(), 2u);
+  const auto& assign = static_cast<const Assign&>(first_expr(file));
+  const auto& var = static_cast<const Variable&>(*assign.target);
+  EXPECT_EQ(var.name, "name");
+  ASSERT_EQ(assign.value->kind(), NodeKind::kArrayAccess);
+  const auto& outer = static_cast<const ArrayAccess&>(*assign.value);
+  EXPECT_EQ(static_cast<const StringLit&>(*outer.index).value, "name");
+  const auto& inner = static_cast<const ArrayAccess&>(*outer.base);
+  EXPECT_EQ(static_cast<const Variable&>(*inner.base).name, "_FILES");
+  EXPECT_EQ(static_cast<const StringLit&>(*inner.index).value, "upload");
+  const auto& call_stmt = static_cast<const ExprStmt&>(*file.statements[1]);
+  const auto& call = static_cast<const Call&>(*call_stmt.expr);
+  EXPECT_EQ(call.callee, "move_uploaded_file");
+  ASSERT_EQ(call.args.size(), 2u);
+}
+
+TEST(Parser, DecodedStringsOutliveSourceBuffer) {
+  Arena arena;
+  // Escaped strings are decoded through lexer scratch buffers; the
+  // decoded bytes must land in the arena, not the scratch.
+  const PhpFile file = parse_then_drop_source(
+      "<?php $a = \"tab\\there\"; $b = 'quote\\'d'; "
+      "$c = \"interp $x tail\";",
+      arena);
+  ASSERT_EQ(file.statements.size(), 3u);
+  const auto& a = static_cast<const Assign&>(
+      *static_cast<const ExprStmt&>(*file.statements[0]).expr);
+  EXPECT_EQ(static_cast<const StringLit&>(*a.value).value, "tab\there");
+  const auto& b = static_cast<const Assign&>(
+      *static_cast<const ExprStmt&>(*file.statements[1]).expr);
+  EXPECT_EQ(static_cast<const StringLit&>(*b.value).value, "quote'd");
+  // Interpolation desugars to concatenation; its literal pieces are
+  // arena-backed too.
+  const auto& c = static_cast<const Assign&>(
+      *static_cast<const ExprStmt&>(*file.statements[2]).expr);
+  EXPECT_EQ(c.value->kind(), NodeKind::kBinary);
+}
+
+TEST(Parser, DeclarationsOutliveSourceBuffer) {
+  Arena arena;
+  const PhpFile file = parse_then_drop_source(
+      "<?php function handler($file, &$out) { global $log; return $file; } "
+      "class Uploader extends Base { public $dir = '/tmp'; "
+      "function save() { return $this->dir; } }",
+      arena);
+  ASSERT_EQ(file.statements.size(), 2u);
+  const auto& fn = static_cast<const FunctionDecl&>(*file.statements[0]);
+  EXPECT_EQ(fn.name, "handler");
+  ASSERT_EQ(fn.params.size(), 2u);
+  EXPECT_EQ(fn.params[0].name, "file");
+  EXPECT_EQ(fn.params[1].name, "out");
+  const auto& cls = static_cast<const ClassDecl&>(*file.statements[1]);
+  EXPECT_EQ(cls.name, "Uploader");
+  EXPECT_EQ(cls.parent, "Base");
+  ASSERT_EQ(cls.properties.size(), 1u);
+  EXPECT_EQ(cls.properties[0].name, "dir");
+  ASSERT_EQ(cls.methods.size(), 1u);
+  EXPECT_EQ(cls.methods[0]->name, "save");
+}
+
+TEST(Parser, DumpIsStableAfterSourceBufferDies) {
+  // Dump before and after the SourceManager dies must agree — i.e. no
+  // view silently aliases freed memory that happens to still read back.
+  auto sm = std::make_unique<SourceManager>();
+  DiagnosticSink diags;
+  const FileId id = sm->add_file(
+      "t.php", "<?php foreach ($_FILES as $k => $v) { echo \"$k\\n\"; }");
+  Arena arena;
+  const PhpFile file = parse_php(*sm->file(id), diags, arena);
+  const std::string before = phpast::dump(file);
+  sm.reset();
+  EXPECT_EQ(phpast::dump(file), before);
 }
 
 }  // namespace

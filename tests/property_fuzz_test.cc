@@ -12,6 +12,8 @@
 #include "core/detector/detector.h"
 #include "core/heapgraph/sexpr.h"
 #include "core/interp/interp.h"
+#include "phpast/printer.h"
+#include "phpparse/parse_pool.h"
 #include "phpparse/parser.h"
 
 namespace uchecker {
@@ -143,7 +145,9 @@ TEST_P(FuzzPipeline, InvariantsHold) {
   SourceManager sources;
   DiagnosticSink diags;
   const FileId id = sources.add_file("fuzz.php", php);
-  const phpast::PhpFile file = phpparse::parse_php(*sources.file(id), diags);
+  Arena arena;
+  const phpast::PhpFile file =
+      phpparse::parse_php(*sources.file(id), diags, arena);
   EXPECT_EQ(diags.error_count(), 0u) << diags.render(sources);
 
   // 2. The interpreter terminates within budget and maintains heap
@@ -225,6 +229,68 @@ TEST_P(FuzzPipeline, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range(1u, 41u));  // 40 seeds
+
+// Parallel-parse invariance: parsing the same app serially and on the
+// thread pool must produce byte-identical ASTs (printer dumps) and the
+// same corpus verdicts/findings — thread count is a wall-clock knob,
+// never a semantic one. Also the TSan scenario for the parse pool under
+// a realistic multi-file workload.
+TEST(FuzzParallelParse, SerialAndParallelAgree) {
+  // One multi-file app per seed batch: files generated from distinct
+  // seeds so they differ in shape, plus one syntactically broken file to
+  // exercise per-file diagnostic isolation.
+  for (unsigned base = 200; base < 204; ++base) {
+    Application app;
+    app.name = "fuzz-parallel";
+    for (unsigned i = 0; i < 12; ++i) {
+      ProgramGenerator gen(base * 31 + i);
+      app.files.push_back(
+          AppFile{"f" + std::to_string(i) + ".php", gen.generate()});
+    }
+    app.files.push_back(AppFile{"broken.php", "<?php if ($x { nope"});
+
+    // AST identity, file by file.
+    SourceManager serial_sm;
+    SourceManager parallel_sm;
+    std::vector<const SourceFile*> serial_files;
+    std::vector<const SourceFile*> parallel_files;
+    for (const AppFile& f : app.files) {
+      serial_files.push_back(serial_sm.file(serial_sm.add_file(f.name, f.content)));
+      parallel_files.push_back(
+          parallel_sm.file(parallel_sm.add_file(f.name, f.content)));
+    }
+    const auto serial_units = phpparse::parse_files(serial_files, 1);
+    const auto parallel_units = phpparse::parse_files(parallel_files, 4);
+    ASSERT_EQ(serial_units.size(), parallel_units.size());
+    for (std::size_t i = 0; i < serial_units.size(); ++i) {
+      EXPECT_EQ(phpast::dump(serial_units[i].ast),
+                phpast::dump(parallel_units[i].ast))
+          << app.files[i].name;
+      EXPECT_EQ(serial_units[i].diags.error_count(),
+                parallel_units[i].diags.error_count())
+          << app.files[i].name;
+    }
+
+    // Verdict identity end to end.
+    ScanOptions serial_opts;
+    serial_opts.parse_threads = 1;
+    ScanOptions parallel_opts;
+    parallel_opts.parse_threads = 4;
+    const ScanReport a = Detector(serial_opts).scan(app);
+    const ScanReport b = Detector(parallel_opts).scan(app);
+    EXPECT_EQ(a.verdict, b.verdict) << base;
+    EXPECT_EQ(a.parse_errors, b.parse_errors);
+    EXPECT_EQ(a.roots, b.roots);
+    ASSERT_EQ(a.findings.size(), b.findings.size());
+    for (std::size_t i = 0; i < a.findings.size(); ++i) {
+      EXPECT_EQ(a.findings[i].location, b.findings[i].location);
+      EXPECT_EQ(a.findings[i].sink_name, b.findings[i].sink_name);
+      EXPECT_EQ(a.findings[i].fingerprint, b.findings[i].fingerprint);
+    }
+    ASSERT_EQ(a.lints.size(), b.lints.size());
+    EXPECT_EQ(a.diagnostics_by_phase, b.diagnostics_by_phase);
+  }
+}
 
 // The unguarded variant must always be detected; the whitelist-guarded
 // variant never. Split by the generator's own coin flip.

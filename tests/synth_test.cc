@@ -36,7 +36,8 @@ bool parses_cleanly(const std::string& php) {
   SourceManager sm;
   DiagnosticSink diags;
   const FileId id = sm.add_file("t.php", php);
-  (void)phpparse::parse_php(*sm.file(id), diags);
+  Arena arena;
+  (void)phpparse::parse_php(*sm.file(id), diags, arena);
   return !diags.has_errors();
 }
 

@@ -12,9 +12,11 @@ namespace {
 
 PhpFile parse(const std::string& src) {
   static SourceManager* sm = new SourceManager();
+  static std::vector<Arena>* arenas = new std::vector<Arena>();
   DiagnosticSink diags;
   const FileId id = sm->add_file("t.php", src);
-  return phpparse::parse_php(*sm->file(id), diags);
+  arenas->emplace_back();
+  return phpparse::parse_php(*sm->file(id), diags, arenas->back());
 }
 
 std::size_t count_nodes(const PhpFile& file) {

@@ -16,6 +16,7 @@ namespace {
 struct ModelRun {
   SourceManager sources;
   DiagnosticSink diags;
+  std::vector<Arena> arenas;  // declared before files: ASTs live here
   std::vector<phpast::PhpFile> files;
   Program program;
   InterpResult exec;
@@ -25,7 +26,8 @@ struct ModelRun {
   explicit ModelRun(const std::string& src, VulnModelOptions options = {},
                     SolverQueryCache* query_cache = nullptr) {
     const FileId id = sources.add_file("t.php", "<?php\n" + src);
-    files.push_back(phpparse::parse_php(*sources.file(id), diags));
+    arenas.emplace_back();
+    files.push_back(phpparse::parse_php(*sources.file(id), diags, arenas.back()));
     std::vector<const phpast::PhpFile*> ptrs{&files[0]};
     program = build_program(ptrs);
     Interpreter interp(program, diags);
