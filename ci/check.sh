@@ -49,6 +49,14 @@
 #      front end vs. the PR7-era front end frozen in bench/prearena/ —
 #      must be >= the committed arena_speedup_min (machine-independent
 #      because both sides run in the same process on the same input).
+#  11. inter-procedural summary gate: BENCH_PR9.json structure; the
+#      Table III + helper-chain corpus crosscheck (both engines on every
+#      root, summaries on) must report zero analysis disagreements; the
+#      corpus dump must be byte-identical with --no-summaries (summaries
+#      change pruning and lints, never verdicts); the helper-chain apps
+#      must land on their ground-truth verdicts; the fleet prune rate
+#      must stay >= the PR4-era 30% floor with summaries on; and the
+#      summary cache must actually get hits on the helper suite.
 #
 #   $ ci/check.sh            # everything
 #   $ SKIP_SANITIZE=1 ci/check.sh
@@ -60,12 +68,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
 
-echo "== [1/10] build + tier-1 tests =="
+echo "== [1/11] build + tier-1 tests =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== [2/10] clang-tidy =="
+echo "== [2/11] clang-tidy =="
 if [[ "${SKIP_TIDY:-0}" == "1" ]]; then
   echo "skipped (SKIP_TIDY=1)"
 elif ! command -v clang-tidy >/dev/null; then
@@ -81,14 +89,14 @@ else
   fi
 fi
 
-echo "== [3/10] sanitizers =="
+echo "== [3/11] sanitizers =="
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "skipped (SKIP_SANITIZE=1)"
 else
   ci/sanitize.sh
 fi
 
-echo "== [4/10] telemetry smoke: trace + metrics JSON =="
+echo "== [4/11] telemetry smoke: trace + metrics JSON =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/upload.php" <<'PHP'
@@ -124,7 +132,7 @@ else
   echo "python3 not found; JSON structure check skipped"
 fi
 
-echo "== [5/10] telemetry overhead gate =="
+echo "== [5/11] telemetry overhead gate =="
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (SKIP_BENCH=1)"
 elif ! command -v python3 >/dev/null; then
@@ -169,7 +177,7 @@ PY
   fi
 fi
 
-echo "== [6/10] perf baseline gate (BENCH_PR3.json) =="
+echo "== [6/11] perf baseline gate (BENCH_PR3.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; perf baseline gate skipped"
 else
@@ -224,7 +232,7 @@ PY
   fi
 fi
 
-echo "== [7/10] SARIF export gate =="
+echo "== [7/11] SARIF export gate =="
 SARIF_DIR="$SMOKE_DIR/sarif"
 mkdir -p "$SARIF_DIR/corpus"
 # Evidence must be purely additive: same corpus dump byte-for-byte.
@@ -266,7 +274,7 @@ if [[ "$SARIF_VULN" == "0" ]]; then
 fi
 echo "validated $SARIF_APPS SARIF file(s), $SARIF_VULN with codeFlows"
 
-echo "== [8/10] scand service gate =="
+echo "== [8/11] scand service gate =="
 SCAND_DIR="$SMOKE_DIR/scand"
 SCAND_SOCK="$SCAND_DIR/scand.sock"
 SCAND_STATE="$SCAND_DIR/state"
@@ -432,7 +440,7 @@ PY
 wait "$SCAND_PID" || { echo "FAIL: scand drain exited non-zero" >&2; exit 1; }
 SCAND_PID=
 
-echo "== [9/10] observability gate =="
+echo "== [9/11] observability gate =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; observability gate skipped"
 else
@@ -673,7 +681,7 @@ PY
   fi
 fi
 
-echo "== [10/10] arena front-end gate (BENCH_PR8.json) =="
+echo "== [10/11] arena front-end gate (BENCH_PR8.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; arena front-end gate skipped"
 else
@@ -740,6 +748,119 @@ if ratio < floor:
              f"frozen pre-arena baseline (floor {floor}x)")
 PY
   fi
+fi
+
+echo "== [11/11] inter-procedural summary gate (BENCH_PR9.json) =="
+SUM_DIR="$SMOKE_DIR/summaries"
+mkdir -p "$SUM_DIR"
+if command -v python3 >/dev/null; then
+  # Committed baseline structure (always fatal).
+  python3 - BENCH_PR9.json <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("fleet", "helper_suite", "corpus", "ci_gate"):
+    assert key in bench, f"BENCH_PR9.json missing section: {key}"
+fleet = bench["fleet"]
+for key in ("roots", "pruned_roots", "prune_rate"):
+    assert key in fleet, f"fleet section missing: {key}"
+helper = bench["helper_suite"]
+assert int(helper["summary_cache_hits"]) > 0, (
+    "committed helper-suite run shows no summary cache hits")
+assert int(helper["summary_pruned_roots"]) > 0, (
+    "committed helper-suite run shows no summary-attributed prunes")
+gate = bench["ci_gate"]
+assert 0 < float(gate["fleet_prune_rate_min"]) <= 1, "bad prune-rate floor"
+print(f"BENCH_PR9.json OK (committed fleet prune rate: "
+      f"{fleet['prune_rate']}, gate >= {gate['fleet_prune_rate_min']})")
+PY
+else
+  echo "python3 not found; BENCH_PR9.json structure check skipped"
+fi
+
+# Verdict invariance: summaries must never change verdicts or findings,
+# on the 44 Table III apps AND the helper-chain suite.
+"$BUILD_DIR/examples/corpus_verdicts" --suite all \
+  > "$SUM_DIR/verdicts_on.txt"
+"$BUILD_DIR/examples/corpus_verdicts" --suite all --no-summaries \
+  > "$SUM_DIR/verdicts_off.txt"
+if ! cmp -s "$SUM_DIR/verdicts_on.txt" "$SUM_DIR/verdicts_off.txt"; then
+  echo "FAIL: corpus verdicts differ with summaries on vs off" >&2
+  diff "$SUM_DIR/verdicts_on.txt" "$SUM_DIR/verdicts_off.txt" | head >&2
+  exit 1
+fi
+echo "corpus verdicts byte-identical with summaries on/off"
+
+# Crosscheck oracle: both engines on every root, summaries on — any
+# summary-pruned root the symbolic engine flags surfaces here.
+"$BUILD_DIR/examples/corpus_verdicts" --suite all --crosscheck \
+  > "$SUM_DIR/verdicts_crosscheck.txt"
+if grep -q "analysis_disagreement" "$SUM_DIR/verdicts_crosscheck.txt"; then
+  echo "FAIL: corpus crosscheck found analysis disagreement(s):" >&2
+  grep -B 1 "analysis_disagreement" "$SUM_DIR/verdicts_crosscheck.txt" >&2
+  exit 1
+fi
+echo "corpus crosscheck (summaries on): zero disagreements"
+
+# Helper-chain apps: the sink is reachable only through user-defined
+# helpers, so detecting them exercises the summary layer end to end.
+"$BUILD_DIR/examples/corpus_verdicts" --suite helper --stats \
+  > "$SUM_DIR/helper.txt"
+if command -v python3 >/dev/null; then
+  python3 - "$SUM_DIR/helper.txt" <<'PY'
+import sys
+apps = {}
+cache_hits = 0
+summary_pruned = 0
+current = None
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if line.startswith("app: "):
+        current = line[5:]
+    elif line.startswith("verdict: "):
+        apps[current] = line[9:]
+    elif line.startswith("summary_cache_hits: "):
+        cache_hits += int(line.split()[1])
+    elif "summary_pruned: " in line:
+        summary_pruned += int(line.split()[-1])
+assert len(apps) >= 3, f"expected >= 3 helper-suite apps, got {len(apps)}"
+vuln = [a for a, v in apps.items() if v == "vulnerable"]
+benign = [a for a, v in apps.items() if v == "not_vulnerable"]
+assert len(vuln) >= 2, f"helper-chain vulns not detected: {apps}"
+assert len(benign) >= 1, f"benign helper app not cleared: {apps}"
+assert len(vuln) + len(benign) == len(apps), f"indefinite verdicts: {apps}"
+assert cache_hits > 0, "summary cache got no hits on the helper suite"
+assert summary_pruned > 0, "no root was pruned via summary instantiation"
+print(f"helper suite OK: {len(vuln)} detected, {len(benign)} cleared, "
+      f"{cache_hits} cache hit(s), {summary_pruned} summary-pruned root(s)")
+PY
+else
+  grep -q "verdict: vulnerable" "$SUM_DIR/helper.txt" \
+    || { echo "FAIL: no helper-chain app detected" >&2; exit 1; }
+  echo "python3 not found; helper suite deep-checked by grep only"
+fi
+
+# Fleet prune rate with summaries on must stay >= the PR4-era 30% floor.
+"$BUILD_DIR/examples/corpus_verdicts" --suite full --stats \
+  > "$SUM_DIR/fleet_stats.txt"
+if command -v python3 >/dev/null; then
+  python3 - "$SUM_DIR/fleet_stats.txt" BENCH_PR9.json <<'PY'
+import json, sys
+roots = pruned = 0
+for line in open(sys.argv[1]):
+    if line.startswith("roots: "):
+        parts = line.split()
+        roots += int(parts[1])
+        pruned += int(parts[3])
+floor = float(json.load(open(sys.argv[2]))["ci_gate"]["fleet_prune_rate_min"])
+rate = pruned / roots if roots else 0.0
+print(f"fleet prune rate (summaries on): {pruned}/{roots} = {rate:.1%} "
+      f"(gate >= {floor:.0%})")
+if rate < floor:
+    sys.exit(f"FAIL: prune rate {rate:.1%} below the committed "
+             f"{floor:.0%} floor")
+PY
+else
+  echo "python3 not found; prune-rate gate skipped"
 fi
 
 echo "== all checks passed =="

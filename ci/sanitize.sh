@@ -19,8 +19,12 @@
 # flight-recorder ring racing snapshot against a writer, concurrent
 # trace/metrics export), parse_pool_test (parallel per-file parsing:
 # work-stealing claim counter, per-file arenas/sinks, deadline expiry
-# mid-pool) and property_fuzz_test (serial-vs-parallel parse identity
-# over generated multi-file apps, end to end through the detector).
+# mid-pool), property_fuzz_test (serial-vs-parallel parse identity
+# over generated multi-file apps, end to end through the detector) and
+# summaries_test (the inter-procedural summary store's memoized
+# instantiation cache exercised under scans the fleet driver may run
+# concurrently; the store itself is per-scan, so this pins that no
+# state leaks into shared registries).
 # ASan and TSan cannot share a build, hence the separate mode and build
 # directory.
 #
@@ -43,11 +47,11 @@ if [[ "$MODE" == "tsan" ]]; then
     -DUCHECKER_TSAN=ON
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target scan_many_test telemetry_test service_test observability_test \
-             parse_pool_test property_fuzz_test
+             parse_pool_test property_fuzz_test summaries_test
 
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$PWD/ci/tsan.supp"
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R '^(scan_many_test|telemetry_test|service_test|observability_test|parse_pool_test|property_fuzz_test)$' "$@"
+    -R '^(scan_many_test|telemetry_test|service_test|observability_test|parse_pool_test|property_fuzz_test|summaries_test)$' "$@"
   exit 0
 fi
 

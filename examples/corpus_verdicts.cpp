@@ -16,6 +16,15 @@
 // --parse-threads N parses each app's files on an N-thread pool (0 =
 // auto); diffing against a --parse-threads 1 dump proves parallel
 // parsing is behaviorally invisible (CI does that too).
+//
+// PR9 knobs: --no-summaries disables the inter-procedural summary layer
+// (diffing against the default dump proves summaries never change
+// verdicts); --crosscheck runs both engines on every root so any
+// summary-pruned root the symbolic engine finds vulnerable surfaces as
+// an analysis_disagreement verdict; --suite full|helper|all selects the
+// Table III corpus, the PR9 helper-chain suite, or both; --stats appends
+// per-app prune/summary counters (off by default so the byte-identical
+// oracle stays stats-free).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,30 +58,61 @@ bool dump_app(const std::filesystem::path& dir, const Application& app) {
 
 int main(int argc, char** argv) {
   bool explain = false;
+  bool crosscheck = false;
+  bool summaries = true;
+  bool stats = false;
   int parse_threads = 1;
   std::string dump_dir;
+  std::string suite = "full";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--explain") == 0) {
       explain = true;
+    } else if (std::strcmp(argv[i], "--crosscheck") == 0) {
+      crosscheck = true;
+    } else if (std::strcmp(argv[i], "--no-summaries") == 0) {
+      summaries = false;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
+      suite = argv[++i];
     } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
       dump_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--parse-threads") == 0 && i + 1 < argc) {
       parse_threads = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--explain] [--dump DIR] [--parse-threads N]\n",
+                   "usage: %s [--explain] [--crosscheck] [--no-summaries] "
+                   "[--stats] [--suite full|helper|all] [--dump DIR] "
+                   "[--parse-threads N]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (suite != "full" && suite != "helper" && suite != "all") {
+    std::fprintf(stderr, "error: unknown suite '%s'\n", suite.c_str());
+    return 2;
+  }
 
   ScanOptions options;
   options.explain = explain;
+  options.crosscheck = crosscheck;
+  options.summaries = summaries;
   options.parse_threads =
       parse_threads > 0 ? static_cast<std::size_t>(parse_threads) : 0;
   Detector detector(options);
-  for (const uchecker::corpus::CorpusEntry& entry :
-       uchecker::corpus::full_corpus()) {
+  std::vector<uchecker::corpus::CorpusEntry> entries;
+  if (suite == "full" || suite == "all") {
+    for (uchecker::corpus::CorpusEntry& e : uchecker::corpus::full_corpus()) {
+      entries.push_back(std::move(e));
+    }
+  }
+  if (suite == "helper" || suite == "all") {
+    for (uchecker::corpus::CorpusEntry& e :
+         uchecker::corpus::helper_sink_suite()) {
+      entries.push_back(std::move(e));
+    }
+  }
+  for (const uchecker::corpus::CorpusEntry& entry : entries) {
     if (!dump_dir.empty() && !dump_app(dump_dir, entry.app)) {
       std::fprintf(stderr, "error: cannot dump %s under %s\n",
                    entry.app.name.c_str(), dump_dir.c_str());
@@ -91,6 +131,13 @@ int main(int argc, char** argv) {
       std::printf("  reach: %s\n", f.reach_sexpr.c_str());
       std::printf("  witness: %s\n", f.witness.c_str());
       std::printf("  fingerprint: %s\n", f.fingerprint.c_str());
+    }
+    if (stats) {
+      std::printf("roots: %zu pruned: %zu summary_pruned: %zu\n",
+                  report.roots, report.pruned_roots,
+                  report.summary_pruned_roots);
+      std::printf("summary_cache_hits: %zu escaped_calls: %zu\n",
+                  report.summary_cache_hits, report.escaped_calls);
     }
     std::printf("\n");
   }

@@ -6,6 +6,7 @@
 //                                                    [--timeout-ms N]
 //                                                    [--lint]
 //                                                    [--no-prefilter]
+//                                                    [--no-summaries]
 //                                                    [--crosscheck]
 //                                                    [--fail-on-lint=SEV]
 //                                                    [--trace-out=FILE]
@@ -36,8 +37,10 @@
 // GitHub code scanning and other SARIF consumers.
 //
 // Static pass: --lint prints the pre-symbolic pass's structured lint
-// findings (UC101..UC106) in the text report; --no-prefilter disables
-// the taint pre-filter so every root runs symbolically; --crosscheck
+// findings (UC101..UC108) in the text report; --no-prefilter disables
+// the taint pre-filter so every root runs symbolically; --no-summaries
+// disables the inter-procedural summary layer (verdicts are unchanged;
+// only pruning and UC107/UC108 lints differ); --crosscheck
 // runs both engines on every root and reports any disagreement (a
 // soundness oracle for CI). --fail-on-lint=info|warning|error makes an
 // otherwise-clean scan exit non-zero when a lint at or above the given
@@ -136,7 +139,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <directory-or-file> [--all-findings] [--json] "
                  "[--model-admin-gating] [--timeout-ms N] [--lint] "
-                 "[--no-prefilter] [--crosscheck] [--fail-on-lint=SEV] "
+                 "[--no-prefilter] [--no-summaries] [--crosscheck] "
+                 "[--fail-on-lint=SEV] "
                  "[--trace-out=FILE] [--metrics-out=FILE] [--sarif-out=FILE] "
                  "[--explain] [--quiet] [-v]\n",
                  argv[0]);
@@ -148,6 +152,7 @@ int main(int argc, char** argv) {
   bool admin_gating = false;
   bool show_lints = false;
   bool no_prefilter = false;
+  bool no_summaries = false;
   bool crosscheck = false;
   bool fail_on_lint = false;
   staticpass::Severity fail_severity =
@@ -164,6 +169,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--model-admin-gating") == 0) admin_gating = true;
     if (std::strcmp(argv[i], "--lint") == 0) show_lints = true;
     if (std::strcmp(argv[i], "--no-prefilter") == 0) no_prefilter = true;
+    if (std::strcmp(argv[i], "--no-summaries") == 0) no_summaries = true;
     if (std::strcmp(argv[i], "--crosscheck") == 0) crosscheck = true;
     std::string severity_arg;
     if (flag_with_value(argc, argv, i, "--fail-on-lint", severity_arg)) {
@@ -258,6 +264,7 @@ int main(int argc, char** argv) {
   options.vuln.stop_at_first_finding = !all_findings;
   options.locality.model_admin_gating = admin_gating;
   options.prefilter = !no_prefilter;
+  options.summaries = !no_summaries;
   options.crosscheck = crosscheck;
   options.explain = explain;
   options.budget.time_limit = std::chrono::milliseconds(timeout_ms);
@@ -359,8 +366,14 @@ int main(int argc, char** argv) {
     }
     if (chatty && report.pruned_roots > 0) {
       std::printf("note: static pass pruned %zu of %zu root(s) before "
-                  "symbolic execution\n",
-                  report.pruned_roots, report.roots);
+                  "symbolic execution (%zu via function summaries)\n",
+                  report.pruned_roots, report.roots,
+                  report.summary_pruned_roots);
+    }
+    if (chatty && (report.summary_cache_hits > 0 || report.escaped_calls > 0)) {
+      std::printf("note: function summaries: %zu memoized instantiation "
+                  "hit(s), %zu escaped call site(s)\n",
+                  report.summary_cache_hits, report.escaped_calls);
     }
   }
 

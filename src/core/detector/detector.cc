@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <new>
+#include <optional>
 
+#include "core/staticpass/summaries.h"
 #include "phpparse/parse_pool.h"
 #include "phpparse/parser.h"
 #include "support/strutil.h"
@@ -243,6 +245,17 @@ ScanReport Detector::scan(const Application& app,
     if (report.pruned_roots > 0) {
       m.counter("staticpass.pruned_roots").add(report.pruned_roots);
     }
+    if (report.summary_pruned_roots > 0) {
+      m.counter("staticpass.summary_pruned_roots")
+          .add(report.summary_pruned_roots);
+    }
+    if (report.summary_cache_hits > 0) {
+      m.counter("staticpass.summary_cache_hits")
+          .add(report.summary_cache_hits);
+    }
+    if (report.escaped_calls > 0) {
+      m.counter("staticpass.escaped_calls").add(report.escaped_calls);
+    }
     if (!report.lints.empty()) {
       m.counter("staticpass.lint_findings").add(report.lints.size());
     }
@@ -404,11 +417,28 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
       staticpass::StaticPassOptions pass_options;
       pass_options.executable_extensions =
           options_.vuln.executable_extensions;
+      // The summary store memoizes across every root of this scan;
+      // pass_options must outlive it (the store keeps a reference).
+      std::optional<staticpass::SummaryStore> summaries;
+      if (options_.summaries) {
+        summaries.emplace(program, call_graph, sources, options_.sinks,
+                          pass_options);
+        pass_options.summaries = &*summaries;
+      }
       pre.reserve(locality.roots.size());
       for (const AnalysisRoot& root : locality.roots) {
         pre.push_back(staticpass::analyze_root(
             program, call_graph, root, sources, options_.sinks,
             pass_options));
+      }
+      if (summaries.has_value()) {
+        report.summary_cache_hits = summaries->stats().cache_hits;
+      }
+      for (const staticpass::RootAnalysis& ra : pre) {
+        report.escaped_calls += ra.escaped_calls;
+        if (ra.prunable && ra.summary_pruned) {
+          report.summary_pruned_roots += 1;
+        }
       }
       if (options_.lint) {
         for (const staticpass::RootAnalysis& ra : pre) {

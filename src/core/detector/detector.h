@@ -34,13 +34,13 @@ namespace uchecker::core {
 // JSON schema. Persistent caches (scand's verdict and solver stores)
 // key on it, so an engine upgrade cold-starts them instead of replaying
 // stale analysis results.
-inline constexpr std::string_view kEngineVersion = "uchecker-pr7";
+inline constexpr std::string_view kEngineVersion = "uchecker-pr9";
 
 struct ScanOptions {
   Budget budget;
   VulnModelOptions vuln;
   LocalityOptions locality;
-  SinkRegistry sinks;        // extend to treat copy()/rename() as sinks
+  SinkRegistry sinks;        // copy()/rename() included by default
   bool run_locality = true;  // ablation switch for bench_locality
   // Pre-symbolic static pass (core/staticpass). `prefilter` skips
   // symbolic execution for roots the pass proves safe; `lint` collects
@@ -52,6 +52,14 @@ struct ScanOptions {
   bool prefilter = true;
   bool lint = true;
   bool crosscheck = false;
+  // Inter-procedural function summaries (core/staticpass/summaries.h):
+  // calls into user functions resolve by summary instantiation instead
+  // of degrading the root to the symbolic path, and roots whose whole
+  // transitive callee set is summary-proven sink-free are pruned before
+  // symbolic execution. Off reproduces the purely intraprocedural pass
+  // (an ablation switch; verdicts are identical either way — summaries
+  // only change pruning and lints, never interpreter results).
+  bool summaries = true;
   // Finding provenance: attach a source→sink taint path, the path's
   // branch guards, and a decoded attack reconstruction to every finding
   // (and fill Finding::evidence). Purely additive — verdicts and every
@@ -217,6 +225,13 @@ struct ScanReport {
   // symbolic execution; in crosscheck mode they are still executed and
   // the count says how many *would* be pruned.
   std::size_t pruned_roots = 0;
+  // Inter-procedural summary layer effectiveness (ScanOptions::summaries).
+  // Telemetry counters staticpass.summary_cache_hits,
+  // staticpass.summary_pruned_roots and staticpass.escaped_calls mirror
+  // these per scan.
+  std::size_t summary_cache_hits = 0;    // memoized instantiation hits
+  std::size_t summary_pruned_roots = 0;  // prunes that needed summaries
+  std::size_t escaped_calls = 0;         // UC108 sites across all roots
   bool budget_exhausted = false;
   bool deadline_exceeded = false;  // wall-clock limit hit; report partial
   std::size_t parse_errors = 0;

@@ -190,6 +190,15 @@ std::optional<ScanReport> report_from_json(std::string_view json) {
       !get_uint(*stats, "pruned_roots", r.pruned_roots)) {
     return std::nullopt;
   }
+  // Optional summary-layer counters (absent in pre-PR9 reports).
+  if ((stats->find("summary_cache_hits") != nullptr &&
+       !get_uint(*stats, "summary_cache_hits", r.summary_cache_hits)) ||
+      (stats->find("summary_pruned_roots") != nullptr &&
+       !get_uint(*stats, "summary_pruned_roots", r.summary_pruned_roots)) ||
+      (stats->find("escaped_calls") != nullptr &&
+       !get_uint(*stats, "escaped_calls", r.escaped_calls))) {
+    return std::nullopt;
+  }
 
   const jsonlite::Value* diags = doc->find("diagnostics_by_phase");
   if (diags == nullptr || !diags->is_object()) return std::nullopt;
@@ -338,7 +347,12 @@ std::string to_json(const ScanReport& report) {
          (report.deadline_exceeded ? "true" : "false") + ", ";
   out += "\"parse_errors\": " + std::to_string(report.parse_errors) + ", ";
   out += "\"analysis_errors\": " + std::to_string(report.analysis_errors) + ", ";
-  out += "\"pruned_roots\": " + std::to_string(report.pruned_roots);
+  out += "\"pruned_roots\": " + std::to_string(report.pruned_roots) + ", ";
+  out += "\"summary_cache_hits\": " +
+         std::to_string(report.summary_cache_hits) + ", ";
+  out += "\"summary_pruned_roots\": " +
+         std::to_string(report.summary_pruned_roots) + ", ";
+  out += "\"escaped_calls\": " + std::to_string(report.escaped_calls);
   out += "}, \"diagnostics_by_phase\": {";
   bool first_phase = true;
   for (const auto& [phase, count] : report.diagnostics_by_phase) {
@@ -574,6 +588,8 @@ std::string_view lint_rule_name(std::string_view rule) {
   if (rule == "UC104") return "DoubleExtensionSplit";
   if (rule == "UC105") return "ForcedExecutableDest";
   if (rule == "UC106") return "RawClientFilename";
+  if (rule == "UC107") return "HelperChainTaint";
+  if (rule == "UC108") return "EscapedCallSite";
   return "UnknownLint";
 }
 
@@ -601,6 +617,14 @@ std::string_view lint_rule_description(std::string_view rule) {
   if (rule == "UC106") {
     return "Client-supplied filename used in the destination path "
            "without sanitization.";
+  }
+  if (rule == "UC107") {
+    return "Upload taint can reach a file-write sink through a "
+           "helper-function chain that is not proven safe.";
+  }
+  if (rule == "UC108") {
+    return "A dynamic/variable call or callback builtin defeats static "
+           "analysis at this call site.";
   }
   return "Unknown lint rule.";
 }
@@ -630,8 +654,8 @@ sarif::Log to_sarif(const ScanReport& report) {
        "An attacker-controlled upload can be written with a "
        "server-executable extension (verified satisfiable by the SMT "
        "solver)."});
-  for (const char* rule :
-       {"UC101", "UC102", "UC103", "UC104", "UC105", "UC106"}) {
+  for (const char* rule : {"UC101", "UC102", "UC103", "UC104", "UC105",
+                           "UC106", "UC107", "UC108"}) {
     log.rules.push_back({rule, std::string(lint_rule_name(rule)),
                          std::string(lint_rule_description(rule))});
   }

@@ -1,5 +1,7 @@
 #include "core/sinks.h"
 
+#include <algorithm>
+
 namespace uchecker::core {
 
 SinkRegistry::SinkRegistry() {
@@ -7,6 +9,11 @@ SinkRegistry::SinkRegistry() {
   specs_.push_back(SinkSpec{"file_put_contents", SinkSignature::kDstSrc});
   // The paper's spelling of the same builtin.
   specs_.push_back(SinkSpec{"file_put_content", SinkSignature::kDstSrc});
+  // Copy/rename-after-upload family: plugins that stage the upload in a
+  // temp location and persist it with copy()/rename() share
+  // move_uploaded_file's (src, dst) shape and constraint model.
+  specs_.push_back(SinkSpec{"copy", SinkSignature::kSrcDst});
+  specs_.push_back(SinkSpec{"rename", SinkSignature::kSrcDst});
 }
 
 void SinkRegistry::add(SinkSpec spec) { specs_.push_back(std::move(spec)); }
@@ -26,7 +33,19 @@ SinkSignature SinkRegistry::signature(std::string_view lower_name) const {
 }
 
 const SinkRegistry& SinkRegistry::paper_defaults() {
-  static const SinkRegistry* registry = new SinkRegistry();
+  // Strictly the paper's sink vocabulary — without the copy()/rename()
+  // family the default constructor adds. Baseline comparisons against
+  // the paper's numbers use this registry.
+  static const SinkRegistry* registry = [] {
+    auto* reg = new SinkRegistry();
+    reg->specs_.erase(
+        std::remove_if(reg->specs_.begin(), reg->specs_.end(),
+                       [](const SinkSpec& s) {
+                         return s.name == "copy" || s.name == "rename";
+                       }),
+        reg->specs_.end());
+    return reg;
+  }();
   return *registry;
 }
 

@@ -3,9 +3,10 @@
 //
 // The paper models two sinks: move_uploaded_file(e_src, e_dst) and
 // file_put_contents(e_dst, e_src). Real plugins also persist uploads
-// through copy()/rename(); those are available as opt-in extra sinks
-// (ScanOptions::vuln is unaffected — the constraint model is identical,
-// only the set of recognized calls grows).
+// through copy()/rename() after staging them, so the default registry
+// recognizes that family too (ScanOptions::vuln is unaffected — the
+// constraint model is identical, only the set of recognized calls
+// grows).
 #pragma once
 
 #include <string>
@@ -27,8 +28,9 @@ struct SinkSpec {
 
 class SinkRegistry {
  public:
-  // The paper's sinks: move_uploaded_file + file_put_contents (and the
-  // paper's own "file_put_content" spelling).
+  // The default scan registry: the paper's sinks (move_uploaded_file,
+  // file_put_contents and the paper's own "file_put_content" spelling)
+  // plus the copy()/rename() staging family.
   SinkRegistry();
 
   // Registers an additional sink (lowercase name).
@@ -40,7 +42,8 @@ class SinkRegistry {
 
   [[nodiscard]] const std::vector<SinkSpec>& specs() const { return specs_; }
 
-  // The paper's default registry (shared, immutable).
+  // Strictly the paper's registry (shared, immutable): no copy/rename.
+  // For baseline comparisons against the paper's published numbers.
   [[nodiscard]] static const SinkRegistry& paper_defaults();
 
  private:

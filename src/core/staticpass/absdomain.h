@@ -1,0 +1,103 @@
+// The static pass's abstract taint lattice, shared between the
+// intraprocedural analyzer (staticpass.cc) and the inter-procedural
+// function-summary layer (summaries.h).
+//
+//   kBottom < {kConst, kSafeAtom, kUntainted} < kFiles* < kTop
+//
+// The kFiles* kinds remember *how* a value derives from $_FILES, because
+// the sanitizer idioms the recognizer understands are all shape-specific
+// (pathinfo on the client name, explode on the client name, ...):
+//   kFilesArray  $_FILES or $_FILES[field]
+//   kFilesName   the client-controlled file name (or a name-preserving
+//                transformation of it: trim, basename, $_FILES[f]['type'])
+//   kFilesInfo   pathinfo() of the client name
+//   kFilesParts  explode('.', name)
+//   kFilesExt    the final extension of the client name (pathinfo
+//                PATHINFO_EXTENSION or end(explode('.', name)))
+//   kFilesData   derived from $_FILES with no recognized structure
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace uchecker::core::staticpass {
+
+struct AbsVal {
+  enum class Kind : std::uint8_t {
+    kBottom,
+    kConst,      // exactly this literal string
+    kSafeAtom,   // number / bool / server-generated token; never "." + ext
+    kUntainted,  // not derived from $_FILES, contents unknown
+    kFilesArray,
+    kFilesInfo,
+    kFilesName,
+    kFilesParts,
+    kFilesExt,
+    kFilesData,
+    kTop,
+  };
+
+  Kind kind = Kind::kBottom;
+  std::string field;  // $_FILES field; "" = whole array, "*" = unknown
+  std::string text;   // kConst only
+  bool lowered = false;
+  bool basenamed = false;
+
+  friend bool operator==(const AbsVal&, const AbsVal&) = default;
+};
+
+inline AbsVal make_absval(AbsVal::Kind k) {
+  return AbsVal{k, "", "", false, false};
+}
+inline AbsVal bottom() { return make_absval(AbsVal::Kind::kBottom); }
+inline AbsVal top() { return make_absval(AbsVal::Kind::kTop); }
+inline AbsVal safe_atom() { return make_absval(AbsVal::Kind::kSafeAtom); }
+inline AbsVal untainted() { return make_absval(AbsVal::Kind::kUntainted); }
+inline AbsVal constant(std::string_view text) {
+  AbsVal v = make_absval(AbsVal::Kind::kConst);
+  v.text = text;
+  return v;
+}
+inline AbsVal files(AbsVal::Kind k, std::string_view field,
+                    bool lowered = false, bool basenamed = false) {
+  return AbsVal{k, std::string(field), "", lowered, basenamed};
+}
+
+inline bool is_files(AbsVal::Kind k) {
+  return k >= AbsVal::Kind::kFilesArray && k <= AbsVal::Kind::kFilesData;
+}
+inline bool is_clean(AbsVal::Kind k) {
+  return k == AbsVal::Kind::kConst || k == AbsVal::Kind::kSafeAtom ||
+         k == AbsVal::Kind::kUntainted;
+}
+
+inline AbsVal join(const AbsVal& a, const AbsVal& b) {
+  if (a.kind == AbsVal::Kind::kBottom) return b;
+  if (b.kind == AbsVal::Kind::kBottom) return a;
+  if (a == b) return a;
+  if (is_clean(a.kind) && is_clean(b.kind)) return untainted();
+  if (a.kind == b.kind && is_files(a.kind)) {
+    AbsVal r = a;
+    if (a.field != b.field) r.field = "*";
+    r.lowered = a.lowered && b.lowered;
+    r.basenamed = a.basenamed && b.basenamed;
+    return r;
+  }
+  return top();
+}
+
+// Stable one-line rendering used in summary memo keys and test output.
+inline std::string absval_key(const AbsVal& v) {
+  std::string out;
+  out += static_cast<char>('a' + static_cast<int>(v.kind));
+  out += v.lowered ? 'L' : '-';
+  out += v.basenamed ? 'B' : '-';
+  out += '|';
+  out += v.field;
+  out += '|';
+  out += v.text;
+  return out;
+}
+
+}  // namespace uchecker::core::staticpass

@@ -6,6 +6,8 @@
 #include <set>
 #include <utility>
 
+#include "core/staticpass/absdomain.h"
+#include "core/staticpass/summaries.h"
 #include "phpast/ast.h"
 #include "phpast/dataflow.h"
 #include "phpast/visitor.h"
@@ -32,6 +34,7 @@ using phpast::MethodCall;
 using phpast::New;
 using phpast::Node;
 using phpast::NodeKind;
+using phpast::Return;
 using phpast::StaticCall;
 using phpast::Stmt;
 using phpast::StmtPtr;
@@ -56,85 +59,10 @@ bool ends_with(std::string_view s, std::string_view suffix) {
 }
 
 
-// -------------------------------------------------------------------------
-// Abstract values: the taint lattice.
-//
-//   kBottom < {kConst, kSafeAtom, kUntainted} < kFiles* < kTop
-//
-// The kFiles* kinds remember *how* a value derives from $_FILES, because
-// the sanitizer idioms the recognizer understands are all shape-specific
-// (pathinfo on the client name, explode on the client name, ...):
-//   kFilesArray  $_FILES or $_FILES[field]
-//   kFilesName   the client-controlled file name (or a name-preserving
-//                transformation of it: trim, basename, $_FILES[f]['type'])
-//   kFilesInfo   pathinfo() of the client name
-//   kFilesParts  explode('.', name)
-//   kFilesExt    the final extension of the client name (pathinfo
-//                PATHINFO_EXTENSION or end(explode('.', name)))
-//   kFilesData   derived from $_FILES with no recognized structure
-struct AbsVal {
-  enum class Kind : std::uint8_t {
-    kBottom,
-    kConst,      // exactly this literal string
-    kSafeAtom,   // number / bool / server-generated token; never "." + ext
-    kUntainted,  // not derived from $_FILES, contents unknown
-    kFilesArray,
-    kFilesInfo,
-    kFilesName,
-    kFilesParts,
-    kFilesExt,
-    kFilesData,
-    kTop,
-  };
-
-  Kind kind = Kind::kBottom;
-  std::string field;  // $_FILES field; "" = whole array, "*" = unknown
-  std::string text;   // kConst only
-  bool lowered = false;
-  bool basenamed = false;
-
-  friend bool operator==(const AbsVal&, const AbsVal&) = default;
-};
-
+// The AbsVal taint lattice lives in core/staticpass/absdomain.h so the
+// function-summary layer (summaries.h) shares it.
 using Kind = AbsVal::Kind;
 using Env = std::map<std::string, AbsVal, std::less<>>;
-
-AbsVal make(Kind k) { return AbsVal{k, "", "", false, false}; }
-AbsVal bottom() { return make(Kind::kBottom); }
-AbsVal top() { return make(Kind::kTop); }
-AbsVal safe_atom() { return make(Kind::kSafeAtom); }
-AbsVal untainted() { return make(Kind::kUntainted); }
-AbsVal constant(std::string_view text) {
-  AbsVal v = make(Kind::kConst);
-  v.text = text;
-  return v;
-}
-AbsVal files(Kind k, std::string_view field, bool lowered = false,
-             bool basenamed = false) {
-  return AbsVal{k, std::string(field), "", lowered, basenamed};
-}
-
-bool is_files(Kind k) {
-  return k >= Kind::kFilesArray && k <= Kind::kFilesData;
-}
-bool is_clean(Kind k) {
-  return k == Kind::kConst || k == Kind::kSafeAtom || k == Kind::kUntainted;
-}
-
-AbsVal join(const AbsVal& a, const AbsVal& b) {
-  if (a.kind == Kind::kBottom) return b;
-  if (b.kind == Kind::kBottom) return a;
-  if (a == b) return a;
-  if (is_clean(a.kind) && is_clean(b.kind)) return untainted();
-  if (a.kind == b.kind && is_files(a.kind)) {
-    AbsVal r = a;
-    if (a.field != b.field) r.field = "*";
-    r.lowered = a.lowered && b.lowered;
-    r.basenamed = a.basenamed && b.basenamed;
-    return r;
-  }
-  return top();
-}
 
 // -------------------------------------------------------------------------
 // Destination suffix abstraction (for the vulnerability model's C2: "can
@@ -277,18 +205,6 @@ const std::set<std::string, std::less<>>& terminator_builtins() {
   return kSet;
 }
 
-const std::set<std::string, std::less<>>& higher_order_builtins() {
-  // Builtins that invoke a callback or otherwise escape this analysis.
-  static const std::set<std::string, std::less<>> kSet{
-      "call_user_func", "call_user_func_array", "array_map", "array_walk",
-      "array_filter",   "usort",                "uasort",    "uksort",
-      "array_reduce",   "preg_replace_callback", "register_shutdown_function",
-      "extract",        "parse_str",            "eval",      "assert",
-      "create_function",
-  };
-  return kSet;
-}
-
 bool is_superglobal(std::string_view name) {
   return name == "_POST" || name == "_GET" || name == "_REQUEST" ||
          name == "_COOKIE" || name == "_SERVER" || name == "_SESSION" ||
@@ -297,20 +213,42 @@ bool is_superglobal(std::string_view name) {
 
 class Analyzer {
  public:
+  // Root mode: analyzes one locality root.
   Analyzer(const Program& program, const CallGraph& graph,
            const AnalysisRoot& root, const SourceManager& sources,
            const SinkRegistry& sinks, const StaticPassOptions& options)
       : program_(program),
         graph_(graph),
-        root_(root),
+        root_(&root),
         sources_(sources),
-        sinks_(sinks) {
+        sinks_(sinks),
+        summaries_(options.summaries) {
+    for (const std::string& e : options.executable_extensions) {
+      exec_.insert(lower(e));
+    }
+  }
+
+  // Summary mode: analyzes one function body under explicit abstract
+  // parameter values (the workhorse of SummaryStore::instantiate).
+  Analyzer(const Program& program, const CallGraph& graph,
+           const FunctionDecl& fn, const std::vector<AbsVal>& args,
+           const SourceManager& sources, const SinkRegistry& sinks,
+           const StaticPassOptions& options, SummaryStore* store)
+      : program_(program),
+        graph_(graph),
+        root_(nullptr),
+        summary_fn_(&fn),
+        summary_args_(&args),
+        sources_(sources),
+        sinks_(sinks),
+        summaries_(store) {
     for (const std::string& e : options.executable_extensions) {
       exec_.insert(lower(e));
     }
   }
 
   RootAnalysis run();
+  SummaryInstance run_summary();
 
  private:
   // --- taint lattice -----------------------------------------------------
@@ -351,6 +289,17 @@ class Analyzer {
   std::string find_bail(Span<const StmtPtr> stmts);
   bool function_reaches_sink(std::string_view lower_name);
   bool method_reaches_sink(const std::string& lower_method);
+  // Summary-based vetting of one resolved call site: returns the empty
+  // string when the callee provably cannot produce an unsafe sink with
+  // these arguments, a bail reason otherwise (emitting UC107 on the way).
+  std::string vet_call_site(std::string_view callee, phpast::ExprList args,
+                            SourceLoc loc);
+  // UC108 + escaped-call accounting over the whole body (single walk,
+  // unlike find_bail which stops at the first bail).
+  void scan_escapes(Span<const StmtPtr> stmts);
+  // Shared solve pipeline: bindings -> params -> fixpoint env.
+  void solve_body(Span<const StmtPtr> body);
+  AbsVal collect_return_value(Span<const StmtPtr> body);
 
   // --- lints -------------------------------------------------------------
   void add_lint(const char* rule, Severity severity, SourceLoc loc,
@@ -359,10 +308,15 @@ class Analyzer {
 
   const Program& program_;
   const CallGraph& graph_;
-  const AnalysisRoot& root_;
+  const AnalysisRoot* root_;                       // root mode
+  const FunctionDecl* summary_fn_ = nullptr;       // summary mode
+  const std::vector<AbsVal>* summary_args_ = nullptr;
   const SourceManager& sources_;
   const SinkRegistry& sinks_;
+  SummaryStore* summaries_ = nullptr;
   std::set<std::string> exec_;
+  bool summary_used_ = false;   // a prune decision leaned on the store
+  std::size_t escaped_calls_ = 0;
 
   std::vector<VarBinding> bindings_;
   std::map<std::string, std::vector<const VarBinding*>, std::less<>>
@@ -537,6 +491,19 @@ AbsVal Analyzer::concat_val(const AbsVal& lhs, const AbsVal& rhs) {
 AbsVal Analyzer::eval_call(const Call& call, const Env& env) {
   if (call.is_dynamic()) return top();
   const std::string_view name = call.callee;
+  // User-defined functions resolve by summary instantiation instead of
+  // degrading to top(). They are checked before the builtin models to
+  // match the interpreter's resolution order (sink registry, then user
+  // functions, then builtins).
+  if (summaries_ != nullptr && !sinks_.is_sink(name) &&
+      program_.functions.count(name) != 0) {
+    std::vector<AbsVal> vals;
+    vals.reserve(call.args.size());
+    for (const Expr* a : call.args) {
+      vals.push_back(a != nullptr ? eval(*a, env) : top());
+    }
+    return summaries_->instantiate(name, vals).return_value;
+  }
   auto arg = [&](std::size_t i) -> AbsVal {
     if (i >= call.args.size() || call.args[i] == nullptr) return top();
     return eval(*call.args[i], env);
@@ -1515,6 +1482,12 @@ SinkSummary Analyzer::classify_sink(const SinkSite& site) {
 // --- escape hatches ------------------------------------------------------
 
 bool Analyzer::function_reaches_sink(std::string_view lower_name) {
+  // With the summary layer available this becomes a fact lookup (over
+  // interp-inlinable calls, escapes counted as reaching); the call-graph
+  // walk below remains the purely intraprocedural fallback.
+  if (summaries_ != nullptr) {
+    return summaries_->function_reaches_sink(lower_name);
+  }
   if (function_nodes_.empty()) {
     for (NodeId i = 0; i < static_cast<NodeId>(graph_.node_count()); ++i) {
       const CallGraphNode& n = graph_.node(i);
@@ -1561,10 +1534,20 @@ std::string Analyzer::find_bail(Span<const StmtPtr> stmts) {
           reason = "dynamic call in root body";
           return false;
         }
-        if (higher_order_builtins().count(call.callee) != 0) {
+        if (callback_builtins().count(call.callee) != 0) {
           reason = "higher-order builtin ";
           reason += call.callee;
           return false;
+        }
+        if (summaries_ != nullptr) {
+          // Sink-named calls are classified as sink sites even when a
+          // user function shadows the name (the interpreter checks the
+          // sink registry before the function registry).
+          if (!sinks_.is_sink(call.callee) &&
+              program_.functions.count(call.callee) != 0) {
+            reason = vet_call_site(call.callee, call.args, call.loc());
+          }
+          return reason.empty();
         }
         if (program_.functions.count(call.callee) != 0 &&
             function_reaches_sink(call.callee)) {
@@ -1576,8 +1559,16 @@ std::string Analyzer::find_bail(Span<const StmtPtr> stmts) {
         return true;
       }
       case NodeKind::kMethodCall: {
-        const std::string m =
-            lower(static_cast<const MethodCall&>(n).method);
+        const auto& mc = static_cast<const MethodCall&>(n);
+        const std::string m = lower(mc.method);
+        if (summaries_ != nullptr) {
+          // The interpreter resolves method calls by bare lowercased
+          // name; unknown names never record sinks.
+          if (program_.functions.count(m) != 0) {
+            reason = vet_call_site(m, mc.args, mc.loc());
+          }
+          return reason.empty();
+        }
         if (method_reaches_sink(m)) {
           reason = "method call ->" + m + "() may reach a sink";
           return false;
@@ -1585,8 +1576,17 @@ std::string Analyzer::find_bail(Span<const StmtPtr> stmts) {
         return true;
       }
       case NodeKind::kStaticCall: {
-        const std::string m =
-            lower(static_cast<const StaticCall&>(n).method);
+        const auto& sc = static_cast<const StaticCall&>(n);
+        const std::string m = lower(sc.method);
+        if (summaries_ != nullptr) {
+          // Interpreter resolution order: "class::method", then bare.
+          std::string resolved = lower(sc.class_name) + "::" + m;
+          if (program_.functions.count(resolved) == 0) resolved = m;
+          if (program_.functions.count(resolved) != 0) {
+            reason = vet_call_site(resolved, sc.args, sc.loc());
+          }
+          return reason.empty();
+        }
         if (method_reaches_sink(m)) {
           reason = "static call ::" + m + "() may reach a sink";
           return false;
@@ -1594,7 +1594,10 @@ std::string Analyzer::find_bail(Span<const StmtPtr> stmts) {
         return true;
       }
       case NodeKind::kNew: {
-        if (method_reaches_sink("__construct")) {
+        // The interpreter never runs constructors — `new` yields a fresh
+        // symbol — so with summaries available object construction is
+        // known not to reach a sink.
+        if (summaries_ == nullptr && method_reaches_sink("__construct")) {
           reason = "constructor may reach a sink";
           return false;
         }
@@ -1609,6 +1612,104 @@ std::string Analyzer::find_bail(Span<const StmtPtr> stmts) {
     if (!reason.empty()) break;
   }
   return reason;
+}
+
+std::string Analyzer::vet_call_site(std::string_view callee,
+                                    phpast::ExprList args, SourceLoc loc) {
+  const FunctionFacts* facts = summaries_->facts(callee);
+  if (facts == nullptr) {
+    return "";  // not user-defined; the interpreter treats it as a builtin
+  }
+  if (facts->escapes) {
+    std::string r = "call into ";
+    r += callee;
+    r += "() whose body escapes static analysis";
+    return r;
+  }
+  if (!facts->reaches_sink) return "";  // whole callee set is sink-free
+
+  // The callee can reach a sink: instantiate its summary at this call
+  // site's abstract argument values — equivalent to inlining the body.
+  std::vector<AbsVal> vals;
+  vals.reserve(args.size());
+  for (const phpast::Expr* a : args) {
+    vals.push_back(a != nullptr ? eval(*a, env_) : top());
+  }
+  const SummaryInstance& inst = summaries_->instantiate(callee, vals);
+  if (inst.analyzable && inst.all_sinks_safe) {
+    summary_used_ = true;  // the waiver leaned on the summary layer
+    return "";
+  }
+
+  std::string chain(callee);
+  for (std::size_t i = 1; i < facts->sink_chain.size(); ++i) {
+    chain += " -> ";
+    chain += facts->sink_chain[i];
+  }
+  bool taint_in = facts->reads_files;
+  for (const AbsVal& v : vals) {
+    if (is_files(v.kind) || v.kind == Kind::kTop) {
+      taint_in = true;
+      break;
+    }
+  }
+  if (taint_in) {
+    std::string msg = "upload taint can reach a sink through the helper "
+                      "chain " + chain;
+    if (!inst.reason.empty()) msg += ": " + inst.reason;
+    add_lint("UC107", Severity::kError, loc, std::move(msg));
+  }
+  std::string r = "call into ";
+  r += callee;
+  r += "() reaches a sink";
+  if (!inst.reason.empty()) {
+    r += " (";
+    r += inst.reason;
+    r += ")";
+  }
+  return r;
+}
+
+void Analyzer::scan_escapes(Span<const StmtPtr> stmts) {
+  auto visit = [this](const Node& n) -> bool {
+    switch (n.kind()) {
+      case NodeKind::kFunctionDecl:
+      case NodeKind::kClassDecl:
+        return false;  // separate scopes
+      case NodeKind::kCall: {
+        const auto& call = static_cast<const Call&>(n);
+        if (call.is_dynamic()) {
+          ++escaped_calls_;
+          add_lint("UC108", Severity::kInfo, call.loc(),
+                   "dynamic/variable call defeats static analysis at this "
+                   "site");
+          return true;
+        }
+        if (callback_builtins().count(call.callee) != 0) {
+          ++escaped_calls_;
+          add_lint("UC108", Severity::kInfo, call.loc(),
+                   "callback builtin " + std::string(call.callee) +
+                       "() escapes static analysis at this site");
+          return true;
+        }
+        if (summaries_ != nullptr) {
+          const FunctionFacts* f = summaries_->facts(call.callee);
+          if (f != nullptr && f->escapes) {
+            ++escaped_calls_;
+            add_lint("UC108", Severity::kInfo, call.loc(),
+                     "call into " + std::string(call.callee) +
+                         "() whose body escapes static analysis");
+          }
+        }
+        return true;
+      }
+      default:
+        return true;
+    }
+  };
+  for (const StmtPtr& s : stmts) {
+    if (s != nullptr) phpast::walk(*s, visit);
+  }
 }
 
 // --- lints ---------------------------------------------------------------
@@ -1641,22 +1742,23 @@ void Analyzer::add_lint(const char* rule, Severity severity, SourceLoc loc,
 
 // --- driver --------------------------------------------------------------
 
-RootAnalysis Analyzer::run() {
-  const Span<const StmtPtr> body =
-      root_.function != nullptr ? Span<const StmtPtr>(root_.function->body)
-                                : as_span(root_.file->statements);
+void Analyzer::solve_body(Span<const StmtPtr> body) {
   phpast::collect_var_bindings(body, bindings_);
 
-  if (root_.function != nullptr) {
+  const phpast::FunctionDecl* fn =
+      root_ != nullptr ? root_->function : summary_fn_;
+  if (fn != nullptr) {
     caller_scope_ = true;
     const Env empty;
-    for (std::size_t i = 0; i < root_.function->params.size(); ++i) {
-      const phpast::Param& p = root_.function->params[i];
+    for (std::size_t i = 0; i < fn->params.size(); ++i) {
+      const phpast::Param& p = fn->params[i];
       AbsVal v = top();
-      if (root_.binding_call != nullptr &&
-          i < root_.binding_call->args.size() &&
-          root_.binding_call->args[i] != nullptr) {
-        v = eval(*root_.binding_call->args[i], empty);
+      if (summary_args_ != nullptr && i < summary_args_->size()) {
+        v = (*summary_args_)[i];
+      } else if (root_ != nullptr && root_->binding_call != nullptr &&
+                 i < root_->binding_call->args.size() &&
+                 root_->binding_call->args[i] != nullptr) {
+        v = eval(*root_->binding_call->args[i], empty);
       } else if (p.default_value != nullptr) {
         v = eval(*p.default_value, empty);
       }
@@ -1677,11 +1779,49 @@ RootAnalysis Analyzer::run() {
       bindings_,
       [this](const VarBinding& b, const Env& env) { return transfer(b, env); },
       [](const AbsVal& a, const AbsVal& b) { return join(a, b); });
+}
+
+AbsVal Analyzer::collect_return_value(Span<const StmtPtr> body) {
+  AbsVal acc = bottom();
+  bool any = false;
+  auto visit = [&](const Node& n) -> bool {
+    switch (n.kind()) {
+      case NodeKind::kFunctionDecl:
+      case NodeKind::kClassDecl:
+      case NodeKind::kClosure:
+        return false;  // separate scopes
+      case NodeKind::kReturn: {
+        const auto& r = static_cast<const Return&>(n);
+        any = true;
+        acc = join(acc,
+                   r.value != nullptr ? eval(*r.value, env_) : safe_atom());
+        return true;
+      }
+      default:
+        return true;
+    }
+  };
+  for (const StmtPtr& s : body) {
+    if (s != nullptr) phpast::walk(*s, visit);
+  }
+  // Falling off the end returns null — a safe atom: it can neither be
+  // $_FILES-derived (C1) nor carry an executable suffix (C2).
+  if (!any) return safe_atom();
+  return acc;
+}
+
+RootAnalysis Analyzer::run() {
+  const Span<const StmtPtr> body =
+      root_->function != nullptr ? Span<const StmtPtr>(root_->function->body)
+                                 : as_span(root_->file->statements);
+  solve_body(body);
 
   const std::string bail = find_bail(body);
   scan_stmts(body);
+  scan_escapes(body);
 
   RootAnalysis result;
+  result.escaped_calls = escaped_calls_;
   bool all_prunable = true;
   for (const SinkSite& site : sink_sites_) {
     SinkSummary summary = classify_sink(site);
@@ -1693,10 +1833,21 @@ RootAnalysis Analyzer::run() {
     result.prunable = false;
     result.reason = bail;
   } else if (result.sinks.empty()) {
-    result.prunable = false;
-    result.reason = "no lexical sink in root body";
+    if (summaries_ != nullptr) {
+      // Summary-proven sink-free root: the body has no lexical sink and
+      // a clean bail scan already vetted every reachable callee (sink-
+      // free, or instantiated with all sinks safe), so the interpreter
+      // cannot record a sink for this root.
+      result.prunable = true;
+      result.summary_pruned = true;
+      result.reason = "no lexical sink; callee set summary-proven sink-free";
+    } else {
+      result.prunable = false;
+      result.reason = "no lexical sink in root body";
+    }
   } else if (all_prunable) {
     result.prunable = true;
+    result.summary_pruned = summary_used_;
     result.reason = "all sinks proven safe";
   } else {
     result.prunable = false;
@@ -1721,6 +1872,43 @@ RootAnalysis Analyzer::run() {
   result.lints.reserve(lints_.size());
   for (auto& [loc, lint] : lints_) result.lints.push_back(std::move(lint));
   return result;
+}
+
+SummaryInstance Analyzer::run_summary() {
+  const Span<const StmtPtr> body(summary_fn_->body);
+  solve_body(body);
+
+  SummaryInstance out;
+  out.return_value = collect_return_value(body);
+
+  const std::string bail = find_bail(body);
+  scan_stmts(body);
+
+  bool all_safe = true;
+  for (const SinkSite& site : sink_sites_) {
+    SinkSummary summary = classify_sink(site);
+    all_safe = all_safe && summary.prunable;
+    out.sinks.push_back(std::move(summary));
+  }
+
+  if (!bail.empty()) {
+    out.analyzable = false;
+    out.all_sinks_safe = false;
+    out.reason = bail;
+    out.return_value = top();  // an escaped body may return anything
+    return out;
+  }
+  out.analyzable = true;
+  out.all_sinks_safe = all_safe;
+  if (!all_safe) {
+    for (const SinkSummary& s : out.sinks) {
+      if (!s.prunable) {
+        out.reason = s.reason;
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -1763,6 +1951,18 @@ RootAnalysis analyze_root(const Program& program, const CallGraph& graph,
                           const StaticPassOptions& options) {
   Analyzer analyzer(program, graph, root, sources, sinks, options);
   return analyzer.run();
+}
+
+SummaryInstance analyze_function_body(const Program& program,
+                                      const CallGraph& graph,
+                                      const phpast::FunctionDecl& fn,
+                                      const std::vector<AbsVal>& args,
+                                      const SourceManager& sources,
+                                      const SinkRegistry& sinks,
+                                      const StaticPassOptions& options,
+                                      SummaryStore* store) {
+  Analyzer analyzer(program, graph, fn, args, sources, sinks, options, store);
+  return analyzer.run_summary();
 }
 
 }  // namespace uchecker::core::staticpass

@@ -39,6 +39,8 @@
 
 namespace uchecker::core::staticpass {
 
+class SummaryStore;  // core/staticpass/summaries.h
+
 enum class Severity : std::uint8_t { kInfo, kWarning, kError };
 
 [[nodiscard]] std::string_view severity_name(Severity s);
@@ -58,6 +60,12 @@ enum class Severity : std::uint8_t { kInfo, kWarning, kError };
 //                                             constant executable extension
 //   UC106 raw-client-filename        info     client filename used in the
 //                                             destination without basename()
+//   UC107 helper-chain-taint         error    taint reaches a sink through
+//                                             a helper-function chain (the
+//                                             message reports the chain)
+//   UC108 escaped-call-site          info     dynamic/variable call or
+//                                             callback builtin defeats
+//                                             static analysis at this site
 struct LintFinding {
   std::string rule;      // "UC101" ...
   Severity severity = Severity::kWarning;
@@ -92,12 +100,27 @@ struct RootAnalysis {
   std::string reason;
   std::vector<SinkSummary> sinks;
   std::vector<LintFinding> lints;
+  // True when the prune decision required the inter-procedural summary
+  // layer (a sink-free callee set, or a call-site instantiation proving
+  // a sink-reaching helper safe). Telemetry:
+  // staticpass.summary_pruned_roots.
+  bool summary_pruned = false;
+  // Call sites in this root whose callees the analysis cannot follow
+  // (dynamic calls, callback builtins, escaped helpers) — the UC108
+  // sites. Telemetry: staticpass.escaped_calls.
+  std::size_t escaped_calls = 0;
 };
 
 struct StaticPassOptions {
   // Extensions the vulnerability model treats as executable; mirror
   // VulnModelOptions::executable_extensions.
-  std::vector<std::string> executable_extensions{"php", "php5"};
+  std::vector<std::string> executable_extensions{"php", "php5", "phtml"};
+  // Inter-procedural function summaries (core/staticpass/summaries.h).
+  // When set, calls into user-defined functions are resolved by summary
+  // instantiation instead of degrading to top(); null reproduces the
+  // purely intraprocedural pass. The store memoizes across roots — the
+  // detector owns one per scan.
+  SummaryStore* summaries = nullptr;
 };
 
 // Analyzes one locality root intraprocedurally. Pure AST work: no solver,

@@ -1,0 +1,322 @@
+#include "core/staticpass/summaries.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "phpast/ast.h"
+#include "phpast/visitor.h"
+#include "support/strutil.h"
+
+namespace uchecker::core::staticpass {
+
+const std::set<std::string, std::less<>>& callback_builtins() {
+  static const std::set<std::string, std::less<>> kSet{
+      "call_user_func", "call_user_func_array", "array_map", "array_walk",
+      "array_filter",   "usort",                "uasort",    "uksort",
+      "array_reduce",   "preg_replace_callback", "register_shutdown_function",
+      "extract",        "parse_str",            "eval",      "assert",
+      "create_function",
+  };
+  return kSet;
+}
+
+namespace {
+
+using phpast::Node;
+using phpast::NodeKind;
+using phpast::StmtPtr;
+
+bool reads_attacker_input(std::string_view var) {
+  return var == "_FILES" || var == "_POST" || var == "_GET" ||
+         var == "_REQUEST" || var == "_COOKIE";
+}
+
+// Per-function local facts and interp-inlinable call edges, before the
+// bottom-up propagation.
+struct LocalFacts {
+  bool sink = false;     // lexical call to a registered sink name
+  bool files = false;    // reads $_FILES (or another attacker superglobal)
+  bool escapes = false;  // dynamic call, callback builtin, include,
+                         // closure, or by-ref parameter
+  std::vector<std::string> callees;  // user-defined, deduped, sorted
+};
+
+}  // namespace
+
+SummaryStore::SummaryStore(const Program& program, const CallGraph& graph,
+                           const SourceManager& sources,
+                           const SinkRegistry& sinks,
+                           const StaticPassOptions& options)
+    : program_(program),
+      graph_(graph),
+      sources_(sources),
+      sinks_(sinks),
+      options_(options) {
+  build();
+}
+
+void SummaryStore::build() {
+  // 1. Local facts + interp-inlinable call edges per registered function.
+  //    Edges follow only calls the symbolic interpreter actually inlines:
+  //    direct calls, method calls resolved by bare name, static calls
+  //    resolved "class::method"-then-bare. Callback registrations,
+  //    constructors (never run by the interpreter) and closures (never
+  //    invoked) are not edges; the opaque ones count as escapes instead.
+  std::map<std::string, LocalFacts, std::less<>> locals;
+  for (const auto& [name, info] : program_.functions) {
+    LocalFacts local;
+    if (info.decl == nullptr) {
+      local.escapes = true;  // registry entry without a body
+      locals.emplace(name, std::move(local));
+      continue;
+    }
+    for (const phpast::Param& p : info.decl->params) {
+      // A by-ref parameter lets the body mutate the caller's scope,
+      // which the summary environment does not model.
+      if (p.by_ref) local.escapes = true;
+    }
+    std::set<std::string, std::less<>> callees;
+    auto visit = [&](const Node& n) -> bool {
+      switch (n.kind()) {
+        case NodeKind::kFunctionDecl:
+        case NodeKind::kClassDecl:
+          return false;  // separately registered scopes
+        case NodeKind::kClosure:
+        case NodeKind::kIncludeExpr:
+          local.escapes = true;
+          return false;
+        case NodeKind::kVariable: {
+          const auto& v = static_cast<const phpast::Variable&>(n);
+          if (reads_attacker_input(v.name)) local.files = true;
+          return true;
+        }
+        case NodeKind::kCall: {
+          const auto& call = static_cast<const phpast::Call&>(n);
+          if (call.is_dynamic()) {
+            local.escapes = true;
+            return true;  // still scan the arguments
+          }
+          if (callback_builtins().count(call.callee) != 0) {
+            local.escapes = true;
+            return true;
+          }
+          if (sinks_.is_sink(call.callee)) {
+            local.sink = true;
+            return true;
+          }
+          if (program_.functions.count(call.callee) != 0) {
+            callees.insert(std::string(call.callee));
+          }
+          return true;
+        }
+        case NodeKind::kMethodCall: {
+          const std::string m = strutil::to_lower(
+              static_cast<const phpast::MethodCall&>(n).method);
+          if (program_.functions.count(m) != 0) callees.insert(m);
+          return true;
+        }
+        case NodeKind::kStaticCall: {
+          const auto& sc = static_cast<const phpast::StaticCall&>(n);
+          std::string q = strutil::to_lower(sc.class_name) +
+                          "::" + strutil::to_lower(sc.method);
+          if (program_.functions.count(q) == 0) {
+            q = strutil::to_lower(sc.method);
+          }
+          if (program_.functions.count(q) != 0) callees.insert(std::move(q));
+          return true;
+        }
+        default:
+          return true;
+      }
+    };
+    for (const StmtPtr& s : info.decl->body) {
+      if (s != nullptr) phpast::walk(*s, visit);
+    }
+    local.callees.assign(callees.begin(), callees.end());
+    locals.emplace(name, std::move(local));
+  }
+
+  // 2. Iterative Tarjan SCC condensation. SCCs are emitted callee-first
+  //    (an SCC completes only after every component reachable from it),
+  //    which is exactly the bottom-up order the fact propagation needs.
+  std::map<std::string, int, std::less<>> index;
+  std::map<std::string, int, std::less<>> low;
+  std::set<std::string, std::less<>> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+
+  struct Frame {
+    const std::string* name = nullptr;
+    const LocalFacts* local = nullptr;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> frames;
+  auto open_node = [&](const std::string& stable_name,
+                       const LocalFacts& local) {
+    index[stable_name] = low[stable_name] = next_index++;
+    stack.push_back(stable_name);
+    on_stack.insert(stable_name);
+    frames.push_back(Frame{&stable_name, &local, 0});
+  };
+
+  for (const auto& [start, start_local] : locals) {
+    if (index.count(start) != 0) continue;
+    open_node(start, start_local);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next < f.local->callees.size()) {
+        const std::string& callee = f.local->callees[f.next];
+        ++f.next;
+        auto cit = locals.find(callee);
+        if (cit == locals.end()) continue;
+        auto iit = index.find(callee);
+        if (iit == index.end()) {
+          open_node(cit->first, cit->second);  // invalidates f; loop re-reads
+        } else if (on_stack.count(callee) != 0) {
+          int& lw = low[*f.name];
+          lw = std::min(lw, iit->second);
+        }
+        continue;
+      }
+      const std::string done = *f.name;
+      frames.pop_back();
+      if (!frames.empty()) {
+        int& parent_low = low[*frames.back().name];
+        parent_low = std::min(parent_low, low[done]);
+      }
+      if (low[done] == index[done]) {
+        std::vector<std::string> scc;
+        while (true) {
+          std::string member = std::move(stack.back());
+          stack.pop_back();
+          on_stack.erase(member);
+          const bool is_root = member == done;
+          scc.push_back(std::move(member));
+          if (is_root) break;
+        }
+        std::sort(scc.begin(), scc.end());
+        sccs_.push_back(std::move(scc));
+      }
+    }
+  }
+
+  // 3. Fact propagation in emission (callee-first) order. Reachability
+  //    bits are uniform within an SCC, so one union pass over the members
+  //    and their already-finalized external callees is the fixpoint.
+  for (std::size_t si = 0; si < sccs_.size(); ++si) {
+    const std::vector<std::string>& members = sccs_[si];
+    bool recursive = members.size() > 1;
+    bool sink = false;
+    bool files = false;
+    bool escapes = false;
+    bool reaches = false;
+    for (const std::string& m : members) {
+      const LocalFacts& l = locals.find(m)->second;
+      sink = sink || l.sink;
+      files = files || l.files;
+      escapes = escapes || l.escapes;
+      for (const std::string& c : l.callees) {
+        if (c == m) recursive = true;  // self-loop
+        if (std::find(members.begin(), members.end(), c) != members.end()) {
+          continue;  // intra-SCC edge: bits already unioned above
+        }
+        auto cf = facts_.find(c);
+        if (cf == facts_.end()) continue;
+        reaches = reaches || cf->second.reaches_sink;
+        escapes = escapes || cf->second.escapes;
+        files = files || cf->second.reads_files;
+      }
+    }
+    reaches = reaches || sink;
+    for (const std::string& m : members) {
+      FunctionFacts ff;
+      ff.name = m;
+      ff.scc = static_cast<int>(si);
+      ff.recursive = recursive;
+      ff.has_local_sink = locals.find(m)->second.sink;
+      ff.reaches_sink = reaches;
+      ff.reads_files = files;
+      ff.escapes = escapes;
+      facts_.emplace(m, std::move(ff));
+    }
+  }
+
+  // 4. UC107 witness chains: function -> ... -> sink-containing function.
+  for (auto& [name, ff] : facts_) {
+    if (!ff.reaches_sink) continue;
+    std::vector<std::string> chain;
+    std::set<std::string, std::less<>> visited;
+    std::string cur = name;
+    while (chain.size() < 8) {
+      chain.push_back(cur);
+      visited.insert(cur);
+      const LocalFacts& l = locals.find(cur)->second;
+      if (l.sink) break;
+      std::string next;
+      for (const std::string& c : l.callees) {
+        if (visited.count(c) != 0) continue;
+        auto cf = facts_.find(c);
+        if (cf != facts_.end() && cf->second.reaches_sink) {
+          next = c;
+          break;
+        }
+      }
+      if (next.empty()) break;
+      cur = std::move(next);
+    }
+    ff.sink_chain = std::move(chain);
+  }
+}
+
+const FunctionFacts* SummaryStore::facts(std::string_view lower_name) const {
+  auto it = facts_.find(lower_name);
+  return it == facts_.end() ? nullptr : &it->second;
+}
+
+bool SummaryStore::function_reaches_sink(std::string_view lower_name) const {
+  const FunctionFacts* f = facts(lower_name);
+  return f != nullptr && (f->reaches_sink || f->escapes);
+}
+
+const SummaryInstance& SummaryStore::instantiate(
+    std::string_view lower_name, const std::vector<AbsVal>& args) {
+  std::string key(lower_name);
+  key += '\n';
+  for (const AbsVal& a : args) {
+    key += absval_key(a);
+    key += ';';
+  }
+  auto it = instances_.find(key);
+  if (it != instances_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+
+  SummaryInstance inst;
+  inst.return_value = top();
+  const FunctionFacts* f = facts(lower_name);
+  auto fit = program_.functions.find(lower_name);
+  const std::string name(lower_name);
+  if (f == nullptr || fit == program_.functions.end() ||
+      fit->second.decl == nullptr) {
+    inst.reason = "unknown function";
+  } else if (f->recursive) {
+    // Matches the interpreter, which replaces recursive calls with a
+    // fresh unknown symbol instead of unrolling.
+    inst.reason = "recursive function";
+  } else if (f->escapes) {
+    inst.reason = "body escapes static analysis";
+  } else if (!in_progress_.insert(name).second) {
+    inst.reason = "re-entrant instantiation";  // cycle backstop
+  } else {
+    inst = analyze_function_body(program_, graph_, *fit->second.decl, args,
+                                 sources_, sinks_, options_, this);
+    in_progress_.erase(name);
+  }
+  // std::map node stability keeps the returned reference valid across
+  // later (including recursive) insertions.
+  return instances_.emplace(std::move(key), std::move(inst)).first->second;
+}
+
+}  // namespace uchecker::core::staticpass

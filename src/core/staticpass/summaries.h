@@ -1,0 +1,144 @@
+// Inter-procedural function summaries for the static pass.
+//
+// The intraprocedural analyzer (staticpass.cc) historically treated every
+// call into a user-defined function as opaque: eval_call returned top()
+// and any callee that could reach a sink in the call graph forced the
+// whole root onto the symbolic path. This module closes that hole with
+// two cooperating layers:
+//
+//  1. Context-insensitive FunctionFacts, computed once per scan by
+//     walking the user-function call graph bottom-up (iterative Tarjan
+//     SCC condensation; the per-SCC bit fixpoint is trivially reached in
+//     one union pass because reachability bits are uniform within an
+//     SCC). The facts record whether a function lexically contains a
+//     sink, transitively reaches one, reads $_FILES/superglobals, or
+//     "escapes" the analysis (dynamic call, eval/extract, callback
+//     builtin, include, closure) — the blind spots UC108 reports.
+//
+//  2. Context-keyed SummaryInstances: a memoized run of the body
+//     analyzer with the *actual* abstract argument values of one call
+//     site bound to the parameters. Instantiating a summary is
+//     abstractly identical to inlining the callee at the call site, so
+//     every guard-recognition and suffix rule of the intraprocedural
+//     pass (already crosschecked against the symbolic engine) carries
+//     over unchanged. Functions in a recursive SCC conservatively
+//     degrade to top — matching the symbolic interpreter, which replaces
+//     recursive calls with a fresh unknown symbol.
+//
+// Reachability here deliberately follows only calls the symbolic
+// interpreter actually inlines (direct calls, method/static calls
+// resolved by name) — not the call graph's callback-registration edges,
+// which the interpreter never executes. That makes "summary-proven
+// sink-free" an over-approximation of what interp can find, so pruning
+// a root whose whole transitive callee set is sink-free is sound; the
+// crosscheck oracle gates it at runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/callgraph/callgraph.h"
+#include "core/sinks.h"
+#include "core/staticpass/absdomain.h"
+#include "core/staticpass/staticpass.h"
+#include "support/source.h"
+
+namespace uchecker::core::staticpass {
+
+// Builtins that invoke a callback or otherwise escape static analysis
+// (call_user_func, array_map, eval, extract, ...). Shared by the
+// analyzer's bail scan, the UC108 escaped-call walk, and the summary
+// fact builder so the three can never drift apart.
+[[nodiscard]] const std::set<std::string, std::less<>>& callback_builtins();
+
+// Context-insensitive facts about one user-defined function, valid at
+// every call site. Computed bottom-up over the SCC condensation.
+struct FunctionFacts {
+  std::string name;     // lowercase key in Program::functions
+  int scc = -1;         // condensation index; callees never have a larger one
+  bool recursive = false;       // member of a nontrivial SCC or self-loop
+  bool has_local_sink = false;  // own body contains a lexical sink call
+  bool reaches_sink = false;    // transitively, over interp-inlinable calls
+  bool reads_files = false;     // $_FILES / superglobal read, transitively
+  bool escapes = false;  // dynamic call, callback builtin (call_user_func,
+                         // array_map, eval, extract, ...), include or
+                         // closure anywhere in the transitive body set
+  // A witness call chain name -> ... -> sink-containing function, for
+  // UC107 evidence. Empty unless reaches_sink.
+  std::vector<std::string> sink_chain;
+};
+
+// One memoized instantiation of a function at an abstract argument tuple.
+struct SummaryInstance {
+  AbsVal return_value;       // join over the body's return expressions
+  bool analyzable = false;   // body + callees fully understood (no bail)
+  bool all_sinks_safe = false;  // every reachable sink classified prunable
+  std::string reason;        // bail reason or first unsafe sink's reason
+  std::vector<SinkSummary> sinks;  // classification of the body's sinks
+};
+
+struct SummaryStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+class SummaryStore {
+ public:
+  SummaryStore(const Program& program, const CallGraph& graph,
+               const SourceManager& sources, const SinkRegistry& sinks,
+               const StaticPassOptions& options);
+
+  // Null when `lower_name` is not a user-defined function.
+  [[nodiscard]] const FunctionFacts* facts(std::string_view lower_name) const;
+
+  // Conservative reachability query replacing the analyzer's call-graph
+  // walk: true when the function reaches a sink over interp-inlinable
+  // calls OR escapes the analysis (an escaped body might do anything).
+  [[nodiscard]] bool function_reaches_sink(std::string_view lower_name) const;
+
+  // Memoized context-keyed instantiation. Recursive or escaped functions
+  // yield a conservative instance (return top, not analyzable).
+  const SummaryInstance& instantiate(std::string_view lower_name,
+                                     const std::vector<AbsVal>& args);
+
+  [[nodiscard]] SummaryStats& stats() { return stats_; }
+  [[nodiscard]] const SummaryStats& stats() const { return stats_; }
+
+  // SCCs of the user-function call graph in bottom-up (callee-first)
+  // emission order; members sorted by name. Exposed for tests.
+  [[nodiscard]] const std::vector<std::vector<std::string>>& sccs() const {
+    return sccs_;
+  }
+
+ private:
+  void build();
+
+  const Program& program_;
+  const CallGraph& graph_;
+  const SourceManager& sources_;
+  const SinkRegistry& sinks_;
+  const StaticPassOptions& options_;
+
+  std::map<std::string, FunctionFacts, std::less<>> facts_;
+  std::vector<std::vector<std::string>> sccs_;
+  std::map<std::string, SummaryInstance, std::less<>> instances_;
+  std::set<std::string, std::less<>> in_progress_;
+  SummaryStats stats_;
+};
+
+// The workhorse behind SummaryStore::instantiate, implemented in
+// staticpass.cc because it reuses the intraprocedural Analyzer: analyzes
+// one function body with the given abstract parameter values (missing
+// trailing arguments fall back to the declared defaults, then top).
+[[nodiscard]] SummaryInstance analyze_function_body(
+    const Program& program, const CallGraph& graph,
+    const phpast::FunctionDecl& fn, const std::vector<AbsVal>& args,
+    const SourceManager& sources, const SinkRegistry& sinks,
+    const StaticPassOptions& options, SummaryStore* store);
+
+}  // namespace uchecker::core::staticpass

@@ -58,12 +58,34 @@ bool ends_with_literal_dot(const HeapGraph& graph, Label label) {
 // general suffixof encoding). And any extension X whose mandatory tail
 // ".X" contains `search` cannot be chosen avoidance-free; such X are
 // appended to `excluded_exts` and dropped from the equality disjunction.
-Label trailing_extension_symbol(const HeapGraph& graph, Label dst,
-                                std::vector<std::string>* excluded_searches) {
+//
+// Ternary/coalesce destinations ($dir_a . $n vs $dir_b . $n) are common
+// and kill the sequence solver outright once the suffix disjunction has
+// three or more arms, so the walk also descends through kTernary and
+// kCoalesce: when BOTH value branches structurally end in the SAME
+// extension symbol, suffixof distributes over the ite and the equality
+// rewrite stays an equivalence. Different (or non-structural) branches
+// fall back to the general encoding.
+Label trailing_extension_symbol_impl(const HeapGraph& graph, Label dst,
+                                     std::vector<std::string>* excluded_searches,
+                                     int depth) {
+  if (depth <= 0) return kNoLabel;
   Label label = resolve_through_identity(graph, dst);
   for (int guard = 0; guard < 256; ++guard) {
     const Object* obj = graph.find(label);
     if (obj == nullptr) return kNoLabel;
+    if (obj->kind == Object::Kind::kOp &&
+        (obj->op == OpKind::kTernary || obj->op == OpKind::kCoalesce)) {
+      // Value branches: (ternary cond then else) / (coalesce lhs rhs).
+      const std::size_t first = obj->op == OpKind::kTernary ? 1 : 0;
+      if (obj->children.size() != first + 2) return kNoLabel;
+      const Label then_ext = trailing_extension_symbol_impl(
+          graph, obj->children[first], excluded_searches, depth - 1);
+      if (then_ext == kNoLabel) return kNoLabel;
+      const Label else_ext = trailing_extension_symbol_impl(
+          graph, obj->children[first + 1], excluded_searches, depth - 1);
+      return then_ext == else_ext ? then_ext : kNoLabel;
+    }
     if (obj->kind == Object::Kind::kFunc) {
       if (obj->name == "str_replace" && obj->children.size() >= 3) {
         const Object& search = graph.at(obj->children[0]);
@@ -107,6 +129,13 @@ Label trailing_extension_symbol(const HeapGraph& graph, Label dst,
     return kNoLabel;
   }
   return kNoLabel;
+}
+
+Label trailing_extension_symbol(const HeapGraph& graph, Label dst,
+                                std::vector<std::string>* excluded_searches) {
+  // Depth bounds only the ternary/coalesce branching, not the rightmost
+  // concat spine (the loop above handles arbitrarily long spines).
+  return trailing_extension_symbol_impl(graph, dst, excluded_searches, 8);
 }
 
 // Hash for the per-call (dst, reachability) memo; labels are dense small

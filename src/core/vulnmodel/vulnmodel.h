@@ -78,9 +78,12 @@ class SolverQueryCache {
     std::string_view json);
 
 struct VulnModelOptions {
-  // Extensions considered server-executable. Paper default; §VI notes
-  // variants (".asa", ".swf", ...) are covered by extending this list.
-  std::vector<std::string> executable_extensions{"php", "php5"};
+  // Extensions considered server-executable. The paper models php/php5;
+  // §VI notes variants are covered by extending this list, and phtml is
+  // executable under the default Apache/mod_php handler map, so it is
+  // part of the default C2 suffix set. Further variants (".asa",
+  // ".swf", ...) extend the list the same way.
+  std::vector<std::string> executable_extensions{"php", "php5", "phtml"};
   unsigned solver_timeout_ms = 5000;
   // One SAT path proves the vulnerability; stop checking further paths.
   // Disable to enumerate every exploitable sink (audit reports).

@@ -59,6 +59,13 @@ struct CorpusEntry {
 // All 44 applications in Table III order.
 [[nodiscard]] std::vector<CorpusEntry> full_corpus();
 
+// Helper-chain apps for the inter-procedural summary layer (PR9): the
+// upload taint reaches a copy()/rename() sink only through user-defined
+// helper functions, so there is no lexical sink in the analysis root.
+// Deliberately NOT part of full_corpus() — Table III's counts are pinned
+// by tests; ci/check.sh gates on this suite separately.
+[[nodiscard]] std::vector<CorpusEntry> helper_sink_suite();
+
 // Deterministic filler: syntactically valid, upload-free PHP functions
 // padding an app to ~`target_loc` physical lines of code. Same (seed,
 // prefix, target) always yields identical text.

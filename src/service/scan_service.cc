@@ -293,6 +293,8 @@ std::string ScanService::verdict_key(const core::Application& app,
   opts += scan.prefilter ? '1' : '0';
   opts += ";lint=";
   opts += scan.lint ? '1' : '0';
+  opts += ";summaries=";
+  opts += scan.summaries ? '1' : '0';
   opts += ";crosscheck=";
   opts += scan.crosscheck ? '1' : '0';
   opts += ";explain=";

@@ -3,6 +3,8 @@
 // matching the paper for all 44 apps, plus the §IV-C baseline comparison.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baselines/rips.h"
 #include "baselines/wap.h"
 #include "core/detector/detector.h"
@@ -207,6 +209,59 @@ TEST(CorpusExtension, AdminGatingRemovesBothFalsePositives) {
   }
   EXPECT_EQ(fp, 0);
   EXPECT_EQ(detected, 15);
+}
+
+// --- PR9 extension: helper-chain suite (inter-procedural summaries) -----------
+
+TEST(CorpusExtension, HelperSinkSuiteVerdictsMatchGroundTruth) {
+  // These apps persist uploads through user-defined helpers (copy/rename
+  // sinks reached inter-procedurally); they are deliberately outside the
+  // pinned Table III corpus. Verdicts must match ground truth both with
+  // and without summaries — the summary layer only changes pruning.
+  for (const bool summaries : {true, false}) {
+    core::ScanOptions options;
+    options.summaries = summaries;
+    Detector detector(options);
+    for (const CorpusEntry& entry : helper_sink_suite()) {
+      const ScanReport report = detector.scan(entry.app);
+      EXPECT_EQ(report.verdict == Verdict::kVulnerable,
+                entry.ground_truth_vulnerable)
+          << entry.app.name << " (summaries " << (summaries ? "on" : "off")
+          << "): verdict " << verdict_name(report.verdict);
+    }
+  }
+}
+
+TEST(CorpusExtension, HelperSuiteBenignPrunesOnlyViaSummaries) {
+  const std::vector<CorpusEntry> suite = helper_sink_suite();
+  const auto benign_it =
+      std::find_if(suite.begin(), suite.end(), [](const CorpusEntry& e) {
+        return !e.ground_truth_vulnerable;
+      });
+  ASSERT_NE(benign_it, suite.end());
+  const ScanReport with = Detector().scan(benign_it->app);
+  EXPECT_EQ(with.verdict, Verdict::kNotVulnerable);
+  EXPECT_EQ(with.summary_pruned_roots, 1u) << "the benign helper app's root "
+      "should be prunable only by summary instantiation";
+  core::ScanOptions off;
+  off.summaries = false;
+  const ScanReport without = Detector(off).scan(benign_it->app);
+  EXPECT_EQ(without.verdict, Verdict::kNotVulnerable);
+  EXPECT_EQ(without.summary_pruned_roots, 0u);
+  EXPECT_GT(without.paths, 0u) << "without summaries the root must fall "
+      "through to symbolic execution";
+}
+
+TEST(CorpusExtension, HelperSuiteCrosscheckAgreesEverywhere) {
+  core::ScanOptions options;
+  options.crosscheck = true;
+  Detector detector(options);
+  for (const CorpusEntry& entry : helper_sink_suite()) {
+    const ScanReport report = detector.scan(entry.app);
+    EXPECT_NE(report.verdict, Verdict::kAnalysisDisagreement)
+        << entry.app.name;
+    EXPECT_TRUE(report.disagreements.empty()) << entry.app.name;
+  }
 }
 
 }  // namespace

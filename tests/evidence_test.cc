@@ -148,7 +148,8 @@ if (strlen($_FILES['f']['name']) > 3 && $_FILES['f']['size'] < 4096) {
     EXPECT_FALSE(b.symbol.empty());
     if (b.symbol.find("_ext") != std::string::npos) {
       saw_ext = true;
-      EXPECT_TRUE(b.decoded == "php" || b.decoded == "php5");
+      EXPECT_TRUE(b.decoded == "php" || b.decoded == "php5" ||
+                  b.decoded == "phtml");
     }
   }
   EXPECT_TRUE(saw_ext);

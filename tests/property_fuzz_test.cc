@@ -9,6 +9,8 @@
 // graph stays a DAG, and the detector returns a definite verdict.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/detector/detector.h"
 #include "core/heapgraph/sexpr.h"
 #include "core/interp/interp.h"
@@ -225,6 +227,20 @@ TEST_P(FuzzPipeline, InvariantsHold) {
       << php << "\n"
       << (both.disagreements.empty() ? "" : both.disagreements[0].message);
   EXPECT_NE(both.verdict, Verdict::kAnalysisDisagreement);
+
+  // 6. Summary invariance: the inter-procedural summary layer may prune
+  //    more roots and emit UC107/UC108 lints, but verdicts and findings
+  //    must be byte-identical with it disabled.
+  ScanOptions no_summaries = options;
+  no_summaries.summaries = false;
+  const ScanReport plain = Detector(no_summaries).scan(app);
+  EXPECT_EQ(report.verdict, plain.verdict) << php;
+  ASSERT_EQ(report.findings.size(), plain.findings.size()) << php;
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    EXPECT_EQ(report.findings[i].location, plain.findings[i].location);
+    EXPECT_EQ(report.findings[i].sink_name, plain.findings[i].sink_name);
+    EXPECT_EQ(report.findings[i].fingerprint, plain.findings[i].fingerprint);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
@@ -289,6 +305,63 @@ TEST(FuzzParallelParse, SerialAndParallelAgree) {
     }
     ASSERT_EQ(a.lints.size(), b.lints.size());
     EXPECT_EQ(a.diagnostics_by_phase, b.diagnostics_by_phase);
+  }
+}
+
+// Helper-wrapped differential: move the generated program's final sink
+// into a user-defined helper so the root has no lexical sink and the
+// static pass must reason inter-procedurally. Verdicts must match the
+// inlined shape, agree with summaries on/off, and survive crosscheck.
+TEST(FuzzSummaries, HelperWrappedSinkDifferential) {
+  for (unsigned seed = 300; seed < 320; ++seed) {
+    ProgramGenerator gen(seed);
+    std::string php = gen.generate();
+    // Replace the generator's trailing sink line(s) with a helper call:
+    // everything before the first sink-related line stays as prefix noise.
+    const std::size_t cut = std::min(php.find("$ext = strtolower"),
+                                     php.find("move_uploaded_file("));
+    ASSERT_NE(cut, std::string::npos);
+    const bool guarded = php.find("in_array($ext") != std::string::npos;
+    std::string wrapped = php.substr(0, cut);
+    if (guarded) {
+      wrapped +=
+          "function fuzz_store($tmp, $name) {\n"
+          "    $ext = strtolower(pathinfo($name, PATHINFO_EXTENSION));\n"
+          "    if (!in_array($ext, array('jpg', 'png'))) { return false; }\n"
+          "    return move_uploaded_file($tmp, '/u/' . basename($name));\n"
+          "}\n";
+    } else {
+      wrapped +=
+          "function fuzz_store($tmp, $name) {\n"
+          "    return move_uploaded_file($tmp, '/u/' . $name);\n"
+          "}\n";
+    }
+    wrapped += "$fz = $_FILES['f'];\n";
+    wrapped += "fuzz_store($fz['tmp_name'], $fz['name']);\n";
+
+    Application app;
+    app.name = "fuzz-helper";
+    app.files.push_back(AppFile{"fuzz.php", wrapped});
+    SCOPED_TRACE(wrapped);
+
+    const ScanReport with = Detector().scan(app);
+    ScanOptions off_opts;
+    off_opts.summaries = false;
+    const ScanReport without = Detector(off_opts).scan(app);
+    EXPECT_EQ(with.verdict, without.verdict) << seed;
+    EXPECT_EQ(with.verdict,
+              guarded ? Verdict::kNotVulnerable : Verdict::kVulnerable)
+        << seed;
+    ASSERT_EQ(with.findings.size(), without.findings.size()) << seed;
+    for (std::size_t i = 0; i < with.findings.size(); ++i) {
+      EXPECT_EQ(with.findings[i].fingerprint, without.findings[i].fingerprint);
+    }
+
+    ScanOptions cross_opts;
+    cross_opts.crosscheck = true;
+    const ScanReport cross = Detector(cross_opts).scan(app);
+    EXPECT_TRUE(cross.disagreements.empty()) << seed;
+    EXPECT_NE(cross.verdict, Verdict::kAnalysisDisagreement) << seed;
   }
 }
 

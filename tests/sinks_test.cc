@@ -9,12 +9,25 @@ namespace uchecker::core {
 namespace {
 
 TEST(SinkRegistry, PaperDefaults) {
+  // Strictly the paper's vocabulary — used for paper-baseline runs.
   const SinkRegistry& reg = SinkRegistry::paper_defaults();
   EXPECT_TRUE(reg.is_sink("move_uploaded_file"));
   EXPECT_TRUE(reg.is_sink("file_put_contents"));
   EXPECT_TRUE(reg.is_sink("file_put_content"));  // the paper's spelling
   EXPECT_FALSE(reg.is_sink("copy"));
   EXPECT_FALSE(reg.is_sink("rename"));
+  EXPECT_FALSE(reg.is_sink("echo"));
+}
+
+TEST(SinkRegistry, ScanDefaultsIncludeCopyRenameFamily) {
+  // The default scan registry additionally recognizes the
+  // copy()/rename()-after-staging persistence family.
+  const SinkRegistry reg;
+  EXPECT_TRUE(reg.is_sink("move_uploaded_file"));
+  EXPECT_TRUE(reg.is_sink("copy"));
+  EXPECT_TRUE(reg.is_sink("rename"));
+  EXPECT_EQ(reg.signature("copy"), SinkSignature::kSrcDst);
+  EXPECT_EQ(reg.signature("rename"), SinkSignature::kSrcDst);
   EXPECT_FALSE(reg.is_sink("echo"));
 }
 
@@ -31,29 +44,31 @@ TEST(SinkRegistry, AddCustomSink) {
   EXPECT_EQ(reg.signature("copy"), SinkSignature::kSrcDst);
 }
 
-TEST(SinkExtension, CopyBasedUploadMissedByDefault) {
-  // copy($tmp, $dst) persists an upload just like move_uploaded_file but
-  // is outside the paper's sink pair.
+TEST(SinkExtension, CopyBasedUploadDetectedByDefault) {
+  // copy($tmp, $dst) persists an upload just like move_uploaded_file;
+  // the default registry recognizes it out of the box.
   Application app;
   app.name = "copy-upload";
   app.files.push_back(AppFile{"up.php", R"php(<?php
 copy($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
 )php"});
-  EXPECT_EQ(Detector().scan(app).verdict, Verdict::kNotVulnerable);
+  const ScanReport report = Detector().scan(app);
+  EXPECT_EQ(report.verdict, Verdict::kVulnerable);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].sink_name, "copy");
 }
 
-TEST(SinkExtension, CopyBasedUploadDetectedWhenRegistered) {
+TEST(SinkExtension, CopyBasedUploadMissedUnderPaperRegistry) {
+  // Under the strict paper vocabulary the same app is invisible — that
+  // is the coverage gap the copy/rename family closes.
   Application app;
   app.name = "copy-upload";
   app.files.push_back(AppFile{"up.php", R"php(<?php
 copy($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
 )php"});
   ScanOptions options;
-  options.sinks.add(SinkSpec{"copy", SinkSignature::kSrcDst});
-  const ScanReport report = Detector(options).scan(app);
-  EXPECT_EQ(report.verdict, Verdict::kVulnerable);
-  ASSERT_FALSE(report.findings.empty());
-  EXPECT_EQ(report.findings[0].sink_name, "copy");
+  options.sinks = SinkRegistry::paper_defaults();
+  EXPECT_EQ(Detector(options).scan(app).verdict, Verdict::kNotVulnerable);
 }
 
 TEST(SinkExtension, RenameWithValidationStaysSafe) {
@@ -66,21 +81,19 @@ if (!in_array($ext, array('jpg', 'png'))) {
 }
 rename($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
 )php"});
-  ScanOptions options;
-  options.sinks.add(SinkSpec{"rename", SinkSignature::kSrcDst});
-  EXPECT_EQ(Detector(options).scan(app).verdict, Verdict::kNotVulnerable);
+  EXPECT_EQ(Detector().scan(app).verdict, Verdict::kNotVulnerable);
 }
 
 TEST(SinkExtension, LocalityFollowsCustomSinks) {
   // Without the custom sink there is no analysis root at all.
   Application app;
-  app.name = "copy-only";
+  app.name = "custom-only";
   app.files.push_back(AppFile{"up.php", R"php(<?php
-copy($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
+stash_upload($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
 )php"});
   EXPECT_EQ(Detector().scan(app).roots, 0u);
   ScanOptions options;
-  options.sinks.add(SinkSpec{"copy", SinkSignature::kSrcDst});
+  options.sinks.add(SinkSpec{"stash_upload", SinkSignature::kSrcDst});
   EXPECT_EQ(Detector(options).scan(app).roots, 1u);
 }
 

@@ -274,6 +274,81 @@ move_uploaded_file($_FILES['f']['tmp_name'],
   EXPECT_FALSE(has_lint(negative, "UC106"));
 }
 
+TEST(Lints, UC107HelperChainTaint) {
+  // The root has no lexical sink: the taint reaches move_uploaded_file
+  // only through the helper. The summary layer instantiates the helper
+  // at the call site, finds the sink unprovable, names the chain, and
+  // keeps the root on the symbolic path — which detects it.
+  const ScanReport positive = scan_snippet(R"(<?php
+function persist($tmp, $name) {
+    move_uploaded_file($tmp, 'uploads/' . $name);
+}
+$f = $_FILES['f'];
+persist($f['tmp_name'], $f['name']);
+)");
+  EXPECT_TRUE(has_lint(positive, "UC107"));
+  for (const staticpass::LintFinding& l : positive.lints) {
+    if (l.rule == "UC107") {
+      EXPECT_EQ(l.severity, staticpass::Severity::kError);
+      EXPECT_NE(l.message.find("persist"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(positive.pruned_roots, 0u);
+  EXPECT_EQ(positive.verdict, Verdict::kVulnerable);
+
+  // A helper that validates internally is proven safe at the call site:
+  // no lint, and the root prunes via the summary.
+  const ScanReport negative = scan_snippet(R"(<?php
+function persist($tmp, $name) {
+    $ext = strtolower(pathinfo($name, PATHINFO_EXTENSION));
+    if (!in_array($ext, array('jpg', 'png'))) { return false; }
+    return move_uploaded_file($tmp, 'uploads/' . basename($name));
+}
+$f = $_FILES['f'];
+persist($f['tmp_name'], $f['name']);
+)");
+  EXPECT_FALSE(has_lint(negative, "UC107"));
+  EXPECT_EQ(negative.verdict, Verdict::kNotVulnerable);
+  EXPECT_EQ(negative.pruned_roots, 1u);
+  EXPECT_EQ(negative.summary_pruned_roots, 1u);
+}
+
+TEST(Lints, UC108EscapedCallSites) {
+  // Each snippet keeps a (benign) lexical sink so the locality pass
+  // creates an analysis root at all — roots exist only where a sink is
+  // reachable; the escaped call is what UC108 must surface.
+  const ScanReport dynamic = scan_snippet(R"(<?php
+$handler = $_POST['handler'];
+$f = $_FILES['f'];
+$handler($f['tmp_name']);
+move_uploaded_file($f['tmp_name'], 'uploads/safe_' . time() . '.txt');
+)");
+  EXPECT_TRUE(has_lint(dynamic, "UC108"));
+  for (const staticpass::LintFinding& l : dynamic.lints) {
+    if (l.rule == "UC108") {
+      EXPECT_EQ(l.severity, staticpass::Severity::kInfo);
+    }
+  }
+  EXPECT_GE(dynamic.escaped_calls, 1u);
+
+  const ScanReport callback = scan_snippet(R"(<?php
+$f = $_FILES['f'];
+call_user_func('process_upload', $f['tmp_name']);
+move_uploaded_file($f['tmp_name'], 'uploads/safe_' . time() . '.txt');
+)");
+  EXPECT_TRUE(has_lint(callback, "UC108"));
+  EXPECT_GE(callback.escaped_calls, 1u);
+
+  const ScanReport negative = scan_snippet(R"(<?php
+$name = basename($_FILES['f']['name']);
+$ext = strtolower(pathinfo($name, PATHINFO_EXTENSION));
+if (!in_array($ext, array('jpg'))) { die('no'); }
+move_uploaded_file($_FILES['f']['tmp_name'], 'uploads/' . $name);
+)");
+  EXPECT_FALSE(has_lint(negative, "UC108"));
+  EXPECT_EQ(negative.escaped_calls, 0u);
+}
+
 TEST(Lints, DisabledWithLintOption) {
   ScanOptions options;
   options.lint = false;

@@ -80,7 +80,7 @@ TEST(VulnModel, BlacklistOfAllExecutableExtsIsSafe) {
   // slip past "$ext != 'php'".
   ModelRun r(R"(
 $ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
-if ($ext != 'php' && $ext != 'php5') {
+if ($ext != 'php' && $ext != 'php5' && $ext != 'phtml') {
     move_uploaded_file($_FILES['f']['tmp_name'], '/www/' . $_FILES['f']['name']);
 }
 )");
@@ -88,7 +88,7 @@ if ($ext != 'php' && $ext != 'php5') {
 }
 
 TEST(VulnModel, IncompleteBlacklistStillVulnerable) {
-  // Blocking only 'php' leaves 'php5' exploitable.
+  // Blocking only 'php' leaves 'php5' (and 'phtml') exploitable.
   ModelRun r(R"(
 $ext = pathinfo($_FILES['f']['name'], PATHINFO_EXTENSION);
 if ($ext != 'php') {
