@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Fold the committed BENCH_PR*.json files into one BENCH_TRAJECTORY.json.
+
+Each PR commits a BENCH_PR<N>.json with its own shape (the methodology
+sections differ on purpose), which makes the performance story
+unreadable as a series. This tool extracts the comparable axes into a
+single timeline:
+
+  - fleet seconds (the 100-plugin serial sweep, where the PR ran one)
+  - prune rate (static-pass discharges / analysis roots)
+  - parse speedup (arena front end vs the frozen pre-arena baseline)
+  - micro end-to-end milliseconds (bench_micro BM_EndToEnd median)
+
+A malformed BENCH file (unparseable JSON, missing pr/title, or a pr
+number that contradicts the filename) is a hard failure: the committed
+benchmark record is part of the repo's evidence chain and must stay
+loadable.
+
+Usage:
+  ci/bench_history.py                 # rewrite BENCH_TRAJECTORY.json
+  ci/bench_history.py --check         # validate + diff against committed
+  ci/bench_history.py --out FILE      # write elsewhere
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def fail(message):
+    print("bench_history: FAIL: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def dig(obj, path):
+    """Follow a dotted path through nested dicts; None when absent."""
+    node = obj
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def first_number(obj, paths):
+    for path in paths:
+        value = dig(obj, path)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return value
+    return None
+
+
+def prune_rate(bench):
+    """pruned_roots/roots wherever the pair lives; explicit rate wins."""
+    explicit = first_number(bench, ["fleet.prune_rate"])
+    if explicit is not None:
+        return explicit
+    for scope in ["fleet", "fleet.prefilter_on", "fleet.post"]:
+        pruned = first_number(bench, [scope + ".pruned_roots"])
+        roots = first_number(bench, [scope + ".roots"])
+        if pruned is not None and roots:
+            return round(pruned / roots, 3)
+    return None
+
+
+def load_bench(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            bench = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail("%s is not valid JSON: %s" % (os.path.basename(path), error))
+    name = os.path.basename(path)
+    if not isinstance(bench, dict):
+        fail("%s: top level must be a JSON object" % name)
+    pr = bench.get("pr")
+    if not isinstance(pr, int) or isinstance(pr, bool) or pr <= 0:
+        fail("%s: missing or invalid \"pr\" (positive integer)" % name)
+    title = bench.get("title")
+    if not isinstance(title, str) or not title.strip():
+        fail("%s: missing or empty \"title\"" % name)
+    claimed = int(re.fullmatch(r"BENCH_PR(\d+)\.json", name).group(1))
+    if claimed != pr:
+        fail("%s: \"pr\": %d contradicts the filename" % (name, pr))
+    return bench
+
+
+def trajectory_point(bench):
+    return {
+        "pr": bench["pr"],
+        "title": bench["title"],
+        "recorded": bench.get("recorded"),
+        "fleet_serial_s": first_number(
+            bench,
+            [
+                "fleet.serial_s",
+                "fleet.prefilter_on.serial_s",
+                "fleet.post.serial_s",
+            ],
+        ),
+        "fleet_plugins_per_s": first_number(
+            bench,
+            [
+                "fleet.serial_plugins_per_s",
+                "fleet.prefilter_on.serial_plugins_per_s",
+                "fleet.post.serial_plugins_per_s",
+            ],
+        ),
+        "prune_rate": prune_rate(bench),
+        "parse_speedup_x": first_number(
+            bench, ["micro.arena_speedup", "micro.parse_speedup_x"]
+        ),
+        "micro_end_to_end_ms": first_number(
+            bench, ["micro.BM_EndToEnd_ms", "micro.end_to_end_ms"]
+        ),
+    }
+
+
+def build_trajectory(repo):
+    paths = sorted(
+        glob.glob(os.path.join(repo, "BENCH_PR*.json")),
+        key=lambda p: int(
+            re.fullmatch(
+                r"BENCH_PR(\d+)\.json", os.path.basename(p)
+            ).group(1)
+        ),
+    )
+    bad = [
+        os.path.basename(p)
+        for p in glob.glob(os.path.join(repo, "BENCH_PR*.json"))
+        if re.fullmatch(r"BENCH_PR(\d+)\.json", os.path.basename(p)) is None
+    ]
+    if bad:
+        fail("unparseable BENCH filename(s): " + ", ".join(sorted(bad)))
+    if not paths:
+        fail("no BENCH_PR*.json files found under " + repo)
+    points = [trajectory_point(load_bench(p)) for p in paths]
+    # Deterministic output: derived entirely from the committed BENCH
+    # files (no wall clock), so --check can diff byte-for-byte.
+    return {
+        "generated_by": "ci/bench_history.py",
+        "source_files": [os.path.basename(p) for p in paths],
+        "latest_recorded": max(
+            (p["recorded"] for p in points if p["recorded"]), default=None
+        ),
+        "points": points,
+    }
+
+
+def render(trajectory):
+    return json.dumps(trajectory, indent=1) + "\n"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root holding BENCH_PR*.json",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: <repo>/BENCH_TRAJECTORY.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate BENCH files and require the committed trajectory "
+        "to match the regenerated one",
+    )
+    options = parser.parse_args()
+    out_path = options.out or os.path.join(
+        options.repo, "BENCH_TRAJECTORY.json"
+    )
+    rendered = render(build_trajectory(options.repo))
+    if options.check:
+        try:
+            with open(out_path, "r", encoding="utf-8") as handle:
+                committed = handle.read()
+        except OSError:
+            fail(out_path + " is missing; run ci/bench_history.py")
+        if committed != rendered:
+            fail(
+                os.path.basename(out_path)
+                + " is stale; rerun ci/bench_history.py and commit the result"
+            )
+        print(
+            "bench_history: OK: %s matches %d BENCH file(s)"
+            % (os.path.basename(out_path), len(json.loads(rendered)["points"]))
+        )
+        return
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    print(
+        "bench_history: wrote %s (%d point(s))"
+        % (out_path, len(json.loads(rendered)["points"]))
+    )
+
+
+if __name__ == "__main__":
+    main()

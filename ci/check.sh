@@ -57,6 +57,17 @@
 #      must land on their ground-truth verdicts; the fleet prune rate
 #      must stay >= the PR4-era 30% floor with summaries on; and the
 #      summary cache must actually get hits on the helper suite.
+#  12. engine introspection gate: BENCH_PR10.json structure; the bench
+#      trajectory (ci/bench_history.py --check) must match the committed
+#      BENCH_TRAJECTORY.json; a full-corpus --profile-out sweep must
+#      produce schema-valid profile JSON on every app; the Cimy
+#      budget-exhausted post-mortem must rank fork sites by paths
+#      spawned and name its dominating construct; reports must be
+#      byte-identical with profiling off (after dropping the profile
+#      object and normalizing wall times); and the profiling-off
+#      end-to-end scan must stay within OVERHEAD_TOLERANCE of the step-5
+#      machine-local baseline (absolute wall time vs. the committed
+#      number warns unless BENCH_STRICT=1).
 #
 #   $ ci/check.sh            # everything
 #   $ SKIP_SANITIZE=1 ci/check.sh
@@ -68,12 +79,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OVERHEAD_TOLERANCE=${OVERHEAD_TOLERANCE:-1.05}   # 5% regression budget
 
-echo "== [1/11] build + tier-1 tests =="
+echo "== [1/12] build + tier-1 tests =="
 cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-echo "== [2/11] clang-tidy =="
+echo "== [2/12] clang-tidy =="
 if [[ "${SKIP_TIDY:-0}" == "1" ]]; then
   echo "skipped (SKIP_TIDY=1)"
 elif ! command -v clang-tidy >/dev/null; then
@@ -89,14 +100,14 @@ else
   fi
 fi
 
-echo "== [3/11] sanitizers =="
+echo "== [3/12] sanitizers =="
 if [[ "${SKIP_SANITIZE:-0}" == "1" ]]; then
   echo "skipped (SKIP_SANITIZE=1)"
 else
   ci/sanitize.sh
 fi
 
-echo "== [4/11] telemetry smoke: trace + metrics JSON =="
+echo "== [4/12] telemetry smoke: trace + metrics JSON =="
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 cat > "$SMOKE_DIR/upload.php" <<'PHP'
@@ -132,7 +143,7 @@ else
   echo "python3 not found; JSON structure check skipped"
 fi
 
-echo "== [5/11] telemetry overhead gate =="
+echo "== [5/12] telemetry overhead gate =="
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   echo "skipped (SKIP_BENCH=1)"
 elif ! command -v python3 >/dev/null; then
@@ -177,7 +188,7 @@ PY
   fi
 fi
 
-echo "== [6/11] perf baseline gate (BENCH_PR3.json) =="
+echo "== [6/12] perf baseline gate (BENCH_PR3.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; perf baseline gate skipped"
 else
@@ -232,7 +243,7 @@ PY
   fi
 fi
 
-echo "== [7/11] SARIF export gate =="
+echo "== [7/12] SARIF export gate =="
 SARIF_DIR="$SMOKE_DIR/sarif"
 mkdir -p "$SARIF_DIR/corpus"
 # Evidence must be purely additive: same corpus dump byte-for-byte.
@@ -274,7 +285,7 @@ if [[ "$SARIF_VULN" == "0" ]]; then
 fi
 echo "validated $SARIF_APPS SARIF file(s), $SARIF_VULN with codeFlows"
 
-echo "== [8/11] scand service gate =="
+echo "== [8/12] scand service gate =="
 SCAND_DIR="$SMOKE_DIR/scand"
 SCAND_SOCK="$SCAND_DIR/scand.sock"
 SCAND_STATE="$SCAND_DIR/state"
@@ -440,7 +451,7 @@ PY
 wait "$SCAND_PID" || { echo "FAIL: scand drain exited non-zero" >&2; exit 1; }
 SCAND_PID=
 
-echo "== [9/11] observability gate =="
+echo "== [9/12] observability gate =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; observability gate skipped"
 else
@@ -681,7 +692,7 @@ PY
   fi
 fi
 
-echo "== [10/11] arena front-end gate (BENCH_PR8.json) =="
+echo "== [10/12] arena front-end gate (BENCH_PR8.json) =="
 if ! command -v python3 >/dev/null; then
   echo "python3 not found; arena front-end gate skipped"
 else
@@ -750,7 +761,7 @@ PY
   fi
 fi
 
-echo "== [11/11] inter-procedural summary gate (BENCH_PR9.json) =="
+echo "== [11/12] inter-procedural summary gate (BENCH_PR9.json) =="
 SUM_DIR="$SMOKE_DIR/summaries"
 mkdir -p "$SUM_DIR"
 if command -v python3 >/dev/null; then
@@ -861,6 +872,222 @@ if rate < floor:
 PY
 else
   echo "python3 not found; prune-rate gate skipped"
+fi
+
+echo "== [12/12] engine introspection gate (BENCH_PR10.json) =="
+PROF_DIR="$SMOKE_DIR/profile"
+mkdir -p "$PROF_DIR"
+if ! command -v python3 >/dev/null; then
+  echo "python3 not found; engine introspection gate skipped"
+else
+  # Committed baseline structure (always fatal).
+  python3 - BENCH_PR10.json <<'PY'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+for key in ("micro", "fleet", "profile", "ci_gate"):
+    assert key in bench, f"BENCH_PR10.json missing section: {key}"
+assert float(bench["micro"]["BM_EndToEnd_ms"]) > 0, "bad committed micro ms"
+cimy = bench["profile"]["cimy_post_mortem"]
+for key in ("reason", "peak_paths", "dominant_construct", "top_fork_site"):
+    assert key in cimy, f"cimy_post_mortem missing: {key}"
+assert cimy["reason"] == "budget_exhausted", "Cimy reason drifted"
+assert int(cimy["peak_paths"]) > 0, "bad Cimy peak_paths"
+top = cimy["top_fork_site"]
+assert top["site"] and int(top["paths_spawned"]) > 0, "bad top fork site"
+assert cimy["dominant_construct"], "no dominant construct committed"
+gate = bench["ci_gate"]
+assert 1 < 1 + float(gate["profile_overhead_tolerance"]) < 2, "bad tolerance"
+print(f"BENCH_PR10.json OK (Cimy died of {cimy['reason']} at "
+      f"{cimy['peak_paths']} live paths; dominant {cimy['dominant_construct']})")
+PY
+
+  # The committed trajectory must be regenerated whenever a BENCH file
+  # changes; bench_history also hard-fails on any malformed BENCH file.
+  python3 ci/bench_history.py --check
+
+  # Fleet sweep with --profile-out: every app's profile JSON must
+  # validate against the support/profile.h schema, and the report must
+  # be byte-identical with profiling off once the profile object is
+  # dropped and wall times are normalized (the zero-overhead contract's
+  # behavioral half).
+  PROF_APPS=0
+  PROF_ROOTS=0
+  PROF_INCOMPLETE=0
+  while IFS= read -r -d '' appdir; do
+    name=$(basename "$appdir"); name=${name// /_}
+    rc=0
+    "$BUILD_DIR/examples/scan_directory" "$appdir" --quiet --json \
+      --profile-out="$PROF_DIR/$name.profile.json" \
+      > "$PROF_DIR/$name.on.json" || rc=$?
+    if [[ "$rc" != "0" && "$rc" != "1" ]]; then
+      echo "FAIL: profiled scan_directory exited $rc on $name" >&2
+      exit 1
+    fi
+    rc2=0
+    "$BUILD_DIR/examples/scan_directory" "$appdir" --quiet --json \
+      > "$PROF_DIR/$name.off.json" || rc2=$?
+    if [[ "$rc" != "$rc2" ]]; then
+      echo "FAIL: $name verdict drifted with profiling on ($rc) vs off ($rc2)" >&2
+      exit 1
+    fi
+    counts=$(python3 - "$PROF_DIR/$name.profile.json" <<'PY'
+import json, sys
+prof = json.load(open(sys.argv[1]))
+assert isinstance(prof.get("peak_rss_bytes"), int), "missing peak_rss_bytes"
+assert isinstance(prof.get("roots"), list), "missing roots"
+kinds = {"conditional", "switch", "loop", "foreach", "try", "call"}
+for root in prof["roots"]:
+    for key in ("root", "incomplete", "reason", "peak_paths", "fork_sites",
+                "solver", "heap_by_depth"):
+        assert key in root, f"root missing: {key}"
+    spawned = [s["paths_spawned"] for s in root["fork_sites"]]
+    assert spawned == sorted(spawned, reverse=True), "fork sites not ranked"
+    for s in root["fork_sites"]:
+        for key in ("site", "kind", "detail", "visits", "paths_spawned",
+                    "self_paths"):
+            assert key in s, f"fork site missing: {key}"
+        assert s["kind"] in kinds, f"unknown fork kind: {s['kind']}"
+        assert s["self_paths"] <= s["paths_spawned"], "self > cumulative"
+        assert "#" not in s["site"], f"unresolved site: {s['site']}"
+    for s in root["solver"]:
+        for key in ("sink", "origin", "queries", "cache_hits", "wall_ms"):
+            assert key in s, f"solver site missing: {key}"
+    for h in root["heap_by_depth"]:
+        for key in ("depth", "objects", "bytes"):
+            assert key in h, f"heap bucket missing: {key}"
+    if root["incomplete"]:
+        pm = root.get("post_mortem")
+        assert pm, "incomplete root has no post-mortem"
+        for key in ("reason", "peak_paths", "dominant_loop",
+                    "top_fork_sites", "live_path_histogram"):
+            assert key in pm, f"post-mortem missing: {key}"
+        assert len(pm["top_fork_sites"]) <= 10, "post-mortem top sites > 10"
+print(len(prof["roots"]),
+      sum(1 for r in prof["roots"] if r["incomplete"]))
+PY
+) || { echo "FAIL: profile schema on $name" >&2; exit 1; }
+    PROF_ROOTS=$((PROF_ROOTS + ${counts%% *}))
+    PROF_INCOMPLETE=$((PROF_INCOMPLETE + ${counts##* }))
+    python3 - "$PROF_DIR/$name.on.json" "$PROF_DIR/$name.off.json" <<'PY'
+import json, sys
+on = json.load(open(sys.argv[1]))
+off = json.load(open(sys.argv[2]))
+# Apps where locality finds no analysis root never start the profiler
+# (report.profiled stays false); every other profiled scan carries the
+# profile object, even when the static pass pruned all its roots before
+# the interpreter attributed anything.
+assert ("profile" in on) == (on["stats"]["roots"] > 0), (
+    "profile object does not match the scan's analysis roots")
+assert "profile" not in off, "unprofiled report carries a profile object"
+on.pop("profile", None)
+def normalize(report):
+    report["stats"]["seconds"] = 0.0
+    cost = report.get("cost", {})
+    for phase in cost.get("phases", {}):
+        cost["phases"][phase] = 0.0
+    for rc in cost.get("roots", []):
+        for key in ("parse_ms", "interp_ms", "solve_ms"):
+            if key in rc:
+                rc[key] = 0.0
+normalize(on)
+normalize(off)
+assert json.dumps(on, sort_keys=True) == json.dumps(off, sort_keys=True), (
+    "report differs with profiling on vs off beyond wall times")
+PY
+    PROF_APPS=$((PROF_APPS + 1))
+  done < <(find "$SARIF_DIR/corpus" -mindepth 1 -maxdepth 1 -type d -print0)
+  if [[ "$PROF_ROOTS" == "0" ]]; then
+    echo "FAIL: profiled sweep attributed no analysis roots" >&2
+    exit 1
+  fi
+  echo "profiled sweep: $PROF_APPS apps, $PROF_ROOTS profiled root(s)," \
+       "$PROF_INCOMPLETE incomplete; reports identical with profiling off"
+
+  # The paper's false negative must produce an actionable post-mortem:
+  # fork sites ranked by paths spawned, and a dominating construct named
+  # (Cimy's explosion is an if/elseif ladder, so the dominant-loop field
+  # exercises its any-kind fallback).
+  CIMY_PROFILE=$(find "$PROF_DIR" -name 'Cimy*.profile.json' | head -1)
+  if [[ -z "$CIMY_PROFILE" ]]; then
+    echo "FAIL: no Cimy profile in the corpus sweep" >&2
+    exit 1
+  fi
+  python3 - "$CIMY_PROFILE" BENCH_PR10.json <<'PY'
+import json, sys
+prof = json.load(open(sys.argv[1]))
+dead = [r for r in prof["roots"] if r["incomplete"]]
+assert dead, "Cimy recorded no incomplete root"
+root = max(dead, key=lambda r: r["peak_paths"])
+assert root["reason"] == "budget_exhausted", f"reason: {root['reason']}"
+pm = root["post_mortem"]
+assert pm["reason"] == "budget_exhausted", "post-mortem reason drifted"
+sites = pm["top_fork_sites"]
+assert sites, "post-mortem lists no fork sites"
+spawned = [s["paths_spawned"] for s in sites]
+assert spawned == sorted(spawned, reverse=True), (
+    "post-mortem sites not ranked by paths spawned")
+assert pm["dominant_loop"], "post-mortem names no dominating construct"
+named = {s["site"] for s in sites
+         if s["kind"] in ("loop", "foreach")} or {sites[0]["site"]}
+assert any(pm["dominant_loop"].startswith(site) for site in named), (
+    f"dominant construct {pm['dominant_loop']!r} is not a ranked site")
+assert pm["live_path_histogram"], "post-mortem has no live-path histogram"
+committed = json.load(open(sys.argv[2]))["profile"]["cimy_post_mortem"]
+assert pm["peak_paths"] == int(committed["peak_paths"]), (
+    f"peak paths {pm['peak_paths']} != committed {committed['peak_paths']}")
+assert pm["dominant_loop"] == committed["dominant_construct"], (
+    f"dominant {pm['dominant_loop']!r} != committed "
+    f"{committed['dominant_construct']!r}")
+print(f"Cimy post-mortem OK: died of {pm['reason']} at "
+      f"{pm['peak_paths']} live paths; top site {sites[0]['site']} "
+      f"({sites[0]['paths_spawned']} paths); dominant {pm['dominant_loop']}")
+PY
+
+  # Profiling-off overhead: the null-pointer hook contract. Same-machine
+  # gate against the step-5 baseline file; absolute wall time vs. the
+  # committed number is machine-dependent and only warns.
+  if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
+    echo "profiling-off overhead gate skipped (SKIP_BENCH=1)"
+  else
+    "$BUILD_DIR/bench/bench_micro" \
+      --benchmark_filter='BM_EndToEnd$' \
+      --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+      --benchmark_format=json > "$PROF_DIR/bench.json"
+    rc=0
+    python3 - "$PROF_DIR/bench.json" "$BUILD_DIR/bench_baseline_ms.txt" \
+      BENCH_PR10.json "$OVERHEAD_TOLERANCE" <<'PY' || rc=$?
+import json, os, sys
+current = None
+for b in json.load(open(sys.argv[1]))["benchmarks"]:
+    if b["name"].endswith("_median"):
+        current = b["real_time"]
+        break
+assert current is not None, "could not read BM_EndToEnd median"
+tolerance = float(sys.argv[4])
+if os.path.exists(sys.argv[2]):
+    baseline = float(open(sys.argv[2]).read())
+    ratio = current / baseline if baseline > 0 else 1.0
+    print(f"profiling-off scan: baseline {baseline:.3f} ms, current "
+          f"{current:.3f} ms, ratio {ratio:.3f} (limit {tolerance})")
+    if ratio > tolerance:
+        sys.exit(f"FAIL: profiling-off scan regressed >"
+                 f"{(tolerance - 1) * 100:.0f}% vs the machine baseline")
+else:
+    print("no machine-local baseline (step 5 skipped); hard gate skipped")
+committed = float(json.load(open(sys.argv[3]))["micro"]["BM_EndToEnd_ms"])
+if current > committed * tolerance:
+    print(f"WARN: BM_EndToEnd {current:.1f} ms exceeds the committed "
+          f"{committed} ms by >{(tolerance - 1) * 100:.0f}% "
+          "(machine-dependent)")
+    sys.exit(2)
+PY
+    if [[ "$rc" == "2" && "${BENCH_STRICT:-0}" == "1" ]]; then
+      echo "FAIL: wall time regressed vs committed baseline (BENCH_STRICT=1)" >&2
+      exit 1
+    elif [[ "$rc" != "0" && "$rc" != "2" ]]; then
+      exit 1
+    fi
+  fi
 fi
 
 echo "== all checks passed =="

@@ -24,7 +24,10 @@
 # summaries_test (the inter-procedural summary store's memoized
 # instantiation cache exercised under scans the fleet driver may run
 # concurrently; the store itself is per-scan, so this pins that no
-# state leaks into shared registries).
+# state leaks into shared registries) and profile_test (the path-
+# explosion profiler's snapshot() racing a writer thread driving
+# begin_root/enter_site/sample/end_root, the scand `profile` op's
+# access pattern).
 # ASan and TSan cannot share a build, hence the separate mode and build
 # directory.
 #
@@ -47,11 +50,11 @@ if [[ "$MODE" == "tsan" ]]; then
     -DUCHECKER_TSAN=ON
   cmake --build "$BUILD_DIR" -j"$(nproc)" \
     --target scan_many_test telemetry_test service_test observability_test \
-             parse_pool_test property_fuzz_test summaries_test
+             parse_pool_test property_fuzz_test summaries_test profile_test
 
   export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1:suppressions=$PWD/ci/tsan.supp"
   ctest --test-dir "$BUILD_DIR" --output-on-failure \
-    -R '^(scan_many_test|telemetry_test|service_test|observability_test|parse_pool_test|property_fuzz_test|summaries_test)$' "$@"
+    -R '^(scan_many_test|telemetry_test|service_test|observability_test|parse_pool_test|property_fuzz_test|summaries_test|profile_test)$' "$@"
   exit 0
 fi
 

@@ -4,7 +4,10 @@
 // (source→sink taint path, branch guards, decoded attack), aggregate
 // precision/recall for all three tools, and a fleet-level per-phase
 // latency table (p50/p95/p99 wall time per pipeline phase, from scan
-// telemetry).
+// telemetry), and an explosion-hotspots table: the corpus-wide fork
+// sites that spawned the most execution paths (with the budget
+// post-mortem of any root that died incomplete — the Cimy FN explained
+// in one table).
 //
 //   $ ./build/examples/audit_report
 #include <algorithm>
@@ -48,6 +51,7 @@ int main() {
   ScanOptions scan_options;
   scan_options.telemetry = &telemetry;
   scan_options.explain = true;  // auditors want the full provenance
+  scan_options.profile = true;  // ...and the explosion hotspots
   Detector uchecker_scanner(scan_options);
   baselines::RipsScanner rips;
   baselines::WapScanner wap;
@@ -63,6 +67,20 @@ int main() {
     RootCost cost;
   };
   std::vector<RootRow> root_rows;
+  // Corpus-wide fork-site rows for the explosion-hotspots table, plus
+  // the post-mortems of every root that ended incomplete.
+  struct SiteRow {
+    std::string app;
+    std::string root;
+    profile::ForkSiteStats site;
+  };
+  std::vector<SiteRow> site_rows;
+  struct MortemRow {
+    std::string app;
+    std::string root;
+    profile::PostMortem mortem;
+  };
+  std::vector<MortemRow> mortem_rows;
   std::printf("=== UChecker audit of the reconstructed DSN'19 corpus ===\n\n");
   for (const corpus::CorpusEntry& entry : corpus::full_corpus()) {
     const ScanReport report = uchecker_scanner.scan(entry.app);
@@ -75,6 +93,15 @@ int main() {
     total_pruned += report.pruned_roots;
     for (const RootCost& rc : report.root_costs) {
       if (!rc.pruned) root_rows.push_back(RootRow{entry.app.name, rc});
+    }
+    for (const profile::RootProfile& rp : report.profile.roots) {
+      for (const profile::ForkSiteStats& site : rp.fork_sites) {
+        site_rows.push_back(SiteRow{entry.app.name, rp.root, site});
+      }
+      if (rp.post_mortem.has_value()) {
+        mortem_rows.push_back(
+            MortemRow{entry.app.name, rp.root, *rp.post_mortem});
+      }
     }
     const bool u = report.verdict == Verdict::kVulnerable;
     const bool r = rips.scan(entry.app).flagged;
@@ -166,6 +193,48 @@ int main() {
                 row.cost.interp_ms + row.cost.solve_ms, row.cost.interp_ms,
                 row.cost.solve_ms, row.cost.paths, row.cost.solver_calls,
                 row.app.c_str(), row.cost.root.c_str());
+  }
+
+  // Path-explosion hotspots: which source constructs spawned the most
+  // execution paths across the corpus. These are the lines to refactor
+  // (or budget around) when a scan dies incomplete.
+  std::sort(site_rows.begin(), site_rows.end(),
+            [](const SiteRow& x, const SiteRow& y) {
+              if (x.site.cumulative_paths != y.site.cumulative_paths) {
+                return x.site.cumulative_paths > y.site.cumulative_paths;
+              }
+              return x.site.self_paths > y.site.self_paths;
+            });
+  std::printf("\n=== explosion hotspots (fork sites by paths spawned) ===\n");
+  std::printf("%10s %10s %7s %-8s %-14s %s\n", "paths", "self", "visits",
+              "kind", "detail", "app :: site");
+  const std::size_t site_show = std::min<std::size_t>(site_rows.size(), 10);
+  for (std::size_t i = 0; i < site_show; ++i) {
+    const SiteRow& row = site_rows[i];
+    std::printf("%10llu %10llu %7llu %-8s %-14s %s :: %s\n",
+                static_cast<unsigned long long>(row.site.cumulative_paths),
+                static_cast<unsigned long long>(row.site.self_paths),
+                static_cast<unsigned long long>(row.site.visits),
+                std::string(profile::fork_kind_name(row.site.kind)).c_str(),
+                row.site.detail.c_str(), row.app.c_str(),
+                row.site.site.c_str());
+  }
+  for (const MortemRow& row : mortem_rows) {
+    std::printf("\npost-mortem: %s :: %s died of %s at %llu live paths\n",
+                row.app.c_str(), row.root.c_str(), row.mortem.reason.c_str(),
+                static_cast<unsigned long long>(row.mortem.peak_paths));
+    if (!row.mortem.dominant_loop.empty()) {
+      std::printf("  dominant loop: %s\n", row.mortem.dominant_loop.c_str());
+    }
+    const std::size_t top_show =
+        std::min<std::size_t>(row.mortem.top_sites.size(), 5);
+    for (std::size_t i = 0; i < top_show; ++i) {
+      const profile::ForkSiteStats& site = row.mortem.top_sites[i];
+      std::printf("  %10llu paths  %-8s %-14s %s\n",
+                  static_cast<unsigned long long>(site.cumulative_paths),
+                  std::string(profile::fork_kind_name(site.kind)).c_str(),
+                  site.detail.c_str(), site.site.c_str());
+    }
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 //                                                    [--trace-out=FILE]
 //                                                    [--metrics-out=FILE]
 //                                                    [--sarif-out=FILE]
+//                                                    [--profile-out=FILE]
 //                                                    [--explain]
 //                                                    [--quiet | -v]
 //
@@ -27,6 +28,13 @@
 // breakdown as JSON. Verbosity is routed through the telemetry event
 // sink: --quiet suppresses warnings/notes, -v additionally logs
 // structured progress (one JSON object per event) to stderr.
+//
+// Introspection: --profile-out enables the path-explosion profiler and
+// writes its JSON (support/profile.h schema) to FILE: per root, the
+// fork sites ranked by paths spawned, solver attribution per sink, heap
+// growth by fork depth, and — for a root that died of budget/deadline —
+// a post-mortem naming the dominant loop. Verdicts are identical with
+// or without it; the report itself stays byte-identical.
 //
 // Triage: --explain attaches provenance to every finding — the
 // source→sink taint path (each hop anchored to file:line), the path's
@@ -142,7 +150,7 @@ int main(int argc, char** argv) {
                  "[--no-prefilter] [--no-summaries] [--crosscheck] "
                  "[--fail-on-lint=SEV] "
                  "[--trace-out=FILE] [--metrics-out=FILE] [--sarif-out=FILE] "
-                 "[--explain] [--quiet] [-v]\n",
+                 "[--profile-out=FILE] [--explain] [--quiet] [-v]\n",
                  argv[0]);
     return 2;
   }
@@ -162,6 +170,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   std::string sarif_out;
+  std::string profile_out;
   Verbosity verbosity = Verbosity::kNormal;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--all-findings") == 0) all_findings = true;
@@ -193,6 +202,7 @@ int main(int argc, char** argv) {
     flag_with_value(argc, argv, i, "--trace-out", trace_out);
     flag_with_value(argc, argv, i, "--metrics-out", metrics_out);
     flag_with_value(argc, argv, i, "--sarif-out", sarif_out);
+    flag_with_value(argc, argv, i, "--profile-out", profile_out);
     if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --timeout-ms needs a value\n");
@@ -268,6 +278,7 @@ int main(int argc, char** argv) {
   options.crosscheck = crosscheck;
   options.explain = explain;
   options.budget.time_limit = std::chrono::milliseconds(timeout_ms);
+  options.profile = !profile_out.empty();
   if (want_telemetry) options.telemetry = &telemetry;
   Detector detector(options);
   const ScanReport report = detector.scan(app);
@@ -279,10 +290,22 @@ int main(int argc, char** argv) {
         std::string(verdict_slug(report.verdict)) +
         "\", \"seconds\": " + std::to_string(report.seconds) + "}");
   }
-  if (!trace_out.empty() &&
-      !write_file(trace_out, to_chrome_trace_json(telemetry))) {
-    log.warn("trace_write_failed", trace_out,
-             "warning: cannot write trace to " + trace_out);
+  if (!trace_out.empty()) {
+    // A profiled scan's trace additionally carries per-root fork-site
+    // counter tracks (the overload folds the profile in).
+    const std::string trace_json =
+        report.profiled
+            ? to_chrome_trace_json(telemetry, report.profile)
+            : to_chrome_trace_json(telemetry);
+    if (!write_file(trace_out, trace_json)) {
+      log.warn("trace_write_failed", trace_out,
+               "warning: cannot write trace to " + trace_out);
+    }
+  }
+  if (!profile_out.empty() &&
+      !write_file(profile_out, uchecker::profile::to_json(report.profile))) {
+    log.warn("profile_write_failed", profile_out,
+             "warning: cannot write profile to " + profile_out);
   }
   if (!metrics_out.empty() &&
       !write_file(metrics_out, metrics_to_json(telemetry))) {
@@ -341,6 +364,18 @@ int main(int argc, char** argv) {
     }
     if (report.deadline_exceeded) {
       std::printf("note: scan deadline exceeded; results are partial\n");
+    }
+    if (report.profiled) {
+      for (const auto& rp : report.profile.roots) {
+        if (!rp.post_mortem.has_value()) continue;
+        std::printf("note: root %s incomplete (%s) at %llu live paths%s%s\n",
+                    rp.root.c_str(), rp.post_mortem->reason.c_str(),
+                    static_cast<unsigned long long>(rp.post_mortem->peak_paths),
+                    rp.post_mortem->dominant_loop.empty()
+                        ? ""
+                        : "; dominant loop ",
+                    rp.post_mortem->dominant_loop.c_str());
+      }
     }
     if (report.solver_retries > 0) {
       std::printf("note: %zu solver retr%s with escalated timeouts\n",

@@ -6,6 +6,7 @@
 //   $ scanctl --socket /run/uchecker.sock status
 //   $ scanctl --socket /run/uchecker.sock metrics
 //   $ scanctl --socket /run/uchecker.sock top [--n N] [--watch SECONDS]
+//   $ scanctl --socket /run/uchecker.sock profile [--n N]
 //   $ scanctl --socket /run/uchecker.sock shutdown
 //   $ scanctl --version
 //
@@ -27,6 +28,10 @@
 // envelope), so `scanctl metrics > /metrics.prom` is directly
 // scrape-shaped. `top` renders the most expensive recent requests as a
 // table; --watch re-queries every N seconds until interrupted.
+// `profile` renders the engine-introspection profiles of the last
+// profiled scans (daemon run with --profile): per root, the fork sites
+// ranked by paths spawned, solver attribution, and — for incomplete
+// roots — the budget post-mortem's dominant loop.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -145,6 +150,61 @@ void print_top_table(const jsonlite::Value& parsed) {
   }
 }
 
+// Renders a `profile` response: one block per remembered scan, fork
+// sites ranked as the daemon ranked them (paths spawned desc).
+void print_profile_table(const jsonlite::Value& parsed) {
+  const jsonlite::Value* scans = parsed.find("scans");
+  if (scans == nullptr || !scans->is_array()) return;
+  const auto str = [](const jsonlite::Value& obj, const char* key) {
+    const jsonlite::Value* v = obj.find(key);
+    return v != nullptr && v->is_string() ? v->str() : std::string();
+  };
+  const auto num = [](const jsonlite::Value& obj, const char* key) {
+    const jsonlite::Value* v = obj.find(key);
+    return v != nullptr && v->is_number() ? v->number() : 0.0;
+  };
+  bool any = false;
+  for (const jsonlite::Value& scan : scans->items()) {
+    any = true;
+    std::printf("%s  verdict=%s  trace=%s\n", str(scan, "app").c_str(),
+                str(scan, "verdict").c_str(), str(scan, "trace_id").c_str());
+    const jsonlite::Value* profile = scan.find("profile");
+    const jsonlite::Value* roots =
+        profile != nullptr ? profile->find("roots") : nullptr;
+    if (roots == nullptr || !roots->is_array()) continue;
+    for (const jsonlite::Value& root : roots->items()) {
+      const jsonlite::Value* incomplete = root.find("incomplete");
+      const bool is_incomplete = incomplete != nullptr &&
+                                 incomplete->is_bool() &&
+                                 incomplete->boolean();
+      std::printf("  root %s  peak_paths=%.0f%s%s\n",
+                  str(root, "root").c_str(), num(root, "peak_paths"),
+                  is_incomplete ? "  INCOMPLETE: " : "",
+                  is_incomplete ? str(root, "reason").c_str() : "");
+      if (const jsonlite::Value* pm = root.find("post_mortem")) {
+        const std::string loop = str(*pm, "dominant_loop");
+        if (!loop.empty()) {
+          std::printf("    dominant loop: %s\n", loop.c_str());
+        }
+      }
+      const jsonlite::Value* sites = root.find("fork_sites");
+      if (sites == nullptr || !sites->is_array()) continue;
+      std::size_t shown = 0;
+      for (const jsonlite::Value& site : sites->items()) {
+        if (++shown > 10) break;
+        std::printf("    %10.0f paths (%6.0f self, %5.0f visits)  "
+                    "%-8s %-12s %s\n",
+                    num(site, "paths_spawned"), num(site, "self_paths"),
+                    num(site, "visits"), str(site, "kind").c_str(),
+                    str(site, "detail").c_str(), str(site, "site").c_str());
+      }
+    }
+  }
+  if (!any) {
+    std::printf("no profiled scans yet (run scand with --profile)\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,12 +247,12 @@ int main(int argc, char** argv) {
   const bool usage_ok =
       !socket_path.empty() &&
       (op == "ping" || op == "status" || op == "shutdown" ||
-       op == "metrics" || op == "top" ||
+       op == "metrics" || op == "top" || op == "profile" ||
        (op == "scan" && !scan_path.empty()));
   if (!usage_ok) {
     std::fprintf(stderr,
                  "usage: %s --socket PATH "
-                 "ping|status|metrics|shutdown|scan DIR|top "
+                 "ping|status|metrics|shutdown|scan DIR|top|profile "
                  "[--sarif] [--trace-id ID] [--n N] [--watch SECONDS] "
                  "| %s --version\n",
                  argv[0], argv[0]);
@@ -207,7 +267,7 @@ int main(int argc, char** argv) {
     request += ", \"path\": " + strutil::quote(scan_path);
     request += ", \"trace_id\": " + strutil::quote(trace_id);
     if (sarif) request += ", \"format\": \"sarif\"";
-  } else if (op == "top") {
+  } else if (op == "top" || op == "profile") {
     request += ", \"n\": " + std::to_string(top_n);
   }
   request += "}\n";
@@ -238,6 +298,8 @@ int main(int argc, char** argv) {
     } else if (op == "top") {
       if (watch_seconds > 0) std::printf("\033[2J\033[H");
       print_top_table(*parsed);
+    } else if (op == "profile") {
+      print_profile_table(*parsed);
     } else {
       std::printf("%s\n", response.c_str());
     }

@@ -4,7 +4,7 @@
 //       --state-dir /var/lib/uchecker
 //       [--workers N] [--queue N]
 //       [--request-timeout-ms N] [--watchdog-grace-ms N]
-//       [--all-findings] [--explain]
+//       [--all-findings] [--explain] [--profile]
 //       [--metrics-out FILE] [--trace-out FILE]
 //       [--log-file FILE] [--log-level debug|info|warn|error]
 //       [--version]
@@ -123,6 +123,12 @@ int main(int argc, char** argv) {
       options.scan.vuln.stop_at_first_finding = false;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       options.scan.explain = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      // Engine introspection on every cold scan; inspect the last runs
+      // with `scanctl profile`. Cache bytes are unaffected (the profile
+      // is stripped before rendering), so toggling this across restarts
+      // never invalidates the verdict store.
+      options.profile = true;
     } else if (std::strcmp(argv[i], "--version") == 0) {
       std::printf("%s\n", std::string(core::kEngineVersion).c_str());
       return 0;
@@ -136,6 +142,7 @@ int main(int argc, char** argv) {
                  "usage: %s --socket PATH [--state-dir DIR] [--workers N] "
                  "[--queue N] [--request-timeout-ms N] "
                  "[--watchdog-grace-ms N] [--all-findings] [--explain] "
+                 "[--profile] "
                  "[--metrics-out FILE] [--trace-out FILE] [--log-file FILE] "
                  "[--log-level LEVEL] [--version]\n",
                  argv[0]);

@@ -1,5 +1,6 @@
 #include "core/detector/detector.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <new>
@@ -226,6 +227,13 @@ ScanReport Detector::scan(const Application& app,
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  // Recorded uniformly (profiled or not) so fleet drivers can always
+  // compare accounted analysis bytes against the process high-water
+  // mark. Only the profile JSON serializes the nondeterministic RSS.
+  report.peak_rss_bytes = profile::peak_rss_bytes();
+  if (report.profiled) {
+    report.profile.peak_rss_bytes = report.peak_rss_bytes;
+  }
 
   if (options_.telemetry != nullptr) {
     telemetry::MetricsRegistry& m = options_.telemetry->metrics();
@@ -260,6 +268,19 @@ ScanReport Detector::scan(const Application& app,
       m.counter("staticpass.lint_findings").add(report.lints.size());
     }
     m.histogram("scan.seconds_ms").observe(report.seconds * 1000.0);
+    m.gauge("scan.peak_bytes").set(static_cast<double>(report.peak_rss_bytes));
+    m.gauge("interp.path_budget")
+        .set(static_cast<double>(options_.budget.max_paths));
+    if (report.profiled) {
+      std::size_t fork_sites = 0;
+      std::uint64_t peak_paths = 0;
+      for (const profile::RootProfile& rp : report.profile.roots) {
+        fork_sites += rp.fork_sites.size();
+        peak_paths = std::max(peak_paths, rp.peak_paths);
+      }
+      m.gauge("interp.fork_sites").set(static_cast<double>(fork_sites));
+      m.gauge("interp.peak_paths").set(static_cast<double>(peak_paths));
+    }
     // Exemplars: the Prometheus exposition links these series to the
     // most recent request that moved them.
     m.set_exemplar("scan.count", trace_id);
@@ -462,6 +483,15 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
   smt::Checker checker(options_.vuln.solver_timeout_ms);
   checker.set_deadline(deadline);
   checker.set_telemetry(options_.telemetry, trace);
+  // Engine introspection (ScanOptions::profile): one recorder for the
+  // whole scan, threaded through Budget (fork sites, path samples) and
+  // the checker (solver attribution). Roots pruned by the static pass
+  // never begin_root — they fork no paths and issue no queries.
+  std::optional<profile::PathProfiler> profiler;
+  if (options_.profile) {
+    profiler.emplace();
+    checker.set_profiler(&*profiler);
+  }
   std::size_t env_bytes_total = 0;
   std::size_t graph_bytes_total = 0;
   for (std::size_t ri = 0; ri < locality.roots.size(); ++ri) {
@@ -488,6 +518,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
       break;
     }
     const telemetry::SpanScope root_span(trace, "root", root_name(root));
+    if (profiler.has_value()) profiler->begin_root(root_name(root));
 
     InterpResult exec;
     const CostClock::time_point interp_start = CostClock::now();
@@ -496,11 +527,13 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
       Budget budget = options_.budget;
       budget.deadline = deadline;
       budget.trace = trace;
+      budget.profiler = profiler.has_value() ? &*profiler : nullptr;
       Interpreter interp(program, diags, budget, options_.sinks);
       exec = interp.run(root);
     } catch (...) {
       report.errors.push_back(
           describe_current_exception("interp", root_name(root)));
+      if (profiler.has_value()) profiler->end_root(true, "analysis_error");
       cost.interp_ms = ms_since(interp_start);
       report.root_costs.push_back(std::move(cost));
       continue;
@@ -522,6 +555,11 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
       // The paper's behaviour: the run that exhausts memory produces no
       // verdict for this root (Cimy FN). Continue with other roots
       // (deadline expiry ends the loop at the next iteration's check).
+      if (profiler.has_value()) {
+        profiler->end_root(true, exec.stats.budget_exhausted
+                                     ? "budget_exhausted"
+                                     : "deadline_exceeded");
+      }
       report.root_costs.push_back(std::move(cost));
       continue;
     }
@@ -535,6 +573,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
     } catch (...) {
       report.errors.push_back(
           describe_current_exception("solve", root_name(root)));
+      if (profiler.has_value()) profiler->end_root(true, "analysis_error");
       cost.solve_ms = ms_since(solve_start);
       report.root_costs.push_back(std::move(cost));
       continue;
@@ -577,6 +616,7 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
         report.findings.push_back(std::move(finding));
       }
     }
+    if (profiler.has_value()) profiler->end_root(false, "");
     report.root_costs.push_back(std::move(cost));
   }
   report.solver_retries = checker.retry_count();
@@ -601,6 +641,30 @@ void Detector::scan_impl(const Application& app, const Deadline& deadline,
           : static_cast<double>(report.objects) / static_cast<double>(report.paths);
   report.memory_mb = static_cast<double>(graph_bytes_total + env_bytes_total) /
                      (1024.0 * 1024.0);
+  report.accounted_bytes = graph_bytes_total + env_bytes_total;
+
+  if (profiler.has_value()) {
+    report.profile = profiler->take();
+    // The interpreter records raw (FileId, line) pairs; resolve them to
+    // the "name:line" form humans (and the post-mortem) read. FileId 0
+    // is the invalid id — leave the raw rendering in place.
+    const auto resolve = [&sources](std::uint32_t file, std::uint32_t line,
+                                    std::string& out) {
+      const SourceFile* sf = sources.file(FileId{file});
+      if (sf == nullptr || line == 0) return;
+      out = sf->name() + ":" + std::to_string(line);
+    };
+    for (profile::RootProfile& rp : report.profile.roots) {
+      for (profile::ForkSiteStats& site : rp.fork_sites) {
+        resolve(site.file, site.line, site.site);
+      }
+      for (profile::SolverSiteStats& site : rp.solver) {
+        resolve(site.file, site.line, site.origin);
+      }
+      if (rp.incomplete) rp.post_mortem = profile::build_post_mortem(rp);
+    }
+    report.profiled = true;
+  }
 }
 
 }  // namespace uchecker::core

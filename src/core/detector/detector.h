@@ -20,6 +20,7 @@
 #include "core/staticpass/staticpass.h"
 #include "core/vulnmodel/vulnmodel.h"
 #include "support/diag.h"
+#include "support/profile.h"
 #include "support/source.h"
 
 namespace uchecker::telemetry {
@@ -34,7 +35,7 @@ namespace uchecker::core {
 // JSON schema. Persistent caches (scand's verdict and solver stores)
 // key on it, so an engine upgrade cold-starts them instead of replaying
 // stale analysis results.
-inline constexpr std::string_view kEngineVersion = "uchecker-pr9";
+inline constexpr std::string_view kEngineVersion = "uchecker-pr10";
 
 struct ScanOptions {
   Budget budget;
@@ -85,6 +86,13 @@ struct ScanOptions {
   // attached, Detector::scan mints one so every traced scan is
   // addressable; with no telemetry it stays empty (zero-overhead path).
   std::string trace_id;
+  // Engine introspection (support/profile.h): attribute forked paths to
+  // source fork sites, solver wall time to sinks, and heap growth to
+  // fork depth, per analysis root. Incomplete roots additionally get a
+  // budget post-mortem. Purely additive — verdicts and every other
+  // report field are byte-identical with it on or off; off keeps the
+  // interpreter and solver on their zero-overhead paths.
+  bool profile = false;
   // Parse-phase worker threads. 0 = auto (hardware concurrency capped
   // at 8); 1 = serial parsing on the scanning thread. Parsing is
   // per-file independent (one arena, one diagnostic sink per file; see
@@ -239,6 +247,20 @@ struct ScanReport {
   // Error-severity diagnostics grouped by the pipeline phase that
   // reported them (same vocabulary as ScanError::phase).
   std::map<std::string, std::size_t> diagnostics_by_phase;
+
+  // Process peak RSS (VmHWM) observed when the scan finished, and the
+  // engine-accounted analysis bytes (heap-graph arenas + environment
+  // memory summed over roots). Recorded uniformly on every scan; the
+  // nondeterministic peak_rss_bytes is surfaced only inside the profile
+  // JSON so unprofiled reports stay byte-reproducible.
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t accounted_bytes = 0;
+
+  // Engine introspection (ScanOptions::profile): per-root fork-site,
+  // solver and heap attribution plus budget post-mortems for incomplete
+  // roots. `profiled` gates the report JSON "profile" object.
+  bool profiled = false;
+  profile::ExplosionProfile profile;
 
   // Cost attribution (filled on every scan; all zeros cost nothing to
   // serialize — report_io omits the "cost" object when empty).

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/jsonlite.h"
+#include "support/profile.h"
 #include "support/strutil.h"
 
 namespace uchecker::core {
@@ -190,13 +191,16 @@ std::optional<ScanReport> report_from_json(std::string_view json) {
       !get_uint(*stats, "pruned_roots", r.pruned_roots)) {
     return std::nullopt;
   }
-  // Optional summary-layer counters (absent in pre-PR9 reports).
+  // Optional summary-layer counters (absent in pre-PR9 reports) and the
+  // accounted-bytes gauge (absent in pre-PR10 reports).
   if ((stats->find("summary_cache_hits") != nullptr &&
        !get_uint(*stats, "summary_cache_hits", r.summary_cache_hits)) ||
       (stats->find("summary_pruned_roots") != nullptr &&
        !get_uint(*stats, "summary_pruned_roots", r.summary_pruned_roots)) ||
       (stats->find("escaped_calls") != nullptr &&
-       !get_uint(*stats, "escaped_calls", r.escaped_calls))) {
+       !get_uint(*stats, "escaped_calls", r.escaped_calls)) ||
+      (stats->find("accounted_bytes") != nullptr &&
+       !get_uint(*stats, "accounted_bytes", r.accounted_bytes))) {
     return std::nullopt;
   }
 
@@ -234,6 +238,16 @@ std::optional<ScanReport> report_from_json(std::string_view json) {
       }
       r.root_costs.push_back(std::move(rc));
     }
+  }
+
+  // Optional engine-introspection profile (ScanOptions::profile).
+  if (const jsonlite::Value* prof = doc->find("profile")) {
+    std::optional<profile::ExplosionProfile> parsed =
+        profile::from_json(*prof);
+    if (!parsed.has_value()) return std::nullopt;
+    r.profile = std::move(*parsed);
+    r.profiled = true;
+    r.peak_rss_bytes = r.profile.peak_rss_bytes;
   }
 
   const jsonlite::Value* errors = doc->find("errors");
@@ -352,7 +366,8 @@ std::string to_json(const ScanReport& report) {
          std::to_string(report.summary_cache_hits) + ", ";
   out += "\"summary_pruned_roots\": " +
          std::to_string(report.summary_pruned_roots) + ", ";
-  out += "\"escaped_calls\": " + std::to_string(report.escaped_calls);
+  out += "\"escaped_calls\": " + std::to_string(report.escaped_calls) + ", ";
+  out += "\"accounted_bytes\": " + std::to_string(report.accounted_bytes);
   out += "}, \"diagnostics_by_phase\": {";
   bool first_phase = true;
   for (const auto& [phase, count] : report.diagnostics_by_phase) {
@@ -386,6 +401,12 @@ std::string to_json(const ScanReport& report) {
       out += "}";
     }
     out += "]}";
+  }
+  // Present only on profiled scans: the one place the report carries
+  // nondeterministic data (peak RSS, wall-clock samples). Unprofiled
+  // reports of the same app stay byte-identical run to run.
+  if (report.profiled) {
+    out += ", \"profile\": " + profile::to_json(report.profile);
   }
   out += ", \"errors\": [";
   for (std::size_t i = 0; i < report.errors.size(); ++i) {

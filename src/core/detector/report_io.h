@@ -23,7 +23,8 @@ namespace uchecker::core {
 //              "solver_calls": N, "solver_retries": N,
 //              "cons_hits": N, "solver_cache_hits": N,
 //              "budget_exhausted": B, "deadline_exceeded": B,
-//              "parse_errors": N, "analysis_errors": N },
+//              "parse_errors": N, "analysis_errors": N,
+//              "accounted_bytes": N },
 //   "diagnostics_by_phase": { "parse": N, "interp": N, ... },
 //   "cost": {  // omitted when the scan recorded no cost attribution
 //     "phases": { "parse": ms, "locality": ms, "staticpass": ms,
@@ -31,6 +32,12 @@ namespace uchecker::core {
 //     "roots": [ { "root": "...", "interp_ms": X, "solve_ms": X,
 //                  "paths": N, "objects": N, "solver_calls": N,
 //                  "solver_cache_hits": N, "pruned": B }, ... ] },
+//   "profile": { ... },  // only under ScanOptions::profile — the
+//                        // engine-introspection object (fork-site,
+//                        // solver and heap attribution plus budget
+//                        // post-mortems; schema in support/profile.h).
+//                        // The ONLY nondeterministic part of the report:
+//                        // unprofiled reports are byte-reproducible.
 //   "errors": [ { "phase": "parse" | "locality" | "interp" | "translate" |
 //                 "solve" | "scan", "root": "...", "message": "...",
 //                 "transient": B }, ... ],

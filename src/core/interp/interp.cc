@@ -6,6 +6,7 @@
 #include "core/interp/builtins.h"
 #include "phpast/visitor.h"
 #include "support/fault_injector.h"
+#include "support/profile.h"
 #include "support/strutil.h"
 #include "support/telemetry.h"
 
@@ -97,6 +98,33 @@ Type result_type_for(OpKind op, Type lhs, Type rhs) {
   return Type::kUnknown;
 }
 
+// RAII fork-site attribution (Budget::profiler). Enters the site on
+// construct entry and attributes the env-count delta on every exit
+// path — normal completion, early break, or budget abort — so the
+// cumulative/self bookkeeping stays balanced. One null test when no
+// profiler is attached.
+class ForkSiteScope {
+ public:
+  ForkSiteScope(profile::PathProfiler* profiler, const std::vector<Env>& envs,
+                profile::ForkKind kind, SourceLoc loc,
+                std::string_view detail)
+      : profiler_(profiler), envs_(envs) {
+    if (profiler_ != nullptr) {
+      profiler_->enter_site(kind, loc.file.value, loc.line, detail,
+                            envs_.size());
+    }
+  }
+  ForkSiteScope(const ForkSiteScope&) = delete;
+  ForkSiteScope& operator=(const ForkSiteScope&) = delete;
+  ~ForkSiteScope() {
+    if (profiler_ != nullptr) profiler_->exit_site(envs_.size());
+  }
+
+ private:
+  profile::PathProfiler* profiler_;
+  const std::vector<Env>& envs_;
+};
+
 }  // namespace
 
 Interpreter::Interpreter(const Program& program, DiagnosticSink& diags,
@@ -147,6 +175,13 @@ void Interpreter::check_budget() {
     if (budget_.trace != nullptr) {
       budget_.trace->sample_progress(envs_.size(), graph_.object_count(),
                                      graph_.memory_bytes());
+    }
+    // The explosion profiler shares the stride too: the same sample
+    // feeds the live-path histogram and attributes heap growth to the
+    // current fork depth.
+    if (budget_.profiler != nullptr) {
+      budget_.profiler->sample(envs_.size(), graph_.object_count(),
+                               graph_.memory_bytes());
     }
   }
 }
@@ -316,7 +351,7 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
       break;
     case NodeKind::kWhile: {
       const auto& s = static_cast<const phpast::While&>(stmt);
-      exec_loop(s.cond, s.body, nullptr);
+      exec_loop(s.cond, s.body, nullptr, stmt.loc(), "while");
       break;
     }
     case NodeKind::kDoWhile: {
@@ -334,8 +369,8 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
         eval_expr(*e);
         discard_results(1);
       }
-      exec_loop(s.cond.empty() ? nullptr : s.cond.front(), s.body,
-                &s.step);
+      exec_loop(s.cond.empty() ? nullptr : s.cond.front(), s.body, &s.step,
+                stmt.loc(), "for");
       break;
     }
     case NodeKind::kForeach:
@@ -423,6 +458,9 @@ void Interpreter::exec_stmt(const Stmt& stmt) {
       // Fork: the no-exception path runs the try body; one alternative
       // path per catch clause runs its handler with a fresh exception.
       const auto& s = static_cast<const phpast::TryCatch&>(stmt);
+      const ForkSiteScope fork_scope(budget_.profiler, envs_,
+                                     profile::ForkKind::kTryCatch, stmt.loc(),
+                                     "try");
       std::vector<Env> base = envs_;  // pre-try snapshot
       exec_stmts(s.body);
       std::vector<Env> joined = std::move(envs_);
@@ -486,6 +524,9 @@ void Interpreter::exec_branch(const std::vector<Label>& cond_labels,
 }
 
 void Interpreter::exec_if(const phpast::If& stmt) {
+  const ForkSiteScope fork_scope(budget_.profiler, envs_,
+                                 profile::ForkKind::kConditional, stmt.loc(),
+                                 "if");
   // Normalize the elseif chain: execute it as a nested if in the else
   // branch by repeatedly processing clauses.
   struct Clause {
@@ -550,6 +591,9 @@ void Interpreter::exec_if(const phpast::If& stmt) {
 }
 
 void Interpreter::exec_switch(const phpast::Switch& stmt) {
+  const ForkSiteScope fork_scope(budget_.profiler, envs_,
+                                 profile::ForkKind::kSwitch, stmt.loc(),
+                                 "switch");
   eval_expr(*stmt.subject);
   std::vector<Env> result;
   std::vector<Env> running;
@@ -628,7 +672,10 @@ void Interpreter::exec_switch(const phpast::Switch& stmt) {
 
 void Interpreter::exec_loop(const Expr* cond,
                             Span<const phpast::StmtPtr> body,
-                            const phpast::ExprList* step) {
+                            const phpast::ExprList* step, SourceLoc loc,
+                            std::string_view kind_detail) {
+  const ForkSiteScope fork_scope(budget_.profiler, envs_,
+                                 profile::ForkKind::kLoop, loc, kind_detail);
   // Approximate `while (c) S` as a bounded unrolling that forks into a
   // skip path (NOT c) and an enter path (c asserted, S executed once per
   // unroll round). Paper §VI: "UChecker does not precisely model loops".
@@ -692,6 +739,9 @@ void Interpreter::exec_loop(const Expr* cond,
 }
 
 void Interpreter::exec_foreach(const phpast::Foreach& stmt) {
+  const ForkSiteScope fork_scope(budget_.profiler, envs_,
+                                 profile::ForkKind::kForeach, stmt.loc(),
+                                 "foreach");
   // kNoVar encodes "no binding": key/value targets that are absent or
   // not plain variables are skipped, exactly as before interning.
   const VarId key_id =
@@ -1602,6 +1652,8 @@ void Interpreter::eval_user_function(const Program::FunctionInfo& info,
     return;
   }
 
+  const ForkSiteScope fork_scope(budget_.profiler, envs_,
+                                 profile::ForkKind::kCall, loc, info.name);
   call_chain_.push_back(info.name);
   const phpast::FunctionDecl& fn = *info.decl;
 

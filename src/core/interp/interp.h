@@ -39,6 +39,10 @@ namespace uchecker::telemetry {
 class ScanTrace;
 }  // namespace uchecker::telemetry
 
+namespace uchecker::profile {
+class PathProfiler;
+}  // namespace uchecker::profile
+
 namespace uchecker::core {
 
 // Resource limits. Exhaustion is reported, never fatal: the detector
@@ -69,6 +73,12 @@ struct Budget {
   // deadline poll and records budget/deadline exhaustion events. Null
   // (the default) costs one pointer test per poll.
   telemetry::ScanTrace* trace = nullptr;
+  // Per-scan path-explosion profiler (ScanOptions::profile). When
+  // non-null the interpreter attributes forked paths to source fork
+  // sites and samples live-path/heap growth on the deadline-poll
+  // stride. Null (the default) costs one pointer test per fork
+  // construct — the same zero-overhead contract as `trace`.
+  profile::PathProfiler* profiler = nullptr;
 };
 
 // One reachable invocation of a file-upload sink, with everything the
@@ -170,7 +180,8 @@ class Interpreter {
   void exec_switch(const phpast::Switch& stmt);
   void exec_loop(const phpast::Expr* cond,
                  Span<const phpast::StmtPtr> body,
-                 const phpast::ExprList* step);
+                 const phpast::ExprList* step, SourceLoc loc,
+                 std::string_view kind_detail);
   void exec_foreach(const phpast::Foreach& stmt);
 
   // Pops per-statement expression results from running envs.

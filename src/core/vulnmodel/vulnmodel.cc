@@ -9,6 +9,7 @@
 #include "core/interp/builtins.h"
 #include "core/translate/translate.h"
 #include "support/jsonlite.h"
+#include "support/profile.h"
 #include "support/strutil.h"
 #include "support/telemetry.h"
 
@@ -443,6 +444,10 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
     }
     SinkVerdict verdict;
     verdict.sink = sink;
+    // Attribute everything the solver does for this sink — including the
+    // warm memo/query-cache hits below — to the sink occurrence.
+    checker.set_query_origin(sink.sink_name, sink.loc.file.value,
+                             sink.loc.line);
 
     // Constraint-1: the uploaded content must come from $_FILES.
     verdict.taint_ok =
@@ -459,6 +464,11 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
 
     const auto memo_key = std::make_pair(sink.dst, sink.reachability);
     if (const auto it = memo.find(memo_key); it != memo.end()) {
+      if (checker.profiler() != nullptr) {
+        checker.profiler()->record_solver(sink.sink_name, sink.loc.file.value,
+                                          sink.loc.line, 0.0,
+                                          /*cache_hit=*/true);
+      }
       verdict.constraints = it->second.result;
       verdict.witness = it->second.witness;
       attach_evidence(verdict, it->second.bindings);
@@ -491,6 +501,11 @@ VulnModelResult check_sinks(const InterpResult& interp, smt::Checker& checker,
       cache_key += verdict.reach_sexpr;
       if (const std::optional<SolverQueryCache::Outcome> hit =
               query_cache->lookup(cache_key)) {
+        if (checker.profiler() != nullptr) {
+          checker.profiler()->record_solver(sink.sink_name,
+                                            sink.loc.file.value, sink.loc.line,
+                                            0.0, /*cache_hit=*/true);
+        }
         verdict.constraints = hit->result;
         verdict.witness = hit->witness;
         attach_evidence(verdict, hit->bindings);

@@ -10,6 +10,7 @@
 
 #include "core/detector/report_io.h"
 #include "support/jsonlite.h"
+#include "support/profile.h"
 #include "support/prom_export.h"
 #include "support/sarif_export.h"
 #include "support/strutil.h"
@@ -244,6 +245,28 @@ std::string ScanServer::handle_request(const std::string& line) {
              ", \"quarantined\": " + (c.quarantined ? "true" : "false") +
              ", \"top_root\": " + strutil::quote(c.top_root) +
              ", \"top_root_ms\": " + fmt_double(c.top_root_ms) + "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  if (op->str() == "profile") {
+    std::size_t n = 10;
+    if (const jsonlite::Value* nv = request->find("n");
+        nv != nullptr && nv->is_number() && nv->number() > 0) {
+      n = static_cast<std::size_t>(nv->number());
+    }
+    std::string out = "{\"status\": \"ok\", \"profiling\": ";
+    out += service_.options().profile ? "true" : "false";
+    out += ", \"scans\": [";
+    bool first = true;
+    for (const RecentProfile& p : service_.recent_profiles(n)) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"app\": " + strutil::quote(p.app) +
+             ", \"trace_id\": " + strutil::quote(p.trace_id) +
+             ", \"verdict\": " + strutil::quote(p.verdict) +
+             ", \"profile\": " + profile::to_json(p.profile) + "}";
     }
     out += "]}";
     return out;

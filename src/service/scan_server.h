@@ -25,6 +25,15 @@
 //                                                 "quarantined", "top_root",
 //                                                 "top_root_ms"}, ...]}  (most
 //                                               expensive first; default n=10)
+//   {"op": "profile" [, "n": N]}            -> {"status": "ok",
+//                                               "profiling": B,
+//                                               "scans": [{"app", "trace_id",
+//                                                 "verdict", "profile": {...}},
+//                                                 ...]}  (newest first;
+//                                               default n=10; the profile
+//                                               object is support/profile.h's
+//                                               to_json. Empty until the
+//                                               daemon runs with --profile.)
 //   {"op": "scan", "path": "/php/tree"}     -> {"status": "ok",
 //        [, "format": "sarif"]                  "app": "...",
 //        [, "trace_id": "..."]                  "trace_id": "...",

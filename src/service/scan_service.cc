@@ -263,6 +263,25 @@ void ScanService::remember_cost(RequestCost cost) {
   }
 }
 
+std::vector<RecentProfile> ScanService::recent_profiles(std::size_t n) const {
+  std::vector<RecentProfile> out;
+  const std::lock_guard<std::mutex> lock(profiles_mu_);
+  for (auto it = recent_profiles_.rbegin();
+       it != recent_profiles_.rend() && out.size() < n; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void ScanService::remember_profile(RecentProfile profile) {
+  if (options_.profile_history == 0) return;
+  const std::lock_guard<std::mutex> lock(profiles_mu_);
+  recent_profiles_.push_back(std::move(profile));
+  while (recent_profiles_.size() > options_.profile_history) {
+    recent_profiles_.pop_front();
+  }
+}
+
 void ScanService::dump_flight(const telemetry::FlightRecorder& recorder,
                               const std::string& tag) {
   if (options_.state_dir.empty()) return;
@@ -419,12 +438,28 @@ void ScanService::process(Request& request,
       scan_options.query_cache = &solver_cache_;
       scan_options.trace_id = flight.trace_id;
       scan_options.flight = recorder;
+      if (options_.profile) scan_options.profile = true;
       const core::Detector detector(scan_options);
       Deadline deadline = flight.has_deadline
                               ? Deadline::after(options_.request_timeout)
                               : Deadline::unlimited();
       deadline.attach(flight.cancel.token());
       outcome.report = detector.scan(request.app, deadline);
+      if (outcome.report.profiled) {
+        // Strip the profile (the report's only nondeterministic part)
+        // into the in-memory ring before rendering: the reply and cache
+        // bytes stay byte-identical to an unprofiled scan, so warm
+        // replays remain indistinguishable from cold ones.
+        RecentProfile recent;
+        recent.app = flight.app_name;
+        recent.trace_id = flight.trace_id;
+        recent.verdict =
+            std::string(core::verdict_slug(outcome.report.verdict));
+        recent.profile = std::move(outcome.report.profile);
+        outcome.report.profile = {};
+        outcome.report.profiled = false;
+        remember_profile(std::move(recent));
+      }
       outcome.report_json = core::to_json(outcome.report);
       // Only clean reports are worth replaying; a degraded one (error,
       // timeout, budget) must be recomputed next time.

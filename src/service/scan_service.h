@@ -87,6 +87,14 @@ struct ServiceOptions {
   std::size_t flight_recorder_capacity = 256;
   // How many recently completed requests top_requests() remembers.
   std::size_t top_history = 256;
+  // Run every cold scan with the engine-introspection profiler
+  // (ScanOptions::profile) and remember the per-root profiles of the
+  // last `profile_history` profiled scans for `scanctl profile`. The
+  // profile is stripped from the report before it is rendered and
+  // cached, so verdict-cache replays stay byte-identical to unprofiled
+  // scans — which is also why the toggle is *not* part of verdict_key.
+  bool profile = false;
+  std::size_t profile_history = 32;
 };
 
 // The answer to one request. `report_json` is the exact reply bytes:
@@ -119,6 +127,16 @@ struct RequestCost {
   bool quarantined = false;
   std::string top_root;  // most expensive root (interp + solve)
   double top_root_ms = 0.0;
+};
+
+// One profiled request's engine introspection, as remembered for
+// `scanctl profile` (ServiceOptions::profile). The profile is held here
+// — never in the cached report bytes.
+struct RecentProfile {
+  std::string app;
+  std::string trace_id;
+  std::string verdict;
+  profile::ExplosionProfile profile;
 };
 
 class ScanService {
@@ -157,6 +175,12 @@ class ScanService {
   // most expensive first, drawn from the last ServiceOptions::
   // top_history completions. Powers `scanctl top`.
   [[nodiscard]] std::vector<RequestCost> top_requests(std::size_t n) const;
+
+  // The `n` most recent profiled scans (ServiceOptions::profile),
+  // newest first. Cache replays record no profile (nothing ran).
+  // Powers `scanctl profile`.
+  [[nodiscard]] std::vector<RecentProfile> recent_profiles(
+      std::size_t n) const;
 
   // When start() succeeded (steady clock). Powers status/ping uptime.
   [[nodiscard]] std::chrono::steady_clock::time_point started_at() const {
@@ -214,6 +238,7 @@ class ScanService {
   void count(const char* name, std::uint64_t n = 1);
   void set_gauge(const char* name, double value);
   void remember_cost(RequestCost cost);
+  void remember_profile(RecentProfile profile);
   // Writes `recorder`'s dump to state_dir/flightrec-<tag>.json (no-op
   // without a state_dir). Called by the watchdog (tag = verdict key)
   // and by stop() for the SIGTERM drain (tag = worker index).
@@ -246,6 +271,11 @@ class ScanService {
   // contend with the scheduler lock.
   mutable std::mutex costs_mu_;
   std::deque<RequestCost> recent_costs_;
+
+  // Profiles of recently completed profiled scans, newest at the back,
+  // bounded by options_.profile_history (same locking rationale).
+  mutable std::mutex profiles_mu_;
+  std::deque<RecentProfile> recent_profiles_;
 
   std::chrono::steady_clock::time_point started_at_{};
 };

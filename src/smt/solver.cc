@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "support/fault_injector.h"
+#include "support/profile.h"
 #include "support/telemetry.h"
 
 namespace uchecker::smt {
@@ -134,13 +135,18 @@ SolverOutcome Checker::check(const std::vector<z3::expr>& constraints) {
     }
   }
 
-  if (telemetry_ != nullptr || trace_ != nullptr) {
+  if (telemetry_ != nullptr || trace_ != nullptr || profiler_ != nullptr) {
     const auto dur_us = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - solve_start)
             .count());
     const auto escalations =
         static_cast<unsigned>(retry_count_ - retries_before);
+    if (profiler_ != nullptr) {
+      profiler_->record_solver(origin_sink_, origin_file_, origin_line_,
+                               static_cast<double>(dur_us) / 1000.0,
+                               /*cache_hit=*/false);
+    }
     if (trace_ != nullptr) {
       trace_->record_solver_call(dur_us, outcome.attempts, escalations,
                                  outcome.deadline_exceeded,

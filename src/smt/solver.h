@@ -29,6 +29,10 @@ class ScanTrace;
 class Telemetry;
 }  // namespace uchecker::telemetry
 
+namespace uchecker::profile {
+class PathProfiler;
+}  // namespace uchecker::profile
+
 namespace uchecker::smt {
 
 enum class SatResult : std::uint8_t { kSat, kUnsat, kUnknown };
@@ -90,6 +94,24 @@ class Checker {
   }
   [[nodiscard]] telemetry::ScanTrace* trace() const { return trace_; }
 
+  // Attaches the path-explosion profiler (null detaches — the default,
+  // one pointer test per check). With a profiler, every check()'s wall
+  // time and query count are attributed to the origin set by
+  // set_query_origin; the vulnerability model also records its warm
+  // SolverQueryCache/memo hits against the same origins.
+  void set_profiler(profile::PathProfiler* profiler) { profiler_ = profiler; }
+  [[nodiscard]] profile::PathProfiler* profiler() const { return profiler_; }
+
+  // Names the sink occurrence issuing subsequent check() calls: the
+  // sink function plus the raw (file id, line) of the call site. The
+  // vulnerability model sets this before each sink's constraint checks.
+  void set_query_origin(std::string sink, std::uint32_t file,
+                        std::uint32_t line) {
+    origin_sink_ = std::move(sink);
+    origin_file_ = file;
+    origin_line_ = line;
+  }
+
   // Checks the conjunction of `constraints`. Any z3::exception is caught
   // and converted into an outcome with result == kUnknown.
   [[nodiscard]] SolverOutcome check(const std::vector<z3::expr>& constraints);
@@ -110,6 +132,10 @@ class Checker {
   Deadline deadline_;
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::ScanTrace* trace_ = nullptr;
+  profile::PathProfiler* profiler_ = nullptr;
+  std::string origin_sink_;
+  std::uint32_t origin_file_ = 0;
+  std::uint32_t origin_line_ = 0;
   std::uint64_t check_count_ = 0;
   std::uint64_t retry_count_ = 0;
 };

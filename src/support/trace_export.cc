@@ -29,12 +29,11 @@ void append_event(std::string& out, bool& first, std::string_view name,
   out += "}";
 }
 
-}  // namespace
-
-std::string to_chrome_trace_json(const Telemetry& telemetry,
-                                 const ChromeTraceOptions& options) {
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  bool first = true;
+// Shared body of both to_chrome_trace_json overloads: every event of
+// every trace, without the surrounding traceEvents wrapper.
+void append_trace_events(std::string& out, bool& first,
+                         const Telemetry& telemetry,
+                         const ChromeTraceOptions& options) {
   for (const ScanTrace* trace : telemetry.traces()) {
     // Consistent copy: safe even while the scan is still writing.
     const TraceSnapshot snap = trace->snapshot();
@@ -88,6 +87,56 @@ std::string to_chrome_trace_json(const Telemetry& telemetry,
           tid_arg + "}";
       append_event(out, first, e.name, "event", 'i', ts, tid, extra);
     }
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Telemetry& telemetry,
+                                 const ChromeTraceOptions& options) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  append_trace_events(out, first, telemetry, options);
+  out += "\n]}";
+  return out;
+}
+
+std::string to_chrome_trace_json(const Telemetry& telemetry,
+                                 const profile::ExplosionProfile& profile,
+                                 const ChromeTraceOptions& options) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  append_trace_events(out, first, telemetry, options);
+  // Profiled roots render as synthetic tracks after the scan threads:
+  // fork-site counters (one series per site, ranked order preserved)
+  // plus the live-path timeline.
+  std::uint32_t tid = 9000;
+  for (const uchecker::profile::RootProfile& root : profile.roots) {
+    append_event(out, first, "thread_name", "__metadata", 'M', 0, tid,
+                 ", \"args\": {\"name\": " +
+                     strutil::quote("profile:" + root.root) + "}");
+    for (const uchecker::profile::ForkSiteStats& site : root.fork_sites) {
+      const std::string name =
+          site.site + " [" +
+          std::string(uchecker::profile::fork_kind_name(site.kind)) + " " +
+          site.detail + "]";
+      const std::string extra =
+          ", \"args\": {\"paths_spawned\": " +
+          std::to_string(site.cumulative_paths) +
+          ", \"self_paths\": " + std::to_string(site.self_paths) +
+          ", \"visits\": " + std::to_string(site.visits) + "}";
+      append_event(out, first, name, "fork_site", 'C', 0, tid, extra);
+    }
+    for (const uchecker::profile::PathSample& p : root.samples) {
+      const std::uint64_t ts = options.zero_times ? 0 : p.t_us;
+      const std::string extra =
+          ", \"args\": {\"live_paths\": " + std::to_string(p.live_paths) +
+          ", \"objects\": " + std::to_string(p.objects) +
+          ", \"heap_bytes\": " + std::to_string(p.heap_bytes) + "}";
+      append_event(out, first, "profile.live_paths", "fork_site", 'C', ts,
+                   tid, extra);
+    }
+    ++tid;
   }
   out += "\n]}";
   return out;

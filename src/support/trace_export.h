@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "support/profile.h"
 #include "support/telemetry.h"
 
 namespace uchecker::telemetry {
@@ -31,6 +32,15 @@ struct ChromeTraceOptions {
 
 [[nodiscard]] std::string to_chrome_trace_json(
     const Telemetry& telemetry, const ChromeTraceOptions& options = {});
+
+// As above, plus the engine-introspection profile: each profiled root
+// gets its own synthetic track carrying fork-site counter ("C") events
+// (paths_spawned / self_paths / visits per source fork site, ranked
+// order preserved) and the live-path timeline as counter events. Under
+// zero_times the profile events are deterministic for a given profile.
+[[nodiscard]] std::string to_chrome_trace_json(
+    const Telemetry& telemetry, const profile::ExplosionProfile& profile,
+    const ChromeTraceOptions& options = {});
 
 // {
 //   "counters": { "name": N, ... },
